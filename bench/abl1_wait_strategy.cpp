@@ -1,0 +1,101 @@
+// abl1_wait_strategy — Ablation A1: identical QSV protocol, three
+// waiting strategies. Claim ("superseded by futex" band, made precise):
+// dedicated processors -> pure spin wins; oversubscribed -> parking wins
+// by a wide margin because spinners steal the holder's quantum.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_util.hpp"
+#include "core/qsv_mutex.hpp"
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+#include "platform/wait.hpp"
+
+namespace {
+
+template <typename Wait>
+double run_variant(std::size_t threads, double seconds) {
+  qsv::core::QsvMutex<Wait> lock;
+  qsv::workload::GuardedCounter integrity;
+  qsv::harness::StopFlag stop;
+  std::vector<std::uint64_t> ops(threads, 0);
+  // External watchdog: in the oversubscribed spin case the team itself
+  // may crawl, so no member is trusted to watch the clock.
+  std::thread watchdog([&] {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(static_cast<std::int64_t>(seconds * 1e9)));
+    stop.request();
+  });
+  const auto t0 = qsv::platform::now_ns();
+  qsv::harness::ThreadTeam::run(
+      threads,
+      [&](std::size_t rank) {
+        std::uint64_t n = 0;
+        while (!stop.requested()) {
+          lock.lock();
+          integrity.bump();
+          lock.unlock();
+          ++n;
+        }
+        ops[rank] = n;
+      },
+      /*pin=*/threads <= qsv::platform::available_cpus());
+  const auto dt = qsv::platform::now_ns() - t0;
+  watchdog.join();
+  std::uint64_t total = 0;
+  for (auto o : ops) total += o;
+  if (!integrity.consistent()) {
+    std::fprintf(stderr, "INTEGRITY FAILURE in wait-strategy ablation\n");
+    std::exit(1);
+  }
+  return static_cast<double>(total) / static_cast<double>(dt) * 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qsv::harness::Options opts(argc, argv, {"seconds"});
+  const double seconds = opts.get_double("seconds", 0.12);
+  const std::size_t cpus = qsv::platform::available_cpus();
+  const std::vector<std::size_t> teams{
+      std::max<std::size_t>(2, cpus / 2), cpus, 2 * cpus};
+
+  qsv::bench::banner("A1: QSV wait-strategy ablation",
+                     "claim: spin wins dedicated; park wins oversubscribed");
+
+  std::vector<std::string> headers{"strategy"};
+  for (auto t : teams) {
+    headers.push_back("T=" + std::to_string(t) +
+                      (t > cpus ? " (oversub) Mops" : " Mops"));
+  }
+  qsv::harness::Table table(headers);
+
+  {
+    std::vector<std::string> row{"spin"};
+    for (auto t : teams) {
+      row.push_back(qsv::harness::Table::num(
+          run_variant<qsv::platform::SpinWait>(t, seconds), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  {
+    std::vector<std::string> row{"yield"};
+    for (auto t : teams) {
+      row.push_back(qsv::harness::Table::num(
+          run_variant<qsv::platform::SpinYieldWait>(t, seconds), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  {
+    std::vector<std::string> row{"park"};
+    for (auto t : teams) {
+      row.push_back(qsv::harness::Table::num(
+          run_variant<qsv::platform::ParkWait>(t, seconds), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  if (opts.csv()) table.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// bench_util.hpp — shared helpers for the figure/table binaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/options.hpp"
+#include "platform/affinity.hpp"
+
+namespace qsv::bench {
+
+/// Thread counts for scaling sweeps: 1,2,4,... capped at the allowed CPU
+/// count (measuring spin locks oversubscribed produces noise, not data).
+inline std::vector<std::size_t> thread_sweep(std::size_t cap = 0) {
+  const std::size_t cpus = qsv::platform::available_cpus();
+  const std::size_t limit = cap == 0 ? cpus : std::min(cap, cpus);
+  std::vector<std::size_t> sweep;
+  for (std::size_t t = 1; t <= limit; t *= 2) sweep.push_back(t);
+  if (sweep.back() != limit) sweep.push_back(limit);
+  return sweep;
+}
+
+/// Standard bench banner: ties console output back to DESIGN.md.
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::printf("== %s ==\n%s\n\n", experiment.c_str(), claim.c_str());
+}
+
+}  // namespace qsv::bench

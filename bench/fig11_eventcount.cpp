@@ -1,0 +1,120 @@
+// fig11_eventcount — Experiment F11: condition synchronization without
+// locks. The same bounded-buffer workload runs over
+//   * ring/qsv     — QSV mutex + two QSV semaphores (workload/ring.hpp),
+//   * ec/central   — Reed-Kanodia eventcount/sequencer ring, centralized
+//                    counts (every advance invalidates every waiter),
+//   * ec/queued    — same discipline, waiters spin on their own node
+//                    (the QSV protocol applied to condition sync).
+// Reconstructed claim: the eventcount discipline removes the lock from
+// the hot path; the queued variant additionally removes centralized
+// spinning, which matters as waiters accumulate.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "eventcount/bounded_ring.hpp"
+#include "harness/options.hpp"
+#include "harness/table.hpp"
+#include "harness/team.hpp"
+#include "platform/timing.hpp"
+#include "sim/protocols.hpp"
+#include "workload/ring.hpp"
+
+namespace {
+
+/// Drive `producers` + `consumers` threads through `items` total
+/// transfers; returns achieved transfers per second.
+template <typename Ring>
+double run_ring(Ring& ring, std::size_t producers, std::size_t consumers,
+                std::uint64_t items) {
+  // Distribute quotas so total pushes == total pops == items exactly; a
+  // mismatch would leave a consumer blocked on an item that never comes.
+  const auto quota = [items](std::size_t rank, std::size_t n) {
+    return items / n + (rank < items % n ? 1 : 0);
+  };
+  const std::uint64_t t0 = qsv::platform::now_ns();
+  qsv::harness::ThreadTeam::run(producers + consumers, [&](std::size_t r) {
+    if (r < producers) {
+      const std::uint64_t mine = quota(r, producers);
+      for (std::uint64_t i = 0; i < mine; ++i) {
+        ring.push(static_cast<std::uint32_t>(i));
+      }
+    } else {
+      const std::uint64_t mine = quota(r - producers, consumers);
+      for (std::uint64_t i = 0; i < mine; ++i) {
+        (void)ring.pop();
+      }
+    }
+  });
+  const double secs =
+      static_cast<double>(qsv::platform::now_ns() - t0) * 1e-9;
+  return static_cast<double>(items) / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qsv::harness::Options opts(argc, argv, {"items", "capacity"});
+  const std::uint64_t items = opts.get_u64("items", 400000);
+  const std::size_t capacity = opts.get_u64("capacity", 64);
+
+  qsv::bench::banner(
+      "F11: bounded-buffer throughput — locks vs eventcounts",
+      "claim: eventcount discipline drops the lock from the hot path");
+
+  qsv::harness::Table table(
+      {"P:C", "ring/qsv (M/s)", "ec/central (M/s)", "ec/queued (M/s)"});
+
+  const std::size_t shapes[][2] = {{1, 1}, {2, 2}, {4, 4}, {1, 7}, {7, 1}};
+  for (const auto& s : shapes) {
+    const std::size_t p = s[0];
+    const std::size_t c = s[1];
+    double qsv_rate, ec_rate, ecq_rate;
+    {
+      qsv::workload::BoundedRing<std::uint32_t> ring(capacity);
+      qsv_rate = run_ring(ring, p, c, items);
+    }
+    {
+      qsv::eventcount::EcBoundedRing<std::uint32_t,
+                                     qsv::eventcount::EventCount<>>
+          ring(capacity);
+      ec_rate = run_ring(ring, p, c, items);
+    }
+    {
+      qsv::eventcount::EcBoundedRing<std::uint32_t,
+                                     qsv::eventcount::QueuedEventCount<>>
+          ring(capacity);
+      ecq_rate = run_ring(ring, p, c, items);
+    }
+    table.add_row({std::to_string(p) + ":" + std::to_string(c),
+                   qsv::harness::Table::num(qsv_rate * 1e-6, 2),
+                   qsv::harness::Table::num(ec_rate * 1e-6, 2),
+                   qsv::harness::Table::num(ecq_rate * 1e-6, 2)});
+  }
+  table.print();
+  if (opts.csv()) table.print_csv(std::cout);
+
+  // ---- sim section: centralized vs queued waiting on the Butterfly ----
+  std::printf("\nsimulated 16-proc Butterfly, remote refs per event vs "
+              "event period:\n");
+  qsv::harness::Table sim_table(
+      {"event period (cycles)", "ec-central", "ec-queued"});
+  for (const qsv::sim::Cycles period : {30u, 300u, 1500u, 5000u}) {
+    const auto c = qsv::sim::run_eventcount_sim(
+        "ec-central", 16, 16, qsv::sim::Topology::kNumaUncached, period);
+    const auto q = qsv::sim::run_eventcount_sim(
+        "ec-queued", 16, 16, qsv::sim::Topology::kNumaUncached, period);
+    if (!c.completed || !q.completed) {
+      std::fprintf(stderr, "SIM DEADLOCK in eventcount section\n");
+      return 1;
+    }
+    sim_table.add_row({std::to_string(period),
+                       qsv::harness::Table::num(c.remote_per_op(), 1),
+                       qsv::harness::Table::num(q.remote_per_op(), 1)});
+  }
+  sim_table.print();
+  std::printf("(crossover: central wins when events are frequent — the\n"
+              " queued walk costs O(waiters) remote stores; queued wins,\n"
+              " flat, when waits dominate — idle polling is free on the\n"
+              " waiter's own node)\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// fig4_barrier_scaling — Experiment F4: barrier episode latency vs team
+// size. Reconstructed claim: tree/dissemination beat the central
+// counter as teams grow; the QSV episode barrier tracks the leaders.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "harness/algorithms.hpp"
+#include "harness/table.hpp"
+#include "harness/team.hpp"
+#include "platform/timing.hpp"
+
+namespace {
+
+/// Episodes/second for one barrier at one team size.
+double measure(qsv::barriers::AnyBarrier& barrier, std::size_t team,
+               std::size_t episodes) {
+  const auto t0 = qsv::platform::now_ns();
+  qsv::harness::ThreadTeam::run(team, [&](std::size_t rank) {
+    for (std::size_t e = 0; e < episodes; ++e) barrier.arrive_and_wait(rank);
+  });
+  const auto dt = qsv::platform::now_ns() - t0;
+  return dt ? static_cast<double>(episodes) * 1e9 / static_cast<double>(dt)
+            : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qsv::harness::Options opts(argc, argv, {"episodes", "maxthreads"});
+  const auto episodes = opts.get_u64("episodes", 20000);
+  const auto sweep =
+      qsv::bench::thread_sweep(opts.get_u64("maxthreads", 16));
+
+  qsv::bench::banner("F4: barrier scaling",
+                     "claim: log-depth barriers win at scale; "
+                     "qsv-episode competitive via local spinning");
+
+  std::vector<std::string> headers{"algorithm"};
+  for (auto t : sweep) {
+    headers.push_back("T=" + std::to_string(t) + " ep/ms");
+  }
+  qsv::harness::Table table(headers);
+
+  for (const auto& factory : qsv::harness::all_barriers()) {
+    std::vector<std::string> row{factory.name};
+    for (auto team : sweep) {
+      auto barrier = factory.make(team);
+      // Scale episode count down as team grows to bound runtime.
+      const auto n = std::max<std::size_t>(500, episodes / (team * 2));
+      row.push_back(qsv::harness::Table::num(
+          measure(*barrier, team, n) / 1000.0, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  if (opts.csv()) table.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// fig6_cs_crossover — Experiment F6: throughput vs critical-section
+// length at fixed contention. Reconstructed claim: backoff locks edge
+// out queue locks for tiny uncontested-ish sections; queue locks win as
+// the section grows and handoff efficiency dominates; the crossover
+// position is the figure's payload.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "harness/algorithms.hpp"
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+
+int main(int argc, char** argv) {
+  qsv::harness::Options opts(argc, argv, {"threads", "seconds"});
+  const auto threads = opts.get_u64(
+      "threads", std::min<std::size_t>(8, qsv::platform::available_cpus()));
+  const double seconds = opts.get_double("seconds", 0.1);
+  const std::vector<std::uint64_t> cs_sweep{0, 100, 400, 1600, 6400};
+  const std::vector<std::string> algos{"ttas+backoff", "ticket+prop", "mcs",
+                                       "qsv", "std::mutex"};
+
+  qsv::bench::banner("F6: critical-section length crossover",
+                     "claim: queue locks take over as CS grows");
+
+  std::vector<std::string> headers{"algorithm"};
+  for (auto cs : cs_sweep) {
+    headers.push_back("cs=" + std::to_string(cs) + "ns Mops");
+  }
+  qsv::harness::Table table(headers);
+
+  for (const auto& name : algos) {
+    const qsv::locks::LockFactory* factory = nullptr;
+    for (const auto& f : qsv::harness::all_locks()) {
+      if (f.name == name) factory = &f;
+    }
+    if (factory == nullptr) continue;
+    std::vector<std::string> row{name};
+    for (auto cs : cs_sweep) {
+      auto lock = factory->make(threads);
+      qsv::harness::LockRunConfig cfg;
+      cfg.threads = threads;
+      cfg.seconds = seconds;
+      cfg.cs_ns = cs;
+      cfg.pause_ns = cs;  // think time equal to CS keeps contention fixed
+      const auto r = qsv::harness::run_lock_contention(*lock, cfg);
+      if (!r.mutual_exclusion_ok) {
+        std::fprintf(stderr, "INTEGRITY FAILURE: %s\n", name.c_str());
+        return 1;
+      }
+      row.push_back(qsv::harness::Table::num(r.throughput_mops(), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  if (opts.csv()) table.print_csv(std::cout);
+  return 0;
+}

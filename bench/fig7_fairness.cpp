@@ -1,0 +1,53 @@
+// fig7_fairness — Experiment F7: acquisition fairness across threads.
+// Reconstructed claim: FIFO queue locks (ticket, Anderson, MCS, QSV)
+// hand out near-uniform shares (Jain index ~= 1); TAS/TTAS let cache
+// proximity pick winners and starve the rest.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "harness/algorithms.hpp"
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+#include "platform/stats.hpp"
+
+int main(int argc, char** argv) {
+  qsv::harness::Options opts(argc, argv, {"threads", "seconds"});
+  const auto threads = opts.get_u64(
+      "threads", std::min<std::size_t>(8, qsv::platform::available_cpus()));
+  const double seconds = opts.get_double("seconds", 0.2);
+
+  qsv::bench::banner("F7: fairness under contention",
+                     "claim: queue locks Jain≈1.0; TAS-family skewed");
+
+  qsv::harness::Table table(
+      {"algorithm", "jain", "cv", "min-ops", "max-ops", "total Mops"});
+
+  for (const auto& factory : qsv::harness::all_locks()) {
+    auto lock = factory.make(threads);
+    qsv::harness::LockRunConfig cfg;
+    cfg.threads = threads;
+    cfg.seconds = seconds;
+    cfg.cs_ns = 100;  // non-trivial hold so starvation can develop
+    const auto r = qsv::harness::run_lock_contention(*lock, cfg);
+    if (!r.mutual_exclusion_ok) {
+      std::fprintf(stderr, "INTEGRITY FAILURE: %s\n", factory.name.c_str());
+      return 1;
+    }
+    std::uint64_t lo = ~0ULL, hi = 0;
+    for (auto ops : r.per_thread_ops) {
+      lo = std::min(lo, ops);
+      hi = std::max(hi, ops);
+    }
+    table.add_row({factory.name,
+                   qsv::harness::Table::num(
+                       qsv::platform::jain_index(r.per_thread_ops), 3),
+                   qsv::harness::Table::num(
+                       qsv::platform::cv(r.per_thread_ops), 3),
+                   qsv::harness::Table::integer(lo),
+                   qsv::harness::Table::integer(hi),
+                   qsv::harness::Table::num(r.throughput_mops(), 2)});
+  }
+  table.print();
+  if (opts.csv()) table.print_csv(std::cout);
+  return 0;
+}

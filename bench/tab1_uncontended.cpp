@@ -1,0 +1,105 @@
+// tab1_uncontended — Experiment T1: single-thread acquire/release cost.
+// Reconstructed claim: QSV's uncontended path is one fetch&store plus
+// one compare&swap — within a small factor of raw TAS, far below any
+// kernel-assisted lock. google-benchmark for ns-resolution.
+#include <benchmark/benchmark.h>
+
+#include "core/syncvar.hpp"
+#include "locks/adapters.hpp"
+#include "locks/anderson.hpp"
+#include "locks/clh.hpp"
+#include "locks/graunke_thakkar.hpp"
+#include "locks/mcs.hpp"
+#include "locks/tas.hpp"
+#include "locks/ticket.hpp"
+#include "locks/ttas.hpp"
+#include "platform/thread_id.hpp"
+
+namespace {
+
+template <typename Lock>
+void lock_unlock_cycle(benchmark::State& state, Lock& lock) {
+  for (auto _ : state) {
+    lock.lock();
+    benchmark::DoNotOptimize(&lock);
+    lock.unlock();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_Tas(benchmark::State& s) {
+  qsv::locks::TasLock l;
+  lock_unlock_cycle(s, l);
+}
+void BM_Ttas(benchmark::State& s) {
+  qsv::locks::TtasLock<> l;
+  lock_unlock_cycle(s, l);
+}
+void BM_Ticket(benchmark::State& s) {
+  qsv::locks::TicketLock l;
+  lock_unlock_cycle(s, l);
+}
+void BM_Anderson(benchmark::State& s) {
+  qsv::locks::AndersonLock<> l(16);
+  lock_unlock_cycle(s, l);
+}
+void BM_GraunkeThakkar(benchmark::State& s) {
+  qsv::locks::GraunkeThakkarLock l(qsv::platform::kMaxThreads);
+  lock_unlock_cycle(s, l);
+}
+void BM_Clh(benchmark::State& s) {
+  qsv::locks::ClhLock<> l;
+  lock_unlock_cycle(s, l);
+}
+void BM_Mcs(benchmark::State& s) {
+  qsv::locks::McsLock<> l;
+  lock_unlock_cycle(s, l);
+}
+void BM_Qsv(benchmark::State& s) {
+  qsv::core::QsvMutex<> l;
+  lock_unlock_cycle(s, l);
+}
+void BM_QsvTimeout(benchmark::State& s) {
+  qsv::core::QsvTimeoutMutex l;
+  lock_unlock_cycle(s, l);
+}
+void BM_StdMutex(benchmark::State& s) {
+  qsv::locks::StdMutexAdapter l;
+  lock_unlock_cycle(s, l);
+}
+void BM_QsvRwWriter(benchmark::State& s) {
+  qsv::core::QsvRwLock<> l;
+  lock_unlock_cycle(s, l);
+}
+void BM_QsvRwReader(benchmark::State& s) {
+  qsv::core::QsvRwLock<> l;
+  for (auto _ : s) {
+    l.lock_shared();
+    benchmark::DoNotOptimize(&l);
+    l.unlock_shared();
+  }
+}
+void BM_QsvSemaphore(benchmark::State& s) {
+  qsv::core::QsvSemaphore sem(1);
+  for (auto _ : s) {
+    sem.acquire();
+    benchmark::DoNotOptimize(&sem);
+    sem.release();
+  }
+}
+
+BENCHMARK(BM_Tas);
+BENCHMARK(BM_Ttas);
+BENCHMARK(BM_Ticket);
+BENCHMARK(BM_Anderson);
+BENCHMARK(BM_GraunkeThakkar);
+BENCHMARK(BM_Clh);
+BENCHMARK(BM_Mcs);
+BENCHMARK(BM_Qsv);
+BENCHMARK(BM_QsvTimeout);
+BENCHMARK(BM_StdMutex);
+BENCHMARK(BM_QsvRwWriter);
+BENCHMARK(BM_QsvRwReader);
+BENCHMARK(BM_QsvSemaphore);
+
+}  // namespace

@@ -1,0 +1,65 @@
+// tab2_space — Experiment T2: memory cost per lock instance and per
+// waiting thread. Reconstructed claim: QSV needs one word per variable
+// plus one arena node per *waiting* thread, versus Anderson/GT's
+// O(capacity) per instance — the space argument that motivated
+// list-based queues in 1991.
+#include <cstdio>
+#include <mutex>
+
+#include "bench/bench_util.hpp"
+#include "core/syncvar.hpp"
+#include "harness/options.hpp"
+#include "harness/table.hpp"
+#include "locks/adapters.hpp"
+#include "locks/anderson.hpp"
+#include "locks/clh.hpp"
+#include "locks/graunke_thakkar.hpp"
+#include "locks/mcs.hpp"
+#include "locks/tas.hpp"
+#include "locks/ticket.hpp"
+#include "locks/ttas.hpp"
+
+int main(int argc, char** argv) {
+  qsv::harness::Options opts(argc, argv, {"capacity"});
+  const auto cap = opts.get_u64("capacity", 64);
+
+  qsv::bench::banner("T2: space accounting",
+                     "claim: qsv = 1 word/variable + 1 node/waiter");
+
+  qsv::harness::Table table(
+      {"algorithm", "bytes/instance", "scales with", "per-waiter bytes"});
+
+  const qsv::locks::AndersonLock<> anderson(cap);
+  const qsv::locks::GraunkeThakkarLock gt(cap);
+
+  table.add_row({"tas", std::to_string(sizeof(qsv::locks::TasLock)),
+                 "constant", "0"});
+  table.add_row({"ttas+backoff",
+                 std::to_string(sizeof(qsv::locks::TtasLock<>)), "constant",
+                 "0"});
+  table.add_row({"ticket", std::to_string(sizeof(qsv::locks::TicketLock)),
+                 "constant", "0"});
+  table.add_row({"anderson (cap=" + std::to_string(cap) + ")",
+                 std::to_string(anderson.footprint_bytes()),
+                 "O(capacity) per instance", "0"});
+  table.add_row({"graunke-thakkar (cap=" + std::to_string(cap) + ")",
+                 std::to_string(gt.footprint_bytes()),
+                 "O(capacity) per instance", "0"});
+  table.add_row({"clh", std::to_string(sizeof(qsv::locks::ClhLock<>)),
+                 "constant", std::to_string(qsv::platform::kFalseSharingRange)});
+  table.add_row({"mcs", std::to_string(sizeof(qsv::locks::McsLock<>)),
+                 "constant", std::to_string(qsv::platform::kFalseSharingRange)});
+  table.add_row({"qsv", std::to_string(sizeof(qsv::core::QsvMutex<>)),
+                 "constant (1 word + padding)",
+                 std::to_string(qsv::platform::kFalseSharingRange)});
+  table.add_row({"qsv-timeout",
+                 std::to_string(sizeof(qsv::core::QsvTimeoutMutex)),
+                 "constant", std::to_string(qsv::platform::kFalseSharingRange)});
+  table.add_row({"qsv-rw", std::to_string(sizeof(qsv::core::QsvRwLock<>)),
+                 "constant (4 words + padding)", "0"});
+  table.add_row({"std::mutex", std::to_string(sizeof(std::mutex)),
+                 "constant", "0"});
+  table.print();
+  if (opts.csv()) table.print_csv(std::cout);
+  return 0;
+}

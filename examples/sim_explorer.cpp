@@ -1,0 +1,64 @@
+// sim_explorer — poke at the simulated 1991 multiprocessor.
+//
+//   build/examples/sim_explorer [procs] [rounds]
+//
+// Runs every lock protocol on both simulated machines and prints the
+// full counter set — the raw material behind figures F2/F3/F5. Useful
+// for exploring parameter points the benches do not sweep.
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/protocols.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t procs = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                     : 16;
+  const std::size_t rounds = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                      : 32;
+
+  std::printf("sim_explorer: %zu simulated processors, %zu acquisitions "
+              "each\n\n",
+              procs, rounds);
+
+  for (auto topo : {qsv::sim::Topology::kBus, qsv::sim::Topology::kNuma}) {
+    std::printf("--- %s machine ---\n",
+                topo == qsv::sim::Topology::kBus ? "snooping-bus (Symmetry)"
+                                                 : "NUMA directory "
+                                                   "(Butterfly)");
+    std::printf("%-10s %12s %14s %12s %10s %12s\n", "lock", "bus txns/acq",
+                "invalidates/acq", "remote/acq", "hit rate", "cycles/acq");
+    for (const auto& algo : qsv::sim::sim_lock_names()) {
+      const auto r = qsv::sim::run_lock_sim(algo, procs, rounds, topo);
+      if (!r.completed) {
+        std::printf("%-10s DEADLOCK\n", algo.c_str());
+        continue;
+      }
+      const double hit_rate =
+          r.counters.total_accesses
+              ? static_cast<double>(r.counters.cache_hits) /
+                    static_cast<double>(r.counters.total_accesses)
+              : 0.0;
+      std::printf("%-10s %12.1f %14.1f %12.1f %9.0f%% %12.0f\n",
+                  algo.c_str(), r.bus_per_op(), r.invalidations_per_op(),
+                  r.remote_per_op(), hit_rate * 100.0,
+                  static_cast<double>(r.elapsed) /
+                      static_cast<double>(r.operations));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("--- barrier episodes on the bus machine ---\n");
+  std::printf("%-14s %14s %14s\n", "barrier", "bus txns/ep", "cycles/ep");
+  for (const auto& algo : qsv::sim::sim_barrier_names()) {
+    const auto r =
+        qsv::sim::run_barrier_sim(algo, procs, 16, qsv::sim::Topology::kBus);
+    if (!r.completed) {
+      std::printf("%-14s DEADLOCK\n", algo.c_str());
+      continue;
+    }
+    std::printf("%-14s %14.0f %14.0f\n", algo.c_str(), r.bus_per_op(),
+                static_cast<double>(r.elapsed) /
+                    static_cast<double>(r.operations));
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// work_crew — a task farm on the hierarchical (cohort) QSV mutex.
+//
+//   build/examples/work_crew
+//
+// Eight workers, organized in cohorts of four (think: two NUMA nodes),
+// pull variable-sized work items from one shared deque. The deque's
+// lock is the contended resource; the hierarchical QSV lock prefers
+// handing it to a cohort-mate, which on clustered hardware keeps the
+// lock line and the deque's data resident in one node's cache.
+//
+// The run reports the protocol-event mix (intra-cohort passes vs global
+// round trips) for three fairness budgets, showing the dial between
+// locality and strict FIFO — and that total work completed is identical
+// (nothing is lost, only reordered).
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "harness/team.hpp"
+#include "hier/hier_qsv.hpp"
+#include "platform/rng.hpp"
+#include "platform/timing.hpp"
+
+namespace {
+
+struct WorkItem {
+  std::uint32_t id;
+  std::uint32_t cost;  // busy-loop iterations
+};
+
+constexpr std::size_t kWorkers = 8;
+constexpr std::size_t kCohortSize = 4;
+constexpr std::uint32_t kItems = 40000;
+
+/// One farm run under the given budget; returns {seconds, passes, acqs}.
+struct FarmResult {
+  double seconds;
+  std::uint64_t local_passes;
+  std::uint64_t global_acquires;
+  std::uint64_t completed;
+};
+
+FarmResult run_farm(std::size_t budget) {
+  using Events = qsv::hier::CountingHierEvents;
+  Events::reset();
+  qsv::hier::HierQsvMutex<qsv::platform::SpinWait, Events> lock(kCohortSize,
+                                                                budget);
+  std::deque<WorkItem> queue;  // guarded by `lock`
+  qsv::platform::SplitMix64 rng(42);
+  for (std::uint32_t i = 0; i < kItems; ++i) {
+    queue.push_back(WorkItem{i, static_cast<std::uint32_t>(
+                                    64 + (rng.next() & 255))});
+  }
+
+  std::vector<std::uint64_t> done(kWorkers, 0);
+  const auto t0 = qsv::platform::now_ns();
+  qsv::harness::ThreadTeam::run(kWorkers, [&](std::size_t rank) {
+    std::uint64_t n = 0;
+    for (;;) {
+      lock.lock();
+      if (queue.empty()) {
+        lock.unlock();
+        break;
+      }
+      const WorkItem item = queue.front();
+      queue.pop_front();
+      lock.unlock();
+      // Simulated work outside the lock.
+      volatile std::uint32_t sink = 0;
+      for (std::uint32_t i = 0; i < item.cost; ++i) sink = sink + i;
+      ++n;
+    }
+    done[rank] = n;
+  });
+  const double secs =
+      static_cast<double>(qsv::platform::now_ns() - t0) * 1e-9;
+
+  std::uint64_t total = 0;
+  for (auto d : done) total += d;
+  return FarmResult{secs, Events::local_passes.load(),
+                    Events::global_acquires.load(), total};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("work_crew — %zu workers in cohorts of %zu, %u items\n\n",
+              kWorkers, kCohortSize, kItems);
+  std::printf("%8s %10s %14s %14s %10s\n", "budget", "seconds",
+              "local passes", "global acqs", "items");
+  for (const std::size_t budget : {0ul, 8ul, 64ul}) {
+    const FarmResult r = run_farm(budget);
+    std::printf("%8zu %10.3f %14llu %14llu %10llu%s\n", budget, r.seconds,
+                static_cast<unsigned long long>(r.local_passes),
+                static_cast<unsigned long long>(r.global_acquires),
+                static_cast<unsigned long long>(r.completed),
+                r.completed == kItems ? "" : "  << LOST WORK");
+    if (r.completed != kItems) return 1;
+  }
+  std::printf("\nHigher budgets convert global round trips into "
+              "intra-cohort passes;\nevery run completes all %u items — "
+              "the dial trades fairness for locality,\nnever "
+              "correctness.\n", kItems);
+  return 0;
+}

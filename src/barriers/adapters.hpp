@@ -1,0 +1,25 @@
+// adapters.hpp — std::barrier behind the PhaseBarrier concept.
+#pragma once
+
+#include <barrier>
+#include <cstddef>
+
+namespace qsv::barriers {
+
+/// C++20 std::barrier — the modern baseline episode synchronizer.
+class StdBarrierAdapter {
+ public:
+  explicit StdBarrierAdapter(std::size_t n)
+      : n_(n), barrier_(static_cast<std::ptrdiff_t>(n)) {}
+
+  void arrive_and_wait(std::size_t /*rank*/ = 0) { barrier_.arrive_and_wait(); }
+
+  std::size_t team_size() const noexcept { return n_; }
+  static constexpr const char* name() noexcept { return "std::barrier"; }
+
+ private:
+  std::size_t n_;
+  std::barrier<> barrier_;
+};
+
+}  // namespace qsv::barriers

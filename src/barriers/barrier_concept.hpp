@@ -1,0 +1,21 @@
+// barrier_concept.hpp — the episode-synchronization interface.
+//
+// All libqsv barriers are constructed for a fixed team of `n` threads and
+// synchronize an unbounded sequence of episodes. Algorithms that need a
+// dense team-relative rank take it as a parameter; callers pass the same
+// rank every episode.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+
+namespace qsv::barriers {
+
+template <typename B>
+concept PhaseBarrier = requires(B b, std::size_t rank) {
+  { b.arrive_and_wait(rank) } -> std::same_as<void>;
+  { b.team_size() } -> std::convertible_to<std::size_t>;
+  { B::name() } -> std::convertible_to<const char*>;
+};
+
+}  // namespace qsv::barriers

@@ -1,0 +1,54 @@
+// central.hpp — centralized counter barrier.
+//
+// The strawman: one shared arrival counter plus one episode word everyone
+// spins on. O(P) RMWs on one line per episode and an O(P)-wide
+// invalidation at release — the traffic experiment F5 quantifies.
+// Episodes are tracked by a monotonic counter rather than a flipped
+// "sense" flag; this is immune to episode-overlap bugs by construction
+// (a thread can be at most one episode ahead of the slowest).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "platform/arch.hpp"
+#include "platform/cache.hpp"
+#include "platform/wait.hpp"
+
+namespace qsv::barriers {
+
+template <typename Wait = qsv::platform::SpinWait>
+class CentralBarrier {
+ public:
+  explicit CentralBarrier(std::size_t n) : n_(n) {}
+  CentralBarrier(const CentralBarrier&) = delete;
+  CentralBarrier& operator=(const CentralBarrier&) = delete;
+
+  void arrive_and_wait(std::size_t /*rank*/ = 0) noexcept {
+    // Episode I am completing. Relaxed: ordering comes from the episode
+    // publication below.
+    const std::uint32_t epoch = episode_.load(std::memory_order_relaxed);
+    // acq_rel so the last arriver has observed every earlier arriver's
+    // pre-barrier writes before publishing the new episode.
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      episode_.store(epoch + 1, std::memory_order_release);
+      Wait::notify_all(episode_);
+    } else {
+      Wait::wait_while_equal(episode_, epoch);
+    }
+  }
+
+  std::size_t team_size() const noexcept { return n_; }
+  static constexpr const char* name() noexcept { return "central"; }
+
+ private:
+  const std::size_t n_;
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint32_t> arrived_{0};
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint32_t> episode_{0};
+};
+
+}  // namespace qsv::barriers

@@ -1,0 +1,101 @@
+// combining_tree.hpp — software combining tree barrier (Yew/Tzeng/Lawrie
+// style, as evaluated by MCS '91).
+//
+// Threads are partitioned into groups of `kFanIn` at the leaves; the last
+// arriver of each group ("winner") climbs to the parent node, so only
+// O(P/k) threads touch each level and no single counter sees all P RMWs.
+// Release descends the same tree: each winner, once released from above,
+// bumps its node's release epoch to wake the group it beat.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "platform/arch.hpp"
+#include "platform/cache.hpp"
+#include "platform/wait.hpp"
+
+namespace qsv::barriers {
+
+template <typename Wait = qsv::platform::SpinWait, std::size_t kFanIn = 4>
+class CombiningTreeBarrier {
+ public:
+  explicit CombiningTreeBarrier(std::size_t n) : n_(n) {
+    // Build levels bottom-up: level 0 has ceil(n/k) nodes over the
+    // threads, each next level groups the winners of the previous one.
+    std::size_t width = n;
+    std::size_t total = 0;
+    do {
+      width = (width + kFanIn - 1) / kFanIn;
+      level_offset_.push_back(total);
+      level_width_.push_back(width);
+      total += width;
+    } while (width > 1);
+    // Single allocation: Node holds atomics and is neither copyable nor
+    // movable, so the vector must never reallocate.
+    nodes_ = std::vector<Node>(total);
+    // Record how many participants each node actually has (the last group
+    // in a level may be partial).
+    std::size_t below = n;
+    for (std::size_t lvl = 0; lvl < level_width_.size(); ++lvl) {
+      for (std::size_t i = 0; i < level_width_[lvl]; ++i) {
+        const std::size_t lo = i * kFanIn;
+        const std::size_t hi = std::min(below, lo + kFanIn);
+        node(lvl, i).fan_in = hi - lo;
+      }
+      below = level_width_[lvl];
+    }
+  }
+  CombiningTreeBarrier(const CombiningTreeBarrier&) = delete;
+  CombiningTreeBarrier& operator=(const CombiningTreeBarrier&) = delete;
+
+  void arrive_and_wait(std::size_t rank) noexcept {
+    ascend(0, rank / kFanIn);
+  }
+
+  std::size_t team_size() const noexcept { return n_; }
+  static constexpr const char* name() noexcept { return "combining-tree"; }
+
+  /// Number of internal nodes (space accounting).
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  struct alignas(qsv::platform::kFalseSharingRange) Node {
+    std::atomic<std::uint32_t> arrived{0};
+    std::atomic<std::uint32_t> release_epoch{0};
+    std::size_t fan_in = 0;
+  };
+
+  Node& node(std::size_t lvl, std::size_t i) noexcept {
+    return nodes_[level_offset_[lvl] + i];
+  }
+
+  void ascend(std::size_t lvl, std::size_t idx) noexcept {
+    Node& nd = node(lvl, idx);
+    const std::uint32_t epoch =
+        nd.release_epoch.load(std::memory_order_relaxed);
+    // acq_rel: winner must observe losers' pre-barrier writes.
+    if (nd.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        nd.fan_in) {
+      // Winner: reset for the next episode and climb (or finish at root).
+      nd.arrived.store(0, std::memory_order_relaxed);
+      if (lvl + 1 < level_width_.size()) {
+        ascend(lvl + 1, idx / kFanIn);
+      }
+      // Released from above (or root): wake this node's group.
+      nd.release_epoch.store(epoch + 1, std::memory_order_release);
+      Wait::notify_all(nd.release_epoch);
+    } else {
+      Wait::wait_while_equal(nd.release_epoch, epoch);
+    }
+  }
+
+  const std::size_t n_;
+  std::vector<Node> nodes_;
+  std::vector<std::size_t> level_offset_;
+  std::vector<std::size_t> level_width_;
+};
+
+}  // namespace qsv::barriers

@@ -1,0 +1,77 @@
+// dissemination.hpp — dissemination barrier (Hensgen/Finkel/Manber 1988).
+//
+// ceil(log2 P) rounds; in round k, thread i signals thread
+// (i + 2^k) mod P and waits for a signal from (i - 2^k) mod P. No thread
+// ever spins on a location another waiter writes, total traffic is
+// O(P log P) point-to-point signals, and latency is the log P critical
+// path — the best of the pure-software 1991 barriers on scalable
+// networks. Signals are monotonic per-round counters, so episodes never
+// need sense reversal.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "platform/arch.hpp"
+#include "platform/cache.hpp"
+#include "platform/wait.hpp"
+
+namespace qsv::barriers {
+
+template <typename Wait = qsv::platform::SpinWait>
+class DisseminationBarrier {
+ public:
+  explicit DisseminationBarrier(std::size_t n)
+      : n_(n),
+        rounds_(qsv::platform::ceil_log2(n == 0 ? 1 : n)),
+        flags_(n * std::max<std::size_t>(rounds_, 1)),
+        episode_(n) {
+    for (std::size_t i = 0; i < flags_.size(); ++i) {
+      flags_[i].store(0, std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < n; ++i) episode_[i] = 0;
+  }
+
+  std::size_t flag_slots() const noexcept { return flags_.size(); }
+  DisseminationBarrier(const DisseminationBarrier&) = delete;
+  DisseminationBarrier& operator=(const DisseminationBarrier&) = delete;
+
+  void arrive_and_wait(std::size_t rank) noexcept {
+    if (n_ <= 1) return;
+    const std::uint32_t epoch = ++episode_[rank];  // my episode, 1-based
+    std::size_t dist = 1;
+    for (std::size_t k = 0; k < rounds_; ++k, dist <<= 1) {
+      // Signal my round-k partner: bump their inbound counter. release
+      // publishes everything I have seen so far this episode.
+      auto& out = flag(k, (rank + dist) % n_);
+      out.fetch_add(1, std::memory_order_release);
+      Wait::notify_all(out);
+      // Wait until my inbound counter reaches my episode.
+      auto& in = flag(k, rank);
+      while (in.load(std::memory_order_acquire) < epoch) {
+        qsv::platform::cpu_relax();
+      }
+    }
+  }
+
+  std::size_t team_size() const noexcept { return n_; }
+  std::size_t rounds() const noexcept { return rounds_; }
+  static constexpr const char* name() noexcept { return "dissemination"; }
+
+ private:
+  std::atomic<std::uint32_t>& flag(std::size_t round,
+                                   std::size_t rank) noexcept {
+    return flags_[round * n_ + rank];
+  }
+
+  const std::size_t n_;
+  const std::size_t rounds_;
+  qsv::platform::PaddedArray<std::atomic<std::uint32_t>> flags_;
+  // Per-rank episode number, written only by its owner; padded so two
+  // owners never share a line.
+  qsv::platform::PaddedArray<std::uint32_t> episode_;
+};
+
+}  // namespace qsv::barriers

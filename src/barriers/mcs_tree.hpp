@@ -1,0 +1,82 @@
+// mcs_tree.hpp — MCS static tree barrier (Mellor-Crummey & Scott 1991).
+//
+// Arrival climbs a static 4-ary tree (each parent waits for its <= 4
+// children, then reports to its own parent); wakeup descends a static
+// binary tree. Every flag has exactly one writer and one reader per
+// episode and each thread spins on O(1) statically-assigned locations —
+// the minimal-traffic barrier of the era and the shape QSV's episode
+// mode borrows. Monotonic episode counters replace the original's
+// sense-reversed booleans.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "platform/arch.hpp"
+#include "platform/cache.hpp"
+#include "platform/wait.hpp"
+
+namespace qsv::barriers {
+
+template <typename Wait = qsv::platform::SpinWait>
+class McsTreeBarrier {
+ public:
+  static constexpr std::size_t kArrivalFanIn = 4;
+
+  explicit McsTreeBarrier(std::size_t n) : n_(n), slots_(n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      slots_[i].arrival.store(0, std::memory_order_relaxed);
+      slots_[i].release.store(0, std::memory_order_relaxed);
+      slots_[i].episode = 0;
+    }
+  }
+  McsTreeBarrier(const McsTreeBarrier&) = delete;
+  McsTreeBarrier& operator=(const McsTreeBarrier&) = delete;
+
+  void arrive_and_wait(std::size_t rank) noexcept {
+    if (n_ <= 1) return;
+    Slot& me = slots_[rank];
+    const std::uint32_t epoch = ++me.episode;
+
+    // --- Arrival phase: 4-ary tree, children report to parents. ---
+    for (std::size_t c = 0; c < kArrivalFanIn; ++c) {
+      const std::size_t child = rank * kArrivalFanIn + 1 + c;
+      if (child >= n_) break;
+      // acquire pairs with the child's release store of its arrival.
+      auto& f = slots_[child].arrival;
+      while (f.load(std::memory_order_acquire) < epoch) {
+        qsv::platform::cpu_relax();
+      }
+    }
+    if (rank != 0) {
+      // Report my subtree's arrival to my parent's poll of my flag.
+      me.arrival.store(epoch, std::memory_order_release);
+      // --- Wakeup phase: wait for my binary-tree parent's release. ---
+      Wait::wait_while_equal(me.release, epoch - 1);
+    }
+    // Release my binary-tree children.
+    for (std::size_t c = 1; c <= 2; ++c) {
+      const std::size_t child = 2 * rank + c;
+      if (child >= n_) break;
+      auto& f = slots_[child].release;
+      f.store(epoch, std::memory_order_release);
+      Wait::notify_all(f);
+    }
+  }
+
+  std::size_t team_size() const noexcept { return n_; }
+  static constexpr const char* name() noexcept { return "mcs-tree"; }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint32_t> arrival{0};
+    std::atomic<std::uint32_t> release{0};
+    std::uint32_t episode = 0;  // owner-private
+  };
+
+  const std::size_t n_;
+  qsv::platform::PaddedArray<Slot> slots_;
+};
+
+}  // namespace qsv::barriers

@@ -1,0 +1,56 @@
+#include "barriers/registry.hpp"
+
+#include "barriers/adapters.hpp"
+#include "barriers/central.hpp"
+#include "barriers/combining_tree.hpp"
+#include "barriers/dissemination.hpp"
+#include "barriers/mcs_tree.hpp"
+#include "barriers/tournament.hpp"
+
+namespace qsv::barriers {
+
+namespace {
+
+template <typename B>
+class Erased final : public AnyBarrier {
+ public:
+  explicit Erased(std::size_t team) : impl_(team) {}
+  void arrive_and_wait(std::size_t rank) override {
+    impl_.arrive_and_wait(rank);
+  }
+  std::size_t team_size() const override { return impl_.team_size(); }
+
+ private:
+  B impl_;
+};
+
+template <typename B>
+BarrierFactory make(const char* display) {
+  return BarrierFactory{display,
+                        [](std::size_t team) -> std::unique_ptr<AnyBarrier> {
+                          return std::make_unique<Erased<B>>(team);
+                        }};
+}
+
+}  // namespace
+
+const std::vector<BarrierFactory>& barrier_registry() {
+  static const std::vector<BarrierFactory> registry = {
+      make<CentralBarrier<>>("central"),
+      make<CombiningTreeBarrier<>>("combining-tree"),
+      make<TournamentBarrier<>>("tournament"),
+      make<DisseminationBarrier<>>("dissemination"),
+      make<McsTreeBarrier<>>("mcs-tree"),
+      make<StdBarrierAdapter>("std::barrier"),
+  };
+  return registry;
+}
+
+const BarrierFactory* find_barrier(const std::string& name) {
+  for (const auto& f : barrier_registry()) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace qsv::barriers

@@ -1,0 +1,28 @@
+// registry.hpp — type-erased catalogue of episode-synchronization
+// algorithms (see locks/registry.hpp for the rationale).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qsv::barriers {
+
+class AnyBarrier {
+ public:
+  virtual ~AnyBarrier() = default;
+  virtual void arrive_and_wait(std::size_t rank) = 0;
+  virtual std::size_t team_size() const = 0;
+};
+
+struct BarrierFactory {
+  std::string name;
+  std::function<std::unique_ptr<AnyBarrier>(std::size_t team)> make;
+};
+
+const std::vector<BarrierFactory>& barrier_registry();
+const BarrierFactory* find_barrier(const std::string& name);
+
+}  // namespace qsv::barriers

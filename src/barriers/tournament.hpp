@@ -1,0 +1,85 @@
+// tournament.hpp — tournament barrier (Hensgen/Finkel/Manber 1988,
+// as measured by MCS '91 §3.3).
+//
+// Pairings are fixed by rank bits, so each round's "loser" knows
+// statically whom to signal and needs no RMW at all: arrival is one
+// ordinary store per round on the loser side, and the champion (rank 0)
+// broadcasts release through a single global episode word. All spinning
+// is on locations written by exactly one other thread.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "platform/arch.hpp"
+#include "platform/cache.hpp"
+#include "platform/thread_id.hpp"
+#include "platform/wait.hpp"
+
+namespace qsv::barriers {
+
+template <typename Wait = qsv::platform::SpinWait>
+class TournamentBarrier {
+ public:
+  explicit TournamentBarrier(std::size_t n)
+      : n_(n),
+        rounds_(qsv::platform::ceil_log2(n == 0 ? 1 : n)),
+        arrive_flags_(n * std::max<std::size_t>(rounds_, 1)) {
+    for (std::size_t i = 0; i < arrive_flags_.size(); ++i) {
+      arrive_flags_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+  TournamentBarrier(const TournamentBarrier&) = delete;
+  TournamentBarrier& operator=(const TournamentBarrier&) = delete;
+
+  void arrive_and_wait(std::size_t rank) noexcept {
+    if (n_ <= 1) return;
+    const std::uint32_t epoch = episode_.load(std::memory_order_relaxed);
+    std::size_t bit = 1;
+    for (std::size_t k = 0; k < rounds_; ++k, bit <<= 1) {
+      if ((rank & bit) != 0) {
+        // Loser of round k: signal my winner (rank with this bit clear),
+        // then go straight to the release wait. release publishes my
+        // pre-barrier writes to the winner's acquire.
+        auto& f = flag(k, rank);
+        f.store(epoch + 1, std::memory_order_release);
+        break;
+      }
+      const std::size_t partner = rank | bit;
+      if (partner < n_) {
+        // Winner of round k: wait for my loser's arrival.
+        auto& f = flag(k, partner);
+        while (f.load(std::memory_order_acquire) != epoch + 1) {
+          qsv::platform::cpu_relax();
+        }
+      }
+      // No partner (team not a power of two): advance unopposed.
+    }
+    if (rank == 0) {
+      // Champion: everyone has arrived; broadcast the new episode.
+      episode_.store(epoch + 1, std::memory_order_release);
+      Wait::notify_all(episode_);
+    } else {
+      Wait::wait_while_equal(episode_, epoch);
+    }
+  }
+
+  std::size_t team_size() const noexcept { return n_; }
+  std::size_t rounds() const noexcept { return rounds_; }
+  static constexpr const char* name() noexcept { return "tournament"; }
+
+ private:
+  std::atomic<std::uint32_t>& flag(std::size_t round,
+                                   std::size_t rank) noexcept {
+    return arrive_flags_[round * n_ + rank];
+  }
+
+  const std::size_t n_;
+  const std::size_t rounds_;
+  qsv::platform::PaddedArray<std::atomic<std::uint32_t>> arrive_flags_;
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint32_t> episode_{0};
+};
+
+}  // namespace qsv::barriers

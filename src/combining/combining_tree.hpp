@@ -1,0 +1,240 @@
+// combining_tree.hpp — software combining tree fetch&add.
+//
+// Goodman, Vernon & Woest / Yew, Tzeng & Lawrie's idea, in the standard
+// textbook formulation: concurrent additions meet in a binary tree,
+// combine their deltas on the way up, apply one combined RMW at the root,
+// and distribute the intermediate "prior" values on the way down. Under
+// saturation the root sees O(log P)-combined batches instead of P
+// serialized RMWs. Linearizable: every caller receives a distinct prior
+// value exactly as if the additions were applied one at a time.
+//
+// Thread placement: the calling thread's dense index (platform
+// thread_index) selects a leaf; at most two threads share a leaf, which
+// bounds concurrency at every node to the FIRST/SECOND pair the protocol
+// expects.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "platform/arch.hpp"
+#include "platform/cache.hpp"
+#include "platform/thread_id.hpp"
+
+namespace qsv::combining {
+
+class CombiningTree {
+ public:
+  /// `capacity`: maximum dense thread index + 1 that will ever operate on
+  /// this counter.
+  explicit CombiningTree(std::size_t capacity) {
+    const std::size_t leaves = qsv::platform::next_pow2(
+        std::max<std::size_t>(1, (capacity + 1) / 2));
+    // A perfect binary tree with `leaves` leaves has 2*leaves - 1 nodes;
+    // node 0 is the root, children of i are 2i+1 and 2i+2.
+    nodes_ = std::vector<Node>(2 * leaves - 1);
+    leaf_base_ = leaves - 1;
+    nodes_[0].is_root = true;
+  }
+  CombiningTree(const CombiningTree&) = delete;
+  CombiningTree& operator=(const CombiningTree&) = delete;
+
+  /// Linearizable fetch&add: returns the counter value immediately before
+  /// this call's delta was applied.
+  std::int64_t fetch_add(std::int64_t delta) {
+    const std::size_t tid = qsv::platform::thread_index();
+    const std::size_t leaf = leaf_base_ + (tid / 2) % (leaf_base_ + 1);
+
+    // --- Precombining: reserve a path upward until someone else already
+    // owns the meeting node (we become SECOND there) or we hit the root.
+    std::size_t stop = leaf;
+    for (std::size_t n = leaf; precombine(n); n = parent(n)) {
+      stop = parent(n);
+    }
+
+    // --- Combining: climb from the leaf to `stop`, merging deltas of
+    // SECOND threads parked along the way.
+    std::int64_t combined = delta;
+    std::size_t path[kMaxDepth];
+    std::size_t depth = 0;
+    for (std::size_t n = leaf; n != stop; n = parent(n)) {
+      combined = combine(n, combined);
+      assert(depth < kMaxDepth);
+      path[depth++] = n;
+    }
+
+    // --- Operation at the stop node: apply at root, or deposit as the
+    // SECOND thread and wait for our result.
+    const std::int64_t prior = op(stop, combined);
+
+    // --- Distribution: walk back down handing out priors.
+    while (depth > 0) {
+      distribute(path[--depth], prior);
+    }
+    return prior;
+  }
+
+  /// Current value (quiescent accuracy; concurrent adds may be in flight).
+  std::int64_t read() const noexcept {
+    return nodes_[0].result.load(std::memory_order_acquire);
+  }
+
+  static constexpr const char* name() noexcept { return "combining-tree"; }
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  enum class Status : std::uint8_t { kIdle, kFirst, kSecond, kResult };
+  static constexpr std::size_t kMaxDepth = 64;
+
+  struct alignas(qsv::platform::kFalseSharingRange) Node {
+    // TTAS latch guarding the fields below (the "synchronized" monitor).
+    std::atomic<std::uint32_t> latch{0};
+    // Protocol state, all accessed under latch_.
+    Status status = Status::kIdle;
+    bool busy = false;  // "locked" in the textbook: mid-combine, hands off
+    std::int64_t first_value = 0;
+    std::int64_t second_value = 0;
+    bool is_root = false;
+    // Root accumulator / per-node result slot. Atomic so read() can peek.
+    std::atomic<std::int64_t> result{0};
+  };
+
+  static std::size_t parent(std::size_t n) noexcept { return (n - 1) / 2; }
+
+  void lock_node(Node& n) noexcept {
+    for (;;) {
+      while (n.latch.load(std::memory_order_relaxed) != 0) {
+        qsv::platform::cpu_relax();
+      }
+      if (n.latch.exchange(1, std::memory_order_acquire) == 0) return;
+    }
+  }
+  void unlock_node(Node& n) noexcept {
+    n.latch.store(0, std::memory_order_release);
+  }
+
+  /// Spin until `n.busy` is false, holding the latch on return.
+  void lock_when_not_busy(Node& n) noexcept {
+    lock_node(n);
+    while (n.busy) {
+      unlock_node(n);
+      qsv::platform::cpu_relax();
+      lock_node(n);
+    }
+  }
+
+  /// True = keep climbing (we are the FIRST thread through this node).
+  bool precombine(std::size_t idx) {
+    Node& n = nodes_[idx];
+    lock_when_not_busy(n);
+    bool climb;
+    if (n.is_root) {
+      // The root never pairs: every climber that reaches it stops and
+      // applies its combined delta directly in op(), serialized by the
+      // latch. (Pairing at the root would let both climbers believe they
+      // were SECOND.)
+      climb = false;
+    } else {
+      switch (n.status) {
+        case Status::kIdle:
+          n.status = Status::kFirst;
+          climb = true;
+          break;
+        case Status::kFirst:
+          // Someone is already climbing through here: park our delta at
+          // this node. busy blocks their combine() until op() deposits.
+          n.busy = true;
+          n.status = Status::kSecond;
+          climb = false;
+          break;
+        default:
+          assert(false && "combining tree: >2 concurrent threads at a node");
+          climb = false;
+          break;
+      }
+    }
+    unlock_node(n);
+    return climb;
+  }
+
+  /// Merge a parked SECOND's delta (if any) into ours at node idx.
+  std::int64_t combine(std::size_t idx, std::int64_t combined) {
+    Node& n = nodes_[idx];
+    lock_when_not_busy(n);
+    n.busy = true;  // we will come back through distribute()
+    n.first_value = combined;
+    std::int64_t out;
+    switch (n.status) {
+      case Status::kFirst:
+        out = combined;
+        break;
+      case Status::kSecond:
+        out = combined + n.second_value;
+        break;
+      default:
+        assert(false && "combining tree: combine on idle/result node");
+        out = combined;
+        break;
+    }
+    unlock_node(n);
+    return out;
+  }
+
+  /// Apply the combined delta at the stop node.
+  std::int64_t op(std::size_t idx, std::int64_t combined) {
+    Node& n = nodes_[idx];
+    lock_node(n);
+    if (n.is_root) {
+      // Apply to the accumulator directly, serialized by the latch.
+      const std::int64_t prior = n.result.load(std::memory_order_relaxed);
+      n.result.store(prior + combined, std::memory_order_relaxed);
+      unlock_node(n);
+      return prior;
+    }
+    assert(n.status == Status::kSecond);
+    // Deposit our combined delta for the FIRST thread to carry up, then
+    // wait for it to come back down with our prior.
+    n.second_value = combined;
+    n.busy = false;  // unblocks FIRST's combine() at this node
+    while (n.status != Status::kResult) {
+      unlock_node(n);
+      qsv::platform::cpu_relax();
+      lock_node(n);
+    }
+    const std::int64_t prior = n.result.load(std::memory_order_relaxed);
+    n.status = Status::kIdle;
+    n.busy = false;
+    unlock_node(n);
+    return prior;
+  }
+
+  /// Hand results down to the SECOND thread parked at node idx (if any).
+  void distribute(std::size_t idx, std::int64_t prior) {
+    Node& n = nodes_[idx];
+    lock_node(n);
+    switch (n.status) {
+      case Status::kFirst:
+        // No one was parked here after all: release the node.
+        n.status = Status::kIdle;
+        n.busy = false;
+        break;
+      case Status::kSecond:
+        // SECOND's share starts after our own portion (first_value).
+        n.result.store(prior + n.first_value, std::memory_order_relaxed);
+        n.status = Status::kResult;  // op() observes under the latch
+        break;
+      default:
+        assert(false && "combining tree: distribute on idle/result node");
+        break;
+    }
+    unlock_node(n);
+  }
+
+  std::vector<Node> nodes_;
+  std::size_t leaf_base_ = 0;
+};
+
+}  // namespace qsv::combining

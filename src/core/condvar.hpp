@@ -1,0 +1,68 @@
+// condvar.hpp — epoch-based condition variable for QSV mutexes.
+//
+// Minimal condition synchronization on the mechanism: waiting snapshots
+// an epoch, releases the mutex, and blocks until the epoch moves; every
+// notify advances the epoch. Spurious wakeups are permitted (as in every
+// condition variable); use the predicate form. notify_one provides
+// at-least-one semantics (with spin waiters it is indistinguishable from
+// notify_all; with parked waiters it wakes one).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "platform/arch.hpp"
+#include "platform/cache.hpp"
+
+namespace qsv::core {
+
+class QsvCondVar {
+ public:
+  QsvCondVar() = default;
+  QsvCondVar(const QsvCondVar&) = delete;
+  QsvCondVar& operator=(const QsvCondVar&) = delete;
+
+  /// `mutex` must be held; it is released while blocked and re-held on
+  /// return. May wake spuriously.
+  template <typename Mutex>
+  void wait(Mutex& mutex) {
+    // Snapshot under the mutex: a notifier that runs after our unlock
+    // necessarily increments past this value, so no wakeup is lost.
+    const std::uint32_t e = epoch_.load(std::memory_order_relaxed);
+    mutex.unlock();
+    for (std::uint32_t i = 0; i < kSpinPolls; ++i) {
+      if (epoch_.load(std::memory_order_acquire) != e) break;
+      qsv::platform::cpu_relax();
+    }
+    while (epoch_.load(std::memory_order_acquire) == e) {
+      epoch_.wait(e, std::memory_order_acquire);
+    }
+    mutex.lock();
+  }
+
+  /// Predicate form: loops until `pred()` holds (the only safe idiom).
+  template <typename Mutex, typename Pred>
+  void wait(Mutex& mutex, Pred pred) {
+    while (!pred()) wait(mutex);
+  }
+
+  void notify_one() noexcept {
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_one();
+  }
+
+  void notify_all() noexcept {
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+  }
+
+  static constexpr const char* name() noexcept { return "qsv-condvar"; }
+
+ private:
+  static constexpr std::uint32_t kSpinPolls = 256;
+
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint32_t> epoch_{0};
+};
+
+}  // namespace qsv::core

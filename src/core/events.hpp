@@ -1,0 +1,63 @@
+// events.hpp — optional protocol-event instrumentation for QSV
+// primitives. The default NullEvents sink compiles to nothing; benches
+// instantiate primitives with CountingEvents to report fast-path /
+// handoff mixes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace qsv::core {
+
+/// Snapshot of protocol-event tallies.
+struct EventCounts {
+  std::uint64_t uncontended_acquires = 0;  ///< got the word with queue empty
+  std::uint64_t queued_acquires = 0;       ///< had to enqueue and wait
+  std::uint64_t direct_handoffs = 0;       ///< release found a waiter
+  std::uint64_t free_releases = 0;         ///< release found empty queue
+};
+
+/// No-op event sink (default): zero cost.
+struct NullEvents {
+  static void count_uncontended() noexcept {}
+  static void count_queued() noexcept {}
+  static void count_handoff() noexcept {}
+  static void count_free_release() noexcept {}
+};
+
+/// Process-global relaxed counters (bench instrumentation only; not part
+/// of the synchronization protocol).
+struct CountingEvents {
+  static inline std::atomic<std::uint64_t> uncontended{0};
+  static inline std::atomic<std::uint64_t> queued{0};
+  static inline std::atomic<std::uint64_t> handoffs{0};
+  static inline std::atomic<std::uint64_t> free_releases{0};
+
+  static void count_uncontended() noexcept {
+    uncontended.fetch_add(1, std::memory_order_relaxed);
+  }
+  static void count_queued() noexcept {
+    queued.fetch_add(1, std::memory_order_relaxed);
+  }
+  static void count_handoff() noexcept {
+    handoffs.fetch_add(1, std::memory_order_relaxed);
+  }
+  static void count_free_release() noexcept {
+    free_releases.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  static EventCounts snapshot() noexcept {
+    return EventCounts{uncontended.load(std::memory_order_relaxed),
+                       queued.load(std::memory_order_relaxed),
+                       handoffs.load(std::memory_order_relaxed),
+                       free_releases.load(std::memory_order_relaxed)};
+  }
+  static void reset() noexcept {
+    uncontended.store(0, std::memory_order_relaxed);
+    queued.store(0, std::memory_order_relaxed);
+    handoffs.store(0, std::memory_order_relaxed);
+    free_releases.store(0, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace qsv::core

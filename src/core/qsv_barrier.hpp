@@ -1,0 +1,93 @@
+// qsv_barrier.hpp — episode synchronization on a synchronization variable.
+//
+// The QSV episode protocol reuses the exclusive-mode machinery verbatim:
+// arrivers enqueue nodes onto the variable with fetch&store and spin
+// locally in their own node. The difference is the grant rule — the
+// arrival that completes the episode detaches the whole accumulated queue
+// with one exchange and walks it, granting every waiter with one store to
+// the line that waiter is watching. Two shared RMWs per arrival, local
+// spinning for everyone, and the release fan-out is a linear walk by one
+// thread (compare: central barrier's O(P)-wide invalidation storm, tree
+// barriers' log-depth handoffs — experiment F4 ranks them).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "platform/arch.hpp"
+#include "platform/cache.hpp"
+#include "platform/node_arena.hpp"
+#include "platform/wait.hpp"
+
+namespace qsv::core {
+
+template <typename Wait = qsv::platform::SpinWait>
+class QsvBarrier {
+ public:
+  explicit QsvBarrier(std::size_t n) : n_(static_cast<std::uint32_t>(n)) {}
+  QsvBarrier(const QsvBarrier&) = delete;
+  QsvBarrier& operator=(const QsvBarrier&) = delete;
+
+  void arrive_and_wait(std::size_t /*rank*/ = 0) {
+    Node* n = Arena::instance().acquire();
+    n->state.store(kWaiting, std::memory_order_relaxed);
+    // Enqueue onto the variable (same fetch&store as the mutex path).
+    Node* prev = var_.exchange(n, std::memory_order_acq_rel);
+    n->prev.store(prev, std::memory_order_relaxed);
+    // Count the arrival. acq_rel makes every earlier arriver's enqueue
+    // (and pre-barrier writes) happen-before the closing arrival below.
+    const std::uint32_t c = arrived_.fetch_add(1, std::memory_order_acq_rel);
+    if (c + 1 == n_) {
+      complete_episode(n);
+    } else {
+      Wait::wait_while_equal(n->state, kWaiting);
+      Arena::instance().release(n);
+    }
+  }
+
+  std::size_t team_size() const noexcept { return n_; }
+  static constexpr const char* name() noexcept { return "qsv-episode"; }
+
+ private:
+  static constexpr std::uint32_t kWaiting = 0;
+  static constexpr std::uint32_t kGranted = 1;
+
+  struct Node {
+    std::atomic<Node*> prev{nullptr};
+    std::atomic<std::uint32_t> state{kWaiting};
+  };
+  using Arena = qsv::platform::NodeArena<Node>;
+
+  void complete_episode(Node* mine) {
+    // Re-arm the counter *before* any grant: a granted thread may
+    // re-arrive immediately, and the grant's release store orders the
+    // reset before its next fetch_add.
+    arrived_.store(0, std::memory_order_relaxed);
+    // Detach the episode's entire queue; the variable is free for the
+    // next episode. All n nodes are present: every arrival enqueued
+    // before it counted, and the count reached n.
+    Node* chain = var_.exchange(nullptr, std::memory_order_acquire);
+    while (chain != nullptr) {
+      // Read the link before granting: after the grant the waiter may
+      // reclaim the node at any moment.
+      Node* p = chain->prev.load(std::memory_order_relaxed);
+      if (chain == mine) {
+        Arena::instance().release(chain);
+      } else {
+        chain->state.store(kGranted, std::memory_order_release);
+        Wait::notify_all(chain->state);
+      }
+      chain = p;
+    }
+  }
+
+  const std::uint32_t n_;
+  /// The synchronization variable: tail of the episode's arrival queue.
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<Node*> var_{nullptr};
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint32_t> arrived_{0};
+};
+
+}  // namespace qsv::core

@@ -1,0 +1,119 @@
+// qsv_mutex.hpp — exclusive entry on a synchronization variable.
+//
+// The QSV exclusive protocol: the variable holds the queue tail (null =
+// free). Acquire is one fetch&store; if a predecessor exists, link behind
+// it and wait on a flag in our own node (local spinning). Release grants
+// the successor with one store to the flag it is watching, or swings the
+// variable back to null with compare&swap when no successor is queued.
+//
+// Per-thread queue nodes come from the platform arena and are tracked in
+// a thread-local held map, so the public interface is node-free:
+// lock()/unlock() like any mutex, and one word of per-variable state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/events.hpp"
+#include "platform/arch.hpp"
+#include "platform/cache.hpp"
+#include "platform/node_arena.hpp"
+#include "platform/wait.hpp"
+
+namespace qsv::core {
+
+template <typename Wait = qsv::platform::SpinWait,
+          typename Events = NullEvents>
+class QsvMutex {
+ public:
+  QsvMutex() = default;
+  QsvMutex(const QsvMutex&) = delete;
+  QsvMutex& operator=(const QsvMutex&) = delete;
+
+  void lock() {
+    Node* n = Arena::instance().acquire();
+    n->next.store(nullptr, std::memory_order_relaxed);
+    n->state.store(kWaiting, std::memory_order_relaxed);
+    // acq_rel: publish our initialized node to the successor-side, and
+    // observe the predecessor node published by the previous fetch&store.
+    Node* pred = var_.exchange(n, std::memory_order_acq_rel);
+    if (pred == nullptr) {
+      Events::count_uncontended();
+    } else {
+      Events::count_queued();
+      // Make ourselves visible to the predecessor's release; its acquire
+      // load of `next` pairs with this release store.
+      pred->next.store(n, std::memory_order_release);
+      Wait::wait_while_equal(n->state, kWaiting);
+    }
+    Held::local().insert(this, n);
+  }
+
+  bool try_lock() {
+    Node* n = Arena::instance().acquire();
+    n->next.store(nullptr, std::memory_order_relaxed);
+    n->state.store(kWaiting, std::memory_order_relaxed);
+    Node* expected = nullptr;
+    if (var_.compare_exchange_strong(expected, n, std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+      Events::count_uncontended();
+      Held::local().insert(this, n);
+      return true;
+    }
+    Arena::instance().release(n);
+    return false;
+  }
+
+  void unlock() {
+    auto& e = Held::local().find(this);
+    Node* n = e.node;
+    Held::local().erase(e);
+    Node* next = n->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      // Nobody linked behind us yet. If the variable still points at our
+      // node the queue is empty: free the variable.
+      Node* expected = n;
+      if (var_.compare_exchange_strong(expected, nullptr,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+        Events::count_free_release();
+        Arena::instance().release(n);
+        return;
+      }
+      // A successor performed the fetch&store but has not linked yet;
+      // the window is a handful of instructions.
+      while ((next = n->next.load(std::memory_order_acquire)) == nullptr) {
+        qsv::platform::cpu_relax();
+      }
+    }
+    Events::count_handoff();
+    // Grant: single store to the line the successor is spinning on.
+    next->state.store(kGranted, std::memory_order_release);
+    Wait::notify_all(next->state);
+    Arena::instance().release(n);
+  }
+
+  static constexpr const char* name() noexcept { return "qsv"; }
+
+  /// Per-variable state is exactly one word (Table 2's headline row).
+  static constexpr std::size_t footprint_bytes() noexcept {
+    return sizeof(std::atomic<void*>);
+  }
+
+ private:
+  static constexpr std::uint32_t kWaiting = 0;
+  static constexpr std::uint32_t kGranted = 1;
+
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    std::atomic<std::uint32_t> state{kWaiting};
+  };
+  using Arena = qsv::platform::NodeArena<Node>;
+  using Held = qsv::platform::HeldMap<Node>;
+
+  /// The synchronization variable itself: queue tail, null when free.
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<Node*> var_{nullptr};
+};
+
+}  // namespace qsv::core

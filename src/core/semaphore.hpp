@@ -1,0 +1,74 @@
+// semaphore.hpp — FIFO counting semaphore on QSV's ticket discipline.
+//
+// Convenience layer over the mechanism: permits are tickets. acquire()
+// takes the next ticket and waits until the grant horizon passes it;
+// release() advances the horizon. FIFO-fair by construction (tickets are
+// served in order), one RMW per operation on either side.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "platform/arch.hpp"
+#include "platform/cache.hpp"
+
+namespace qsv::core {
+
+class QsvSemaphore {
+ public:
+  /// `initial` = number of immediately available permits.
+  explicit QsvSemaphore(std::int64_t initial) : grants_(initial) {}
+  QsvSemaphore(const QsvSemaphore&) = delete;
+  QsvSemaphore& operator=(const QsvSemaphore&) = delete;
+
+  void acquire() {
+    const std::int64_t ticket =
+        tickets_.fetch_add(1, std::memory_order_relaxed);
+    // Spin briefly, then park on the grant horizon via the futex path.
+    for (std::uint32_t i = 0; i < kSpinPolls; ++i) {
+      if (grants_.load(std::memory_order_acquire) > ticket) return;
+      qsv::platform::cpu_relax();
+    }
+    for (;;) {
+      const std::int64_t g = grants_.load(std::memory_order_acquire);
+      if (g > ticket) return;
+      grants_.wait(g, std::memory_order_acquire);
+    }
+  }
+
+  /// Non-blocking: claim a permit only if one is free right now.
+  bool try_acquire() {
+    std::int64_t t = tickets_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (grants_.load(std::memory_order_acquire) <= t) return false;
+      if (tickets_.compare_exchange_weak(t, t + 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  void release(std::int64_t count = 1) {
+    grants_.fetch_add(count, std::memory_order_release);
+    grants_.notify_all();
+  }
+
+  /// Permits currently available (negative = threads waiting).
+  std::int64_t available() const noexcept {
+    return grants_.load(std::memory_order_acquire) -
+           tickets_.load(std::memory_order_acquire);
+  }
+
+  static constexpr const char* name() noexcept { return "qsv-semaphore"; }
+
+ private:
+  static constexpr std::uint32_t kSpinPolls = 512;
+
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::int64_t> tickets_{0};
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::int64_t> grants_;
+};
+
+}  // namespace qsv::core

@@ -1,0 +1,33 @@
+// syncvar.hpp — the Queued Synchronization Variable (QSV) mechanism.
+//
+// This is the reconstructed primary contribution of "A New Synchronization
+// Mechanism" (ICPP 1991); see DESIGN.md for the provenance caveat. The
+// mechanism in one paragraph:
+//
+//   A *synchronization variable* is a single machine word. Threads that
+//   must wait enqueue a per-thread queue node onto the word with one
+//   fetch&store and spin on a flag inside their own node — never on the
+//   shared word — so a release touches exactly the one line the next
+//   waiter is watching. The same word + node protocol serves
+//     * exclusive entry           (QsvMutex),
+//     * shared entry with batched reader admission (QsvRwLock),
+//     * bounded-impatience entry  (QsvTimeoutMutex: waiters may withdraw),
+//     * episode synchronization   (QsvBarrier: the closing arrival walks
+//                                  the accumulated queue, granting all),
+//   plus two convenience layers (QsvSemaphore, QsvCondVar).
+//
+// Waiting is factored out behind platform::WaitPolicy, which is the
+// precise sense in which the mechanism was "superseded by modern
+// futex/atomics": instantiate with SpinWait for 1991 semantics, ParkWait
+// for a futex-era lock, with no change to the protocol (experiment A1).
+//
+// This umbrella header exports the whole public core API.
+#pragma once
+
+#include "core/condvar.hpp"       // IWYU pragma: export
+#include "core/events.hpp"        // IWYU pragma: export
+#include "core/qsv_barrier.hpp"   // IWYU pragma: export
+#include "core/qsv_mutex.hpp"     // IWYU pragma: export
+#include "core/qsv_rwlock.hpp"    // IWYU pragma: export
+#include "core/qsv_timeout.hpp"   // IWYU pragma: export
+#include "core/semaphore.hpp"     // IWYU pragma: export

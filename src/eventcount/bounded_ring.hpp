@@ -1,0 +1,73 @@
+// bounded_ring.hpp — the classic eventcount/sequencer bounded buffer
+// (Reed & Kanodia's construction): N slots, multiple producers and
+// consumers, *no lock anywhere*. Contrast with workload/ring.hpp, which
+// guards the same structure with the QSV mutex + semaphores
+// (experiment F11 races the two).
+//
+// Discipline (producer ticket t from Pseq, consumer ticket t from Cseq):
+//   producer: await IN  == t        (my turn to deposit, orders writers)
+//             await OUT >= t-N+1    (slot t mod N has been emptied)
+//             buf[t mod N] = v; advance(IN)
+//   consumer: await OUT == t        (my turn to remove, orders readers)
+//             await IN  >= t+1      (slot t mod N has been filled)
+//             v = buf[t mod N]; advance(OUT)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "eventcount/eventcount.hpp"
+#include "eventcount/sequencer.hpp"
+#include "platform/cache.hpp"
+
+namespace qsv::eventcount {
+
+/// Bounded multi-producer multi-consumer FIFO on eventcounts.
+/// `Ec` selects the eventcount implementation (EventCount<> or
+/// QueuedEventCount<>), which is the knob experiment F11's ablation
+/// turns.
+template <typename T, typename Ec = EventCount<>>
+class EcBoundedRing {
+ public:
+  explicit EcBoundedRing(std::size_t capacity) : buffer_(capacity) {}
+  EcBoundedRing(const EcBoundedRing&) = delete;
+  EcBoundedRing& operator=(const EcBoundedRing&) = delete;
+
+  /// Blocks while the ring is full (or while earlier producers have not
+  /// yet deposited — deposits are totally ordered by ticket).
+  void push(T value) {
+    const std::uint32_t t = pseq_.ticket();
+    in_.await(t);  // previous producer finished slot t-1
+    if (t >= buffer_.size()) {
+      out_.await(t - static_cast<std::uint32_t>(buffer_.size()) + 1);
+    }
+    buffer_[t % buffer_.size()] = std::move(value);
+    in_.advance();  // publishes the deposit (release)
+  }
+
+  /// Blocks while the ring is empty.
+  T pop() {
+    const std::uint32_t t = cseq_.ticket();
+    out_.await(t);      // previous consumer finished slot t-1
+    in_.await(t + 1);   // slot t has been filled
+    T out = std::move(buffer_[t % buffer_.size()]);
+    out_.advance();  // releases the slot to producer t+N
+    return out;
+  }
+
+  std::size_t capacity() const noexcept { return buffer_.size(); }
+
+  /// Items deposited / removed so far (quiescent diagnostics).
+  std::uint32_t pushed() const noexcept { return in_.read(); }
+  std::uint32_t popped() const noexcept { return out_.read(); }
+
+ private:
+  std::vector<T> buffer_;
+  Sequencer pseq_;
+  Sequencer cseq_;
+  Ec in_;
+  Ec out_;
+};
+
+}  // namespace qsv::eventcount

@@ -1,0 +1,40 @@
+// sequencer.hpp — sequencers: totally-ordered ticket dispensers
+// (Reed & Kanodia's companion primitive to eventcounts).
+//
+// A sequencer hands out consecutive integers, one per ticket() call.
+// Eventcounts order *waiting* (await a count); sequencers order
+// *contenders* (who goes first). Together they express mutual exclusion,
+// bounded buffers, and pipelines — see bounded_ring.hpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "platform/cache.hpp"
+
+namespace qsv::eventcount {
+
+class Sequencer {
+ public:
+  Sequencer() = default;
+  Sequencer(const Sequencer&) = delete;
+  Sequencer& operator=(const Sequencer&) = delete;
+
+  /// Next ticket: 0, 1, 2, ... Unique across all callers.
+  /// relaxed is sufficient: a ticket orders its holder relative to other
+  /// ticket holders only through the eventcount it is later awaited on.
+  std::uint32_t ticket() noexcept {
+    return next_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Tickets handed out so far (diagnostic / sizing).
+  std::uint32_t issued() const noexcept {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint32_t> next_{0};
+};
+
+}  // namespace qsv::eventcount

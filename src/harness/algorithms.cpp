@@ -1,0 +1,112 @@
+#include "harness/algorithms.hpp"
+
+#include "hier/hier_qsv.hpp"
+#include "platform/wait.hpp"
+
+namespace qsv::harness {
+
+namespace {
+
+template <typename L>
+class ErasedLock final : public qsv::locks::AnyLock {
+ public:
+  void lock() override { impl_.lock(); }
+  void unlock() override { impl_.unlock(); }
+  std::size_t footprint() const override { return sizeof(L); }
+
+ private:
+  L impl_;
+};
+
+template <typename L>
+qsv::locks::LockFactory lock_entry(const char* display) {
+  return qsv::locks::LockFactory{
+      display, [](std::size_t) -> std::unique_ptr<qsv::locks::AnyLock> {
+        return std::make_unique<ErasedLock<L>>();
+      }};
+}
+
+template <typename B>
+class ErasedBarrier final : public qsv::barriers::AnyBarrier {
+ public:
+  explicit ErasedBarrier(std::size_t team) : impl_(team) {}
+  void arrive_and_wait(std::size_t rank) override {
+    impl_.arrive_and_wait(rank);
+  }
+  std::size_t team_size() const override { return impl_.team_size(); }
+
+ private:
+  B impl_;
+};
+
+template <typename B>
+qsv::barriers::BarrierFactory barrier_entry(const char* display) {
+  return qsv::barriers::BarrierFactory{
+      display,
+      [](std::size_t team) -> std::unique_ptr<qsv::barriers::AnyBarrier> {
+        return std::make_unique<ErasedBarrier<B>>(team);
+      }};
+}
+
+template <typename L>
+class ErasedRw final : public qsv::rwlocks::AnyRwLock {
+ public:
+  void lock() override { impl_.lock(); }
+  void unlock() override { impl_.unlock(); }
+  void lock_shared() override { impl_.lock_shared(); }
+  void unlock_shared() override { impl_.unlock_shared(); }
+
+ private:
+  L impl_;
+};
+
+template <typename L>
+qsv::rwlocks::RwFactory rw_entry(const char* display) {
+  return qsv::rwlocks::RwFactory{
+      display, []() -> std::unique_ptr<qsv::rwlocks::AnyRwLock> {
+        return std::make_unique<ErasedRw<L>>();
+      }};
+}
+
+}  // namespace
+
+const std::vector<qsv::locks::LockFactory>& all_locks() {
+  static const std::vector<qsv::locks::LockFactory> catalogue = [] {
+    std::vector<qsv::locks::LockFactory> v = qsv::locks::lock_registry();
+    v.push_back(lock_entry<qsv::core::QsvMutex<qsv::platform::SpinWait>>(
+        "qsv"));
+    v.push_back(lock_entry<qsv::core::QsvMutex<qsv::platform::SpinYieldWait>>(
+        "qsv/yield"));
+    v.push_back(lock_entry<qsv::core::QsvMutex<qsv::platform::ParkWait>>(
+        "qsv/park"));
+    v.push_back(lock_entry<qsv::core::QsvTimeoutMutex>("qsv-timeout"));
+    v.push_back(lock_entry<qsv::hier::HierQsvMutex<>>("hier-qsv"));
+    return v;
+  }();
+  return catalogue;
+}
+
+const std::vector<qsv::barriers::BarrierFactory>& all_barriers() {
+  static const std::vector<qsv::barriers::BarrierFactory> catalogue = [] {
+    std::vector<qsv::barriers::BarrierFactory> v =
+        qsv::barriers::barrier_registry();
+    v.push_back(barrier_entry<qsv::core::QsvBarrier<qsv::platform::SpinWait>>(
+        "qsv-episode"));
+    v.push_back(
+        barrier_entry<qsv::core::QsvBarrier<qsv::platform::ParkWait>>(
+            "qsv-episode/park"));
+    return v;
+  }();
+  return catalogue;
+}
+
+const std::vector<qsv::rwlocks::RwFactory>& all_rwlocks() {
+  static const std::vector<qsv::rwlocks::RwFactory> catalogue = [] {
+    std::vector<qsv::rwlocks::RwFactory> v = qsv::rwlocks::rw_registry();
+    v.push_back(rw_entry<qsv::core::QsvRwLock<>>("qsv-rw"));
+    return v;
+  }();
+  return catalogue;
+}
+
+}  // namespace qsv::harness

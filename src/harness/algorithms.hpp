@@ -1,0 +1,27 @@
+// algorithms.hpp — combined catalogues: baselines + the QSV mechanism.
+//
+// The per-module registries (locks/, barriers/, rwlocks/) list only the
+// 1991 baselines; this header overlays the reconstructed contribution so
+// every figure compares "the field" against QSV with one loop.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "barriers/registry.hpp"
+#include "core/syncvar.hpp"
+#include "locks/registry.hpp"
+#include "rwlocks/registry.hpp"
+
+namespace qsv::harness {
+
+/// Locks: baselines followed by QSV variants (spin / yield / park).
+const std::vector<qsv::locks::LockFactory>& all_locks();
+
+/// Barriers: baselines followed by the QSV episode barrier.
+const std::vector<qsv::barriers::BarrierFactory>& all_barriers();
+
+/// Reader-writer locks: baselines followed by QSV shared mode.
+const std::vector<qsv::rwlocks::RwFactory>& all_rwlocks();
+
+}  // namespace qsv::harness

@@ -1,0 +1,73 @@
+// options.hpp — minimal command-line parsing for bench binaries.
+//
+// Every bench accepts the same style of flags: --threads=8 --seconds=0.5
+// --csv. Unknown flags abort with a usage message so typos never silently
+// fall back to defaults.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qsv::harness {
+
+class Options {
+ public:
+  Options(int argc, char** argv, std::vector<std::string> known) {
+    for (const auto& k : known) known_.insert({k, true});
+    known_.insert({"csv", true});
+    known_.insert({"help", true});
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        die(arg, argv[0]);
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      const std::string key = arg.substr(0, eq);
+      if (known_.find(key) == known_.end()) die(key, argv[0]);
+      values_[key] =
+          eq == std::string::npos ? std::string("1") : arg.substr(eq + 1);
+    }
+    if (has("help")) {
+      std::cerr << "flags: --csv --help";
+      for (const auto& [k, v] : known_) {
+        if (k != "csv" && k != "help") std::cerr << " --" << k << "=...";
+      }
+      std::cerr << '\n';
+      std::exit(0);
+    }
+  }
+
+  bool has(const std::string& key) const {
+    return values_.find(key) != values_.end();
+  }
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoull(it->second);
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  bool csv() const { return has("csv"); }
+
+ private:
+  [[noreturn]] void die(const std::string& key, const char* prog) const {
+    std::cerr << prog << ": unknown flag '" << key << "' (try --help)\n";
+    std::exit(2);
+  }
+
+  std::map<std::string, bool> known_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace qsv::harness

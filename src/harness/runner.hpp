@@ -1,0 +1,91 @@
+// runner.hpp — standard measurement loops for the evaluation suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/team.hpp"
+#include "locks/registry.hpp"
+#include "platform/histogram.hpp"
+#include "platform/stats.hpp"
+#include "platform/timing.hpp"
+#include "workload/critical_section.hpp"
+
+namespace qsv::harness {
+
+/// Result of one contention run.
+struct LockRunResult {
+  std::uint64_t total_ops = 0;                 ///< acquire/release pairs
+  double duration_s = 0.0;                     ///< measured wall time
+  std::vector<std::uint64_t> per_thread_ops;   ///< fairness raw data
+  qsv::platform::LogHistogram latency;         ///< merged handoff latency
+  bool mutual_exclusion_ok = true;             ///< integrity check result
+
+  double throughput_mops() const {
+    return duration_s > 0.0
+               ? static_cast<double>(total_ops) / duration_s * 1e-6
+               : 0.0;
+  }
+};
+
+struct LockRunConfig {
+  std::size_t threads = 4;
+  double seconds = 0.5;             ///< steady-state measurement window
+  std::uint64_t cs_ns = 0;          ///< busy time inside the lock
+  std::uint64_t pause_ns = 0;       ///< busy time between acquisitions
+  bool record_latency = false;      ///< per-op timing (adds ~25ns/op)
+  bool pin = true;
+};
+
+/// Drive `threads` workers through acquire/work/release cycles against a
+/// type-erased lock for `seconds`. All workers run identical loops; the
+/// integrity counter detects any mutual-exclusion violation.
+inline LockRunResult run_lock_contention(qsv::locks::AnyLock& lock,
+                                         const LockRunConfig& cfg) {
+  LockRunResult result;
+  result.per_thread_ops.assign(cfg.threads, 0);
+  std::vector<qsv::platform::LogHistogram> histograms(cfg.threads);
+  qsv::workload::GuardedCounter integrity;
+  StopFlag stop;
+
+  const std::uint64_t t0 = qsv::platform::now_ns();
+  const std::uint64_t deadline =
+      t0 + static_cast<std::uint64_t>(cfg.seconds * 1e9);
+
+  ThreadTeam::run(
+      cfg.threads,
+      [&](std::size_t rank) {
+        std::uint64_t ops = 0;
+        auto& hist = histograms[rank];
+        while (!stop.requested()) {
+          const std::uint64_t begin =
+              cfg.record_latency ? qsv::platform::now_ns() : 0;
+          lock.lock();
+          if (cfg.record_latency) {
+            hist.add(qsv::platform::now_ns() - begin);
+          }
+          integrity.bump();
+          if (cfg.cs_ns != 0) qsv::workload::busy_wait_ns(cfg.cs_ns);
+          lock.unlock();
+          if (cfg.pause_ns != 0) qsv::workload::busy_wait_ns(cfg.pause_ns);
+          ++ops;
+          // Rank 0 doubles as the timer to avoid an extra thread.
+          if (rank == 0 && (ops & 0xff) == 0 &&
+              qsv::platform::now_ns() >= deadline) {
+            stop.request();
+          }
+        }
+        result.per_thread_ops[rank] = ops;
+      },
+      cfg.pin);
+
+  result.duration_s =
+      static_cast<double>(qsv::platform::now_ns() - t0) * 1e-9;
+  for (auto ops : result.per_thread_ops) result.total_ops += ops;
+  for (auto& h : histograms) result.latency.merge(h);
+  result.mutual_exclusion_ok =
+      integrity.consistent() && integrity.value() == result.total_ops;
+  return result;
+}
+
+}  // namespace qsv::harness

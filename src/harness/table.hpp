@@ -1,0 +1,81 @@
+// table.hpp — paper-style aligned tables and CSV output.
+//
+// Every bench binary prints (a) a human-readable aligned table mirroring
+// the reconstructed figure/table and (b) optional CSV for replotting.
+#pragma once
+
+#include <cstddef>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace qsv::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Append a row; cells are preformatted strings.
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Format a double with fixed precision (helper for cells).
+  static std::string num(double v, int precision = 1) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  static std::string integer(std::uint64_t v) { return std::to_string(v); }
+
+  /// Render aligned columns to `out`.
+  void print(std::ostream& out = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    print_row(out, headers_, width);
+    std::size_t total = 0;
+    for (auto w : width) total += w + 2;
+    out << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) print_row(out, row, width);
+    out.flush();
+  }
+
+  /// Render as CSV (comma-separated, no quoting needed for our cells).
+  void print_csv(std::ostream& out) const {
+    print_csv_row(out, headers_);
+    for (const auto& row : rows_) print_csv_row(out, row);
+  }
+
+ private:
+  static void print_row(std::ostream& out, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& width) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::setw(static_cast<int>(width[c])) << row[c] << "  ";
+    }
+    out << '\n';
+  }
+  static void print_csv_row(std::ostream& out,
+                            const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qsv::harness

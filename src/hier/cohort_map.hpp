@@ -1,0 +1,57 @@
+// cohort_map.hpp — thread → cohort assignment for hierarchical locks.
+//
+// A *cohort* is a group of threads whose mutual lock handoffs are cheap
+// (same bus segment / NUMA node / shared cache). The 1991 testbeds had
+// this structure physically (Butterfly: processor-per-node; Symmetry:
+// board-level clusters); the hierarchical extension of the QSV mechanism
+// (DESIGN.md experiment F10) exploits it by preferring intra-cohort
+// handoffs up to a fairness budget.
+//
+// On the container we run in there is no discoverable multi-node
+// topology, so the default policy derives cohorts from dense thread
+// indices in round-robin blocks — the same shape a NUMA-aware runtime
+// would produce with one cohort per node — and the NUMA *simulator*
+// (sim/protocols) supplies the ground-truth cost asymmetry.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+#include "platform/thread_id.hpp"
+
+namespace qsv::hier {
+
+/// Assignment of dense thread indices to cohorts: `block` consecutive
+/// indices share a cohort. Immutable after construction; every method is
+/// safe to call concurrently.
+class BlockCohortMap {
+ public:
+  /// `block` = threads per cohort (>= 1). A block of 1 degenerates to
+  /// "every thread its own cohort" (the lock then behaves like a flat
+  /// QSV with an extra indirection — useful as an ablation control).
+  explicit BlockCohortMap(std::size_t block) : block_(block) {
+    assert(block >= 1 && "cohort block must be at least 1");
+  }
+
+  /// Cohort of a dense thread index.
+  std::size_t cohort_of(std::size_t thread_idx) const noexcept {
+    return thread_idx / block_;
+  }
+
+  /// Cohort of the calling thread.
+  std::size_t my_cohort() const noexcept {
+    return cohort_of(qsv::platform::thread_index());
+  }
+
+  /// Upper bound on cohort ids that can appear for `max_threads` threads.
+  std::size_t cohort_count(std::size_t max_threads) const noexcept {
+    return (max_threads + block_ - 1) / block_;
+  }
+
+  std::size_t block() const noexcept { return block_; }
+
+ private:
+  std::size_t block_;
+};
+
+}  // namespace qsv::hier

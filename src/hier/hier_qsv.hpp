@@ -1,0 +1,282 @@
+// hier_qsv.hpp — hierarchical (cohort) extension of the QSV mechanism.
+//
+// The flat QSV mutex hands the lock to waiters in global FIFO order, so
+// on a machine with locality structure (NUMA nodes, bus segments) almost
+// every handoff crosses the expensive part of the interconnect. The
+// hierarchical extension keeps one QSV-style queue *per cohort* of
+// nearby threads plus one global QSV queue *of cohorts*:
+//
+//   * a thread first enqueues on its cohort's local queue;
+//   * the cohort's first waiter acquires the global lock on the cohort's
+//     behalf (with a fresh arena node, so concurrent release/re-acquire
+//     of the same cohort never alias);
+//   * a releasing thread prefers its local successor: up to `budget`
+//     consecutive intra-cohort handoffs pass *both* the local and the
+//     global lock with one store to the successor's flag;
+//   * when the budget is spent (or the local queue empties) the global
+//     lock is released so other cohorts make progress — the budget is
+//     the fairness/throughput dial (experiment F10; budget 0 is the
+//     ablation control that degenerates to flat QSV plus one hop).
+//
+// The protocol needs exactly the QSV instruction repertoire (fetch&store
+// + compare&swap on one word) and its per-thread space is still one node
+// per held lock, so it is a faithful "future work" extension of the 1991
+// mechanism rather than a modern import.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "hier/cohort_map.hpp"
+#include "platform/arch.hpp"
+#include "platform/cache.hpp"
+#include "platform/node_arena.hpp"
+#include "platform/thread_id.hpp"
+#include "platform/wait.hpp"
+
+namespace qsv::hier {
+
+/// Protocol-event sink for the hierarchical lock (see core/events.hpp
+/// for the pattern). Instrument with CountingHierEvents in tests/benches;
+/// the default compiles to nothing.
+struct NullHierEvents {
+  static void count_local_pass() noexcept {}
+  static void count_global_acquire() noexcept {}
+  static void count_global_release() noexcept {}
+};
+
+/// Process-global relaxed tallies (instrumentation only).
+struct CountingHierEvents {
+  static inline std::atomic<std::uint64_t> local_passes{0};
+  static inline std::atomic<std::uint64_t> global_acquires{0};
+  static inline std::atomic<std::uint64_t> global_releases{0};
+
+  static void count_local_pass() noexcept {
+    local_passes.fetch_add(1, std::memory_order_relaxed);
+  }
+  static void count_global_acquire() noexcept {
+    global_acquires.fetch_add(1, std::memory_order_relaxed);
+  }
+  static void count_global_release() noexcept {
+    global_releases.fetch_add(1, std::memory_order_relaxed);
+  }
+  static void reset() noexcept {
+    local_passes.store(0, std::memory_order_relaxed);
+    global_acquires.store(0, std::memory_order_relaxed);
+    global_releases.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Hierarchical QSV mutex. `Wait` is the waiting strategy for both the
+/// local and global spin (platform/wait.hpp).
+template <typename Wait = qsv::platform::SpinWait,
+          typename Events = NullHierEvents>
+class HierQsvMutex {
+ public:
+  /// `threads_per_cohort`: dense thread indices are grouped in blocks of
+  /// this size (hier/cohort_map.hpp). `budget`: maximum consecutive
+  /// intra-cohort handoffs before the global lock must be released.
+  explicit HierQsvMutex(std::size_t threads_per_cohort = 4,
+                        std::size_t budget = 16)
+      : map_(threads_per_cohort),
+        budget_(budget),
+        cohorts_(map_.cohort_count(qsv::platform::kMaxThreads)) {}
+  HierQsvMutex(const HierQsvMutex&) = delete;
+  HierQsvMutex& operator=(const HierQsvMutex&) = delete;
+
+  void lock() {
+    Cohort& coh = my_cohort();
+    Node* n = Arena::instance().acquire();
+    n->next.store(nullptr, std::memory_order_relaxed);
+    n->state.store(kWaiting, std::memory_order_relaxed);
+    // acq_rel: publish our node to the successor side; observe the
+    // predecessor node (and, transitively, the cohort fields written by
+    // the previous holder on the fresh-acquire path).
+    Node* pred = coh.local_tail.exchange(n, std::memory_order_acq_rel);
+    bool have_global = false;
+    if (pred != nullptr) {
+      pred->next.store(n, std::memory_order_release);
+      Wait::wait_while_equal(n->state, kWaiting);
+      have_global =
+          n->state.load(std::memory_order_acquire) == kGlobalPassed;
+    }
+    if (!have_global) acquire_global(coh);
+    Held::local().insert(this, n);
+  }
+
+  bool try_lock() {
+    Cohort& coh = my_cohort();
+    Node* n = Arena::instance().acquire();
+    n->next.store(nullptr, std::memory_order_relaxed);
+    n->state.store(kWaiting, std::memory_order_relaxed);
+    Node* expected = nullptr;
+    if (!coh.local_tail.compare_exchange_strong(expected, n,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed)) {
+      Arena::instance().release(n);
+      return false;
+    }
+    // Local queue was empty and we are its head; now try the global word.
+    Node* g = Arena::instance().acquire();
+    g->next.store(nullptr, std::memory_order_relaxed);
+    g->state.store(kWaiting, std::memory_order_relaxed);
+    expected = nullptr;
+    if (global_tail_.compare_exchange_strong(expected, g,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+      Events::count_global_acquire();
+      coh.global_node = g;
+      coh.passes = 0;
+      Held::local().insert(this, n);
+      return true;
+    }
+    Arena::instance().release(g);
+    // Undo the local enqueue. If a cohort-mate slipped in behind us it
+    // becomes the cohort representative: grant it the local lock with the
+    // obligation to acquire the global one itself.
+    Node* mine = n;
+    if (coh.local_tail.compare_exchange_strong(mine, nullptr,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed)) {
+      Arena::instance().release(n);
+      return false;
+    }
+    Node* next;
+    while ((next = n->next.load(std::memory_order_acquire)) == nullptr) {
+      qsv::platform::cpu_relax();
+    }
+    next->state.store(kMustAcquireGlobal, std::memory_order_release);
+    Wait::notify_all(next->state);
+    Arena::instance().release(n);
+    return false;
+  }
+
+  void unlock() {
+    Cohort& coh = my_cohort();
+    auto& e = Held::local().find(this);
+    Node* n = e.node;
+    Held::local().erase(e);
+    Node* next = n->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      Node* expected = n;
+      if (coh.local_tail.compare_exchange_strong(expected, nullptr,
+                                                 std::memory_order_release,
+                                                 std::memory_order_relaxed)) {
+        // Cohort queue drained: give the global lock back.
+        release_global(coh);
+        Arena::instance().release(n);
+        return;
+      }
+      while ((next = n->next.load(std::memory_order_acquire)) == nullptr) {
+        qsv::platform::cpu_relax();
+      }
+    }
+    if (coh.passes < budget_) {
+      // Intra-cohort pass: successor inherits local *and* global lock.
+      ++coh.passes;
+      Events::count_local_pass();
+      next->state.store(kGlobalPassed, std::memory_order_release);
+      Wait::notify_all(next->state);
+    } else {
+      // Budget spent: let other cohorts in, then wake the successor with
+      // the obligation to queue globally on the cohort's behalf.
+      release_global(coh);
+      next->state.store(kMustAcquireGlobal, std::memory_order_release);
+      Wait::notify_all(next->state);
+    }
+    Arena::instance().release(n);
+  }
+
+  static constexpr const char* name() noexcept { return "hier-qsv"; }
+
+  std::size_t threads_per_cohort() const noexcept { return map_.block(); }
+  std::size_t budget() const noexcept { return budget_; }
+
+  /// Fixed per-instance state: the global word plus one padded tail (and
+  /// holder-private fields) per cohort.
+  std::size_t footprint_bytes() const noexcept {
+    return qsv::platform::kFalseSharingRange +
+           cohorts_.footprint_bytes();
+  }
+
+ private:
+  static constexpr std::uint32_t kWaiting = 0;
+  static constexpr std::uint32_t kGlobalPassed = 1;
+  static constexpr std::uint32_t kMustAcquireGlobal = 2;
+
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    std::atomic<std::uint32_t> state{kWaiting};
+  };
+  using Arena = qsv::platform::NodeArena<Node>;
+  using Held = qsv::platform::HeldMap<Node>;
+
+  /// Per-cohort state. `global_node` and `passes` are owned by whichever
+  /// thread currently holds the cohort's local lock; the handoff chain
+  /// (release store → acquire spin / tail CAS → tail exchange) carries
+  /// the happens-before edge, so they need no atomicity of their own.
+  struct Cohort {
+    std::atomic<Node*> local_tail{nullptr};
+    Node* global_node = nullptr;
+    std::size_t passes = 0;
+  };
+
+  Cohort& my_cohort() {
+    const std::size_t c = map_.my_cohort();
+    assert(c < cohorts_.size() && "thread index exceeds cohort table");
+    return cohorts_[c];
+  }
+
+  /// Standard QSV enqueue on the global word with a fresh node; records
+  /// the node in the cohort so any cohort-mate that later inherits the
+  /// lock can release it.
+  void acquire_global(Cohort& coh) {
+    Node* g = Arena::instance().acquire();
+    g->next.store(nullptr, std::memory_order_relaxed);
+    g->state.store(kWaiting, std::memory_order_relaxed);
+    Node* pred = global_tail_.exchange(g, std::memory_order_acq_rel);
+    if (pred != nullptr) {
+      pred->next.store(g, std::memory_order_release);
+      Wait::wait_while_equal(g->state, kWaiting);
+    }
+    Events::count_global_acquire();
+    coh.global_node = g;
+    coh.passes = 0;
+  }
+
+  /// Standard QSV release of the global word using the node recorded at
+  /// the cohort's global acquisition.
+  void release_global(Cohort& coh) {
+    Node* g = coh.global_node;
+    coh.global_node = nullptr;
+    coh.passes = 0;
+    Node* next = g->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      Node* expected = g;
+      if (global_tail_.compare_exchange_strong(expected, nullptr,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed)) {
+        Events::count_global_release();
+        Arena::instance().release(g);
+        return;
+      }
+      while ((next = g->next.load(std::memory_order_acquire)) == nullptr) {
+        qsv::platform::cpu_relax();
+      }
+    }
+    Events::count_global_release();
+    next->state.store(kGlobalPassed, std::memory_order_release);
+    Wait::notify_all(next->state);
+    Arena::instance().release(g);
+  }
+
+  BlockCohortMap map_;
+  std::size_t budget_;
+  /// Global word: tail of the queue *of cohort representatives*.
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<Node*> global_tail_{nullptr};
+  qsv::platform::PaddedArray<Cohort> cohorts_;
+};
+
+}  // namespace qsv::hier

@@ -1,0 +1,24 @@
+// adapters.hpp — standard-library locks behind the qsv Lockable concept.
+#pragma once
+
+#include <mutex>
+
+namespace qsv::locks {
+
+/// std::mutex (glibc: futex-based) — the "what the mechanism became"
+/// modern baseline for every wall-clock experiment.
+class StdMutexAdapter {
+ public:
+  void lock() { mu_.lock(); }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+  static constexpr const char* name() noexcept { return "std::mutex"; }
+  static constexpr std::size_t footprint_bytes() noexcept {
+    return sizeof(std::mutex);
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace qsv::locks

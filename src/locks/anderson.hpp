@@ -1,0 +1,73 @@
+// anderson.hpp — Anderson's array-based queue lock (1990).
+//
+// The first lock with local spinning: each waiter spins on its own padded
+// slot of a circular flag array, and release touches exactly one remote
+// slot. Costs: the array must be sized for the maximum number of
+// concurrent waiters, per *lock instance* — the space deficiency the
+// list-based queue locks (CLH/MCS/QSV) repair.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "platform/arch.hpp"
+#include "platform/cache.hpp"
+#include "platform/wait.hpp"
+
+namespace qsv::locks {
+
+template <typename Wait = qsv::platform::SpinWait>
+class AndersonLock {
+ public:
+  /// `capacity` must be >= the maximum number of threads that may contend
+  /// simultaneously; rounded up to a power of two for cheap modulo.
+  explicit AndersonLock(std::size_t capacity)
+      : mask_(qsv::platform::next_pow2(capacity) - 1),
+        slots_(mask_ + 1) {
+    // Slot 0 starts "granted": the first arrival proceeds immediately.
+    slots_[0].store(kGranted, std::memory_order_relaxed);
+    for (std::size_t i = 1; i <= mask_; ++i) {
+      slots_[i].store(kWait, std::memory_order_relaxed);
+    }
+  }
+  AndersonLock(const AndersonLock&) = delete;
+  AndersonLock& operator=(const AndersonLock&) = delete;
+
+  void lock() noexcept {
+    const std::uint32_t pos =
+        next_slot_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t slot = pos & mask_;
+    Wait::wait_while_equal(slots_[slot], kWait);
+    // Only the holder reads/writes holder_slot_, inside the CS.
+    holder_slot_ = slot;
+  }
+
+  void unlock() noexcept {
+    const std::size_t slot = holder_slot_;
+    // Re-arm my slot for its next lap around the ring...
+    slots_[slot].store(kWait, std::memory_order_relaxed);
+    // ...then grant the successor slot. Release publishes the CS.
+    auto& next = slots_[(slot + 1) & mask_];
+    next.store(kGranted, std::memory_order_release);
+    Wait::notify_all(next);
+  }
+
+  static constexpr const char* name() noexcept { return "anderson"; }
+
+  std::size_t footprint_bytes() const noexcept {
+    return slots_.footprint_bytes() + 2 * qsv::platform::kFalseSharingRange;
+  }
+
+ private:
+  static constexpr std::uint32_t kWait = 0;
+  static constexpr std::uint32_t kGranted = 1;
+
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint32_t> next_slot_{0};
+  std::size_t mask_;
+  qsv::platform::PaddedArray<std::atomic<std::uint32_t>> slots_;
+  std::size_t holder_slot_ = 0;  // written only while holding the lock
+};
+
+}  // namespace qsv::locks

@@ -1,0 +1,76 @@
+// clh.hpp — Craig / Landin & Hagersten list-based queue lock.
+//
+// Each waiter enqueues a node via one fetch&store on the tail and spins
+// on its *predecessor's* node. Release is a single store to the node the
+// successor is already watching. After release a thread's own node is
+// still being polled by its successor, so the releaser adopts the
+// predecessor's (now quiescent) node for future use — the famous CLH
+// node-recycling trick, hidden here behind the arena/held-map machinery.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "locks/detail.hpp"
+#include "platform/arch.hpp"
+#include "platform/wait.hpp"
+
+namespace qsv::locks {
+
+template <typename Wait = qsv::platform::SpinWait>
+class ClhLock {
+ public:
+  ClhLock() {
+    // The queue needs a sentinel "already released" node for the first
+    // arrival to observe.
+    Node* sentinel = Arena::instance().acquire();
+    sentinel->released.store(1, std::memory_order_relaxed);
+    tail_.store(sentinel, std::memory_order_relaxed);
+  }
+  ClhLock(const ClhLock&) = delete;
+  ClhLock& operator=(const ClhLock&) = delete;
+  ~ClhLock() {
+    // When no one holds or waits, tail_ points at a quiescent node that
+    // now belongs to nobody; return it to the arena's global pool via the
+    // destructing thread's cache.
+    Arena::instance().release(tail_.load(std::memory_order_relaxed));
+  }
+
+  void lock() {
+    Node* n = Arena::instance().acquire();
+    n->released.store(0, std::memory_order_relaxed);
+    // acq_rel: release publishes my node's init; acquire receives the
+    // predecessor's node contents.
+    Node* pred = tail_.exchange(n, std::memory_order_acq_rel);
+    Wait::wait_while_equal(pred->released, 0u);
+    auto& e = Held::local().insert(this, n);
+    e.aux = pred;  // adopt on unlock
+  }
+
+  void unlock() {
+    auto& e = Held::local().find(this);
+    Node* mine = e.node;
+    Node* adopted = e.aux;
+    Held::local().erase(e);
+    // Single store the successor is spinning on; release publishes CS.
+    mine->released.store(1, std::memory_order_release);
+    Wait::notify_all(mine->released);
+    Arena::instance().release(adopted);
+  }
+
+  static constexpr const char* name() noexcept { return "clh"; }
+  static constexpr std::size_t footprint_bytes() noexcept {
+    return sizeof(std::atomic<void*>);  // tail word; nodes accounted per waiter
+  }
+
+ private:
+  struct Node {
+    std::atomic<std::uint32_t> released{0};
+  };
+  using Arena = detail::NodeArena<Node>;
+  using Held = detail::HeldMap<Node>;
+
+  alignas(qsv::platform::kFalseSharingRange) std::atomic<Node*> tail_;
+};
+
+}  // namespace qsv::locks

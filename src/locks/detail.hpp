@@ -1,0 +1,11 @@
+// detail.hpp — alias of the shared node machinery for the lock baselines.
+#pragma once
+
+#include "platform/node_arena.hpp"
+
+namespace qsv::locks::detail {
+
+using qsv::platform::HeldMap;
+using qsv::platform::NodeArena;
+
+}  // namespace qsv::locks::detail

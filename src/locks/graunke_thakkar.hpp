@@ -1,0 +1,93 @@
+// graunke_thakkar.hpp — Graunke & Thakkar's array queue lock (1990).
+//
+// Like Anderson's lock, waiters spin on per-thread flags; unlike it, the
+// queue is threaded through a single fetch&store word carrying (pointer to
+// predecessor's flag, predecessor's flag value at enqueue). Each thread
+// owns a permanent flag per lock, indexed by its dense thread id, and
+// releases by flipping its own flag — release writes only thread-local
+// state.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "platform/arch.hpp"
+#include "platform/cache.hpp"
+#include "platform/thread_id.hpp"
+
+namespace qsv::locks {
+
+class GraunkeThakkarLock {
+ public:
+  /// `capacity` = maximum dense thread index + 1 that may ever use this
+  /// lock instance.
+  explicit GraunkeThakkarLock(std::size_t capacity)
+      : flags_(capacity), init_flag_(0) {
+    for (std::size_t i = 0; i < capacity; ++i) {
+      flags_[i].store(0, std::memory_order_relaxed);
+    }
+    // Tail starts pointing at a dedicated always-"released" flag. The
+    // spin condition waits until the predecessor's flag *differs* from
+    // the recorded parity, so the recorded parity (1) must be the
+    // opposite of the flag's actual value (0): the first locker then
+    // sees its predecessor as already done and enters immediately.
+    tail_.store(pack(&init_flag_, 1), std::memory_order_relaxed);
+  }
+  GraunkeThakkarLock(const GraunkeThakkarLock&) = delete;
+  GraunkeThakkarLock& operator=(const GraunkeThakkarLock&) = delete;
+
+  void lock() noexcept {
+    const std::size_t me = qsv::platform::thread_index();
+    assert(me < flags_.size() && "thread index exceeds lock capacity");
+    auto& my_flag = flags_[me];
+    const std::uint64_t self =
+        pack(&my_flag, my_flag.load(std::memory_order_relaxed) & 1u);
+    // Swap myself in; learn who is ahead and what their flag looked like
+    // when they enqueued. acq_rel: acquire their published node, release
+    // my own flag state to my successor.
+    const std::uint64_t prev = tail_.exchange(self, std::memory_order_acq_rel);
+    const auto* prev_flag = flag_of(prev);
+    const std::uint32_t prev_val = value_of(prev);
+    // Predecessor releases by flipping its flag away from the recorded
+    // value. acquire pairs with their release store.
+    while ((prev_flag->load(std::memory_order_acquire) & 1u) == prev_val) {
+      qsv::platform::cpu_relax();
+    }
+  }
+
+  void unlock() noexcept {
+    const std::size_t me = qsv::platform::thread_index();
+    auto& my_flag = flags_[me];
+    // Flip my own flag: one write, to a line only my successor polls.
+    my_flag.store(my_flag.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_release);
+  }
+
+  static constexpr const char* name() noexcept { return "graunke-thakkar"; }
+
+  std::size_t footprint_bytes() const noexcept {
+    return flags_.footprint_bytes() + 2 * qsv::platform::kFalseSharingRange;
+  }
+
+ private:
+  using Flag = std::atomic<std::uint32_t>;
+
+  // Flags are >= 4-byte aligned, so bit 0 of the pointer is free to carry
+  // the recorded parity.
+  static std::uint64_t pack(const Flag* f, std::uint32_t parity) noexcept {
+    return reinterpret_cast<std::uint64_t>(f) | parity;
+  }
+  static const Flag* flag_of(std::uint64_t packed) noexcept {
+    return reinterpret_cast<const Flag*>(packed & ~1ULL);
+  }
+  static std::uint32_t value_of(std::uint64_t packed) noexcept {
+    return static_cast<std::uint32_t>(packed & 1ULL);
+  }
+
+  qsv::platform::PaddedArray<Flag> flags_;
+  alignas(qsv::platform::kFalseSharingRange) Flag init_flag_;
+  alignas(qsv::platform::kFalseSharingRange) std::atomic<std::uint64_t> tail_;
+};
+
+}  // namespace qsv::locks

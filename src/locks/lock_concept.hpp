@@ -1,0 +1,51 @@
+// lock_concept.hpp — the mutual-exclusion interface all locks implement.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <utility>
+
+namespace qsv::locks {
+
+/// Minimal mutual-exclusion interface. Matches the BasicLockable pieces of
+/// the standard library so std types drop in via adapters.
+template <typename L>
+concept Lockable = requires(L l) {
+  { l.lock() } -> std::same_as<void>;
+  { l.unlock() } -> std::same_as<void>;
+  { L::name() } -> std::convertible_to<const char*>;
+};
+
+/// Locks that additionally support a non-blocking attempt.
+template <typename L>
+concept TryLockable = Lockable<L> && requires(L l) {
+  { l.try_lock() } -> std::same_as<bool>;
+};
+
+/// RAII critical-section guard (scoped_lock equivalent for our concept).
+template <Lockable L>
+class Guard {
+ public:
+  explicit Guard(L& lock) : lock_(&lock) { lock_->lock(); }
+  ~Guard() {
+    if (lock_ != nullptr) lock_->unlock();
+  }
+
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+  Guard(Guard&& o) noexcept : lock_(std::exchange(o.lock_, nullptr)) {}
+  Guard& operator=(Guard&&) = delete;
+
+  /// Release early (idempotent with destruction).
+  void unlock() {
+    if (lock_ != nullptr) {
+      lock_->unlock();
+      lock_ = nullptr;
+    }
+  }
+
+ private:
+  L* lock_;
+};
+
+}  // namespace qsv::locks

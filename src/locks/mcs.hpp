@@ -1,0 +1,98 @@
+// mcs.hpp — Mellor-Crummey & Scott list-based queue lock (1991).
+//
+// The contemporaneous rival of the reconstructed QSV mechanism. Waiters
+// enqueue with fetch&store and spin on a flag in their *own* node (unlike
+// CLH's predecessor spin), which makes it the right base for NUMA
+// machines where a thread's own node can live in local memory. Release
+// must handle the "no successor visible yet" race with compare&swap.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "locks/detail.hpp"
+#include "platform/arch.hpp"
+#include "platform/wait.hpp"
+
+namespace qsv::locks {
+
+template <typename Wait = qsv::platform::SpinWait>
+class McsLock {
+ public:
+  McsLock() = default;
+  McsLock(const McsLock&) = delete;
+  McsLock& operator=(const McsLock&) = delete;
+
+  void lock() {
+    Node* n = Arena::instance().acquire();
+    n->next.store(nullptr, std::memory_order_relaxed);
+    n->granted.store(0, std::memory_order_relaxed);
+    // acq_rel: publish my node, observe predecessor's.
+    Node* pred = tail_.exchange(n, std::memory_order_acq_rel);
+    if (pred != nullptr) {
+      // Link myself; predecessor's unlock will grant me. release pairs
+      // with the unlock's acquire load of next.
+      pred->next.store(n, std::memory_order_release);
+      Wait::wait_while_equal(n->granted, 0u);
+    }
+    Held::local().insert(this, n);
+  }
+
+  bool try_lock() {
+    Node* n = Arena::instance().acquire();
+    n->next.store(nullptr, std::memory_order_relaxed);
+    n->granted.store(0, std::memory_order_relaxed);
+    Node* expected = nullptr;
+    if (tail_.compare_exchange_strong(expected, n, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      Held::local().insert(this, n);
+      return true;
+    }
+    Arena::instance().release(n);
+    return false;
+  }
+
+  void unlock() {
+    auto& e = Held::local().find(this);
+    Node* n = e.node;
+    Held::local().erase(e);
+    Node* next = n->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      // No successor linked yet. If the tail is still me, the queue is
+      // empty: swing it back to null and we are done.
+      Node* expected = n;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+        Arena::instance().release(n);
+        return;
+      }
+      // A successor swapped the tail but has not stored next yet: wait
+      // out the tiny window.
+      while ((next = n->next.load(std::memory_order_acquire)) == nullptr) {
+        qsv::platform::cpu_relax();
+      }
+    }
+    next->granted.store(1, std::memory_order_release);
+    Wait::notify_all(next->granted);
+    Arena::instance().release(n);
+  }
+
+  static constexpr const char* name() noexcept { return "mcs"; }
+  static constexpr std::size_t footprint_bytes() noexcept {
+    return sizeof(std::atomic<void*>);  // tail; one node per waiting thread
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    std::atomic<std::uint32_t> granted{0};
+  };
+  using Arena = detail::NodeArena<Node>;
+  using Held = detail::HeldMap<Node>;
+
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<Node*> tail_{nullptr};
+};
+
+}  // namespace qsv::locks

@@ -1,0 +1,71 @@
+#include "locks/registry.hpp"
+
+#include "locks/adapters.hpp"
+#include "locks/anderson.hpp"
+#include "locks/clh.hpp"
+#include "locks/graunke_thakkar.hpp"
+#include "locks/mcs.hpp"
+#include "locks/tas.hpp"
+#include "locks/ticket.hpp"
+#include "locks/ttas.hpp"
+
+namespace qsv::locks {
+
+namespace {
+
+/// Wrap a concrete lock type (constructed with no arguments).
+template <typename L>
+class Erased final : public AnyLock {
+ public:
+  Erased() = default;
+  template <typename... Args>
+  explicit Erased(Args&&... args) : impl_(std::forward<Args>(args)...) {}
+  void lock() override { impl_.lock(); }
+  void unlock() override { impl_.unlock(); }
+  std::size_t footprint() const override { return sizeof(L); }
+
+ private:
+  L impl_;
+};
+
+template <typename L>
+LockFactory make_simple(const char* display) {
+  return LockFactory{display, [](std::size_t) -> std::unique_ptr<AnyLock> {
+                       return std::make_unique<Erased<L>>();
+                     }};
+}
+
+template <typename L>
+LockFactory make_with_capacity(const char* display) {
+  return LockFactory{display,
+                     [](std::size_t capacity) -> std::unique_ptr<AnyLock> {
+                       return std::make_unique<Erased<L>>(capacity);
+                     }};
+}
+
+}  // namespace
+
+const std::vector<LockFactory>& lock_registry() {
+  static const std::vector<LockFactory> registry = {
+      make_simple<TasLock>("tas"),
+      make_simple<TtasNoBackoffLock>("ttas"),
+      make_simple<TtasLock<>>("ttas+backoff"),
+      make_simple<TicketLock>("ticket"),
+      make_simple<TicketLockProportional>("ticket+prop"),
+      make_with_capacity<AndersonLock<>>("anderson"),
+      make_with_capacity<GraunkeThakkarLock>("graunke-thakkar"),
+      make_simple<ClhLock<>>("clh"),
+      make_simple<McsLock<>>("mcs"),
+      make_simple<StdMutexAdapter>("std::mutex"),
+  };
+  return registry;
+}
+
+const LockFactory* find_lock(const std::string& name) {
+  for (const auto& f : lock_registry()) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace qsv::locks

@@ -1,0 +1,40 @@
+// registry.hpp — type-erased catalogue of every mutual-exclusion
+// algorithm in libqsv, so benches, examples, and integration tests can
+// iterate "all locks" uniformly. Hot micro-benchmarks use the concrete
+// types directly; the registry's virtual dispatch (~1ns) is identical
+// across algorithms so comparative shapes are preserved.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qsv::locks {
+
+/// Type-erased mutual-exclusion handle.
+class AnyLock {
+ public:
+  virtual ~AnyLock() = default;
+  virtual void lock() = 0;
+  virtual void unlock() = 0;
+  /// Bytes of fixed per-instance state (Table 2's first column).
+  virtual std::size_t footprint() const = 0;
+};
+
+/// Catalogue entry: display name + factory. `capacity` is the maximum
+/// number of contending threads (array locks need it; others ignore it).
+struct LockFactory {
+  std::string name;
+  std::function<std::unique_ptr<AnyLock>(std::size_t capacity)> make;
+};
+
+/// All algorithms, in the order the paper-style tables list them:
+/// strawmen, array queue locks, list queue locks, QSV, modern baseline.
+const std::vector<LockFactory>& lock_registry();
+
+/// Look up one algorithm by name (returns nullptr factory on miss).
+const LockFactory* find_lock(const std::string& name);
+
+}  // namespace qsv::locks

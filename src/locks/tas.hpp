@@ -1,0 +1,51 @@
+// tas.hpp — test-and-set spin lock.
+//
+// The 1991 strawman baseline: one shared flag, every waiter hammers it
+// with atomic exchanges. Each failed exchange still acquires the cache
+// line exclusively, so P waiters generate O(P) coherence transactions per
+// handoff and the bus saturates. Kept deliberately naive.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "platform/arch.hpp"
+#include "platform/cache.hpp"
+
+namespace qsv::locks {
+
+class TasLock {
+ public:
+  TasLock() = default;
+  TasLock(const TasLock&) = delete;
+  TasLock& operator=(const TasLock&) = delete;
+
+  void lock() noexcept {
+    // acquire on success orders the critical section after the exchange.
+    while (flag_.exchange(1, std::memory_order_acquire) != 0) {
+      qsv::platform::cpu_relax();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return flag_.exchange(1, std::memory_order_acquire) == 0;
+  }
+
+  void unlock() noexcept {
+    // release publishes the critical section to the next acquirer.
+    flag_.store(0, std::memory_order_release);
+  }
+
+  static constexpr const char* name() noexcept { return "tas"; }
+
+  /// Space occupied by the lock itself (Table 2).
+  static constexpr std::size_t footprint_bytes() noexcept {
+    return sizeof(std::atomic<std::uint32_t>);
+  }
+
+ private:
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint32_t> flag_{0};
+};
+
+}  // namespace qsv::locks

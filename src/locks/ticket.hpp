@@ -1,0 +1,102 @@
+// ticket.hpp — FIFO ticket lock with optional proportional backoff.
+//
+// fetch&add hands out tickets; a single "now serving" word grants them in
+// order. Fair by construction, O(1) RMWs per acquisition, but every
+// release invalidates the serving word in *all* waiters' caches, so
+// traffic is O(P) per handoff — the precise deficiency queue locks fix.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "platform/arch.hpp"
+#include "platform/backoff.hpp"
+#include "platform/cache.hpp"
+
+namespace qsv::locks {
+
+/// Plain ticket lock: head-of-line waiter polls continuously.
+class TicketLock {
+ public:
+  TicketLock() = default;
+  TicketLock(const TicketLock&) = delete;
+  TicketLock& operator=(const TicketLock&) = delete;
+
+  void lock() noexcept {
+    const std::uint32_t me =
+        next_ticket_.fetch_add(1, std::memory_order_relaxed);
+    while (now_serving_.load(std::memory_order_acquire) != me) {
+      qsv::platform::cpu_relax();
+    }
+  }
+
+  bool try_lock() noexcept {
+    std::uint32_t serving = now_serving_.load(std::memory_order_relaxed);
+    std::uint32_t expected = serving;
+    // Succeed only if no ticket is outstanding: next == serving and we can
+    // claim it.
+    return next_ticket_.compare_exchange_strong(
+               expected, serving + 1, std::memory_order_acquire,
+               std::memory_order_relaxed) &&
+           expected == serving;
+  }
+
+  void unlock() noexcept {
+    // Only the holder writes now_serving_, so a plain add-and-store works.
+    now_serving_.store(now_serving_.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_release);
+  }
+
+  static constexpr const char* name() noexcept { return "ticket"; }
+  static constexpr std::size_t footprint_bytes() noexcept {
+    return 2 * sizeof(std::atomic<std::uint32_t>);
+  }
+
+ private:
+  // Ticket dispenser and grant word on separate line pairs: waiters'
+  // fetch&adds must not steal the line the head waiter is polling.
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint32_t> next_ticket_{0};
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint32_t> now_serving_{0};
+};
+
+/// Ticket lock with proportional backoff: a waiter k positions from the
+/// head pauses ~k slots between polls (Anderson 1990, MCS '91 §2.2).
+class TicketLockProportional {
+ public:
+  explicit TicketLockProportional(std::uint32_t slot = 32) noexcept
+      : backoff_(slot) {}
+  TicketLockProportional(const TicketLockProportional&) = delete;
+  TicketLockProportional& operator=(const TicketLockProportional&) = delete;
+
+  void lock() noexcept {
+    const std::uint32_t me =
+        next_ticket_.fetch_add(1, std::memory_order_relaxed);
+    for (;;) {
+      const std::uint32_t serving =
+          now_serving_.load(std::memory_order_acquire);
+      if (serving == me) return;
+      backoff_.wait(me - serving);  // wraparound-safe distance
+    }
+  }
+
+  void unlock() noexcept {
+    now_serving_.store(now_serving_.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_release);
+  }
+
+  static constexpr const char* name() noexcept { return "ticket+prop"; }
+  static constexpr std::size_t footprint_bytes() noexcept {
+    return 2 * sizeof(std::atomic<std::uint32_t>);
+  }
+
+ private:
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint32_t> next_ticket_{0};
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint32_t> now_serving_{0};
+  qsv::platform::ProportionalBackoff backoff_;
+};
+
+}  // namespace qsv::locks

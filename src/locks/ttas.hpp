@@ -1,0 +1,60 @@
+// ttas.hpp — test-and-test-and-set lock with pluggable backoff.
+//
+// The classic fix to TAS: poll with plain loads (shared cache-line state,
+// no bus traffic while the lock is held) and attempt the exchange only on
+// observing it free. With capped exponential backoff this was the best
+// *non-queue* lock of the era and is the main rival of the queue locks in
+// experiments F1/F6/A3.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "platform/arch.hpp"
+#include "platform/backoff.hpp"
+#include "platform/cache.hpp"
+
+namespace qsv::locks {
+
+template <typename Backoff = qsv::platform::ExponentialBackoff>
+class TtasLock {
+ public:
+  TtasLock() = default;
+  explicit TtasLock(Backoff proto) : backoff_proto_(proto) {}
+  TtasLock(const TtasLock&) = delete;
+  TtasLock& operator=(const TtasLock&) = delete;
+
+  void lock() noexcept {
+    Backoff backoff = backoff_proto_;
+    for (;;) {
+      // Read-only poll phase: stays in cache until the holder releases.
+      while (flag_.load(std::memory_order_relaxed) != 0) {
+        qsv::platform::cpu_relax();
+      }
+      if (flag_.exchange(1, std::memory_order_acquire) == 0) return;
+      backoff();  // lost the race to another poller: back off
+    }
+  }
+
+  bool try_lock() noexcept {
+    return flag_.load(std::memory_order_relaxed) == 0 &&
+           flag_.exchange(1, std::memory_order_acquire) == 0;
+  }
+
+  void unlock() noexcept { flag_.store(0, std::memory_order_release); }
+
+  static constexpr const char* name() noexcept { return "ttas+backoff"; }
+  static constexpr std::size_t footprint_bytes() noexcept {
+    return sizeof(std::atomic<std::uint32_t>);
+  }
+
+ private:
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint32_t> flag_{0};
+  Backoff backoff_proto_{};
+};
+
+/// TTAS without backoff — the A3 ablation floor.
+using TtasNoBackoffLock = TtasLock<qsv::platform::NoBackoff>;
+
+}  // namespace qsv::locks

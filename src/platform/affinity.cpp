@@ -1,0 +1,54 @@
+#include "platform/affinity.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <thread>
+#include <vector>
+
+namespace qsv::platform {
+
+namespace {
+/// CPUs in this process's original affinity mask, captured once.
+const std::vector<int>& allowed_cpus() {
+  static const std::vector<int> cpus = [] {
+    std::vector<int> out;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+      for (int c = 0; c < CPU_SETSIZE; ++c) {
+        if (CPU_ISSET(c, &set)) out.push_back(c);
+      }
+    }
+    if (out.empty()) {
+      const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+      for (unsigned c = 0; c < n; ++c) out.push_back(static_cast<int>(c));
+    }
+    return out;
+  }();
+  return cpus;
+}
+}  // namespace
+
+std::size_t available_cpus() { return allowed_cpus().size(); }
+
+std::optional<int> pin_to_cpu(std::size_t index) {
+  const auto& cpus = allowed_cpus();
+  const int cpu = cpus[index % cpus.size()];
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) != 0) {
+    return std::nullopt;
+  }
+  return cpu;
+}
+
+void unpin() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int c : allowed_cpus()) CPU_SET(c, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+}
+
+}  // namespace qsv::platform

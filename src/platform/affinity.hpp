@@ -1,0 +1,24 @@
+// affinity.hpp — thread placement.
+//
+// Handoff-latency figures are meaningless if the scheduler migrates
+// threads mid-run, so the harness pins each team member to a distinct
+// processor (round-robin over the allowed set).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+namespace qsv::platform {
+
+/// Number of processors available to this process (respects taskset).
+std::size_t available_cpus();
+
+/// Pin the calling thread to logical cpu `index % available` within the
+/// process's allowed set. Returns the actual cpu id chosen, or nullopt if
+/// pinning is unsupported/failed (the run proceeds unpinned).
+std::optional<int> pin_to_cpu(std::size_t index);
+
+/// Undo pinning: restore the full allowed set. Best effort.
+void unpin();
+
+}  // namespace qsv::platform

@@ -1,0 +1,84 @@
+// arch.hpp — architecture-level constants and primitive hints.
+//
+// Part of libqsv, a reconstruction of "A New Synchronization Mechanism"
+// (ICPP 1991). This header isolates every assumption we make about the
+// physical machine so the rest of the library stays portable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace qsv::platform {
+
+/// Size in bytes of the unit of cache coherence. All mutable state shared
+/// between threads is padded to this granularity to avoid false sharing
+/// (two logically independent variables bouncing one physical line between
+/// processors — the dominant accidental cost in 1991 and still today).
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Destructive interference distance used for padding decisions. We pad to
+/// two lines on x86 because adjacent-line prefetchers pair lines.
+inline constexpr std::size_t kFalseSharingRange = 128;
+
+/// Tell the processor we are in a spin-wait loop. On x86 this lowers to
+/// PAUSE, which (a) releases pipeline resources to the sibling hyperthread
+/// and (b) avoids the memory-order mis-speculation flush on loop exit.
+/// On other ISAs it is a compiler barrier only.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Compiler-only fence: forbids reordering of surrounding code by the
+/// optimizer without emitting a hardware fence. Used in timing harnesses.
+inline void compiler_fence() noexcept { asm volatile("" ::: "memory"); }
+
+/// Round `n` up to the next multiple of `alignment` (a power of two).
+constexpr std::size_t round_up(std::size_t n, std::size_t alignment) noexcept {
+  return (n + alignment - 1) & ~(alignment - 1);
+}
+
+/// True if `n` is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n (n must be >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t n) noexcept {
+  std::uint64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Integer log2 for a power of two.
+constexpr unsigned log2_pow2(std::uint64_t n) noexcept {
+  unsigned l = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++l;
+  }
+  return l;
+}
+
+/// ceil(log2(n)) for n >= 1: number of rounds a dissemination barrier or
+/// tournament needs among n participants.
+constexpr unsigned ceil_log2(std::uint64_t n) noexcept {
+  unsigned l = 0;
+  std::uint64_t p = 1;
+  while (p < n) {
+    p <<= 1;
+    ++l;
+  }
+  return l;
+}
+
+}  // namespace qsv::platform

@@ -1,0 +1,77 @@
+// backoff.hpp — contention backoff policies.
+//
+// Anderson (1990) showed that a test-and-set lock is usable only with
+// bounded exponential backoff, and that a ticket lock wants *proportional*
+// backoff (wait time proportional to distance from the head of the queue).
+// Both appear here as small value types; locks take them as template
+// policies so the bench suite can ablate the parameters (experiment A3).
+#pragma once
+
+#include <cstdint>
+
+#include "platform/arch.hpp"
+
+namespace qsv::platform {
+
+/// Busy-wait for approximately `spins` executions of cpu_relax.
+inline void spin_for(std::uint32_t spins) noexcept {
+  for (std::uint32_t i = 0; i < spins; ++i) cpu_relax();
+}
+
+/// No backoff at all: re-poll as fast as possible. The degenerate policy
+/// that makes TAS collapse under contention — kept as the ablation floor.
+class NoBackoff {
+ public:
+  void operator()() noexcept { cpu_relax(); }
+  void reset() noexcept {}
+  static constexpr const char* name() noexcept { return "none"; }
+};
+
+/// Capped exponential backoff: wait 1, 2, 4, ... up to `cap` pause slots,
+/// doubling after each failed attempt. `reset()` after success.
+///
+/// The cap bounds worst-case handoff latency; the floor bounds the rate of
+/// coherence traffic a failing waiter can generate.
+class ExponentialBackoff {
+ public:
+  explicit ExponentialBackoff(std::uint32_t floor = 4,
+                              std::uint32_t cap = 1024) noexcept
+      : floor_(floor), cap_(cap), current_(floor) {}
+
+  void operator()() noexcept {
+    spin_for(current_);
+    current_ = current_ < cap_ / 2 ? current_ * 2 : cap_;
+  }
+
+  void reset() noexcept { current_ = floor_; }
+
+  std::uint32_t current() const noexcept { return current_; }
+  static constexpr const char* name() noexcept { return "exponential"; }
+
+ private:
+  std::uint32_t floor_;
+  std::uint32_t cap_;
+  std::uint32_t current_;
+};
+
+/// Proportional backoff for ticket-style locks: a waiter that is `k`
+/// positions from the head sleeps ~`k * slot` pause slots between polls,
+/// so the head-of-line waiter polls fast and deep waiters poll rarely.
+class ProportionalBackoff {
+ public:
+  explicit ProportionalBackoff(std::uint32_t slot = 32) noexcept
+      : slot_(slot) {}
+
+  /// `distance` = my_ticket - now_serving (positions until my turn).
+  void wait(std::uint32_t distance) const noexcept {
+    spin_for(distance * slot_);
+  }
+
+  std::uint32_t slot() const noexcept { return slot_; }
+  static constexpr const char* name() noexcept { return "proportional"; }
+
+ private:
+  std::uint32_t slot_;
+};
+
+}  // namespace qsv::platform

@@ -1,0 +1,17 @@
+#include "platform/histogram.hpp"
+
+#include <sstream>
+
+namespace qsv::platform {
+
+std::string LogHistogram::summary() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << static_cast<std::uint64_t>(mean())
+     << " p50<=" << quantile_upper_bound(0.50)
+     << " p90<=" << quantile_upper_bound(0.90)
+     << " p99<=" << quantile_upper_bound(0.99)
+     << " p999<=" << quantile_upper_bound(0.999);
+  return os.str();
+}
+
+}  // namespace qsv::platform

@@ -1,0 +1,74 @@
+// histogram.hpp — log-scale latency histogram.
+//
+// Latencies under contention are heavy-tailed; a log2-bucketed histogram
+// captures the tail in constant space and merges cheaply across threads.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace qsv::platform {
+
+/// 64-bucket histogram where bucket i counts values in [2^i, 2^(i+1)).
+/// Values are typically nanoseconds. Not thread-safe; keep one per thread
+/// and merge() after the run (the harness does this).
+class LogHistogram {
+ public:
+  void add(std::uint64_t value) noexcept {
+    ++buckets_[bucket_of(value)];
+    ++count_;
+    sum_ += value;
+  }
+
+  void merge(const LogHistogram& o) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+    count_ += o.count_;
+    sum_ += o.sum_;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// Upper bound of the bucket containing the q-quantile observation.
+  /// Quantized to a factor of two — precise enough to compare tails.
+  std::uint64_t quantile_upper_bound(double q) const noexcept {
+    if (count_ == 0) return 0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen > target) return bucket_upper(i);
+    }
+    return bucket_upper(kBuckets - 1);
+  }
+
+  /// Render "p50=..., p99=..., max-bucket=..." for table output.
+  std::string summary() const;
+
+  static constexpr std::size_t kBuckets = 64;
+
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i];
+  }
+
+  static std::size_t bucket_of(std::uint64_t v) noexcept {
+    if (v == 0) return 0;
+    return static_cast<std::size_t>(63 - __builtin_clzll(v));
+  }
+  static std::uint64_t bucket_upper(std::size_t i) noexcept {
+    return i >= 63 ? ~0ULL : (2ULL << i) - 1;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+}  // namespace qsv::platform

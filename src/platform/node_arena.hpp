@@ -1,0 +1,121 @@
+// node_arena.hpp — node management shared by the queue-based primitives.
+//
+// MCS and CLH need one queue node per (thread, held lock). Exposing nodes
+// in the public API is error-prone, so the locks draw nodes from a
+// per-thread cache backed by a global arena and remember which node
+// belongs to which lock in a small per-thread "held map". Nodes may
+// migrate between threads (CLH adoption), so ultimate ownership rests
+// with the arena, which frees everything at process exit.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "platform/cache.hpp"
+
+namespace qsv::platform {
+
+/// Global allocator of line-aligned nodes of type `Node`. Allocation hits
+/// the central mutex only when a thread's local cache is empty; steady
+/// state is allocation-free. Nodes live until process exit, which makes
+/// cross-thread node migration (CLH) safe by construction.
+template <typename Node>
+class NodeArena {
+ public:
+  static NodeArena& instance() {
+    static NodeArena arena;
+    return arena;
+  }
+
+  /// Get a node, preferring the calling thread's cache.
+  Node* acquire() {
+    auto& cache = local_cache();
+    if (!cache.empty()) {
+      Node* n = cache.back();
+      cache.pop_back();
+      return n;
+    }
+    std::lock_guard<std::mutex> g(mu_);
+    storage_.push_back(
+        std::make_unique<Padded<Node>>());
+    return &storage_.back()->value;
+  }
+
+  /// Return a node to the calling thread's cache.
+  void release(Node* n) { local_cache().push_back(n); }
+
+  /// Total nodes ever created (space accounting for Table 2).
+  std::size_t allocated() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return storage_.size();
+  }
+
+ private:
+  NodeArena() = default;
+
+  static std::vector<Node*>& local_cache() {
+    thread_local std::vector<Node*> cache;
+    return cache;
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Padded<Node>>> storage_;
+};
+
+/// Per-thread map from lock instance to the node (and auxiliary pointer)
+/// used for the in-flight acquisition. Bounded linear scan: lock nesting
+/// depth in real programs is tiny, and the scan touches only thread-local
+/// memory.
+template <typename Node, std::size_t kMaxHeld = 32>
+class HeldMap {
+ public:
+  struct Entry {
+    const void* owner = nullptr;  ///< lock instance key
+    Node* node = nullptr;         ///< node enqueued for this acquisition
+    Node* aux = nullptr;          ///< CLH: predecessor node to adopt
+  };
+
+  /// Record an acquisition in the first free slot.
+  Entry& insert(const void* owner, Node* node) {
+    for (auto& e : entries_) {
+      if (e.owner == nullptr) {
+        e.owner = owner;
+        e.node = node;
+        e.aux = nullptr;
+        return e;
+      }
+    }
+    assert(false && "lock nesting depth exceeds HeldMap capacity");
+    __builtin_unreachable();
+  }
+
+  /// Find the entry for `owner`; the lock must be held by this thread.
+  Entry& find(const void* owner) {
+    for (auto& e : entries_) {
+      if (e.owner == owner) return e;
+    }
+    assert(false && "unlock of a lock this thread does not hold");
+    __builtin_unreachable();
+  }
+
+  /// Erase after release.
+  void erase(Entry& e) {
+    e.owner = nullptr;
+    e.node = nullptr;
+    e.aux = nullptr;
+  }
+
+  /// Access the calling thread's map for a given (Node, lock-type) pair.
+  static HeldMap& local() {
+    thread_local HeldMap map;
+    return map;
+  }
+
+ private:
+  Entry entries_[kMaxHeld]{};
+};
+
+}  // namespace qsv::platform

@@ -1,0 +1,93 @@
+// stats.hpp — online statistics and fairness metrics for the harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qsv::platform {
+
+/// Welford online mean/variance accumulator. Numerically stable; merging
+/// supported so per-thread accumulators can be combined after a run.
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  /// Chan et al. parallel merge of two accumulators.
+  void merge(const OnlineStats& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double d = o.mean_ - mean_;
+    const auto n = n_ + o.n_;
+    m2_ += o.m2_ + d * d * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / static_cast<double>(n);
+    mean_ += d * static_cast<double>(o.n_) / static_cast<double>(n);
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    n_ = n;
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile from a sample (sorts a copy; fine at harness scale).
+inline double quantile(std::span<const double> sample, double q) {
+  if (sample.empty()) return 0.0;
+  std::vector<double> s(sample.begin(), sample.end());
+  std::sort(s.begin(), s.end());
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, s.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return s[lo] + (s[hi] - s[lo]) * frac;
+}
+
+/// Jain's fairness index over per-thread counts: 1.0 = perfectly fair,
+/// 1/n = one thread got everything. The fairness metric of experiment F7.
+inline double jain_index(std::span<const std::uint64_t> counts) {
+  if (counts.empty()) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (auto c : counts) {
+    const auto x = static_cast<double>(c);
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(counts.size()) * sum_sq);
+}
+
+/// Coefficient of variation of per-thread counts (0 = perfectly fair).
+inline double cv(std::span<const std::uint64_t> counts) {
+  OnlineStats s;
+  for (auto c : counts) s.add(static_cast<double>(c));
+  return s.mean() > 0.0 ? s.stddev() / s.mean() : 0.0;
+}
+
+}  // namespace qsv::platform

@@ -1,0 +1,37 @@
+// thread_id.hpp — dense small-integer thread identities.
+//
+// Several 1991 algorithms (Anderson's array lock, Graunke-Thakkar,
+// dissemination and tournament barriers) statically assign each thread a
+// slot. libqsv gives every thread a dense index on first use; structures
+// sized with `kMaxThreads` slots can then be indexed directly.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace qsv::platform {
+
+/// Upper bound on concurrently *registered* threads across the process
+/// lifetime. Statically sized algorithm state uses this bound.
+inline constexpr std::size_t kMaxThreads = 512;
+
+namespace detail {
+inline std::atomic<std::size_t> g_next_thread_index{0};
+}  // namespace detail
+
+/// Dense index of the calling thread: 0 for the first thread that asks,
+/// 1 for the second, ... Stable for the thread's lifetime. Indices are
+/// not recycled; a process that churns through > kMaxThreads threads and
+/// uses slot-indexed algorithms is out of contract (asserted by callers).
+inline std::size_t thread_index() noexcept {
+  thread_local const std::size_t idx =
+      detail::g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+/// Number of thread indices handed out so far (diagnostic).
+inline std::size_t thread_index_watermark() noexcept {
+  return detail::g_next_thread_index.load(std::memory_order_relaxed);
+}
+
+}  // namespace qsv::platform

@@ -1,0 +1,25 @@
+#include "platform/timing.hpp"
+
+#include <thread>
+
+namespace qsv::platform {
+
+namespace {
+double measure_tsc_ghz() {
+  // One short calibration: sample (tsc, ns) twice around a 20 ms sleep.
+  const std::uint64_t t0 = rdtsc();
+  const std::uint64_t n0 = now_ns();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const std::uint64_t t1 = rdtsc();
+  const std::uint64_t n1 = now_ns();
+  if (n1 <= n0) return 1.0;
+  return static_cast<double>(t1 - t0) / static_cast<double>(n1 - n0);
+}
+}  // namespace
+
+double tsc_ghz() {
+  static const double ghz = measure_tsc_ghz();
+  return ghz;
+}
+
+}  // namespace qsv::platform

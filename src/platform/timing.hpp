@@ -1,0 +1,52 @@
+// timing.hpp — monotonic time sources and scoped measurement.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "platform/arch.hpp"
+
+namespace qsv::platform {
+
+/// Nanoseconds from the steady clock. The benchmark harness's primary
+/// time source: monotonic, immune to NTP slew.
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Serialize-free cycle counter for very short intervals (single
+/// acquire/release pairs). Not comparable across sockets; used only for
+/// deltas on a pinned thread.
+inline std::uint64_t rdtsc() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  std::uint32_t lo, hi;
+  asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+#else
+  return now_ns();
+#endif
+}
+
+/// Measures wall time between construction and `elapsed_ns()` calls.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(now_ns()) {}
+  void restart() noexcept { start_ = now_ns(); }
+  std::uint64_t elapsed_ns() const noexcept { return now_ns() - start_; }
+  double elapsed_s() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+/// Estimate cycles per nanosecond by sampling tsc against the steady
+/// clock. Cached after the first call; benches use it to convert rdtsc
+/// deltas into nanoseconds.
+double tsc_ghz();
+
+}  // namespace qsv::platform

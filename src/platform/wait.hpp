@@ -1,0 +1,102 @@
+// wait.hpp — pluggable waiting strategies ("how do I spin on a flag?").
+//
+// The original 1991 mechanism spins in user space because that is all the
+// hardware offered. The calibration band notes the mechanism was
+// "superseded by modern futex/atomics"; this header makes that statement
+// precise. Every queue-based primitive in libqsv spins through a
+// WaitPolicy, so the identical protocol can wait by
+//   * pure spinning            (1991 behaviour, dedicated processors),
+//   * spin-then-yield          (time-shared machines),
+//   * spin-then-park           (modern futex via std::atomic::wait).
+// Experiment A1 ablates the three.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+#include <thread>
+
+#include "platform/arch.hpp"
+
+namespace qsv::platform {
+
+/// A WaitPolicy blocks the calling thread while `flag == expected` and is
+/// woken by a releaser that stores a new value and calls `notify`.
+/// `notify` may be a no-op for spin policies (stores are observed by
+/// polling); park policies must issue the wake.
+template <typename P>
+concept WaitPolicy = requires(const std::atomic<std::uint32_t>& flag,
+                              std::atomic<std::uint32_t>& mut_flag,
+                              std::uint32_t expected) {
+  { P::wait_while_equal(flag, expected) } -> std::same_as<void>;
+  { P::notify_one(mut_flag) } -> std::same_as<void>;
+  { P::notify_all(mut_flag) } -> std::same_as<void>;
+  { P::name() } -> std::convertible_to<const char*>;
+};
+
+/// Pure busy-wait. Each poll is an acquire load so the protected data
+/// written before the releasing store is visible on wake.
+struct SpinWait {
+  static void wait_while_equal(const std::atomic<std::uint32_t>& flag,
+                               std::uint32_t expected) noexcept {
+    while (flag.load(std::memory_order_acquire) == expected) cpu_relax();
+  }
+  static void notify_one(std::atomic<std::uint32_t>&) noexcept {}
+  static void notify_all(std::atomic<std::uint32_t>&) noexcept {}
+  static constexpr const char* name() noexcept { return "spin"; }
+};
+
+/// Spin a bounded number of polls, then fall back to yielding the
+/// processor. Appropriate when threads may outnumber processors: a waiter
+/// stuck behind a descheduled lock holder donates its quantum instead of
+/// burning it.
+struct SpinYieldWait {
+  static constexpr std::uint32_t kSpinPolls = 1024;
+
+  static void wait_while_equal(const std::atomic<std::uint32_t>& flag,
+                               std::uint32_t expected) noexcept {
+    for (std::uint32_t i = 0; i < kSpinPolls; ++i) {
+      if (flag.load(std::memory_order_acquire) != expected) return;
+      cpu_relax();
+    }
+    while (flag.load(std::memory_order_acquire) == expected) {
+      std::this_thread::yield();
+    }
+  }
+  static void notify_one(std::atomic<std::uint32_t>&) noexcept {}
+  static void notify_all(std::atomic<std::uint32_t>&) noexcept {}
+  static constexpr const char* name() noexcept { return "yield"; }
+};
+
+/// Spin briefly, then park on the futex word via C++20 atomic wait.
+/// This is "what the 1991 mechanism became": the queue protocol is
+/// unchanged, only the terminal wait migrates into the kernel.
+struct ParkWait {
+  static constexpr std::uint32_t kSpinPolls = 256;
+
+  static void wait_while_equal(const std::atomic<std::uint32_t>& flag,
+                               std::uint32_t expected) noexcept {
+    for (std::uint32_t i = 0; i < kSpinPolls; ++i) {
+      if (flag.load(std::memory_order_acquire) != expected) return;
+      cpu_relax();
+    }
+    // atomic::wait loops internally on spurious wakes; re-check anyway to
+    // keep the contract independent of library quality-of-implementation.
+    while (flag.load(std::memory_order_acquire) == expected) {
+      flag.wait(expected, std::memory_order_acquire);
+    }
+  }
+  static void notify_one(std::atomic<std::uint32_t>& flag) noexcept {
+    flag.notify_one();
+  }
+  static void notify_all(std::atomic<std::uint32_t>& flag) noexcept {
+    flag.notify_all();
+  }
+  static constexpr const char* name() noexcept { return "park"; }
+};
+
+static_assert(WaitPolicy<SpinWait>);
+static_assert(WaitPolicy<SpinYieldWait>);
+static_assert(WaitPolicy<ParkWait>);
+
+}  // namespace qsv::platform

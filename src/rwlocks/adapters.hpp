@@ -1,0 +1,20 @@
+// adapters.hpp — std::shared_mutex behind the SharedLockable concept.
+#pragma once
+
+#include <shared_mutex>
+
+namespace qsv::rwlocks {
+
+class StdSharedMutexAdapter {
+ public:
+  void lock() { mu_.lock(); }
+  void unlock() { mu_.unlock(); }
+  void lock_shared() { mu_.lock_shared(); }
+  void unlock_shared() { mu_.unlock_shared(); }
+  static constexpr const char* name() noexcept { return "std::shared_mutex"; }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+}  // namespace qsv::rwlocks

@@ -1,0 +1,111 @@
+// central_rw.hpp — centralized reader-writer locks (MCS '91 §4 baselines).
+//
+// One packed state word carries (writer-active bit, waiting-writer count,
+// active-reader count). Two preference policies:
+//   * kReader: readers join whenever no writer is *active*; writers wait
+//     for a reader-free instant. Readers can starve writers — the classic
+//     anomaly experiment F8 demonstrates at high read ratios.
+//   * kWriter: readers defer to both active and waiting writers; a steady
+//     write stream starves readers instead.
+// Both are O(P) traffic per operation on the shared word; the queue-based
+// QSV reader-writer lock removes that and the starvation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "platform/arch.hpp"
+#include "platform/backoff.hpp"
+#include "platform/cache.hpp"
+
+namespace qsv::rwlocks {
+
+enum class Preference { kReader, kWriter };
+
+template <Preference kPref>
+class CentralRwLock {
+ public:
+  CentralRwLock() = default;
+  CentralRwLock(const CentralRwLock&) = delete;
+  CentralRwLock& operator=(const CentralRwLock&) = delete;
+
+  void lock_shared() noexcept {
+    qsv::platform::ExponentialBackoff backoff;
+    for (;;) {
+      std::uint32_t s = state_.load(std::memory_order_relaxed);
+      const bool blocked = kPref == Preference::kReader
+                               ? writer_active(s)
+                               : writer_active(s) || writers_waiting(s) > 0;
+      if (!blocked) {
+        // acquire pairs with a releasing writer's unlock.
+        if (state_.compare_exchange_weak(s, s + kReaderOne,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+          return;
+        }
+        continue;  // CAS raced; re-read without backing off
+      }
+      backoff();
+    }
+  }
+
+  void unlock_shared() noexcept {
+    // release publishes the read section's end to a waiting writer.
+    state_.fetch_sub(kReaderOne, std::memory_order_release);
+  }
+
+  void lock() noexcept {
+    qsv::platform::ExponentialBackoff backoff;
+    if (kPref == Preference::kWriter) {
+      state_.fetch_add(kWriterWaitOne, std::memory_order_relaxed);
+    }
+    for (;;) {
+      std::uint32_t s = state_.load(std::memory_order_relaxed);
+      if (!writer_active(s) && readers(s) == 0) {
+        std::uint32_t target = s | kWriterActive;
+        if (kPref == Preference::kWriter) target -= kWriterWaitOne;
+        if (state_.compare_exchange_weak(s, target,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+          return;
+        }
+        continue;
+      }
+      backoff();
+    }
+  }
+
+  void unlock() noexcept {
+    state_.fetch_and(~kWriterActive, std::memory_order_release);
+  }
+
+  static constexpr const char* name() noexcept {
+    return kPref == Preference::kReader ? "central-rw/reader-pref"
+                                        : "central-rw/writer-pref";
+  }
+
+ private:
+  // Layout: bit 31 writer-active | bits 16..30 waiting writers |
+  //         bits 0..15 active readers.
+  static constexpr std::uint32_t kWriterActive = 1u << 31;
+  static constexpr std::uint32_t kWriterWaitOne = 1u << 16;
+  static constexpr std::uint32_t kReaderOne = 1u;
+
+  static constexpr bool writer_active(std::uint32_t s) noexcept {
+    return (s & kWriterActive) != 0;
+  }
+  static constexpr std::uint32_t writers_waiting(std::uint32_t s) noexcept {
+    return (s >> 16) & 0x7fffu;
+  }
+  static constexpr std::uint32_t readers(std::uint32_t s) noexcept {
+    return s & 0xffffu;
+  }
+
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint32_t> state_{0};
+};
+
+using ReaderPrefRwLock = CentralRwLock<Preference::kReader>;
+using WriterPrefRwLock = CentralRwLock<Preference::kWriter>;
+
+}  // namespace qsv::rwlocks

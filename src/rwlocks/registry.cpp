@@ -1,0 +1,47 @@
+#include "rwlocks/registry.hpp"
+
+#include "rwlocks/adapters.hpp"
+#include "rwlocks/central_rw.hpp"
+
+namespace qsv::rwlocks {
+
+namespace {
+
+template <typename L>
+class Erased final : public AnyRwLock {
+ public:
+  void lock() override { impl_.lock(); }
+  void unlock() override { impl_.unlock(); }
+  void lock_shared() override { impl_.lock_shared(); }
+  void unlock_shared() override { impl_.unlock_shared(); }
+
+ private:
+  L impl_;
+};
+
+template <typename L>
+RwFactory make(const char* display) {
+  return RwFactory{display, []() -> std::unique_ptr<AnyRwLock> {
+                     return std::make_unique<Erased<L>>();
+                   }};
+}
+
+}  // namespace
+
+const std::vector<RwFactory>& rw_registry() {
+  static const std::vector<RwFactory> registry = {
+      make<ReaderPrefRwLock>("central-rw/reader-pref"),
+      make<WriterPrefRwLock>("central-rw/writer-pref"),
+      make<StdSharedMutexAdapter>("std::shared_mutex"),
+  };
+  return registry;
+}
+
+const RwFactory* find_rw(const std::string& name) {
+  for (const auto& f : rw_registry()) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace qsv::rwlocks

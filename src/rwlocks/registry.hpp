@@ -1,0 +1,28 @@
+// registry.hpp — type-erased catalogue of reader-writer algorithms.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qsv::rwlocks {
+
+class AnyRwLock {
+ public:
+  virtual ~AnyRwLock() = default;
+  virtual void lock() = 0;
+  virtual void unlock() = 0;
+  virtual void lock_shared() = 0;
+  virtual void unlock_shared() = 0;
+};
+
+struct RwFactory {
+  std::string name;
+  std::function<std::unique_ptr<AnyRwLock>()> make;
+};
+
+const std::vector<RwFactory>& rw_registry();
+const RwFactory* find_rw(const std::string& name);
+
+}  // namespace qsv::rwlocks

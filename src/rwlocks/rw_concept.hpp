@@ -1,0 +1,56 @@
+// rw_concept.hpp — reader-writer lock interface.
+#pragma once
+
+#include <concepts>
+#include <utility>
+
+namespace qsv::rwlocks {
+
+/// Writer side is the Lockable pair; reader side adds the _shared pair.
+/// Matches std::shared_mutex naming so adapters are trivial.
+template <typename L>
+concept SharedLockable = requires(L l) {
+  { l.lock() } -> std::same_as<void>;
+  { l.unlock() } -> std::same_as<void>;
+  { l.lock_shared() } -> std::same_as<void>;
+  { l.unlock_shared() } -> std::same_as<void>;
+  { L::name() } -> std::convertible_to<const char*>;
+};
+
+/// RAII shared (reader) guard.
+template <SharedLockable L>
+class SharedGuard {
+ public:
+  explicit SharedGuard(L& lock) : lock_(&lock) { lock_->lock_shared(); }
+  ~SharedGuard() {
+    if (lock_ != nullptr) lock_->unlock_shared();
+  }
+  SharedGuard(const SharedGuard&) = delete;
+  SharedGuard& operator=(const SharedGuard&) = delete;
+  SharedGuard(SharedGuard&& o) noexcept
+      : lock_(std::exchange(o.lock_, nullptr)) {}
+  SharedGuard& operator=(SharedGuard&&) = delete;
+
+ private:
+  L* lock_;
+};
+
+/// RAII exclusive (writer) guard.
+template <SharedLockable L>
+class ExclusiveGuard {
+ public:
+  explicit ExclusiveGuard(L& lock) : lock_(&lock) { lock_->lock(); }
+  ~ExclusiveGuard() {
+    if (lock_ != nullptr) lock_->unlock();
+  }
+  ExclusiveGuard(const ExclusiveGuard&) = delete;
+  ExclusiveGuard& operator=(const ExclusiveGuard&) = delete;
+  ExclusiveGuard(ExclusiveGuard&& o) noexcept
+      : lock_(std::exchange(o.lock_, nullptr)) {}
+  ExclusiveGuard& operator=(ExclusiveGuard&&) = delete;
+
+ private:
+  L* lock_;
+};
+
+}  // namespace qsv::rwlocks

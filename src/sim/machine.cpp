@@ -1,0 +1,214 @@
+#include "sim/machine.hpp"
+
+#include <cassert>
+
+namespace qsv::sim {
+
+Machine::~Machine() {
+  for (auto h : programs_) {
+    if (h) h.destroy();
+  }
+}
+
+Addr Machine::alloc(std::size_t home, Value init) {
+  Line line;
+  line.value = init;
+  line.home = home % (procs_ == 0 ? 1 : procs_);
+  line.sharers.assign(procs_, false);
+  lines_.push_back(std::move(line));
+  return static_cast<Addr>(lines_.size() - 1);
+}
+
+void Machine::schedule(Cycles at, std::coroutine_handle<> h) {
+  queue_.push(Event{at, seq_++, h});
+}
+
+void Machine::spawn(Task task) {
+  auto h = task.release();
+  programs_.push_back(h);
+  schedule(now_, h);
+}
+
+Cycles Machine::occupy(Cycles& busy_until, Cycles service) {
+  if (!costs_.model_contention) return service;
+  const Cycles start = busy_until > now_ ? busy_until : now_;
+  busy_until = start + service;
+  return busy_until - now_;  // queuing delay + service time
+}
+
+Cycles Machine::charge(std::size_t proc, Line& line, bool write) {
+  ++counters_.total_accesses;
+  const bool is_remote = node_of(proc) != node_of(line.home);
+
+  // Resolve the miss service time and serialization point; cache hits
+  // short-circuit below without touching either.
+  auto miss_latency = [&]() -> Cycles {
+    if (topology_ == Topology::kBus) {
+      ++counters_.bus_transactions;
+      return occupy(bus_busy_, costs_.bus_transaction);
+    }
+    if (node_busy_.size() < procs_ + 1) node_busy_.assign(procs_ + 1, 0);
+    Cycles& module = node_busy_[node_of(line.home)];
+    if (is_remote) {
+      ++counters_.remote_refs;
+      return occupy(module, costs_.numa_remote_miss);
+    }
+    return occupy(module, costs_.numa_local_miss);
+  };
+
+  // Butterfly-class machine: remote words are never cached — every
+  // access crosses the network, and no copy is installed (so no
+  // invalidation accounting applies either).
+  if (topology_ == Topology::kNumaUncached && is_remote) {
+    if (node_busy_.size() < procs_ + 1) node_busy_.assign(procs_ + 1, 0);
+    ++counters_.remote_refs;
+    return occupy(node_busy_[node_of(line.home)], costs_.numa_remote_miss);
+  }
+
+  if (write) {
+    if (line.exclusive == static_cast<std::int32_t>(proc)) {
+      ++counters_.cache_hits;
+      return costs_.cache_hit;  // already owned exclusively
+    }
+    // Upgrade/miss: invalidate every other copy.
+    for (std::size_t p = 0; p < procs_; ++p) {
+      if (p != proc && line.sharers[p]) {
+        line.sharers[p] = false;
+        ++counters_.invalidations;
+      }
+    }
+    line.sharers.assign(procs_, false);
+    line.sharers[proc] = true;
+    line.exclusive = static_cast<std::int32_t>(proc);
+    return miss_latency();
+  }
+
+  // Read path.
+  if (line.sharers[proc]) {
+    ++counters_.cache_hits;
+    return costs_.cache_hit;
+  }
+  // Miss: fetch a shared copy; any exclusive owner is downgraded.
+  if (line.exclusive >= 0 &&
+      line.exclusive != static_cast<std::int32_t>(proc)) {
+    line.exclusive = -1;
+  }
+  line.sharers[proc] = true;
+  if (line.exclusive == static_cast<std::int32_t>(proc)) line.exclusive = -1;
+  return miss_latency();
+}
+
+void Machine::wake_waiters(Line& line) {
+  // The write just invalidated every spinner's cached copy. Each spinner
+  // re-fetches the line and re-evaluates its condition — that re-fetch is
+  // the per-release O(#spinners) traffic that distinguishes centralized
+  // spinning (ticket, TTAS) from local spinning (MCS/QSV), so it is
+  // charged for *every* waiter, satisfied or not. Satisfied waiters
+  // additionally resume; unsatisfied ones go back to quietly holding
+  // their refreshed shared copy.
+  for (std::size_t i = 0; i < line.waiters.size();) {
+    Waiter& w = line.waiters[i];
+    // On the uncached NUMA machine a remote spinner holds no copy: it has
+    // been polling across the network the whole time. Convert the elapsed
+    // spin into its poll count (one remote transaction per round trip).
+    const bool remote_uncached =
+        topology_ == Topology::kNumaUncached &&
+        node_of(w.proc) != node_of(line.home);
+    if (remote_uncached) {
+      const Cycles since = now_ - w.taxed_until;
+      const std::uint64_t polls = since / costs_.numa_remote_miss;
+      counters_.remote_refs += polls;
+      counters_.total_accesses += polls;
+      w.taxed_until = now_;
+    }
+    const bool satisfied = !w.spin_while(line.value);
+    // Coherent machines: every spinner's copy was just invalidated, so
+    // every spinner re-fetches (the O(#spinners) release storm). On the
+    // uncached machine the tax above already covers the idle polling;
+    // only the successful observing poll is charged separately.
+    if (satisfied || !remote_uncached) {
+      const Cycles latency = charge(w.proc, line, /*write=*/false);
+      if (satisfied) {
+        *w.result_slot = line.value;
+        schedule(now_ + latency, w.handle);
+      }
+    }
+    if (satisfied) {
+      --blocked_waiters_;
+      line.waiters.erase(line.waiters.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Machine::issue(Access& a, std::coroutine_handle<> h) {
+  if (a.op == Op::kDelay) {
+    schedule(now_ + a.operand, h);
+    return;
+  }
+  assert(a.addr < lines_.size());
+  Line& line = lines_[a.addr];
+  const bool write = a.op != Op::kLoad;
+  Cycles latency = 0;
+
+  switch (a.op) {
+    case Op::kLoad:
+      latency = charge(a.proc, line, false);
+      a.result = line.value;
+      break;
+    case Op::kStore:
+      latency = charge(a.proc, line, true);
+      a.result = a.operand;
+      line.value = a.operand;
+      break;
+    case Op::kExchange:
+      latency = charge(a.proc, line, true);
+      a.result = line.value;
+      line.value = a.operand;
+      break;
+    case Op::kFetchAdd:
+      latency = charge(a.proc, line, true);
+      a.result = line.value;
+      line.value += a.operand;
+      break;
+    case Op::kCas:
+      latency = charge(a.proc, line, true);
+      a.result = line.value;
+      if (line.value == a.operand) line.value = a.operand2;
+      break;
+    case Op::kDelay:
+      break;  // handled above
+  }
+  if (write) wake_waiters(line);
+  schedule(now_ + latency, h);
+}
+
+void Machine::issue_wait(WaitAccess& w, std::coroutine_handle<> h) {
+  assert(w.addr < lines_.size());
+  Line& line = lines_[w.addr];
+  // Registration read: the waiter fetches a copy and then spins on it.
+  const Cycles latency = charge(w.proc, line, /*write=*/false);
+  if (!w.spin_while(line.value)) {
+    w.result = line.value;
+    schedule(now_ + latency, h);
+    return;
+  }
+  line.waiters.push_back(
+      Waiter{w.proc, h, w.spin_while, &w.result, /*taxed_until=*/now_});
+  ++blocked_waiters_;
+}
+
+bool Machine::run(Cycles max_cycles) {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    if (ev.time > max_cycles) return false;
+    now_ = ev.time;
+    ev.handle.resume();
+  }
+  return blocked_waiters_ == 0;
+}
+
+}  // namespace qsv::sim

@@ -1,0 +1,244 @@
+// machine.hpp — discrete-event shared-memory multiprocessor simulator.
+//
+// The hardware substitution for the paper's 1991 testbeds (DESIGN.md):
+// a P-processor machine with per-processor caches kept coherent by
+// write-invalidate, over either
+//   * a snooping shared bus   (Sequent Symmetry class), or
+//   * a NUMA directory fabric (BBN Butterfly class),
+// at cache-line granularity with one simulated word per line (all real
+// sync variables are padded to a line anyway).
+//
+// What it measures — the quantities the 1991 evaluation reported and
+// modern wall clocks cannot show:
+//   * bus transactions        (every miss/upgrade on the bus machine),
+//   * invalidation messages   (copies killed by writes),
+//   * remote references       (NUMA accesses serviced by a remote node),
+//   * stall cycles per processor.
+//
+// Spin-waiting is modeled faithfully: a waiter holds a cached copy and
+// pays nothing while it spins; the releasing write invalidates that copy
+// and the waiter pays one transfer to re-fetch. Machine::wait_while is
+// the simulator's expression of that pattern (zero events while quiet).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace qsv::sim {
+
+using Addr = std::uint32_t;
+using Value = std::uint64_t;
+using Cycles = std::uint64_t;
+
+/// Interconnect topology of the simulated machine.
+///   kBus          — snooping write-invalidate caches over one shared bus
+///                   (Sequent Symmetry class);
+///   kNuma         — directory-kept coherent caches with local/remote
+///                   miss costs (modern-style ccNUMA);
+///   kNumaUncached — remote references are *never cached* (BBN Butterfly
+///                   class): a processor spinning on a remote word pays
+///                   one network transaction per poll, while spinning on
+///                   a local word is free. This machine is what makes
+///                   local-spinning algorithms (MCS/QSV) decisive in the
+///                   1991 evaluations.
+enum class Topology { kBus, kNuma, kNumaUncached };
+
+/// Access latencies in processor cycles (1991-era ratios).
+struct CostModel {
+  Cycles cache_hit = 1;
+  Cycles bus_transaction = 20;    ///< any bus-serviced miss or upgrade
+  Cycles numa_local_miss = 20;    ///< miss serviced by the home node
+  Cycles numa_remote_miss = 100;  ///< miss crossing the interconnect
+  /// Model hot-spot contention: a miss occupies its serialization point
+  /// (the shared bus on the bus machine; the line's home memory module
+  /// on the NUMA machine) for its full service time, and concurrent
+  /// misses queue FIFO behind it. This is the effect that made
+  /// centralized barriers and TAS locks collapse on real 1991 hardware
+  /// (Pfister & Norton's "hot spots"); disable to recover the idealized
+  /// infinite-bandwidth model.
+  bool model_contention = true;
+};
+
+/// Aggregate event counters for one simulation.
+struct Counters {
+  std::uint64_t bus_transactions = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t remote_refs = 0;
+  std::uint64_t total_accesses = 0;
+  std::uint64_t cache_hits = 0;
+};
+
+class Machine {
+ public:
+  /// `procs_per_node` groups processors into NUMA nodes for the remote/
+  /// local cost split: an access is remote iff the issuing processor and
+  /// the line's home fall in different groups. The default of 1
+  /// (processor-per-node) matches the Butterfly-class machine; larger
+  /// groups model clustered NUMA (the topology the hierarchical QSV
+  /// protocol exploits, experiment F10). Ignored by the bus machine.
+  Machine(std::size_t processors, Topology topology,
+          CostModel costs = CostModel{}, std::size_t procs_per_node = 1)
+      : procs_(processors),
+        topology_(topology),
+        costs_(costs),
+        procs_per_node_(procs_per_node == 0 ? 1 : procs_per_node) {}
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+  ~Machine();
+
+  // ---- memory layout -----------------------------------------------
+  /// Allocate one line-sized word homed at node `home` (NUMA placement;
+  /// ignored by the bus machine) with initial value `init`.
+  Addr alloc(std::size_t home, Value init = 0);
+
+  // ---- awaitable operations (use inside sim::Task coroutines) -------
+  enum class Op : std::uint8_t {
+    kLoad,
+    kStore,
+    kExchange,
+    kFetchAdd,
+    kCas,
+    kDelay
+  };
+
+  struct Access {
+    Machine* machine;
+    std::size_t proc;
+    Addr addr;
+    Op op;
+    Value operand = 0;
+    Value operand2 = 0;  // CAS desired
+    Value result = 0;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      machine->issue(*this, h);
+    }
+    Value await_resume() const noexcept { return result; }
+  };
+
+  struct WaitAccess {
+    Machine* machine;
+    std::size_t proc;
+    Addr addr;
+    std::function<bool(Value)> spin_while;  // wait while this holds
+    Value result = 0;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      machine->issue_wait(*this, h);
+    }
+    Value await_resume() const noexcept { return result; }
+  };
+
+  Access load(std::size_t proc, Addr a) {
+    return Access{this, proc, a, Op::kLoad};
+  }
+  Access store(std::size_t proc, Addr a, Value v) {
+    return Access{this, proc, a, Op::kStore, v};
+  }
+  Access exchange(std::size_t proc, Addr a, Value v) {
+    return Access{this, proc, a, Op::kExchange, v};
+  }
+  Access fetch_add(std::size_t proc, Addr a, Value d) {
+    return Access{this, proc, a, Op::kFetchAdd, d};
+  }
+  /// Result is the observed prior value; the swap happened iff it equals
+  /// `expected`.
+  Access cas(std::size_t proc, Addr a, Value expected, Value desired) {
+    return Access{this, proc, a, Op::kCas, expected, desired};
+  }
+  /// Local computation for `c` cycles (no memory traffic).
+  Access delay(std::size_t proc, Cycles c) {
+    return Access{this, proc, 0, Op::kDelay, c};
+  }
+  /// Coherent spin: block while `spin_while(value)` holds. Pays one read
+  /// at registration and one re-fetch per wake; nothing in between.
+  WaitAccess wait_while(std::size_t proc, Addr a,
+                        std::function<bool(Value)> spin_while) {
+    return WaitAccess{this, proc, a, std::move(spin_while)};
+  }
+
+  // ---- running -------------------------------------------------------
+  /// Adopt and schedule a processor program (resumed first at time 0).
+  void spawn(Task task);
+  /// Drive events until quiescence (all programs done or blocked) or
+  /// `max_cycles`. Returns false if blocked programs remain (deadlock in
+  /// the protocol under test) or the horizon was hit.
+  bool run(Cycles max_cycles = ~0ULL);
+
+  Cycles now() const noexcept { return now_; }
+  const Counters& counters() const noexcept { return counters_; }
+  std::size_t processors() const noexcept { return procs_; }
+  std::size_t procs_per_node() const noexcept { return procs_per_node_; }
+  /// NUMA node of a processor under the configured grouping.
+  std::size_t node_of(std::size_t proc) const noexcept {
+    return proc / procs_per_node_;
+  }
+  /// Direct peek for test assertions (no traffic charged).
+  Value peek(Addr a) const { return lines_[a].value; }
+
+ private:
+  struct Waiter {
+    std::size_t proc;
+    std::coroutine_handle<> handle;
+    std::function<bool(Value)> spin_while;
+    Value* result_slot;
+    /// Uncached remote spinning: time the poll loop has been charged up
+    /// to (each numa_remote_miss cycles of spinning = one remote poll).
+    Cycles taxed_until = 0;
+  };
+
+  struct Line {
+    Value value = 0;
+    std::size_t home = 0;
+    // Coherence metadata: which processors hold a copy, and whether one
+    // holds it exclusively (writable).
+    std::vector<bool> sharers;
+    std::int32_t exclusive = -1;  // proc id or -1
+    std::vector<Waiter> waiters;
+  };
+
+  struct Event {
+    Cycles time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Event& o) const noexcept {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  void issue(Access& a, std::coroutine_handle<> h);
+  void issue_wait(WaitAccess& w, std::coroutine_handle<> h);
+  /// Apply coherence for an access; returns its latency.
+  Cycles charge(std::size_t proc, Line& line, bool write);
+  /// After a write changed `line.value`: wake satisfied waiters.
+  void wake_waiters(Line& line);
+  void schedule(Cycles at, std::coroutine_handle<> h);
+
+  /// FIFO occupancy of a serialization point: returns the total latency
+  /// (queuing delay + service) of an access of `service` cycles issued
+  /// now, and advances the point's busy horizon.
+  Cycles occupy(Cycles& busy_until, Cycles service);
+
+  std::size_t procs_;
+  Topology topology_;
+  CostModel costs_;
+  std::size_t procs_per_node_ = 1;
+  Cycles bus_busy_ = 0;                ///< bus machine: one shared bus
+  std::vector<Cycles> node_busy_;      ///< NUMA: per home-node module
+  std::vector<Line> lines_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::vector<std::coroutine_handle<>> programs_;
+  Counters counters_;
+  Cycles now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::size_t blocked_waiters_ = 0;
+};
+
+}  // namespace qsv::sim

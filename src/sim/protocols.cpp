@@ -1,0 +1,808 @@
+#include "sim/protocols.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace qsv::sim {
+
+namespace {
+
+// Pointers in simulated memory: processor/node id + 1; 0 is null.
+constexpr Value ptr(std::size_t id) { return static_cast<Value>(id) + 1; }
+constexpr std::size_t unptr(Value v) { return static_cast<std::size_t>(v) - 1; }
+
+// ---------------------------------------------------------------------
+// Lock protocols. Shared layout structs are allocated host-side; every
+// member is an Addr into simulated memory.
+// ---------------------------------------------------------------------
+
+struct TasLayout {
+  Addr flag;
+  static TasLayout make(Machine& m) { return TasLayout{m.alloc(0, 0)}; }
+};
+
+Task tas_worker(Machine& m, TasLayout l, std::size_t proc, std::size_t rounds,
+                Cycles cs, bool test_first) {
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (;;) {
+      if (test_first) {
+        // TTAS: spin on a cached copy until the lock looks free.
+        co_await m.wait_while(proc, l.flag,
+                              [](Value v) { return v != 0; });
+      }
+      const Value old = co_await m.exchange(proc, l.flag, 1);
+      if (old == 0) break;
+      if (!test_first) {
+        // Pure TAS hammers the line; a minimal pause keeps the model
+        // honest about instruction issue rate, not a backoff.
+        co_await m.delay(proc, 1);
+      }
+    }
+    co_await m.delay(proc, cs);
+    co_await m.store(proc, l.flag, 0);
+  }
+}
+
+struct TicketLayout {
+  Addr next_ticket;
+  Addr now_serving;
+  static TicketLayout make(Machine& m) {
+    return TicketLayout{m.alloc(0, 0), m.alloc(0, 0)};
+  }
+};
+
+Task ticket_worker(Machine& m, TicketLayout l, std::size_t proc,
+                   std::size_t rounds, Cycles cs) {
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const Value me = co_await m.fetch_add(proc, l.next_ticket, 1);
+    co_await m.wait_while(proc, l.now_serving,
+                          [me](Value v) { return v != me; });
+    co_await m.delay(proc, cs);
+    const Value s = co_await m.load(proc, l.now_serving);
+    co_await m.store(proc, l.now_serving, s + 1);
+  }
+}
+
+struct AndersonLayout {
+  Addr next_slot;
+  std::vector<Addr> slots;  // one line per processor, homed round-robin
+  static AndersonLayout make(Machine& m, std::size_t procs) {
+    AndersonLayout l;
+    l.next_slot = m.alloc(0, 0);
+    for (std::size_t p = 0; p < procs; ++p) {
+      l.slots.push_back(m.alloc(p, p == 0 ? 1 : 0));
+    }
+    return l;
+  }
+};
+
+Task anderson_worker(Machine& m, const AndersonLayout* l, std::size_t proc,
+                     std::size_t rounds, Cycles cs) {
+  const std::size_t n = l->slots.size();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const Value pos = co_await m.fetch_add(proc, l->next_slot, 1);
+    const std::size_t slot = static_cast<std::size_t>(pos) % n;
+    co_await m.wait_while(proc, l->slots[slot],
+                          [](Value v) { return v == 0; });
+    co_await m.delay(proc, cs);
+    co_await m.store(proc, l->slots[slot], 0);          // re-arm mine
+    co_await m.store(proc, l->slots[(slot + 1) % n], 1);  // grant next
+  }
+}
+
+struct McsLayout {
+  Addr tail;
+  std::vector<Addr> node_next;   // per proc, homed locally
+  std::vector<Addr> node_state;  // per proc, homed locally
+  static McsLayout make(Machine& m, std::size_t procs) {
+    McsLayout l;
+    l.tail = m.alloc(0, 0);
+    for (std::size_t p = 0; p < procs; ++p) {
+      l.node_next.push_back(m.alloc(p, 0));
+      l.node_state.push_back(m.alloc(p, 0));
+    }
+    return l;
+  }
+};
+
+/// MCS and the QSV exclusive protocol share this shape: one fetch&store
+/// to enqueue, spin in the waiter's own (locally homed) node, one store
+/// to hand off.
+Task mcs_worker(Machine& m, const McsLayout* l, std::size_t proc,
+                std::size_t rounds, Cycles cs) {
+  for (std::size_t r = 0; r < rounds; ++r) {
+    co_await m.store(proc, l->node_next[proc], 0);
+    co_await m.store(proc, l->node_state[proc], 0);
+    const Value pred = co_await m.exchange(proc, l->tail, ptr(proc));
+    if (pred != 0) {
+      co_await m.store(proc, l->node_next[unptr(pred)], ptr(proc));
+      co_await m.wait_while(proc, l->node_state[proc],
+                            [](Value v) { return v == 0; });
+    }
+    co_await m.delay(proc, cs);
+    Value next = co_await m.load(proc, l->node_next[proc]);
+    if (next == 0) {
+      const Value observed =
+          co_await m.cas(proc, l->tail, ptr(proc), 0);
+      if (observed == ptr(proc)) continue;  // queue empty: released
+      co_await m.wait_while(proc, l->node_next[proc],
+                            [](Value v) { return v == 0; });
+      next = co_await m.load(proc, l->node_next[proc]);
+    }
+    co_await m.store(proc, l->node_state[unptr(next)], 1);
+  }
+}
+
+struct ClhLayout {
+  Addr tail;
+  std::vector<Addr> node_state;       // procs + 1 nodes (one sentinel)
+  std::vector<std::size_t> my_node;   // host-side: current node of proc
+  static ClhLayout make(Machine& m, std::size_t procs) {
+    ClhLayout l;
+    for (std::size_t i = 0; i < procs + 1; ++i) {
+      // Node i initially owned by proc i (sentinel homed at 0).
+      l.node_state.push_back(m.alloc(i < procs ? i : 0, 0));
+    }
+    // Sentinel (index procs) starts released (state 0 = released).
+    l.tail = m.alloc(0, ptr(procs));
+    for (std::size_t p = 0; p < procs; ++p) l.my_node.push_back(p);
+    return l;
+  }
+};
+
+/// CLH contrast: the waiter spins on its *predecessor's* node, which on
+/// the NUMA machine is usually remote — the deficiency MCS/QSV fix.
+Task clh_worker(Machine& m, ClhLayout* l, std::size_t proc,
+                std::size_t rounds, Cycles cs) {
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const std::size_t mine = l->my_node[proc];
+    co_await m.store(proc, l->node_state[mine], 1);  // waiting/held
+    const Value pred = co_await m.exchange(proc, l->tail, ptr(mine));
+    const std::size_t pred_node = unptr(pred);
+    co_await m.wait_while(proc, l->node_state[pred_node],
+                          [](Value v) { return v != 0; });
+    l->my_node[proc] = pred_node;  // adopt (host-side bookkeeping)
+    co_await m.delay(proc, cs);
+    co_await m.store(proc, l->node_state[mine], 0);
+  }
+}
+
+struct GraunkeThakkarLayout {
+  Addr tail;
+  std::vector<Addr> flags;  // one per proc + trailing init flag
+  static GraunkeThakkarLayout make(Machine& m, std::size_t procs) {
+    GraunkeThakkarLayout l;
+    for (std::size_t p = 0; p < procs; ++p) l.flags.push_back(m.alloc(p, 0));
+    l.flags.push_back(m.alloc(0, 0));  // init flag, value 0
+    // Tail packs (flag index, recorded parity). The recorded parity must
+    // differ from the init flag's value so the first locker enters.
+    l.tail = m.alloc(0, pack(procs, 1));
+    return l;
+  }
+  static Value pack(std::size_t flag_idx, Value parity) {
+    return (static_cast<Value>(flag_idx) << 1) | parity;
+  }
+};
+
+/// Graunke-Thakkar contrast: like Anderson the flags are per-processor,
+/// but the waiter spins on its *predecessor's* flag — remote on the NUMA
+/// machine, which is exactly the deficiency MCS/QSV fix.
+Task graunke_thakkar_worker(Machine& m, const GraunkeThakkarLayout* l,
+                            std::size_t proc, std::size_t rounds,
+                            Cycles cs) {
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const Value mine = co_await m.load(proc, l->flags[proc]);
+    const Value self = GraunkeThakkarLayout::pack(proc, mine & 1);
+    const Value prev = co_await m.exchange(proc, l->tail, self);
+    const std::size_t prev_flag = static_cast<std::size_t>(prev >> 1);
+    const Value prev_val = prev & 1;
+    co_await m.wait_while(proc, l->flags[prev_flag], [prev_val](Value v) {
+      return (v & 1) == prev_val;
+    });
+    co_await m.delay(proc, cs);
+    co_await m.store(proc, l->flags[proc], mine + 1);
+  }
+}
+
+struct HierQsvLayout {
+  Addr global_tail;
+  std::vector<Addr> local_tail;   // per cohort, homed at cohort lead
+  std::vector<Addr> rep;          // per cohort: proc holding global (+1)
+  std::vector<Addr> passes;       // per cohort pass counter
+  std::vector<Addr> node_next;    // local-queue node, per proc
+  std::vector<Addr> node_state;   // 0 wait, 1 must-acquire, 2 global-passed
+  std::vector<Addr> gnode_next;   // global-queue node, per proc
+  std::vector<Addr> gnode_state;  // 0 wait, 1 granted
+  static HierQsvLayout make(Machine& m, std::size_t procs,
+                            std::size_t cohorts, std::size_t ppn) {
+    HierQsvLayout l;
+    l.global_tail = m.alloc(0, 0);
+    for (std::size_t c = 0; c < cohorts; ++c) {
+      const std::size_t lead = c * ppn;
+      l.local_tail.push_back(m.alloc(lead, 0));
+      l.rep.push_back(m.alloc(lead, 0));
+      l.passes.push_back(m.alloc(lead, 0));
+    }
+    for (std::size_t p = 0; p < procs; ++p) {
+      l.node_next.push_back(m.alloc(p, 0));
+      l.node_state.push_back(m.alloc(p, 0));
+      l.gnode_next.push_back(m.alloc(p, 0));
+      l.gnode_state.push_back(m.alloc(p, 0));
+    }
+    return l;
+  }
+};
+
+constexpr Value kHierMustAcquire = 1;
+constexpr Value kHierGlobalPassed = 2;
+
+/// Release the global queue on behalf of cohort `c` (mirrors
+/// HierQsvMutex::release_global; the representative's global node is
+/// recorded in `rep[c]`).
+Task hier_release_global(Machine& m, const HierQsvLayout* l,
+                         std::size_t proc, std::size_t c) {
+  const Value r = co_await m.load(proc, l->rep[c]);
+  const std::size_t owner = unptr(r);
+  Value next = co_await m.load(proc, l->gnode_next[owner]);
+  if (next == 0) {
+    const Value observed =
+        co_await m.cas(proc, l->global_tail, ptr(owner), 0);
+    if (observed == ptr(owner)) co_return;
+    co_await m.wait_while(proc, l->gnode_next[owner],
+                          [](Value v) { return v == 0; });
+    next = co_await m.load(proc, l->gnode_next[owner]);
+  }
+  co_await m.store(proc, l->gnode_state[unptr(next)], 1);
+}
+
+/// Hierarchical QSV port (mirrors hier/hier_qsv.hpp): cohort = NUMA node.
+Task hier_qsv_worker(Machine& m, const HierQsvLayout* l, std::size_t proc,
+                     std::size_t rounds, Cycles cs, std::uint64_t budget) {
+  const std::size_t c = m.node_of(proc);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    // ---- acquire ----------------------------------------------------
+    co_await m.store(proc, l->node_next[proc], 0);
+    co_await m.store(proc, l->node_state[proc], 0);
+    const Value pred = co_await m.exchange(proc, l->local_tail[c], ptr(proc));
+    bool have_global = false;
+    if (pred != 0) {
+      co_await m.store(proc, l->node_next[unptr(pred)], ptr(proc));
+      co_await m.wait_while(proc, l->node_state[proc],
+                            [](Value v) { return v == 0; });
+      const Value s = co_await m.load(proc, l->node_state[proc]);
+      have_global = s == kHierGlobalPassed;
+    }
+    if (!have_global) {
+      co_await m.store(proc, l->gnode_next[proc], 0);
+      co_await m.store(proc, l->gnode_state[proc], 0);
+      const Value gpred = co_await m.exchange(proc, l->global_tail, ptr(proc));
+      if (gpred != 0) {
+        co_await m.store(proc, l->gnode_next[unptr(gpred)], ptr(proc));
+        co_await m.wait_while(proc, l->gnode_state[proc],
+                              [](Value v) { return v == 0; });
+      }
+      co_await m.store(proc, l->rep[c], ptr(proc));
+      co_await m.store(proc, l->passes[c], 0);
+    }
+    // ---- critical section -------------------------------------------
+    co_await m.delay(proc, cs);
+    // ---- release -----------------------------------------------------
+    Value next = co_await m.load(proc, l->node_next[proc]);
+    if (next == 0) {
+      const Value observed =
+          co_await m.cas(proc, l->local_tail[c], ptr(proc), 0);
+      if (observed == ptr(proc)) {
+        co_await hier_release_global(m, l, proc, c);
+        continue;
+      }
+      co_await m.wait_while(proc, l->node_next[proc],
+                            [](Value v) { return v == 0; });
+      next = co_await m.load(proc, l->node_next[proc]);
+    }
+    const Value p = co_await m.load(proc, l->passes[c]);
+    if (p < budget) {
+      co_await m.store(proc, l->passes[c], p + 1);
+      co_await m.store(proc, l->node_state[unptr(next)], kHierGlobalPassed);
+    } else {
+      co_await hier_release_global(m, l, proc, c);
+      co_await m.store(proc, l->node_state[unptr(next)], kHierMustAcquire);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Barrier protocols.
+// ---------------------------------------------------------------------
+
+struct CentralBarrierLayout {
+  Addr arrived;
+  Addr episode;
+  static CentralBarrierLayout make(Machine& m) {
+    return CentralBarrierLayout{m.alloc(0, 0), m.alloc(0, 0)};
+  }
+};
+
+Task central_barrier_worker(Machine& m, CentralBarrierLayout l,
+                            std::size_t proc, std::size_t procs,
+                            std::size_t episodes) {
+  for (std::size_t e = 0; e < episodes; ++e) {
+    const Value epoch = co_await m.load(proc, l.episode);
+    const Value c = co_await m.fetch_add(proc, l.arrived, 1);
+    if (c + 1 == procs) {
+      co_await m.store(proc, l.arrived, 0);
+      co_await m.store(proc, l.episode, epoch + 1);
+    } else {
+      co_await m.wait_while(proc, l.episode,
+                            [epoch](Value v) { return v == epoch; });
+    }
+  }
+}
+
+struct DisseminationLayout {
+  // flags[round][proc], each homed at its reader.
+  std::vector<std::vector<Addr>> flags;
+  std::size_t rounds;
+  static DisseminationLayout make(Machine& m, std::size_t procs) {
+    DisseminationLayout l;
+    l.rounds = 0;
+    for (std::size_t w = 1; w < procs; w <<= 1) ++l.rounds;
+    l.flags.resize(l.rounds);
+    for (std::size_t k = 0; k < l.rounds; ++k) {
+      for (std::size_t p = 0; p < procs; ++p) {
+        l.flags[k].push_back(m.alloc(p, 0));
+      }
+    }
+    return l;
+  }
+};
+
+Task dissemination_worker(Machine& m, const DisseminationLayout* l,
+                          std::size_t proc, std::size_t procs,
+                          std::size_t episodes) {
+  for (std::size_t e = 1; e <= episodes; ++e) {
+    std::size_t dist = 1;
+    for (std::size_t k = 0; k < l->rounds; ++k, dist <<= 1) {
+      co_await m.store(proc, l->flags[k][(proc + dist) % procs],
+                       static_cast<Value>(e));
+      co_await m.wait_while(proc, l->flags[k][proc],
+                            [e](Value v) { return v < e; });
+    }
+  }
+}
+
+struct McsTreeLayout {
+  std::vector<Addr> arrival;  // per proc, homed locally
+  std::vector<Addr> release;  // per proc, homed locally
+  static McsTreeLayout make(Machine& m, std::size_t procs) {
+    McsTreeLayout l;
+    for (std::size_t p = 0; p < procs; ++p) {
+      l.arrival.push_back(m.alloc(p, 0));
+      l.release.push_back(m.alloc(p, 0));
+    }
+    return l;
+  }
+};
+
+Task mcs_tree_worker(Machine& m, const McsTreeLayout* l, std::size_t proc,
+                     std::size_t procs, std::size_t episodes) {
+  constexpr std::size_t kFanIn = 4;
+  for (std::size_t e = 1; e <= episodes; ++e) {
+    for (std::size_t c = 0; c < kFanIn; ++c) {
+      const std::size_t child = proc * kFanIn + 1 + c;
+      if (child >= procs) break;
+      co_await m.wait_while(proc, l->arrival[child],
+                            [e](Value v) { return v < e; });
+    }
+    if (proc != 0) {
+      co_await m.store(proc, l->arrival[proc], static_cast<Value>(e));
+      co_await m.wait_while(proc, l->release[proc],
+                            [e](Value v) { return v < e; });
+    }
+    for (std::size_t c = 1; c <= 2; ++c) {
+      const std::size_t child = 2 * proc + c;
+      if (child >= procs) break;
+      co_await m.store(proc, l->release[child], static_cast<Value>(e));
+    }
+  }
+}
+
+struct TournamentLayout {
+  // arrival[k][w]: loser of round k signals winner w (homed at winner —
+  // the winner spins locally, the loser pays one remote write).
+  // release[k][p]: winner of round k wakes loser p (homed at the loser).
+  std::vector<std::vector<Addr>> arrival;
+  std::vector<std::vector<Addr>> release;
+  std::size_t rounds;
+  static TournamentLayout make(Machine& m, std::size_t procs) {
+    TournamentLayout l;
+    l.rounds = 0;
+    for (std::size_t w = 1; w < procs; w <<= 1) ++l.rounds;
+    l.arrival.resize(l.rounds);
+    l.release.resize(l.rounds);
+    for (std::size_t k = 0; k < l.rounds; ++k) {
+      for (std::size_t p = 0; p < procs; ++p) {
+        l.arrival[k].push_back(m.alloc(p, 0));
+        l.release[k].push_back(m.alloc(p, 0));
+      }
+    }
+    return l;
+  }
+};
+
+/// Tournament barrier: processors pair off in log P rounds; the loser
+/// reports to the statically-known winner and blocks, the champion
+/// releases the losers in reverse order. All spins are on locally-homed
+/// flags; total traffic is O(P) stores per episode with O(log P) depth.
+Task tournament_worker(Machine& m, const TournamentLayout* l,
+                       std::size_t proc, std::size_t procs,
+                       std::size_t episodes) {
+  for (std::size_t e = 1; e <= episodes; ++e) {
+    const Value ev = static_cast<Value>(e);
+    std::size_t k = 0;
+    std::size_t dist = 1;
+    std::ptrdiff_t lost_round = -1;
+    for (; dist < procs; dist <<= 1, ++k) {
+      if ((proc & (2 * dist - 1)) == 0) {
+        const std::size_t peer = proc + dist;
+        if (peer < procs) {
+          // Winner: wait for the loser's report on our own line.
+          co_await m.wait_while(proc, l->arrival[k][proc],
+                                [ev](Value v) { return v < ev; });
+        }
+      } else {
+        // Loser: report to the winner and drop out of the tournament.
+        const std::size_t winner = proc - dist;
+        co_await m.store(proc, l->arrival[k][winner], ev);
+        lost_round = static_cast<std::ptrdiff_t>(k);
+        break;
+      }
+    }
+    if (lost_round >= 0) {
+      co_await m.wait_while(proc,
+                            l->release[static_cast<std::size_t>(lost_round)]
+                                      [proc],
+                            [ev](Value v) { return v < ev; });
+      k = static_cast<std::size_t>(lost_round);
+    }
+    // Wake the losers we beat, in reverse round order.
+    while (k-- > 0) {
+      const std::size_t loser = proc + (static_cast<std::size_t>(1) << k);
+      if (loser < procs) {
+        co_await m.store(proc, l->release[k][loser], ev);
+      }
+    }
+  }
+}
+
+struct QsvBarrierLayout {
+  Addr var;      // queue tail (the synchronization variable)
+  Addr arrived;  // episode arrival count
+  std::vector<Addr> node_prev;   // per proc, homed locally
+  std::vector<Addr> node_state;  // per proc, homed locally
+  static QsvBarrierLayout make(Machine& m, std::size_t procs) {
+    QsvBarrierLayout l;
+    l.var = m.alloc(0, 0);
+    l.arrived = m.alloc(0, 0);
+    for (std::size_t p = 0; p < procs; ++p) {
+      l.node_prev.push_back(m.alloc(p, 0));
+      l.node_state.push_back(m.alloc(p, 0));
+    }
+    return l;
+  }
+};
+
+Task qsv_barrier_worker(Machine& m, const QsvBarrierLayout* l,
+                        std::size_t proc, std::size_t procs,
+                        std::size_t episodes) {
+  for (std::size_t e = 0; e < episodes; ++e) {
+    co_await m.store(proc, l->node_state[proc], 0);
+    const Value prev = co_await m.exchange(proc, l->var, ptr(proc));
+    co_await m.store(proc, l->node_prev[proc], prev);
+    const Value c = co_await m.fetch_add(proc, l->arrived, 1);
+    if (c + 1 == procs) {
+      co_await m.store(proc, l->arrived, 0);
+      Value chain = co_await m.exchange(proc, l->var, 0);
+      while (chain != 0) {
+        const std::size_t node = unptr(chain);
+        const Value p = co_await m.load(proc, l->node_prev[node]);
+        if (node != proc) {
+          co_await m.store(proc, l->node_state[node], 1);
+        }
+        chain = p;
+      }
+    } else {
+      co_await m.wait_while(proc, l->node_state[proc],
+                            [](Value v) { return v == 0; });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Eventcount protocols (F11 sim section).
+// ---------------------------------------------------------------------
+
+struct EcCentralLayout {
+  Addr count;
+  static EcCentralLayout make(Machine& m) {
+    return EcCentralLayout{m.alloc(0, 0)};
+  }
+};
+
+/// Centralized eventcount: every waiter spins on the count word, so each
+/// advance invalidates every waiter's copy and they all re-fetch.
+Task ec_central_producer(Machine& m, EcCentralLayout l, std::size_t proc,
+                         std::size_t events, Cycles produce_cycles) {
+  for (std::size_t e = 0; e < events; ++e) {
+    co_await m.delay(proc, produce_cycles);  // produce something
+    co_await m.fetch_add(proc, l.count, 1);
+  }
+}
+
+Task ec_central_consumer(Machine& m, EcCentralLayout l, std::size_t proc,
+                         std::size_t events) {
+  for (std::size_t e = 1; e <= events; ++e) {
+    co_await m.wait_while(proc, l.count, [e](Value v) { return v < e; });
+    co_await m.delay(proc, 10);  // consume
+  }
+}
+
+struct EcQueuedLayout {
+  Addr count;
+  Addr head;                      // Treiber stack of waiting nodes
+  Addr done;                      // consumers finished (shepherd exit)
+  std::vector<Addr> node_next;    // per proc, homed locally
+  std::vector<Addr> node_state;   // per proc: 0 idle/waiting, 1 granted
+  std::vector<Addr> node_target;  // per proc: awaited value
+  static EcQueuedLayout make(Machine& m, std::size_t procs) {
+    EcQueuedLayout l;
+    l.count = m.alloc(0, 0);
+    l.head = m.alloc(0, 0);
+    l.done = m.alloc(0, 0);
+    for (std::size_t p = 0; p < procs; ++p) {
+      l.node_next.push_back(m.alloc(p, 0));
+      l.node_state.push_back(m.alloc(p, 0));
+      l.node_target.push_back(m.alloc(p, 0));
+    }
+    return l;
+  }
+};
+
+/// Pushers swap the head first and link their `next` a step later (the
+/// sim's exchange-based push), so a node's next can transiently read as
+/// "not yet linked"; walkers wait out that window, exactly like the MCS
+/// release waiting for its successor's link.
+constexpr Value kEcUnlinked = ~Value{0};
+
+/// Push `node` onto the waiter stack (head swap, then link).
+Task ec_queued_push(Machine& m, const EcQueuedLayout* l, std::size_t proc,
+                    std::size_t node) {
+  co_await m.store(proc, l->node_next[node], kEcUnlinked);
+  const Value old = co_await m.exchange(proc, l->head, ptr(node));
+  co_await m.store(proc, l->node_next[node], old);
+}
+
+/// Walk the waiter stack once, granting satisfied nodes. Shared by the
+/// advance path and the end-of-run shepherd loop.
+Task ec_queued_walk(Machine& m, const EcQueuedLayout* l, std::size_t proc,
+                    Value now) {
+  Value chain = co_await m.exchange(proc, l->head, 0);
+  while (chain != 0) {
+    const std::size_t node = unptr(chain);
+    co_await m.wait_while(proc, l->node_next[node],
+                          [](Value v) { return v == kEcUnlinked; });
+    const Value next = co_await m.load(proc, l->node_next[node]);
+    const Value target = co_await m.load(proc, l->node_target[node]);
+    if (target <= now) {
+      co_await m.store(proc, l->node_state[node], 1);
+    } else {
+      co_await ec_queued_push(m, l, proc, node);  // re-push unsatisfied
+    }
+    chain = next;
+  }
+}
+
+/// Queued eventcount: waiters push their node (one exchange) and spin on
+/// it locally; the producer's advance detaches the stack and wakes the
+/// satisfied waiters with one store each. A consumer that pushes just
+/// after the satisfying walk is caught by the producer's shepherd loop,
+/// which keeps walking until every consumer has reported done — the
+/// sim-side analogue of the native implementation's withdraw-under-
+/// walk-lock discipline (per-proc node reuse makes withdrawal unsafe
+/// here: a withdrawn node could still sit in a detached chain when its
+/// owner re-pushes it).
+Task ec_queued_producer(Machine& m, const EcQueuedLayout* l,
+                        std::size_t proc, std::size_t events,
+                        std::size_t consumers, Cycles produce_cycles) {
+  for (std::size_t e = 0; e < events; ++e) {
+    co_await m.delay(proc, produce_cycles);
+    const Value now = co_await m.fetch_add(proc, l->count, 1) + 1;
+    co_await ec_queued_walk(m, l, proc, now);
+  }
+  // Shepherd: late pushers (who raced the final walks) still get woken.
+  for (;;) {
+    const Value finished = co_await m.load(proc, l->done);
+    if (finished == consumers) co_return;
+    co_await ec_queued_walk(m, l, proc, static_cast<Value>(events));
+    co_await m.delay(proc, 50);
+  }
+}
+
+Task ec_queued_consumer(Machine& m, const EcQueuedLayout* l,
+                        std::size_t proc, std::size_t events) {
+  for (std::size_t e = 1; e <= events; ++e) {
+    const Value seen = co_await m.load(proc, l->count);
+    if (seen < e) {
+      co_await m.store(proc, l->node_state[proc], 0);
+      co_await m.store(proc, l->node_target[proc], static_cast<Value>(e));
+      co_await ec_queued_push(m, l, proc, proc);
+      co_await m.wait_while(proc, l->node_state[proc],
+                            [](Value v) { return v == 0; });
+    }
+    co_await m.delay(proc, 10);
+  }
+  co_await m.fetch_add(proc, l->done, 1);
+}
+
+/// Drain the event queue and harvest counters while the layout objects
+/// (captured by reference in the coroutines) are still in scope.
+void finish(Machine& m, SimRunResult& result) {
+  result.completed = m.run();
+  result.counters = m.counters();
+  result.elapsed = m.now();
+}
+
+}  // namespace
+
+const std::vector<std::string>& sim_lock_names() {
+  static const std::vector<std::string> names = {
+      "tas",      "ttas", "ticket", "anderson", "graunke-thakkar",
+      "clh",      "mcs",  "qsv",    "hier-qsv"};
+  return names;
+}
+
+SimRunResult run_lock_sim(const std::string& algorithm, std::size_t procs,
+                          std::size_t rounds, Topology topology,
+                          Cycles cs_cycles, std::size_t procs_per_node,
+                          CostModel costs) {
+  Machine m(procs, topology, costs, procs_per_node);
+  SimRunResult result;
+  result.algorithm = algorithm;
+  result.processors = procs;
+  result.operations = procs * rounds;
+
+  if (algorithm == "tas" || algorithm == "ttas") {
+    const auto l = TasLayout::make(m);
+    for (std::size_t p = 0; p < procs; ++p) {
+      m.spawn(tas_worker(m, l, p, rounds, cs_cycles, algorithm == "ttas"));
+    }
+    finish(m, result);
+  } else if (algorithm == "ticket") {
+    const auto l = TicketLayout::make(m);
+    for (std::size_t p = 0; p < procs; ++p) {
+      m.spawn(ticket_worker(m, l, p, rounds, cs_cycles));
+    }
+    finish(m, result);
+  } else if (algorithm == "anderson") {
+    const auto l = AndersonLayout::make(m, procs);
+    for (std::size_t p = 0; p < procs; ++p) {
+      m.spawn(anderson_worker(m, &l, p, rounds, cs_cycles));
+    }
+    finish(m, result);
+  } else if (algorithm == "mcs" || algorithm == "qsv") {
+    const auto l = McsLayout::make(m, procs);
+    for (std::size_t p = 0; p < procs; ++p) {
+      m.spawn(mcs_worker(m, &l, p, rounds, cs_cycles));
+    }
+    finish(m, result);
+  } else if (algorithm == "clh") {
+    auto l = ClhLayout::make(m, procs);
+    for (std::size_t p = 0; p < procs; ++p) {
+      m.spawn(clh_worker(m, &l, p, rounds, cs_cycles));
+    }
+    finish(m, result);
+  } else if (algorithm == "graunke-thakkar") {
+    const auto l = GraunkeThakkarLayout::make(m, procs);
+    for (std::size_t p = 0; p < procs; ++p) {
+      m.spawn(graunke_thakkar_worker(m, &l, p, rounds, cs_cycles));
+    }
+    finish(m, result);
+  } else if (algorithm == "hier-qsv") {
+    const std::size_t ppn = m.procs_per_node();
+    const std::size_t cohorts = (procs + ppn - 1) / ppn;
+    const auto l = HierQsvLayout::make(m, procs, cohorts, ppn);
+    for (std::size_t p = 0; p < procs; ++p) {
+      m.spawn(hier_qsv_worker(m, &l, p, rounds, cs_cycles, kSimHierBudget));
+    }
+    finish(m, result);
+  } else {
+    throw std::invalid_argument("unknown sim lock: " + algorithm);
+  }
+  return result;
+}
+
+const std::vector<std::string>& sim_eventcount_names() {
+  static const std::vector<std::string> names = {"ec-central", "ec-queued"};
+  return names;
+}
+
+SimRunResult run_eventcount_sim(const std::string& algorithm,
+                                std::size_t procs, std::size_t events,
+                                Topology topology, Cycles produce_cycles) {
+  Machine m(procs, topology);
+  SimRunResult result;
+  result.algorithm = algorithm;
+  result.processors = procs;
+  result.operations = events;
+
+  if (algorithm == "ec-central") {
+    const auto l = EcCentralLayout::make(m);
+    m.spawn(ec_central_producer(m, l, 0, events, produce_cycles));
+    for (std::size_t p = 1; p < procs; ++p) {
+      m.spawn(ec_central_consumer(m, l, p, events));
+    }
+    finish(m, result);
+  } else if (algorithm == "ec-queued") {
+    const auto l = EcQueuedLayout::make(m, procs);
+    m.spawn(ec_queued_producer(m, &l, 0, events, procs - 1,
+                                produce_cycles));
+    for (std::size_t p = 1; p < procs; ++p) {
+      m.spawn(ec_queued_consumer(m, &l, p, events));
+    }
+    finish(m, result);
+  } else {
+    throw std::invalid_argument("unknown sim eventcount: " + algorithm);
+  }
+  return result;
+}
+
+const std::vector<std::string>& sim_barrier_names() {
+  static const std::vector<std::string> names = {
+      "central", "dissemination", "tournament", "mcs-tree", "qsv-episode"};
+  return names;
+}
+
+SimRunResult run_barrier_sim(const std::string& algorithm, std::size_t procs,
+                             std::size_t episodes, Topology topology) {
+  Machine m(procs, topology);
+  SimRunResult result;
+  result.algorithm = algorithm;
+  result.processors = procs;
+  result.operations = episodes;
+
+  if (algorithm == "central") {
+    const auto l = CentralBarrierLayout::make(m);
+    for (std::size_t p = 0; p < procs; ++p) {
+      m.spawn(central_barrier_worker(m, l, p, procs, episodes));
+    }
+    finish(m, result);
+  } else if (algorithm == "dissemination") {
+    const auto l = DisseminationLayout::make(m, procs);
+    for (std::size_t p = 0; p < procs; ++p) {
+      m.spawn(dissemination_worker(m, &l, p, procs, episodes));
+    }
+    finish(m, result);
+  } else if (algorithm == "tournament") {
+    const auto l = TournamentLayout::make(m, procs);
+    for (std::size_t p = 0; p < procs; ++p) {
+      m.spawn(tournament_worker(m, &l, p, procs, episodes));
+    }
+    finish(m, result);
+  } else if (algorithm == "mcs-tree") {
+    const auto l = McsTreeLayout::make(m, procs);
+    for (std::size_t p = 0; p < procs; ++p) {
+      m.spawn(mcs_tree_worker(m, &l, p, procs, episodes));
+    }
+    finish(m, result);
+  } else if (algorithm == "qsv-episode") {
+    const auto l = QsvBarrierLayout::make(m, procs);
+    for (std::size_t p = 0; p < procs; ++p) {
+      m.spawn(qsv_barrier_worker(m, &l, p, procs, episodes));
+    }
+    finish(m, result);
+  } else {
+    throw std::invalid_argument("unknown sim barrier: " + algorithm);
+  }
+  return result;
+}
+
+}  // namespace qsv::sim

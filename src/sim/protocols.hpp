@@ -1,0 +1,87 @@
+// protocols.hpp — synchronization protocols ported to the simulator.
+//
+// Each port mirrors its real implementation line for line (compare
+// run_mcs with locks/mcs.hpp) but executes on sim::Machine, so the
+// figures report the interconnect traffic the 1991 paper measured on
+// real hardware. "Pointers" in simulated memory are processor/node ids
+// biased by +1 (0 = null).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace qsv::sim {
+
+/// Outcome of one simulated contention run.
+struct SimRunResult {
+  std::string algorithm;
+  std::size_t processors = 0;
+  std::uint64_t operations = 0;  ///< acquisitions or barrier episodes
+  Counters counters;
+  Cycles elapsed = 0;
+  bool completed = false;  ///< false = protocol deadlocked / horizon hit
+
+  double bus_per_op() const {
+    return operations ? static_cast<double>(counters.bus_transactions) /
+                            static_cast<double>(operations)
+                      : 0.0;
+  }
+  double remote_per_op() const {
+    return operations ? static_cast<double>(counters.remote_refs) /
+                            static_cast<double>(operations)
+                      : 0.0;
+  }
+  double invalidations_per_op() const {
+    return operations ? static_cast<double>(counters.invalidations) /
+                            static_cast<double>(operations)
+                      : 0.0;
+  }
+};
+
+/// Lock algorithms available in the simulator (fig2/fig3/fig10 rows).
+const std::vector<std::string>& sim_lock_names();
+
+/// Run `procs` simulated processors, each performing `rounds`
+/// acquire/hold/release cycles (hold = `cs_cycles` of local work) on the
+/// named lock protocol over the given topology. `procs_per_node` groups
+/// processors into NUMA nodes (Machine); the "hier-qsv" protocol uses
+/// the same grouping as its cohort map.
+SimRunResult run_lock_sim(const std::string& algorithm, std::size_t procs,
+                          std::size_t rounds, Topology topology,
+                          Cycles cs_cycles = 50,
+                          std::size_t procs_per_node = 1,
+                          CostModel costs = CostModel{});
+
+/// Barrier algorithms available in the simulator (fig5 rows).
+const std::vector<std::string>& sim_barrier_names();
+
+/// Run `procs` simulated processors through `episodes` barrier episodes.
+SimRunResult run_barrier_sim(const std::string& algorithm, std::size_t procs,
+                             std::size_t episodes, Topology topology);
+
+/// Intra-cohort handoff budget used by the simulated "hier-qsv" protocol.
+inline constexpr std::uint64_t kSimHierBudget = 16;
+
+/// Eventcount implementations available in the simulator (F11's sim
+/// section): "ec-central" polls one shared count word; "ec-queued"
+/// waiters enqueue nodes and spin locally (the QSV protocol applied to
+/// condition synchronization).
+const std::vector<std::string>& sim_eventcount_names();
+
+/// Run an eventcount rendezvous on `procs` processors: one producer
+/// advances `events` times; every other processor awaits each value in
+/// turn (a 1-to-(P-1) broadcast repeated `events` times — the worst
+/// case for centralized polling, the intended case for queued wakes).
+/// `produce_cycles` is the local work per event at the producer: small
+/// values stress wake throughput (walk-bound, favors the centralized
+/// count), large values stress idle waiting (poll-bound, favors queued
+/// local spinning — the crossover experiment F11's sim section shows).
+SimRunResult run_eventcount_sim(const std::string& algorithm,
+                                std::size_t procs, std::size_t events,
+                                Topology topology,
+                                Cycles produce_cycles = 30);
+
+}  // namespace qsv::sim

@@ -1,0 +1,240 @@
+// trace.hpp — lightweight synchronization event tracing.
+//
+// The 1991 papers reason about *handoff sequences* (who got the lock
+// after whom, how long each waiter sat). This module records exactly
+// that, cheaply enough to leave on during benchmarks:
+//   * each thread writes fixed-size events into its own power-of-two
+//     ring buffer (no allocation, no sharing, ~15ns per event);
+//   * TraceSession::merge() collates all rings into one time-ordered
+//     sequence after the run;
+//   * TracedLock<L> wraps any Lockable and emits acquire-start /
+//     acquired / released events, from which waits and handoffs are
+//     derived (examples/trace_handoffs.cpp, fairness analysis in F7).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "platform/cache.hpp"
+#include "platform/thread_id.hpp"
+#include "platform/timing.hpp"
+
+namespace qsv::trace {
+
+/// What happened. Extend as needed; keep the event POD-small.
+enum class Kind : std::uint8_t {
+  kAcquireStart = 0,  ///< lock() entered (arrival at the queue)
+  kAcquired = 1,      ///< lock() returned (handoff received)
+  kReleased = 2,      ///< unlock() completed
+  kUser = 3,          ///< free-form marker (payload = user value)
+};
+
+struct Event {
+  std::uint64_t t_ns = 0;       ///< platform::now_ns timestamp
+  std::uint64_t payload = 0;    ///< lock id / user value
+  std::uint32_t thread = 0;     ///< dense thread index
+  Kind kind = Kind::kUser;
+};
+
+/// A session owns one ring per participating thread. Threads register
+/// lazily on first record(); merge() is called after the measured
+/// region, single-threaded.
+class TraceSession {
+ public:
+  /// `capacity_per_thread` is rounded up to a power of two. When a ring
+  /// fills, the *oldest* events are overwritten (benchmarks care about
+  /// steady state, not warmup).
+  explicit TraceSession(std::size_t capacity_per_thread = 1 << 14)
+      : capacity_(round_up_pow2(capacity_per_thread)) {}
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Record one event from the calling thread. Wait-free; never blocks
+  /// the caller on other threads (the only lock is on first use, to
+  /// register the thread's ring).
+  void record(Kind kind, std::uint64_t payload) {
+    Ring& r = my_ring();
+    Event& e = r.slots[r.cursor & (capacity_ - 1)];
+    e.t_ns = qsv::platform::now_ns();
+    e.payload = payload;
+    e.thread = static_cast<std::uint32_t>(qsv::platform::thread_index());
+    e.kind = kind;
+    ++r.cursor;
+  }
+
+  /// All surviving events across all rings, time-ordered. Call after the
+  /// traced threads have quiesced (joined); not safe concurrently with
+  /// record().
+  std::vector<Event> merge() const {
+    std::vector<Event> out;
+    {
+      std::lock_guard<std::mutex> g(registry_mu_);
+      for (const Ring* r : rings_) {
+        const std::uint64_t n = std::min<std::uint64_t>(r->cursor, capacity_);
+        const std::uint64_t begin = r->cursor - n;
+        for (std::uint64_t i = begin; i < r->cursor; ++i) {
+          out.push_back(r->slots[i & (capacity_ - 1)]);
+        }
+      }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Event& a, const Event& b) {
+                       return a.t_ns < b.t_ns;
+                     });
+    return out;
+  }
+
+  /// Total events recorded (including overwritten ones).
+  std::uint64_t recorded() const {
+    std::lock_guard<std::mutex> g(registry_mu_);
+    std::uint64_t n = 0;
+    for (const Ring* r : rings_) n += r->cursor;
+    return n;
+  }
+
+  /// CSV: t_ns,thread,kind,payload — one line per surviving event.
+  void dump_csv(std::ostream& os) const {
+    os << "t_ns,thread,kind,payload\n";
+    for (const Event& e : merge()) {
+      os << e.t_ns << ',' << e.thread << ','
+         << static_cast<int>(e.kind) << ',' << e.payload << '\n';
+    }
+  }
+
+  std::size_t capacity_per_thread() const noexcept { return capacity_; }
+
+ private:
+  struct Ring {
+    std::vector<Event> slots;
+    std::uint64_t cursor = 0;  // write cursor (monotone; slot = cursor mod cap)
+  };
+
+  static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  Ring& my_ring() {
+    thread_local struct Cache {
+      TraceSession* session = nullptr;
+      Ring* ring = nullptr;
+    } cache;
+    if (cache.session != this) {
+      auto ring = std::make_unique<Ring>();
+      ring->slots.resize(capacity_);
+      std::lock_guard<std::mutex> g(registry_mu_);
+      storage_.push_back(std::move(ring));
+      rings_.push_back(storage_.back().get());
+      cache.session = this;
+      cache.ring = storage_.back().get();
+    }
+    return *cache.ring;
+  }
+
+  std::size_t capacity_;
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<Ring>> storage_;
+  std::vector<Ring*> rings_;
+};
+
+/// Wrap any Lockable with acquire/release tracing into a session.
+/// `id` distinguishes locks when several are traced into one session.
+template <typename Lock>
+class TracedLock {
+ public:
+  template <typename... Args>
+  explicit TracedLock(TraceSession& session, std::uint64_t id,
+                      Args&&... args)
+      : session_(session), id_(id), impl_(std::forward<Args>(args)...) {}
+
+  void lock() {
+    session_.record(Kind::kAcquireStart, id_);
+    impl_.lock();
+    session_.record(Kind::kAcquired, id_);
+  }
+  void unlock() {
+    impl_.unlock();
+    session_.record(Kind::kReleased, id_);
+  }
+
+  Lock& underlying() noexcept { return impl_; }
+
+ private:
+  TraceSession& session_;
+  std::uint64_t id_;
+  Lock impl_;
+};
+
+/// Handoff statistics derivable from a merged trace: per-thread
+/// acquisition counts, wait times, and the handoff adjacency (how often
+/// thread B acquired immediately after thread A released).
+struct HandoffStats {
+  std::vector<std::uint64_t> acquisitions;     ///< by thread index
+  std::vector<std::uint64_t> total_wait_ns;    ///< by thread index
+  std::uint64_t handoffs = 0;                  ///< acquired-after-release
+  std::uint64_t self_handoffs = 0;             ///< same thread re-acquired
+
+  /// Largest / smallest per-thread acquisition share (1.0 = perfectly
+  /// even). Meaningful only for threads that participated.
+  double imbalance() const {
+    std::uint64_t lo = ~0ull, hi = 0, n = 0;
+    for (auto a : acquisitions) {
+      if (a == 0) continue;
+      lo = std::min(lo, a);
+      hi = std::max(hi, a);
+      ++n;
+    }
+    return (n == 0 || lo == 0) ? 0.0
+                               : static_cast<double>(hi) /
+                                     static_cast<double>(lo);
+  }
+};
+
+/// Fold a merged trace into handoff statistics for lock `id`.
+inline HandoffStats analyze_handoffs(const std::vector<Event>& events,
+                                     std::uint64_t id) {
+  HandoffStats stats;
+  std::vector<std::uint64_t> start_ns;
+  std::uint32_t last_releaser = ~0u;
+  bool release_pending = false;
+  for (const Event& e : events) {
+    if (e.payload != id) continue;
+    const std::size_t t = e.thread;
+    if (stats.acquisitions.size() <= t) {
+      stats.acquisitions.resize(t + 1, 0);
+      stats.total_wait_ns.resize(t + 1, 0);
+      start_ns.resize(t + 1, 0);
+    }
+    switch (e.kind) {
+      case Kind::kAcquireStart:
+        start_ns[t] = e.t_ns;
+        break;
+      case Kind::kAcquired:
+        ++stats.acquisitions[t];
+        if (start_ns[t] != 0) {
+          stats.total_wait_ns[t] += e.t_ns - start_ns[t];
+        }
+        if (release_pending) {
+          ++stats.handoffs;
+          if (e.thread == last_releaser) ++stats.self_handoffs;
+          release_pending = false;
+        }
+        break;
+      case Kind::kReleased:
+        last_releaser = e.thread;
+        release_pending = true;
+        break;
+      case Kind::kUser:
+        break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace qsv::trace

@@ -1,0 +1,160 @@
+// checkers.hpp — invariant checkers for synchronization property tests.
+//
+// GuardedCounter (workload/) detects torn increments; these checkers
+// detect more: concurrent holders (with the pid of the offender),
+// unlock-by-non-owner, and FIFO admission-order violations. They are
+// deliberately heavier than GuardedCounter and meant for property
+// tests, not benchmarks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "platform/cache.hpp"
+#include "platform/thread_id.hpp"
+
+namespace qsv::validate {
+
+/// Mutual-exclusion oracle: enter() / exit() bracket the critical
+/// section. Detects a second concurrent holder and exits by a thread
+/// that never entered. All detection is lock-free so the checker cannot
+/// mask the very races it hunts.
+class ExclusionChecker {
+ public:
+  /// Call immediately after acquiring the lock under test.
+  void enter() noexcept {
+    const std::uint32_t me =
+        static_cast<std::uint32_t>(qsv::platform::thread_index()) + 1;
+    std::uint32_t expected = 0;
+    if (!holder_.compare_exchange_strong(expected, me,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      violations_.fetch_add(1, std::memory_order_relaxed);
+    }
+    entries_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Call immediately before releasing the lock under test.
+  void exit() noexcept {
+    const std::uint32_t me =
+        static_cast<std::uint32_t>(qsv::platform::thread_index()) + 1;
+    std::uint32_t expected = me;
+    if (!holder_.compare_exchange_strong(expected, 0,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      // Either we never entered (non-owner unlock) or someone barged in.
+      violations_.fetch_add(1, std::memory_order_relaxed);
+      holder_.store(0, std::memory_order_release);  // re-arm
+    }
+  }
+
+  std::uint64_t violations() const noexcept {
+    return violations_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t entries() const noexcept {
+    return entries_.load(std::memory_order_relaxed);
+  }
+  bool clean() const noexcept { return violations() == 0; }
+
+ private:
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint32_t> holder_{0};
+  std::atomic<std::uint64_t> violations_{0};
+  std::atomic<std::uint64_t> entries_{0};
+};
+
+/// Reader-writer oracle: tracks concurrent readers and writers and
+/// counts states that violate the invariant (writer implies no readers
+/// and no second writer).
+class RwChecker {
+ public:
+  void reader_enter() noexcept {
+    readers_.fetch_add(1, std::memory_order_acq_rel);
+    if (writers_.load(std::memory_order_acquire) != 0) {
+      violations_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void reader_exit() noexcept {
+    readers_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  void writer_enter() noexcept {
+    if (writers_.fetch_add(1, std::memory_order_acq_rel) != 0) {
+      violations_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (readers_.load(std::memory_order_acquire) != 0) {
+      violations_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void writer_exit() noexcept {
+    writers_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  std::uint64_t violations() const noexcept {
+    return violations_.load(std::memory_order_relaxed);
+  }
+  bool clean() const noexcept { return violations() == 0; }
+
+ private:
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::int64_t> readers_{0};
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::int64_t> writers_{0};
+  std::atomic<std::uint64_t> violations_{0};
+};
+
+/// FIFO-admission oracle for queue locks. Callers take an arrival
+/// ticket *immediately before* calling lock() and report it right after
+/// acquisition; the checker counts order inversions (an acquisition
+/// whose arrival ticket is smaller than one already admitted is fine;
+/// one admitted *before* an earlier arrival that was already waiting is
+/// an inversion). Because arrival and enqueue are not atomic together,
+/// a strict-FIFO lock can still show a tiny number of apparent
+/// inversions from the race between ticket draw and enqueue; the
+/// property tests therefore assert a *bound* (<< random admission), not
+/// zero.
+class FifoChecker {
+ public:
+  std::uint64_t arrival_ticket() noexcept {
+    return arrivals_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// Report after acquiring: `ticket` is this thread's arrival ticket.
+  void admitted(std::uint64_t ticket) noexcept {
+    const std::uint64_t horizon =
+        horizon_.load(std::memory_order_acquire);
+    if (ticket + window_ < horizon) {
+      inversions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Track the highest admitted ticket.
+    std::uint64_t h = horizon;
+    while (ticket > h &&
+           !horizon_.compare_exchange_weak(h, ticket,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+    }
+    admissions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// `window` absorbs the inherent ticket/enqueue race (default: one
+  /// ticket per contending thread is in flight).
+  explicit FifoChecker(std::uint64_t window = 16) : window_(window) {}
+
+  std::uint64_t inversions() const noexcept {
+    return inversions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t admissions() const noexcept {
+    return admissions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t window_;
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint64_t> arrivals_{0};
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint64_t> horizon_{0};
+  std::atomic<std::uint64_t> inversions_{0};
+  std::atomic<std::uint64_t> admissions_{0};
+};
+
+}  // namespace qsv::validate

@@ -1,0 +1,64 @@
+// shaker.hpp — schedule perturbation for concurrency tests.
+//
+// Stress loops on a quiet machine explore a narrow band of
+// interleavings: threads run in lockstep and the rare windows (the
+// MCS/QSV "successor has swapped but not linked" gap, timeout races,
+// reader-batch boundaries) are almost never hit. The ScheduleShaker
+// widens the band *deterministically per seed*: each call site draws
+// from a seeded per-thread PRNG and with configured probabilities does
+// nothing, issues a pause, yields the processor, or naps long enough to
+// force a full scheduling quantum boundary. Property tests run every
+// algorithm through several intensities (tests/validate_test.cpp).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "platform/arch.hpp"
+#include "platform/rng.hpp"
+
+namespace qsv::validate {
+
+/// Perturbation intensity. Probabilities are per maybe_perturb() call,
+/// in parts per 1024 (so the hot path is one PRNG draw + compare).
+struct ShakeProfile {
+  std::uint32_t relax_per_1024 = 0;  ///< cpu pause (a few ns)
+  std::uint32_t yield_per_1024 = 0;  ///< sched_yield
+  std::uint32_t nap_per_1024 = 0;    ///< ~50us sleep (quantum boundary)
+
+  static constexpr ShakeProfile off() { return {0, 0, 0}; }
+  static constexpr ShakeProfile gentle() { return {64, 8, 0}; }
+  static constexpr ShakeProfile rough() { return {128, 32, 2}; }
+  static constexpr ShakeProfile brutal() { return {256, 128, 8}; }
+};
+
+/// Per-thread deterministic perturbation source. Each thread constructs
+/// its own (seed ⊕ rank keeps streams distinct and runs reproducible).
+class ScheduleShaker {
+ public:
+  ScheduleShaker(ShakeProfile profile, std::uint64_t seed,
+                 std::uint64_t rank)
+      : profile_(profile), rng_(seed ^ (rank * 0x9E3779B97F4A7C15ull)) {}
+
+  /// Call between protocol steps; perturbs this thread with the
+  /// profile's probabilities.
+  void maybe_perturb() {
+    const std::uint32_t draw =
+        static_cast<std::uint32_t>(rng_.next()) & 1023u;
+    if (draw < profile_.nap_per_1024) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    } else if (draw < profile_.nap_per_1024 + profile_.yield_per_1024) {
+      std::this_thread::yield();
+    } else if (draw < profile_.nap_per_1024 + profile_.yield_per_1024 +
+                          profile_.relax_per_1024) {
+      qsv::platform::cpu_relax();
+    }
+  }
+
+ private:
+  ShakeProfile profile_;
+  qsv::platform::SplitMix64 rng_;
+};
+
+}  // namespace qsv::validate

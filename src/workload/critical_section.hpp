@@ -1,0 +1,48 @@
+// critical_section.hpp — calibrated synthetic work.
+//
+// Benchmark critical sections must burn a *controlled* amount of time
+// without touching shared memory. busy_wait_ns polls the steady clock
+// with a pause-loop between polls, giving ~20ns resolution, which is
+// plenty for the 0..4096ns sweeps in experiment F6.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/arch.hpp"
+#include "platform/timing.hpp"
+
+namespace qsv::workload {
+
+/// Busy-wait for approximately `ns` nanoseconds (0 = return immediately).
+inline void busy_wait_ns(std::uint64_t ns) noexcept {
+  if (ns == 0) return;
+  const std::uint64_t deadline = qsv::platform::now_ns() + ns;
+  while (qsv::platform::now_ns() < deadline) {
+    qsv::platform::cpu_relax();
+  }
+}
+
+/// A shared counter mutated inside critical sections so the compiler
+/// cannot elide them, plus a per-invocation integrity token. Tests use
+/// `check()` to verify mutual exclusion was never violated: two threads
+/// inside simultaneously would tear the pair.
+class GuardedCounter {
+ public:
+  /// Call only while holding the lock under test.
+  void bump() noexcept {
+    // Deliberately non-atomic read-modify-write pair: torn under races.
+    const std::uint64_t v = value_;
+    shadow_ = v + 1;
+    value_ = v + 1;
+  }
+
+  /// True iff every bump was mutually excluded.
+  bool consistent() const noexcept { return value_ == shadow_; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  volatile std::uint64_t value_ = 0;
+  volatile std::uint64_t shadow_ = 0;
+};
+
+}  // namespace qsv::workload

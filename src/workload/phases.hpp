@@ -1,0 +1,50 @@
+// phases.hpp — barrier-phase computation workload (experiment F4 and the
+// Jacobi example). Each thread owns a strip of a vector; every phase
+// reads neighbours written in the previous phase, so any barrier bug
+// materializes as a wrong checksum.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qsv::workload {
+
+/// One Jacobi-style smoothing sweep over `cells`, restricted to
+/// [begin, end): out[i] = (in[i-1] + in[i] + in[i+1]) / 3 with clamped
+/// edges, in fixed point so results are exact and checkable.
+inline void smooth_strip(const std::vector<std::int64_t>& in,
+                         std::vector<std::int64_t>& out, std::size_t begin,
+                         std::size_t end) noexcept {
+  const std::size_t n = in.size();
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::int64_t left = in[i == 0 ? 0 : i - 1];
+    const std::int64_t right = in[i + 1 >= n ? n - 1 : i + 1];
+    out[i] = (left + in[i] + right) / 3;
+  }
+}
+
+/// Reference serial result after `phases` sweeps (for verification).
+inline std::vector<std::int64_t> smooth_serial(std::vector<std::int64_t> v,
+                                               std::size_t phases) {
+  std::vector<std::int64_t> tmp(v.size());
+  for (std::size_t p = 0; p < phases; ++p) {
+    smooth_strip(v, tmp, 0, v.size());
+    v.swap(tmp);
+  }
+  return v;
+}
+
+/// Deterministic initial vector for the phase workloads.
+inline std::vector<std::int64_t> phase_input(std::size_t n,
+                                             std::uint64_t seed = 42) {
+  std::vector<std::int64_t> v(n);
+  std::uint64_t x = seed;
+  for (auto& e : v) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    e = static_cast<std::int64_t>(x >> 40);  // keep values small and exact
+  }
+  return v;
+}
+
+}  // namespace qsv::workload

@@ -1,0 +1,58 @@
+// rw_mix.hpp — readers-writers workload generation (experiment F8).
+#pragma once
+
+#include <cstdint>
+
+#include "platform/rng.hpp"
+
+namespace qsv::workload {
+
+/// Per-thread deterministic stream of read/write decisions.
+class RwMix {
+ public:
+  /// `read_ratio` in [0,1]; `seed` ensures reproducibility per thread.
+  RwMix(double read_ratio, std::uint64_t seed)
+      : rng_(seed), read_ratio_(read_ratio) {}
+
+  /// True = next operation is a read.
+  bool next_is_read() noexcept { return rng_.next_bool(read_ratio_); }
+
+  /// Uniform key for the operation (e.g. cache slot).
+  std::uint64_t next_key(std::uint64_t space) noexcept {
+    return rng_.next_below(space);
+  }
+
+ private:
+  qsv::platform::Xoshiro256 rng_;
+  double read_ratio_;
+};
+
+/// Shared state protected by the reader-writer lock under test. Readers
+/// verify the invariant (all cells equal); writers advance it. Any
+/// reader/writer or writer/writer overlap shows up as a torn snapshot.
+class VersionedCells {
+ public:
+  static constexpr std::size_t kCells = 8;
+
+  /// Writer: advance every cell to the next version (hold exclusive).
+  void write() noexcept {
+    const std::uint64_t v = cells_[0] + 1;
+    for (auto& c : cells_) c = v;
+  }
+
+  /// Reader: true iff the snapshot is consistent (hold shared).
+  bool read_consistent() const noexcept {
+    const std::uint64_t v = cells_[0];
+    for (const auto& c : cells_) {
+      if (c != v) return false;
+    }
+    return true;
+  }
+
+  std::uint64_t version() const noexcept { return cells_[0]; }
+
+ private:
+  volatile std::uint64_t cells_[kCells] = {};
+};
+
+}  // namespace qsv::workload

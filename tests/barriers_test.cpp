@@ -1,0 +1,164 @@
+// barriers_test.cpp — correctness and property tests for episode
+// synchronization. The core property battery: after barrier episode k,
+// every thread must observe every other thread's phase-k writes (phase
+// integrity), across many episodes and team sizes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "barriers/adapters.hpp"
+#include "barriers/central.hpp"
+#include "barriers/combining_tree.hpp"
+#include "barriers/dissemination.hpp"
+#include "barriers/mcs_tree.hpp"
+#include "barriers/registry.hpp"
+#include "barriers/tournament.hpp"
+#include "harness/team.hpp"
+#include "platform/cache.hpp"
+
+namespace qb = qsv::barriers;
+
+namespace {
+
+/// Phase-integrity battery: each thread writes phase-stamped values,
+/// crosses the barrier, and verifies every teammate finished the same
+/// phase. A single early or late release shows up as a stale stamp.
+template <typename Barrier>
+void phase_integrity(std::size_t team, std::size_t episodes) {
+  Barrier barrier(team);
+  qsv::platform::PaddedArray<std::atomic<std::uint64_t>> stamps(team);
+  for (std::size_t i = 0; i < team; ++i) stamps[i].store(0);
+  std::atomic<std::uint64_t> failures{0};
+
+  qsv::harness::ThreadTeam::run(team, [&](std::size_t rank) {
+    for (std::size_t e = 1; e <= episodes; ++e) {
+      stamps[rank].store(e, std::memory_order_release);
+      barrier.arrive_and_wait(rank);
+      // Everyone must have written phase e by now (and nobody phase e+1
+      // is impossible: they cannot pass the next barrier without us).
+      for (std::size_t t = 0; t < team; ++t) {
+        const auto s = stamps[t].load(std::memory_order_acquire);
+        if (s != e) failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      barrier.arrive_and_wait(rank);  // close the read phase
+    }
+  });
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+}  // namespace
+
+// --------------------------------------------------- typed battery sweep
+
+template <typename B>
+class BarrierTest : public ::testing::Test {};
+
+using BarrierTypes =
+    ::testing::Types<qb::CentralBarrier<>, qb::CombiningTreeBarrier<>,
+                     qb::TournamentBarrier<>, qb::DisseminationBarrier<>,
+                     qb::McsTreeBarrier<>, qb::StdBarrierAdapter>;
+TYPED_TEST_SUITE(BarrierTest, BarrierTypes);
+
+TYPED_TEST(BarrierTest, SingleThreadNeverBlocks) {
+  TypeParam b(1);
+  for (int i = 0; i < 100; ++i) b.arrive_and_wait(0);
+  SUCCEED();
+}
+
+TYPED_TEST(BarrierTest, PhaseIntegrityTeam2) { phase_integrity<TypeParam>(2, 500); }
+TYPED_TEST(BarrierTest, PhaseIntegrityTeam4) { phase_integrity<TypeParam>(4, 500); }
+TYPED_TEST(BarrierTest, PhaseIntegrityTeam7) {
+  // Non-power-of-two team exercises partial tree/tournament structure.
+  phase_integrity<TypeParam>(7, 300);
+}
+TYPED_TEST(BarrierTest, PhaseIntegrityTeam16) {
+  phase_integrity<TypeParam>(16, 200);
+}
+
+TYPED_TEST(BarrierTest, ReportsTeamSize) {
+  TypeParam b(5);
+  EXPECT_EQ(b.team_size(), 5u);
+}
+
+// ------------------------------------------------------ algorithm details
+
+TEST(Dissemination, RoundCountIsCeilLog2) {
+  qb::DisseminationBarrier<> b2(2), b5(5), b8(8), b9(9);
+  EXPECT_EQ(b2.rounds(), 1u);
+  EXPECT_EQ(b5.rounds(), 3u);
+  EXPECT_EQ(b8.rounds(), 3u);
+  EXPECT_EQ(b9.rounds(), 4u);
+}
+
+TEST(Tournament, RoundCountIsCeilLog2) {
+  qb::TournamentBarrier<> b2(2), b6(6);
+  EXPECT_EQ(b2.rounds(), 1u);
+  EXPECT_EQ(b6.rounds(), 3u);
+}
+
+TEST(CombiningTree, NodeCountShrinksPerLevel) {
+  qb::CombiningTreeBarrier<> b(16);
+  // 16 leaves-participants -> 4 + 1 nodes with fan-in 4.
+  EXPECT_EQ(b.node_count(), 5u);
+}
+
+TEST(CentralBarrier, ManyEpisodesSequentialConsistencyCheck) {
+  // Counter incremented once per thread per episode; after each episode
+  // everyone must read exactly team*episode.
+  constexpr std::size_t kTeam = 4, kEpisodes = 1000;
+  qb::CentralBarrier<> barrier(kTeam);
+  std::atomic<std::uint64_t> counter{0};
+  std::atomic<std::uint64_t> failures{0};
+  qsv::harness::ThreadTeam::run(kTeam, [&](std::size_t rank) {
+    for (std::size_t e = 1; e <= kEpisodes; ++e) {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      barrier.arrive_and_wait(rank);
+      if (counter.load(std::memory_order_relaxed) != kTeam * e) {
+        failures.fetch_add(1);
+      }
+      barrier.arrive_and_wait(rank);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(BarrierRegistry, ListsAllBaselines) {
+  EXPECT_EQ(qb::barrier_registry().size(), 6u);
+  EXPECT_NE(qb::find_barrier("dissemination"), nullptr);
+  EXPECT_EQ(qb::find_barrier("bogus"), nullptr);
+}
+
+TEST(BarrierRegistry, EveryEntryPassesSmokeIntegrity) {
+  for (const auto& factory : qb::barrier_registry()) {
+    auto barrier = factory.make(4);
+    std::atomic<std::uint64_t> counter{0};
+    std::atomic<std::uint64_t> failures{0};
+    qsv::harness::ThreadTeam::run(4, [&](std::size_t rank) {
+      for (std::size_t e = 1; e <= 200; ++e) {
+        counter.fetch_add(1);
+        barrier->arrive_and_wait(rank);
+        if (counter.load() != 4 * e) failures.fetch_add(1);
+        barrier->arrive_and_wait(rank);
+      }
+    });
+    EXPECT_EQ(failures.load(), 0u) << factory.name;
+  }
+}
+
+// -------------------------------------------------- park-wait variants
+
+TEST(CentralBarrier, ParkWaitVariant) {
+  phase_integrity<qb::CentralBarrier<qsv::platform::ParkWait>>(4, 300);
+}
+
+TEST(CombiningTree, ParkWaitVariant) {
+  phase_integrity<qb::CombiningTreeBarrier<qsv::platform::ParkWait>>(4, 300);
+}
+
+TEST(McsTree, ParkWaitVariant) {
+  phase_integrity<qb::McsTreeBarrier<qsv::platform::ParkWait>>(4, 300);
+}

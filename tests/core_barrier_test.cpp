@@ -1,0 +1,103 @@
+// core_barrier_test.cpp — QSV episode mode (queue-walk barrier).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "barriers/barrier_concept.hpp"
+#include "core/qsv_barrier.hpp"
+#include "harness/team.hpp"
+#include "platform/cache.hpp"
+#include "platform/wait.hpp"
+
+namespace qc = qsv::core;
+
+TEST(QsvBarrier, SatisfiesPhaseBarrierConcept) {
+  static_assert(qsv::barriers::PhaseBarrier<qc::QsvBarrier<>>);
+  SUCCEED();
+}
+
+TEST(QsvBarrier, SingleThreadNeverBlocks) {
+  qc::QsvBarrier<> b(1);
+  for (int i = 0; i < 1000; ++i) b.arrive_and_wait();
+  SUCCEED();
+}
+
+namespace {
+
+template <typename Barrier>
+void phase_integrity(std::size_t team, std::size_t episodes) {
+  Barrier barrier(team);
+  qsv::platform::PaddedArray<std::atomic<std::uint64_t>> stamps(team);
+  for (std::size_t i = 0; i < team; ++i) stamps[i].store(0);
+  std::atomic<std::uint64_t> failures{0};
+  qsv::harness::ThreadTeam::run(team, [&](std::size_t rank) {
+    for (std::size_t e = 1; e <= episodes; ++e) {
+      stamps[rank].store(e, std::memory_order_release);
+      barrier.arrive_and_wait(rank);
+      for (std::size_t t = 0; t < team; ++t) {
+        if (stamps[t].load(std::memory_order_acquire) != e) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      barrier.arrive_and_wait(rank);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+}  // namespace
+
+TEST(QsvBarrier, PhaseIntegrityTeam2) {
+  phase_integrity<qc::QsvBarrier<>>(2, 1000);
+}
+TEST(QsvBarrier, PhaseIntegrityTeam4) {
+  phase_integrity<qc::QsvBarrier<>>(4, 500);
+}
+TEST(QsvBarrier, PhaseIntegrityTeam7) {
+  phase_integrity<qc::QsvBarrier<>>(7, 300);
+}
+TEST(QsvBarrier, PhaseIntegrityTeam16) {
+  phase_integrity<qc::QsvBarrier<>>(16, 200);
+}
+
+TEST(QsvBarrier, PhaseIntegrityParkWait) {
+  phase_integrity<qc::QsvBarrier<qsv::platform::ParkWait>>(8, 300);
+}
+
+TEST(QsvBarrier, CounterConsistencyLongRun) {
+  constexpr std::size_t kTeam = 6, kEpisodes = 2000;
+  qc::QsvBarrier<> barrier(kTeam);
+  std::atomic<std::uint64_t> counter{0};
+  std::atomic<std::uint64_t> failures{0};
+  qsv::harness::ThreadTeam::run(kTeam, [&](std::size_t) {
+    for (std::size_t e = 1; e <= kEpisodes; ++e) {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      barrier.arrive_and_wait();
+      if (counter.load(std::memory_order_relaxed) != kTeam * e) {
+        failures.fetch_add(1);
+      }
+      barrier.arrive_and_wait();
+    }
+  });
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+TEST(QsvBarrier, TwoBarriersInterleaved) {
+  // Alternating between two independent episode variables must not mix
+  // their queues.
+  constexpr std::size_t kTeam = 4, kEpisodes = 500;
+  qc::QsvBarrier<> ba(kTeam), bb(kTeam);
+  std::atomic<std::uint64_t> a{0}, b{0}, failures{0};
+  qsv::harness::ThreadTeam::run(kTeam, [&](std::size_t) {
+    for (std::size_t e = 1; e <= kEpisodes; ++e) {
+      a.fetch_add(1);
+      ba.arrive_and_wait();
+      if (a.load() != kTeam * e) failures.fetch_add(1);
+      b.fetch_add(1);
+      bb.arrive_and_wait();
+      if (b.load() != kTeam * e) failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0u);
+}

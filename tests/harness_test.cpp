@@ -1,0 +1,107 @@
+// harness_test.cpp — measurement infrastructure.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/algorithms.hpp"
+#include "harness/options.hpp"
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+#include "harness/team.hpp"
+
+namespace qh = qsv::harness;
+
+TEST(Table, AlignsAndEmitsCsv) {
+  qh::Table t({"algo", "threads", "mops"});
+  t.add_row({"mcs", "8", qh::Table::num(12.345, 2)});
+  t.add_row({"tas", "8", qh::Table::num(1.2, 2)});
+  std::ostringstream human, csv;
+  t.print(human);
+  t.print_csv(csv);
+  EXPECT_NE(human.str().find("mcs"), std::string::npos);
+  EXPECT_NE(human.str().find("12.35"), std::string::npos);
+  EXPECT_EQ(csv.str(), "algo,threads,mops\nmcs,8,12.35\ntas,8,1.20\n");
+}
+
+TEST(Options, ParsesFlagsAndDefaults) {
+  const char* argv[] = {"prog", "--threads=4", "--seconds=0.25", "--csv"};
+  qh::Options opts(4, const_cast<char**>(argv), {"threads", "seconds"});
+  EXPECT_EQ(opts.get_u64("threads", 1), 4u);
+  EXPECT_DOUBLE_EQ(opts.get_double("seconds", 1.0), 0.25);
+  EXPECT_TRUE(opts.csv());
+  EXPECT_EQ(opts.get_u64("missing", 7), 7u);
+}
+
+TEST(Options, StringValues) {
+  const char* argv[] = {"prog", "--algo=mcs"};
+  qh::Options opts(2, const_cast<char**>(argv), {"algo"});
+  EXPECT_EQ(opts.get_string("algo", "x"), "mcs");
+  EXPECT_EQ(opts.get_string("other", "dflt"), "dflt");
+}
+
+TEST(ThreadTeam, RunsAllRanksExactlyOnce) {
+  std::vector<std::atomic<int>> hits(8);
+  qh::ThreadTeam::run(8, [&](std::size_t rank) { hits[rank].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadTeam, PropagatesExceptions) {
+  EXPECT_THROW(
+      qh::ThreadTeam::run(4,
+                          [&](std::size_t rank) {
+                            if (rank == 2) throw std::runtime_error("boom");
+                          }),
+      std::runtime_error);
+}
+
+TEST(Runner, ProducesConsistentThroughput) {
+  auto lock = qsv::locks::find_lock("mcs")->make(4);
+  qh::LockRunConfig cfg;
+  cfg.threads = 4;
+  cfg.seconds = 0.1;
+  const auto result = qh::run_lock_contention(*lock, cfg);
+  EXPECT_TRUE(result.mutual_exclusion_ok);
+  EXPECT_GT(result.total_ops, 0u);
+  EXPECT_GT(result.throughput_mops(), 0.0);
+  EXPECT_EQ(result.per_thread_ops.size(), 4u);
+  EXPECT_NEAR(result.duration_s, 0.1, 0.15);
+}
+
+TEST(Runner, LatencyHistogramWhenRequested) {
+  auto lock = qsv::locks::find_lock("ticket")->make(2);
+  qh::LockRunConfig cfg;
+  cfg.threads = 2;
+  cfg.seconds = 0.05;
+  cfg.record_latency = true;
+  const auto result = qh::run_lock_contention(*lock, cfg);
+  EXPECT_EQ(result.latency.count(), result.total_ops);
+  EXPECT_GT(result.latency.mean(), 0.0);
+}
+
+TEST(Catalogues, IncludeQsvEntries) {
+  bool qsv_lock = false, qsv_barrier = false, qsv_rw = false;
+  for (const auto& f : qh::all_locks()) {
+    if (f.name == "qsv") qsv_lock = true;
+  }
+  for (const auto& f : qh::all_barriers()) {
+    if (f.name == "qsv-episode") qsv_barrier = true;
+  }
+  for (const auto& f : qh::all_rwlocks()) {
+    if (f.name == "qsv-rw") qsv_rw = true;
+  }
+  EXPECT_TRUE(qsv_lock);
+  EXPECT_TRUE(qsv_barrier);
+  EXPECT_TRUE(qsv_rw);
+}
+
+TEST(Catalogues, EveryLockPassesRunnerIntegrity) {
+  for (const auto& factory : qh::all_locks()) {
+    auto lock = factory.make(4);
+    qh::LockRunConfig cfg;
+    cfg.threads = 4;
+    cfg.seconds = 0.04;
+    const auto result = qh::run_lock_contention(*lock, cfg);
+    EXPECT_TRUE(result.mutual_exclusion_ok) << factory.name;
+    EXPECT_GT(result.total_ops, 0u) << factory.name;
+  }
+}

@@ -1,0 +1,180 @@
+// rwlocks_test.cpp — reader-writer baselines: exclusion and preference.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "harness/team.hpp"
+#include "rwlocks/adapters.hpp"
+#include "rwlocks/central_rw.hpp"
+#include "rwlocks/registry.hpp"
+#include "rwlocks/rw_concept.hpp"
+#include "workload/rw_mix.hpp"
+
+namespace qr = qsv::rwlocks;
+
+namespace {
+
+/// The invariant battery: writers advance versioned cells, readers check
+/// snapshot consistency. Any writer/writer or reader/writer overlap tears
+/// the snapshot.
+template <typename Lock>
+void rw_battery(Lock& lock, double read_ratio) {
+  constexpr std::size_t kTeam = 8;
+  constexpr std::size_t kOps = 3000;
+  qsv::workload::VersionedCells cells;
+  std::atomic<std::uint64_t> torn{0};
+  std::atomic<std::uint64_t> writes{0};
+
+  qsv::harness::ThreadTeam::run(kTeam, [&](std::size_t rank) {
+    qsv::workload::RwMix mix(read_ratio, 1000 + rank);
+    for (std::size_t i = 0; i < kOps; ++i) {
+      if (mix.next_is_read()) {
+        lock.lock_shared();
+        if (!cells.read_consistent()) torn.fetch_add(1);
+        lock.unlock_shared();
+      } else {
+        lock.lock();
+        cells.write();
+        writes.fetch_add(1, std::memory_order_relaxed);
+        lock.unlock();
+      }
+    }
+  });
+  EXPECT_EQ(torn.load(), 0u) << Lock::name();
+  EXPECT_EQ(cells.version(), writes.load()) << Lock::name();
+}
+
+}  // namespace
+
+template <typename L>
+class RwLockTest : public ::testing::Test {};
+
+using RwTypes = ::testing::Types<qr::ReaderPrefRwLock, qr::WriterPrefRwLock,
+                                 qr::StdSharedMutexAdapter>;
+TYPED_TEST_SUITE(RwLockTest, RwTypes);
+
+TYPED_TEST(RwLockTest, MostlyReads) {
+  TypeParam lock;
+  rw_battery(lock, 0.95);
+}
+
+TYPED_TEST(RwLockTest, Balanced) {
+  TypeParam lock;
+  rw_battery(lock, 0.5);
+}
+
+TYPED_TEST(RwLockTest, MostlyWrites) {
+  TypeParam lock;
+  rw_battery(lock, 0.05);
+}
+
+TYPED_TEST(RwLockTest, ReadersOverlap) {
+  // Two readers must be able to hold the lock simultaneously: reader A
+  // holds while reader B acquires from another thread.
+  TypeParam lock;
+  lock.lock_shared();
+  std::atomic<bool> second_reader_in{false};
+  std::thread t([&] {
+    lock.lock_shared();
+    second_reader_in.store(true);
+    lock.unlock_shared();
+  });
+  t.join();  // would deadlock if readers excluded each other
+  EXPECT_TRUE(second_reader_in.load());
+  lock.unlock_shared();
+}
+
+TYPED_TEST(RwLockTest, WriterExcludesReader) {
+  TypeParam lock;
+  lock.lock();
+  std::atomic<bool> reader_in{false};
+  std::thread t([&] {
+    lock.lock_shared();
+    reader_in.store(true);
+    lock.unlock_shared();
+  });
+  // Give the reader a moment; it must still be blocked.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(reader_in.load());
+  lock.unlock();
+  t.join();
+  EXPECT_TRUE(reader_in.load());
+}
+
+// --------------------------------------------------- preference behaviour
+
+TEST(ReaderPref, ReadersPassWaitingWriters) {
+  // With a reader continuously holding, a writer waits; a newly arriving
+  // reader must still be admitted (reader preference).
+  qr::ReaderPrefRwLock lock;
+  lock.lock_shared();
+  std::atomic<bool> writer_in{false}, late_reader_in{false};
+  std::thread writer([&] {
+    lock.lock();
+    writer_in.store(true);
+    lock.unlock();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(writer_in.load());
+  std::thread late_reader([&] {
+    lock.lock_shared();
+    late_reader_in.store(true);
+    lock.unlock_shared();
+  });
+  late_reader.join();  // must not block behind the waiting writer
+  EXPECT_TRUE(late_reader_in.load());
+  lock.unlock_shared();
+  writer.join();
+  EXPECT_TRUE(writer_in.load());
+}
+
+TEST(WriterPref, ReadersDeferToWaitingWriters) {
+  qr::WriterPrefRwLock lock;
+  lock.lock_shared();
+  std::atomic<bool> writer_done{false}, late_reader_in{false};
+  std::thread writer([&] {
+    lock.lock();
+    writer_done.store(true);
+    lock.unlock();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::thread late_reader([&] {
+    lock.lock_shared();
+    late_reader_in.store(true);
+    lock.unlock_shared();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Writer is waiting, so the late reader must be blocked behind it.
+  EXPECT_FALSE(late_reader_in.load());
+  lock.unlock_shared();
+  writer.join();
+  late_reader.join();
+  EXPECT_TRUE(writer_done.load());
+  EXPECT_TRUE(late_reader_in.load());
+}
+
+TEST(RwRegistry, ListsBaselinesAndSmokes) {
+  EXPECT_EQ(qr::rw_registry().size(), 3u);
+  for (const auto& factory : qr::rw_registry()) {
+    auto lock = factory.make();
+    qsv::workload::VersionedCells cells;
+    std::atomic<std::uint64_t> torn{0};
+    qsv::harness::ThreadTeam::run(4, [&](std::size_t rank) {
+      qsv::workload::RwMix mix(0.7, rank);
+      for (int i = 0; i < 1000; ++i) {
+        if (mix.next_is_read()) {
+          lock->lock_shared();
+          if (!cells.read_consistent()) torn.fetch_add(1);
+          lock->unlock_shared();
+        } else {
+          lock->lock();
+          cells.write();
+          lock->unlock();
+        }
+      }
+    });
+    EXPECT_EQ(torn.load(), 0u) << factory.name;
+  }
+}

@@ -1,0 +1,421 @@
+// sim_protocols_test.cpp — protocol ports: completion, sanity of the
+// traffic shapes the figures rely on.
+#include <gtest/gtest.h>
+
+#include "sim/protocols.hpp"
+
+namespace qs = qsv::sim;
+
+class SimLockSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SimLockSweep, CompletesOnBusMachine) {
+  const auto r = qs::run_lock_sim(GetParam(), 8, 16, qs::Topology::kBus);
+  EXPECT_TRUE(r.completed) << GetParam();
+  EXPECT_EQ(r.operations, 8u * 16u);
+  EXPECT_GT(r.counters.bus_transactions, 0u);
+}
+
+TEST_P(SimLockSweep, CompletesOnNumaMachine) {
+  const auto r = qs::run_lock_sim(GetParam(), 8, 16, qs::Topology::kNuma);
+  EXPECT_TRUE(r.completed) << GetParam();
+  EXPECT_GT(r.elapsed, 0u);
+}
+
+TEST_P(SimLockSweep, CompletesOnButterflyMachine) {
+  const auto r =
+      qs::run_lock_sim(GetParam(), 8, 16, qs::Topology::kNumaUncached);
+  EXPECT_TRUE(r.completed) << GetParam();
+  EXPECT_GT(r.counters.remote_refs, 0u);
+}
+
+TEST_P(SimLockSweep, CompletesUncontended) {
+  const auto r = qs::run_lock_sim(GetParam(), 1, 32, qs::Topology::kBus);
+  EXPECT_TRUE(r.completed) << GetParam();
+}
+
+TEST_P(SimLockSweep, CompletesAtThirtyTwoProcessors) {
+  const auto r = qs::run_lock_sim(GetParam(), 32, 4, qs::Topology::kBus);
+  EXPECT_TRUE(r.completed) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLocks, SimLockSweep,
+                         ::testing::ValuesIn(qs::sim_lock_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+class SimBarrierSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SimBarrierSweep, CompletesOnBothTopologies) {
+  for (auto topo : {qs::Topology::kBus, qs::Topology::kNuma,
+                    qs::Topology::kNumaUncached}) {
+    const auto r = qs::run_barrier_sim(GetParam(), 8, 10, topo);
+    EXPECT_TRUE(r.completed) << GetParam();
+    EXPECT_EQ(r.operations, 10u);
+  }
+}
+
+TEST_P(SimBarrierSweep, CompletesNonPowerOfTwoTeam) {
+  const auto r = qs::run_barrier_sim(GetParam(), 7, 10, qs::Topology::kBus);
+  EXPECT_TRUE(r.completed) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBarriers, SimBarrierSweep,
+                         ::testing::ValuesIn(qs::sim_barrier_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// ------------------------------------------------------ shape assertions
+// The headline claims of the reconstructed evaluation, checked in-sim so
+// a regression in the model breaks tests, not just bench output.
+
+TEST(SimShapes, QueueLocksBeatTasOnBusTraffic) {
+  // With bus serialization modeled, TAS's retry storm is partly
+  // self-throttled (a saturated bus bounds wasted transactions per
+  // handoff), so the decisive gap needs higher P than the idealized
+  // infinite-bandwidth model did.
+  const auto tas = qs::run_lock_sim("tas", 32, 8, qs::Topology::kBus);
+  const auto qsv = qs::run_lock_sim("qsv", 32, 8, qs::Topology::kBus);
+  ASSERT_TRUE(tas.completed);
+  ASSERT_TRUE(qsv.completed);
+  EXPECT_GT(tas.bus_per_op(), 2.0 * qsv.bus_per_op());
+}
+
+TEST(SimShapes, TasTimePerAcquisitionExplodesQsvStaysFlat) {
+  // The wall-clock statement of the same claim: time per critical
+  // section under TAS grows with P (bus saturation), QSV's stays flat.
+  const auto tas4 = qs::run_lock_sim("tas", 4, 16, qs::Topology::kBus);
+  const auto tas32 = qs::run_lock_sim("tas", 32, 16, qs::Topology::kBus);
+  const auto qsv4 = qs::run_lock_sim("qsv", 4, 16, qs::Topology::kBus);
+  const auto qsv32 = qs::run_lock_sim("qsv", 32, 16, qs::Topology::kBus);
+  const auto per_op = [](const qs::SimRunResult& r) {
+    return static_cast<double>(r.elapsed) / static_cast<double>(r.operations);
+  };
+  EXPECT_GT(per_op(tas32), 3.0 * per_op(tas4));
+  EXPECT_LT(per_op(qsv32), 1.5 * per_op(qsv4));
+}
+
+TEST(SimShapes, TicketInvalidatesMoreThanQsvAsProcsGrow) {
+  const auto ticket = qs::run_lock_sim("ticket", 16, 8, qs::Topology::kBus);
+  const auto qsv = qs::run_lock_sim("qsv", 16, 8, qs::Topology::kBus);
+  ASSERT_TRUE(ticket.completed);
+  EXPECT_GT(ticket.invalidations_per_op(), qsv.invalidations_per_op());
+}
+
+TEST(SimShapes, QsvTrafficIsFlatInProcessorCount) {
+  const auto small = qs::run_lock_sim("qsv", 4, 16, qs::Topology::kBus);
+  const auto large = qs::run_lock_sim("qsv", 24, 16, qs::Topology::kBus);
+  ASSERT_TRUE(small.completed);
+  ASSERT_TRUE(large.completed);
+  // O(1) per acquisition: allow modest constant-factor drift only.
+  EXPECT_LT(large.bus_per_op(), small.bus_per_op() * 2.0);
+}
+
+TEST(SimShapes, TasTrafficGrowsWithProcessorCount) {
+  const auto small = qs::run_lock_sim("tas", 4, 16, qs::Topology::kBus);
+  const auto large = qs::run_lock_sim("tas", 24, 16, qs::Topology::kBus);
+  EXPECT_GT(large.bus_per_op(), small.bus_per_op() * 2.0);
+}
+
+TEST(SimShapes, McsBeatsClhOnNumaRemoteSpins) {
+  const auto clh = qs::run_lock_sim("clh", 16, 8, qs::Topology::kNuma);
+  const auto mcs = qs::run_lock_sim("mcs", 16, 8, qs::Topology::kNuma);
+  ASSERT_TRUE(clh.completed);
+  ASSERT_TRUE(mcs.completed);
+  EXPECT_GT(clh.remote_per_op(), mcs.remote_per_op());
+}
+
+TEST(SimShapes, CentralBarrierTrafficQuadratic) {
+  const auto c8 = qs::run_barrier_sim("central", 8, 8, qs::Topology::kBus);
+  const auto c32 = qs::run_barrier_sim("central", 32, 8, qs::Topology::kBus);
+  ASSERT_TRUE(c8.completed);
+  ASSERT_TRUE(c32.completed);
+  // 4x procs -> ~4x traffic per episode at least (O(P) RMWs + O(P) wakes).
+  EXPECT_GT(c32.bus_per_op(), 3.0 * c8.bus_per_op());
+}
+
+TEST(SimShapes, DisseminationScalesAsPLogP) {
+  const auto d8 = qs::run_barrier_sim("dissemination", 8, 8,
+                                      qs::Topology::kBus);
+  const auto d32 = qs::run_barrier_sim("dissemination", 32, 8,
+                                       qs::Topology::kBus);
+  ASSERT_TRUE(d8.completed);
+  ASSERT_TRUE(d32.completed);
+  const double ratio = d32.bus_per_op() / d8.bus_per_op();
+  // P log P: 32*5 / 8*3 = 6.67; allow slack but reject quadratic (16x).
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 12.0);
+}
+
+TEST(SimShapes, UnknownAlgorithmThrows) {
+  EXPECT_THROW(qs::run_lock_sim("bogus", 2, 1, qs::Topology::kBus),
+               std::invalid_argument);
+  EXPECT_THROW(qs::run_barrier_sim("bogus", 2, 1, qs::Topology::kBus),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------ new-port shape checks
+
+TEST(SimShapes, GraunkeThakkarFlatOnBusLikeAnderson) {
+  const auto gt4 = qs::run_lock_sim("graunke-thakkar", 4, 16,
+                                    qs::Topology::kBus);
+  const auto gt24 = qs::run_lock_sim("graunke-thakkar", 24, 16,
+                                     qs::Topology::kBus);
+  ASSERT_TRUE(gt4.completed);
+  ASSERT_TRUE(gt24.completed);
+  // Per-processor flags: O(1) bus transactions per acquisition.
+  EXPECT_LT(gt24.bus_per_op(), gt4.bus_per_op() * 2.0);
+}
+
+TEST(SimShapes, GraunkeThakkarPaysRemoteSpinsOnButterfly) {
+  // Like CLH, the GT waiter spins on the *predecessor's* flag. With
+  // coherent caches that costs only one re-fetch per release (GT was
+  // designed for the coherent Symmetry and is fine there); on the
+  // uncached Butterfly the spin itself crosses the network on every
+  // poll, which is the deficiency MCS/QSV's local spinning fixes.
+  const auto gt = qs::run_lock_sim("graunke-thakkar", 16, 8,
+                                   qs::Topology::kNumaUncached);
+  const auto mcs = qs::run_lock_sim("mcs", 16, 8,
+                                    qs::Topology::kNumaUncached);
+  ASSERT_TRUE(gt.completed);
+  ASSERT_TRUE(mcs.completed);
+  EXPECT_GT(gt.remote_per_op(), 2.0 * mcs.remote_per_op());
+}
+
+TEST(SimShapes, ClhPaysRemoteSpinsOnButterfly) {
+  const auto clh = qs::run_lock_sim("clh", 16, 8,
+                                    qs::Topology::kNumaUncached);
+  const auto mcs = qs::run_lock_sim("mcs", 16, 8,
+                                    qs::Topology::kNumaUncached);
+  ASSERT_TRUE(clh.completed);
+  ASSERT_TRUE(mcs.completed);
+  EXPECT_GT(clh.remote_per_op(), 2.0 * mcs.remote_per_op());
+}
+
+TEST(SimShapes, TicketCollapsesOnButterfly) {
+  // Centralized spinning on now_serving: every waiting processor polls
+  // a remote word continuously; traffic per acquisition explodes with P.
+  const auto t4 = qs::run_lock_sim("ticket", 4, 8,
+                                   qs::Topology::kNumaUncached);
+  const auto t16 = qs::run_lock_sim("ticket", 16, 8,
+                                    qs::Topology::kNumaUncached);
+  ASSERT_TRUE(t4.completed);
+  ASSERT_TRUE(t16.completed);
+  EXPECT_GT(t16.remote_per_op(), 2.0 * t4.remote_per_op());
+}
+
+TEST(SimShapes, QsvTrafficStaysFlatOnButterfly) {
+  const auto q4 = qs::run_lock_sim("qsv", 4, 8, qs::Topology::kNumaUncached);
+  const auto q24 = qs::run_lock_sim("qsv", 24, 8,
+                                    qs::Topology::kNumaUncached);
+  ASSERT_TRUE(q4.completed);
+  ASSERT_TRUE(q24.completed);
+  EXPECT_LT(q24.remote_per_op(), q4.remote_per_op() * 2.0);
+}
+
+TEST(SimShapes, HierQsvCutsRemoteTrafficOnClusteredNuma) {
+  // Clustered NUMA (4 procs/node): the cohort protocol converts most
+  // handoffs into intra-node passes, so remote references per
+  // acquisition drop well below flat QSV's.
+  const auto flat = qs::run_lock_sim("qsv", 16, 16, qs::Topology::kNuma,
+                                     /*cs_cycles=*/50, /*procs_per_node=*/4);
+  const auto hier = qs::run_lock_sim("hier-qsv", 16, 16, qs::Topology::kNuma,
+                                     /*cs_cycles=*/50, /*procs_per_node=*/4);
+  ASSERT_TRUE(flat.completed);
+  ASSERT_TRUE(hier.completed);
+  EXPECT_LT(hier.remote_per_op(), flat.remote_per_op());
+}
+
+TEST(SimShapes, HierQsvDegeneratesGracefullyPerProcNodes) {
+  // processor-per-node (no locality to exploit): hier completes and is
+  // within a small constant of flat QSV.
+  const auto flat = qs::run_lock_sim("qsv", 8, 16, qs::Topology::kNuma);
+  const auto hier = qs::run_lock_sim("hier-qsv", 8, 16, qs::Topology::kNuma);
+  ASSERT_TRUE(flat.completed);
+  ASSERT_TRUE(hier.completed);
+  EXPECT_LT(hier.remote_per_op(), flat.remote_per_op() * 3.0);
+}
+
+TEST(SimShapes, HierQsvCompletesOnSingleCohort) {
+  // Everything in one node: the global lock is acquired once per tenure
+  // and almost all handoffs are local passes.
+  const auto r = qs::run_lock_sim("hier-qsv", 8, 16, qs::Topology::kNuma,
+                                  50, /*procs_per_node=*/8);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(SimShapes, TournamentBeatsCentralOnHotSpotLatency) {
+  // Raw message counts are comparable (central is ~2P, tournament ~2P);
+  // what killed centralized barriers on 1991 hardware is that central's
+  // 2P misses all serialize at one hot module while the tournament's
+  // spread across the machine. The claim is therefore about elapsed
+  // cycles, not transaction count.
+  const auto central = qs::run_barrier_sim("central", 32, 8,
+                                           qs::Topology::kNuma);
+  const auto tour = qs::run_barrier_sim("tournament", 32, 8,
+                                        qs::Topology::kNuma);
+  ASSERT_TRUE(central.completed);
+  ASSERT_TRUE(tour.completed);
+  EXPECT_LT(tour.elapsed, central.elapsed);
+}
+
+TEST(SimShapes, CentralBarrierLatencyGrowsLinearlyUnderContention) {
+  const auto c8 = qs::run_barrier_sim("central", 8, 8, qs::Topology::kNuma);
+  const auto c32 = qs::run_barrier_sim("central", 32, 8, qs::Topology::kNuma);
+  ASSERT_TRUE(c8.completed);
+  ASSERT_TRUE(c32.completed);
+  // 4x procs -> >= 3x episode latency: the hot module serializes.
+  EXPECT_GT(c32.elapsed, 3 * c8.elapsed);
+}
+
+TEST(SimShapes, TournamentLatencyGrowsLogarithmically) {
+  const auto t8 = qs::run_barrier_sim("tournament", 8, 8, qs::Topology::kNuma);
+  const auto t32 = qs::run_barrier_sim("tournament", 32, 8,
+                                       qs::Topology::kNuma);
+  ASSERT_TRUE(t8.completed);
+  ASSERT_TRUE(t32.completed);
+  // 4x procs -> ~5/3 depth ratio; reject anything close to linear (4x).
+  EXPECT_LT(t32.elapsed, 3 * t8.elapsed);
+}
+
+TEST(SimShapes, TournamentTrafficLinearInP) {
+  const auto t8 = qs::run_barrier_sim("tournament", 8, 8, qs::Topology::kBus);
+  const auto t32 = qs::run_barrier_sim("tournament", 32, 8,
+                                       qs::Topology::kBus);
+  ASSERT_TRUE(t8.completed);
+  ASSERT_TRUE(t32.completed);
+  const double ratio = t32.bus_per_op() / t8.bus_per_op();
+  // O(P) stores per episode: 4x procs -> ~4x traffic, not 16x.
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(SimNuma, NodeGroupingChangesRemoteCosts) {
+  // Same protocol, same processors; grouping procs into nodes must
+  // strictly reduce the number of accesses classified remote.
+  const auto fine = qs::run_lock_sim("mcs", 16, 8, qs::Topology::kNuma,
+                                     50, /*procs_per_node=*/1);
+  const auto coarse = qs::run_lock_sim("mcs", 16, 8, qs::Topology::kNuma,
+                                       50, /*procs_per_node=*/8);
+  ASSERT_TRUE(fine.completed);
+  ASSERT_TRUE(coarse.completed);
+  EXPECT_GT(fine.counters.remote_refs, coarse.counters.remote_refs);
+}
+
+// ------------------------------------------------------- determinism
+
+TEST(SimDeterminism, IdenticalRunsProduceIdenticalCounters) {
+  // The simulator is a deterministic discrete-event machine: same
+  // protocol, processors, and rounds must reproduce counters exactly.
+  // This is what makes the traffic figures trustworthy as *measurements*
+  // rather than samples.
+  for (const auto& algo : qs::sim_lock_names()) {
+    const auto a = qs::run_lock_sim(algo, 8, 16, qs::Topology::kBus);
+    const auto b = qs::run_lock_sim(algo, 8, 16, qs::Topology::kBus);
+    EXPECT_EQ(a.counters.bus_transactions, b.counters.bus_transactions)
+        << algo;
+    EXPECT_EQ(a.counters.invalidations, b.counters.invalidations) << algo;
+    EXPECT_EQ(a.elapsed, b.elapsed) << algo;
+  }
+}
+
+TEST(SimDeterminism, BarriersToo) {
+  for (const auto& algo : qs::sim_barrier_names()) {
+    const auto a = qs::run_barrier_sim(algo, 8, 8, qs::Topology::kNuma);
+    const auto b = qs::run_barrier_sim(algo, 8, 8, qs::Topology::kNuma);
+    EXPECT_EQ(a.counters.remote_refs, b.counters.remote_refs) << algo;
+    EXPECT_EQ(a.elapsed, b.elapsed) << algo;
+  }
+}
+
+TEST(SimDeterminism, RoundsScaleOperationsLinearly) {
+  // Doubling rounds doubles operations and (at steady state) roughly
+  // doubles traffic — a cheap invariant that catches accounting bugs
+  // where per-run setup traffic is misattributed to operations.
+  const auto a = qs::run_lock_sim("mcs", 8, 16, qs::Topology::kBus);
+  const auto b = qs::run_lock_sim("mcs", 8, 32, qs::Topology::kBus);
+  EXPECT_EQ(b.operations, 2 * a.operations);
+  EXPECT_GT(b.counters.bus_transactions, a.counters.bus_transactions);
+  EXPECT_LT(static_cast<double>(b.counters.bus_transactions),
+            2.5 * static_cast<double>(a.counters.bus_transactions));
+}
+
+// ------------------------------------------------ eventcount sim shapes
+
+class SimEcSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SimEcSweep, CompletesOnAllTopologies) {
+  for (auto topo : {qs::Topology::kBus, qs::Topology::kNuma,
+                    qs::Topology::kNumaUncached}) {
+    const auto r = qs::run_eventcount_sim(GetParam(), 8, 12, topo);
+    EXPECT_TRUE(r.completed) << GetParam();
+    EXPECT_EQ(r.operations, 12u);
+  }
+}
+
+TEST_P(SimEcSweep, CompletesWithSingleConsumer) {
+  const auto r = qs::run_eventcount_sim(GetParam(), 2, 24,
+                                        qs::Topology::kBus);
+  EXPECT_TRUE(r.completed) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEventcounts, SimEcSweep,
+                         ::testing::ValuesIn(qs::sim_eventcount_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(SimShapes, CentralEventcountStormGrowsWithWaiters) {
+  // Each advance invalidates every polling waiter and they all re-fetch:
+  // bus traffic per event grows ~linearly with the number of consumers.
+  const auto small = qs::run_eventcount_sim("ec-central", 4, 16,
+                                            qs::Topology::kBus);
+  const auto large = qs::run_eventcount_sim("ec-central", 24, 16,
+                                            qs::Topology::kBus);
+  ASSERT_TRUE(small.completed);
+  ASSERT_TRUE(large.completed);
+  EXPECT_GT(large.bus_per_op(), 3.0 * small.bus_per_op());
+}
+
+TEST(SimShapes, EventcountCrossoverOnButterfly) {
+  // The two disciplines trade places with the event period. Fast events:
+  // the queued advance pays O(waiters) remote walk work while central
+  // waiters barely poll — central wins. Slow events: central waiters
+  // poll the remote count for the whole wait (traffic grows with the
+  // period) while queued waiters sit on their local node — queued wins
+  // and is *flat* in the period.
+  const auto c_fast = qs::run_eventcount_sim(
+      "ec-central", 16, 16, qs::Topology::kNumaUncached, /*produce=*/30);
+  const auto q_fast = qs::run_eventcount_sim(
+      "ec-queued", 16, 16, qs::Topology::kNumaUncached, /*produce=*/30);
+  const auto c_slow = qs::run_eventcount_sim(
+      "ec-central", 16, 16, qs::Topology::kNumaUncached, /*produce=*/5000);
+  const auto q_slow = qs::run_eventcount_sim(
+      "ec-queued", 16, 16, qs::Topology::kNumaUncached, /*produce=*/5000);
+  ASSERT_TRUE(c_fast.completed && q_fast.completed && c_slow.completed &&
+              q_slow.completed);
+  EXPECT_LT(c_fast.remote_per_op(), q_fast.remote_per_op());   // fast: central
+  EXPECT_GT(c_slow.remote_per_op(),
+            2.0 * q_slow.remote_per_op());                     // slow: queued
+  // Queued is period-independent; central is not.
+  EXPECT_LT(q_slow.remote_per_op(), 1.5 * q_fast.remote_per_op());
+  EXPECT_GT(c_slow.remote_per_op(), 5.0 * c_fast.remote_per_op());
+}
+
+TEST(SimShapes, UnknownEventcountThrows) {
+  EXPECT_THROW(qs::run_eventcount_sim("bogus", 2, 1, qs::Topology::kBus),
+               std::invalid_argument);
+}

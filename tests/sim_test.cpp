@@ -1,0 +1,164 @@
+// sim_test.cpp — the discrete-event machine: memory semantics, coherence
+// accounting, waiter wake-ups, determinism.
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+#include "sim/task.hpp"
+
+namespace qs = qsv::sim;
+
+namespace {
+
+qs::Task store_then_load(qs::Machine& m, qs::Addr a, qs::Value* out) {
+  co_await m.store(0, a, 42);
+  *out = co_await m.load(0, a);
+}
+
+qs::Task rmw_sequence(qs::Machine& m, qs::Addr a, qs::Value* out) {
+  out[0] = co_await m.fetch_add(0, a, 5);    // 0 -> 5
+  out[1] = co_await m.exchange(0, a, 100);   // 5 -> 100
+  out[2] = co_await m.cas(0, a, 100, 7);     // success: 100 -> 7
+  out[3] = co_await m.cas(0, a, 100, 9);     // failure: stays 7
+  out[4] = co_await m.load(0, a);
+}
+
+qs::Task spin_waiter(qs::Machine& m, std::size_t proc, qs::Addr a,
+                     qs::Value* woke_with) {
+  *woke_with = co_await m.wait_while(proc, a,
+                                     [](qs::Value v) { return v == 0; });
+}
+
+qs::Task delayed_setter(qs::Machine& m, std::size_t proc, qs::Addr a,
+                        qs::Cycles delay, qs::Value v) {
+  co_await m.delay(proc, delay);
+  co_await m.store(proc, a, v);
+}
+
+}  // namespace
+
+TEST(SimMachine, StoreLoadRoundTrip) {
+  qs::Machine m(1, qs::Topology::kBus);
+  const auto a = m.alloc(0, 0);
+  qs::Value out = 0;
+  m.spawn(store_then_load(m, a, &out));
+  EXPECT_TRUE(m.run());
+  EXPECT_EQ(out, 42u);
+  EXPECT_EQ(m.peek(a), 42u);
+}
+
+TEST(SimMachine, RmwSemantics) {
+  qs::Machine m(1, qs::Topology::kBus);
+  const auto a = m.alloc(0, 0);
+  qs::Value out[5] = {};
+  m.spawn(rmw_sequence(m, a, out));
+  EXPECT_TRUE(m.run());
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 5u);
+  EXPECT_EQ(out[2], 100u);
+  EXPECT_EQ(out[3], 7u);   // CAS failure returns observed value
+  EXPECT_EQ(out[4], 7u);
+}
+
+TEST(SimMachine, TimeAdvancesWithCosts) {
+  qs::Machine m(1, qs::Topology::kBus);
+  const auto a = m.alloc(0, 0);
+  qs::Value out = 0;
+  m.spawn(store_then_load(m, a, &out));
+  EXPECT_TRUE(m.run());
+  // Store misses (bus transaction = 20) then load hits (1): >= 21.
+  EXPECT_GE(m.now(), 21u);
+}
+
+TEST(SimMachine, CacheHitAfterMiss) {
+  qs::Machine m(2, qs::Topology::kBus);
+  const auto a = m.alloc(0, 7);
+  qs::Value out = 0;
+  m.spawn(store_then_load(m, a, &out));
+  EXPECT_TRUE(m.run());
+  const auto& c = m.counters();
+  EXPECT_EQ(c.total_accesses, 2u);
+  EXPECT_EQ(c.cache_hits, 1u);         // the load after the store
+  EXPECT_EQ(c.bus_transactions, 1u);   // only the store missed
+}
+
+TEST(SimMachine, WriteInvalidatesSharers) {
+  // proc1 reads (shared copy), proc0 writes -> one invalidation.
+  qs::Machine m(2, qs::Topology::kBus);
+  const auto a = m.alloc(0, 1);
+  qs::Value r0 = 0, r1 = 0;
+
+  struct Script {
+    static qs::Task reader(qs::Machine& m, qs::Addr a, qs::Value* out) {
+      *out = co_await m.load(1, a);
+    }
+    static qs::Task writer(qs::Machine& m, qs::Addr a, qs::Value* out) {
+      co_await m.delay(0, 100);  // let the reader cache it first
+      co_await m.store(0, a, 2);
+      *out = 1;
+    }
+  };
+  m.spawn(Script::reader(m, a, &r1));
+  m.spawn(Script::writer(m, a, &r0));
+  EXPECT_TRUE(m.run());
+  EXPECT_EQ(m.counters().invalidations, 1u);
+}
+
+TEST(SimMachine, WaiterSleepsUntilWrite) {
+  qs::Machine m(2, qs::Topology::kBus);
+  const auto a = m.alloc(0, 0);
+  qs::Value woke_with = 0;
+  m.spawn(spin_waiter(m, 1, a, &woke_with));
+  m.spawn(delayed_setter(m, 0, a, 500, 9));
+  EXPECT_TRUE(m.run());
+  EXPECT_EQ(woke_with, 9u);
+  EXPECT_GE(m.now(), 500u);  // waiter consumed no time while blocked
+}
+
+TEST(SimMachine, DeadlockDetected) {
+  qs::Machine m(1, qs::Topology::kBus);
+  const auto a = m.alloc(0, 0);
+  qs::Value never = 0;
+  m.spawn(spin_waiter(m, 0, a, &never));  // nobody will write
+  EXPECT_FALSE(m.run());
+}
+
+TEST(SimMachine, NumaChargesRemoteRefs) {
+  qs::Machine m(2, qs::Topology::kNuma);
+  const auto local = m.alloc(0, 0);
+  const auto remote = m.alloc(1, 0);
+
+  struct Script {
+    static qs::Task toucher(qs::Machine& m, qs::Addr l, qs::Addr r) {
+      co_await m.store(0, l, 1);  // local to proc 0
+      co_await m.store(0, r, 1);  // homed at proc 1: remote
+    }
+  };
+  m.spawn(Script::toucher(m, local, remote));
+  EXPECT_TRUE(m.run());
+  EXPECT_EQ(m.counters().remote_refs, 1u);
+  // Remote miss (100) + local miss (20).
+  EXPECT_GE(m.now(), 120u);
+}
+
+TEST(SimMachine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    qs::Machine m(4, qs::Topology::kBus);
+    const auto a = m.alloc(0, 0);
+    static qs::Value sink[4];
+    for (std::size_t p = 0; p < 4; ++p) {
+      m.spawn(delayed_setter(m, p, a, 10 * p, p + 1));
+    }
+    m.run();
+    return std::make_pair(m.now(), m.peek(a));
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+TEST(SimMachine, PeekDoesNotCharge) {
+  qs::Machine m(1, qs::Topology::kBus);
+  const auto a = m.alloc(0, 5);
+  EXPECT_EQ(m.peek(a), 5u);
+  EXPECT_EQ(m.counters().total_accesses, 0u);
+}

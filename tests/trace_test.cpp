@@ -1,0 +1,143 @@
+// trace_test.cpp — the event tracer and handoff analysis.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "core/qsv_mutex.hpp"
+#include "harness/team.hpp"
+#include "trace/trace.hpp"
+
+namespace qt = qsv::trace;
+
+TEST(TraceSession, RecordsAndMergesSingleThread) {
+  qt::TraceSession s(64);
+  s.record(qt::Kind::kUser, 1);
+  s.record(qt::Kind::kUser, 2);
+  s.record(qt::Kind::kUser, 3);
+  const auto events = s.merge();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].payload, 1u);
+  EXPECT_EQ(events[2].payload, 3u);
+  EXPECT_LE(events[0].t_ns, events[1].t_ns);
+  EXPECT_LE(events[1].t_ns, events[2].t_ns);
+}
+
+TEST(TraceSession, CapacityRoundsUpToPowerOfTwo) {
+  qt::TraceSession s(100);
+  EXPECT_EQ(s.capacity_per_thread(), 128u);
+}
+
+TEST(TraceSession, RingOverwriteKeepsNewestEvents) {
+  qt::TraceSession s(8);
+  for (std::uint64_t i = 0; i < 20; ++i) s.record(qt::Kind::kUser, i);
+  const auto events = s.merge();
+  ASSERT_EQ(events.size(), 8u);          // only the ring survives
+  EXPECT_EQ(s.recorded(), 20u);          // but all were counted
+  EXPECT_EQ(events.front().payload, 12u);  // oldest surviving = 20-8
+  EXPECT_EQ(events.back().payload, 19u);
+}
+
+TEST(TraceSession, MergeIsTimeOrderedAcrossThreads) {
+  qt::TraceSession s(1 << 10);
+  qsv::harness::ThreadTeam::run(4, [&](std::size_t rank) {
+    for (int i = 0; i < 100; ++i) {
+      s.record(qt::Kind::kUser, rank);
+    }
+  });
+  const auto events = s.merge();
+  ASSERT_EQ(events.size(), 400u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].t_ns, events[i].t_ns);
+  }
+}
+
+TEST(TraceSession, CsvHasHeaderAndOneLinePerEvent) {
+  qt::TraceSession s(16);
+  s.record(qt::Kind::kUser, 7);
+  s.record(qt::Kind::kAcquired, 9);
+  std::ostringstream os;
+  s.dump_csv(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("t_ns,thread,kind,payload\n"), std::string::npos);
+  // header + 2 events = 3 newlines
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(TracedLock, EmitsAcquireAcquiredReleaseTriples) {
+  qt::TraceSession s(1 << 10);
+  qt::TracedLock<qsv::core::QsvMutex<>> lock(s, /*id=*/42);
+  for (int i = 0; i < 10; ++i) {
+    lock.lock();
+    lock.unlock();
+  }
+  const auto events = s.merge();
+  ASSERT_EQ(events.size(), 30u);
+  for (std::size_t i = 0; i < events.size(); i += 3) {
+    EXPECT_EQ(events[i].kind, qt::Kind::kAcquireStart);
+    EXPECT_EQ(events[i + 1].kind, qt::Kind::kAcquired);
+    EXPECT_EQ(events[i + 2].kind, qt::Kind::kReleased);
+    EXPECT_EQ(events[i].payload, 42u);
+  }
+}
+
+TEST(HandoffStats, CountsAcquisitionsPerThread) {
+  qt::TraceSession s(1 << 12);
+  qt::TracedLock<qsv::core::QsvMutex<>> lock(s, 1);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kOps = 200;
+  qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t) {
+    for (std::size_t i = 0; i < kOps; ++i) {
+      lock.lock();
+      lock.unlock();
+    }
+  });
+  const auto stats = qt::analyze_handoffs(s.merge(), 1);
+  std::uint64_t total = 0;
+  for (auto a : stats.acquisitions) total += a;
+  EXPECT_EQ(total, kThreads * kOps);
+}
+
+TEST(HandoffStats, ImbalanceIsOneForPerfectlyEvenRun) {
+  qt::HandoffStats stats;
+  stats.acquisitions = {100, 100, 100};
+  EXPECT_DOUBLE_EQ(stats.imbalance(), 1.0);
+  stats.acquisitions = {50, 100, 0};  // zero participants are ignored
+  EXPECT_DOUBLE_EQ(stats.imbalance(), 2.0);
+}
+
+TEST(HandoffStats, SeparatesLockIds) {
+  qt::TraceSession s(1 << 10);
+  qt::TracedLock<qsv::core::QsvMutex<>> a(s, 1);
+  qt::TracedLock<qsv::core::QsvMutex<>> b(s, 2);
+  a.lock();
+  a.unlock();
+  b.lock();
+  b.unlock();
+  b.lock();
+  b.unlock();
+  const auto events = s.merge();
+  const auto sa = qt::analyze_handoffs(events, 1);
+  const auto sb = qt::analyze_handoffs(events, 2);
+  std::uint64_t ta = 0, tb = 0;
+  for (auto x : sa.acquisitions) ta += x;
+  for (auto x : sb.acquisitions) tb += x;
+  EXPECT_EQ(ta, 1u);
+  EXPECT_EQ(tb, 2u);
+}
+
+TEST(HandoffStats, WaitTimesAreNonZeroUnderContention) {
+  qt::TraceSession s(1 << 12);
+  qt::TracedLock<qsv::core::QsvMutex<>> lock(s, 5);
+  qsv::harness::ThreadTeam::run(4, [&](std::size_t) {
+    for (int i = 0; i < 500; ++i) {
+      lock.lock();
+      lock.unlock();
+    }
+  });
+  const auto stats = qt::analyze_handoffs(s.merge(), 5);
+  std::uint64_t wait = 0;
+  for (auto w : stats.total_wait_ns) wait += w;
+  EXPECT_GT(wait, 0u);
+  EXPECT_GT(stats.handoffs, 0u);
+}

@@ -1,0 +1,317 @@
+// validate_test.cpp — the checkers themselves, then the registry-wide
+// property sweep: every lock × every shake intensity must preserve
+// mutual exclusion; queue locks must admit near-FIFO; reader-writer
+// locks must preserve the RW invariant under perturbation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "harness/algorithms.hpp"
+#include "harness/team.hpp"
+#include "validate/checkers.hpp"
+#include "validate/shaker.hpp"
+
+namespace qv = qsv::validate;
+
+namespace {
+constexpr std::size_t kThreads = 8;
+
+qv::ShakeProfile profile_by_name(const std::string& name) {
+  if (name == "off") return qv::ShakeProfile::off();
+  if (name == "gentle") return qv::ShakeProfile::gentle();
+  if (name == "rough") return qv::ShakeProfile::rough();
+  return qv::ShakeProfile::brutal();
+}
+}  // namespace
+
+// ------------------------------------------------- checker unit tests
+
+TEST(ExclusionChecker, CleanOnProperUse) {
+  qv::ExclusionChecker c;
+  c.enter();
+  c.exit();
+  c.enter();
+  c.exit();
+  EXPECT_TRUE(c.clean());
+  EXPECT_EQ(c.entries(), 2u);
+}
+
+TEST(ExclusionChecker, DetectsDoubleEntry) {
+  qv::ExclusionChecker c;
+  c.enter();
+  // A second enter without exit (same thread stands in for a barger).
+  c.enter();
+  EXPECT_FALSE(c.clean());
+}
+
+TEST(ExclusionChecker, DetectsExitWithoutEntry) {
+  qv::ExclusionChecker c;
+  c.exit();
+  EXPECT_FALSE(c.clean());
+}
+
+TEST(RwChecker, CleanReadersOnly) {
+  qv::RwChecker c;
+  c.reader_enter();
+  c.reader_enter();
+  c.reader_exit();
+  c.reader_exit();
+  EXPECT_TRUE(c.clean());
+}
+
+TEST(RwChecker, DetectsWriterAmongReaders) {
+  qv::RwChecker c;
+  c.reader_enter();
+  c.writer_enter();  // invariant broken
+  EXPECT_FALSE(c.clean());
+}
+
+TEST(RwChecker, DetectsSecondWriter) {
+  qv::RwChecker c;
+  c.writer_enter();
+  c.writer_enter();
+  EXPECT_FALSE(c.clean());
+}
+
+TEST(FifoChecker, NoInversionForOrderedAdmission) {
+  qv::FifoChecker c(/*window=*/0);
+  for (int i = 0; i < 100; ++i) {
+    const auto t = c.arrival_ticket();
+    c.admitted(t);
+  }
+  EXPECT_EQ(c.inversions(), 0u);
+  EXPECT_EQ(c.admissions(), 100u);
+}
+
+TEST(FifoChecker, FlagsLateAdmissionBeyondWindow) {
+  qv::FifoChecker c(/*window=*/2);
+  const auto t0 = c.arrival_ticket();  // 0
+  for (int i = 0; i < 8; ++i) {
+    const auto t = c.arrival_ticket();
+    c.admitted(t);  // horizon races ahead
+  }
+  c.admitted(t0);  // 0 + 2 < 8 -> inversion
+  EXPECT_GE(c.inversions(), 1u);
+}
+
+TEST(ScheduleShaker, DeterministicPerSeed) {
+  // Same seed/rank: same perturbation decisions (indirectly observable
+  // as identical wall-time *pattern* is not assertable; instead check
+  // the shaker draws don't crash and off() never sleeps long).
+  qv::ScheduleShaker off(qv::ShakeProfile::off(), 1, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 100000; ++i) off.maybe_perturb();
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(dt).count(),
+            500);
+}
+
+// ------------------------------------- registry-wide exclusion sweep
+
+class LockShakeSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(LockShakeSweep, MutualExclusionHolds) {
+  const auto& [lock_name, shake_name] = GetParam();
+  const auto* factory = [&]() -> const qsv::locks::LockFactory* {
+    for (const auto& f : qsv::harness::all_locks()) {
+      if (f.name == lock_name) return &f;
+    }
+    return nullptr;
+  }();
+  ASSERT_NE(factory, nullptr);
+  auto lock = factory->make(qsv::platform::kMaxThreads);
+  const auto profile = profile_by_name(shake_name);
+
+  qv::ExclusionChecker checker;
+  const std::size_t ops = shake_name == "brutal" ? 300 : 1500;
+  qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t rank) {
+    qv::ScheduleShaker shaker(profile, /*seed=*/0xC0FFEE, rank);
+    for (std::size_t i = 0; i < ops; ++i) {
+      shaker.maybe_perturb();
+      lock->lock();
+      checker.enter();
+      shaker.maybe_perturb();  // perturb *inside* the critical section
+      checker.exit();
+      lock->unlock();
+    }
+  });
+  EXPECT_TRUE(checker.clean())
+      << lock_name << " under " << shake_name << ": "
+      << checker.violations() << " violations";
+  EXPECT_EQ(checker.entries(), kThreads * ops);
+}
+
+namespace {
+std::vector<std::tuple<std::string, std::string>> sweep_params() {
+  std::vector<std::tuple<std::string, std::string>> out;
+  for (const auto& f : qsv::harness::all_locks()) {
+    for (const char* shake : {"off", "gentle", "rough", "brutal"}) {
+      out.emplace_back(f.name, shake);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLocksAllShakes, LockShakeSweep, ::testing::ValuesIn(sweep_params()),
+    [](const auto& info) {
+      std::string n =
+          std::get<0>(info.param) + "_" + std::get<1>(info.param);
+      for (auto& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
+// ----------------------------------------------- FIFO admission sweep
+
+class FifoSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FifoSweep, QueueLocksAdmitNearFifo) {
+  const auto* factory = [&]() -> const qsv::locks::LockFactory* {
+    for (const auto& f : qsv::harness::all_locks()) {
+      if (f.name == GetParam()) return &f;
+    }
+    return nullptr;
+  }();
+  ASSERT_NE(factory, nullptr);
+  auto lock = factory->make(qsv::platform::kMaxThreads);
+
+  qv::FifoChecker checker(/*window=*/2 * kThreads);
+  constexpr std::size_t kOps = 2000;
+  qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t) {
+    for (std::size_t i = 0; i < kOps; ++i) {
+      const auto t = checker.arrival_ticket();
+      lock->lock();
+      checker.admitted(t);
+      lock->unlock();
+    }
+  });
+  // Strict-FIFO admission modulo the ticket/enqueue race window: allow
+  // a tiny residue, reject anything resembling random admission.
+  EXPECT_LT(checker.inversions(), checker.admissions() / 100)
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(QueueLocks, FifoSweep,
+                         ::testing::Values("ticket", "anderson",
+                                           "graunke-thakkar", "clh", "mcs",
+                                           "qsv"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// --------------------------------------------- RW invariant under shake
+
+class RwShakeSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(RwShakeSweep, ReaderWriterInvariantHolds) {
+  const auto& [rw_name, shake_name] = GetParam();
+  const auto* factory = [&]() -> const qsv::rwlocks::RwFactory* {
+    for (const auto& f : qsv::harness::all_rwlocks()) {
+      if (f.name == rw_name) return &f;
+    }
+    return nullptr;
+  }();
+  ASSERT_NE(factory, nullptr);
+  auto rw = factory->make();
+  const auto profile = profile_by_name(shake_name);
+
+  qv::RwChecker checker;
+  const std::size_t ops = shake_name == "brutal" ? 300 : 1500;
+  qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t rank) {
+    qv::ScheduleShaker shaker(profile, /*seed=*/0xBEEF, rank);
+    for (std::size_t i = 0; i < ops; ++i) {
+      shaker.maybe_perturb();
+      if ((i + rank) % 4 == 0) {  // 25% writers
+        rw->lock();
+        checker.writer_enter();
+        shaker.maybe_perturb();
+        checker.writer_exit();
+        rw->unlock();
+      } else {
+        rw->lock_shared();
+        checker.reader_enter();
+        shaker.maybe_perturb();
+        checker.reader_exit();
+        rw->unlock_shared();
+      }
+    }
+  });
+  EXPECT_TRUE(checker.clean())
+      << rw_name << " under " << shake_name << ": "
+      << checker.violations() << " violations";
+}
+
+namespace {
+std::vector<std::tuple<std::string, std::string>> rw_params() {
+  std::vector<std::tuple<std::string, std::string>> out;
+  for (const auto& f : qsv::harness::all_rwlocks()) {
+    for (const char* shake : {"off", "rough"}) {
+      out.emplace_back(f.name, shake);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRwLocks, RwShakeSweep, ::testing::ValuesIn(rw_params()),
+    [](const auto& info) {
+      std::string n =
+          std::get<0>(info.param) + "_" + std::get<1>(info.param);
+      for (auto& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
+// ------------------------------------- eventcount rings under shake
+
+#include "eventcount/bounded_ring.hpp"
+
+template <typename Ec>
+class EcShake : public ::testing::Test {};
+
+using EcKinds = ::testing::Types<qsv::eventcount::EventCount<>,
+                                 qsv::eventcount::QueuedEventCount<>>;
+TYPED_TEST_SUITE(EcShake, EcKinds);
+
+TYPED_TEST(EcShake, RingConservationUnderRoughShake) {
+  qsv::eventcount::EcBoundedRing<std::uint32_t, TypeParam> ring(8);
+  constexpr std::size_t kProducers = 3;
+  constexpr std::size_t kConsumers = 3;
+  constexpr std::uint64_t kPer = 3000;
+  std::atomic<std::uint64_t> sum{0};
+  qsv::harness::ThreadTeam::run(
+      kProducers + kConsumers, [&](std::size_t r) {
+        qv::ScheduleShaker shaker(qv::ShakeProfile::rough(), 0xD1CE, r);
+        if (r < kProducers) {
+          for (std::uint64_t i = 0; i < kPer; ++i) {
+            shaker.maybe_perturb();
+            ring.push(static_cast<std::uint32_t>(r * kPer + i));
+          }
+        } else {
+          std::uint64_t local = 0;
+          for (std::uint64_t i = 0; i < kPer; ++i) {
+            shaker.maybe_perturb();
+            local += ring.pop();
+          }
+          sum.fetch_add(local);
+        }
+      });
+  const std::uint64_t n = kProducers * kPer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
