@@ -9,6 +9,7 @@
 
 #include "bench/bench_util.hpp"
 #include "core/qsv_rwlock.hpp"
+#include "core/qsv_rwlock_central.hpp"
 #include "harness/table.hpp"
 #include "harness/team.hpp"
 #include "platform/timing.hpp"
@@ -78,13 +79,18 @@ int main(int argc, char** argv) {
   for (int ratio : ratios) {
     const auto q = run<qsv::core::QsvRwLock<>>(ratio / 100.0, threads,
                                                seconds);
+    const auto qc = run<qsv::core::QsvRwLockCentral<>>(ratio / 100.0,
+                                                       threads, seconds);
     const auto rp = run<qsv::rwlocks::ReaderPrefRwLock>(ratio / 100.0,
                                                         threads, seconds);
     const auto wp = run<qsv::rwlocks::WriterPrefRwLock>(ratio / 100.0,
                                                         threads, seconds);
-    table.add_row({"qsv-rw (batched)", std::to_string(ratio) + "%",
+    table.add_row({"qsv-rw (striped)", std::to_string(ratio) + "%",
                    qsv::harness::Table::num(q.read_mops, 2),
                    qsv::harness::Table::num(q.write_kops, 1)});
+    table.add_row({"qsv-rw (central)", std::to_string(ratio) + "%",
+                   qsv::harness::Table::num(qc.read_mops, 2),
+                   qsv::harness::Table::num(qc.write_kops, 1)});
     table.add_row({"reader-pref", std::to_string(ratio) + "%",
                    qsv::harness::Table::num(rp.read_mops, 2),
                    qsv::harness::Table::num(rp.write_kops, 1)});

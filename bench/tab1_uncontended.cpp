@@ -79,6 +79,28 @@ void BM_QsvRwReader(benchmark::State& s) {
     l.unlock_shared();
   }
 }
+void BM_QsvRwReaderCentral(benchmark::State& s) {
+  qsv::core::QsvRwLockCentral<> l;
+  for (auto _ : s) {
+    l.lock_shared();
+    benchmark::DoNotOptimize(&l);
+    l.unlock_shared();
+  }
+}
+// Steady-state cycle after warm-up: runs entirely out of the arena's
+// thread-local fast slot and the held map's O(1) hints — no allocation,
+// no vector ops, no linear scan (the arena unit test asserts the
+// allocation count stays flat; this reports the resulting latency).
+void BM_QsvSteadyState(benchmark::State& s) {
+  qsv::core::QsvMutex<> l;
+  l.lock();  // warm the arena fast slot + held map for this thread
+  l.unlock();
+  for (auto _ : s) {
+    l.lock();
+    benchmark::DoNotOptimize(&l);
+    l.unlock();
+  }
+}
 void BM_QsvSemaphore(benchmark::State& s) {
   qsv::core::QsvSemaphore sem(1);
   for (auto _ : s) {
@@ -100,6 +122,8 @@ BENCHMARK(BM_QsvTimeout);
 BENCHMARK(BM_StdMutex);
 BENCHMARK(BM_QsvRwWriter);
 BENCHMARK(BM_QsvRwReader);
+BENCHMARK(BM_QsvRwReaderCentral);
+BENCHMARK(BM_QsvSteadyState);
 BENCHMARK(BM_QsvSemaphore);
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/qsv_rwlock.hpp"
+#include "core/qsv_rwlock_central.hpp"
 #include "harness/team.hpp"
 #include "platform/rng.hpp"
 #include "platform/timing.hpp"
@@ -111,20 +112,27 @@ int main(int argc, char** argv) {
   const double seconds = argc > 2 ? std::strtod(argv[2], nullptr) : 0.5;
 
   const auto qsv_out = serve<qsv::core::QsvRwLock<>>(threads, seconds);
+  const auto central_out =
+      serve<qsv::core::QsvRwLockCentral<>>(threads, seconds);
   const auto rp_out = serve<qsv::rwlocks::ReaderPrefRwLock>(threads, seconds);
 
   std::printf("rw_cache: %zu threads, %.1fs, 99%% reads\n", threads, seconds);
   std::printf("  %-22s reads=%-10llu refreshes=%-6llu torn=%llu\n",
-              "qsv-rw (batched):",
+              "qsv-rw (striped):",
               static_cast<unsigned long long>(qsv_out.reads),
               static_cast<unsigned long long>(qsv_out.refreshes),
               static_cast<unsigned long long>(qsv_out.torn));
+  std::printf("  %-22s reads=%-10llu refreshes=%-6llu torn=%llu\n",
+              "qsv-rw (central):",
+              static_cast<unsigned long long>(central_out.reads),
+              static_cast<unsigned long long>(central_out.refreshes),
+              static_cast<unsigned long long>(central_out.torn));
   std::printf("  %-22s reads=%-10llu refreshes=%-6llu torn=%llu\n",
               "reader-pref baseline:",
               static_cast<unsigned long long>(rp_out.reads),
               static_cast<unsigned long long>(rp_out.refreshes),
               static_cast<unsigned long long>(rp_out.torn));
-  if (qsv_out.torn != 0 || rp_out.torn != 0) {
+  if (qsv_out.torn != 0 || central_out.torn != 0 || rp_out.torn != 0) {
     std::printf("  ADMISSION BUG: torn snapshot observed\n");
     return 1;
   }

@@ -1,30 +1,67 @@
-// qsv_rwlock.hpp — shared entry with batched reader admission.
+// qsv_rwlock.hpp — shared entry with batched reader admission, striped
+// reader indicators, and local spinning for blocked readers.
 //
-// QSV's shared mode admits readers in *batches*: all readers present at a
+// QSV's shared mode admits readers in *batches*: all readers parked at a
 // phase boundary enter together, writers take strict FIFO turns between
 // batches, and neither side can starve the other (phase-fair admission,
-// the policy Brandenburg & Anderson later formalized as "Pf"). The
-// protocol needs two reader words and two writer words — entries and
-// exits, tickets and grants — each updated by one RMW per operation.
+// the policy Brandenburg & Anderson later formalized as "Pf").
 //
-// Reconstruction note (documented compromise): shared-mode waiters spin
-// on the admission words themselves rather than on private nodes, so the
-// O(1)-remote-reference property of the exclusive protocol does not carry
-// over to readers. The reconstructed paper's text is unavailable; we take
-// the batching semantics as the contribution and measure the traffic cost
-// honestly in experiment F8/A2.
+// This is the striped redesign that restores the mechanism's headline
+// O(1)-remote-reference property to the read side (the original
+// centralized reconstruction is preserved as QsvRwLockCentral for the
+// F8/A2 ablation):
+//
+//   * Reader entry/exit in the no-writer case is one RMW on the thread's
+//     own StripedCounter stripe plus one load of the writer gate — no
+//     shared hot line, so read throughput scales with reader count.
+//   * Readers that find the gate closed retreat from their stripe and
+//     park on a private node drawn from the NodeArena, spinning (or
+//     futex-parking, per WaitPolicy) on a flag only their granting writer
+//     writes: local spinning, as in the exclusive protocol.
+//   * Writers aggregate the stripes only at phase boundaries: seal the
+//     gate, wait for the previous batch to confirm, then drain the
+//     stripe sum to zero. Writer FIFO is the same ticket/grant pair as
+//     before.
+//
+// Admission protocol (correctness sketch):
+//
+//   reader fast path:  stripe.fetch_add(1, sc); if gate open -> in;
+//                      else stripe.fetch_sub(1), park.
+//   writer seal:       gate.store(closed, sc); then read stripes (sc).
+//   The seq_cst pair forbids the store-buffering outcome where the
+//   reader misses the seal *and* the writer misses the increment.
+//
+//   parking handshake: the parking reader pushes a node, then re-checks
+//   the gate. If it observes the gate closed after its push, the writer
+//   present at that moment has not yet collected the stack (collection
+//   happens after gate-open at unlock), so the node is guaranteed to be
+//   collected and granted — no lost wakeup. If it observes the gate
+//   open, the reader withdraws its node with a state CAS and retries the
+//   fast path; a node whose withdraw-CAS loses was already claimed into
+//   the batch and its owner simply takes the grant.
+//
+//   batch accounting:  the unlocking writer claims parked nodes
+//   (kWaiting -> kClaimed), publishes the exact batch size, opens the
+//   gate, then grants (kClaimed -> kGranted). A granted reader counts
+//   itself into its own stripe and only then decrements the batch count,
+//   so the next writer — which waits for the batch count to reach zero
+//   before trusting the stripe drain — can never slip between a grant
+//   and its confirmation.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 
 #include "platform/arch.hpp"
 #include "platform/cache.hpp"
+#include "platform/node_arena.hpp"
+#include "platform/striped_counter.hpp"
 #include "platform/wait.hpp"
 
 namespace qsv::core {
 
-template <typename Wait = qsv::platform::SpinWait>
+template <typename Wait = qsv::platform::SpinWait, std::size_t kStripes = 16>
 class QsvRwLock {
  public:
   QsvRwLock() = default;
@@ -32,75 +69,187 @@ class QsvRwLock {
   QsvRwLock& operator=(const QsvRwLock&) = delete;
 
   void lock_shared() noexcept {
-    // Announce entry and learn whether a writer phase is in progress.
-    const std::uint32_t w =
-        reader_in_.fetch_add(kReaderInc, std::memory_order_acquire) &
-        kWriterBits;
-    if (w != 0) {
-      // A writer is present: wait for *that* writer phase to end. The
-      // phase id bit flips every writer, so we pass after exactly one
-      // writer even under a continuous write stream (no starvation).
-      while ((reader_in_.load(std::memory_order_acquire) & kWriterBits) ==
-             w) {
-        qsv::platform::cpu_relax();
-      }
-    }
+    // Count ourselves into our own stripe, then check the gate. seq_cst
+    // on both sides of the handshake (see file comment).
+    auto& slot = readers_.slot();
+    slot.fetch_add(1, std::memory_order_seq_cst);
+    if ((gate_.load(std::memory_order_seq_cst) & kClosed) == 0) return;
+    // A writer phase is in progress: retreat and park.
+    slot.fetch_sub(1, std::memory_order_seq_cst);
+    lock_shared_slow(slot);
   }
 
   void unlock_shared() noexcept {
-    // release: our read section happens-before the writer that counts us
-    // out.
-    reader_out_.fetch_add(kReaderInc, std::memory_order_release);
+    // Exit lands on the same stripe the entry (or grant confirmation)
+    // counted into; release pairs with the draining writer's loads.
+    readers_.slot().fetch_sub(1, std::memory_order_release);
   }
 
   void lock() noexcept {
     // FIFO among writers via ticket/grant words.
     const std::uint32_t ticket =
         writer_ticket_.fetch_add(1, std::memory_order_relaxed);
-    while (writer_grant_.load(std::memory_order_acquire) != ticket) {
-      qsv::platform::cpu_relax();
-    }
-    // Announce the writer phase to readers: set presence + phase-id bits.
-    // Readers that incremented reader_in_ before this RMW are "ahead of
-    // us"; the prior value tells us how many to wait out.
-    const std::uint32_t bits = kWriterPresent | (ticket & kPhaseId);
-    const std::uint32_t in_before =
-        reader_in_.fetch_add(bits, std::memory_order_acquire) & ~kWriterBits;
-    // Wait until every such reader has counted itself out.
-    while (reader_out_.load(std::memory_order_acquire) != in_before) {
-      qsv::platform::cpu_relax();
-    }
+    spin_until([&] {
+      return writer_grant_.load(std::memory_order_acquire) == ticket;
+    });
+    // Seal the gate: fast-path readers arriving from here on retreat.
+    gate_.store(kClosed, std::memory_order_seq_cst);
+    // The batch granted at the previous boundary must have confirmed
+    // (counted into its stripes) before the stripe drain means anything.
+    spin_until([&] {
+      return batch_pending_.load(std::memory_order_acquire) == 0;
+    });
+    // Drain in-flight readers. Every active entry sits stably in one
+    // stripe, so a single all-zero pass proves quiescence.
+    spin_until([&] {
+      return readers_.sum(std::memory_order_seq_cst) == 0;
+    });
   }
 
   void unlock() noexcept {
-    // End the writer phase: clear presence/phase bits; waiting readers
-    // (who captured the old bits) see the change and batch in. release
-    // publishes the write section to them.
-    reader_in_.fetch_and(~kWriterBits, std::memory_order_release);
-    // Pass the writer baton. Only the holder writes writer_grant_.
-    writer_grant_.store(
-        writer_grant_.load(std::memory_order_relaxed) + 1,
-        std::memory_order_release);
+    // Order matters throughout; see the admission protocol above.
+    // 1. Open the gate *before* collecting the stack, so a reader that
+    //    pushes too late to be collected observes the open gate on its
+    //    post-push check and withdraws instead of waiting.
+    gate_.store(0, std::memory_order_seq_cst);
+    // 2. Collect the parked readers.
+    Node* chain = rwaiters_.exchange(nullptr, std::memory_order_seq_cst);
+    // 3. Claim pass: fix the batch membership and count. Withdrawn
+    //    corpses are recycled here.
+    Node* claimed = nullptr;
+    std::uint32_t batch = 0;
+    while (chain != nullptr) {
+      Node* next = chain->next.load(std::memory_order_relaxed);
+      std::uint32_t expected = kWaiting;
+      if (chain->state.compare_exchange_strong(expected, kClaimed,
+                                               std::memory_order_seq_cst,
+                                               std::memory_order_relaxed)) {
+        // Park policies sleep on kWaiting; wake the owner so it advances
+        // to waiting on kClaimed (no-op for spin policies).
+        Wait::notify_all(chain->state);
+        chain->next.store(claimed, std::memory_order_relaxed);
+        claimed = chain;
+        ++batch;
+      } else {
+        Arena::instance().release(chain);
+      }
+      chain = next;
+    }
+    // 4. Publish the exact batch size before any grant. No reader can
+    //    decrement until step 5, and the previous batch reached zero
+    //    before our lock() completed, so a plain store is safe.
+    if (batch != 0) {
+      batch_pending_.store(batch, std::memory_order_relaxed);
+    }
+    // 5. Grant: one store per node, each to the line its owner watches.
+    while (claimed != nullptr) {
+      Node* next = claimed->next.load(std::memory_order_relaxed);
+      claimed->state.store(kGranted, std::memory_order_release);
+      Wait::notify_all(claimed->state);
+      claimed = next;
+    }
+    // 6. Pass the writer baton. Only the holder writes writer_grant_.
+    writer_grant_.store(writer_grant_.load(std::memory_order_relaxed) + 1,
+                        std::memory_order_release);
   }
 
   static constexpr const char* name() noexcept { return "qsv-rw"; }
 
- private:
-  // reader_in_ layout: bits 0..1 writer presence/phase; bits 8..31 count
-  // of reader entries. reader_out_ uses the count bits only.
-  static constexpr std::uint32_t kReaderInc = 0x100;
-  static constexpr std::uint32_t kWriterBits = 0x3;
-  static constexpr std::uint32_t kWriterPresent = 0x2;
-  static constexpr std::uint32_t kPhaseId = 0x1;
+  /// Space cost (Table 2): the striped indicator dominates — the price
+  /// of scalable reads, paid per lock instance.
+  static constexpr std::size_t footprint_bytes() noexcept {
+    return sizeof(QsvRwLock);
+  }
 
-  alignas(qsv::platform::kFalseSharingRange)
-      std::atomic<std::uint32_t> reader_in_{0};
-  alignas(qsv::platform::kFalseSharingRange)
-      std::atomic<std::uint32_t> reader_out_{0};
-  alignas(qsv::platform::kFalseSharingRange)
-      std::atomic<std::uint32_t> writer_ticket_{0};
-  alignas(qsv::platform::kFalseSharingRange)
-      std::atomic<std::uint32_t> writer_grant_{0};
+ private:
+  static constexpr std::uint32_t kClosed = 1;
+
+  static constexpr std::uint32_t kWaiting = 0;
+  static constexpr std::uint32_t kClaimed = 1;
+  static constexpr std::uint32_t kGranted = 2;
+  static constexpr std::uint32_t kAbandoned = 3;
+
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    std::atomic<std::uint32_t> state{kWaiting};
+  };
+  using Arena = qsv::platform::NodeArena<Node>;
+
+  void lock_shared_slow(std::atomic<std::int64_t>& slot) noexcept {
+    for (;;) {
+      // Retry the fast path: the phase may already be over.
+      slot.fetch_add(1, std::memory_order_seq_cst);
+      if ((gate_.load(std::memory_order_seq_cst) & kClosed) == 0) return;
+      slot.fetch_sub(1, std::memory_order_seq_cst);
+
+      // Park on a private node.
+      Node* n = Arena::instance().acquire();
+      n->state.store(kWaiting, std::memory_order_relaxed);
+      Node* head = rwaiters_.load(std::memory_order_relaxed);
+      do {
+        n->next.store(head, std::memory_order_relaxed);
+      } while (!rwaiters_.compare_exchange_weak(head, n,
+                                                std::memory_order_seq_cst,
+                                                std::memory_order_relaxed));
+
+      if ((gate_.load(std::memory_order_seq_cst) & kClosed) == 0) {
+        // The phase ended between our retreat and our push, so the
+        // draining writer may have collected the stack without us.
+        // Withdraw; if the CAS loses, we *were* collected and claimed,
+        // and the grant is coming — fall through and take it.
+        std::uint32_t expected = kWaiting;
+        if (n->state.compare_exchange_strong(expected, kAbandoned,
+                                             std::memory_order_seq_cst,
+                                             std::memory_order_acquire)) {
+          continue;  // corpse recycled by a later collection
+        }
+      }
+      // Local wait: kWaiting -> kClaimed -> kGranted, every transition
+      // written only by the granting writer.
+      std::uint32_t s = n->state.load(std::memory_order_acquire);
+      while (s != kGranted) {
+        Wait::wait_while_equal(n->state, s);
+        s = n->state.load(std::memory_order_acquire);
+      }
+      Arena::instance().release(n);
+      // Confirm admission: count into our own stripe first, then report
+      // in; the next writer waits out batch_pending_ before draining.
+      slot.fetch_add(1, std::memory_order_seq_cst);
+      batch_pending_.fetch_sub(1, std::memory_order_release);
+      return;
+    }
+  }
+
+  /// Writer-side waits: spin briefly, then donate the quantum — phase
+  /// boundaries are rare and may wait on preempted threads.
+  template <typename Pred>
+  static void spin_until(Pred&& pred) noexcept {
+    for (std::uint32_t polls = 0; !pred(); ++polls) {
+      if (polls < kSpinPollsBeforeYield) {
+        qsv::platform::cpu_relax();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+  static constexpr std::uint32_t kSpinPollsBeforeYield = 4096;
+
+  /// Distributed reader indicator: entry/exit touch one stripe.
+  qsv::platform::StripedCounter<kStripes> readers_;
+  /// Writer gate: nonzero while a writer phase is in progress. Written
+  /// only by the phase's writer.
+  alignas(qsv::platform::kFalseSharingRange) std::atomic<std::uint32_t>
+      gate_{0};
+  /// Treiber stack of parked reader nodes, drained at every unlock().
+  alignas(qsv::platform::kFalseSharingRange) std::atomic<Node*>
+      rwaiters_{nullptr};
+  /// Readers granted at the last boundary that have not yet confirmed.
+  alignas(qsv::platform::kFalseSharingRange) std::atomic<std::uint32_t>
+      batch_pending_{0};
+  alignas(qsv::platform::kFalseSharingRange) std::atomic<std::uint32_t>
+      writer_ticket_{0};
+  alignas(qsv::platform::kFalseSharingRange) std::atomic<std::uint32_t>
+      writer_grant_{0};
 };
 
 }  // namespace qsv::core

@@ -1,0 +1,103 @@
+// qsv_rwlock_central.hpp — the centralized-counter reconstruction of QSV
+// shared mode, kept as the ablation baseline for experiment F8/A2.
+//
+// This is the original reconstruction: batched (phase-fair) reader
+// admission driven by two shared reader words (entries and exits) and two
+// writer words (tickets and grants), each updated by one RMW per
+// operation. Every reader entry/exit is an RMW on one hot line and
+// shared-mode waiters spin on the admission words themselves, so the
+// O(1)-remote-reference property of the exclusive protocol does not carry
+// over to readers — exactly the traffic cost the striped rewrite in
+// qsv_rwlock.hpp removes. Keep this variant byte-for-byte equivalent to
+// the measured artifact; it is the "before" in the before/after story.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "platform/arch.hpp"
+#include "platform/cache.hpp"
+#include "platform/wait.hpp"
+
+namespace qsv::core {
+
+template <typename Wait = qsv::platform::SpinWait>
+class QsvRwLockCentral {
+ public:
+  QsvRwLockCentral() = default;
+  QsvRwLockCentral(const QsvRwLockCentral&) = delete;
+  QsvRwLockCentral& operator=(const QsvRwLockCentral&) = delete;
+
+  void lock_shared() noexcept {
+    // Announce entry and learn whether a writer phase is in progress.
+    const std::uint32_t w =
+        reader_in_.fetch_add(kReaderInc, std::memory_order_acquire) &
+        kWriterBits;
+    if (w != 0) {
+      // A writer is present: wait for *that* writer phase to end. The
+      // phase id bit flips every writer, so we pass after exactly one
+      // writer even under a continuous write stream (no starvation).
+      while ((reader_in_.load(std::memory_order_acquire) & kWriterBits) ==
+             w) {
+        qsv::platform::cpu_relax();
+      }
+    }
+  }
+
+  void unlock_shared() noexcept {
+    // release: our read section happens-before the writer that counts us
+    // out.
+    reader_out_.fetch_add(kReaderInc, std::memory_order_release);
+  }
+
+  void lock() noexcept {
+    // FIFO among writers via ticket/grant words.
+    const std::uint32_t ticket =
+        writer_ticket_.fetch_add(1, std::memory_order_relaxed);
+    while (writer_grant_.load(std::memory_order_acquire) != ticket) {
+      qsv::platform::cpu_relax();
+    }
+    // Announce the writer phase to readers: set presence + phase-id bits.
+    // Readers that incremented reader_in_ before this RMW are "ahead of
+    // us"; the prior value tells us how many to wait out.
+    const std::uint32_t bits = kWriterPresent | (ticket & kPhaseId);
+    const std::uint32_t in_before =
+        reader_in_.fetch_add(bits, std::memory_order_acquire) & ~kWriterBits;
+    // Wait until every such reader has counted itself out.
+    while (reader_out_.load(std::memory_order_acquire) != in_before) {
+      qsv::platform::cpu_relax();
+    }
+  }
+
+  void unlock() noexcept {
+    // End the writer phase: clear presence/phase bits; waiting readers
+    // (who captured the old bits) see the change and batch in. release
+    // publishes the write section to them.
+    reader_in_.fetch_and(~kWriterBits, std::memory_order_release);
+    // Pass the writer baton. Only the holder writes writer_grant_.
+    writer_grant_.store(
+        writer_grant_.load(std::memory_order_relaxed) + 1,
+        std::memory_order_release);
+  }
+
+  static constexpr const char* name() noexcept { return "qsv-rw/central"; }
+
+ private:
+  // reader_in_ layout: bits 0..1 writer presence/phase; bits 8..31 count
+  // of reader entries. reader_out_ uses the count bits only.
+  static constexpr std::uint32_t kReaderInc = 0x100;
+  static constexpr std::uint32_t kWriterBits = 0x3;
+  static constexpr std::uint32_t kWriterPresent = 0x2;
+  static constexpr std::uint32_t kPhaseId = 0x1;
+
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint32_t> reader_in_{0};
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint32_t> reader_out_{0};
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint32_t> writer_ticket_{0};
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint32_t> writer_grant_{0};
+};
+
+}  // namespace qsv::core

@@ -29,5 +29,6 @@
 #include "core/qsv_barrier.hpp"   // IWYU pragma: export
 #include "core/qsv_mutex.hpp"     // IWYU pragma: export
 #include "core/qsv_rwlock.hpp"    // IWYU pragma: export
+#include "core/qsv_rwlock_central.hpp"  // IWYU pragma: export
 #include "core/qsv_timeout.hpp"   // IWYU pragma: export
 #include "core/semaphore.hpp"     // IWYU pragma: export

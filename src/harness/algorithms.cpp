@@ -103,7 +103,11 @@ const std::vector<qsv::barriers::BarrierFactory>& all_barriers() {
 const std::vector<qsv::rwlocks::RwFactory>& all_rwlocks() {
   static const std::vector<qsv::rwlocks::RwFactory> catalogue = [] {
     std::vector<qsv::rwlocks::RwFactory> v = qsv::rwlocks::rw_registry();
+    // Both QSV shared-mode variants stay selectable so F8/A2 can compare
+    // the striped redesign against the centralized-counter original.
     v.push_back(rw_entry<qsv::core::QsvRwLock<>>("qsv-rw"));
+    v.push_back(
+        rw_entry<qsv::core::QsvRwLockCentral<>>("qsv-rw/central"));
     return v;
   }();
   return catalogue;

@@ -6,10 +6,17 @@
 // belongs to which lock in a small per-thread "held map". Nodes may
 // migrate between threads (CLH adoption), so ultimate ownership rests
 // with the arena, which frees everything at process exit.
+//
+// Fast paths: the arena fronts its per-thread vector cache with a
+// single-slot cache, so the uncontended lock/unlock cycle — acquire one
+// node, release one node — performs no vector operation and no
+// allocation in steady state. The held map keeps a last-acquired hint
+// and a free-slot hint, so the same cycle performs no linear scan.
 #pragma once
 
-#include <cassert>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -18,8 +25,18 @@
 
 namespace qsv::platform {
 
+namespace detail {
+/// Contract violations in the node layer (capacity overflow, unmatched
+/// unlock) corrupt the queue protocols if allowed to continue; abort
+/// deterministically in every build mode rather than fall into UB.
+[[noreturn]] inline void node_fatal(const char* what) noexcept {
+  std::fprintf(stderr, "libqsv node layer: %s\n", what);
+  std::abort();
+}
+}  // namespace detail
+
 /// Global allocator of line-aligned nodes of type `Node`. Allocation hits
-/// the central mutex only when a thread's local cache is empty; steady
+/// the central mutex only when a thread's local caches are empty; steady
 /// state is allocation-free. Nodes live until process exit, which makes
 /// cross-thread node migration (CLH) safe by construction.
 template <typename Node>
@@ -30,8 +47,15 @@ class NodeArena {
     return arena;
   }
 
-  /// Get a node, preferring the calling thread's cache.
+  /// Get a node: single-slot fast cache, then the thread's vector cache,
+  /// then the central arena.
   Node* acquire() {
+    Node*& fast = fast_slot();
+    if (fast != nullptr) {
+      Node* n = fast;
+      fast = nullptr;
+      return n;
+    }
     auto& cache = local_cache();
     if (!cache.empty()) {
       Node* n = cache.back();
@@ -44,8 +68,17 @@ class NodeArena {
     return &storage_.back()->value;
   }
 
-  /// Return a node to the calling thread's cache.
-  void release(Node* n) { local_cache().push_back(n); }
+  /// Return a node to the calling thread's caches. The single slot takes
+  /// it when empty (the common un-nested case); overflow spills to the
+  /// vector.
+  void release(Node* n) {
+    Node*& fast = fast_slot();
+    if (fast == nullptr) {
+      fast = n;
+      return;
+    }
+    local_cache().push_back(n);
+  }
 
   /// Total nodes ever created (space accounting for Table 2).
   std::size_t allocated() const {
@@ -55,6 +88,11 @@ class NodeArena {
 
  private:
   NodeArena() = default;
+
+  static Node*& fast_slot() {
+    thread_local Node* slot = nullptr;
+    return slot;
+  }
 
   static std::vector<Node*>& local_cache() {
     thread_local std::vector<Node*> cache;
@@ -66,9 +104,10 @@ class NodeArena {
 };
 
 /// Per-thread map from lock instance to the node (and auxiliary pointer)
-/// used for the in-flight acquisition. Bounded linear scan: lock nesting
-/// depth in real programs is tiny, and the scan touches only thread-local
-/// memory.
+/// used for the in-flight acquisition. The last-acquired hint makes the
+/// lock/unlock cycle O(1); deeper nesting falls back to a bounded linear
+/// scan over thread-local memory (lock nesting depth in real programs is
+/// tiny).
 template <typename Node, std::size_t kMaxHeld = 32>
 class HeldMap {
  public:
@@ -78,34 +117,52 @@ class HeldMap {
     Node* aux = nullptr;          ///< CLH: predecessor node to adopt
   };
 
-  /// Record an acquisition in the first free slot.
+  /// Record an acquisition. The free-slot hint points at the most
+  /// recently vacated slot, so the un-nested cycle never scans.
   Entry& insert(const void* owner, Node* node) {
-    for (auto& e : entries_) {
-      if (e.owner == nullptr) {
-        e.owner = owner;
-        e.node = node;
-        e.aux = nullptr;
-        return e;
+    std::size_t i = free_hint_;
+    if (entries_[i].owner != nullptr) {
+      i = kMaxHeld;
+      for (std::size_t j = 0; j < kMaxHeld; ++j) {
+        if (entries_[j].owner == nullptr) {
+          i = j;
+          break;
+        }
+      }
+      if (i == kMaxHeld) {
+        detail::node_fatal("lock nesting depth exceeds HeldMap capacity");
       }
     }
-    assert(false && "lock nesting depth exceeds HeldMap capacity");
-    __builtin_unreachable();
+    Entry& e = entries_[i];
+    e.owner = owner;
+    e.node = node;
+    e.aux = nullptr;
+    last_ = i;
+    return e;
   }
 
   /// Find the entry for `owner`; the lock must be held by this thread.
+  /// O(1) when `owner` was the most recent insert (the uncontended
+  /// lock/unlock cycle and well-nested critical sections).
   Entry& find(const void* owner) {
-    for (auto& e : entries_) {
-      if (e.owner == owner) return e;
+    Entry& hint = entries_[last_];
+    if (hint.owner == owner) return hint;
+    for (std::size_t j = 0; j < kMaxHeld; ++j) {
+      if (entries_[j].owner == owner) {
+        last_ = j;
+        return entries_[j];
+      }
     }
-    assert(false && "unlock of a lock this thread does not hold");
-    __builtin_unreachable();
+    detail::node_fatal("unlock of a lock this thread does not hold");
   }
 
-  /// Erase after release.
+  /// Erase after release; the vacated slot becomes the next insert's
+  /// first candidate.
   void erase(Entry& e) {
     e.owner = nullptr;
     e.node = nullptr;
     e.aux = nullptr;
+    free_hint_ = static_cast<std::size_t>(&e - entries_);
   }
 
   /// Access the calling thread's map for a given (Node, lock-type) pair.
@@ -116,6 +173,8 @@ class HeldMap {
 
  private:
   Entry entries_[kMaxHeld]{};
+  std::size_t last_ = 0;       ///< slot of the most recent insert/find
+  std::size_t free_hint_ = 0;  ///< slot of the most recent erase
 };
 
 }  // namespace qsv::platform

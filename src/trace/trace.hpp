@@ -121,22 +121,34 @@ class TraceSession {
   }
 
   Ring& my_ring() {
+    // Keyed by (address, epoch): a new session constructed at a dead
+    // session's address must not inherit the stale cached ring (a
+    // use-after-free otherwise — sessions are commonly stack-allocated
+    // back to back).
     thread_local struct Cache {
-      TraceSession* session = nullptr;
+      const TraceSession* session = nullptr;
+      std::uint64_t epoch = 0;
       Ring* ring = nullptr;
     } cache;
-    if (cache.session != this) {
+    if (cache.session != this || cache.epoch != epoch_) {
       auto ring = std::make_unique<Ring>();
       ring->slots.resize(capacity_);
       std::lock_guard<std::mutex> g(registry_mu_);
       storage_.push_back(std::move(ring));
       rings_.push_back(storage_.back().get());
       cache.session = this;
+      cache.epoch = epoch_;
       cache.ring = storage_.back().get();
     }
     return *cache.ring;
   }
 
+  static std::uint64_t next_epoch() noexcept {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  const std::uint64_t epoch_ = next_epoch();
   std::size_t capacity_;
   mutable std::mutex registry_mu_;
   std::vector<std::unique_ptr<Ring>> storage_;

@@ -58,6 +58,9 @@ TEST(QsvSemaphore, BoundsConcurrencyExactly) {
       int expect = peak.load();
       while (now > expect && !peak.compare_exchange_weak(expect, now)) {
       }
+      // Hold the permit across a scheduling point so holders actually
+      // overlap even on a single-processor host.
+      if ((i & 0x1f) == 0) std::this_thread::yield();
       inside.fetch_sub(1);
       sem.release();
     }
