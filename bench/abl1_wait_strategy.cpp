@@ -2,100 +2,66 @@
 // waiting strategies. Claim ("superseded by futex" band, made precise):
 // dedicated processors -> pure spin wins; oversubscribed -> parking wins
 // by a wide margin because spinners steal the holder's quantum.
-#include <chrono>
-#include <cstdio>
-#include <thread>
+#include <algorithm>
 
-#include "bench/bench_util.hpp"
+#include "benchreg/kernels.hpp"
+#include "benchreg/registry.hpp"
 #include "core/qsv_mutex.hpp"
-#include "harness/runner.hpp"
-#include "harness/table.hpp"
 #include "platform/wait.hpp"
 
 namespace {
 
 template <typename Wait>
-double run_variant(std::size_t threads, double seconds) {
-  qsv::core::QsvMutex<Wait> lock;
-  qsv::workload::GuardedCounter integrity;
-  qsv::harness::StopFlag stop;
-  std::vector<std::uint64_t> ops(threads, 0);
-  // External watchdog: in the oversubscribed spin case the team itself
-  // may crawl, so no member is trusted to watch the clock.
-  std::thread watchdog([&] {
-    std::this_thread::sleep_for(
-        std::chrono::nanoseconds(static_cast<std::int64_t>(seconds * 1e9)));
-    stop.request();
-  });
-  const auto t0 = qsv::platform::now_ns();
-  qsv::harness::ThreadTeam::run(
-      threads,
-      [&](std::size_t rank) {
-        std::uint64_t n = 0;
-        while (!stop.requested()) {
-          lock.lock();
-          integrity.bump();
-          lock.unlock();
-          ++n;
-        }
-        ops[rank] = n;
-      },
-      /*pin=*/threads <= qsv::platform::available_cpus());
-  const auto dt = qsv::platform::now_ns() - t0;
-  watchdog.join();
-  std::uint64_t total = 0;
-  for (auto o : ops) total += o;
-  if (!integrity.consistent()) {
-    std::fprintf(stderr, "INTEGRITY FAILURE in wait-strategy ablation\n");
-    std::exit(1);
+void run_strategy(qsv::benchreg::Report& report, const char* strategy,
+                  const std::vector<std::size_t>& teams, std::size_t cpus,
+                  double seconds) {
+  for (auto t : teams) {
+    qsv::core::QsvMutex<Wait> lock;
+    // External watchdog: in the oversubscribed spin case the team itself
+    // may crawl, so no member is trusted to watch the clock.
+    const auto r = qsv::benchreg::run_lock_loop(lock, t, seconds,
+                                                /*external_watchdog=*/true);
+    if (!r.ok) {
+      report.fail("integrity failure in wait-strategy ablation");
+      return;
+    }
+    report.add()
+        .set("strategy", strategy)
+        .set("threads", t)
+        .set("oversubscribed", t > cpus ? "yes" : "no")
+        .set("mops", qsv::benchreg::Value(r.throughput_mops(), 2));
   }
-  return static_cast<double>(total) / static_cast<double>(dt) * 1e3;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  qsv::harness::Options opts(argc, argv, {"seconds"});
-  const double seconds = opts.get_double("seconds", 0.12);
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const double seconds = params.seconds(0.12);
   const std::size_t cpus = qsv::platform::available_cpus();
   const std::vector<std::size_t> teams{
       std::max<std::size_t>(2, cpus / 2), cpus, 2 * cpus};
 
-  qsv::bench::banner("A1: QSV wait-strategy ablation",
-                     "claim: spin wins dedicated; park wins oversubscribed");
-
-  std::vector<std::string> headers{"strategy"};
-  for (auto t : teams) {
-    headers.push_back("T=" + std::to_string(t) +
-                      (t > cpus ? " (oversub) Mops" : " Mops"));
+  if (params.algo_match("spin")) {
+    run_strategy<qsv::platform::SpinWait>(report, "spin", teams, cpus,
+                                          seconds);
   }
-  qsv::harness::Table table(headers);
-
-  {
-    std::vector<std::string> row{"spin"};
-    for (auto t : teams) {
-      row.push_back(qsv::harness::Table::num(
-          run_variant<qsv::platform::SpinWait>(t, seconds), 2));
-    }
-    table.add_row(std::move(row));
+  if (report.ok && params.algo_match("yield")) {
+    run_strategy<qsv::platform::SpinYieldWait>(report, "yield", teams, cpus,
+                                               seconds);
   }
-  {
-    std::vector<std::string> row{"yield"};
-    for (auto t : teams) {
-      row.push_back(qsv::harness::Table::num(
-          run_variant<qsv::platform::SpinYieldWait>(t, seconds), 2));
-    }
-    table.add_row(std::move(row));
+  if (report.ok && params.algo_match("park")) {
+    run_strategy<qsv::platform::ParkWait>(report, "park", teams, cpus,
+                                          seconds);
   }
-  {
-    std::vector<std::string> row{"park"};
-    for (auto t : teams) {
-      row.push_back(qsv::harness::Table::num(
-          run_variant<qsv::platform::ParkWait>(t, seconds), 2));
-    }
-    table.add_row(std::move(row));
-  }
-  table.print();
-  if (opts.csv()) table.print_csv(std::cout);
-  return 0;
+  return report;
 }
+
+qsv::benchreg::Registrar reg{{
+    .name = "wait_strategy",
+    .id = "abl1",
+    .kind = qsv::benchreg::Kind::kAblation,
+    .title = "QSV wait-strategy ablation",
+    .claim = "spin wins dedicated; park wins oversubscribed",
+    .run = run,
+}};
+
+}  // namespace

@@ -4,101 +4,72 @@
 // read ratios *while writers stay live* (writer ops/s reported so the
 // reader-preference lock's "fast because it starves writers" pathology
 // is visible in the same table).
-#include <atomic>
-#include <cstdio>
+#include <algorithm>
 
-#include "bench/bench_util.hpp"
+#include "benchreg/kernels.hpp"
+#include "benchreg/registry.hpp"
 #include "core/qsv_rwlock.hpp"
 #include "core/qsv_rwlock_central.hpp"
-#include "harness/table.hpp"
-#include "harness/team.hpp"
-#include "platform/timing.hpp"
 #include "rwlocks/central_rw.hpp"
-#include "workload/rw_mix.hpp"
 
 namespace {
 
-struct Outcome {
-  double read_mops = 0.0;
-  double write_kops = 0.0;
-};
-
 template <typename Lock>
-Outcome run(double read_ratio, std::size_t threads, double seconds) {
-  Lock lock;
-  qsv::workload::VersionedCells cells;
-  std::atomic<std::uint64_t> reads{0}, writes{0};
-  std::atomic<bool> stop{false};
-  const auto deadline =
-      qsv::platform::now_ns() + static_cast<std::uint64_t>(seconds * 1e9);
-  const auto t0 = qsv::platform::now_ns();
-  qsv::harness::ThreadTeam::run(threads, [&](std::size_t rank) {
-    qsv::workload::RwMix mix(read_ratio, rank + 11);
-    std::uint64_t r = 0, w = 0, ops = 0;
-    while (!stop.load(std::memory_order_relaxed)) {
-      if (mix.next_is_read()) {
-        lock.lock_shared();
-        (void)cells.read_consistent();
-        lock.unlock_shared();
-        ++r;
-      } else {
-        lock.lock();
-        cells.write();
-        lock.unlock();
-        ++w;
-      }
-      if (rank == 0 && (++ops & 0xff) == 0 &&
-          qsv::platform::now_ns() >= deadline) {
-        stop.store(true, std::memory_order_relaxed);
-      }
+void run_algo(qsv::benchreg::Report& report, const char* algo,
+              const std::vector<int>& ratios, std::size_t threads,
+              double seconds) {
+  for (int ratio : ratios) {
+    Lock lock;
+    const auto r = qsv::benchreg::run_rw_mix(lock, threads, ratio / 100.0,
+                                             seconds, /*seed_stride=*/1,
+                                             /*seed_bias=*/11);
+    if (r.torn) {
+      report.fail(std::string("torn snapshot: ") + algo);
+      return;
     }
-    reads.fetch_add(r);
-    writes.fetch_add(w);
-  });
-  const auto dt = qsv::platform::now_ns() - t0;
-  return Outcome{
-      static_cast<double>(reads.load()) / static_cast<double>(dt) * 1e3,
-      static_cast<double>(writes.load()) / static_cast<double>(dt) * 1e6};
+    report.add()
+        .set("algorithm", algo)
+        .set("read_ratio_pct", ratio)
+        .set("read_mops", qsv::benchreg::Value(r.read_mops(), 2))
+        .set("write_kops_liveness",
+             qsv::benchreg::Value(r.write_mops() * 1e3, 1));
+  }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  qsv::harness::Options opts(argc, argv, {"threads", "seconds"});
-  const auto threads = opts.get_u64(
-      "threads", std::min<std::size_t>(8, qsv::platform::available_cpus()));
-  const double seconds = opts.get_double("seconds", 0.1);
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const auto threads = params.threads_or(
+      std::min<std::size_t>(8, qsv::platform::available_cpus()));
+  const double seconds = params.seconds(0.1);
   const std::vector<int> ratios{90, 99};
 
-  qsv::bench::banner("A2: reader batching ablation",
-                     "claim: batching sustains readers without freezing "
-                     "writers; preference locks trade one for the other");
-
-  qsv::harness::Table table({"algorithm", "ratio", "read Mops",
-                             "write kops (liveness)"});
-  for (int ratio : ratios) {
-    const auto q = run<qsv::core::QsvRwLock<>>(ratio / 100.0, threads,
-                                               seconds);
-    const auto qc = run<qsv::core::QsvRwLockCentral<>>(ratio / 100.0,
-                                                       threads, seconds);
-    const auto rp = run<qsv::rwlocks::ReaderPrefRwLock>(ratio / 100.0,
-                                                        threads, seconds);
-    const auto wp = run<qsv::rwlocks::WriterPrefRwLock>(ratio / 100.0,
-                                                        threads, seconds);
-    table.add_row({"qsv-rw (striped)", std::to_string(ratio) + "%",
-                   qsv::harness::Table::num(q.read_mops, 2),
-                   qsv::harness::Table::num(q.write_kops, 1)});
-    table.add_row({"qsv-rw (central)", std::to_string(ratio) + "%",
-                   qsv::harness::Table::num(qc.read_mops, 2),
-                   qsv::harness::Table::num(qc.write_kops, 1)});
-    table.add_row({"reader-pref", std::to_string(ratio) + "%",
-                   qsv::harness::Table::num(rp.read_mops, 2),
-                   qsv::harness::Table::num(rp.write_kops, 1)});
-    table.add_row({"writer-pref", std::to_string(ratio) + "%",
-                   qsv::harness::Table::num(wp.read_mops, 2),
-                   qsv::harness::Table::num(wp.write_kops, 1)});
+  if (report.ok && params.algo_match("qsv-rw (striped)")) {
+    run_algo<qsv::core::QsvRwLock<>>(report, "qsv-rw (striped)", ratios,
+                                     threads, seconds);
   }
-  table.print();
-  if (opts.csv()) table.print_csv(std::cout);
-  return 0;
+  if (report.ok && params.algo_match("qsv-rw (central)")) {
+    run_algo<qsv::core::QsvRwLockCentral<>>(report, "qsv-rw (central)",
+                                            ratios, threads, seconds);
+  }
+  if (report.ok && params.algo_match("reader-pref")) {
+    run_algo<qsv::rwlocks::ReaderPrefRwLock>(report, "reader-pref", ratios,
+                                             threads, seconds);
+  }
+  if (report.ok && params.algo_match("writer-pref")) {
+    run_algo<qsv::rwlocks::WriterPrefRwLock>(report, "writer-pref", ratios,
+                                             threads, seconds);
+  }
+  return report;
 }
+
+qsv::benchreg::Registrar reg{{
+    .name = "reader_batch",
+    .id = "abl2",
+    .kind = qsv::benchreg::Kind::kAblation,
+    .title = "reader batching ablation",
+    .claim = "batching sustains readers without freezing writers; "
+             "preference locks trade one for the other",
+    .run = run,
+}};
+
+}  // namespace

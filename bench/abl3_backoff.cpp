@@ -3,77 +3,58 @@
 // band of backoff caps — too small recreates the collapse, too large
 // idles the lock; the queue locks need no tuning at all (shown as the
 // reference row).
-#include <cstdio>
+#include <algorithm>
 
-#include "bench/bench_util.hpp"
+#include "benchreg/kernels.hpp"
+#include "benchreg/registry.hpp"
 #include "core/qsv_mutex.hpp"
-#include "harness/runner.hpp"
-#include "harness/table.hpp"
 #include "locks/ticket.hpp"
 #include "locks/ttas.hpp"
 #include "platform/backoff.hpp"
 
 namespace {
 
-template <typename Lock, typename... Args>
-double measure(std::size_t threads, double seconds, Args&&... args) {
-  Lock lock(std::forward<Args>(args)...);
-  qsv::workload::GuardedCounter integrity;
-  std::atomic<bool> stop{false};
-  std::atomic<std::uint64_t> total{0};
-  const auto deadline =
-      qsv::platform::now_ns() + static_cast<std::uint64_t>(seconds * 1e9);
-  const auto t0 = qsv::platform::now_ns();
-  qsv::harness::ThreadTeam::run(threads, [&](std::size_t rank) {
-    std::uint64_t ops = 0;
-    while (!stop.load(std::memory_order_relaxed)) {
-      lock.lock();
-      integrity.bump();
-      lock.unlock();
-      if (rank == 0 && (++ops & 0xff) == 0 &&
-          qsv::platform::now_ns() >= deadline) {
-        stop.store(true, std::memory_order_relaxed);
-      }
-      if (rank != 0) ++ops;
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const auto threads = params.threads_or(
+      std::min<std::size_t>(8, qsv::platform::available_cpus()));
+  const double seconds = params.seconds(0.1);
+
+  const auto measure = [&](const std::string& configuration, auto& lock) {
+    if (!params.algo_match(configuration)) return true;
+    const auto r = qsv::benchreg::run_lock_loop(lock, threads, seconds);
+    if (!r.ok) {
+      report.fail("integrity failure in backoff ablation");
+      return false;
     }
-    total.fetch_add(ops);
-  });
-  const auto dt = qsv::platform::now_ns() - t0;
-  if (!integrity.consistent()) {
-    std::fprintf(stderr, "INTEGRITY FAILURE in backoff ablation\n");
-    std::exit(1);
-  }
-  return static_cast<double>(total.load()) / static_cast<double>(dt) * 1e3;
-}
+    report.add()
+        .set("configuration", configuration)
+        .set("mops", qsv::benchreg::Value(r.throughput_mops(), 2));
+    return true;
+  };
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  qsv::harness::Options opts(argc, argv, {"threads", "seconds"});
-  const auto threads = opts.get_u64(
-      "threads", std::min<std::size_t>(8, qsv::platform::available_cpus()));
-  const double seconds = opts.get_double("seconds", 0.1);
-
-  qsv::bench::banner("A3: backoff sensitivity",
-                     "claim: TTAS needs tuning; queue locks do not");
-
-  qsv::harness::Table table({"configuration", "Mops"});
   for (std::uint32_t cap : {16u, 64u, 256u, 1024u, 4096u, 16384u}) {
-    const double mops = measure<qsv::locks::TtasLock<>>(
-        threads, seconds, qsv::platform::ExponentialBackoff(4, cap));
-    table.add_row({"ttas cap=" + std::to_string(cap),
-                   qsv::harness::Table::num(mops, 2)});
+    qsv::locks::TtasLock<> lock(qsv::platform::ExponentialBackoff(4, cap));
+    if (!measure("ttas cap=" + std::to_string(cap), lock)) return report;
   }
   for (std::uint32_t slot : {4u, 32u, 128u, 512u}) {
-    const double mops =
-        measure<qsv::locks::TicketLockProportional>(threads, seconds, slot);
-    table.add_row({"ticket slot=" + std::to_string(slot),
-                   qsv::harness::Table::num(mops, 2)});
+    qsv::locks::TicketLockProportional lock(slot);
+    if (!measure("ticket slot=" + std::to_string(slot), lock)) return report;
   }
-  table.add_row({"qsv (no tuning)",
-                 qsv::harness::Table::num(
-                     measure<qsv::core::QsvMutex<>>(threads, seconds), 2)});
-  table.print();
-  if (opts.csv()) table.print_csv(std::cout);
-  return 0;
+  {
+    qsv::core::QsvMutex<> lock;
+    measure("qsv (no tuning)", lock);
+  }
+  return report;
 }
+
+qsv::benchreg::Registrar reg{{
+    .name = "backoff",
+    .id = "abl3",
+    .kind = qsv::benchreg::Kind::kAblation,
+    .title = "backoff sensitivity",
+    .claim = "TTAS needs tuning; queue locks do not",
+    .run = run,
+}};
+
+}  // namespace

@@ -12,97 +12,81 @@
 // Claim: dedicated cores leave the strategies close (fast path is one
 // RMW everywhere); oversubscription collapses pure spin while every
 // parking variant — including the hand-built one — keeps throughput.
-#include <chrono>
-#include <cstdio>
 #include <mutex>
-#include <thread>
 
-#include "bench/bench_util.hpp"
+#include "benchreg/kernels.hpp"
+#include "benchreg/registry.hpp"
 #include "core/qsv_mutex.hpp"
-#include "harness/options.hpp"
-#include "harness/runner.hpp"
-#include "harness/table.hpp"
 #include "parking/parking_lot.hpp"
 #include "platform/wait.hpp"
 
 namespace {
 
 template <typename Lock>
-double run_variant(std::size_t threads, double seconds) {
-  Lock lock;
-  qsv::workload::GuardedCounter integrity;
-  qsv::harness::StopFlag stop;
-  std::vector<std::uint64_t> ops(threads, 0);
-  std::thread watchdog([&] {
-    std::this_thread::sleep_for(
-        std::chrono::nanoseconds(static_cast<std::int64_t>(seconds * 1e9)));
-    stop.request();
-  });
-  const auto t0 = qsv::platform::now_ns();
-  qsv::harness::ThreadTeam::run(
-      threads,
-      [&](std::size_t rank) {
-        std::uint64_t n = 0;
-        while (!stop.requested()) {
-          lock.lock();
-          integrity.bump();
-          lock.unlock();
-          ++n;
-        }
-        ops[rank] = n;
-      },
-      /*pin=*/threads <= qsv::platform::available_cpus());
-  const auto dt = qsv::platform::now_ns() - t0;
-  watchdog.join();
-  if (!integrity.consistent()) {
-    std::fprintf(stderr, "INTEGRITY FAILURE in parking ablation\n");
-    std::exit(1);
+bool run_variant(qsv::benchreg::Report& report, const char* algo,
+                 std::size_t dedicated, std::size_t oversub,
+                 double seconds) {
+  double results[2];
+  const std::size_t teams[2] = {dedicated, oversub};
+  for (int i = 0; i < 2; ++i) {
+    Lock lock;
+    const auto r = qsv::benchreg::run_lock_loop(lock, teams[i], seconds,
+                                                /*external_watchdog=*/true);
+    if (!r.ok) {
+      report.fail("integrity failure in parking ablation");
+      return false;
+    }
+    results[i] = r.throughput_mops();
   }
-  std::uint64_t total = 0;
-  for (auto o : ops) total += o;
-  return static_cast<double>(total) / (static_cast<double>(dt) * 1e-9) *
-         1e-6;
+  report.add()
+      .set("algorithm", algo)
+      .set("dedicated_mops", qsv::benchreg::Value(results[0], 2))
+      .set("oversub_2x_mops", qsv::benchreg::Value(results[1], 2));
+  return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  qsv::harness::Options opts(argc, argv, {"seconds"});
-  const double seconds = opts.get_double("seconds", 0.25);
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const double seconds = params.seconds(0.25);
   const std::size_t cores = qsv::platform::available_cpus();
-  const std::size_t dedicated = cores >= 8 ? 8 : cores;
+  const std::size_t dedicated =
+      params.threads_or(cores >= 8 ? 8 : cores);
   const std::size_t oversub = 2 * cores;
 
-  qsv::bench::banner("A4: QSV over a hand-built futex (parking lot)",
-                     "claim: parking variants survive oversubscription; "
-                     "pure spin does not");
-
-  qsv::harness::Table table({"lock", "dedicated Mops/s", "2x-oversub Mops/s"});
-  const auto row = [&](const char* nm, auto fn) {
-    table.add_row({nm, qsv::harness::Table::num(fn(dedicated), 2),
-                   qsv::harness::Table::num(fn(oversub), 2)});
+  const auto want = [&](const char* algo) {
+    return report.ok && params.algo_match(algo);
   };
-
-  row("qsv/spin", [&](std::size_t t) {
-    return run_variant<qsv::core::QsvMutex<qsv::platform::SpinWait>>(t,
-                                                                     seconds);
-  });
-  row("qsv/park", [&](std::size_t t) {
-    return run_variant<qsv::core::QsvMutex<qsv::platform::ParkWait>>(t,
-                                                                     seconds);
-  });
-  row("qsv/lot-park", [&](std::size_t t) {
-    return run_variant<qsv::core::QsvMutex<qsv::parking::LotParkWait>>(
-        t, seconds);
-  });
-  row("futex", [&](std::size_t t) {
-    return run_variant<qsv::parking::FutexMutex>(t, seconds);
-  });
-  row("std::mutex", [&](std::size_t t) {
-    return run_variant<std::mutex>(t, seconds);
-  });
-
-  table.print();
-  if (opts.csv()) table.print_csv(std::cout);
-  return 0;
+  if (want("qsv/spin")) {
+    run_variant<qsv::core::QsvMutex<qsv::platform::SpinWait>>(
+        report, "qsv/spin", dedicated, oversub, seconds);
+  }
+  if (want("qsv/park")) {
+    run_variant<qsv::core::QsvMutex<qsv::platform::ParkWait>>(
+        report, "qsv/park", dedicated, oversub, seconds);
+  }
+  if (want("qsv/lot-park")) {
+    run_variant<qsv::core::QsvMutex<qsv::parking::LotParkWait>>(
+        report, "qsv/lot-park", dedicated, oversub, seconds);
+  }
+  if (want("futex")) {
+    run_variant<qsv::parking::FutexMutex>(report, "futex", dedicated,
+                                          oversub, seconds);
+  }
+  if (want("std::mutex")) {
+    run_variant<std::mutex>(report, "std::mutex", dedicated, oversub,
+                            seconds);
+  }
+  return report;
 }
+
+qsv::benchreg::Registrar reg{{
+    .name = "parking",
+    .id = "abl4",
+    .kind = qsv::benchreg::Kind::kAblation,
+    .title = "QSV over a hand-built futex (parking lot)",
+    .claim = "parking variants survive oversubscription; pure spin does "
+             "not",
+    .run = run,
+}};
+
+}  // namespace

@@ -5,51 +5,57 @@
 // Claim: the *ratio* TAS/QSV moves, but QSV stays O(1) and TAS stays
 // O(P) under every setting — the figures measure protocol structure,
 // not tuned constants.
-#include <cstdio>
-
-#include "bench/bench_util.hpp"
-#include "harness/options.hpp"
-#include "harness/table.hpp"
+#include "benchreg/registry.hpp"
 #include "sim/protocols.hpp"
 
-int main(int argc, char** argv) {
-  qsv::harness::Options opts(argc, argv, {"rounds"});
-  const auto rounds = opts.get_u64("rounds", 16);
+namespace {
 
-  qsv::bench::banner("A5: sim cost-model sensitivity",
-                     "claim: TAS O(P) vs QSV O(1) shape survives any "
-                     "reasonable constants");
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const auto rounds = params.scale_count(16, 50.0);
 
-  qsv::harness::Table table({"bus cycles", "contention", "tas P=4",
-                             "tas P=32", "qsv P=4", "qsv P=32",
-                             "tas32/qsv32"});
   for (const qsv::sim::Cycles bus : {5u, 20u, 80u}) {
     for (const bool contention : {true, false}) {
       qsv::sim::CostModel costs;
       costs.bus_transaction = bus;
       costs.model_contention = contention;
-      const auto run = [&](const char* algo, std::size_t p) {
-        const auto r = qsv::sim::run_lock_sim(
-            algo, p, rounds, qsv::sim::Topology::kBus, 50, 1, costs);
-        if (!r.completed) {
-          std::fprintf(stderr, "SIM DEADLOCK: %s\n", algo);
-          std::exit(1);
+      double per_op[2][2];  // [tas|qsv][P=4|P=32]
+      const char* algos[2] = {"tas", "qsv"};
+      const std::size_t procs[2] = {4, 32};
+      for (int a = 0; a < 2; ++a) {
+        for (int p = 0; p < 2; ++p) {
+          const auto r = qsv::sim::run_lock_sim(
+              algos[a], procs[p], rounds, qsv::sim::Topology::kBus, 50, 1,
+              costs);
+          if (!r.completed) {
+            report.fail(std::string("sim deadlock: ") + algos[a]);
+            return report;
+          }
+          per_op[a][p] = r.bus_per_op();
         }
-        return r.bus_per_op();
-      };
-      const double t4 = run("tas", 4);
-      const double t32 = run("tas", 32);
-      const double q4 = run("qsv", 4);
-      const double q32 = run("qsv", 32);
-      table.add_row({std::to_string(bus), contention ? "on" : "off",
-                     qsv::harness::Table::num(t4, 1),
-                     qsv::harness::Table::num(t32, 1),
-                     qsv::harness::Table::num(q4, 1),
-                     qsv::harness::Table::num(q32, 1),
-                     qsv::harness::Table::num(t32 / q32, 1)});
+      }
+      report.add()
+          .set("bus_cycles", std::uint64_t{bus})
+          .set("contention", contention ? "on" : "off")
+          .set("tas_p4", qsv::benchreg::Value(per_op[0][0], 1))
+          .set("tas_p32", qsv::benchreg::Value(per_op[0][1], 1))
+          .set("qsv_p4", qsv::benchreg::Value(per_op[1][0], 1))
+          .set("qsv_p32", qsv::benchreg::Value(per_op[1][1], 1))
+          .set("tas32_over_qsv32",
+               qsv::benchreg::Value(per_op[0][1] / per_op[1][1], 1));
     }
   }
-  table.print();
-  if (opts.csv()) table.print_csv(std::cout);
-  return 0;
+  return report;
 }
+
+qsv::benchreg::Registrar reg{{
+    .name = "costmodel",
+    .id = "abl5",
+    .kind = qsv::benchreg::Kind::kAblation,
+    .title = "sim cost-model sensitivity",
+    .claim = "TAS O(P) vs QSV O(1) shape survives any reasonable "
+             "constants",
+    .run = run,
+}};
+
+}  // namespace

@@ -5,99 +5,53 @@
 // entry/exit on one hot line, so its curve flattens (or collapses) with
 // thread count; the striped variant's readers touch only their own
 // stripe and scale until the writers' phase boundaries dominate.
-#include <atomic>
-#include <cstdio>
-
-#include "bench/bench_util.hpp"
+#include "benchreg/kernels.hpp"
+#include "benchreg/registry.hpp"
 #include "core/qsv_rwlock.hpp"
 #include "core/qsv_rwlock_central.hpp"
-#include "harness/table.hpp"
-#include "harness/team.hpp"
-#include "platform/timing.hpp"
-#include "workload/rw_mix.hpp"
 
 namespace {
 
-struct Outcome {
-  double total_mops = 0.0;
-  double read_mops = 0.0;
-  bool torn = false;
-};
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const double seconds = params.seconds(0.1);
+  const double ratio = 0.95;
 
-template <typename Lock>
-Outcome run(std::size_t threads, double read_ratio, double seconds) {
-  Lock lock;
-  qsv::workload::VersionedCells cells;
-  std::atomic<std::uint64_t> reads{0}, writes{0}, torn{0};
-  std::atomic<bool> stop{false};
-  const auto deadline =
-      qsv::platform::now_ns() + static_cast<std::uint64_t>(seconds * 1e9);
-  const auto t0 = qsv::platform::now_ns();
-  qsv::harness::ThreadTeam::run(threads, [&](std::size_t rank) {
-    qsv::workload::RwMix mix(read_ratio, 101 * rank + 13);
-    std::uint64_t r = 0, w = 0, ops = 0;
-    while (!stop.load(std::memory_order_relaxed)) {
-      if (mix.next_is_read()) {
-        lock.lock_shared();
-        if (!cells.read_consistent()) torn.fetch_add(1);
-        lock.unlock_shared();
-        ++r;
-      } else {
-        lock.lock();
-        cells.write();
-        lock.unlock();
-        ++w;
-      }
-      if (rank == 0 && (++ops & 0xff) == 0 &&
-          qsv::platform::now_ns() >= deadline) {
-        stop.store(true, std::memory_order_relaxed);
-      }
+  for (std::size_t t : qsv::benchreg::thread_sweep(params.threads)) {
+    qsv::core::QsvRwLock<> striped_lock;
+    qsv::core::QsvRwLockCentral<> central_lock;
+    const auto striped = qsv::benchreg::run_rw_mix(
+        striped_lock, t, ratio, seconds, /*seed_stride=*/101,
+        /*seed_bias=*/13);
+    const auto central = qsv::benchreg::run_rw_mix(
+        central_lock, t, ratio, seconds, /*seed_stride=*/101,
+        /*seed_bias=*/13);
+    if (striped.torn || central.torn) {
+      report.fail("torn snapshot at " + std::to_string(t) + " threads");
+      return report;
     }
-    reads.fetch_add(r);
-    writes.fetch_add(w);
-  });
-  const auto dt = qsv::platform::now_ns() - t0;
-  Outcome out;
-  out.read_mops =
-      static_cast<double>(reads.load()) / static_cast<double>(dt) * 1e3;
-  out.total_mops = static_cast<double>(reads.load() + writes.load()) /
-                   static_cast<double>(dt) * 1e3;
-  out.torn = torn.load() != 0;
-  return out;
+    report.add()
+        .set("threads", t)
+        .set("striped_total_mops",
+             qsv::benchreg::Value(striped.total_mops(), 2))
+        .set("striped_read_mops",
+             qsv::benchreg::Value(striped.read_mops(), 2))
+        .set("central_total_mops",
+             qsv::benchreg::Value(central.total_mops(), 2))
+        .set("central_read_mops",
+             qsv::benchreg::Value(central.read_mops(), 2));
+  }
+  return report;
 }
+
+qsv::benchreg::Registrar reg{{
+    .name = "striped_readers",
+    .id = "abl6",
+    .kind = qsv::benchreg::Kind::kAblation,
+    .title = "striped reader indicators ablation",
+    .claim = "striped read-side scales with reader count; the centralized "
+             "counter serializes entries/exits on one line",
+    .run = run,
+}};
 
 }  // namespace
-
-int main(int argc, char** argv) {
-  qsv::harness::Options opts(argc, argv, {"threads", "seconds", "ratio"});
-  const double seconds = opts.get_double("seconds", 0.1);
-  const double ratio = opts.get_double("ratio", 0.95);
-  const auto cap = opts.get_u64("threads", 0);
-
-  qsv::bench::banner(
-      "A6: striped reader indicators ablation",
-      "claim: striped read-side scales with reader count; the centralized "
-      "counter serializes entries/exits on one line");
-
-  qsv::harness::Table table({"threads", "striped total Mops",
-                             "striped read Mops", "central total Mops",
-                             "central read Mops"});
-  for (std::size_t t : qsv::bench::thread_sweep(cap)) {
-    const auto striped =
-        run<qsv::core::QsvRwLock<>>(t, ratio, seconds);
-    const auto central =
-        run<qsv::core::QsvRwLockCentral<>>(t, ratio, seconds);
-    if (striped.torn || central.torn) {
-      std::fprintf(stderr, "TORN SNAPSHOT at %zu threads\n", t);
-      return 1;
-    }
-    table.add_row({std::to_string(t),
-                   qsv::harness::Table::num(striped.total_mops, 2),
-                   qsv::harness::Table::num(striped.read_mops, 2),
-                   qsv::harness::Table::num(central.total_mops, 2),
-                   qsv::harness::Table::num(central.read_mops, 2)});
-  }
-  table.print();
-  if (opts.csv()) table.print_csv(std::cout);
-  return 0;
-}

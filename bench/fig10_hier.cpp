@@ -5,15 +5,11 @@
 // and the effect grows with cluster size. Budget 0 degenerates to flat
 // QSV plus one hop (the ablation control).
 //
-// Part 2 runs the real HierQsvMutex natively against flat QSV and
+// The "native" section runs the real HierQsvMutex against flat QSV and
 // reports throughput plus the pass/acquire event mix.
-#include <cstdio>
-
-#include "bench/bench_util.hpp"
+#include "benchreg/registry.hpp"
 #include "core/syncvar.hpp"
-#include "harness/options.hpp"
 #include "harness/runner.hpp"
-#include "harness/table.hpp"
 #include "hier/hier_qsv.hpp"
 #include "locks/registry.hpp"
 #include "sim/protocols.hpp"
@@ -43,86 +39,85 @@ class ErasedQsv final : public qsv::locks::AnyLock {
   qsv::core::QsvMutex<> impl_;
 };
 
-}  // namespace
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const auto rounds = params.scale_count(24, 50.0);
+  const auto threads = params.threads_or(8);
+  const double seconds = params.seconds(0.3);
 
-int main(int argc, char** argv) {
-  qsv::harness::Options opts(argc, argv, {"rounds", "threads", "seconds"});
-  const auto rounds = opts.get_u64("rounds", 24);
-  const auto threads = opts.get_u64("threads", 8);
-  const double seconds = opts.get_double("seconds", 0.3);
-
-  qsv::bench::banner(
-      "F10: hierarchical QSV on clustered NUMA (simulated + native)",
-      "claim: cohort passes turn remote handoffs into local ones");
-
-  // ---- Part 1: simulated remote refs per acquisition -------------------
+  // ---- simulated remote refs per acquisition -------------------------
   const std::vector<std::size_t> procs{8, 16, 32};
   const std::size_t ppn = 4;  // 4-processor NUMA nodes
-  std::vector<std::string> headers{"algorithm"};
-  for (auto p : procs) headers.push_back("P=" + std::to_string(p));
-  qsv::harness::Table sim_table(headers);
-
-  for (const std::string algo :
-       {"ticket", "mcs", "qsv", "hier-qsv"}) {
-    std::vector<std::string> row{algo};
+  for (const std::string algo : {"ticket", "mcs", "qsv", "hier-qsv"}) {
+    if (!params.algo_match(algo)) continue;
     for (auto p : procs) {
       const auto r = qsv::sim::run_lock_sim(
           algo, p, rounds, qsv::sim::Topology::kNuma, 50, ppn);
       if (!r.completed) {
-        std::fprintf(stderr, "SIM DEADLOCK: %s at P=%zu\n", algo.c_str(), p);
-        return 1;
+        report.fail("sim deadlock: " + algo + " at P=" + std::to_string(p));
+        return report;
       }
-      row.push_back(qsv::harness::Table::num(r.remote_per_op(), 2));
+      report.add()
+          .set("section", "sim")
+          .set("algorithm", algo)
+          .set("procs", p)
+          .set("remote_per_op", qsv::benchreg::Value(r.remote_per_op(), 2));
     }
-    sim_table.add_row(std::move(row));
   }
-  std::printf("remote references per acquisition, %zu procs/node:\n", ppn);
-  sim_table.print();
 
-  // ---- Part 2: native throughput + event mix ---------------------------
-  qsv::harness::Table native({"lock", "block", "budget", "Mops/s",
-                              "local-pass%", "global-acq"});
-  const auto run_one = [&](qsv::locks::AnyLock& lock, const char* nm,
-                           std::size_t block, std::size_t budget) {
-    qsv::hier::CountingHierEvents::reset();
-    qsv::harness::LockRunConfig cfg;
-    cfg.threads = threads;
-    cfg.seconds = seconds;
-    cfg.cs_ns = 100;
-    const auto res = qsv::harness::run_lock_contention(lock, cfg);
-    const auto passes = qsv::hier::CountingHierEvents::local_passes.load();
-    const auto acqs = qsv::hier::CountingHierEvents::global_acquires.load();
-    const double pct =
-        res.total_ops
-            ? 100.0 * static_cast<double>(passes) /
-                  static_cast<double>(res.total_ops)
-            : 0.0;
-    native.add_row({nm, std::to_string(block), std::to_string(budget),
-                    qsv::harness::Table::num(res.throughput_mops(), 2),
-                    qsv::harness::Table::num(pct, 1),
-                    std::to_string(acqs)});
-  };
+  // ---- native throughput + event mix ---------------------------------
+  qsv::harness::LockRunConfig cfg;
+  cfg.threads = threads;
+  cfg.seconds = seconds;
+  cfg.cs_ns = 100;
 
   {
     ErasedQsv flat;
-    qsv::hier::CountingHierEvents::reset();
-    qsv::harness::LockRunConfig cfg;
-    cfg.threads = threads;
-    cfg.seconds = seconds;
-    cfg.cs_ns = 100;
     const auto res = qsv::harness::run_lock_contention(flat, cfg);
-    native.add_row({"qsv (flat)", "-", "-",
-                    qsv::harness::Table::num(res.throughput_mops(), 2), "-",
-                    "-"});
+    if (!res.mutual_exclusion_ok) {
+      report.fail("mutual exclusion violated: qsv (flat)");
+      return report;
+    }
+    report.add()
+        .set("section", "native")
+        .set("algorithm", "qsv (flat)")
+        .set("mops", qsv::benchreg::Value(res.throughput_mops(), 2));
   }
   for (const std::size_t budget : {0ul, 4ul, 16ul, 64ul}) {
-    ErasedHier h(/*block=*/4, budget);
-    run_one(h, "hier-qsv", 4, budget);
+    ErasedHier hier(/*block=*/4, budget);
+    qsv::hier::CountingHierEvents::reset();
+    const auto res = qsv::harness::run_lock_contention(hier, cfg);
+    if (!res.mutual_exclusion_ok) {
+      report.fail("mutual exclusion violated: hier-qsv");
+      return report;
+    }
+    const auto passes = qsv::hier::CountingHierEvents::local_passes.load();
+    const auto acqs = qsv::hier::CountingHierEvents::global_acquires.load();
+    const double pct = res.total_ops
+                           ? 100.0 * static_cast<double>(passes) /
+                                 static_cast<double>(res.total_ops)
+                           : 0.0;
+    report.add()
+        .set("section", "native")
+        .set("algorithm", "hier-qsv")
+        .set("block", std::size_t{4})
+        .set("budget", budget)
+        .set("mops", qsv::benchreg::Value(res.throughput_mops(), 2))
+        .set("local_pass_pct", qsv::benchreg::Value(pct, 1))
+        .set("global_acquires", acqs);
   }
-
-  std::printf("\nnative, %llu threads, 100ns critical sections:\n",
-              static_cast<unsigned long long>(threads));
-  native.print();
-  if (opts.csv()) native.print_csv(std::cout);
-  return 0;
+  report.note("sim section: remote references per acquisition, 4 procs/node;"
+              " native section: 100ns critical sections");
+  return report;
 }
+
+qsv::benchreg::Registrar reg{{
+    .name = "hier",
+    .id = "fig10",
+    .kind = qsv::benchreg::Kind::kFigure,
+    .title = "hierarchical QSV on clustered NUMA (simulated + native)",
+    .claim = "cohort passes turn remote handoffs into local ones",
+    .run = run,
+}};
+
+}  // namespace

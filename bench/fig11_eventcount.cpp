@@ -8,12 +8,8 @@
 // Reconstructed claim: the eventcount discipline removes the lock from
 // the hot path; the queued variant additionally removes centralized
 // spinning, which matters as waiters accumulate.
-#include <cstdio>
-
-#include "bench/bench_util.hpp"
+#include "benchreg/registry.hpp"
 #include "eventcount/bounded_ring.hpp"
-#include "harness/options.hpp"
-#include "harness/table.hpp"
 #include "harness/team.hpp"
 #include "platform/timing.hpp"
 #include "sim/protocols.hpp"
@@ -50,19 +46,10 @@ double run_ring(Ring& ring, std::size_t producers, std::size_t consumers,
   return static_cast<double>(items) / secs;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  qsv::harness::Options opts(argc, argv, {"items", "capacity"});
-  const std::uint64_t items = opts.get_u64("items", 400000);
-  const std::size_t capacity = opts.get_u64("capacity", 64);
-
-  qsv::bench::banner(
-      "F11: bounded-buffer throughput — locks vs eventcounts",
-      "claim: eventcount discipline drops the lock from the hot path");
-
-  qsv::harness::Table table(
-      {"P:C", "ring/qsv (M/s)", "ec/central (M/s)", "ec/queued (M/s)"});
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const std::uint64_t items = params.scale_count(400000, 300.0);
+  const std::size_t capacity = 64;
 
   const std::size_t shapes[][2] = {{1, 1}, {2, 2}, {4, 4}, {1, 7}, {7, 1}};
   for (const auto& s : shapes) {
@@ -85,36 +72,47 @@ int main(int argc, char** argv) {
           ring(capacity);
       ecq_rate = run_ring(ring, p, c, items);
     }
-    table.add_row({std::to_string(p) + ":" + std::to_string(c),
-                   qsv::harness::Table::num(qsv_rate * 1e-6, 2),
-                   qsv::harness::Table::num(ec_rate * 1e-6, 2),
-                   qsv::harness::Table::num(ecq_rate * 1e-6, 2)});
+    report.add()
+        .set("section", "ring")
+        .set("producers", p)
+        .set("consumers", c)
+        .set("ring_qsv_mps", qsv::benchreg::Value(qsv_rate * 1e-6, 2))
+        .set("ec_central_mps", qsv::benchreg::Value(ec_rate * 1e-6, 2))
+        .set("ec_queued_mps", qsv::benchreg::Value(ecq_rate * 1e-6, 2));
   }
-  table.print();
-  if (opts.csv()) table.print_csv(std::cout);
 
   // ---- sim section: centralized vs queued waiting on the Butterfly ----
-  std::printf("\nsimulated 16-proc Butterfly, remote refs per event vs "
-              "event period:\n");
-  qsv::harness::Table sim_table(
-      {"event period (cycles)", "ec-central", "ec-queued"});
   for (const qsv::sim::Cycles period : {30u, 300u, 1500u, 5000u}) {
     const auto c = qsv::sim::run_eventcount_sim(
         "ec-central", 16, 16, qsv::sim::Topology::kNumaUncached, period);
     const auto q = qsv::sim::run_eventcount_sim(
         "ec-queued", 16, 16, qsv::sim::Topology::kNumaUncached, period);
     if (!c.completed || !q.completed) {
-      std::fprintf(stderr, "SIM DEADLOCK in eventcount section\n");
-      return 1;
+      report.fail("sim deadlock in eventcount section");
+      return report;
     }
-    sim_table.add_row({std::to_string(period),
-                       qsv::harness::Table::num(c.remote_per_op(), 1),
-                       qsv::harness::Table::num(q.remote_per_op(), 1)});
+    report.add()
+        .set("section", "sim")
+        .set("event_period_cycles", std::uint64_t{period})
+        .set("ec_central_remote_per_event",
+             qsv::benchreg::Value(c.remote_per_op(), 1))
+        .set("ec_queued_remote_per_event",
+             qsv::benchreg::Value(q.remote_per_op(), 1));
   }
-  sim_table.print();
-  std::printf("(crossover: central wins when events are frequent — the\n"
-              " queued walk costs O(waiters) remote stores; queued wins,\n"
-              " flat, when waits dominate — idle polling is free on the\n"
-              " waiter's own node)\n");
-  return 0;
+  report.note("sim crossover: central wins when events are frequent — the "
+              "queued walk costs O(waiters) remote stores; queued wins, "
+              "flat, when waits dominate — idle polling is free on the "
+              "waiter's own node");
+  return report;
 }
+
+qsv::benchreg::Registrar reg{{
+    .name = "eventcount",
+    .id = "fig11",
+    .kind = qsv::benchreg::Kind::kFigure,
+    .title = "bounded-buffer throughput — locks vs eventcounts",
+    .claim = "eventcount discipline drops the lock from the hot path",
+    .run = run,
+}};
+
+}  // namespace

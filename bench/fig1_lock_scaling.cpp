@@ -2,28 +2,20 @@
 // threads, empty critical section. Reconstructed claim: QSV (and MCS)
 // stay near-flat as contention grows; TAS/TTAS collapse; ticket sits
 // between.
-#include <cstdio>
-
-#include "bench/bench_util.hpp"
+#include "benchreg/registry.hpp"
+#include "benchreg/stats.hpp"
 #include "harness/algorithms.hpp"
 #include "harness/runner.hpp"
-#include "harness/table.hpp"
 
-int main(int argc, char** argv) {
-  qsv::harness::Options opts(argc, argv, {"seconds", "maxthreads"});
-  const double seconds = opts.get_double("seconds", 0.12);
-  const auto sweep =
-      qsv::bench::thread_sweep(opts.get_u64("maxthreads", 16));
+namespace {
 
-  qsv::bench::banner("F1: lock scaling (empty CS)",
-                     "claim: queue locks flat, TAS-family collapses");
-
-  std::vector<std::string> headers{"algorithm"};
-  for (auto t : sweep) headers.push_back("T=" + std::to_string(t) + " Mops");
-  qsv::harness::Table table(headers);
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const double seconds = params.seconds(0.12);
+  const auto sweep = qsv::benchreg::thread_sweep(params.threads_or(16));
 
   for (const auto& factory : qsv::harness::all_locks()) {
-    std::vector<std::string> row{factory.name};
+    if (!params.algo_match(factory.name)) continue;
     for (auto threads : sweep) {
       auto lock = factory.make(threads);
       qsv::harness::LockRunConfig cfg;
@@ -31,14 +23,25 @@ int main(int argc, char** argv) {
       cfg.seconds = seconds;
       const auto r = qsv::harness::run_lock_contention(*lock, cfg);
       if (!r.mutual_exclusion_ok) {
-        std::fprintf(stderr, "INTEGRITY FAILURE: %s\n", factory.name.c_str());
-        return 1;
+        report.fail("mutual exclusion violated: " + factory.name);
+        return report;
       }
-      row.push_back(qsv::harness::Table::num(r.throughput_mops(), 2));
+      report.add()
+          .set("algorithm", factory.name)
+          .set("threads", threads)
+          .set("mops", qsv::benchreg::Value(r.throughput_mops(), 2));
     }
-    table.add_row(std::move(row));
   }
-  table.print();
-  if (opts.csv()) table.print_csv(std::cout);
-  return 0;
+  return report;
 }
+
+qsv::benchreg::Registrar reg{{
+    .name = "lock_scaling",
+    .id = "fig1",
+    .kind = qsv::benchreg::Kind::kFigure,
+    .title = "lock scaling (empty CS)",
+    .claim = "queue locks flat, TAS-family collapses",
+    .run = run,
+}};
+
+}  // namespace

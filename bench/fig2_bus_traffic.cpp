@@ -2,39 +2,41 @@
 // acquisition vs processor count (Symmetry-class machine).
 // Reconstructed claim: TAS O(P) per acquisition, ticket O(P)
 // invalidations, Anderson/MCS/QSV O(1).
-#include <cstdio>
-
-#include "bench/bench_util.hpp"
-#include "harness/options.hpp"
-#include "harness/table.hpp"
+#include "benchreg/registry.hpp"
 #include "sim/protocols.hpp"
 
-int main(int argc, char** argv) {
-  qsv::harness::Options opts(argc, argv, {"rounds"});
-  const auto rounds = opts.get_u64("rounds", 24);
+namespace {
+
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const auto rounds = params.scale_count(24, 50.0);
   const std::vector<std::size_t> procs{2, 4, 8, 16, 32};
 
-  qsv::bench::banner("F2: bus transactions per acquisition (simulated)",
-                     "claim: queue locks O(1); TAS grows with P");
-
-  std::vector<std::string> headers{"algorithm"};
-  for (auto p : procs) headers.push_back("P=" + std::to_string(p));
-  qsv::harness::Table table(headers);
-
   for (const auto& algo : qsv::sim::sim_lock_names()) {
-    std::vector<std::string> row{algo};
+    if (!params.algo_match(algo)) continue;
     for (auto p : procs) {
       const auto r =
           qsv::sim::run_lock_sim(algo, p, rounds, qsv::sim::Topology::kBus);
       if (!r.completed) {
-        std::fprintf(stderr, "SIM DEADLOCK: %s at P=%zu\n", algo.c_str(), p);
-        return 1;
+        report.fail("sim deadlock: " + algo + " at P=" + std::to_string(p));
+        return report;
       }
-      row.push_back(qsv::harness::Table::num(r.bus_per_op(), 1));
+      report.add()
+          .set("algorithm", algo)
+          .set("procs", p)
+          .set("bus_per_op", qsv::benchreg::Value(r.bus_per_op(), 1));
     }
-    table.add_row(std::move(row));
   }
-  table.print();
-  if (opts.csv()) table.print_csv(std::cout);
-  return 0;
+  return report;
 }
+
+qsv::benchreg::Registrar reg{{
+    .name = "bus_traffic",
+    .id = "fig2",
+    .kind = qsv::benchreg::Kind::kFigure,
+    .title = "bus transactions per acquisition (simulated)",
+    .claim = "queue locks O(1); TAS grows with P",
+    .run = run,
+}};
+
+}  // namespace

@@ -3,48 +3,49 @@
 // Reconstructed claim: local spinning (MCS/QSV, nodes homed at the
 // waiter) bounds remote references per handoff; centralized spinning
 // (TAS/ticket) and predecessor spinning (CLH) pay O(P) or remote spins.
-#include <cstdio>
-
-#include "bench/bench_util.hpp"
-#include "harness/options.hpp"
-#include "harness/table.hpp"
+#include "benchreg/registry.hpp"
 #include "sim/protocols.hpp"
 
-int main(int argc, char** argv) {
-  qsv::harness::Options opts(argc, argv, {"rounds"});
-  const auto rounds = opts.get_u64("rounds", 24);
+namespace {
+
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const auto rounds = params.scale_count(24, 50.0);
   const std::vector<std::size_t> procs{2, 4, 8, 16, 32};
+  const std::pair<qsv::sim::Topology, const char*> topologies[] = {
+      {qsv::sim::Topology::kNuma, "ccnuma"},
+      {qsv::sim::Topology::kNumaUncached, "butterfly-uncached"},
+  };
 
-  qsv::bench::banner("F3: remote references per acquisition (simulated NUMA)",
-                     "claim: local spinning wins; CLH/GT pay remote spins");
-
-  const auto run_table = [&](qsv::sim::Topology topo, const char* label) {
-    std::vector<std::string> headers{"algorithm"};
-    for (auto p : procs) headers.push_back("P=" + std::to_string(p));
-    qsv::harness::Table table(headers);
+  for (const auto& [topo, label] : topologies) {
     for (const auto& algo : qsv::sim::sim_lock_names()) {
-      std::vector<std::string> row{algo};
+      if (!params.algo_match(algo)) continue;
       for (auto p : procs) {
         const auto r = qsv::sim::run_lock_sim(algo, p, rounds, topo);
         if (!r.completed) {
-          std::fprintf(stderr, "SIM DEADLOCK: %s at P=%zu\n", algo.c_str(),
-                       p);
-          std::exit(1);
+          report.fail("sim deadlock: " + algo + " at P=" + std::to_string(p));
+          return report;
         }
-        row.push_back(qsv::harness::Table::num(r.remote_per_op(), 1));
+        report.add()
+            .set("topology", label)
+            .set("algorithm", algo)
+            .set("procs", p)
+            .set("remote_per_op", qsv::benchreg::Value(r.remote_per_op(), 1));
       }
-      table.add_row(std::move(row));
     }
-    std::printf("%s\n", label);
-    table.print();
-    if (opts.csv()) table.print_csv(std::cout);
-  };
-
-  run_table(qsv::sim::Topology::kNuma,
-            "directory ccNUMA (coherent caches):");
-  std::printf("\n");
-  run_table(qsv::sim::Topology::kNumaUncached,
-            "Butterfly-class NUMA (remote references uncached — every "
-            "remote poll crosses the network):");
-  return 0;
+  }
+  report.note("butterfly-uncached: remote references are never cached — "
+              "every remote poll crosses the network");
+  return report;
 }
+
+qsv::benchreg::Registrar reg{{
+    .name = "numa_traffic",
+    .id = "fig3",
+    .kind = qsv::benchreg::Kind::kFigure,
+    .title = "remote references per acquisition (simulated NUMA)",
+    .claim = "local spinning wins; CLH/GT pay remote spins",
+    .run = run,
+}};
+
+}  // namespace

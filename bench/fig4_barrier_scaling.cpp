@@ -1,11 +1,11 @@
 // fig4_barrier_scaling — Experiment F4: barrier episode latency vs team
 // size. Reconstructed claim: tree/dissemination beat the central
 // counter as teams grow; the QSV episode barrier tracks the leaders.
-#include <cstdio>
+#include <algorithm>
 
-#include "bench/bench_util.hpp"
+#include "benchreg/registry.hpp"
+#include "benchreg/stats.hpp"
 #include "harness/algorithms.hpp"
-#include "harness/table.hpp"
 #include "harness/team.hpp"
 #include "platform/timing.hpp"
 
@@ -23,36 +23,35 @@ double measure(qsv::barriers::AnyBarrier& barrier, std::size_t team,
             : 0.0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  qsv::harness::Options opts(argc, argv, {"episodes", "maxthreads"});
-  const auto episodes = opts.get_u64("episodes", 20000);
-  const auto sweep =
-      qsv::bench::thread_sweep(opts.get_u64("maxthreads", 16));
-
-  qsv::bench::banner("F4: barrier scaling",
-                     "claim: log-depth barriers win at scale; "
-                     "qsv-episode competitive via local spinning");
-
-  std::vector<std::string> headers{"algorithm"};
-  for (auto t : sweep) {
-    headers.push_back("T=" + std::to_string(t) + " ep/ms");
-  }
-  qsv::harness::Table table(headers);
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const auto episodes = params.scale_count(20000, 200.0);
+  const auto sweep = qsv::benchreg::thread_sweep(params.threads_or(16));
 
   for (const auto& factory : qsv::harness::all_barriers()) {
-    std::vector<std::string> row{factory.name};
+    if (!params.algo_match(factory.name)) continue;
     for (auto team : sweep) {
       auto barrier = factory.make(team);
       // Scale episode count down as team grows to bound runtime.
       const auto n = std::max<std::size_t>(500, episodes / (team * 2));
-      row.push_back(qsv::harness::Table::num(
-          measure(*barrier, team, n) / 1000.0, 1));
+      report.add()
+          .set("algorithm", factory.name)
+          .set("threads", team)
+          .set("episodes_per_ms",
+               qsv::benchreg::Value(measure(*barrier, team, n) / 1000.0, 1));
     }
-    table.add_row(std::move(row));
   }
-  table.print();
-  if (opts.csv()) table.print_csv(std::cout);
-  return 0;
+  return report;
 }
+
+qsv::benchreg::Registrar reg{{
+    .name = "barrier_scaling",
+    .id = "fig4",
+    .kind = qsv::benchreg::Kind::kFigure,
+    .title = "barrier scaling",
+    .claim = "log-depth barriers win at scale; qsv-episode competitive "
+             "via local spinning",
+    .run = run,
+}};
+
+}  // namespace

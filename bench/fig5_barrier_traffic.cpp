@@ -2,39 +2,41 @@
 // per barrier episode vs processor count.
 // Reconstructed claim: central O(P^2)-ish wake storms, dissemination
 // O(P log P) signals, mcs-tree O(P), qsv-episode O(P) with one walker.
-#include <cstdio>
-
-#include "bench/bench_util.hpp"
-#include "harness/options.hpp"
-#include "harness/table.hpp"
+#include "benchreg/registry.hpp"
 #include "sim/protocols.hpp"
 
-int main(int argc, char** argv) {
-  qsv::harness::Options opts(argc, argv, {"episodes"});
-  const auto episodes = opts.get_u64("episodes", 12);
+namespace {
+
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const auto episodes = params.scale_count(12, 50.0);
   const std::vector<std::size_t> procs{2, 4, 8, 16, 32, 64};
 
-  qsv::bench::banner("F5: bus transactions per barrier episode (simulated)",
-                     "claim: central quadratic; trees and qsv linear-ish");
-
-  std::vector<std::string> headers{"algorithm"};
-  for (auto p : procs) headers.push_back("P=" + std::to_string(p));
-  qsv::harness::Table table(headers);
-
   for (const auto& algo : qsv::sim::sim_barrier_names()) {
-    std::vector<std::string> row{algo};
+    if (!params.algo_match(algo)) continue;
     for (auto p : procs) {
       const auto r = qsv::sim::run_barrier_sim(algo, p, episodes,
                                                qsv::sim::Topology::kBus);
       if (!r.completed) {
-        std::fprintf(stderr, "SIM DEADLOCK: %s at P=%zu\n", algo.c_str(), p);
-        return 1;
+        report.fail("sim deadlock: " + algo + " at P=" + std::to_string(p));
+        return report;
       }
-      row.push_back(qsv::harness::Table::num(r.bus_per_op(), 0));
+      report.add()
+          .set("algorithm", algo)
+          .set("procs", p)
+          .set("bus_per_episode", qsv::benchreg::Value(r.bus_per_op(), 0));
     }
-    table.add_row(std::move(row));
   }
-  table.print();
-  if (opts.csv()) table.print_csv(std::cout);
-  return 0;
+  return report;
 }
+
+qsv::benchreg::Registrar reg{{
+    .name = "barrier_traffic",
+    .id = "fig5",
+    .kind = qsv::benchreg::Kind::kFigure,
+    .title = "bus transactions per barrier episode (simulated)",
+    .claim = "central quadratic; trees and qsv linear-ish",
+    .run = run,
+}};
+
+}  // namespace

@@ -3,38 +3,31 @@
 // out queue locks for tiny uncontested-ish sections; queue locks win as
 // the section grows and handoff efficiency dominates; the crossover
 // position is the figure's payload.
-#include <cstdio>
+#include <algorithm>
 
-#include "bench/bench_util.hpp"
+#include "benchreg/registry.hpp"
 #include "harness/algorithms.hpp"
 #include "harness/runner.hpp"
-#include "harness/table.hpp"
+#include "platform/affinity.hpp"
 
-int main(int argc, char** argv) {
-  qsv::harness::Options opts(argc, argv, {"threads", "seconds"});
-  const auto threads = opts.get_u64(
-      "threads", std::min<std::size_t>(8, qsv::platform::available_cpus()));
-  const double seconds = opts.get_double("seconds", 0.1);
+namespace {
+
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const auto threads = params.threads_or(
+      std::min<std::size_t>(8, qsv::platform::available_cpus()));
+  const double seconds = params.seconds(0.1);
   const std::vector<std::uint64_t> cs_sweep{0, 100, 400, 1600, 6400};
   const std::vector<std::string> algos{"ttas+backoff", "ticket+prop", "mcs",
                                        "qsv", "std::mutex"};
 
-  qsv::bench::banner("F6: critical-section length crossover",
-                     "claim: queue locks take over as CS grows");
-
-  std::vector<std::string> headers{"algorithm"};
-  for (auto cs : cs_sweep) {
-    headers.push_back("cs=" + std::to_string(cs) + "ns Mops");
-  }
-  qsv::harness::Table table(headers);
-
   for (const auto& name : algos) {
+    if (!params.algo_match(name)) continue;
     const qsv::locks::LockFactory* factory = nullptr;
     for (const auto& f : qsv::harness::all_locks()) {
       if (f.name == name) factory = &f;
     }
     if (factory == nullptr) continue;
-    std::vector<std::string> row{name};
     for (auto cs : cs_sweep) {
       auto lock = factory->make(threads);
       qsv::harness::LockRunConfig cfg;
@@ -44,14 +37,25 @@ int main(int argc, char** argv) {
       cfg.pause_ns = cs;  // think time equal to CS keeps contention fixed
       const auto r = qsv::harness::run_lock_contention(*lock, cfg);
       if (!r.mutual_exclusion_ok) {
-        std::fprintf(stderr, "INTEGRITY FAILURE: %s\n", name.c_str());
-        return 1;
+        report.fail("mutual exclusion violated: " + name);
+        return report;
       }
-      row.push_back(qsv::harness::Table::num(r.throughput_mops(), 3));
+      report.add()
+          .set("algorithm", name)
+          .set("cs_ns", cs)
+          .set("mops", qsv::benchreg::Value(r.throughput_mops(), 3));
     }
-    table.add_row(std::move(row));
   }
-  table.print();
-  if (opts.csv()) table.print_csv(std::cout);
-  return 0;
+  return report;
 }
+
+qsv::benchreg::Registrar reg{{
+    .name = "cs_crossover",
+    .id = "fig6",
+    .kind = qsv::benchreg::Kind::kFigure,
+    .title = "critical-section length crossover",
+    .claim = "queue locks take over as CS grows",
+    .run = run,
+}};
+
+}  // namespace

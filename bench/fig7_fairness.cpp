@@ -2,27 +2,24 @@
 // Reconstructed claim: FIFO queue locks (ticket, Anderson, MCS, QSV)
 // hand out near-uniform shares (Jain index ~= 1); TAS/TTAS let cache
 // proximity pick winners and starve the rest.
-#include <cstdio>
+#include <algorithm>
 
-#include "bench/bench_util.hpp"
+#include "benchreg/registry.hpp"
 #include "harness/algorithms.hpp"
 #include "harness/runner.hpp"
-#include "harness/table.hpp"
+#include "platform/affinity.hpp"
 #include "platform/stats.hpp"
 
-int main(int argc, char** argv) {
-  qsv::harness::Options opts(argc, argv, {"threads", "seconds"});
-  const auto threads = opts.get_u64(
-      "threads", std::min<std::size_t>(8, qsv::platform::available_cpus()));
-  const double seconds = opts.get_double("seconds", 0.2);
+namespace {
 
-  qsv::bench::banner("F7: fairness under contention",
-                     "claim: queue locks Jain≈1.0; TAS-family skewed");
-
-  qsv::harness::Table table(
-      {"algorithm", "jain", "cv", "min-ops", "max-ops", "total Mops"});
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const auto threads = params.threads_or(
+      std::min<std::size_t>(8, qsv::platform::available_cpus()));
+  const double seconds = params.seconds(0.2);
 
   for (const auto& factory : qsv::harness::all_locks()) {
+    if (!params.algo_match(factory.name)) continue;
     auto lock = factory.make(threads);
     qsv::harness::LockRunConfig cfg;
     cfg.threads = threads;
@@ -30,24 +27,34 @@ int main(int argc, char** argv) {
     cfg.cs_ns = 100;  // non-trivial hold so starvation can develop
     const auto r = qsv::harness::run_lock_contention(*lock, cfg);
     if (!r.mutual_exclusion_ok) {
-      std::fprintf(stderr, "INTEGRITY FAILURE: %s\n", factory.name.c_str());
-      return 1;
+      report.fail("mutual exclusion violated: " + factory.name);
+      return report;
     }
     std::uint64_t lo = ~0ULL, hi = 0;
     for (auto ops : r.per_thread_ops) {
       lo = std::min(lo, ops);
       hi = std::max(hi, ops);
     }
-    table.add_row({factory.name,
-                   qsv::harness::Table::num(
-                       qsv::platform::jain_index(r.per_thread_ops), 3),
-                   qsv::harness::Table::num(
-                       qsv::platform::cv(r.per_thread_ops), 3),
-                   qsv::harness::Table::integer(lo),
-                   qsv::harness::Table::integer(hi),
-                   qsv::harness::Table::num(r.throughput_mops(), 2)});
+    report.add()
+        .set("algorithm", factory.name)
+        .set("jain", qsv::benchreg::Value(
+                         qsv::platform::jain_index(r.per_thread_ops), 3))
+        .set("cv",
+             qsv::benchreg::Value(qsv::platform::cv(r.per_thread_ops), 3))
+        .set("min_ops", lo)
+        .set("max_ops", hi)
+        .set("mops", qsv::benchreg::Value(r.throughput_mops(), 2));
   }
-  table.print();
-  if (opts.csv()) table.print_csv(std::cout);
-  return 0;
+  return report;
 }
+
+qsv::benchreg::Registrar reg{{
+    .name = "fairness",
+    .id = "fig7",
+    .kind = qsv::benchreg::Kind::kFigure,
+    .title = "fairness under contention",
+    .claim = "queue locks Jain~1.0; TAS-family skewed",
+    .run = run,
+}};
+
+}  // namespace

@@ -2,97 +2,47 @@
 // Reconstructed claim: QSV's batched (phase-fair) admission wins or ties
 // across the ratio axis and avoids both starvation anomalies that the
 // preference baselines exhibit at the extremes.
-#include <atomic>
-#include <cstdio>
-
-#include "bench/bench_util.hpp"
+#include "benchreg/kernels.hpp"
+#include "benchreg/registry.hpp"
 #include "harness/algorithms.hpp"
-#include "harness/table.hpp"
-#include "harness/team.hpp"
-#include "platform/timing.hpp"
-#include "workload/rw_mix.hpp"
+#include "platform/affinity.hpp"
 
 namespace {
 
-struct RwResult {
-  double mops = 0.0;
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;
-  bool torn = false;
-};
-
-RwResult run_rw(qsv::rwlocks::AnyRwLock& lock, std::size_t threads,
-                double read_ratio, double seconds) {
-  RwResult out;
-  std::atomic<std::uint64_t> reads{0}, writes{0}, torn{0};
-  std::atomic<bool> stop{false};
-  qsv::workload::VersionedCells cells;
-  const auto deadline =
-      qsv::platform::now_ns() + static_cast<std::uint64_t>(seconds * 1e9);
-  const auto t0 = qsv::platform::now_ns();
-  qsv::harness::ThreadTeam::run(threads, [&](std::size_t rank) {
-    qsv::workload::RwMix mix(read_ratio, rank * 7919 + 1);
-    std::uint64_t my_reads = 0, my_writes = 0, ops = 0;
-    while (!stop.load(std::memory_order_relaxed)) {
-      if (mix.next_is_read()) {
-        lock.lock_shared();
-        if (!cells.read_consistent()) torn.fetch_add(1);
-        lock.unlock_shared();
-        ++my_reads;
-      } else {
-        lock.lock();
-        cells.write();
-        lock.unlock();
-        ++my_writes;
-      }
-      if (rank == 0 && (++ops & 0xff) == 0 &&
-          qsv::platform::now_ns() >= deadline) {
-        stop.store(true, std::memory_order_relaxed);
-      }
-    }
-    reads.fetch_add(my_reads);
-    writes.fetch_add(my_writes);
-  });
-  const auto dt = qsv::platform::now_ns() - t0;
-  out.reads = reads.load();
-  out.writes = writes.load();
-  out.mops = static_cast<double>(out.reads + out.writes) /
-             static_cast<double>(dt) * 1e3;
-  out.torn = torn.load() != 0;
-  return out;
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  qsv::harness::Options opts(argc, argv, {"threads", "seconds"});
-  const auto threads = opts.get_u64(
-      "threads", std::min<std::size_t>(8, qsv::platform::available_cpus()));
-  const double seconds = opts.get_double("seconds", 0.1);
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const auto threads = params.threads_or(
+      std::min<std::size_t>(8, qsv::platform::available_cpus()));
+  const double seconds = params.seconds(0.1);
   const std::vector<int> ratios{0, 25, 50, 75, 90, 99, 100};
 
-  qsv::bench::banner("F8: reader-writer mix",
-                     "claim: qsv-rw batched admission strong at high "
-                     "read ratios, no starvation at the extremes");
-
-  std::vector<std::string> headers{"algorithm"};
-  for (auto r : ratios) headers.push_back(std::to_string(r) + "%R Mops");
-  qsv::harness::Table table(headers);
-
   for (const auto& factory : qsv::harness::all_rwlocks()) {
-    std::vector<std::string> row{factory.name};
+    if (!params.algo_match(factory.name)) continue;
     for (auto ratio : ratios) {
       auto lock = factory.make();
-      const auto r = run_rw(*lock, threads, ratio / 100.0, seconds);
+      const auto r = qsv::benchreg::run_rw_mix(*lock, threads, ratio / 100.0,
+                                               seconds);
       if (r.torn) {
-        std::fprintf(stderr, "TORN SNAPSHOT: %s\n", factory.name.c_str());
-        return 1;
+        report.fail("torn snapshot: " + factory.name);
+        return report;
       }
-      row.push_back(qsv::harness::Table::num(r.mops, 2));
+      report.add()
+          .set("algorithm", factory.name)
+          .set("read_ratio_pct", ratio)
+          .set("mops", qsv::benchreg::Value(r.total_mops(), 2));
     }
-    table.add_row(std::move(row));
   }
-  table.print();
-  if (opts.csv()) table.print_csv(std::cout);
-  return 0;
+  return report;
 }
+
+qsv::benchreg::Registrar reg{{
+    .name = "rw_mix",
+    .id = "fig8",
+    .kind = qsv::benchreg::Kind::kFigure,
+    .title = "reader-writer mix",
+    .claim = "qsv-rw batched admission strong at high read ratios, no "
+             "starvation at the extremes",
+    .run = run,
+}};
+
+}  // namespace

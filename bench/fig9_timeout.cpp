@@ -2,44 +2,37 @@
 // Reconstructed claim: QSV's lazy splice keeps the lock serviceable as
 // abort rates climb; success rate degrades gracefully with the timeout
 // budget rather than collapsing.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <cstdio>
 
-#include "bench/bench_util.hpp"
+#include "benchreg/registry.hpp"
+#include "benchreg/stats.hpp"
 #include "core/qsv_timeout.hpp"
-#include "harness/table.hpp"
 #include "harness/team.hpp"
-#include "platform/timing.hpp"
+#include "platform/affinity.hpp"
 #include "workload/critical_section.hpp"
 
-int main(int argc, char** argv) {
-  qsv::harness::Options opts(argc, argv, {"threads", "seconds", "cs"});
-  const auto threads = opts.get_u64(
-      "threads", std::min<std::size_t>(8, qsv::platform::available_cpus()));
-  const double seconds = opts.get_double("seconds", 0.12);
-  const auto cs_ns = opts.get_u64("cs", 1000);
+namespace {
+
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const auto threads = params.threads_or(
+      std::min<std::size_t>(8, qsv::platform::available_cpus()));
+  const double seconds = params.seconds(0.12);
+  const std::uint64_t cs_ns = 1000;
   // Timeout budgets from "give up immediately" to "effectively patient".
   const std::vector<std::uint64_t> budgets_ns{100,    1000,    10000,
                                               100000, 1000000, 0 /*inf*/};
 
-  qsv::bench::banner("F9: bounded impatience",
-                     "claim: lazy splice keeps throughput under aborts");
-
-  qsv::harness::Table table({"timeout", "attempts Mops", "success %",
-                             "acquired Mops"});
-
   for (auto budget : budgets_ns) {
     qsv::core::QsvTimeoutMutex lock;
     std::atomic<std::uint64_t> attempts{0}, successes{0};
-    std::atomic<bool> stop{false};
     qsv::workload::GuardedCounter integrity;
-    const auto deadline =
-        qsv::platform::now_ns() + static_cast<std::uint64_t>(seconds * 1e9);
-    const auto t0 = qsv::platform::now_ns();
+    qsv::benchreg::DeadlineStop clock(seconds);
     qsv::harness::ThreadTeam::run(threads, [&](std::size_t rank) {
       std::uint64_t my_attempts = 0, my_successes = 0;
-      while (!stop.load(std::memory_order_relaxed)) {
+      while (!clock.stop()) {
         ++my_attempts;
         bool ok;
         if (budget == 0) {
@@ -54,34 +47,41 @@ int main(int argc, char** argv) {
           lock.unlock();
           ++my_successes;
         }
-        if (rank == 0 && (my_attempts & 0xff) == 0 &&
-            qsv::platform::now_ns() >= deadline) {
-          stop.store(true, std::memory_order_relaxed);
-        }
+        clock.poll(rank, my_attempts);
       }
       attempts.fetch_add(my_attempts);
       successes.fetch_add(my_successes);
     });
-    const auto dt = qsv::platform::now_ns() - t0;
+    const auto dt = clock.elapsed_ns();
     if (!integrity.consistent() || integrity.value() != successes.load()) {
-      std::fprintf(stderr, "INTEGRITY FAILURE at timeout=%llu\n",
-                   static_cast<unsigned long long>(budget));
-      return 1;
+      report.fail("integrity failure at timeout=" + std::to_string(budget));
+      return report;
     }
-    const double att_mops =
-        static_cast<double>(attempts.load()) / static_cast<double>(dt) * 1e3;
-    const double acq_mops = static_cast<double>(successes.load()) /
-                            static_cast<double>(dt) * 1e3;
-    const double success_pct = attempts.load()
-                                   ? 100.0 * static_cast<double>(successes) /
-                                         static_cast<double>(attempts)
-                                   : 0.0;
-    table.add_row({budget == 0 ? "patient" : std::to_string(budget) + "ns",
-                   qsv::harness::Table::num(att_mops, 2),
-                   qsv::harness::Table::num(success_pct, 1),
-                   qsv::harness::Table::num(acq_mops, 2)});
+    const double success_pct =
+        attempts.load() ? 100.0 * static_cast<double>(successes.load()) /
+                              static_cast<double>(attempts.load())
+                        : 0.0;
+    report.add()
+        .set("timeout_ns",
+             budget == 0 ? qsv::benchreg::Value("patient")
+                         : qsv::benchreg::Value(budget))
+        .set("attempt_mops",
+             qsv::benchreg::Value(qsv::benchreg::mops(attempts.load(), dt), 2))
+        .set("success_pct", qsv::benchreg::Value(success_pct, 1))
+        .set("acquired_mops",
+             qsv::benchreg::Value(qsv::benchreg::mops(successes.load(), dt),
+                                  2));
   }
-  table.print();
-  if (opts.csv()) table.print_csv(std::cout);
-  return 0;
+  return report;
 }
+
+qsv::benchreg::Registrar reg{{
+    .name = "timeout",
+    .id = "fig9",
+    .kind = qsv::benchreg::Kind::kFigure,
+    .title = "bounded impatience",
+    .claim = "lazy splice keeps throughput under aborts",
+    .run = run,
+}};
+
+}  // namespace

@@ -1,81 +1,31 @@
 // smoke_rw_ratio — sub-second reader-writer throughput probe for CI.
 // Runs the registered QSV shared-mode variants (plus std::shared_mutex
-// for reference) through a short read-mostly mix and emits
-// BENCH_rw_ratio.json so the perf trajectory is tracked across PRs.
-// Intentionally tiny: the point is a machine-readable trend line, not a
-// publication-grade measurement (fig8_rw_ratio is that).
-#include <atomic>
-#include <cstdio>
-#include <fstream>
-#include <string>
-#include <vector>
+// for reference) through a short read-mostly mix; CI invokes
+//   qsvbench --filter rw_ratio --budget-ms 50 --out BENCH_rw_ratio.json
+// so the perf trajectory is tracked across PRs. Intentionally tiny: the
+// point is a machine-readable trend line, not a publication-grade
+// measurement (the rw_mix scenario, fig8, is that). Sample field names
+// are stable so the JSON artifacts diff cleanly across PRs.
+#include <algorithm>
 
-#include "bench/bench_util.hpp"
+#include "benchreg/kernels.hpp"
+#include "benchreg/registry.hpp"
 #include "harness/algorithms.hpp"
-#include "harness/team.hpp"
-#include "platform/timing.hpp"
-#include "workload/rw_mix.hpp"
+#include "platform/affinity.hpp"
 
 namespace {
 
-struct Sample {
-  std::string algorithm;
-  int ratio_pct = 0;
-  double mops = 0.0;
-  double read_mops = 0.0;
-};
-
-double run_mix(qsv::rwlocks::AnyRwLock& lock, std::size_t threads,
-               double read_ratio, double seconds, double& read_mops) {
-  std::atomic<std::uint64_t> reads{0}, writes{0};
-  std::atomic<bool> stop{false};
-  qsv::workload::VersionedCells cells;
-  const auto deadline =
-      qsv::platform::now_ns() + static_cast<std::uint64_t>(seconds * 1e9);
-  const auto t0 = qsv::platform::now_ns();
-  qsv::harness::ThreadTeam::run(threads, [&](std::size_t rank) {
-    qsv::workload::RwMix mix(read_ratio, 17 * rank + 3);
-    std::uint64_t r = 0, w = 0, ops = 0;
-    while (!stop.load(std::memory_order_relaxed)) {
-      if (mix.next_is_read()) {
-        lock.lock_shared();
-        (void)cells.read_consistent();
-        lock.unlock_shared();
-        ++r;
-      } else {
-        lock.lock();
-        cells.write();
-        lock.unlock();
-        ++w;
-      }
-      if (rank == 0 && (++ops & 0x3f) == 0 &&
-          qsv::platform::now_ns() >= deadline) {
-        stop.store(true, std::memory_order_relaxed);
-      }
-    }
-    reads.fetch_add(r);
-    writes.fetch_add(w);
-  });
-  const auto dt = qsv::platform::now_ns() - t0;
-  read_mops = static_cast<double>(reads.load()) / static_cast<double>(dt) * 1e3;
-  return static_cast<double>(reads.load() + writes.load()) /
-         static_cast<double>(dt) * 1e3;
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  qsv::harness::Options opts(argc, argv, {"threads", "seconds", "out"});
-  const auto threads = opts.get_u64(
-      "threads", std::min<std::size_t>(8, qsv::platform::available_cpus()));
-  const double seconds = opts.get_double("seconds", 0.05);
-  const std::string out_path = opts.get_string("out", "BENCH_rw_ratio.json");
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const auto threads = params.threads_or(
+      std::min<std::size_t>(8, qsv::platform::available_cpus()));
+  const double seconds = params.seconds(0.05);
   const std::vector<int> ratios{95, 99};
   const std::vector<std::string> tracked{"qsv-rw", "qsv-rw/central",
                                          "std::shared_mutex"};
 
-  std::vector<Sample> samples;
   for (const auto& name : tracked) {
+    if (!params.algo_match(name)) continue;
     const qsv::rwlocks::RwFactory* factory = nullptr;
     for (const auto& f : qsv::harness::all_rwlocks()) {
       if (f.name == name) {
@@ -84,38 +34,37 @@ int main(int argc, char** argv) {
       }
     }
     if (factory == nullptr) {
-      std::fprintf(stderr, "smoke_rw_ratio: '%s' not in registry\n",
-                   name.c_str());
-      return 1;
+      report.fail("'" + name + "' not in rwlock registry");
+      return report;
     }
     for (int ratio : ratios) {
       auto lock = factory->make();
-      Sample s;
-      s.algorithm = name;
-      s.ratio_pct = ratio;
-      s.mops = run_mix(*lock, threads, ratio / 100.0, seconds, s.read_mops);
-      samples.push_back(s);
-      std::printf("%-20s %3d%%R  %8.2f Mops (%.2f read)\n", name.c_str(),
-                  ratio, s.mops, s.read_mops);
+      const auto r = qsv::benchreg::run_rw_mix(*lock, threads, ratio / 100.0,
+                                               seconds, /*seed_stride=*/17,
+                                               /*seed_bias=*/3);
+      if (r.torn) {
+        report.fail("torn snapshot: " + name);
+        return report;
+      }
+      report.add()
+          .set("algorithm", name)
+          .set("read_ratio_pct", ratio)
+          .set("mops", qsv::benchreg::Value(r.total_mops(), 2))
+          .set("read_mops", qsv::benchreg::Value(r.read_mops(), 2));
     }
   }
-
-  std::ofstream out(out_path);
-  if (!out) {
-    std::fprintf(stderr, "smoke_rw_ratio: cannot write %s\n",
-                 out_path.c_str());
-    return 1;
-  }
-  out << "{\n  \"bench\": \"rw_ratio\",\n  \"threads\": " << threads
-      << ",\n  \"seconds\": " << seconds << ",\n  \"results\": [\n";
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    const auto& s = samples[i];
-    out << "    {\"algorithm\": \"" << s.algorithm
-        << "\", \"read_ratio_pct\": " << s.ratio_pct
-        << ", \"mops\": " << s.mops << ", \"read_mops\": " << s.read_mops
-        << "}" << (i + 1 < samples.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  std::printf("wrote %s\n", out_path.c_str());
-  return 0;
+  report.note("threads=" + std::to_string(threads) +
+              " seconds=" + std::to_string(seconds));
+  return report;
 }
+
+qsv::benchreg::Registrar reg{{
+    .name = "rw_ratio",
+    .id = "smoke",
+    .kind = qsv::benchreg::Kind::kSmoke,
+    .title = "sub-second reader-writer trend probe (CI artifact)",
+    .claim = "tracks striped vs central vs std::shared_mutex across PRs",
+    .run = run,
+}};
+
+}  // namespace

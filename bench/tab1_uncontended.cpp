@@ -1,9 +1,13 @@
 // tab1_uncontended — Experiment T1: single-thread acquire/release cost.
 // Reconstructed claim: QSV's uncontended path is one fetch&store plus
 // one compare&swap — within a small factor of raw TAS, far below any
-// kernel-assisted lock. google-benchmark for ns-resolution.
-#include <benchmark/benchmark.h>
+// kernel-assisted lock. Measured with benchreg's calibrated ns/op
+// kernel (median over --reps batches); the google-benchmark dependency
+// of the original binary is gone.
+#include <mutex>
 
+#include "benchreg/registry.hpp"
+#include "benchreg/stats.hpp"
 #include "core/syncvar.hpp"
 #include "locks/adapters.hpp"
 #include "locks/anderson.hpp"
@@ -18,112 +22,121 @@
 namespace {
 
 template <typename Lock>
-void lock_unlock_cycle(benchmark::State& state, Lock& lock) {
-  for (auto _ : state) {
-    lock.lock();
-    benchmark::DoNotOptimize(&lock);
-    lock.unlock();
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+double cycle_ns(Lock& lock, const qsv::benchreg::Params& params,
+                double budget_ms) {
+  return qsv::benchreg::ns_per_op(
+      [&lock] {
+        lock.lock();
+        qsv::benchreg::keep_alive(&lock);
+        lock.unlock();
+      },
+      params.reps, budget_ms);
 }
 
-void BM_Tas(benchmark::State& s) {
-  qsv::locks::TasLock l;
-  lock_unlock_cycle(s, l);
-}
-void BM_Ttas(benchmark::State& s) {
-  qsv::locks::TtasLock<> l;
-  lock_unlock_cycle(s, l);
-}
-void BM_Ticket(benchmark::State& s) {
-  qsv::locks::TicketLock l;
-  lock_unlock_cycle(s, l);
-}
-void BM_Anderson(benchmark::State& s) {
-  qsv::locks::AndersonLock<> l(16);
-  lock_unlock_cycle(s, l);
-}
-void BM_GraunkeThakkar(benchmark::State& s) {
-  qsv::locks::GraunkeThakkarLock l(qsv::platform::kMaxThreads);
-  lock_unlock_cycle(s, l);
-}
-void BM_Clh(benchmark::State& s) {
-  qsv::locks::ClhLock<> l;
-  lock_unlock_cycle(s, l);
-}
-void BM_Mcs(benchmark::State& s) {
-  qsv::locks::McsLock<> l;
-  lock_unlock_cycle(s, l);
-}
-void BM_Qsv(benchmark::State& s) {
-  qsv::core::QsvMutex<> l;
-  lock_unlock_cycle(s, l);
-}
-void BM_QsvTimeout(benchmark::State& s) {
-  qsv::core::QsvTimeoutMutex l;
-  lock_unlock_cycle(s, l);
-}
-void BM_StdMutex(benchmark::State& s) {
-  qsv::locks::StdMutexAdapter l;
-  lock_unlock_cycle(s, l);
-}
-void BM_QsvRwWriter(benchmark::State& s) {
-  qsv::core::QsvRwLock<> l;
-  lock_unlock_cycle(s, l);
-}
-void BM_QsvRwReader(benchmark::State& s) {
-  qsv::core::QsvRwLock<> l;
-  for (auto _ : s) {
-    l.lock_shared();
-    benchmark::DoNotOptimize(&l);
-    l.unlock_shared();
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const double budget_ms = params.budget_ms > 0.0 ? params.budget_ms : 20.0;
+  const auto row = [&](const char* op, double ns) {
+    report.add().set("op", op).set("ns_per_op", qsv::benchreg::Value(ns, 1));
+  };
+  const auto lock_row = [&](const char* op, auto& lock) {
+    if (params.algo_match(op)) row(op, cycle_ns(lock, params, budget_ms));
+  };
+
+  {
+    qsv::locks::TasLock l;
+    lock_row("tas", l);
   }
-}
-void BM_QsvRwReaderCentral(benchmark::State& s) {
-  qsv::core::QsvRwLockCentral<> l;
-  for (auto _ : s) {
-    l.lock_shared();
-    benchmark::DoNotOptimize(&l);
-    l.unlock_shared();
+  {
+    qsv::locks::TtasLock<> l;
+    lock_row("ttas", l);
   }
-}
-// Steady-state cycle after warm-up: runs entirely out of the arena's
-// thread-local fast slot and the held map's O(1) hints — no allocation,
-// no vector ops, no linear scan (the arena unit test asserts the
-// allocation count stays flat; this reports the resulting latency).
-void BM_QsvSteadyState(benchmark::State& s) {
-  qsv::core::QsvMutex<> l;
-  l.lock();  // warm the arena fast slot + held map for this thread
-  l.unlock();
-  for (auto _ : s) {
+  {
+    qsv::locks::TicketLock l;
+    lock_row("ticket", l);
+  }
+  {
+    qsv::locks::AndersonLock<> l(16);
+    lock_row("anderson", l);
+  }
+  {
+    qsv::locks::GraunkeThakkarLock l(qsv::platform::kMaxThreads);
+    lock_row("graunke-thakkar", l);
+  }
+  {
+    qsv::locks::ClhLock<> l;
+    lock_row("clh", l);
+  }
+  {
+    qsv::locks::McsLock<> l;
+    lock_row("mcs", l);
+  }
+  {
+    qsv::core::QsvMutex<> l;
+    lock_row("qsv", l);
+  }
+  {
+    // Steady-state cycle after warm-up: runs entirely out of the arena's
+    // thread-local fast slot and the held map's O(1) hints — no
+    // allocation, no vector ops, no linear scan.
+    qsv::core::QsvMutex<> l;
     l.lock();
-    benchmark::DoNotOptimize(&l);
     l.unlock();
+    lock_row("qsv (steady-state)", l);
   }
-}
-void BM_QsvSemaphore(benchmark::State& s) {
-  qsv::core::QsvSemaphore sem(1);
-  for (auto _ : s) {
-    sem.acquire();
-    benchmark::DoNotOptimize(&sem);
-    sem.release();
+  {
+    qsv::core::QsvTimeoutMutex l;
+    lock_row("qsv-timeout", l);
   }
+  {
+    qsv::locks::StdMutexAdapter l;
+    lock_row("std::mutex", l);
+  }
+  {
+    qsv::core::QsvRwLock<> l;
+    lock_row("qsv-rw (writer)", l);
+  }
+  if (params.algo_match("qsv-rw (reader)")) {
+    qsv::core::QsvRwLock<> l;
+    row("qsv-rw (reader)", qsv::benchreg::ns_per_op(
+                               [&l] {
+                                 l.lock_shared();
+                                 qsv::benchreg::keep_alive(&l);
+                                 l.unlock_shared();
+                               },
+                               params.reps, budget_ms));
+  }
+  if (params.algo_match("qsv-rw/central (reader)")) {
+    qsv::core::QsvRwLockCentral<> l;
+    row("qsv-rw/central (reader)",
+        qsv::benchreg::ns_per_op(
+            [&l] {
+              l.lock_shared();
+              qsv::benchreg::keep_alive(&l);
+              l.unlock_shared();
+            },
+            params.reps, budget_ms));
+  }
+  if (params.algo_match("qsv-semaphore")) {
+    qsv::core::QsvSemaphore sem(1);
+    row("qsv-semaphore", qsv::benchreg::ns_per_op(
+                             [&sem] {
+                               sem.acquire();
+                               qsv::benchreg::keep_alive(&sem);
+                               sem.release();
+                             },
+                             params.reps, budget_ms));
+  }
+  return report;
 }
 
-BENCHMARK(BM_Tas);
-BENCHMARK(BM_Ttas);
-BENCHMARK(BM_Ticket);
-BENCHMARK(BM_Anderson);
-BENCHMARK(BM_GraunkeThakkar);
-BENCHMARK(BM_Clh);
-BENCHMARK(BM_Mcs);
-BENCHMARK(BM_Qsv);
-BENCHMARK(BM_QsvTimeout);
-BENCHMARK(BM_StdMutex);
-BENCHMARK(BM_QsvRwWriter);
-BENCHMARK(BM_QsvRwReader);
-BENCHMARK(BM_QsvRwReaderCentral);
-BENCHMARK(BM_QsvSteadyState);
-BENCHMARK(BM_QsvSemaphore);
+qsv::benchreg::Registrar reg{{
+    .name = "uncontended",
+    .id = "tab1",
+    .kind = qsv::benchreg::Kind::kTable,
+    .title = "single-thread acquire/release cost",
+    .claim = "qsv uncontended path within a small factor of raw TAS",
+    .run = run,
+}};
 
 }  // namespace

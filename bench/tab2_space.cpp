@@ -3,13 +3,10 @@
 // plus one arena node per *waiting* thread, versus Anderson/GT's
 // O(capacity) per instance — the space argument that motivated
 // list-based queues in 1991.
-#include <cstdio>
 #include <mutex>
 
-#include "bench/bench_util.hpp"
+#include "benchreg/registry.hpp"
 #include "core/syncvar.hpp"
-#include "harness/options.hpp"
-#include "harness/table.hpp"
 #include "locks/adapters.hpp"
 #include "locks/anderson.hpp"
 #include "locks/clh.hpp"
@@ -18,48 +15,52 @@
 #include "locks/tas.hpp"
 #include "locks/ticket.hpp"
 #include "locks/ttas.hpp"
+#include "platform/cache.hpp"
 
-int main(int argc, char** argv) {
-  qsv::harness::Options opts(argc, argv, {"capacity"});
-  const auto cap = opts.get_u64("capacity", 64);
+namespace {
 
-  qsv::bench::banner("T2: space accounting",
-                     "claim: qsv = 1 word/variable + 1 node/waiter");
-
-  qsv::harness::Table table(
-      {"algorithm", "bytes/instance", "scales with", "per-waiter bytes"});
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const std::size_t cap = 64;
+  const auto row = [&](const std::string& algo, std::size_t bytes,
+                       const char* scales, std::size_t per_waiter) {
+    if (!params.algo_match(algo)) return;
+    report.add()
+        .set("algorithm", algo)
+        .set("bytes_per_instance", bytes)
+        .set("scales_with", scales)
+        .set("per_waiter_bytes", per_waiter);
+  };
 
   const qsv::locks::AndersonLock<> anderson(cap);
   const qsv::locks::GraunkeThakkarLock gt(cap);
+  const auto node = qsv::platform::kFalseSharingRange;
 
-  table.add_row({"tas", std::to_string(sizeof(qsv::locks::TasLock)),
-                 "constant", "0"});
-  table.add_row({"ttas+backoff",
-                 std::to_string(sizeof(qsv::locks::TtasLock<>)), "constant",
-                 "0"});
-  table.add_row({"ticket", std::to_string(sizeof(qsv::locks::TicketLock)),
-                 "constant", "0"});
-  table.add_row({"anderson (cap=" + std::to_string(cap) + ")",
-                 std::to_string(anderson.footprint_bytes()),
-                 "O(capacity) per instance", "0"});
-  table.add_row({"graunke-thakkar (cap=" + std::to_string(cap) + ")",
-                 std::to_string(gt.footprint_bytes()),
-                 "O(capacity) per instance", "0"});
-  table.add_row({"clh", std::to_string(sizeof(qsv::locks::ClhLock<>)),
-                 "constant", std::to_string(qsv::platform::kFalseSharingRange)});
-  table.add_row({"mcs", std::to_string(sizeof(qsv::locks::McsLock<>)),
-                 "constant", std::to_string(qsv::platform::kFalseSharingRange)});
-  table.add_row({"qsv", std::to_string(sizeof(qsv::core::QsvMutex<>)),
-                 "constant (1 word + padding)",
-                 std::to_string(qsv::platform::kFalseSharingRange)});
-  table.add_row({"qsv-timeout",
-                 std::to_string(sizeof(qsv::core::QsvTimeoutMutex)),
-                 "constant", std::to_string(qsv::platform::kFalseSharingRange)});
-  table.add_row({"qsv-rw", std::to_string(sizeof(qsv::core::QsvRwLock<>)),
-                 "constant (4 words + padding)", "0"});
-  table.add_row({"std::mutex", std::to_string(sizeof(std::mutex)),
-                 "constant", "0"});
-  table.print();
-  if (opts.csv()) table.print_csv(std::cout);
-  return 0;
+  row("tas", sizeof(qsv::locks::TasLock), "constant", 0);
+  row("ttas+backoff", sizeof(qsv::locks::TtasLock<>), "constant", 0);
+  row("ticket", sizeof(qsv::locks::TicketLock), "constant", 0);
+  row("anderson (cap=" + std::to_string(cap) + ")",
+      anderson.footprint_bytes(), "O(capacity) per instance", 0);
+  row("graunke-thakkar (cap=" + std::to_string(cap) + ")",
+      gt.footprint_bytes(), "O(capacity) per instance", 0);
+  row("clh", sizeof(qsv::locks::ClhLock<>), "constant", node);
+  row("mcs", sizeof(qsv::locks::McsLock<>), "constant", node);
+  row("qsv", sizeof(qsv::core::QsvMutex<>), "constant (1 word + padding)",
+      node);
+  row("qsv-timeout", sizeof(qsv::core::QsvTimeoutMutex), "constant", node);
+  row("qsv-rw", sizeof(qsv::core::QsvRwLock<>),
+      "constant (4 words + padding)", 0);
+  row("std::mutex", sizeof(std::mutex), "constant", 0);
+  return report;
 }
+
+qsv::benchreg::Registrar reg{{
+    .name = "space",
+    .id = "tab2",
+    .kind = qsv::benchreg::Kind::kTable,
+    .title = "space accounting",
+    .claim = "qsv = 1 word/variable + 1 node/waiter",
+    .run = run,
+}};
+
+}  // namespace

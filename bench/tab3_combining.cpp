@@ -3,74 +3,47 @@
 // wins while the line is not saturated; the combining tree's advantage
 // appears only past the serialization knee (on a single modern socket
 // the knee may sit beyond the core count — the table reports where).
-#include <atomic>
-#include <cstdio>
-
-#include "bench/bench_util.hpp"
+#include "benchreg/kernels.hpp"
+#include "benchreg/registry.hpp"
 #include "combining/combining_tree.hpp"
 #include "combining/flat_counter.hpp"
-#include "harness/options.hpp"
-#include "harness/table.hpp"
-#include "harness/team.hpp"
-#include "platform/timing.hpp"
 
 namespace {
 
-template <typename Counter>
-double run_counter(Counter& counter, std::size_t threads, double seconds) {
-  std::atomic<bool> stop{false};
-  std::atomic<std::uint64_t> total{0};
-  const auto deadline =
-      qsv::platform::now_ns() + static_cast<std::uint64_t>(seconds * 1e9);
-  const auto t0 = qsv::platform::now_ns();
-  qsv::harness::ThreadTeam::run(threads, [&](std::size_t rank) {
-    std::uint64_t ops = 0;
-    while (!stop.load(std::memory_order_relaxed)) {
-      counter.fetch_add(1);
-      if ((++ops & 0x3f) == 0 && rank == 0 &&
-          qsv::platform::now_ns() >= deadline) {
-        stop.store(true, std::memory_order_relaxed);
-      }
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const double seconds = params.seconds(0.1);
+  const auto sweep = qsv::benchreg::thread_sweep(params.threads_or(16));
+
+  for (auto t : sweep) {
+    if (params.algo_match("flat-atomic")) {
+      qsv::combining::FlatCounter c;
+      report.add()
+          .set("counter", "flat-atomic")
+          .set("threads", t)
+          .set("mops", qsv::benchreg::Value(
+                           qsv::benchreg::run_counter_loop(c, t, seconds), 2));
     }
-    total.fetch_add(ops);
-  });
-  const auto dt = qsv::platform::now_ns() - t0;
-  return static_cast<double>(total.load()) / static_cast<double>(dt) * 1e3;
+    if (params.algo_match("combining-tree")) {
+      qsv::combining::CombiningTree c(qsv::platform::kMaxThreads);
+      report.add()
+          .set("counter", "combining-tree")
+          .set("threads", t)
+          .set("mops", qsv::benchreg::Value(
+                           qsv::benchreg::run_counter_loop(c, t, seconds), 2));
+    }
+  }
+  return report;
 }
+
+qsv::benchreg::Registrar reg{{
+    .name = "combining",
+    .id = "tab3",
+    .kind = qsv::benchreg::Kind::kTable,
+    .title = "hot counter — flat fetch&add vs combining tree",
+    .claim = "combining amortizes root RMWs under saturation; flat wins "
+             "before the knee",
+    .run = run,
+}};
 
 }  // namespace
-
-int main(int argc, char** argv) {
-  qsv::harness::Options opts(argc, argv, {"seconds", "maxthreads"});
-  const double seconds = opts.get_double("seconds", 0.1);
-  const auto sweep =
-      qsv::bench::thread_sweep(opts.get_u64("maxthreads", 16));
-
-  qsv::bench::banner("T3: hot counter — flat fetch&add vs combining tree",
-                     "claim: combining amortizes root RMWs under "
-                     "saturation; flat wins before the knee");
-
-  std::vector<std::string> headers{"counter"};
-  for (auto t : sweep) headers.push_back("T=" + std::to_string(t) + " Mops");
-  qsv::harness::Table table(headers);
-
-  {
-    std::vector<std::string> row{"flat-atomic"};
-    for (auto t : sweep) {
-      qsv::combining::FlatCounter c;
-      row.push_back(qsv::harness::Table::num(run_counter(c, t, seconds), 2));
-    }
-    table.add_row(std::move(row));
-  }
-  {
-    std::vector<std::string> row{"combining-tree"};
-    for (auto t : sweep) {
-      qsv::combining::CombiningTree c(qsv::platform::kMaxThreads);
-      row.push_back(qsv::harness::Table::num(run_counter(c, t, seconds), 2));
-    }
-    table.add_row(std::move(row));
-  }
-  table.print();
-  if (opts.csv()) table.print_csv(std::cout);
-  return 0;
-}

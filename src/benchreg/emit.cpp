@@ -1,0 +1,378 @@
+#include "benchreg/emit.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace qsv::benchreg {
+
+namespace {
+
+/// JSON number: full precision, integers without a trailing ".0",
+/// non-finite values mapped to null (JSON has no NaN/Inf).
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  if (std::fabs(v) < 9.0e15 &&
+      v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+  }
+  return buf;
+}
+
+/// Display number: the precision the scenario asked for.
+std::string display_number(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string value_json(const Value& v) {
+  if (v.is_number()) return json_number(v.number());
+  std::string quoted;
+  quoted += '"';
+  quoted += json_escape(v.str());
+  quoted += '"';
+  return quoted;
+}
+
+std::string value_display(const Value& v) {
+  if (v.is_number()) return display_number(v.number(), v.precision());
+  return v.str();
+}
+
+void append_sample_json(std::string& out, const Sample& s,
+                        const char* indent) {
+  out += indent;
+  out += "{";
+  bool first = true;
+  for (const auto& [key, value] : s.fields()) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    out += json_escape(key);
+    out += "\": ";
+    out += value_json(value);
+  }
+  out += "}";
+}
+
+/// Column order for one scenario's table: first appearance wins.
+std::vector<std::string> column_union(const std::vector<Sample>& samples) {
+  std::vector<std::string> columns;
+  for (const auto& s : samples) {
+    for (const auto& [key, value] : s.fields()) {
+      bool seen = false;
+      for (const auto& c : columns) {
+        if (c == key) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) columns.push_back(key);
+    }
+  }
+  return columns;
+}
+
+/// Markdown table cells may not contain '|' or newlines.
+std::string md_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '|') {
+      out += "\\|";
+    } else if (c == '\n') {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ validator
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const char* why) {
+    error = std::string(why) + " at offset " + std::to_string(pos);
+    return false;
+  }
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool eat(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string() {
+    if (!eat('"')) return fail("expected string");
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c == '\\') {
+        ++pos;
+        if (pos >= text.size()) return fail("dangling escape");
+        const char e = text[pos];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos;
+            if (pos >= text.size() || !std::isxdigit(static_cast<unsigned char>(
+                                          text[pos]))) {
+              return fail("bad \\u escape");
+            }
+          }
+        } else if (std::strchr("\"\\/bfnrt", e) == nullptr) {
+          return fail("bad escape character");
+        }
+      }
+      ++pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number() {
+    const std::size_t start = pos;
+    if (eat('-')) {
+    }
+    if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(
+                                  text[pos]))) {
+      pos = start;
+      return fail("expected number");
+    }
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    if (eat('.')) {
+      if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(
+                                    text[pos]))) {
+        return fail("digit required after decimal point");
+      }
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(
+                                    text[pos]))) {
+        return fail("digit required in exponent");
+      }
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    return true;
+  }
+
+  bool parse_literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (text.compare(pos, n, word) != 0) return fail("bad literal");
+    pos += n;
+    return true;
+  }
+
+  bool parse_value(int depth) {
+    if (depth > 64) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    switch (text[pos]) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return parse_string();
+      case 't': return parse_literal("true");
+      case 'f': return parse_literal("false");
+      case 'n': return parse_literal("null");
+      default: return parse_number();
+    }
+  }
+
+  bool parse_object(int depth) {
+    eat('{');
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!parse_string()) return false;
+      skip_ws();
+      if (!eat(':')) return fail("expected ':'");
+      if (!parse_value(depth + 1)) return false;
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(int depth) {
+    eat('[');
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      if (!parse_value(depth + 1)) return false;
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+};
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const RunOutput& out) {
+  std::string j;
+  j += "{\n";
+  j += "  \"schema\": \"qsvbench/v1\",\n";
+  j += "  \"params\": {";
+  j += "\"threads\": " + json_number(static_cast<double>(out.params.threads));
+  j += ", \"reps\": " + json_number(static_cast<double>(out.params.reps));
+  j += ", \"budget_ms\": " + json_number(out.params.budget_ms);
+  j += ", \"algo_filter\": \"" + json_escape(out.params.algo_filter) + "\"";
+  j += "},\n";
+  j += "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < out.runs.size(); ++i) {
+    const auto& run = out.runs[i];
+    const auto& s = *run.scenario;
+    j += "    {\n";
+    j += "      \"name\": \"" + json_escape(s.name) + "\",\n";
+    j += "      \"id\": \"" + json_escape(s.id) + "\",\n";
+    j += "      \"kind\": \"" + std::string(kind_name(s.kind)) + "\",\n";
+    j += "      \"title\": \"" + json_escape(s.title) + "\",\n";
+    j += "      \"claim\": \"" + json_escape(s.claim) + "\",\n";
+    j += "      \"ok\": " + std::string(run.report.ok ? "true" : "false") +
+         ",\n";
+    if (!run.report.ok) {
+      j += "      \"error\": \"" + json_escape(run.report.error) + "\",\n";
+    }
+    j += "      \"notes\": [";
+    for (std::size_t n = 0; n < run.report.notes.size(); ++n) {
+      if (n != 0) j += ", ";
+      j += '"';
+      j += json_escape(run.report.notes[n]);
+      j += '"';
+    }
+    j += "],\n";
+    j += "      \"samples\": [\n";
+    for (std::size_t k = 0; k < run.report.samples.size(); ++k) {
+      append_sample_json(j, run.report.samples[k], "        ");
+      if (k + 1 < run.report.samples.size()) j += ",";
+      j += "\n";
+    }
+    j += "      ]\n";
+    j += "    }";
+    if (i + 1 < out.runs.size()) j += ",";
+    j += "\n";
+  }
+  j += "  ]\n";
+  j += "}\n";
+  return j;
+}
+
+std::string to_markdown(const RunOutput& out) {
+  std::string md;
+  for (const auto& run : out.runs) {
+    const auto& s = *run.scenario;
+    md += "## " + s.id + " · " + s.name + " — " + s.title + "\n\n";
+    if (!s.claim.empty()) md += "*claim:* " + s.claim + "\n\n";
+    if (!run.report.ok) {
+      md += "**FAILED:** " + run.report.error + "\n\n";
+    }
+    const auto columns = column_union(run.report.samples);
+    if (!columns.empty()) {
+      md += "|";
+      for (const auto& c : columns) {
+        md += ' ';
+        md += md_escape(c);
+        md += " |";
+      }
+      md += "\n|";
+      for (std::size_t i = 0; i < columns.size(); ++i) md += " --- |";
+      md += "\n";
+      for (const auto& sample : run.report.samples) {
+        md += "|";
+        for (const auto& c : columns) {
+          const Value* v = sample.find(c);
+          md += ' ';
+          if (v != nullptr) md += md_escape(value_display(*v));
+          md += " |";
+        }
+        md += "\n";
+      }
+      md += "\n";
+    }
+    for (const auto& note : run.report.notes) {
+      md += "> " + note + "\n";
+    }
+    if (!run.report.notes.empty()) md += "\n";
+  }
+  return md;
+}
+
+bool json_valid(std::string_view text, std::string* error) {
+  Parser p;
+  p.text = text;
+  if (!p.parse_value(0)) {
+    if (error != nullptr) *error = p.error;
+    return false;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error != nullptr) {
+      *error = "trailing garbage at offset " + std::to_string(p.pos);
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace qsv::benchreg

@@ -1,0 +1,45 @@
+// emit.hpp — machine- and human-readable renderings of a bench run.
+//
+// One JSON schema ("qsvbench/v1") for every scenario, so the CI
+// trajectory artifacts (BENCH_*.json) stay diffable across PRs, plus a
+// markdown renderer for console/report use. A minimal validating JSON
+// parser rides along: the driver refuses to write an artifact its own
+// parser rejects, and the unit tests round-trip the emitter through it.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "benchreg/scenario.hpp"
+
+namespace qsv::benchreg {
+
+/// One executed scenario: registry entry + what it produced.
+struct ScenarioRun {
+  const Scenario* scenario = nullptr;
+  Report report;
+};
+
+/// A whole driver invocation.
+struct RunOutput {
+  Params params;
+  std::vector<ScenarioRun> runs;
+};
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s);
+
+/// Render a full run as schema "qsvbench/v1" JSON (see DESIGN.md).
+std::string to_json(const RunOutput& out);
+
+/// Render a full run as markdown: one section per scenario with a
+/// field-union table (column order = first appearance across samples).
+std::string to_markdown(const RunOutput& out);
+
+/// Validating parse of a complete JSON document (objects, arrays,
+/// strings with escapes, numbers, true/false/null). Returns false and
+/// fills `error` (when non-null) with an offset-tagged message.
+bool json_valid(std::string_view text, std::string* error = nullptr);
+
+}  // namespace qsv::benchreg

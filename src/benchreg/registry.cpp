@@ -1,0 +1,104 @@
+#include "benchreg/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace qsv::benchreg {
+
+namespace {
+
+std::vector<Scenario>& mutable_registry() {
+  static std::vector<Scenario> registry;
+  return registry;
+}
+
+int kind_rank(Kind k) {
+  switch (k) {
+    case Kind::kFigure: return 0;
+    case Kind::kTable: return 1;
+    case Kind::kAblation: return 2;
+    case Kind::kSmoke: return 3;
+  }
+  return 4;
+}
+
+/// Natural order for ids like "fig2" vs "fig10": compare the alpha
+/// prefix, then the numeric suffix numerically.
+bool id_less(const std::string& a, const std::string& b) {
+  const auto split = [](const std::string& s) {
+    std::size_t i = 0;
+    while (i < s.size() && (s[i] < '0' || s[i] > '9')) ++i;
+    const std::string prefix = s.substr(0, i);
+    const long number = i < s.size() ? std::strtol(s.c_str() + i, nullptr, 10)
+                                     : -1;
+    return std::pair<std::string, long>{prefix, number};
+  };
+  const auto [ap, an] = split(a);
+  const auto [bp, bn] = split(b);
+  if (ap != bp) return ap < bp;
+  return an < bn;
+}
+
+/// One comma-separated token at a time, whitespace-free by construction
+/// (the driver passes flag values verbatim).
+bool pattern_matches(const Scenario& s, const std::string& pat) {
+  if (pat.empty()) return false;
+  if (pat == s.id || pat == s.name) return true;
+  return s.name.find(pat) != std::string::npos;
+}
+
+}  // namespace
+
+void register_scenario(Scenario s) {
+  auto& registry = mutable_registry();
+  for (const auto& existing : registry) {
+    if (existing.name == s.name || existing.id == s.id) {
+      std::fprintf(stderr,
+                   "benchreg: duplicate scenario registration '%s' (%s)\n",
+                   s.name.c_str(), s.id.c_str());
+      std::abort();
+    }
+  }
+  registry.push_back(std::move(s));
+}
+
+const std::vector<Scenario>& scenario_registry() {
+  return mutable_registry();
+}
+
+std::vector<const Scenario*> sorted_scenarios() {
+  std::vector<const Scenario*> out;
+  out.reserve(scenario_registry().size());
+  for (const auto& s : scenario_registry()) out.push_back(&s);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Scenario* a, const Scenario* b) {
+                     if (a->kind != b->kind) {
+                       return kind_rank(a->kind) < kind_rank(b->kind);
+                     }
+                     return id_less(a->id, b->id);
+                   });
+  return out;
+}
+
+const Scenario* find_scenario(const std::string& name_or_id) {
+  for (const auto& s : scenario_registry()) {
+    if (s.name == name_or_id || s.id == name_or_id) return &s;
+  }
+  return nullptr;
+}
+
+bool matches_filter(const Scenario& s, const std::string& filter) {
+  if (filter.empty()) return true;
+  std::size_t begin = 0;
+  while (begin <= filter.size()) {
+    const std::size_t comma = filter.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? filter.size() : comma;
+    if (pattern_matches(s, filter.substr(begin, end - begin))) return true;
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace qsv::benchreg

@@ -1,0 +1,41 @@
+// registry.hpp — global scenario catalogue (see locks/registry.hpp for
+// the pattern: a process-wide list that drivers and tests iterate
+// uniformly). Scenario translation units self-register through a static
+// `Registrar`, so adding an experiment is one ~30-line file and zero
+// driver edits; the driver binary links the scenario objects directly,
+// keeping their initializers alive.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "benchreg/scenario.hpp"
+
+namespace qsv::benchreg {
+
+/// Add a scenario to the catalogue. Aborts on a duplicate name or id —
+/// a silent collision would make --filter ambiguous.
+void register_scenario(Scenario s);
+
+/// All registered scenarios in registration (link) order.
+const std::vector<Scenario>& scenario_registry();
+
+/// Registered scenarios in presentation order: figures first, then
+/// tables, ablations, smoke probes, each numerically by id (fig2 before
+/// fig10 — plain lexicographic order would interleave them).
+std::vector<const Scenario*> sorted_scenarios();
+
+/// Look up one scenario by exact name or id (nullptr on miss).
+const Scenario* find_scenario(const std::string& name_or_id);
+
+/// --filter semantics: `filter` is a comma-separated pattern list; a
+/// scenario matches when any pattern equals its id, equals its name, or
+/// is a substring of its name. An empty filter matches everything.
+bool matches_filter(const Scenario& s, const std::string& filter);
+
+/// Static-initialization hook for scenario translation units.
+struct Registrar {
+  explicit Registrar(Scenario s) { register_scenario(std::move(s)); }
+};
+
+}  // namespace qsv::benchreg

@@ -1,0 +1,144 @@
+// scenario.hpp — the benchreg scenario concept.
+//
+// A *scenario* is one reconstructed figure/table/ablation: a named
+// measurement that, given run parameters, produces a flat list of
+// samples (records of string/number fields). Scenarios register
+// themselves into the global registry (registry.hpp) exactly like the
+// algorithm catalogues in locks/, barriers/ and rwlocks/, and the
+// single `qsvbench` driver enumerates scenarios × parameters, rendering
+// every report through the shared emitters (emit.hpp) — one CLI and one
+// JSON schema instead of one ad-hoc main() per experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qsv::benchreg {
+
+/// Which part of the paper's evaluation a scenario reconstructs.
+enum class Kind { kFigure, kTable, kAblation, kSmoke };
+
+inline const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kFigure: return "figure";
+    case Kind::kTable: return "table";
+    case Kind::kAblation: return "ablation";
+    case Kind::kSmoke: return "smoke";
+  }
+  return "?";
+}
+
+/// Run parameters, shared by every scenario. Zero/empty means "use the
+/// scenario's own default" so one flag set drives 21 heterogeneous
+/// experiments without a per-scenario option matrix.
+struct Params {
+  std::size_t threads = 0;    ///< cap/override for team sizes (0 = default)
+  std::size_t reps = 3;       ///< repetitions for rep-based kernels
+  double budget_ms = 0.0;     ///< per-measurement time budget (0 = default)
+  std::string algo_filter;    ///< substring filter over registry algorithms
+
+  /// Measurement window in seconds: the budget if set, else the
+  /// scenario's publication default.
+  double seconds(double fallback_s) const {
+    return budget_ms > 0.0 ? budget_ms * 1e-3 : fallback_s;
+  }
+
+  std::size_t threads_or(std::size_t fallback) const {
+    return threads != 0 ? threads : fallback;
+  }
+
+  /// Scale a count-driven workload (episodes, items, sim rounds) to the
+  /// time budget, assuming the default count costs ~`nominal_ms`.
+  std::uint64_t scale_count(std::uint64_t dflt, double nominal_ms) const {
+    if (budget_ms <= 0.0 || nominal_ms <= 0.0) return dflt;
+    const double f = budget_ms / nominal_ms;
+    const double scaled = static_cast<double>(dflt) * (f < 1e3 ? f : 1e3);
+    return scaled < 1.0 ? 1 : static_cast<std::uint64_t>(scaled);
+  }
+
+  /// Does a registry algorithm pass the --algo substring filter?
+  bool algo_match(const std::string& name) const {
+    return algo_filter.empty() || name.find(algo_filter) != std::string::npos;
+  }
+};
+
+/// One cell: a string or a number (with a display precision). Kept dumb
+/// on purpose — all rendering/escaping lives in emit.hpp so JSON and
+/// markdown cannot drift apart per scenario.
+class Value {
+ public:
+  Value(std::string s) : str_(std::move(s)) {}
+  Value(const char* s) : str_(s) {}
+  Value(double v, int precision = 2) : numeric_(true), num_(v),
+                                       precision_(precision) {}
+  Value(std::uint64_t v)
+      : numeric_(true), num_(static_cast<double>(v)), precision_(0) {}
+  Value(int v) : numeric_(true), num_(v), precision_(0) {}
+
+  bool is_number() const { return numeric_; }
+  double number() const { return num_; }
+  int precision() const { return precision_; }
+  const std::string& str() const { return str_; }
+
+ private:
+  bool numeric_ = false;
+  double num_ = 0.0;
+  int precision_ = 2;
+  std::string str_;
+};
+
+/// One record in a report. Field order is preserved: the emitters use
+/// first-appearance order as the column order.
+class Sample {
+ public:
+  Sample& set(std::string key, Value v) {
+    fields_.emplace_back(std::move(key), std::move(v));
+    return *this;
+  }
+  const std::vector<std::pair<std::string, Value>>& fields() const {
+    return fields_;
+  }
+  const Value* find(const std::string& key) const {
+    for (const auto& [k, v] : fields_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+/// What one scenario run produced. `ok == false` marks an integrity
+/// failure (mutual-exclusion violation, torn snapshot, sim deadlock);
+/// the driver still emits the partial report, then exits non-zero.
+struct Report {
+  std::vector<Sample> samples;
+  std::vector<std::string> notes;
+  bool ok = true;
+  std::string error;
+
+  Sample& add() {
+    samples.emplace_back();
+    return samples.back();
+  }
+  void note(std::string n) { notes.push_back(std::move(n)); }
+  void fail(std::string why) {
+    ok = false;
+    error = std::move(why);
+  }
+};
+
+/// Registry entry: identity + provenance + the measurement itself.
+struct Scenario {
+  std::string name;   ///< stable machine name, e.g. "rw_ratio"
+  std::string id;     ///< paper anchor, e.g. "fig8" / "tab1" / "abl6"
+  Kind kind = Kind::kFigure;
+  std::string title;  ///< one-line banner (the old bench banner text)
+  std::string claim;  ///< reconstructed claim the scenario checks
+  Report (*run)(const Params&) = nullptr;
+};
+
+}  // namespace qsv::benchreg

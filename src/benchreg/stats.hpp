@@ -1,0 +1,142 @@
+// stats.hpp — timing and statistics kernels for the benchmark layer.
+//
+// Everything here used to live as near-identical copies inside the
+// figure/table binaries (and `bench/bench_util.hpp`): the thread sweep,
+// the deadline/stop-flag idiom, ops→Mops conversion, percentile
+// summaries, and the calibrated single-thread ns/op loop that replaces
+// the google-benchmark dependency of the old tab1 binary. Scenarios use
+// these; none re-implements a timing loop.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "platform/affinity.hpp"
+#include "platform/stats.hpp"
+#include "platform/timing.hpp"
+
+namespace qsv::benchreg {
+
+/// Thread counts for scaling sweeps: 1,2,4,... capped at the allowed CPU
+/// count (measuring spin locks oversubscribed produces noise, not data).
+inline std::vector<std::size_t> thread_sweep(std::size_t cap = 0) {
+  const std::size_t cpus = qsv::platform::available_cpus();
+  const std::size_t limit = cap == 0 ? cpus : std::min(cap, cpus);
+  std::vector<std::size_t> sweep;
+  for (std::size_t t = 1; t <= limit; t *= 2) sweep.push_back(t);
+  if (sweep.back() != limit) sweep.push_back(limit);
+  return sweep;
+}
+
+/// The duration-bounded run idiom, hoisted: workers loop on `stop()`,
+/// rank 0 doubles as the timer by calling `poll` every iteration (the
+/// clock is only read every `mask`+1 ops), and `elapsed_ns()` reports
+/// the measured wall time from construction to the moment of asking.
+class DeadlineStop {
+ public:
+  explicit DeadlineStop(double seconds)
+      : t0_(qsv::platform::now_ns()),
+        deadline_(t0_ + static_cast<std::uint64_t>(seconds * 1e9)) {}
+
+  bool stop() const { return stop_.load(std::memory_order_relaxed); }
+  void request() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// Rank-0 timer duty: cheap for everyone, clock read amortized.
+  void poll(std::size_t rank, std::uint64_t ops, std::uint64_t mask = 0xff) {
+    if (rank == 0 && (ops & mask) == 0 &&
+        qsv::platform::now_ns() >= deadline_) {
+      request();
+    }
+  }
+
+  std::uint64_t elapsed_ns() const { return qsv::platform::now_ns() - t0_; }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::uint64_t t0_;
+  std::uint64_t deadline_;
+};
+
+/// Operations over nanoseconds → millions of operations per second.
+inline double mops(std::uint64_t ops, std::uint64_t dt_ns) {
+  return dt_ns == 0 ? 0.0
+                    : static_cast<double>(ops) / static_cast<double>(dt_ns) *
+                          1e3;
+}
+
+/// Exact percentile of a sample, q in [0,1] (delegates to the platform
+/// quantile; re-exported here so scenario code has one stats doorway).
+inline double percentile(const std::vector<double>& sample, double q) {
+  return qsv::platform::quantile(sample, q);
+}
+
+inline double median(const std::vector<double>& sample) {
+  return percentile(sample, 0.5);
+}
+
+/// Five-number summary over repetition measurements.
+struct RepSummary {
+  std::size_t reps = 0;
+  double min = 0.0;
+  double median = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+inline RepSummary summarize(const std::vector<double>& xs) {
+  RepSummary s;
+  s.reps = xs.size();
+  if (xs.empty()) return s;
+  qsv::platform::OnlineStats online;
+  for (double x : xs) online.add(x);
+  s.min = online.min();
+  s.max = online.max();
+  s.mean = online.mean();
+  s.median = median(xs);
+  return s;
+}
+
+/// Optimization barrier: keeps `p`'s object alive and its stores
+/// unelidable without costing a memory access (google-benchmark's
+/// DoNotOptimize, minus the dependency).
+inline void keep_alive(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r"(p) : "memory");
+#else
+  static const void* volatile sink;
+  sink = p;
+#endif
+}
+
+/// Calibrated single-thread latency kernel (T1's measurement, without
+/// google-benchmark): grow the iteration count until one batch takes at
+/// least ~1/8 of the budget, then run `reps` timed batches and return
+/// the median ns per op. Call `keep_alive` inside `op` to stop the
+/// optimizer from collapsing the loop.
+template <typename Op>
+double ns_per_op(Op&& op, std::size_t reps, double budget_ms) {
+  if (reps == 0) reps = 1;
+  const double batch_ns = budget_ms * 1e6 / 8.0;
+  std::uint64_t iters = 64;
+  for (;;) {
+    const auto t0 = qsv::platform::now_ns();
+    for (std::uint64_t i = 0; i < iters; ++i) op();
+    const auto dt = qsv::platform::now_ns() - t0;
+    if (static_cast<double>(dt) >= batch_ns || iters >= (1ull << 30)) break;
+    iters *= 4;
+  }
+  std::vector<double> per_rep;
+  per_rep.reserve(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = qsv::platform::now_ns();
+    for (std::uint64_t i = 0; i < iters; ++i) op();
+    const auto dt = qsv::platform::now_ns() - t0;
+    per_rep.push_back(static_cast<double>(dt) /
+                      static_cast<double>(iters));
+  }
+  return median(per_rep);
+}
+
+}  // namespace qsv::benchreg

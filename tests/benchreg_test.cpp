@@ -1,0 +1,235 @@
+// benchreg_test — the benchmark layer itself: scenario registry
+// enumeration and ordering, --filter semantics, the JSON emitter
+// round-tripped through the validating parser, and the stat kernels on
+// known inputs. Scenario *content* is exercised by qsvbench; here we
+// pin the contracts CI depends on.
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "benchreg/emit.hpp"
+#include "benchreg/kernels.hpp"
+#include "benchreg/registry.hpp"
+#include "benchreg/stats.hpp"
+
+namespace {
+
+using qsv::benchreg::Kind;
+using qsv::benchreg::Params;
+using qsv::benchreg::Report;
+using qsv::benchreg::Scenario;
+
+Report empty_run(const Params&) { return Report{}; }
+
+Scenario make_scenario(const char* name, const char* id, Kind kind) {
+  Scenario s;
+  s.name = name;
+  s.id = id;
+  s.kind = kind;
+  s.title = "title";
+  s.claim = "claim";
+  s.run = empty_run;
+  return s;
+}
+
+// The test binary links no bench/*.cpp translation units, so the global
+// registry starts empty and these registrations are the whole catalogue.
+struct RegistryFixture : ::testing::Test {
+  static void SetUpTestSuite() {
+    static bool once = [] {
+      qsv::benchreg::register_scenario(
+          make_scenario("lock_scaling", "fig1", Kind::kFigure));
+      qsv::benchreg::register_scenario(
+          make_scenario("hier", "fig10", Kind::kFigure));
+      qsv::benchreg::register_scenario(
+          make_scenario("bus_traffic", "fig2", Kind::kFigure));
+      qsv::benchreg::register_scenario(
+          make_scenario("rw_ratio", "smoke", Kind::kSmoke));
+      qsv::benchreg::register_scenario(
+          make_scenario("uncontended", "tab1", Kind::kTable));
+      return true;
+    }();
+    (void)once;
+  }
+};
+
+TEST_F(RegistryFixture, EnumeratesEverything) {
+  const auto& all = qsv::benchreg::scenario_registry();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_NE(qsv::benchreg::find_scenario("lock_scaling"), nullptr);
+  EXPECT_NE(qsv::benchreg::find_scenario("fig1"), nullptr);   // by id
+  EXPECT_EQ(qsv::benchreg::find_scenario("fig1"),
+            qsv::benchreg::find_scenario("lock_scaling"));
+  EXPECT_EQ(qsv::benchreg::find_scenario("nonesuch"), nullptr);
+}
+
+TEST_F(RegistryFixture, SortsFiguresNumericallyThenTablesThenSmoke) {
+  const auto sorted = qsv::benchreg::sorted_scenarios();
+  ASSERT_EQ(sorted.size(), 5u);
+  // fig2 before fig10 (numeric, not lexicographic), tables after
+  // figures, smoke probes last.
+  EXPECT_EQ(sorted[0]->id, "fig1");
+  EXPECT_EQ(sorted[1]->id, "fig2");
+  EXPECT_EQ(sorted[2]->id, "fig10");
+  EXPECT_EQ(sorted[3]->id, "tab1");
+  EXPECT_EQ(sorted[4]->id, "smoke");
+}
+
+TEST_F(RegistryFixture, FilterMatchesIdNameAndSubstring) {
+  const auto& s = *qsv::benchreg::find_scenario("lock_scaling");
+  EXPECT_TRUE(qsv::benchreg::matches_filter(s, ""));          // no filter
+  EXPECT_TRUE(qsv::benchreg::matches_filter(s, "fig1"));      // exact id
+  EXPECT_TRUE(qsv::benchreg::matches_filter(s, "lock_scaling"));
+  EXPECT_TRUE(qsv::benchreg::matches_filter(s, "scaling"));   // substring
+  EXPECT_TRUE(qsv::benchreg::matches_filter(s, "tab1,fig1")); // comma list
+  EXPECT_FALSE(qsv::benchreg::matches_filter(s, "fig10"));
+  EXPECT_FALSE(qsv::benchreg::matches_filter(s, "tab1"));
+  EXPECT_FALSE(qsv::benchreg::matches_filter(s, "fig"));  // id needs exact
+
+  // The CI invocation: --filter rw_ratio selects the smoke probe and
+  // nothing else.
+  int matched = 0;
+  for (const auto& scenario : qsv::benchreg::scenario_registry()) {
+    if (qsv::benchreg::matches_filter(scenario, "rw_ratio")) ++matched;
+  }
+  EXPECT_EQ(matched, 1);
+}
+
+TEST_F(RegistryFixture, AlgoFilterIsSubstring) {
+  Params p;
+  EXPECT_TRUE(p.algo_match("anything"));
+  p.algo_filter = "qsv-rw";
+  EXPECT_TRUE(p.algo_match("qsv-rw"));
+  EXPECT_TRUE(p.algo_match("qsv-rw/central"));
+  EXPECT_FALSE(p.algo_match("mcs"));
+}
+
+TEST(BenchregParams, BudgetAndDefaults) {
+  Params p;
+  EXPECT_DOUBLE_EQ(p.seconds(0.25), 0.25);   // no budget -> default
+  EXPECT_EQ(p.threads_or(8), 8u);
+  EXPECT_EQ(p.scale_count(24, 50.0), 24u);
+  p.budget_ms = 100.0;
+  p.threads = 4;
+  EXPECT_DOUBLE_EQ(p.seconds(0.25), 0.1);
+  EXPECT_EQ(p.threads_or(8), 4u);
+  EXPECT_EQ(p.scale_count(24, 50.0), 48u);   // twice the nominal budget
+  p.budget_ms = 1.0;
+  EXPECT_GE(p.scale_count(4, 1000.0), 1u);   // never rounds to zero
+}
+
+TEST(BenchregEmit, JsonRoundTripsThroughParser) {
+  Scenario s = make_scenario("emit \"quoted\"", "fig99", Kind::kFigure);
+  s.title = "tricky \\ title\nwith newline";
+  s.claim = "claim with\ttab";
+  qsv::benchreg::RunOutput out;
+  out.params.threads = 8;
+  out.params.budget_ms = 50.0;
+  out.params.algo_filter = "a\"b";
+  qsv::benchreg::ScenarioRun run;
+  run.scenario = &s;
+  run.report.add()
+      .set("algorithm", "qsv|pipe")
+      .set("mops", qsv::benchreg::Value(12.345678, 2))
+      .set("threads", std::uint64_t{8})
+      .set("label", "has \"quotes\" and \\slashes\\");
+  run.report.note("a note with \"quotes\"");
+  qsv::benchreg::ScenarioRun failed;
+  Scenario s2 = make_scenario("other", "fig98", Kind::kFigure);
+  failed.scenario = &s2;
+  failed.report.fail("deadlock at P=32");
+  out.runs.push_back(std::move(run));
+  out.runs.push_back(std::move(failed));
+
+  const std::string json = qsv::benchreg::to_json(out);
+  std::string error;
+  EXPECT_TRUE(qsv::benchreg::json_valid(json, &error)) << error << "\n"
+                                                       << json;
+  // Machine-readable essentials survive emission.
+  EXPECT_NE(json.find("\"schema\": \"qsvbench/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(json.find("deadlock at P=32"), std::string::npos);
+
+  const std::string md = qsv::benchreg::to_markdown(out);
+  EXPECT_NE(md.find("| algorithm |"), std::string::npos);
+  EXPECT_NE(md.find("12.35"), std::string::npos);  // display precision 2
+  EXPECT_NE(md.find("qsv\\|pipe"), std::string::npos);  // pipes escaped
+  EXPECT_NE(md.find("**FAILED:**"), std::string::npos);
+}
+
+TEST(BenchregEmit, ValidatorRejectsMalformedJson) {
+  EXPECT_TRUE(qsv::benchreg::json_valid("{\"a\": [1, 2.5, -3e4, null]}"));
+  EXPECT_TRUE(qsv::benchreg::json_valid("\"bare string\""));
+  EXPECT_FALSE(qsv::benchreg::json_valid(""));
+  EXPECT_FALSE(qsv::benchreg::json_valid("{"));
+  EXPECT_FALSE(qsv::benchreg::json_valid("{\"a\": }"));
+  EXPECT_FALSE(qsv::benchreg::json_valid("{\"a\": 1,}"));
+  EXPECT_FALSE(qsv::benchreg::json_valid("{\"a\": 1} garbage"));
+  EXPECT_FALSE(qsv::benchreg::json_valid("{\"a\": 01e}"));
+  EXPECT_FALSE(qsv::benchreg::json_valid("{\"a\": \"\\x\"}"));
+  EXPECT_FALSE(qsv::benchreg::json_valid("[1 2]"));
+  std::string error;
+  EXPECT_FALSE(qsv::benchreg::json_valid("[1,", &error));
+  EXPECT_NE(error.find("offset"), std::string::npos);
+}
+
+TEST(BenchregEmit, EscapesControlCharacters) {
+  const std::string escaped =
+      qsv::benchreg::json_escape("a\x01" "b\"c\\d\n");
+  EXPECT_EQ(escaped, "a\\u0001b\\\"c\\\\d\\n");
+}
+
+TEST(BenchregStats, PercentilesOnKnownInputs) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(qsv::benchreg::percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(qsv::benchreg::percentile(xs, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(qsv::benchreg::percentile(xs, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(qsv::benchreg::percentile(xs, 0.25), 20.0);
+  // Interpolated between ranks.
+  EXPECT_DOUBLE_EQ(qsv::benchreg::percentile(xs, 0.875), 45.0);
+  EXPECT_DOUBLE_EQ(qsv::benchreg::median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(qsv::benchreg::percentile({}, 0.5), 0.0);
+
+  const auto s = qsv::benchreg::summarize({4.0, 1.0, 3.0, 2.0});
+  EXPECT_EQ(s.reps, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(BenchregStats, MopsConversion) {
+  EXPECT_DOUBLE_EQ(qsv::benchreg::mops(1000, 1000000), 1.0);  // 1k ops/ms
+  EXPECT_DOUBLE_EQ(qsv::benchreg::mops(123, 0), 0.0);
+}
+
+TEST(BenchregStats, ThreadSweepShape) {
+  const auto sweep = qsv::benchreg::thread_sweep(1);
+  ASSERT_FALSE(sweep.empty());
+  EXPECT_EQ(sweep.front(), 1u);
+  // Monotone, capped, powers of two except possibly the last element.
+  const auto capped = qsv::benchreg::thread_sweep(3);
+  EXPECT_EQ(capped.front(), 1u);
+  for (std::size_t i = 1; i < capped.size(); ++i) {
+    EXPECT_GT(capped[i], capped[i - 1]);
+  }
+  EXPECT_LE(capped.back(), 3u);
+}
+
+TEST(BenchregStats, NsPerOpMeasuresSomethingPositive) {
+  volatile std::uint64_t x = 0;
+  const double ns = qsv::benchreg::ns_per_op([&x] { x = x + 1; },
+                                             /*reps=*/3, /*budget_ms=*/2.0);
+  EXPECT_GT(ns, 0.0);
+  EXPECT_LT(ns, 1e6);  // an increment is not a millisecond
+}
+
+TEST(BenchregKernels, LockLoopKeepsIntegrity) {
+  std::mutex m;
+  const auto r = qsv::benchreg::run_lock_loop(m, 2, 0.01);
+  EXPECT_TRUE(r.ok);
+  EXPECT_GT(r.ops, 0u);
+  EXPECT_GT(r.throughput_mops(), 0.0);
+}
+
+}  // namespace
