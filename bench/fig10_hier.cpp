@@ -8,36 +8,19 @@
 // The "native" section runs the real HierQsvMutex against flat QSV and
 // reports throughput plus the pass/acquire event mix.
 #include "benchreg/registry.hpp"
+#include "catalog/any_primitive.hpp"
 #include "core/syncvar.hpp"
 #include "harness/runner.hpp"
 #include "hier/hier_qsv.hpp"
-#include "locks/registry.hpp"
 #include "sim/protocols.hpp"
 
 namespace {
 
-class ErasedHier final : public qsv::locks::AnyLock {
- public:
-  ErasedHier(std::size_t block, std::size_t budget) : impl_(block, budget) {}
-  void lock() override { impl_.lock(); }
-  void unlock() override { impl_.unlock(); }
-  std::size_t footprint() const override { return impl_.footprint_bytes(); }
-
- private:
-  qsv::hier::HierQsvMutex<qsv::platform::SpinWait,
-                          qsv::hier::CountingHierEvents>
-      impl_;
-};
-
-class ErasedQsv final : public qsv::locks::AnyLock {
- public:
-  void lock() override { impl_.lock(); }
-  void unlock() override { impl_.unlock(); }
-  std::size_t footprint() const override { return sizeof(impl_); }
-
- private:
-  qsv::core::QsvMutex<> impl_;
-};
+/// The event-counting hierarchical instantiation is an instrument, not
+/// a catalogue entry; erase it ad hoc through the shared template.
+using CountingHier =
+    qsv::hier::HierQsvMutex<qsv::platform::SpinWait,
+                            qsv::hier::CountingHierEvents>;
 
 qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
   qsv::benchreg::Report report;
@@ -72,8 +55,8 @@ qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
   cfg.cs_ns = 100;
 
   {
-    ErasedQsv flat;
-    const auto res = qsv::harness::run_lock_contention(flat, cfg);
+    auto flat = qsv::catalog::wrap<qsv::core::QsvMutex<>>();
+    const auto res = qsv::harness::run_lock_contention(*flat, cfg);
     if (!res.mutual_exclusion_ok) {
       report.fail("mutual exclusion violated: qsv (flat)");
       return report;
@@ -84,9 +67,9 @@ qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
         .set("mops", qsv::benchreg::Value(res.throughput_mops(), 2));
   }
   for (const std::size_t budget : {0ul, 4ul, 16ul, 64ul}) {
-    ErasedHier hier(/*block=*/4, budget);
+    auto hier = qsv::catalog::wrap<CountingHier>(/*block=*/4, budget);
     qsv::hier::CountingHierEvents::reset();
-    const auto res = qsv::harness::run_lock_contention(hier, cfg);
+    const auto res = qsv::harness::run_lock_contention(*hier, cfg);
     if (!res.mutual_exclusion_ok) {
       report.fail("mutual exclusion violated: hier-qsv");
       return report;

@@ -4,7 +4,7 @@
 // between.
 #include "benchreg/registry.hpp"
 #include "benchreg/stats.hpp"
-#include "harness/algorithms.hpp"
+#include "catalog/catalog.hpp"
 #include "harness/runner.hpp"
 
 namespace {
@@ -14,20 +14,20 @@ qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
   const double seconds = params.seconds(0.12);
   const auto sweep = qsv::benchreg::thread_sweep(params.threads_or(16));
 
-  for (const auto& factory : qsv::harness::all_locks()) {
-    if (!params.algo_match(factory.name)) continue;
+  for (const auto* entry : qsv::catalog::locks()) {
+    if (!params.algo_match(entry->name)) continue;
     for (auto threads : sweep) {
-      auto lock = factory.make(threads);
+      auto lock = entry->make(threads);
       qsv::harness::LockRunConfig cfg;
       cfg.threads = threads;
       cfg.seconds = seconds;
       const auto r = qsv::harness::run_lock_contention(*lock, cfg);
       if (!r.mutual_exclusion_ok) {
-        report.fail("mutual exclusion violated: " + factory.name);
+        report.fail("mutual exclusion violated: " + entry->name);
         return report;
       }
       report.add()
-          .set("algorithm", factory.name)
+          .set("algorithm", entry->name)
           .set("threads", threads)
           .set("mops", qsv::benchreg::Value(r.throughput_mops(), 2));
     }

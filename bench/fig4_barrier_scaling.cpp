@@ -5,14 +5,14 @@
 
 #include "benchreg/registry.hpp"
 #include "benchreg/stats.hpp"
-#include "harness/algorithms.hpp"
+#include "catalog/catalog.hpp"
 #include "harness/team.hpp"
 #include "platform/timing.hpp"
 
 namespace {
 
 /// Episodes/second for one barrier at one team size.
-double measure(qsv::barriers::AnyBarrier& barrier, std::size_t team,
+double measure(qsv::catalog::AnyPrimitive& barrier, std::size_t team,
                std::size_t episodes) {
   const auto t0 = qsv::platform::now_ns();
   qsv::harness::ThreadTeam::run(team, [&](std::size_t rank) {
@@ -28,14 +28,14 @@ qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
   const auto episodes = params.scale_count(20000, 200.0);
   const auto sweep = qsv::benchreg::thread_sweep(params.threads_or(16));
 
-  for (const auto& factory : qsv::harness::all_barriers()) {
-    if (!params.algo_match(factory.name)) continue;
+  for (const auto* entry : qsv::catalog::barriers()) {
+    if (!params.algo_match(entry->name)) continue;
     for (auto team : sweep) {
-      auto barrier = factory.make(team);
+      auto barrier = entry->make(team);
       // Scale episode count down as team grows to bound runtime.
       const auto n = std::max<std::size_t>(500, episodes / (team * 2));
       report.add()
-          .set("algorithm", factory.name)
+          .set("algorithm", entry->name)
           .set("threads", team)
           .set("episodes_per_ms",
                qsv::benchreg::Value(measure(*barrier, team, n) / 1000.0, 1));

@@ -6,7 +6,7 @@
 #include <algorithm>
 
 #include "benchreg/registry.hpp"
-#include "harness/algorithms.hpp"
+#include "catalog/catalog.hpp"
 #include "harness/runner.hpp"
 #include "platform/affinity.hpp"
 
@@ -23,13 +23,10 @@ qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
 
   for (const auto& name : algos) {
     if (!params.algo_match(name)) continue;
-    const qsv::locks::LockFactory* factory = nullptr;
-    for (const auto& f : qsv::harness::all_locks()) {
-      if (f.name == name) factory = &f;
-    }
-    if (factory == nullptr) continue;
+    const auto* entry = qsv::catalog::find(name);
+    if (entry == nullptr) continue;
     for (auto cs : cs_sweep) {
-      auto lock = factory->make(threads);
+      auto lock = entry->make(threads);
       qsv::harness::LockRunConfig cfg;
       cfg.threads = threads;
       cfg.seconds = seconds;

@@ -5,7 +5,7 @@
 #include <algorithm>
 
 #include "benchreg/registry.hpp"
-#include "harness/algorithms.hpp"
+#include "catalog/catalog.hpp"
 #include "harness/runner.hpp"
 #include "platform/affinity.hpp"
 #include "platform/stats.hpp"
@@ -18,16 +18,16 @@ qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
       std::min<std::size_t>(8, qsv::platform::available_cpus()));
   const double seconds = params.seconds(0.2);
 
-  for (const auto& factory : qsv::harness::all_locks()) {
-    if (!params.algo_match(factory.name)) continue;
-    auto lock = factory.make(threads);
+  for (const auto* entry : qsv::catalog::locks()) {
+    if (!params.algo_match(entry->name)) continue;
+    auto lock = entry->make(threads);
     qsv::harness::LockRunConfig cfg;
     cfg.threads = threads;
     cfg.seconds = seconds;
     cfg.cs_ns = 100;  // non-trivial hold so starvation can develop
     const auto r = qsv::harness::run_lock_contention(*lock, cfg);
     if (!r.mutual_exclusion_ok) {
-      report.fail("mutual exclusion violated: " + factory.name);
+      report.fail("mutual exclusion violated: " + entry->name);
       return report;
     }
     std::uint64_t lo = ~0ULL, hi = 0;
@@ -36,7 +36,7 @@ qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
       hi = std::max(hi, ops);
     }
     report.add()
-        .set("algorithm", factory.name)
+        .set("algorithm", entry->name)
         .set("jain", qsv::benchreg::Value(
                          qsv::platform::jain_index(r.per_thread_ops), 3))
         .set("cv",

@@ -4,7 +4,7 @@
 // preference baselines exhibit at the extremes.
 #include "benchreg/kernels.hpp"
 #include "benchreg/registry.hpp"
-#include "harness/algorithms.hpp"
+#include "catalog/catalog.hpp"
 #include "platform/affinity.hpp"
 
 namespace {
@@ -16,18 +16,18 @@ qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
   const double seconds = params.seconds(0.1);
   const std::vector<int> ratios{0, 25, 50, 75, 90, 99, 100};
 
-  for (const auto& factory : qsv::harness::all_rwlocks()) {
-    if (!params.algo_match(factory.name)) continue;
+  for (const auto* entry : qsv::catalog::rwlocks()) {
+    if (!params.algo_match(entry->name)) continue;
     for (auto ratio : ratios) {
-      auto lock = factory.make();
+      auto lock = entry->make(threads);
       const auto r = qsv::benchreg::run_rw_mix(*lock, threads, ratio / 100.0,
                                                seconds);
       if (r.torn) {
-        report.fail("torn snapshot: " + factory.name);
+        report.fail("torn snapshot: " + entry->name);
         return report;
       }
       report.add()
-          .set("algorithm", factory.name)
+          .set("algorithm", entry->name)
           .set("read_ratio_pct", ratio)
           .set("mops", qsv::benchreg::Value(r.total_mops(), 2));
     }

@@ -19,6 +19,7 @@
 
 #include "benchreg/emit.hpp"
 #include "benchreg/registry.hpp"
+#include "catalog/catalog.hpp"
 
 namespace {
 
@@ -28,6 +29,9 @@ void print_usage(std::FILE* to) {
       "usage: qsvbench [options]\n"
       "  --list            show the scenario catalogue and exit\n"
       "  --list-names      show scenario names only, one per line\n"
+      "  --catalog         show the primitive catalogue (name, family,\n"
+      "                    capabilities, bytes) and exit\n"
+      "  --catalog-names   show primitive names only, one per line\n"
       "  --filter PAT      comma-separated list; each entry matches a\n"
       "                    scenario id (fig8), exact name, or name\n"
       "                    substring. default: run everything\n"
@@ -135,6 +139,8 @@ int main(int argc, char** argv) {
 
   const bool list = cli.take_flag("list");
   const bool list_names = cli.take_flag("list-names");
+  const bool catalog = cli.take_flag("catalog");
+  const bool catalog_names = cli.take_flag("catalog-names");
   const bool json_stdout = cli.take_flag("json");
   std::string filter, out_path, md_path, value;
 
@@ -158,6 +164,28 @@ int main(int argc, char** argv) {
 
   if (!cli.leftovers().empty()) {
     die_usage("unknown argument '" + cli.leftovers().front() + "'");
+  }
+
+  if (catalog || catalog_names) {
+    for (const auto& e : qsv::catalog::all()) {
+      if (catalog_names) {
+        std::printf("%s\n", e.name.c_str());
+        continue;
+      }
+      std::string caps;
+      const auto tag = [&](std::uint32_t bit, const char* word) {
+        if (e.has(bit)) caps += (caps.empty() ? "" : "+") + std::string(word);
+      };
+      tag(qsv::catalog::kExclusive, "excl");
+      tag(qsv::catalog::kTry, "try");
+      tag(qsv::catalog::kShared, "shared");
+      tag(qsv::catalog::kTimed, "timed");
+      tag(qsv::catalog::kEpisode, "episode");
+      std::printf("%-24s %-8s %-28s %zu\n", e.name.c_str(),
+                  qsv::catalog::family_name(e.family), caps.c_str(),
+                  e.footprint);
+    }
+    return 0;
   }
 
   const auto scenarios = qsv::benchreg::sorted_scenarios();

@@ -10,7 +10,7 @@
 
 #include "benchreg/kernels.hpp"
 #include "benchreg/registry.hpp"
-#include "harness/algorithms.hpp"
+#include "catalog/catalog.hpp"
 #include "platform/affinity.hpp"
 
 namespace {
@@ -26,19 +26,13 @@ qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
 
   for (const auto& name : tracked) {
     if (!params.algo_match(name)) continue;
-    const qsv::rwlocks::RwFactory* factory = nullptr;
-    for (const auto& f : qsv::harness::all_rwlocks()) {
-      if (f.name == name) {
-        factory = &f;
-        break;
-      }
-    }
-    if (factory == nullptr) {
-      report.fail("'" + name + "' not in rwlock registry");
+    const auto* entry = qsv::catalog::find(name);
+    if (entry == nullptr) {
+      report.fail("'" + name + "' not in the primitive catalogue");
       return report;
     }
     for (int ratio : ratios) {
-      auto lock = factory->make();
+      auto lock = entry->make(threads);
       const auto r = qsv::benchreg::run_rw_mix(*lock, threads, ratio / 100.0,
                                                seconds, /*seed_stride=*/17,
                                                /*seed_bias=*/3);

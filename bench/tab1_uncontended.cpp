@@ -8,8 +8,8 @@
 
 #include "benchreg/registry.hpp"
 #include "benchreg/stats.hpp"
+#include "catalog/std_adapters.hpp"
 #include "core/syncvar.hpp"
-#include "locks/adapters.hpp"
 #include "locks/anderson.hpp"
 #include "locks/clh.hpp"
 #include "locks/graunke_thakkar.hpp"
@@ -89,7 +89,7 @@ qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
     lock_row("qsv-timeout", l);
   }
   {
-    qsv::locks::StdMutexAdapter l;
+    qsv::catalog::StdMutexAdapter l;
     lock_row("std::mutex", l);
   }
   {

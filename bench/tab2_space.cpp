@@ -7,7 +7,6 @@
 
 #include "benchreg/registry.hpp"
 #include "core/syncvar.hpp"
-#include "locks/adapters.hpp"
 #include "locks/anderson.hpp"
 #include "locks/clh.hpp"
 #include "locks/graunke_thakkar.hpp"

@@ -2,75 +2,79 @@
 //
 //   build/examples/quickstart
 //
-// Shows the four faces of the QSV mechanism (mutex, reader-writer,
-// timeout, episode barrier) plus the semaphore/condvar sugar, each on a
-// tiny but real multi-threaded task.
+// One include, the facade names, and the std wrappers you already
+// know: the four faces of the QSV mechanism (mutex, reader-writer,
+// timeout, episode barrier) plus the semaphore sugar, each on a tiny
+// but real multi-threaded task.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
-#include "core/syncvar.hpp"
 #include "harness/team.hpp"
-#include "locks/lock_concept.hpp"
-#include "rwlocks/rw_concept.hpp"
+#include "qsv/qsv.hpp"
 
 using namespace std::chrono_literals;
 
 int main() {
   std::printf("libqsv quickstart — the QSV mechanism in four moves\n\n");
 
-  // 1. Exclusive entry: QsvMutex is a drop-in mutex. One word of state,
-  //    FIFO handoff, waiters spin on their own cache line.
+  // 1. Exclusive entry: qsv::mutex is a drop-in mutex — std::lock_guard
+  //    and std::scoped_lock work as-is. One word of state, FIFO
+  //    handoff, waiters spin on their own cache line.
   {
-    qsv::core::QsvMutex<> mutex;
+    qsv::mutex mutex;
     long counter = 0;  // guarded by mutex
     qsv::harness::ThreadTeam::run(4, [&](std::size_t) {
       for (int i = 0; i < 100000; ++i) {
-        qsv::locks::Guard guard(mutex);
+        std::lock_guard<qsv::mutex> guard(mutex);
         ++counter;
       }
     });
-    std::printf("1. QsvMutex:       4 threads x 100k increments = %ld "
+    std::printf("1. qsv::mutex:        4 threads x 100k increments = %ld "
                 "(expected 400000)\n",
                 counter);
   }
 
-  // 2. Shared entry: readers are admitted in batches, writers take FIFO
-  //    turns, neither side can starve.
+  // 2. Shared entry: qsv::shared_mutex under std::shared_lock /
+  //    std::unique_lock. Readers are admitted in batches, writers take
+  //    FIFO turns, neither side can starve.
   {
-    qsv::core::QsvRwLock<> rw;
+    qsv::shared_mutex rw;
     std::vector<int> config{1, 1};
     std::atomic<long> reads{0};
     qsv::harness::ThreadTeam::run(4, [&](std::size_t rank) {
       if (rank == 0) {
         for (int i = 0; i < 1000; ++i) {
-          qsv::rwlocks::ExclusiveGuard guard(rw);
+          std::unique_lock guard(rw);
           config[0] = i;
           config[1] = i;  // writers keep the pair equal
         }
       } else {
         for (int i = 0; i < 30000; ++i) {
-          qsv::rwlocks::SharedGuard guard(rw);
+          std::shared_lock guard(rw);
           if (config[0] != config[1]) std::abort();  // torn read
           reads.fetch_add(1, std::memory_order_relaxed);
         }
       }
     });
-    std::printf("2. QsvRwLock:      %ld consistent snapshot reads under a "
-                "writer\n",
+    std::printf("2. qsv::shared_mutex: %ld consistent snapshot reads under "
+                "a writer\n",
                 reads.load());
   }
 
-  // 3. Bounded impatience: a waiter can give up; the queue splices
-  //    around the abandoned node.
+  // 3. Bounded impatience: qsv::timed_mutex speaks try_lock_for and
+  //    try_lock_until; a waiter that gives up splices itself out of
+  //    the queue.
   {
-    qsv::core::QsvTimeoutMutex mutex;
+    qsv::timed_mutex mutex;
     mutex.lock();
     std::thread impatient([&] {
       if (!mutex.try_lock_for(2ms)) {
-        std::printf("3. QsvTimeoutMutex: waiter withdrew after 2ms as "
+        std::printf("3. qsv::timed_mutex:  waiter withdrew after 2ms as "
                     "expected\n");
       }
     });
@@ -79,10 +83,11 @@ int main() {
   }
 
   // 4. Episode synchronization: the same queue-node machinery as the
-  //    mutex, used as a barrier.
+  //    mutex, used as a barrier — with std::barrier's arrive_and_drop
+  //    for members that leave early.
   {
     constexpr std::size_t kTeam = 4, kPhases = 1000;
-    qsv::core::QsvBarrier<> barrier(kTeam);
+    qsv::barrier barrier(kTeam);
     std::atomic<long> sum{0};
     std::atomic<bool> ragged{false};
     qsv::harness::ThreadTeam::run(kTeam, [&](std::size_t rank) {
@@ -92,14 +97,17 @@ int main() {
         if (sum.load() != static_cast<long>(kTeam * p)) ragged.store(true);
         barrier.arrive_and_wait(rank);
       }
+      barrier.arrive_and_drop(rank);  // leave the team cleanly
     });
-    std::printf("4. QsvBarrier:     %zu episodes, phases %s\n", kPhases,
-                ragged.load() ? "RAGGED (bug!)" : "perfectly aligned");
+    std::printf("4. qsv::barrier:      %zu episodes, phases %s, team now "
+                "%zu\n",
+                kPhases, ragged.load() ? "RAGGED (bug!)" : "perfectly aligned",
+                barrier.team_size());
   }
 
-  // 5. Sugar: FIFO semaphore + condition variable.
+  // 5. Sugar: FIFO counting semaphore.
   {
-    qsv::core::QsvSemaphore permits(2);
+    qsv::counting_semaphore permits(2);
     std::atomic<int> peak{0}, inside{0};
     qsv::harness::ThreadTeam::run(6, [&](std::size_t) {
       for (int i = 0; i < 1000; ++i) {
@@ -112,8 +120,8 @@ int main() {
         permits.release();
       }
     });
-    std::printf("5. QsvSemaphore:   6 threads, 2 permits, observed peak "
-                "concurrency = %d\n",
+    std::printf("5. qsv::counting_semaphore: 6 threads, 2 permits, observed "
+                "peak concurrency = %d\n",
                 peak.load());
   }
 

@@ -2,22 +2,24 @@
 //
 //   build/examples/rw_cache [threads] [seconds]
 //
-// A key-value table serving a 99%-read workload, guarded by QsvRwLock.
-// Readers take batched shared entries; a refresher thread periodically
-// rewrites the whole table exclusively. Every read validates the
-// table's internal checksum, so any admission bug is caught on the spot.
-// The same workload is run over the reader-preference baseline to show
-// the writer-starvation anomaly in the refresh counter.
+// A key-value table serving a 99%-read workload, guarded by
+// qsv::shared_mutex through the std RAII wrappers (std::shared_lock
+// for readers, std::unique_lock for the refresher). Every read
+// validates the table's internal checksum, so any admission bug is
+// caught on the spot. The same workload is run over the centralized
+// QSV ablation and the reader-preference baseline to show the
+// writer-starvation anomaly in the refresh counter.
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
-#include "core/qsv_rwlock.hpp"
-#include "core/qsv_rwlock_central.hpp"
 #include "harness/team.hpp"
 #include "platform/rng.hpp"
 #include "platform/timing.hpp"
+#include "qsv/qsv.hpp"
 #include "rwlocks/central_rw.hpp"
 
 namespace {
@@ -63,9 +65,8 @@ Outcome serve(std::size_t threads, double seconds) {
   ConfigTable table(256);
   {
     // Initial population under the writer lock.
-    lock.lock();
+    std::unique_lock guard(lock);
     table.refresh(1);
-    lock.unlock();
   }
   Outcome out;
   std::atomic<std::uint64_t> reads{0}, refreshes{0}, torn{0};
@@ -79,16 +80,14 @@ Outcome serve(std::size_t threads, double seconds) {
     while (!stop.load(std::memory_order_relaxed)) {
       if (rank == 0 && rng.next_bool(0.01)) {
         // The refresher: ~1% of rank-0 operations rewrite the table.
-        lock.lock();
+        std::unique_lock guard(lock);
         table.refresh(my_refreshes + 2);
         ++my_refreshes;
-        lock.unlock();
       } else {
-        lock.lock_shared();
+        std::shared_lock guard(lock);
         if (!table.validate()) torn.fetch_add(1);
         (void)table.lookup(static_cast<std::size_t>(rng.next_below(1024)));
         ++my_reads;
-        lock.unlock_shared();
       }
       if (rank == 0 && (++ops & 0x7f) == 0 &&
           qsv::platform::now_ns() >= deadline) {
@@ -111,9 +110,9 @@ int main(int argc, char** argv) {
                                        : 8;
   const double seconds = argc > 2 ? std::strtod(argv[2], nullptr) : 0.5;
 
-  const auto qsv_out = serve<qsv::core::QsvRwLock<>>(threads, seconds);
+  const auto qsv_out = serve<qsv::shared_mutex>(threads, seconds);
   const auto central_out =
-      serve<qsv::core::QsvRwLockCentral<>>(threads, seconds);
+      serve<qsv::central_shared_mutex>(threads, seconds);
   const auto rp_out = serve<qsv::rwlocks::ReaderPrefRwLock>(threads, seconds);
 
   std::printf("rw_cache: %zu threads, %.1fs, 99%% reads\n", threads, seconds);

@@ -1,0 +1,25 @@
+// qsv/barrier.hpp — episode synchronization, the facade way.
+//
+// qsv::barrier is the QSV episode barrier: arrivers enqueue onto one
+// synchronization variable and spin locally; the closing arrival walks
+// the queue and grants everyone. Speaks the std::barrier verb set we
+// support — arrive_and_wait plus arrive_and_drop (leave the team, the
+// episode sugar added for std interop).
+#pragma once
+
+#include "core/qsv_barrier.hpp"
+#include "platform/wait.hpp"
+#include "qsv/concepts.hpp"
+
+namespace qsv {
+
+/// The QSV episode barrier (spin waiters).
+using barrier = core::QsvBarrier<platform::SpinWait>;
+
+/// As qsv::barrier, but waiters park in the kernel.
+using parking_barrier = core::QsvBarrier<platform::ParkWait>;
+
+static_assert(api::episode_barrier<barrier>);
+static_assert(api::episode_barrier<parking_barrier>);
+
+}  // namespace qsv

@@ -1,0 +1,71 @@
+// qsv/concepts.hpp — the C++ named requirements as concepts, used by
+// the facade headers to *prove* (static_assert) that every exported
+// primitive is a drop-in for its std counterpart. Spellings follow
+// [thread.req.lockable].
+#pragma once
+
+#include <chrono>
+#include <concepts>
+#include <cstddef>
+
+namespace qsv::api {
+
+/// Cpp17BasicLockable — enough for std::lock_guard and
+/// std::condition_variable_any.
+template <typename M>
+concept basic_lockable = requires(M m) {
+  m.lock();
+  m.unlock();
+};
+
+/// Cpp17Lockable — adds the non-blocking attempt; enough for
+/// std::unique_lock's try forms and std::scoped_lock over several
+/// locks (whose deadlock-avoidance algorithm, std::lock, needs it).
+template <typename M>
+concept lockable = basic_lockable<M> && requires(M m) {
+  { m.try_lock() } -> std::convertible_to<bool>;
+};
+
+/// Cpp17TimedLockable — adds bounded attempts against a duration and
+/// an absolute time point.
+template <typename M>
+concept timed_lockable = lockable<M> && requires(M m) {
+  { m.try_lock_for(std::chrono::milliseconds(1)) }
+      -> std::convertible_to<bool>;
+  { m.try_lock_until(std::chrono::steady_clock::now()) }
+      -> std::convertible_to<bool>;
+};
+
+/// Cpp17SharedLockable (the std::shared_lock side of SharedMutex).
+template <typename M>
+concept shared_lockable = requires(M m) {
+  m.lock_shared();
+  m.unlock_shared();
+  { m.try_lock_shared() } -> std::convertible_to<bool>;
+};
+
+/// The full std::shared_mutex surface: exclusive + shared, both with
+/// try forms.
+template <typename M>
+concept shared_mutex_like = lockable<M> && shared_lockable<M>;
+
+/// Episode synchronization with the std::barrier verb set we support
+/// (arrive_and_wait / arrive_and_drop; no tokens — QSV grants are
+/// anonymous).
+template <typename B>
+concept episode_barrier = requires(B b, std::size_t rank) {
+  b.arrive_and_wait(rank);
+  b.arrive_and_drop(rank);
+  { b.team_size() } -> std::convertible_to<std::size_t>;
+};
+
+/// The std::counting_semaphore verb set (minus the compile-time
+/// ceiling — QSV permits are tickets on a 64-bit horizon).
+template <typename S>
+concept counting_semaphore_like = requires(S s) {
+  s.acquire();
+  s.release();
+  { s.try_acquire() } -> std::convertible_to<bool>;
+};
+
+}  // namespace qsv::api

@@ -1,0 +1,53 @@
+// qsv/mutex.hpp — exclusive entry, the facade way.
+//
+// Stable public names over the core QSV exclusive primitives. Include
+// this (or the <qsv/qsv.hpp> umbrella) and use qsv::mutex wherever a
+// std::mutex would go: std::lock_guard, std::unique_lock,
+// std::scoped_lock (multi-lock deadlock avoidance included) and
+// std::condition_variable_any all work — the static_asserts below are
+// the contract.
+#pragma once
+
+#include <mutex>
+
+#include "core/condvar.hpp"
+#include "core/qsv_mutex.hpp"
+#include "core/qsv_timeout.hpp"
+#include "platform/wait.hpp"
+#include "qsv/concepts.hpp"
+
+namespace qsv {
+
+/// The QSV exclusive lock: one word of state, FIFO handoff, waiters
+/// spin on their own cache line.
+using mutex = core::QsvMutex<platform::SpinWait>;
+
+/// As qsv::mutex, but waiters donate their quantum after a short spin.
+using yielding_mutex = core::QsvMutex<platform::SpinYieldWait>;
+
+/// As qsv::mutex, but waiters park in the kernel (futex-era QSV).
+using parking_mutex = core::QsvMutex<platform::ParkWait>;
+
+/// Exclusive entry with bounded impatience: try_lock_for/try_lock_until
+/// withdraw from the queue when the deadline passes.
+using timed_mutex = core::QsvTimeoutMutex;
+
+/// Epoch-based condition variable for QSV mutexes. For the full std
+/// protocol (wait with any lockable), std::condition_variable_any over
+/// a qsv::mutex also works.
+using condition_variable = core::QsvCondVar;
+
+static_assert(api::lockable<mutex>);
+static_assert(api::lockable<yielding_mutex>);
+static_assert(api::lockable<parking_mutex>);
+static_assert(api::timed_lockable<timed_mutex>);
+
+// Drop-in under the std RAII wrappers.
+static_assert(std::is_constructible_v<std::lock_guard<mutex>, mutex&>);
+static_assert(std::is_constructible_v<std::unique_lock<mutex>, mutex&>);
+static_assert(
+    std::is_constructible_v<std::scoped_lock<mutex, mutex>, mutex&, mutex&>);
+static_assert(std::is_constructible_v<std::unique_lock<timed_mutex>,
+                                      timed_mutex&, std::chrono::milliseconds>);
+
+}  // namespace qsv

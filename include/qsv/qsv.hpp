@@ -1,0 +1,24 @@
+// qsv/qsv.hpp — the libqsv umbrella: one include, the whole public API.
+//
+//   #include <qsv/qsv.hpp>
+//
+//   qsv::mutex mu;                      // std::lock_guard/scoped_lock ready
+//   qsv::shared_mutex rw;               // std::shared_lock/unique_lock ready
+//   qsv::timed_mutex tm;                // try_lock_for / try_lock_until
+//   qsv::barrier bar(team);             // arrive_and_wait / arrive_and_drop
+//   qsv::counting_semaphore sem(n);     // FIFO permits
+//
+// Behind the stable names sits the reconstructed QSV mechanism (one
+// machine word per variable, per-thread queue nodes, local spinning —
+// see DESIGN.md). Algorithm sweeps and by-name lookup live in the
+// capability-tagged catalogue (qsv::catalog::), re-exported here so
+// the umbrella really is the one front door.
+#pragma once
+
+#include "qsv/barrier.hpp"       // IWYU pragma: export
+#include "qsv/concepts.hpp"      // IWYU pragma: export
+#include "qsv/mutex.hpp"         // IWYU pragma: export
+#include "qsv/semaphore.hpp"     // IWYU pragma: export
+#include "qsv/shared_mutex.hpp"  // IWYU pragma: export
+
+#include "catalog/catalog.hpp"   // IWYU pragma: export

@@ -1,0 +1,18 @@
+// qsv/semaphore.hpp — counting semaphore, the facade way.
+//
+// qsv::counting_semaphore is the FIFO semaphore on QSV's ticket
+// discipline: permits are tickets, served strictly in order. Speaks
+// the std::counting_semaphore verb set (acquire/release/try_acquire);
+// unlike std's, fairness is guaranteed by construction.
+#pragma once
+
+#include "core/semaphore.hpp"
+#include "qsv/concepts.hpp"
+
+namespace qsv {
+
+using counting_semaphore = core::QsvSemaphore;
+
+static_assert(api::counting_semaphore_like<counting_semaphore>);
+
+}  // namespace qsv

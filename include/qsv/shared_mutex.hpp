@@ -1,0 +1,37 @@
+// qsv/shared_mutex.hpp — shared (reader-writer) entry, the facade way.
+//
+// qsv::shared_mutex is the striped, batched-admission QSV shared lock:
+// phase-fair between readers and writers, O(1) remote references on
+// the read side. It satisfies the full std::shared_mutex surface —
+// std::shared_lock and std::unique_lock (including their try forms)
+// drop straight on, per the static_asserts below.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "core/qsv_rwlock.hpp"
+#include "core/qsv_rwlock_central.hpp"
+#include "qsv/concepts.hpp"
+
+namespace qsv {
+
+/// The QSV shared lock (striped reader indicators; the headline).
+using shared_mutex = core::QsvRwLock<>;
+
+/// The centralized-counter reconstruction, kept selectable as the
+/// before/after ablation baseline (experiment F8/A2).
+using central_shared_mutex = core::QsvRwLockCentral<>;
+
+static_assert(api::shared_mutex_like<shared_mutex>);
+static_assert(api::shared_mutex_like<central_shared_mutex>);
+
+// Drop-in under the std RAII wrappers.
+static_assert(std::is_constructible_v<std::shared_lock<shared_mutex>,
+                                      shared_mutex&>);
+static_assert(std::is_constructible_v<std::unique_lock<shared_mutex>,
+                                      shared_mutex&>);
+static_assert(std::is_constructible_v<std::shared_lock<central_shared_mutex>,
+                                      central_shared_mutex&>);
+
+}  // namespace qsv

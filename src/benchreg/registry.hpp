@@ -1,6 +1,6 @@
-// registry.hpp — global scenario catalogue (see locks/registry.hpp for
-// the pattern: a process-wide list that drivers and tests iterate
-// uniformly). Scenario translation units self-register through a static
+// registry.hpp — global scenario catalogue (the same pattern as the
+// primitive catalogue in catalog/: a process-wide list that drivers and
+// tests iterate uniformly). Scenario translation units self-register through a static
 // `Registrar`, so adding an experiment is one ~30-line file and zero
 // driver edits; the driver binary links the scenario objects directly,
 // keeping their initializers alive.

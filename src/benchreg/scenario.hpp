@@ -4,7 +4,7 @@
 // measurement that, given run parameters, produces a flat list of
 // samples (records of string/number fields). Scenarios register
 // themselves into the global registry (registry.hpp) exactly like the
-// algorithm catalogues in locks/, barriers/ and rwlocks/, and the
+// primitives in the unified catalogue (catalog/), and the
 // single `qsvbench` driver enumerates scenarios × parameters, rendering
 // every report through the shared emitters (emit.hpp) — one CLI and one
 // JSON schema instead of one ad-hoc main() per experiment.

@@ -1,0 +1,128 @@
+// any_primitive.hpp — one type-erased handle for every synchronization
+// primitive in libqsv.
+//
+// AnyPrimitive replaces the three near-identical erasure hierarchies the
+// library used to carry (locks::AnyLock, barriers::AnyBarrier,
+// rwlocks::AnyRwLock). It exposes the union of the capability surfaces;
+// calling a face the underlying primitive does not implement aborts
+// with a diagnostic rather than silently misbehaving — callers select
+// by capability bits first (catalog.hpp). The virtual-dispatch cost
+// (~1ns) is identical across algorithms, so comparative bench shapes
+// are preserved; hot micro-benchmarks keep using concrete types.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "catalog/capability.hpp"
+
+namespace qsv::catalog {
+
+namespace detail {
+[[noreturn]] inline void unsupported(const char* op) {
+  std::fprintf(stderr, "qsv::catalog: primitive does not support %s()\n", op);
+  std::abort();
+}
+}  // namespace detail
+
+class AnyPrimitive {
+ public:
+  virtual ~AnyPrimitive() = default;
+
+  // Exclusive face.
+  virtual void lock() { detail::unsupported("lock"); }
+  virtual void unlock() { detail::unsupported("unlock"); }
+  virtual bool try_lock() { detail::unsupported("try_lock"); }
+
+  // Shared face.
+  virtual void lock_shared() { detail::unsupported("lock_shared"); }
+  virtual void unlock_shared() { detail::unsupported("unlock_shared"); }
+  virtual bool try_lock_shared() { detail::unsupported("try_lock_shared"); }
+
+  // Timed face.
+  virtual bool try_lock_for(std::chrono::nanoseconds) {
+    detail::unsupported("try_lock_for");
+  }
+
+  // Episode face.
+  virtual void arrive_and_wait(std::size_t /*rank*/ = 0) {
+    detail::unsupported("arrive_and_wait");
+  }
+  virtual std::size_t team_size() const { detail::unsupported("team_size"); }
+
+  /// The face bitset of the underlying primitive (Capability values).
+  virtual std::uint32_t capabilities() const = 0;
+
+  /// Bytes of fixed per-instance state — uniformly sizeof(concrete
+  /// type), Table 2's first column.
+  virtual std::size_t footprint() const = 0;
+};
+
+/// The one erasure template: overrides exactly the faces the concrete
+/// type implements and leaves the rest on the aborting defaults.
+template <typename T>
+class Erased final : public AnyPrimitive {
+ public:
+  template <typename... Args>
+  explicit Erased(Args&&... args) : impl_(std::forward<Args>(args)...) {}
+
+  void lock() override {
+    if constexpr (HasExclusive<T>) impl_.lock();
+    else AnyPrimitive::lock();
+  }
+  void unlock() override {
+    if constexpr (HasExclusive<T>) impl_.unlock();
+    else AnyPrimitive::unlock();
+  }
+  bool try_lock() override {
+    if constexpr (HasTry<T>) return impl_.try_lock();
+    else return AnyPrimitive::try_lock();
+  }
+
+  void lock_shared() override {
+    if constexpr (HasShared<T>) impl_.lock_shared();
+    else AnyPrimitive::lock_shared();
+  }
+  void unlock_shared() override {
+    if constexpr (HasShared<T>) impl_.unlock_shared();
+    else AnyPrimitive::unlock_shared();
+  }
+  bool try_lock_shared() override {
+    if constexpr (HasTryShared<T>) return impl_.try_lock_shared();
+    else return AnyPrimitive::try_lock_shared();
+  }
+
+  bool try_lock_for(std::chrono::nanoseconds timeout) override {
+    if constexpr (HasTimed<T>) return impl_.try_lock_for(timeout);
+    else return AnyPrimitive::try_lock_for(timeout);
+  }
+
+  void arrive_and_wait(std::size_t rank = 0) override {
+    if constexpr (HasEpisode<T>) impl_.arrive_and_wait(rank);
+    else AnyPrimitive::arrive_and_wait(rank);
+  }
+  std::size_t team_size() const override {
+    if constexpr (HasEpisode<T>) return impl_.team_size();
+    else return AnyPrimitive::team_size();
+  }
+
+  std::uint32_t capabilities() const override { return caps_of<T>(); }
+  std::size_t footprint() const override { return sizeof(T); }
+
+ private:
+  T impl_;
+};
+
+/// Erase a concrete primitive constructed with explicit arguments —
+/// for one-off instruments (e.g. event-counting instantiations) that
+/// are not catalogue entries.
+template <typename T, typename... Args>
+std::unique_ptr<AnyPrimitive> wrap(Args&&... args) {
+  return std::make_unique<Erased<T>>(std::forward<Args>(args)...);
+}
+
+}  // namespace qsv::catalog

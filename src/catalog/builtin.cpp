@@ -1,0 +1,110 @@
+// builtin.cpp — the stock catalogue: every synchronization primitive
+// libqsv ships, 1991 baselines and QSV variants alike, in one list.
+//
+// Registration order is presentation order within each family (the
+// paper-style tables: strawmen, array queue locks, list queue locks,
+// modern baseline, then the reconstructed QSV contribution). Adding an
+// algorithm is one QSV_CATALOG_REGISTER line here — or in any other
+// linked translation unit; capabilities and family are derived from
+// the type, so there is nothing else to keep in sync.
+#include "catalog/catalog.hpp"
+
+#include "barriers/central.hpp"
+#include "barriers/combining_tree.hpp"
+#include "barriers/dissemination.hpp"
+#include "barriers/mcs_tree.hpp"
+#include "barriers/tournament.hpp"
+#include "catalog/std_adapters.hpp"
+#include "core/syncvar.hpp"
+#include "hier/hier_qsv.hpp"
+#include "locks/anderson.hpp"
+#include "locks/clh.hpp"
+#include "locks/graunke_thakkar.hpp"
+#include "locks/mcs.hpp"
+#include "locks/tas.hpp"
+#include "locks/ticket.hpp"
+#include "locks/ttas.hpp"
+#include "platform/thread_id.hpp"
+#include "platform/wait.hpp"
+#include "rwlocks/central_rw.hpp"
+
+namespace qsv::catalog {
+namespace detail {
+
+// Referenced by catalog.cpp so this object file — nothing but static
+// registrars otherwise — survives static-library linking.
+void builtin_anchor() {}
+
+}  // namespace detail
+}  // namespace qsv::catalog
+
+namespace {
+
+using qsv::platform::ParkWait;
+using qsv::platform::SpinWait;
+using qsv::platform::SpinYieldWait;
+
+// ------------------------------------------------------------- locks
+using TtasBackoff = qsv::locks::TtasLock<>;
+using QsvSpin = qsv::core::QsvMutex<SpinWait>;
+using QsvYield = qsv::core::QsvMutex<SpinYieldWait>;
+using QsvPark = qsv::core::QsvMutex<ParkWait>;
+using HierQsv = qsv::hier::HierQsvMutex<>;
+
+QSV_CATALOG_REGISTER(qsv::locks::TasLock, "tas");
+QSV_CATALOG_REGISTER(qsv::locks::TtasNoBackoffLock, "ttas");
+QSV_CATALOG_REGISTER(TtasBackoff, "ttas+backoff");
+QSV_CATALOG_REGISTER(qsv::locks::TicketLock, "ticket");
+// ticket+prop's size_t parameter is a backoff slot (ns), hier-qsv's a
+// cohort width — not capacities; both take their tuned defaults.
+QSV_CATALOG_REGISTER_DEFAULT(qsv::locks::TicketLockProportional,
+                             "ticket+prop");
+QSV_CATALOG_REGISTER(qsv::locks::AndersonLock<>, "anderson");
+
+// Graunke–Thakkar indexes its flag array by the dense thread index
+// (platform::thread_index()). Indices are recycled at thread exit and
+// so bounded by kMaxThreads *concurrent* threads — but not by one
+// run's contender count: a 2-thread run can legally see any index up
+// to the process's concurrency high-water mark. Size the instance by
+// kMaxThreads; the old per-family registry passed the sweep's thread
+// count here and corrupted the heap once thread indices passed it.
+static const qsv::catalog::Registrar qsv_cat_reg_gt{[] {
+  auto e = qsv::catalog::entry<qsv::locks::GraunkeThakkarLock>(
+      "graunke-thakkar");
+  e.make = [](std::size_t) {
+    return qsv::catalog::wrap<qsv::locks::GraunkeThakkarLock>(
+        qsv::platform::kMaxThreads);
+  };
+  return e;
+}()};
+QSV_CATALOG_REGISTER(qsv::locks::ClhLock<>, "clh");
+QSV_CATALOG_REGISTER(qsv::locks::McsLock<>, "mcs");
+QSV_CATALOG_REGISTER(qsv::catalog::StdMutexAdapter, "std::mutex");
+QSV_CATALOG_REGISTER(QsvSpin, "qsv");
+QSV_CATALOG_REGISTER(QsvYield, "qsv/yield");
+QSV_CATALOG_REGISTER(QsvPark, "qsv/park");
+QSV_CATALOG_REGISTER(qsv::core::QsvTimeoutMutex, "qsv-timeout");
+QSV_CATALOG_REGISTER_DEFAULT(HierQsv, "hier-qsv");
+
+// ---------------------------------------------------------- barriers
+using QsvEpisode = qsv::core::QsvBarrier<SpinWait>;
+using QsvEpisodePark = qsv::core::QsvBarrier<ParkWait>;
+
+QSV_CATALOG_REGISTER(qsv::barriers::CentralBarrier<>, "central");
+QSV_CATALOG_REGISTER(qsv::barriers::CombiningTreeBarrier<>, "combining-tree");
+QSV_CATALOG_REGISTER(qsv::barriers::TournamentBarrier<>, "tournament");
+QSV_CATALOG_REGISTER(qsv::barriers::DisseminationBarrier<>, "dissemination");
+QSV_CATALOG_REGISTER(qsv::barriers::McsTreeBarrier<>, "mcs-tree");
+QSV_CATALOG_REGISTER(qsv::catalog::StdBarrierAdapter, "std::barrier");
+QSV_CATALOG_REGISTER(QsvEpisode, "qsv-episode");
+QSV_CATALOG_REGISTER(QsvEpisodePark, "qsv-episode/park");
+
+// ----------------------------------------------------------- rwlocks
+QSV_CATALOG_REGISTER(qsv::rwlocks::ReaderPrefRwLock, "central-rw/reader-pref");
+QSV_CATALOG_REGISTER(qsv::rwlocks::WriterPrefRwLock, "central-rw/writer-pref");
+QSV_CATALOG_REGISTER(qsv::catalog::StdSharedMutexAdapter,
+                     "std::shared_mutex");
+QSV_CATALOG_REGISTER(qsv::core::QsvRwLock<>, "qsv-rw");
+QSV_CATALOG_REGISTER(qsv::core::QsvRwLockCentral<>, "qsv-rw/central");
+
+}  // namespace

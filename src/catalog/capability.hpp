@@ -1,0 +1,98 @@
+// capability.hpp — capability tagging for the unified primitive
+// catalogue.
+//
+// Every synchronization primitive in libqsv advertises what it can do
+// through a small bitset: exclusive entry, shared entry, non-blocking
+// attempts, bounded (timed) entry, episode synchronization. The bits are
+// *derived from the type* with concepts — a primitive that grows a new
+// face (say, QsvRwLock gaining try_lock) is re-tagged automatically at
+// compile time, so the catalogue can never drift from the code.
+#pragma once
+
+#include <chrono>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+
+namespace qsv::catalog {
+
+/// One bit per face of a primitive. A catalogue entry's `caps` is the
+/// OR of every face its concrete type implements.
+enum Capability : std::uint32_t {
+  kExclusive = 1u << 0,  ///< lock() / unlock()
+  kTry       = 1u << 1,  ///< try_lock()
+  kShared    = 1u << 2,  ///< lock_shared() / unlock_shared()
+  kTimed     = 1u << 3,  ///< try_lock_for() (and try_lock_until())
+  kEpisode   = 1u << 4,  ///< arrive_and_wait() / team_size()
+};
+
+/// Coarse family grouping, derived from the capability set: episode
+/// primitives are barriers, shared-capable locks are reader-writer
+/// locks, everything else is a plain lock. Benches and tests use the
+/// family views (catalog.hpp) exactly like the three old per-family
+/// registries.
+enum class Family : std::uint8_t { kLock, kRwLock, kBarrier };
+
+inline const char* family_name(Family f) {
+  switch (f) {
+    case Family::kLock: return "lock";
+    case Family::kRwLock: return "rwlock";
+    case Family::kBarrier: return "barrier";
+  }
+  return "?";
+}
+
+constexpr Family family_of(std::uint32_t caps) {
+  if (caps & kEpisode) return Family::kBarrier;
+  if (caps & kShared) return Family::kRwLock;
+  return Family::kLock;
+}
+
+// ------------------------------------------------- face detection
+
+template <typename T>
+concept HasExclusive = requires(T t) {
+  { t.lock() } -> std::same_as<void>;
+  { t.unlock() } -> std::same_as<void>;
+};
+
+template <typename T>
+concept HasTry = requires(T t) {
+  { t.try_lock() } -> std::convertible_to<bool>;
+};
+
+template <typename T>
+concept HasShared = requires(T t) {
+  { t.lock_shared() } -> std::same_as<void>;
+  { t.unlock_shared() } -> std::same_as<void>;
+};
+
+template <typename T>
+concept HasTryShared = requires(T t) {
+  { t.try_lock_shared() } -> std::convertible_to<bool>;
+};
+
+template <typename T>
+concept HasTimed = requires(T t) {
+  { t.try_lock_for(std::chrono::nanoseconds(1)) } -> std::convertible_to<bool>;
+};
+
+template <typename T>
+concept HasEpisode = requires(T t, std::size_t rank) {
+  { t.arrive_and_wait(rank) } -> std::same_as<void>;
+  { t.team_size() } -> std::convertible_to<std::size_t>;
+};
+
+/// The derived capability set of a concrete primitive type.
+template <typename T>
+constexpr std::uint32_t caps_of() {
+  std::uint32_t caps = 0;
+  if constexpr (HasExclusive<T>) caps |= kExclusive;
+  if constexpr (HasTry<T>) caps |= kTry;
+  if constexpr (HasShared<T>) caps |= kShared;
+  if constexpr (HasTimed<T>) caps |= kTimed;
+  if constexpr (HasEpisode<T>) caps |= kEpisode;
+  return caps;
+}
+
+}  // namespace qsv::catalog

@@ -1,0 +1,158 @@
+// catalog.hpp — the unified, capability-tagged catalogue of every
+// synchronization primitive in libqsv.
+//
+// This subsystem replaces the three copy-pasted per-family registries
+// (locks/registry, barriers/registry, rwlocks/registry) with a single
+// process-wide list. One contract everywhere:
+//
+//   * `find(name)` returns nullptr on a miss — never a hollow entry
+//     with a null factory. (The old find_lock documented exactly that
+//     hollow-entry behavior; the inconsistency is gone.)
+//   * `make(capacity)` has one capacity meaning for every family:
+//     capacity is the maximum number of threads participating in the
+//     *run*. Slot-cycling array locks size their slot arrays with it,
+//     barriers use it as the team size, everything else ignores it.
+//     capacity >= 1 always. Algorithms whose state is indexed by the
+//     dense thread id (Graunke–Thakkar) are sized by
+//     platform::kMaxThreads instead — ids are bounded by the process's
+//     concurrent-thread high-water mark, which a per-run count cannot
+//     express (see builtin.cpp).
+//   * Registration aborts on a duplicate name — a silent collision
+//     would make name lookup ambiguous.
+//
+// Entries self-register through a static `Registrar` (the benchreg
+// scenario pattern): a new algorithm joins the catalogue by adding one
+// QSV_CATALOG_REGISTER line in a translation unit linked into the
+// library or binary — see builtin.cpp for all stock entries and
+// DESIGN.md ("The catalogue") for the recipe.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/any_primitive.hpp"
+#include "catalog/capability.hpp"
+
+namespace qsv::catalog {
+
+/// One catalogue row: identity + tagging + factory.
+struct Entry {
+  std::string name;        ///< stable display/lookup name, e.g. "qsv-rw"
+  Family family = Family::kLock;
+  std::uint32_t caps = 0;  ///< OR of Capability bits, derived from the type
+  std::size_t footprint = 0;  ///< sizeof(concrete type)
+  std::function<std::unique_ptr<AnyPrimitive>(std::size_t capacity)> make;
+
+  /// True when every capability in `mask` is present.
+  bool has(std::uint32_t mask) const { return (caps & mask) == mask; }
+};
+
+namespace detail {
+template <typename T>
+Entry tagged_entry(std::string name) {
+  Entry e;
+  e.name = std::move(name);
+  e.caps = caps_of<T>();
+  e.family = family_of(e.caps);
+  e.footprint = sizeof(T);
+  return e;
+}
+}  // namespace detail
+
+/// Build an Entry for a concrete primitive type. Capabilities and
+/// family are derived from the type; the factory default-constructs
+/// a default-constructible type and otherwise constructs with
+/// `capacity` (array locks size their slot arrays with it, barriers
+/// take it as the team size). A type that is BOTH default- and
+/// size_t-constructible is ambiguous — its size_t parameter may mean
+/// something other than capacity (a backoff slot, a cohort width) —
+/// and is rejected at compile time: register it with entry_default()
+/// or an explicit factory that states which is meant. This keeps the
+/// fed-the-wrong-number bug class (the Graunke-Thakkar heap
+/// corruption) a compile error instead of a convention.
+template <typename T>
+Entry entry(std::string name) {
+  constexpr bool by_default = std::is_default_constructible_v<T>;
+  constexpr bool by_capacity = std::is_constructible_v<T, std::size_t>;
+  static_assert(by_default || by_capacity,
+                "catalogue primitives are built from a capacity alone");
+  static_assert(!(by_default && by_capacity),
+                "ambiguous construction: the size_t parameter may not mean "
+                "capacity — use entry_default<T>() or an explicit factory");
+  Entry e = detail::tagged_entry<T>(std::move(name));
+  e.make = [](std::size_t capacity) -> std::unique_ptr<AnyPrimitive> {
+    if constexpr (by_default) {
+      (void)capacity;
+      return std::make_unique<Erased<T>>();
+    } else {
+      return std::make_unique<Erased<T>>(capacity);
+    }
+  };
+  return e;
+}
+
+/// As entry(), but always default-constructs — the explicit intent
+/// marker for types whose size_t constructor parameter is NOT a
+/// capacity (e.g. a proportional-backoff slot or a cohort width).
+template <typename T>
+Entry entry_default(std::string name) {
+  static_assert(std::is_default_constructible_v<T>,
+                "entry_default needs a default-constructible type");
+  Entry e = detail::tagged_entry<T>(std::move(name));
+  e.make = [](std::size_t) -> std::unique_ptr<AnyPrimitive> {
+    return std::make_unique<Erased<T>>();
+  };
+  return e;
+}
+
+/// Add an entry. Aborts on a duplicate name.
+void register_entry(Entry e);
+
+/// Every registered primitive, in registration order (per family this
+/// is the paper-style table order: strawmen, baselines, QSV variants).
+const std::vector<Entry>& all();
+
+/// Look up one primitive by exact name. Returns nullptr on miss — the
+/// single lookup contract for the whole catalogue.
+const Entry* find(std::string_view name);
+
+/// Entries of one family, optionally narrowed to those that have every
+/// capability in `caps_mask`.
+std::vector<const Entry*> filter(Family family, std::uint32_t caps_mask = 0);
+
+/// Entries (any family) that have every capability in `caps_mask`.
+std::vector<const Entry*> filter(std::uint32_t caps_mask);
+
+// Thin per-family views — drop-in successors of the old
+// lock_registry()/barrier_registry()/rw_registry() + harness overlays.
+inline std::vector<const Entry*> locks() { return filter(Family::kLock); }
+inline std::vector<const Entry*> rwlocks() { return filter(Family::kRwLock); }
+inline std::vector<const Entry*> barriers() {
+  return filter(Family::kBarrier);
+}
+
+/// Static-initialization hook for registration translation units.
+struct Registrar {
+  explicit Registrar(Entry e) { register_entry(std::move(e)); }
+};
+
+/// Join the catalogue: one line per algorithm, capabilities derived
+/// from the type. Usable from any TU whose object file is linked in.
+#define QSV_CATALOG_REGISTER(Type, display_name)                      \
+  static const ::qsv::catalog::Registrar QSV_CATALOG_CAT_(qsv_cat_reg_, \
+                                                          __LINE__){   \
+      ::qsv::catalog::entry<Type>(display_name)}
+/// Variant for types whose size_t constructor parameter is not a
+/// capacity: always default-constructs (see entry_default()).
+#define QSV_CATALOG_REGISTER_DEFAULT(Type, display_name)              \
+  static const ::qsv::catalog::Registrar QSV_CATALOG_CAT_(qsv_cat_reg_, \
+                                                          __LINE__){   \
+      ::qsv::catalog::entry_default<Type>(display_name)}
+#define QSV_CATALOG_CAT_(a, b) QSV_CATALOG_CAT2_(a, b)
+#define QSV_CATALOG_CAT2_(a, b) a##b
+
+}  // namespace qsv::catalog

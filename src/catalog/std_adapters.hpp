@@ -1,0 +1,61 @@
+// std_adapters.hpp — the standard library's primitives behind the qsv
+// concepts, so every catalogue sweep includes the "what the mechanism
+// became" modern baseline. Consolidates the three old per-family
+// adapters.hpp files.
+#pragma once
+
+#include <barrier>
+#include <cstddef>
+#include <mutex>
+#include <shared_mutex>
+
+namespace qsv::catalog {
+
+/// std::mutex (glibc: futex-based) — the modern exclusive baseline for
+/// every wall-clock experiment.
+class StdMutexAdapter {
+ public:
+  void lock() { mu_.lock(); }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+  static constexpr const char* name() noexcept { return "std::mutex"; }
+  static constexpr std::size_t footprint_bytes() noexcept {
+    return sizeof(std::mutex);
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex — the modern reader-writer baseline.
+class StdSharedMutexAdapter {
+ public:
+  void lock() { mu_.lock(); }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+  void lock_shared() { mu_.lock_shared(); }
+  bool try_lock_shared() { return mu_.try_lock_shared(); }
+  void unlock_shared() { mu_.unlock_shared(); }
+  static constexpr const char* name() noexcept { return "std::shared_mutex"; }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// C++20 std::barrier — the modern episode baseline.
+class StdBarrierAdapter {
+ public:
+  explicit StdBarrierAdapter(std::size_t n)
+      : n_(n), barrier_(static_cast<std::ptrdiff_t>(n)) {}
+
+  void arrive_and_wait(std::size_t /*rank*/ = 0) { barrier_.arrive_and_wait(); }
+
+  std::size_t team_size() const noexcept { return n_; }
+  static constexpr const char* name() noexcept { return "std::barrier"; }
+
+ private:
+  std::size_t n_;
+  std::barrier<> barrier_;
+};
+
+}  // namespace qsv::catalog

@@ -35,10 +35,16 @@ class QsvBarrier {
     // Enqueue onto the variable (same fetch&store as the mutex path).
     Node* prev = var_.exchange(n, std::memory_order_acq_rel);
     n->prev.store(prev, std::memory_order_relaxed);
+    // Read the team size *before* counting the arrival: the episode
+    // cannot close (and shrink n_) until this arrival has counted, so
+    // the pre-count load is exactly this episode's team — whereas a
+    // post-count load could see a concurrent closer's shrink and make
+    // a second arriver believe it closed the episode too.
+    const std::uint32_t team = n_.load(std::memory_order_acquire);
     // Count the arrival. acq_rel makes every earlier arriver's enqueue
     // (and pre-barrier writes) happen-before the closing arrival below.
     const std::uint32_t c = arrived_.fetch_add(1, std::memory_order_acq_rel);
-    if (c + 1 == n_) {
+    if (c + 1 == team) {
       complete_episode(n);
     } else {
       Wait::wait_while_equal(n->state, kWaiting);
@@ -46,7 +52,25 @@ class QsvBarrier {
     }
   }
 
-  std::size_t team_size() const noexcept { return n_; }
+  /// Leave the team (std::barrier::arrive_and_drop): counts as an
+  /// arrival of the current episode — so waiting teammates are not
+  /// stranded — but never waits, enqueues no node, and shrinks the
+  /// team for every subsequent episode. The caller must not arrive
+  /// again. The drop is registered *before* the arrival count so any
+  /// completion that includes this arrival also applies the shrink.
+  void arrive_and_drop(std::size_t /*rank*/ = 0) {
+    pending_drops_.fetch_add(1, std::memory_order_acq_rel);
+    // Same load-before-count rule as arrive_and_wait.
+    const std::uint32_t team = n_.load(std::memory_order_acquire);
+    const std::uint32_t c = arrived_.fetch_add(1, std::memory_order_acq_rel);
+    if (c + 1 == team) {
+      complete_episode(nullptr);
+    }
+  }
+
+  std::size_t team_size() const noexcept {
+    return n_.load(std::memory_order_acquire);
+  }
   static constexpr const char* name() noexcept { return "qsv-episode"; }
 
  private:
@@ -59,14 +83,26 @@ class QsvBarrier {
   };
   using Arena = qsv::platform::NodeArena<Node>;
 
+  /// Close the episode. `mine` is the closer's own queue node, or
+  /// nullptr when the closer arrived via arrive_and_drop (droppers
+  /// enqueue nothing — there is no wait to grant out of).
   void complete_episode(Node* mine) {
+    // Apply pending drops *before* re-arming: the next episode's
+    // arrivals must compare against the shrunk team or they would wait
+    // for members that left. Ordered by the same grant release stores
+    // as the reset below.
+    const std::uint32_t drops =
+        pending_drops_.exchange(0, std::memory_order_acq_rel);
+    if (drops != 0) n_.fetch_sub(drops, std::memory_order_relaxed);
     // Re-arm the counter *before* any grant: a granted thread may
     // re-arrive immediately, and the grant's release store orders the
     // reset before its next fetch_add.
     arrived_.store(0, std::memory_order_relaxed);
     // Detach the episode's entire queue; the variable is free for the
-    // next episode. All n nodes are present: every arrival enqueued
-    // before it counted, and the count reached n.
+    // next episode. Every *waiting* arrival's node is present (each
+    // enqueued before it counted, and the count reached n); droppers
+    // counted without enqueueing, so the chain holds team-minus-
+    // droppers nodes, not necessarily n.
     Node* chain = var_.exchange(nullptr, std::memory_order_acquire);
     while (chain != nullptr) {
       // Read the link before granting: after the grant the waiter may
@@ -82,12 +118,16 @@ class QsvBarrier {
     }
   }
 
-  const std::uint32_t n_;
+  /// Current team size; shrinks at episode boundaries as members drop.
+  std::atomic<std::uint32_t> n_;
   /// The synchronization variable: tail of the episode's arrival queue.
   alignas(qsv::platform::kFalseSharingRange)
       std::atomic<Node*> var_{nullptr};
   alignas(qsv::platform::kFalseSharingRange)
       std::atomic<std::uint32_t> arrived_{0};
+  /// Members that called arrive_and_drop since the last boundary.
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint32_t> pending_drops_{0};
 };
 
 }  // namespace qsv::core

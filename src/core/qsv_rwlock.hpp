@@ -79,6 +79,20 @@ class QsvRwLock {
     lock_shared_slow(slot);
   }
 
+  /// Non-blocking shared entry: the fast path *is* a try — count into
+  /// the stripe, admit if the gate is open, retreat otherwise. A
+  /// closed gate refuses *before* touching the stripe: a polling
+  /// try-reader must not keep injecting transient counts into the sum
+  /// the draining writer is waiting to see reach zero.
+  bool try_lock_shared() noexcept {
+    if ((gate_.load(std::memory_order_seq_cst) & kClosed) != 0) return false;
+    auto& slot = readers_.slot();
+    slot.fetch_add(1, std::memory_order_seq_cst);
+    if ((gate_.load(std::memory_order_seq_cst) & kClosed) == 0) return true;
+    slot.fetch_sub(1, std::memory_order_seq_cst);
+    return false;
+  }
+
   void unlock_shared() noexcept {
     // Exit lands on the same stripe the entry (or grant confirmation)
     // counted into; release pairs with the draining writer's loads.
@@ -106,7 +120,63 @@ class QsvRwLock {
     });
   }
 
-  void unlock() noexcept {
+  /// Non-blocking exclusive entry: succeeds only when no writer holds
+  /// or awaits the baton AND no reader phase is in flight. On a reader
+  /// collision the already-sealed gate is unwound through the normal
+  /// release path so parked readers cannot be stranded.
+  bool try_lock() noexcept {
+    // Claim the baton only if it is immediately ours: grant == ticket
+    // means no writer holds or waits; winning the ticket CAS at that
+    // value hands us the baton without spinning.
+    std::uint32_t g = writer_grant_.load(std::memory_order_acquire);
+    if (writer_ticket_.load(std::memory_order_relaxed) != g) return false;
+    if (!writer_ticket_.compare_exchange_strong(g, g + 1,
+                                                std::memory_order_relaxed,
+                                                std::memory_order_relaxed)) {
+      return false;
+    }
+    gate_.store(kClosed, std::memory_order_seq_cst);
+    // Same two conditions lock() waits out, checked once: the previous
+    // batch fully confirmed, and every stripe quiescent.
+    if (batch_pending_.load(std::memory_order_acquire) == 0 &&
+        readers_.sum(std::memory_order_seq_cst) == 0) {
+      return true;
+    }
+    // Readers are inside (or confirming): withdraw the phase.
+    release_phase();
+    return false;
+  }
+
+  void unlock() noexcept { release_phase(); }
+
+  static constexpr const char* name() noexcept { return "qsv-rw"; }
+
+  /// Space cost (Table 2): the striped indicator dominates — the price
+  /// of scalable reads, paid per lock instance.
+  static constexpr std::size_t footprint_bytes() noexcept {
+    return sizeof(QsvRwLock);
+  }
+
+ private:
+  static constexpr std::uint32_t kClosed = 1;
+
+  static constexpr std::uint32_t kWaiting = 0;
+  static constexpr std::uint32_t kClaimed = 1;
+  static constexpr std::uint32_t kGranted = 2;
+  static constexpr std::uint32_t kAbandoned = 3;
+
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    std::atomic<std::uint32_t> state{kWaiting};
+  };
+  using Arena = qsv::platform::NodeArena<Node>;
+
+  /// End a writer phase: open the gate, admit the parked batch, pass
+  /// the baton. Shared by unlock() and the try_lock() backout (which
+  /// is why step 4 accumulates instead of storing: on backout the
+  /// previous batch may still be confirming, so batch_pending_ can be
+  /// nonzero here).
+  void release_phase() noexcept {
     // Order matters throughout; see the admission protocol above.
     // 1. Open the gate *before* collecting the stack, so a reader that
     //    pushes too late to be collected observes the open gate on its
@@ -136,10 +206,9 @@ class QsvRwLock {
       chain = next;
     }
     // 4. Publish the exact batch size before any grant. No reader can
-    //    decrement until step 5, and the previous batch reached zero
-    //    before our lock() completed, so a plain store is safe.
+    //    decrement until step 5.
     if (batch != 0) {
-      batch_pending_.store(batch, std::memory_order_relaxed);
+      batch_pending_.fetch_add(batch, std::memory_order_relaxed);
     }
     // 5. Grant: one store per node, each to the line its owner watches.
     while (claimed != nullptr) {
@@ -152,28 +221,6 @@ class QsvRwLock {
     writer_grant_.store(writer_grant_.load(std::memory_order_relaxed) + 1,
                         std::memory_order_release);
   }
-
-  static constexpr const char* name() noexcept { return "qsv-rw"; }
-
-  /// Space cost (Table 2): the striped indicator dominates — the price
-  /// of scalable reads, paid per lock instance.
-  static constexpr std::size_t footprint_bytes() noexcept {
-    return sizeof(QsvRwLock);
-  }
-
- private:
-  static constexpr std::uint32_t kClosed = 1;
-
-  static constexpr std::uint32_t kWaiting = 0;
-  static constexpr std::uint32_t kClaimed = 1;
-  static constexpr std::uint32_t kGranted = 2;
-  static constexpr std::uint32_t kAbandoned = 3;
-
-  struct Node {
-    std::atomic<Node*> next{nullptr};
-    std::atomic<std::uint32_t> state{kWaiting};
-  };
-  using Arena = qsv::platform::NodeArena<Node>;
 
   void lock_shared_slow(std::atomic<std::int64_t>& slot) noexcept {
     for (;;) {

@@ -44,6 +44,24 @@ class QsvRwLockCentral {
     }
   }
 
+  /// Non-blocking shared entry. Unlike lock_shared(), admission must
+  /// be a CAS: an entry counted while a writer is present is part of a
+  /// later batch and may not simply count itself back out (the phase
+  /// accounting would strand that writer), so the count and the
+  /// no-writer check have to land atomically.
+  bool try_lock_shared() noexcept {
+    std::uint32_t v = reader_in_.load(std::memory_order_acquire);
+    for (std::uint32_t attempts = 0; attempts < kTryAttempts; ++attempts) {
+      if ((v & kWriterBits) != 0) return false;
+      if (reader_in_.compare_exchange_weak(v, v + kReaderInc,
+                                           std::memory_order_acquire,
+                                           std::memory_order_acquire)) {
+        return true;
+      }
+    }
+    return false;  // admission word too contended; report busy
+  }
+
   void unlock_shared() noexcept {
     // release: our read section happens-before the writer that counts us
     // out.
@@ -69,6 +87,29 @@ class QsvRwLockCentral {
     }
   }
 
+  /// Non-blocking exclusive entry: take the baton only if it is free
+  /// right now, announce the phase, and succeed only if every earlier
+  /// reader has already counted out; otherwise withdraw the phase and
+  /// pass the baton on.
+  bool try_lock() noexcept {
+    std::uint32_t g = writer_grant_.load(std::memory_order_acquire);
+    if (writer_ticket_.load(std::memory_order_relaxed) != g) return false;
+    if (!writer_ticket_.compare_exchange_strong(g, g + 1,
+                                                std::memory_order_relaxed,
+                                                std::memory_order_relaxed)) {
+      return false;
+    }
+    const std::uint32_t bits = kWriterPresent | (g & kPhaseId);
+    const std::uint32_t in_before =
+        reader_in_.fetch_add(bits, std::memory_order_acquire) & ~kWriterBits;
+    if (reader_out_.load(std::memory_order_acquire) == in_before) return true;
+    // Readers still inside: clear the phase bits (readers that captured
+    // them batch in, exactly as after unlock()) and pass the baton.
+    reader_in_.fetch_and(~kWriterBits, std::memory_order_release);
+    writer_grant_.store(g + 1, std::memory_order_release);
+    return false;
+  }
+
   void unlock() noexcept {
     // End the writer phase: clear presence/phase bits; waiting readers
     // (who captured the old bits) see the change and batch in. release
@@ -86,6 +127,8 @@ class QsvRwLockCentral {
   // reader_in_ layout: bits 0..1 writer presence/phase; bits 8..31 count
   // of reader entries. reader_out_ uses the count bits only.
   static constexpr std::uint32_t kReaderInc = 0x100;
+  /// try_lock_shared gives up after this many lost admission CASes.
+  static constexpr std::uint32_t kTryAttempts = 64;
   static constexpr std::uint32_t kWriterBits = 0x3;
   static constexpr std::uint32_t kWriterPresent = 0x2;
   static constexpr std::uint32_t kPhaseId = 0x1;

@@ -50,11 +50,41 @@ class QsvTimeoutMutex {
   /// Unbounded acquire (never gives up).
   void lock() { (void)acquire(kNoDeadline); }
 
+  /// Non-blocking acquire: a zero-deadline bounded acquire. We still
+  /// enqueue (the queue is how this protocol talks), but withdraw via
+  /// the abandon path the moment the predecessor is seen still holding
+  /// — no polling loop, no clock read.
+  bool try_lock() { return acquire(kImmediate); }
+
   /// Bounded acquire: true if the variable was acquired before `timeout`
   /// elapsed, false if we withdrew.
-  bool try_lock_for(std::chrono::nanoseconds timeout) {
+  template <typename Rep, typename Period>
+  bool try_lock_for(const std::chrono::duration<Rep, Period>& timeout) {
+    // Compare in floating nanoseconds first: duration_cast of a huge
+    // coarse duration (hours::max() and friends) into int64 ns is
+    // signed overflow. Anything at or beyond the ns range (~292 years)
+    // is an unbounded wait, not an instant refusal.
+    const auto ns_approx = std::chrono::duration_cast<
+        std::chrono::duration<long double, std::nano>>(timeout);
+    if (ns_approx.count() <= 0.0L) return acquire(kImmediate);
+    if (ns_approx.count() >= static_cast<long double>(
+                                 std::chrono::nanoseconds::max().count())) {
+      return acquire(kNoDeadline);
+    }
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(timeout);
     return acquire(qsv::platform::now_ns() +
-                   static_cast<std::uint64_t>(timeout.count()));
+                   static_cast<std::uint64_t>(ns.count()));
+  }
+
+  /// Bounded acquire against an absolute deadline on any std clock
+  /// (TimedLockable). The wait itself runs on the platform monotonic
+  /// clock; the caller's clock is only read to size the wait.
+  template <typename Clock, typename Duration>
+  bool try_lock_until(const std::chrono::time_point<Clock, Duration>& abs) {
+    const auto now = Clock::now();
+    if (abs <= now) return acquire(kImmediate);
+    return try_lock_for(abs - now);
   }
 
   void unlock() {
@@ -73,6 +103,9 @@ class QsvTimeoutMutex {
   static constexpr std::uint32_t kReleased = 1;
   static constexpr std::uint32_t kAbandoned = 2;
   static constexpr std::uint64_t kNoDeadline = ~0ULL;
+  /// Sentinel deadline for try_lock: withdraw on the first still-held
+  /// observation without ever reading the clock.
+  static constexpr std::uint64_t kImmediate = 0;
 
   struct Node {
     std::atomic<std::uint32_t> state{kWaiting};
@@ -106,9 +139,11 @@ class QsvTimeoutMutex {
         pred = pp;
         continue;
       }
-      if (deadline_ns != kNoDeadline && ++polls >= kPollsPerClock) {
+      if (deadline_ns != kNoDeadline &&
+          (deadline_ns == kImmediate || ++polls >= kPollsPerClock)) {
         polls = 0;
-        if (qsv::platform::now_ns() >= deadline_ns) {
+        if (deadline_ns == kImmediate ||
+            qsv::platform::now_ns() >= deadline_ns) {
           // Withdraw: hand our current predecessor to our successor,
           // then mark ourselves abandoned. Order matters: pred must be
           // visible before the abandoned state (release store).

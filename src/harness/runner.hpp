@@ -4,8 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "catalog/any_primitive.hpp"
 #include "harness/team.hpp"
-#include "locks/registry.hpp"
 #include "platform/histogram.hpp"
 #include "platform/stats.hpp"
 #include "platform/timing.hpp"
@@ -40,7 +40,7 @@ struct LockRunConfig {
 /// Drive `threads` workers through acquire/work/release cycles against a
 /// type-erased lock for `seconds`. All workers run identical loops; the
 /// integrity counter detects any mutual-exclusion violation.
-inline LockRunResult run_lock_contention(qsv::locks::AnyLock& lock,
+inline LockRunResult run_lock_contention(qsv::catalog::AnyPrimitive& lock,
                                          const LockRunConfig& cfg) {
   LockRunResult result;
   result.per_thread_ops.assign(cfg.threads, 0);

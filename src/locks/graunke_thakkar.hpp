@@ -14,6 +14,7 @@
 
 #include "platform/arch.hpp"
 #include "platform/cache.hpp"
+#include "platform/node_arena.hpp"
 #include "platform/thread_id.hpp"
 
 namespace qsv::locks {
@@ -39,7 +40,17 @@ class GraunkeThakkarLock {
 
   void lock() noexcept {
     const std::size_t me = qsv::platform::thread_index();
-    assert(me < flags_.size() && "thread index exceeds lock capacity");
+    // Deterministic abort rather than release-build UB: `me` is the
+    // dense thread index — recycled at thread exit, so bounded by the
+    // process's *concurrent*-thread high-water mark, not by this run's
+    // contender count. An instance sized to the latter silently
+    // corrupts the heap once higher indices exist. The catalogue
+    // therefore sizes GT by kMaxThreads; direct users get the same
+    // loud contract.
+    if (me >= flags_.size()) {
+      qsv::platform::detail::node_fatal(
+          "GraunkeThakkarLock: dense thread index exceeds capacity");
+    }
     auto& my_flag = flags_[me];
     const std::uint64_t self =
         pack(&my_flag, my_flag.load(std::memory_order_relaxed) & 1u);

@@ -1,35 +1,79 @@
 // thread_id.hpp — dense small-integer thread identities.
 //
-// Several 1991 algorithms (Anderson's array lock, Graunke-Thakkar,
-// dissemination and tournament barriers) statically assign each thread a
-// slot. libqsv gives every thread a dense index on first use; structures
-// sized with `kMaxThreads` slots can then be indexed directly.
+// Several 1991 algorithms (Graunke-Thakkar's flag array, hierarchical
+// cohort maps) statically assign each thread a slot. libqsv gives every
+// thread a dense index on first use; structures sized with
+// `kMaxThreads` slots can then be indexed directly.
+//
+// Indices are *recycled*: a thread returns its index to a free pool at
+// exit, so the watermark tracks the maximum number of concurrently
+// registered threads, not the process-lifetime churn. Test and bench
+// binaries spawn thousands of short-lived team threads; without
+// recycling every slot-indexed structure would need an unbounded
+// capacity. An index is stable for its thread's entire lifetime.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <mutex>
+#include <vector>
 
 namespace qsv::platform {
 
-/// Upper bound on concurrently *registered* threads across the process
-/// lifetime. Statically sized algorithm state uses this bound.
+/// Upper bound on *concurrently* registered threads. Statically sized
+/// algorithm state uses this bound.
 inline constexpr std::size_t kMaxThreads = 512;
 
 namespace detail {
-inline std::atomic<std::size_t> g_next_thread_index{0};
-}  // namespace detail
 
-/// Dense index of the calling thread: 0 for the first thread that asks,
-/// 1 for the second, ... Stable for the thread's lifetime. Indices are
-/// not recycled; a process that churns through > kMaxThreads threads and
-/// uses slot-indexed algorithms is out of contract (asserted by callers).
-inline std::size_t thread_index() noexcept {
-  thread_local const std::size_t idx =
-      detail::g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
-  return idx;
+inline std::atomic<std::size_t> g_next_thread_index{0};
+
+/// Free pool of recycled indices. Deliberately leaked (never destroyed)
+/// so main-thread TLS destructors that run during process teardown can
+/// still push into it safely.
+inline std::mutex& thread_index_pool_mutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+inline std::vector<std::size_t>& thread_index_pool() {
+  static std::vector<std::size_t>* pool = new std::vector<std::size_t>();
+  return *pool;
 }
 
-/// Number of thread indices handed out so far (diagnostic).
+/// RAII slot: drawn from the pool (else minted fresh) on the thread's
+/// first use, returned at thread exit.
+struct ThreadIndexSlot {
+  std::size_t index;
+
+  ThreadIndexSlot() {
+    std::lock_guard<std::mutex> g(thread_index_pool_mutex());
+    auto& pool = thread_index_pool();
+    if (!pool.empty()) {
+      index = pool.back();
+      pool.pop_back();
+    } else {
+      index = g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  ~ThreadIndexSlot() {
+    std::lock_guard<std::mutex> g(thread_index_pool_mutex());
+    thread_index_pool().push_back(index);
+  }
+};
+
+}  // namespace detail
+
+/// Dense index of the calling thread, stable for the thread's lifetime
+/// and recycled at thread exit. Two concurrently live threads never
+/// share an index; a sequentially later thread may reuse an earlier
+/// thread's.
+inline std::size_t thread_index() noexcept {
+  thread_local const detail::ThreadIndexSlot slot;
+  return slot.index;
+}
+
+/// High-water mark of concurrently registered threads (diagnostic).
 inline std::size_t thread_index_watermark() noexcept {
   return detail::g_next_thread_index.load(std::memory_order_relaxed);
 }

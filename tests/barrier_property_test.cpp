@@ -10,7 +10,7 @@
 #include <tuple>
 #include <vector>
 
-#include "harness/algorithms.hpp"
+#include "catalog/catalog.hpp"
 #include "harness/team.hpp"
 #include "platform/cache.hpp"
 #include "validate/shaker.hpp"
@@ -28,14 +28,10 @@ class BarrierProperty : public ::testing::TestWithParam<Param> {};
 
 TEST_P(BarrierProperty, NoEarlyCrossing) {
   const auto& [name, team, shake] = GetParam();
-  const auto* factory = [&]() -> const qsv::barriers::BarrierFactory* {
-    for (const auto& f : qsv::harness::all_barriers()) {
-      if (f.name == name) return &f;
-    }
-    return nullptr;
-  }();
-  ASSERT_NE(factory, nullptr);
-  auto barrier = factory->make(team);
+  const auto* entry = qsv::catalog::find(name);
+  ASSERT_NE(entry, nullptr);
+  ASSERT_EQ(entry->family, qsv::catalog::Family::kBarrier);
+  auto barrier = entry->make(team);
   const auto profile = profile_by_name(shake);
 
   const std::size_t episodes = shake == "off" ? 400 : 120;
@@ -66,10 +62,10 @@ TEST_P(BarrierProperty, NoEarlyCrossing) {
 
 std::vector<Param> barrier_params() {
   std::vector<Param> out;
-  for (const auto& f : qsv::harness::all_barriers()) {
+  for (const auto* f : qsv::catalog::barriers()) {
     for (const std::size_t team : {2ul, 3ul, 5ul, 8ul, 13ul}) {
       for (const char* shake : {"off", "rough"}) {
-        out.emplace_back(f.name, team, shake);
+        out.emplace_back(f->name, team, shake);
       }
     }
   }

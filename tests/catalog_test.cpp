@@ -1,0 +1,127 @@
+// catalog_test.cpp — the unified primitive catalogue: lookup contract,
+// capability tagging, family views, and uniform make(capacity)
+// semantics.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "catalog/catalog.hpp"
+#include "core/qsv_mutex.hpp"
+
+namespace qc = qsv::catalog;
+
+TEST(Catalog, FindReturnsNullptrOnMiss) {
+  // Regression for the old split behavior: find_lock() was documented
+  // to hand back an entry with a null factory on a miss while the other
+  // registries returned nullptr. The unified contract is nullptr, full
+  // stop — and never a hollow entry.
+  EXPECT_EQ(qc::find(""), nullptr);
+  EXPECT_EQ(qc::find("no-such-primitive"), nullptr);
+  EXPECT_EQ(qc::find("qsv "), nullptr);   // names match exactly
+  EXPECT_EQ(qc::find("QSV"), nullptr);    // case-sensitive
+  const qc::Entry* hit = qc::find("qsv");
+  ASSERT_NE(hit, nullptr);
+  ASSERT_TRUE(hit->make);  // a hit always carries a usable factory
+  EXPECT_NE(hit->make(2), nullptr);
+}
+
+TEST(Catalog, CoversEverythingTheThreeOldRegistriesDid) {
+  // The three deleted registries + harness overlays enumerated 15 locks,
+  // 8 barriers and 5 rwlocks. The unified catalogue must never shrink
+  // below that (CI checks the same floor via qsvbench --catalog-names).
+  EXPECT_GE(qc::locks().size(), 15u);
+  EXPECT_GE(qc::barriers().size(), 8u);
+  EXPECT_GE(qc::rwlocks().size(), 5u);
+  EXPECT_GE(qc::all().size(), 28u);
+  for (const char* name :
+       {"tas", "ttas", "ttas+backoff", "ticket", "ticket+prop", "anderson",
+        "graunke-thakkar", "clh", "mcs", "std::mutex", "qsv", "qsv/yield",
+        "qsv/park", "qsv-timeout", "hier-qsv", "central", "combining-tree",
+        "tournament", "dissemination", "mcs-tree", "std::barrier",
+        "qsv-episode", "qsv-episode/park", "central-rw/reader-pref",
+        "central-rw/writer-pref", "std::shared_mutex", "qsv-rw",
+        "qsv-rw/central"}) {
+    EXPECT_NE(qc::find(name), nullptr) << name;
+  }
+}
+
+TEST(Catalog, NamesAreUniqueAndFamiliesConsistent) {
+  std::set<std::string> seen;
+  for (const auto& e : qc::all()) {
+    EXPECT_TRUE(seen.insert(e.name).second) << "duplicate: " << e.name;
+    EXPECT_EQ(e.family, qc::family_of(e.caps)) << e.name;
+    EXPECT_GT(e.footprint, 0u) << e.name;
+    ASSERT_TRUE(e.make) << e.name;
+  }
+}
+
+TEST(Catalog, CapabilityTagsMatchTheTypes) {
+  // Tags are derived from the concrete types at compile time; spot-check
+  // the interesting rows.
+  const auto caps = [](const char* name) {
+    const auto* e = qc::find(name);
+    EXPECT_NE(e, nullptr) << name;
+    return e != nullptr ? e->caps : 0u;
+  };
+  EXPECT_EQ(caps("qsv") & (qc::kExclusive | qc::kTry),
+            qc::kExclusive | qc::kTry);
+  EXPECT_EQ(caps("qsv-timeout") & qc::kTimed, qc::kTimed);
+  EXPECT_EQ(caps("qsv-rw") & (qc::kShared | qc::kTry),
+            qc::kShared | qc::kTry);
+  EXPECT_EQ(caps("qsv-episode") & qc::kEpisode, qc::kEpisode);
+  EXPECT_EQ(caps("central") & qc::kExclusive, 0u);
+  // Derivation matches the compile-time helper.
+  EXPECT_EQ(caps("qsv"), qc::caps_of<qsv::core::QsvMutex<>>());
+}
+
+TEST(Catalog, FilterSelectsByCapabilityAcrossFamilies) {
+  // Timed entries exist and every one of them is also try-lockable.
+  const auto timed = qc::filter(qc::kTimed);
+  ASSERT_FALSE(timed.empty());
+  for (const auto* e : timed) EXPECT_TRUE(e->has(qc::kTry)) << e->name;
+  // Family + capability narrowing: try-lockable rwlocks.
+  const auto try_rw = qc::filter(qc::Family::kRwLock, qc::kTry);
+  ASSERT_FALSE(try_rw.empty());
+  for (const auto* e : try_rw) {
+    EXPECT_EQ(e->family, qc::Family::kRwLock);
+    EXPECT_TRUE(e->has(qc::kTry | qc::kShared)) << e->name;
+  }
+  // An impossible mask selects nothing rather than failing.
+  EXPECT_TRUE(qc::filter(qc::kEpisode | qc::kTimed).empty());
+}
+
+TEST(Catalog, FamilyViewsPartitionTheCatalogue) {
+  EXPECT_EQ(qc::locks().size() + qc::barriers().size() + qc::rwlocks().size(),
+            qc::all().size());
+}
+
+TEST(Catalog, ErasedHandlesReportCapabilitiesAndFootprint) {
+  const auto* e = qc::find("qsv-rw");
+  ASSERT_NE(e, nullptr);
+  auto p = e->make(4);
+  EXPECT_EQ(p->capabilities(), e->caps);
+  EXPECT_EQ(p->footprint(), e->footprint);
+  // The shared face works through the erased handle.
+  EXPECT_TRUE(p->try_lock_shared());
+  p->unlock_shared();
+  EXPECT_TRUE(p->try_lock());
+  p->unlock();
+}
+
+TEST(Catalog, UniformCapacitySemantics) {
+  // One capacity meaning everywhere: barriers read it as team size,
+  // array locks as slots, everyone else ignores it. capacity 1 must be
+  // valid for every entry.
+  for (const auto& e : qc::all()) {
+    auto p = e.make(1);
+    ASSERT_NE(p, nullptr) << e.name;
+    if (e.has(qc::kEpisode)) {
+      EXPECT_EQ(p->team_size(), 1u) << e.name;
+      p->arrive_and_wait(0);
+    } else {
+      p->lock();
+      p->unlock();
+    }
+  }
+}

@@ -3,7 +3,7 @@
 
 #include <sstream>
 
-#include "harness/algorithms.hpp"
+#include "catalog/catalog.hpp"
 #include "harness/options.hpp"
 #include "harness/runner.hpp"
 #include "harness/table.hpp"
@@ -55,7 +55,7 @@ TEST(ThreadTeam, PropagatesExceptions) {
 }
 
 TEST(Runner, ProducesConsistentThroughput) {
-  auto lock = qsv::locks::find_lock("mcs")->make(4);
+  auto lock = qsv::catalog::find("mcs")->make(4);
   qh::LockRunConfig cfg;
   cfg.threads = 4;
   cfg.seconds = 0.1;
@@ -68,7 +68,7 @@ TEST(Runner, ProducesConsistentThroughput) {
 }
 
 TEST(Runner, LatencyHistogramWhenRequested) {
-  auto lock = qsv::locks::find_lock("ticket")->make(2);
+  auto lock = qsv::catalog::find("ticket")->make(2);
   qh::LockRunConfig cfg;
   cfg.threads = 2;
   cfg.seconds = 0.05;
@@ -79,29 +79,25 @@ TEST(Runner, LatencyHistogramWhenRequested) {
 }
 
 TEST(Catalogues, IncludeQsvEntries) {
-  bool qsv_lock = false, qsv_barrier = false, qsv_rw = false;
-  for (const auto& f : qh::all_locks()) {
-    if (f.name == "qsv") qsv_lock = true;
-  }
-  for (const auto& f : qh::all_barriers()) {
-    if (f.name == "qsv-episode") qsv_barrier = true;
-  }
-  for (const auto& f : qh::all_rwlocks()) {
-    if (f.name == "qsv-rw") qsv_rw = true;
-  }
-  EXPECT_TRUE(qsv_lock);
-  EXPECT_TRUE(qsv_barrier);
-  EXPECT_TRUE(qsv_rw);
+  const auto* qsv_lock = qsv::catalog::find("qsv");
+  const auto* qsv_barrier = qsv::catalog::find("qsv-episode");
+  const auto* qsv_rw = qsv::catalog::find("qsv-rw");
+  ASSERT_NE(qsv_lock, nullptr);
+  ASSERT_NE(qsv_barrier, nullptr);
+  ASSERT_NE(qsv_rw, nullptr);
+  EXPECT_EQ(qsv_lock->family, qsv::catalog::Family::kLock);
+  EXPECT_EQ(qsv_barrier->family, qsv::catalog::Family::kBarrier);
+  EXPECT_EQ(qsv_rw->family, qsv::catalog::Family::kRwLock);
 }
 
 TEST(Catalogues, EveryLockPassesRunnerIntegrity) {
-  for (const auto& factory : qh::all_locks()) {
-    auto lock = factory.make(4);
+  for (const auto* entry : qsv::catalog::locks()) {
+    auto lock = entry->make(4);
     qh::LockRunConfig cfg;
     cfg.threads = 4;
     cfg.seconds = 0.04;
     const auto result = qh::run_lock_contention(*lock, cfg);
-    EXPECT_TRUE(result.mutual_exclusion_ok) << factory.name;
-    EXPECT_GT(result.total_ops, 0u) << factory.name;
+    EXPECT_TRUE(result.mutual_exclusion_ok) << entry->name;
+    EXPECT_GT(result.total_ops, 0u) << entry->name;
   }
 }

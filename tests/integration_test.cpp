@@ -4,12 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <numeric>
 #include <vector>
 
 #include "core/syncvar.hpp"
-#include "harness/algorithms.hpp"
+#include "catalog/catalog.hpp"
 #include "harness/team.hpp"
 #include "locks/lock_concept.hpp"
 #include "platform/rng.hpp"
@@ -142,24 +143,32 @@ TEST(Integration, MixedPrimitivesUnderOneRoof) {
   EXPECT_EQ(version, (kTeam / 2) * kRounds);
 }
 
-TEST(Integration, RegistryCataloguesAgreeOnSmoke) {
-  // Every algorithm in the combined catalogues completes a small
-  // workload — the "does everything still link and run" canary.
-  for (const auto& f : qsv::harness::all_locks()) {
-    auto lock = f.make(2);
-    lock->lock();
-    lock->unlock();
-  }
-  for (const auto& f : qsv::harness::all_barriers()) {
-    auto barrier = f.make(1);
-    barrier->arrive_and_wait(0);
-  }
-  for (const auto& f : qsv::harness::all_rwlocks()) {
-    auto rw = f.make();
-    rw->lock();
-    rw->unlock();
-    rw->lock_shared();
-    rw->unlock_shared();
+TEST(Integration, CatalogueAgreesOnSmoke) {
+  // Every algorithm in the unified catalogue completes a small workload
+  // through the face its capability bits advertise — the "does
+  // everything still link and run" canary.
+  for (const auto& e : qsv::catalog::all()) {
+    auto p = e.make(e.family == qsv::catalog::Family::kBarrier ? 1 : 2);
+    EXPECT_EQ(p->capabilities(), e.caps) << e.name;
+    if (e.has(qsv::catalog::kEpisode)) {
+      p->arrive_and_wait(0);
+    }
+    if (e.has(qsv::catalog::kExclusive)) {
+      p->lock();
+      p->unlock();
+    }
+    if (e.has(qsv::catalog::kShared)) {
+      p->lock_shared();
+      p->unlock_shared();
+    }
+    if (e.has(qsv::catalog::kTry)) {
+      EXPECT_TRUE(p->try_lock()) << e.name;
+      p->unlock();
+    }
+    if (e.has(qsv::catalog::kTimed)) {
+      EXPECT_TRUE(p->try_lock_for(std::chrono::milliseconds(5))) << e.name;
+      p->unlock();
+    }
   }
   SUCCEED();
 }

@@ -12,13 +12,13 @@
 #include <vector>
 
 #include "harness/team.hpp"
-#include "locks/adapters.hpp"
+#include "catalog/catalog.hpp"
+#include "catalog/std_adapters.hpp"
 #include "locks/anderson.hpp"
 #include "locks/clh.hpp"
 #include "locks/graunke_thakkar.hpp"
 #include "locks/lock_concept.hpp"
 #include "locks/mcs.hpp"
-#include "locks/registry.hpp"
 #include "locks/tas.hpp"
 #include "locks/ticket.hpp"
 #include "locks/ttas.hpp"
@@ -99,7 +99,7 @@ TEST(McsLock, MutualExclusion) {
 }
 
 TEST(StdMutexAdapter, MutualExclusion) {
-  ql::StdMutexAdapter lock;
+  qsv::catalog::StdMutexAdapter lock;
   exclusion_battery(lock);
 }
 
@@ -290,17 +290,20 @@ TEST(ClhLock, ManyConstructDestroyCyclesDoNotLeakNodes) {
 
 // -------------------------------------------------------------- registry
 
-TEST(Registry, ListsAllBaselines) {
-  const auto& reg = ql::lock_registry();
-  EXPECT_EQ(reg.size(), 10u);
-  EXPECT_NE(ql::find_lock("mcs"), nullptr);
-  EXPECT_NE(ql::find_lock("tas"), nullptr);
-  EXPECT_EQ(ql::find_lock("nonexistent"), nullptr);
+TEST(Catalog, ListsBaselinesAndQsvVariants) {
+  // At least the 10 baselines + 5 QSV-family exclusive locks; a floor,
+  // not an exact count, so one-line registration of a new algorithm
+  // stays one-line (catalog_test and CI use the same style).
+  const auto locks = qsv::catalog::locks();
+  EXPECT_GE(locks.size(), 15u);
+  EXPECT_NE(qsv::catalog::find("mcs"), nullptr);
+  EXPECT_NE(qsv::catalog::find("tas"), nullptr);
+  EXPECT_EQ(qsv::catalog::find("nonexistent"), nullptr);
 }
 
-TEST(Registry, EveryEntryPassesSmokeExclusion) {
-  for (const auto& factory : ql::lock_registry()) {
-    auto lock = factory.make(kThreads);
+TEST(Catalog, EveryLockEntryPassesSmokeExclusion) {
+  for (const auto* entry : qsv::catalog::locks()) {
+    auto lock = entry->make(kThreads);
     qsv::workload::GuardedCounter counter;
     qsv::harness::ThreadTeam::run(4, [&](std::size_t) {
       for (int i = 0; i < 500; ++i) {
@@ -309,8 +312,8 @@ TEST(Registry, EveryEntryPassesSmokeExclusion) {
         lock->unlock();
       }
     });
-    EXPECT_TRUE(counter.consistent()) << factory.name;
-    EXPECT_EQ(counter.value(), 2000u) << factory.name;
-    EXPECT_GT(lock->footprint(), 0u) << factory.name;
+    EXPECT_TRUE(counter.consistent()) << entry->name;
+    EXPECT_EQ(counter.value(), 2000u) << entry->name;
+    EXPECT_GT(lock->footprint(), 0u) << entry->name;
   }
 }

@@ -255,22 +255,51 @@ TEST(Histogram, MergeAddsCounts) {
 
 // ----------------------------------------------------------- thread id
 
-TEST(ThreadId, StableWithinThreadAndUniqueAcross) {
+TEST(ThreadId, StableWithinThreadAndUniqueWhileConcurrentlyLive) {
   const auto mine = qp::thread_index();
   EXPECT_EQ(mine, qp::thread_index());
+  // Hold every thread alive until all have registered: indices are
+  // recycled at thread exit, so uniqueness is guaranteed only among
+  // concurrently live threads (exactly what slot-indexed algorithms
+  // need).
   std::set<std::size_t> seen;
   std::mutex mu;
+  std::atomic<std::size_t> registered{0};
+  std::atomic<bool> go{false};
   std::vector<std::thread> threads;
   for (int i = 0; i < 8; ++i) {
     threads.emplace_back([&] {
       const auto idx = qp::thread_index();
-      std::lock_guard<std::mutex> g(mu);
-      seen.insert(idx);
+      {
+        std::lock_guard<std::mutex> g(mu);
+        seen.insert(idx);
+      }
+      registered.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
     });
   }
+  while (registered.load() != 8) std::this_thread::yield();
+  {
+    std::lock_guard<std::mutex> g(mu);
+    EXPECT_EQ(seen.size(), 8u);
+    EXPECT_EQ(seen.count(mine), 0u);
+  }
+  go.store(true);
   for (auto& t : threads) t.join();
-  EXPECT_EQ(seen.size(), 8u);
-  EXPECT_EQ(seen.count(mine), 0u);
+}
+
+TEST(ThreadId, IndicesAreRecycledAfterThreadExit) {
+  // Sequential short-lived threads reuse indices instead of growing the
+  // watermark without bound — the property that lets thread-indexed
+  // structures (Graunke-Thakkar flags, cohort maps) be sized by
+  // kMaxThreads in thread-churning processes.
+  const auto before = qp::thread_index_watermark();
+  for (int i = 0; i < 3 * static_cast<int>(qp::kMaxThreads); ++i) {
+    std::thread([] { (void)qp::thread_index(); }).join();
+  }
+  const auto after = qp::thread_index_watermark();
+  EXPECT_LE(after, before + 2);  // churn must not mint churn-many ids
+  EXPECT_LT(after, qp::kMaxThreads);
 }
 
 // ---------------------------------------------------------------- wait

@@ -9,7 +9,7 @@
 #include <tuple>
 #include <vector>
 
-#include "harness/algorithms.hpp"
+#include "catalog/catalog.hpp"
 #include "harness/team.hpp"
 #include "validate/checkers.hpp"
 #include "validate/shaker.hpp"
@@ -117,14 +117,9 @@ class LockShakeSweep
 
 TEST_P(LockShakeSweep, MutualExclusionHolds) {
   const auto& [lock_name, shake_name] = GetParam();
-  const auto* factory = [&]() -> const qsv::locks::LockFactory* {
-    for (const auto& f : qsv::harness::all_locks()) {
-      if (f.name == lock_name) return &f;
-    }
-    return nullptr;
-  }();
-  ASSERT_NE(factory, nullptr);
-  auto lock = factory->make(qsv::platform::kMaxThreads);
+  const auto* entry = qsv::catalog::find(lock_name);
+  ASSERT_NE(entry, nullptr);
+  auto lock = entry->make(qsv::platform::kMaxThreads);
   const auto profile = profile_by_name(shake_name);
 
   qv::ExclusionChecker checker;
@@ -149,9 +144,9 @@ TEST_P(LockShakeSweep, MutualExclusionHolds) {
 namespace {
 std::vector<std::tuple<std::string, std::string>> sweep_params() {
   std::vector<std::tuple<std::string, std::string>> out;
-  for (const auto& f : qsv::harness::all_locks()) {
+  for (const auto* f : qsv::catalog::locks()) {
     for (const char* shake : {"off", "gentle", "rough", "brutal"}) {
-      out.emplace_back(f.name, shake);
+      out.emplace_back(f->name, shake);
     }
   }
   return out;
@@ -174,14 +169,9 @@ INSTANTIATE_TEST_SUITE_P(
 class FifoSweep : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(FifoSweep, QueueLocksAdmitNearFifo) {
-  const auto* factory = [&]() -> const qsv::locks::LockFactory* {
-    for (const auto& f : qsv::harness::all_locks()) {
-      if (f.name == GetParam()) return &f;
-    }
-    return nullptr;
-  }();
-  ASSERT_NE(factory, nullptr);
-  auto lock = factory->make(qsv::platform::kMaxThreads);
+  const auto* entry = qsv::catalog::find(GetParam());
+  ASSERT_NE(entry, nullptr);
+  auto lock = entry->make(qsv::platform::kMaxThreads);
 
   qv::FifoChecker checker(/*window=*/2 * kThreads);
   constexpr std::size_t kOps = 2000;
@@ -219,14 +209,9 @@ class RwShakeSweep
 
 TEST_P(RwShakeSweep, ReaderWriterInvariantHolds) {
   const auto& [rw_name, shake_name] = GetParam();
-  const auto* factory = [&]() -> const qsv::rwlocks::RwFactory* {
-    for (const auto& f : qsv::harness::all_rwlocks()) {
-      if (f.name == rw_name) return &f;
-    }
-    return nullptr;
-  }();
-  ASSERT_NE(factory, nullptr);
-  auto rw = factory->make();
+  const auto* entry = qsv::catalog::find(rw_name);
+  ASSERT_NE(entry, nullptr);
+  auto rw = entry->make(kThreads);
   const auto profile = profile_by_name(shake_name);
 
   qv::RwChecker checker;
@@ -258,9 +243,9 @@ TEST_P(RwShakeSweep, ReaderWriterInvariantHolds) {
 namespace {
 std::vector<std::tuple<std::string, std::string>> rw_params() {
   std::vector<std::tuple<std::string, std::string>> out;
-  for (const auto& f : qsv::harness::all_rwlocks()) {
+  for (const auto* f : qsv::catalog::rwlocks()) {
     for (const char* shake : {"off", "rough"}) {
-      out.emplace_back(f.name, shake);
+      out.emplace_back(f->name, shake);
     }
   }
   return out;
