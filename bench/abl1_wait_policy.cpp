@@ -1,0 +1,60 @@
+// abl1_wait_policy — Ablation A1: identical QSV protocol, every runtime
+// wait policy. Claim ("superseded by futex" band, made precise):
+// dedicated processors -> pure spin wins; oversubscribed -> parking wins
+// by a wide margin because spinners steal the holder's quantum; adaptive
+// tracks the winner on both by calibrating its spin budget to the
+// observed wake latency.
+//
+// This is the scenario behind `qsvbench --wait=...`: the sweep axis is
+// qsv::wait_policy, plumbed through the ONE runtime-polymorphic
+// qsv::mutex — the same binary measures all four modes, where the old
+// ablation compiled one lock type per strategy.
+#include <algorithm>
+#include <vector>
+
+#include "benchreg/kernels.hpp"
+#include "benchreg/registry.hpp"
+#include "qsv/mutex.hpp"
+#include "qsv/wait.hpp"
+
+namespace {
+
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const double seconds = params.seconds(0.12);
+  const std::size_t cpus = qsv::platform::available_cpus();
+  const std::vector<std::size_t> teams{
+      std::max<std::size_t>(2, cpus / 2), cpus, 2 * cpus};
+
+  for (const qsv::wait_policy policy : params.wait_policies_or_all()) {
+    if (!params.algo_match(qsv::wait_policy_name(policy))) continue;
+    for (const std::size_t t : teams) {
+      qsv::mutex lock(policy);
+      // External watchdog: in the oversubscribed spin case the team
+      // itself may crawl, so no member is trusted to watch the clock.
+      const auto r = qsv::benchreg::run_lock_loop(lock, t, seconds,
+                                                  /*external_watchdog=*/true);
+      if (!r.ok) {
+        report.fail("integrity failure in wait-policy ablation");
+        return report;
+      }
+      report.add()
+          .set("policy", qsv::wait_policy_name(policy))
+          .set("threads", t)
+          .set("oversubscribed", t > cpus ? "yes" : "no")
+          .set("mops", qsv::benchreg::Value(r.throughput_mops(), 2));
+    }
+  }
+  return report;
+}
+
+qsv::benchreg::Registrar reg{{
+    .name = "wait_policy",
+    .id = "abl1",
+    .kind = qsv::benchreg::Kind::kAblation,
+    .title = "QSV wait-policy sweep (runtime waiting layer)",
+    .claim = "spin wins dedicated; park wins oversubscribed; adaptive both",
+    .run = run,
+}};
+
+}  // namespace

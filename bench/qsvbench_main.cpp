@@ -20,6 +20,7 @@
 #include "benchreg/emit.hpp"
 #include "benchreg/registry.hpp"
 #include "catalog/catalog.hpp"
+#include "qsv/wait.hpp"
 
 namespace {
 
@@ -30,7 +31,7 @@ void print_usage(std::FILE* to) {
       "  --list            show the scenario catalogue and exit\n"
       "  --list-names      show scenario names only, one per line\n"
       "  --catalog         show the primitive catalogue (name, family,\n"
-      "                    capabilities, bytes) and exit\n"
+      "                    capabilities, wait modes, bytes) and exit\n"
       "  --catalog-names   show primitive names only, one per line\n"
       "  --filter PAT      comma-separated list; each entry matches a\n"
       "                    scenario id (fig8), exact name, or name\n"
@@ -40,6 +41,10 @@ void print_usage(std::FILE* to) {
       "  --budget-ms MS    time budget per measurement (default: scenario)\n"
       "  --algo SUB        only run registry algorithms whose name\n"
       "                    contains SUB (scenarios that sweep a registry)\n"
+      "  --wait POLICY     add a wait policy to the --wait sweep axis\n"
+      "                    (spin|yield|park|adaptive; repeatable). Used\n"
+      "                    by policy-sweeping scenarios (abl1); default:\n"
+      "                    all four\n"
       "  --out FILE        write the run as qsvbench/v1 JSON\n"
       "  --md FILE         write the markdown report to FILE\n"
       "  --json            print JSON to stdout instead of markdown\n"
@@ -161,6 +166,14 @@ int main(int argc, char** argv) {
     if (params.budget_ms <= 0.0) die_usage("--budget-ms must be > 0");
   }
   cli.take_value("algo", params.algo_filter);
+  while (cli.take_value("wait", value)) {
+    qsv::wait_policy p;
+    if (!qsv::wait_policy_from_string(value, p)) {
+      die_usage("bad --wait policy '" + value +
+                "' (want spin|spin_yield|park|adaptive)");
+    }
+    params.wait_policies.push_back(p);
+  }
 
   if (!cli.leftovers().empty()) {
     die_usage("unknown argument '" + cli.leftovers().front() + "'");
@@ -181,9 +194,15 @@ int main(int argc, char** argv) {
       tag(qsv::catalog::kShared, "shared");
       tag(qsv::catalog::kTimed, "timed");
       tag(qsv::catalog::kEpisode, "episode");
-      std::printf("%-24s %-8s %-28s %zu\n", e.name.c_str(),
+      tag(qsv::catalog::kEventCount, "eventcount");
+      // Wait modes collapse to one tag: entries are either fully
+      // runtime-configurable or hardwired.
+      std::string waits = e.has(qsv::catalog::kWaitModeMask)
+                              ? "spin|yield|park|adaptive"
+                              : "-";
+      std::printf("%-24s %-10s %-24s %-24s %zu\n", e.name.c_str(),
                   qsv::catalog::family_name(e.family), caps.c_str(),
-                  e.footprint);
+                  waits.c_str(), e.footprint);
     }
     return 0;
   }

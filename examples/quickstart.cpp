@@ -5,7 +5,9 @@
 // One include, the facade names, and the std wrappers you already
 // know: the four faces of the QSV mechanism (mutex, reader-writer,
 // timeout, episode barrier) plus the semaphore sugar, each on a tiny
-// but real multi-threaded task.
+// but real multi-threaded task — and the runtime waiting layer that
+// picks how blocked threads wait (spin / yield / park / adaptive) per
+// process or per instance, with no template in sight.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -123,6 +125,26 @@ int main() {
     std::printf("5. qsv::counting_semaphore: 6 threads, 2 permits, observed "
                 "peak concurrency = %d\n",
                 peak.load());
+  }
+
+  // 6. The waiting layer: how blocked threads wait is runtime state —
+  //    per process (also via the QSV_WAIT env var) and per instance.
+  //    Same protocol, same types; only the terminal wait changes.
+  {
+    qsv::set_default_wait_policy(qsv::wait_policy::adaptive);
+    qsv::mutex tuned;                            // adaptive (the default now)
+    qsv::mutex parked(qsv::wait_policy::park);   // pinned per instance
+    long counter = 0;  // guarded by both locks in turn
+    qsv::harness::ThreadTeam::run(4, [&](std::size_t) {
+      for (int i = 0; i < 20000; ++i) {
+        std::scoped_lock guard(tuned, parked);
+        ++counter;
+      }
+    });
+    qsv::set_default_wait_policy(qsv::wait_policy::spin);  // restore
+    std::printf("6. qsv::wait_policy:  adaptive + park locks agreed on %ld "
+                "(expected 80000)\n",
+                counter);
   }
 
   std::printf("\nAll quickstart invariants held.\n");

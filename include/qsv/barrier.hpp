@@ -10,16 +10,21 @@
 #include "core/qsv_barrier.hpp"
 #include "platform/wait.hpp"
 #include "qsv/concepts.hpp"
+#include "qsv/wait.hpp"
 
 namespace qsv {
 
-/// The QSV episode barrier (spin waiters).
-using barrier = core::QsvBarrier<platform::SpinWait>;
+/// The QSV episode barrier — one runtime-polymorphic type; construct
+/// with (team) or (team, wait_policy). Default: the process policy.
+using barrier = core::QsvBarrier<platform::RuntimeWait>;
 
-/// As qsv::barrier, but waiters park in the kernel.
-using parking_barrier = core::QsvBarrier<platform::ParkWait>;
+/// A qsv::barrier pinned to wait_policy::park at construction.
+struct parking_barrier : barrier {
+  explicit parking_barrier(std::size_t n) : barrier(n, wait_policy::park) {}
+};
 
 static_assert(api::episode_barrier<barrier>);
 static_assert(api::episode_barrier<parking_barrier>);
+static_assert(std::is_base_of_v<barrier, parking_barrier>);
 
 }  // namespace qsv

@@ -6,6 +6,13 @@
 // std::scoped_lock (multi-lock deadlock avoidance included) and
 // std::condition_variable_any all work — the static_asserts below are
 // the contract.
+//
+// qsv::mutex is ONE runtime-polymorphic type: how its waiters wait is
+// a qsv::wait_policy chosen at construction (defaulting to the
+// process-wide policy, see <qsv/wait.hpp>), not a template parameter.
+// The historical per-policy names remain as thin pinned-policy types
+// that ARE a qsv::mutex (public base), so a qsv::mutex& can refer to
+// any of them.
 #pragma once
 
 #include <mutex>
@@ -15,18 +22,31 @@
 #include "core/qsv_timeout.hpp"
 #include "platform/wait.hpp"
 #include "qsv/concepts.hpp"
+#include "qsv/wait.hpp"
 
 namespace qsv {
 
 /// The QSV exclusive lock: one word of state, FIFO handoff, waiters
-/// spin on their own cache line.
-using mutex = core::QsvMutex<platform::SpinWait>;
+/// spin/yield/park per the instance's wait_policy.
+using mutex = core::QsvMutex<platform::RuntimeWait>;
 
-/// As qsv::mutex, but waiters donate their quantum after a short spin.
-using yielding_mutex = core::QsvMutex<platform::SpinYieldWait>;
+/// A qsv::mutex pinned to wait_policy::spin_yield at construction:
+/// waiters donate their quantum after a short spin.
+struct yielding_mutex : mutex {
+  yielding_mutex() : mutex(wait_policy::spin_yield) {}
+};
 
-/// As qsv::mutex, but waiters park in the kernel (futex-era QSV).
-using parking_mutex = core::QsvMutex<platform::ParkWait>;
+/// A qsv::mutex pinned to wait_policy::park at construction: waiters
+/// park in the kernel (futex-era QSV).
+struct parking_mutex : mutex {
+  parking_mutex() : mutex(wait_policy::park) {}
+};
+
+/// A qsv::mutex pinned to wait_policy::adaptive at construction: the
+/// spin budget calibrates itself to the observed wake latency.
+struct adaptive_mutex : mutex {
+  adaptive_mutex() : mutex(wait_policy::adaptive) {}
+};
 
 /// Exclusive entry with bounded impatience: try_lock_for/try_lock_until
 /// withdraw from the queue when the deadline passes.
@@ -40,7 +60,13 @@ using condition_variable = core::QsvCondVar;
 static_assert(api::lockable<mutex>);
 static_assert(api::lockable<yielding_mutex>);
 static_assert(api::lockable<parking_mutex>);
+static_assert(api::lockable<adaptive_mutex>);
 static_assert(api::timed_lockable<timed_mutex>);
+
+// The pinned names are the one runtime type underneath.
+static_assert(std::is_base_of_v<mutex, yielding_mutex>);
+static_assert(std::is_base_of_v<mutex, parking_mutex>);
+static_assert(std::is_base_of_v<mutex, adaptive_mutex>);
 
 // Drop-in under the std RAII wrappers.
 static_assert(std::is_constructible_v<std::lock_guard<mutex>, mutex&>);

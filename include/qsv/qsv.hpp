@@ -8,6 +8,9 @@
 //   qsv::barrier bar(team);             // arrive_and_wait / arrive_and_drop
 //   qsv::counting_semaphore sem(n);     // FIFO permits
 //
+//   qsv::set_default_wait_policy(qsv::wait_policy::adaptive);  // process
+//   qsv::mutex parked(qsv::wait_policy::park);                 // instance
+//
 // Behind the stable names sits the reconstructed QSV mechanism (one
 // machine word per variable, per-thread queue nodes, local spinning —
 // see DESIGN.md). Algorithm sweeps and by-name lookup live in the
@@ -20,5 +23,6 @@
 #include "qsv/mutex.hpp"         // IWYU pragma: export
 #include "qsv/semaphore.hpp"     // IWYU pragma: export
 #include "qsv/shared_mutex.hpp"  // IWYU pragma: export
+#include "qsv/wait.hpp"          // IWYU pragma: export
 
 #include "catalog/catalog.hpp"   // IWYU pragma: export

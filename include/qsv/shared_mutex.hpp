@@ -12,16 +12,21 @@
 
 #include "core/qsv_rwlock.hpp"
 #include "core/qsv_rwlock_central.hpp"
+#include "platform/wait.hpp"
 #include "qsv/concepts.hpp"
+#include "qsv/wait.hpp"
 
 namespace qsv {
 
 /// The QSV shared lock (striped reader indicators; the headline).
-using shared_mutex = core::QsvRwLock<>;
+/// One runtime-polymorphic type: construct with a qsv::wait_policy to
+/// pin how parked readers wait (default: the process-wide policy).
+using shared_mutex = core::QsvRwLock<platform::RuntimeWait>;
 
 /// The centralized-counter reconstruction, kept selectable as the
-/// before/after ablation baseline (experiment F8/A2).
-using central_shared_mutex = core::QsvRwLockCentral<>;
+/// before/after ablation baseline (experiment F8/A2). Takes the same
+/// construction-time wait_policy.
+using central_shared_mutex = core::QsvRwLockCentral<platform::RuntimeWait>;
 
 static_assert(api::shared_mutex_like<shared_mutex>);
 static_assert(api::shared_mutex_like<central_shared_mutex>);

@@ -1,0 +1,92 @@
+// qsv/wait.hpp — the runtime waiting-policy API.
+//
+// How a blocked thread waits is the only part of the QSV mechanism that
+// aged (DESIGN.md: "superseded by modern futex/atomics" means exactly
+// the terminal wait). It used to be a compile-time template parameter,
+// so every primitive existed three times and a deployed binary could
+// never be retuned. This header replaces that with one runtime knob:
+//
+//   qsv::set_default_wait_policy(qsv::wait_policy::adaptive);  // process
+//   qsv::mutex mu(qsv::wait_policy::park);                     // instance
+//   QSV_WAIT=spin_yield ./app                                  // deploy
+//
+// Every facade primitive takes a wait_policy at construction and
+// defaults to the process-wide policy, which is seeded once from the
+// QSV_WAIT environment variable ("spin" | "spin_yield"/"yield" |
+// "park" | "adaptive", with an optional ":<polls>" spin-budget suffix,
+// e.g. QSV_WAIT=spin_yield:4096). Unknown values are rejected: the
+// seed keeps the built-in default and warns on stderr.
+//
+// The policies:
+//   spin        pure busy-wait — the 1991 behaviour, best on dedicated
+//               processors; pathological once threads outnumber them.
+//   spin_yield  spin a bounded budget of polls, then donate the
+//               quantum. The safe choice on time-shared machines.
+//   park        spin briefly, then sleep in the kernel (futex via
+//               C++20 atomic wait). What the mechanism became.
+//   adaptive    calibrates its spin budget from an EWMA of observed
+//               wake latency and parks beyond it — wins on both
+//               dedicated and oversubscribed machines (experiment A1).
+//
+// The process default is wait_policy::spin so the reconstruction keeps
+// its 1991 semantics out of the box; production deployments set
+// QSV_WAIT=adaptive (or call set_default_wait_policy) at startup.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace qsv {
+
+/// How a primitive's blocked threads wait for their grant.
+enum class wait_policy : std::uint8_t {
+  spin = 0,
+  spin_yield = 1,
+  park = 2,
+  adaptive = 3,
+};
+
+/// Number of distinct policies (for sweeps and tables).
+inline constexpr std::size_t kWaitPolicyCount = 4;
+
+/// Every policy, in enum order — the sweep axis qsvbench --wait walks.
+inline constexpr wait_policy kAllWaitPolicies[kWaitPolicyCount] = {
+    wait_policy::spin, wait_policy::spin_yield, wait_policy::park,
+    wait_policy::adaptive};
+
+/// Stable display name ("spin", "spin_yield", "park", "adaptive").
+const char* wait_policy_name(wait_policy p) noexcept;
+
+/// Parse a policy name; accepts the display names plus the "yield"
+/// alias for spin_yield. Returns false (and leaves `out` untouched)
+/// on anything else — unknown values never map to a policy silently.
+bool wait_policy_from_string(std::string_view text, wait_policy& out) noexcept;
+
+/// The process-wide default policy, used by every primitive whose
+/// constructor was not given an explicit policy. First call seeds it
+/// from the QSV_WAIT environment variable.
+wait_policy get_default_wait_policy() noexcept;
+void set_default_wait_policy(wait_policy p) noexcept;
+
+/// The process-wide default spin budget: how many polls a spin_yield
+/// or park waiter spins before yielding/parking, and the seed for
+/// adaptive calibration. Default: 1024 polls (~a few microseconds —
+/// roughly the cost of the park/unpark round trip it is amortizing).
+/// Tunable per instance via RuntimeWait::set_spin_budget.
+std::uint32_t get_default_spin_budget() noexcept;
+void set_default_spin_budget(std::uint32_t polls) noexcept;
+
+namespace detail {
+/// Parse one QSV_WAIT-style value ("policy" or "policy:polls") into
+/// (p, budget); a plain policy name leaves `budget` at its incoming
+/// value. Returns false — writing nothing — on malformed input.
+bool parse_wait_env(std::string_view value, wait_policy& p,
+                    std::uint32_t& budget) noexcept;
+/// Apply one QSV_WAIT-style value to the process defaults. Returns
+/// false — changing nothing — on malformed input. Exposed for the
+/// env-parsing unit tests; production code never calls it
+/// (get_default_wait_policy seeds itself).
+bool apply_wait_env(std::string_view value) noexcept;
+}  // namespace detail
+
+}  // namespace qsv

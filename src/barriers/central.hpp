@@ -18,10 +18,11 @@
 
 namespace qsv::barriers {
 
-template <typename Wait = qsv::platform::SpinWait>
+template <typename Wait = qsv::platform::RuntimeWait>
 class CentralBarrier {
  public:
-  explicit CentralBarrier(std::size_t n) : n_(n) {}
+  explicit CentralBarrier(std::size_t n, Wait waiter = Wait{})
+      : waiter_(waiter), n_(n) {}
   CentralBarrier(const CentralBarrier&) = delete;
   CentralBarrier& operator=(const CentralBarrier&) = delete;
 
@@ -34,9 +35,9 @@ class CentralBarrier {
     if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
       arrived_.store(0, std::memory_order_relaxed);
       episode_.store(epoch + 1, std::memory_order_release);
-      Wait::notify_all(episode_);
+      waiter_.notify_all(episode_);
     } else {
-      Wait::wait_while_equal(episode_, epoch);
+      waiter_.wait_while_equal(episode_, epoch);
     }
   }
 
@@ -44,6 +45,8 @@ class CentralBarrier {
   static constexpr const char* name() noexcept { return "central"; }
 
  private:
+  /// How this instance's waiting arrivals wait (and are woken).
+  [[no_unique_address]] Wait waiter_;
   const std::size_t n_;
   alignas(qsv::platform::kFalseSharingRange)
       std::atomic<std::uint32_t> arrived_{0};

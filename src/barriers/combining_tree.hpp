@@ -19,10 +19,12 @@
 
 namespace qsv::barriers {
 
-template <typename Wait = qsv::platform::SpinWait, std::size_t kFanIn = 4>
+template <typename Wait = qsv::platform::RuntimeWait,
+          std::size_t kFanIn = 4>
 class CombiningTreeBarrier {
  public:
-  explicit CombiningTreeBarrier(std::size_t n) : n_(n) {
+  explicit CombiningTreeBarrier(std::size_t n, Wait waiter = Wait{})
+      : waiter_(waiter), n_(n) {
     // Build levels bottom-up: level 0 has ceil(n/k) nodes over the
     // threads, each next level groups the winners of the previous one.
     std::size_t width = n;
@@ -86,12 +88,14 @@ class CombiningTreeBarrier {
       }
       // Released from above (or root): wake this node's group.
       nd.release_epoch.store(epoch + 1, std::memory_order_release);
-      Wait::notify_all(nd.release_epoch);
+      waiter_.notify_all(nd.release_epoch);
     } else {
-      Wait::wait_while_equal(nd.release_epoch, epoch);
+      waiter_.wait_while_equal(nd.release_epoch, epoch);
     }
   }
 
+  /// How this instance's waiting arrivals wait (and are woken).
+  [[no_unique_address]] Wait waiter_;
   const std::size_t n_;
   std::vector<Node> nodes_;
   std::vector<std::size_t> level_offset_;

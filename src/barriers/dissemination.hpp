@@ -20,11 +20,12 @@
 
 namespace qsv::barriers {
 
-template <typename Wait = qsv::platform::SpinWait>
+template <typename Wait = qsv::platform::RuntimeWait>
 class DisseminationBarrier {
  public:
-  explicit DisseminationBarrier(std::size_t n)
-      : n_(n),
+  explicit DisseminationBarrier(std::size_t n, Wait waiter = Wait{})
+      : waiter_(waiter),
+        n_(n),
         rounds_(qsv::platform::ceil_log2(n == 0 ? 1 : n)),
         flags_(n * std::max<std::size_t>(rounds_, 1)),
         episode_(n) {
@@ -47,12 +48,13 @@ class DisseminationBarrier {
       // publishes everything I have seen so far this episode.
       auto& out = flag(k, (rank + dist) % n_);
       out.fetch_add(1, std::memory_order_release);
-      Wait::notify_all(out);
-      // Wait until my inbound counter reaches my episode.
+      waiter_.notify_all(out);
+      // Wait until my inbound counter reaches my episode (a >= wait,
+      // so it goes through the predicate form).
       auto& in = flag(k, rank);
-      while (in.load(std::memory_order_acquire) < epoch) {
-        qsv::platform::cpu_relax();
-      }
+      waiter_.wait_until(in, [&] {
+        return in.load(std::memory_order_acquire) >= epoch;
+      });
     }
   }
 
@@ -66,6 +68,8 @@ class DisseminationBarrier {
     return flags_[round * n_ + rank];
   }
 
+  /// How this instance's waiting arrivals wait (and are woken).
+  [[no_unique_address]] Wait waiter_;
   const std::size_t n_;
   const std::size_t rounds_;
   qsv::platform::PaddedArray<std::atomic<std::uint32_t>> flags_;

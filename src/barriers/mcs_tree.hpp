@@ -19,12 +19,13 @@
 
 namespace qsv::barriers {
 
-template <typename Wait = qsv::platform::SpinWait>
+template <typename Wait = qsv::platform::RuntimeWait>
 class McsTreeBarrier {
  public:
   static constexpr std::size_t kArrivalFanIn = 4;
 
-  explicit McsTreeBarrier(std::size_t n) : n_(n), slots_(n) {
+  explicit McsTreeBarrier(std::size_t n, Wait waiter = Wait{})
+      : waiter_(waiter), n_(n), slots_(n) {
     for (std::size_t i = 0; i < n; ++i) {
       slots_[i].arrival.store(0, std::memory_order_relaxed);
       slots_[i].release.store(0, std::memory_order_relaxed);
@@ -45,15 +46,17 @@ class McsTreeBarrier {
       if (child >= n_) break;
       // acquire pairs with the child's release store of its arrival.
       auto& f = slots_[child].arrival;
-      while (f.load(std::memory_order_acquire) < epoch) {
-        qsv::platform::cpu_relax();
-      }
+      waiter_.wait_until(f, [&] {
+        return f.load(std::memory_order_acquire) >= epoch;
+      });
     }
     if (rank != 0) {
-      // Report my subtree's arrival to my parent's poll of my flag.
+      // Report my subtree's arrival to my parent's poll of my flag
+      // (with the wake a parked parent needs).
       me.arrival.store(epoch, std::memory_order_release);
+      waiter_.notify_all(me.arrival);
       // --- Wakeup phase: wait for my binary-tree parent's release. ---
-      Wait::wait_while_equal(me.release, epoch - 1);
+      waiter_.wait_while_equal(me.release, epoch - 1);
     }
     // Release my binary-tree children.
     for (std::size_t c = 1; c <= 2; ++c) {
@@ -61,7 +64,7 @@ class McsTreeBarrier {
       if (child >= n_) break;
       auto& f = slots_[child].release;
       f.store(epoch, std::memory_order_release);
-      Wait::notify_all(f);
+      waiter_.notify_all(f);
     }
   }
 
@@ -75,6 +78,8 @@ class McsTreeBarrier {
     std::uint32_t episode = 0;  // owner-private
   };
 
+  /// How this instance's waiting arrivals wait (and are woken).
+  [[no_unique_address]] Wait waiter_;
   const std::size_t n_;
   qsv::platform::PaddedArray<Slot> slots_;
 };

@@ -19,11 +19,12 @@
 
 namespace qsv::barriers {
 
-template <typename Wait = qsv::platform::SpinWait>
+template <typename Wait = qsv::platform::RuntimeWait>
 class TournamentBarrier {
  public:
-  explicit TournamentBarrier(std::size_t n)
-      : n_(n),
+  explicit TournamentBarrier(std::size_t n, Wait waiter = Wait{})
+      : waiter_(waiter),
+        n_(n),
         rounds_(qsv::platform::ceil_log2(n == 0 ? 1 : n)),
         arrive_flags_(n * std::max<std::size_t>(rounds_, 1)) {
     for (std::size_t i = 0; i < arrive_flags_.size(); ++i) {
@@ -44,24 +45,25 @@ class TournamentBarrier {
         // pre-barrier writes to the winner's acquire.
         auto& f = flag(k, rank);
         f.store(epoch + 1, std::memory_order_release);
+        waiter_.notify_all(f);  // my winner may be parked on this flag
         break;
       }
       const std::size_t partner = rank | bit;
       if (partner < n_) {
         // Winner of round k: wait for my loser's arrival.
         auto& f = flag(k, partner);
-        while (f.load(std::memory_order_acquire) != epoch + 1) {
-          qsv::platform::cpu_relax();
-        }
+        waiter_.wait_until(f, [&] {
+          return f.load(std::memory_order_acquire) == epoch + 1;
+        });
       }
       // No partner (team not a power of two): advance unopposed.
     }
     if (rank == 0) {
       // Champion: everyone has arrived; broadcast the new episode.
       episode_.store(epoch + 1, std::memory_order_release);
-      Wait::notify_all(episode_);
+      waiter_.notify_all(episode_);
     } else {
-      Wait::wait_while_equal(episode_, epoch);
+      waiter_.wait_while_equal(episode_, epoch);
     }
   }
 
@@ -75,6 +77,8 @@ class TournamentBarrier {
     return arrive_flags_[round * n_ + rank];
   }
 
+  /// How this instance's waiting arrivals wait (and are woken).
+  [[no_unique_address]] Wait waiter_;
   const std::size_t n_;
   const std::size_t rounds_;
   qsv::platform::PaddedArray<std::atomic<std::uint32_t>> arrive_flags_;

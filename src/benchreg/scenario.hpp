@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "qsv/wait.hpp"
+
 namespace qsv::benchreg {
 
 /// Which part of the paper's evaluation a scenario reconstructs.
@@ -38,6 +40,9 @@ struct Params {
   std::size_t reps = 3;       ///< repetitions for rep-based kernels
   double budget_ms = 0.0;     ///< per-measurement time budget (0 = default)
   std::string algo_filter;    ///< substring filter over registry algorithms
+  /// The --wait sweep axis: wait policies a policy-sweeping scenario
+  /// (A1) runs, in order. Empty = the scenario's default (all four).
+  std::vector<qsv::wait_policy> wait_policies;
 
   /// Measurement window in seconds: the budget if set, else the
   /// scenario's publication default.
@@ -61,6 +66,13 @@ struct Params {
   /// Does a registry algorithm pass the --algo substring filter?
   bool algo_match(const std::string& name) const {
     return algo_filter.empty() || name.find(algo_filter) != std::string::npos;
+  }
+
+  /// The wait policies to sweep: --wait selections, or all four.
+  std::vector<qsv::wait_policy> wait_policies_or_all() const {
+    if (!wait_policies.empty()) return wait_policies;
+    return {qsv::kAllWaitPolicies,
+            qsv::kAllWaitPolicies + qsv::kWaitPolicyCount};
   }
 };
 

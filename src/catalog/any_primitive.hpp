@@ -3,7 +3,8 @@
 //
 // AnyPrimitive replaces the three near-identical erasure hierarchies the
 // library used to carry (locks::AnyLock, barriers::AnyBarrier,
-// rwlocks::AnyRwLock). It exposes the union of the capability surfaces;
+// rwlocks::AnyRwLock). It exposes the union of the capability surfaces
+// (locking, shared, timed, episode, and eventcount faces);
 // calling a face the underlying primitive does not implement aborts
 // with a diagnostic rather than silently misbehaving — callers select
 // by capability bits first (catalog.hpp). The virtual-dispatch cost
@@ -53,6 +54,11 @@ class AnyPrimitive {
     detail::unsupported("arrive_and_wait");
   }
   virtual std::size_t team_size() const { detail::unsupported("team_size"); }
+
+  // Eventcount face.
+  virtual std::uint32_t advance() { detail::unsupported("advance"); }
+  virtual std::uint32_t await(std::uint32_t) { detail::unsupported("await"); }
+  virtual std::uint32_t read() const { detail::unsupported("read"); }
 
   /// The face bitset of the underlying primitive (Capability values).
   virtual std::uint32_t capabilities() const = 0;
@@ -108,6 +114,19 @@ class Erased final : public AnyPrimitive {
   std::size_t team_size() const override {
     if constexpr (HasEpisode<T>) return impl_.team_size();
     else return AnyPrimitive::team_size();
+  }
+
+  std::uint32_t advance() override {
+    if constexpr (HasEventCount<T>) return impl_.advance();
+    else return AnyPrimitive::advance();
+  }
+  std::uint32_t await(std::uint32_t target) override {
+    if constexpr (HasEventCount<T>) return impl_.await(target);
+    else return AnyPrimitive::await(target);
+  }
+  std::uint32_t read() const override {
+    if constexpr (HasEventCount<T>) return impl_.read();
+    else return AnyPrimitive::read();
   }
 
   std::uint32_t capabilities() const override { return caps_of<T>(); }

@@ -3,10 +3,16 @@
 //
 // Registration order is presentation order within each family (the
 // paper-style tables: strawmen, array queue locks, list queue locks,
-// modern baseline, then the reconstructed QSV contribution). Adding an
+// modern baselines, then the reconstructed QSV contribution). Adding an
 // algorithm is one QSV_CATALOG_REGISTER line here — or in any other
 // linked translation unit; capabilities and family are derived from
 // the type, so there is nothing else to keep in sync.
+//
+// Waiting is a runtime dimension, not an entry: the per-policy rows
+// the catalogue used to carry ("qsv/yield", "qsv/park",
+// "qsv-episode/park") are gone. Each primitive appears once, its caps
+// carry the wait-mode bits, and make_with(capacity, policy) selects
+// the mode — `qsvbench --wait=...` sweeps it.
 #include "catalog/catalog.hpp"
 
 #include "barriers/central.hpp"
@@ -16,6 +22,7 @@
 #include "barriers/tournament.hpp"
 #include "catalog/std_adapters.hpp"
 #include "core/syncvar.hpp"
+#include "eventcount/eventcount.hpp"
 #include "hier/hier_qsv.hpp"
 #include "locks/anderson.hpp"
 #include "locks/clh.hpp"
@@ -24,6 +31,7 @@
 #include "locks/tas.hpp"
 #include "locks/ticket.hpp"
 #include "locks/ttas.hpp"
+#include "parking/parking_lot.hpp"
 #include "platform/thread_id.hpp"
 #include "platform/wait.hpp"
 #include "rwlocks/central_rw.hpp"
@@ -40,15 +48,8 @@ void builtin_anchor() {}
 
 namespace {
 
-using qsv::platform::ParkWait;
-using qsv::platform::SpinWait;
-using qsv::platform::SpinYieldWait;
-
 // ------------------------------------------------------------- locks
 using TtasBackoff = qsv::locks::TtasLock<>;
-using QsvSpin = qsv::core::QsvMutex<SpinWait>;
-using QsvYield = qsv::core::QsvMutex<SpinYieldWait>;
-using QsvPark = qsv::core::QsvMutex<ParkWait>;
 using HierQsv = qsv::hier::HierQsvMutex<>;
 
 QSV_CATALOG_REGISTER(qsv::locks::TasLock, "tas");
@@ -56,7 +57,9 @@ QSV_CATALOG_REGISTER(qsv::locks::TtasNoBackoffLock, "ttas");
 QSV_CATALOG_REGISTER(TtasBackoff, "ttas+backoff");
 QSV_CATALOG_REGISTER(qsv::locks::TicketLock, "ticket");
 // ticket+prop's size_t parameter is a backoff slot (ns), hier-qsv's a
-// cohort width — not capacities; both take their tuned defaults.
+// cohort width — not capacities; both take their tuned defaults
+// (entry_default still plumbs the wait policy where a policy
+// constructor exists, as for hier-qsv).
 QSV_CATALOG_REGISTER_DEFAULT(qsv::locks::TicketLockProportional,
                              "ticket+prop");
 QSV_CATALOG_REGISTER(qsv::locks::AndersonLock<>, "anderson");
@@ -71,33 +74,33 @@ QSV_CATALOG_REGISTER(qsv::locks::AndersonLock<>, "anderson");
 static const qsv::catalog::Registrar qsv_cat_reg_gt{[] {
   auto e = qsv::catalog::entry<qsv::locks::GraunkeThakkarLock>(
       "graunke-thakkar");
-  e.make = [](std::size_t) {
+  e.make_with = [](std::size_t, qsv::wait_policy) {
     return qsv::catalog::wrap<qsv::locks::GraunkeThakkarLock>(
         qsv::platform::kMaxThreads);
+  };
+  e.make = [mw = e.make_with](std::size_t capacity) {
+    return mw(capacity, qsv::get_default_wait_policy());
   };
   return e;
 }()};
 QSV_CATALOG_REGISTER(qsv::locks::ClhLock<>, "clh");
 QSV_CATALOG_REGISTER(qsv::locks::McsLock<>, "mcs");
 QSV_CATALOG_REGISTER(qsv::catalog::StdMutexAdapter, "std::mutex");
-QSV_CATALOG_REGISTER(QsvSpin, "qsv");
-QSV_CATALOG_REGISTER(QsvYield, "qsv/yield");
-QSV_CATALOG_REGISTER(QsvPark, "qsv/park");
+// The classic 3-state futex mutex over the hand-built parking lot —
+// the "what the mechanism became" baseline, now a first-class row.
+QSV_CATALOG_REGISTER(qsv::parking::FutexMutex, "futex");
+QSV_CATALOG_REGISTER(qsv::core::QsvMutex<>, "qsv");
 QSV_CATALOG_REGISTER(qsv::core::QsvTimeoutMutex, "qsv-timeout");
 QSV_CATALOG_REGISTER_DEFAULT(HierQsv, "hier-qsv");
 
 // ---------------------------------------------------------- barriers
-using QsvEpisode = qsv::core::QsvBarrier<SpinWait>;
-using QsvEpisodePark = qsv::core::QsvBarrier<ParkWait>;
-
 QSV_CATALOG_REGISTER(qsv::barriers::CentralBarrier<>, "central");
 QSV_CATALOG_REGISTER(qsv::barriers::CombiningTreeBarrier<>, "combining-tree");
 QSV_CATALOG_REGISTER(qsv::barriers::TournamentBarrier<>, "tournament");
 QSV_CATALOG_REGISTER(qsv::barriers::DisseminationBarrier<>, "dissemination");
 QSV_CATALOG_REGISTER(qsv::barriers::McsTreeBarrier<>, "mcs-tree");
 QSV_CATALOG_REGISTER(qsv::catalog::StdBarrierAdapter, "std::barrier");
-QSV_CATALOG_REGISTER(QsvEpisode, "qsv-episode");
-QSV_CATALOG_REGISTER(QsvEpisodePark, "qsv-episode/park");
+QSV_CATALOG_REGISTER(qsv::core::QsvBarrier<>, "qsv-episode");
 
 // ----------------------------------------------------------- rwlocks
 QSV_CATALOG_REGISTER(qsv::rwlocks::ReaderPrefRwLock, "central-rw/reader-pref");
@@ -106,5 +109,11 @@ QSV_CATALOG_REGISTER(qsv::catalog::StdSharedMutexAdapter,
                      "std::shared_mutex");
 QSV_CATALOG_REGISTER(qsv::core::QsvRwLock<>, "qsv-rw");
 QSV_CATALOG_REGISTER(qsv::core::QsvRwLockCentral<>, "qsv-rw/central");
+
+// -------------------------------------------------------- eventcounts
+// Condition synchronization joins the catalogue: the centralized
+// (fig11's strawman) and queued (QSV node protocol) eventcounts.
+QSV_CATALOG_REGISTER(qsv::eventcount::EventCount<>, "eventcount");
+QSV_CATALOG_REGISTER(qsv::eventcount::QueuedEventCount<>, "queued-ec");
 
 }  // namespace

@@ -14,35 +14,67 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "qsv/wait.hpp"
+
 namespace qsv::catalog {
 
 /// One bit per face of a primitive. A catalogue entry's `caps` is the
-/// OR of every face its concrete type implements.
+/// OR of every face its concrete type implements, plus one wait-mode
+/// bit per qsv::wait_policy the entry's factory can construct — the
+/// per-policy entries the catalogue used to carry ("qsv/yield",
+/// "qsv/park", "qsv-episode/park") are now these bits on the one entry.
 enum Capability : std::uint32_t {
-  kExclusive = 1u << 0,  ///< lock() / unlock()
-  kTry       = 1u << 1,  ///< try_lock()
-  kShared    = 1u << 2,  ///< lock_shared() / unlock_shared()
-  kTimed     = 1u << 3,  ///< try_lock_for() (and try_lock_until())
-  kEpisode   = 1u << 4,  ///< arrive_and_wait() / team_size()
+  kExclusive  = 1u << 0,  ///< lock() / unlock()
+  kTry        = 1u << 1,  ///< try_lock()
+  kShared     = 1u << 2,  ///< lock_shared() / unlock_shared()
+  kTimed      = 1u << 3,  ///< try_lock_for() (and try_lock_until())
+  kEpisode    = 1u << 4,  ///< arrive_and_wait() / team_size()
+  kEventCount = 1u << 5,  ///< advance() / await() / read()
+
+  // Wait modes: which qsv::wait_policy values make(capacity, policy)
+  // honors. All four or none — runtime-configurable primitives accept
+  // the whole enum; hardwired spinners (tas, ticket, std adapters)
+  // ignore the policy argument and advertise no mode.
+  kWaitSpin     = 1u << 8,
+  kWaitYield    = 1u << 9,
+  kWaitPark     = 1u << 10,
+  kWaitAdaptive = 1u << 11,
 };
+
+/// All four wait-mode bits (the runtime-configurable signature).
+inline constexpr std::uint32_t kWaitModeMask =
+    kWaitSpin | kWaitYield | kWaitPark | kWaitAdaptive;
+
+/// The wait-mode bit for one policy value.
+constexpr Capability wait_mode_bit(qsv::wait_policy p) {
+  switch (p) {
+    case qsv::wait_policy::spin: return kWaitSpin;
+    case qsv::wait_policy::spin_yield: return kWaitYield;
+    case qsv::wait_policy::park: return kWaitPark;
+    case qsv::wait_policy::adaptive: return kWaitAdaptive;
+  }
+  return kWaitSpin;
+}
 
 /// Coarse family grouping, derived from the capability set: episode
 /// primitives are barriers, shared-capable locks are reader-writer
-/// locks, everything else is a plain lock. Benches and tests use the
-/// family views (catalog.hpp) exactly like the three old per-family
-/// registries.
-enum class Family : std::uint8_t { kLock, kRwLock, kBarrier };
+/// locks, eventcounts are condition synchronization, everything else
+/// is a plain lock. Benches and tests use the family views
+/// (catalog.hpp) exactly like the three old per-family registries.
+enum class Family : std::uint8_t { kLock, kRwLock, kBarrier, kEventCount };
 
 inline const char* family_name(Family f) {
   switch (f) {
     case Family::kLock: return "lock";
     case Family::kRwLock: return "rwlock";
     case Family::kBarrier: return "barrier";
+    case Family::kEventCount: return "eventcount";
   }
   return "?";
 }
 
 constexpr Family family_of(std::uint32_t caps) {
+  if (caps & kEventCount) return Family::kEventCount;
   if (caps & kEpisode) return Family::kBarrier;
   if (caps & kShared) return Family::kRwLock;
   return Family::kLock;
@@ -83,6 +115,21 @@ concept HasEpisode = requires(T t, std::size_t rank) {
   { t.team_size() } -> std::convertible_to<std::size_t>;
 };
 
+template <typename T>
+concept HasEventCount = requires(T t, std::uint32_t target) {
+  { t.advance() } -> std::convertible_to<std::uint32_t>;
+  { t.await(target) } -> std::convertible_to<std::uint32_t>;
+  { t.read() } -> std::convertible_to<std::uint32_t>;
+};
+
+/// Construction-time wait configurability: the type takes a
+/// qsv::wait_policy (alone, or after its capacity argument), so the
+/// factory can honor make(capacity, policy).
+template <typename T>
+concept WaitConfigurable =
+    std::is_constructible_v<T, qsv::wait_policy> ||
+    std::is_constructible_v<T, std::size_t, qsv::wait_policy>;
+
 /// The derived capability set of a concrete primitive type.
 template <typename T>
 constexpr std::uint32_t caps_of() {
@@ -92,6 +139,8 @@ constexpr std::uint32_t caps_of() {
   if constexpr (HasShared<T>) caps |= kShared;
   if constexpr (HasTimed<T>) caps |= kTimed;
   if constexpr (HasEpisode<T>) caps |= kEpisode;
+  if constexpr (HasEventCount<T>) caps |= kEventCount;
+  if constexpr (WaitConfigurable<T>) caps |= kWaitModeMask;
   return caps;
 }
 

@@ -17,6 +17,12 @@
 //     platform::kMaxThreads instead — ids are bounded by the process's
 //     concurrent-thread high-water mark, which a per-run count cannot
 //     express (see builtin.cpp).
+//   * `make_with(capacity, policy)` additionally selects the
+//     qsv::wait_policy for entries whose caps carry wait-mode bits
+//     (kWaitSpin..kWaitAdaptive); entries without the bits ignore the
+//     policy. `make(capacity)` is make_with at the process default.
+//     This replaces the per-policy entries the catalogue used to carry
+//     ("qsv/yield", "qsv/park", "qsv-episode/park").
 //   * Registration aborts on a duplicate name — a silent collision
 //     would make name lookup ambiguous.
 //
@@ -39,16 +45,25 @@
 
 namespace qsv::catalog {
 
-/// One catalogue row: identity + tagging + factory.
+/// One catalogue row: identity + tagging + factories.
 struct Entry {
   std::string name;        ///< stable display/lookup name, e.g. "qsv-rw"
   Family family = Family::kLock;
   std::uint32_t caps = 0;  ///< OR of Capability bits, derived from the type
   std::size_t footprint = 0;  ///< sizeof(concrete type)
+  /// Construct at the process-default qsv::wait_policy.
   std::function<std::unique_ptr<AnyPrimitive>(std::size_t capacity)> make;
+  /// Construct at an explicit policy (ignored without wait-mode bits).
+  std::function<std::unique_ptr<AnyPrimitive>(std::size_t capacity,
+                                              qsv::wait_policy policy)>
+      make_with;
 
   /// True when every capability in `mask` is present.
   bool has(std::uint32_t mask) const { return (caps & mask) == mask; }
+  /// True when make_with honors `p` (the wait-mode bit is set).
+  bool has_wait_mode(qsv::wait_policy p) const {
+    return has(wait_mode_bit(p));
+  }
 };
 
 namespace detail {
@@ -60,6 +75,40 @@ Entry tagged_entry(std::string name) {
   e.family = family_of(e.caps);
   e.footprint = sizeof(T);
   return e;
+}
+
+/// One construction rule for every factory: prefer the policy-aware
+/// constructor (with capacity if the type takes one), fall back to the
+/// policy-blind shapes. Preference order matters — the facade types
+/// are both default- and policy-constructible, and the catalogue must
+/// plumb the policy through.
+template <typename T>
+std::unique_ptr<AnyPrimitive> construct(std::size_t capacity,
+                                        qsv::wait_policy policy) {
+  if constexpr (std::is_constructible_v<T, std::size_t, qsv::wait_policy>) {
+    return std::make_unique<Erased<T>>(capacity, policy);
+  } else if constexpr (std::is_constructible_v<T, qsv::wait_policy>) {
+    (void)capacity;
+    return std::make_unique<Erased<T>>(policy);
+  } else if constexpr (std::is_default_constructible_v<T>) {
+    (void)capacity;
+    (void)policy;
+    return std::make_unique<Erased<T>>();
+  } else {
+    (void)policy;
+    return std::make_unique<Erased<T>>(capacity);
+  }
+}
+
+/// Attach both factories to an entry.
+template <typename T>
+void attach_factories(Entry& e) {
+  e.make_with = [](std::size_t capacity, qsv::wait_policy policy) {
+    return construct<T>(capacity, policy);
+  };
+  e.make = [](std::size_t capacity) {
+    return construct<T>(capacity, qsv::get_default_wait_policy());
+  };
 }
 }  // namespace detail
 
@@ -84,14 +133,7 @@ Entry entry(std::string name) {
                 "ambiguous construction: the size_t parameter may not mean "
                 "capacity — use entry_default<T>() or an explicit factory");
   Entry e = detail::tagged_entry<T>(std::move(name));
-  e.make = [](std::size_t capacity) -> std::unique_ptr<AnyPrimitive> {
-    if constexpr (by_default) {
-      (void)capacity;
-      return std::make_unique<Erased<T>>();
-    } else {
-      return std::make_unique<Erased<T>>(capacity);
-    }
-  };
+  detail::attach_factories<T>(e);
   return e;
 }
 
@@ -103,8 +145,19 @@ Entry entry_default(std::string name) {
   static_assert(std::is_default_constructible_v<T>,
                 "entry_default needs a default-constructible type");
   Entry e = detail::tagged_entry<T>(std::move(name));
-  e.make = [](std::size_t) -> std::unique_ptr<AnyPrimitive> {
-    return std::make_unique<Erased<T>>();
+  // Same preference rule, minus the capacity shapes: a policy-aware
+  // constructor (tuned non-capacity defaults + explicit policy, e.g.
+  // hier-qsv) still gets the policy plumbed through.
+  e.make_with = [](std::size_t, qsv::wait_policy policy) {
+    if constexpr (std::is_constructible_v<T, qsv::wait_policy>) {
+      return std::make_unique<Erased<T>>(policy);
+    } else {
+      (void)policy;
+      return std::make_unique<Erased<T>>();
+    }
+  };
+  e.make = [mw = e.make_with](std::size_t capacity) {
+    return mw(capacity, qsv::get_default_wait_policy());
   };
   return e;
 }
@@ -133,6 +186,9 @@ inline std::vector<const Entry*> locks() { return filter(Family::kLock); }
 inline std::vector<const Entry*> rwlocks() { return filter(Family::kRwLock); }
 inline std::vector<const Entry*> barriers() {
   return filter(Family::kBarrier);
+}
+inline std::vector<const Entry*> eventcounts() {
+  return filter(Family::kEventCount);
 }
 
 /// Static-initialization hook for registration translation units.

@@ -11,14 +11,21 @@
 #include <atomic>
 #include <cstdint>
 
-#include "platform/arch.hpp"
 #include "platform/cache.hpp"
+#include "platform/wait.hpp"
 
 namespace qsv::core {
 
 class QsvCondVar {
  public:
-  QsvCondVar() = default;
+  /// The waiting strategy is per-instance, fixed at construction.
+  /// Like QsvSemaphore — and unlike the locks and barriers — the
+  /// default is wait_policy::park rather than the process default:
+  /// condition waits are unbounded, so parking is the only default
+  /// that is never wrong, and it matches this class's historical
+  /// hardwired spin-then-futex behavior. Pass a policy to override.
+  explicit QsvCondVar(qsv::wait_policy policy = qsv::wait_policy::park)
+      : waiter_(policy) {}
   QsvCondVar(const QsvCondVar&) = delete;
   QsvCondVar& operator=(const QsvCondVar&) = delete;
 
@@ -30,13 +37,7 @@ class QsvCondVar {
     // necessarily increments past this value, so no wakeup is lost.
     const std::uint32_t e = epoch_.load(std::memory_order_relaxed);
     mutex.unlock();
-    for (std::uint32_t i = 0; i < kSpinPolls; ++i) {
-      if (epoch_.load(std::memory_order_acquire) != e) break;
-      qsv::platform::cpu_relax();
-    }
-    while (epoch_.load(std::memory_order_acquire) == e) {
-      epoch_.wait(e, std::memory_order_acquire);
-    }
+    waiter_.wait_while_equal(epoch_, e);
     mutex.lock();
   }
 
@@ -48,18 +49,19 @@ class QsvCondVar {
 
   void notify_one() noexcept {
     epoch_.fetch_add(1, std::memory_order_release);
-    epoch_.notify_one();
+    waiter_.notify_one(epoch_);
   }
 
   void notify_all() noexcept {
     epoch_.fetch_add(1, std::memory_order_release);
-    epoch_.notify_all();
+    waiter_.notify_all(epoch_);
   }
 
   static constexpr const char* name() noexcept { return "qsv-condvar"; }
 
  private:
-  static constexpr std::uint32_t kSpinPolls = 256;
+  /// How this instance's blocked waiters wait (and are woken).
+  qsv::platform::RuntimeWait waiter_;
 
   alignas(qsv::platform::kFalseSharingRange)
       std::atomic<std::uint32_t> epoch_{0};

@@ -22,10 +22,14 @@
 
 namespace qsv::core {
 
-template <typename Wait = qsv::platform::SpinWait>
+template <typename Wait = qsv::platform::RuntimeWait>
 class QsvBarrier {
  public:
-  explicit QsvBarrier(std::size_t n) : n_(static_cast<std::uint32_t>(n)) {}
+  /// `n` = team size. The waiting strategy is per-instance, fixed at
+  /// construction; RuntimeWait instances default to the process-wide
+  /// qsv::wait_policy.
+  explicit QsvBarrier(std::size_t n, Wait waiter = Wait{})
+      : waiter_(waiter), n_(static_cast<std::uint32_t>(n)) {}
   QsvBarrier(const QsvBarrier&) = delete;
   QsvBarrier& operator=(const QsvBarrier&) = delete;
 
@@ -47,7 +51,7 @@ class QsvBarrier {
     if (c + 1 == team) {
       complete_episode(n);
     } else {
-      Wait::wait_while_equal(n->state, kWaiting);
+      waiter_.wait_while_equal(n->state, kWaiting);
       Arena::instance().release(n);
     }
   }
@@ -112,12 +116,14 @@ class QsvBarrier {
         Arena::instance().release(chain);
       } else {
         chain->state.store(kGranted, std::memory_order_release);
-        Wait::notify_all(chain->state);
+        waiter_.notify_all(chain->state);
       }
       chain = p;
     }
   }
 
+  /// How this instance's waiting arrivals wait (and are woken).
+  [[no_unique_address]] Wait waiter_;
   /// Current team size; shrinks at episode boundaries as members drop.
   std::atomic<std::uint32_t> n_;
   /// The synchronization variable: tail of the episode's arrival queue.

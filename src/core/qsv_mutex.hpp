@@ -22,11 +22,15 @@
 
 namespace qsv::core {
 
-template <typename Wait = qsv::platform::SpinWait,
+template <typename Wait = qsv::platform::RuntimeWait,
           typename Events = NullEvents>
 class QsvMutex {
  public:
-  QsvMutex() = default;
+  /// The waiting strategy is per-instance state, fixed at construction:
+  /// default-constructing a RuntimeWait-based mutex picks up the
+  /// process-wide qsv::wait_policy, and qsv::mutex(wait_policy::park)
+  /// pins this instance regardless of the process default.
+  explicit QsvMutex(Wait waiter = Wait{}) : waiter_(waiter) {}
   QsvMutex(const QsvMutex&) = delete;
   QsvMutex& operator=(const QsvMutex&) = delete;
 
@@ -44,7 +48,7 @@ class QsvMutex {
       // Make ourselves visible to the predecessor's release; its acquire
       // load of `next` pairs with this release store.
       pred->next.store(n, std::memory_order_release);
-      Wait::wait_while_equal(n->state, kWaiting);
+      waiter_.wait_while_equal(n->state, kWaiting);
     }
     Held::local().insert(this, n);
   }
@@ -89,7 +93,7 @@ class QsvMutex {
     Events::count_handoff();
     // Grant: single store to the line the successor is spinning on.
     next->state.store(kGranted, std::memory_order_release);
-    Wait::notify_all(next->state);
+    waiter_.notify_all(next->state);
     Arena::instance().release(n);
   }
 
@@ -110,6 +114,9 @@ class QsvMutex {
   };
   using Arena = qsv::platform::NodeArena<Node>;
   using Held = qsv::platform::HeldMap<Node>;
+
+  /// How this instance's blocked threads wait (and are woken).
+  [[no_unique_address]] Wait waiter_;
 
   /// The synchronization variable itself: queue tail, null when free.
   alignas(qsv::platform::kFalseSharingRange)

@@ -61,10 +61,14 @@
 
 namespace qsv::core {
 
-template <typename Wait = qsv::platform::SpinWait, std::size_t kStripes = 16>
+template <typename Wait = qsv::platform::RuntimeWait,
+          std::size_t kStripes = 16>
 class QsvRwLock {
  public:
-  QsvRwLock() = default;
+  /// The waiting strategy (for parked readers) is per-instance state,
+  /// fixed at construction; RuntimeWait instances default to the
+  /// process-wide qsv::wait_policy.
+  explicit QsvRwLock(Wait waiter = Wait{}) : waiter_(waiter) {}
   QsvRwLock(const QsvRwLock&) = delete;
   QsvRwLock& operator=(const QsvRwLock&) = delete;
 
@@ -196,7 +200,7 @@ class QsvRwLock {
                                                std::memory_order_relaxed)) {
         // Park policies sleep on kWaiting; wake the owner so it advances
         // to waiting on kClaimed (no-op for spin policies).
-        Wait::notify_all(chain->state);
+        waiter_.notify_all(chain->state);
         chain->next.store(claimed, std::memory_order_relaxed);
         claimed = chain;
         ++batch;
@@ -214,7 +218,7 @@ class QsvRwLock {
     while (claimed != nullptr) {
       Node* next = claimed->next.load(std::memory_order_relaxed);
       claimed->state.store(kGranted, std::memory_order_release);
-      Wait::notify_all(claimed->state);
+      waiter_.notify_all(claimed->state);
       claimed = next;
     }
     // 6. Pass the writer baton. Only the holder writes writer_grant_.
@@ -255,7 +259,7 @@ class QsvRwLock {
       // written only by the granting writer.
       std::uint32_t s = n->state.load(std::memory_order_acquire);
       while (s != kGranted) {
-        Wait::wait_while_equal(n->state, s);
+        waiter_.wait_while_equal(n->state, s);
         s = n->state.load(std::memory_order_acquire);
       }
       Arena::instance().release(n);
@@ -280,6 +284,11 @@ class QsvRwLock {
     }
   }
   static constexpr std::uint32_t kSpinPollsBeforeYield = 4096;
+
+  /// How this instance's parked readers wait (and are woken). Writer
+  /// phase-boundary waits stay on spin_until: the stripe drain watches
+  /// a distributed sum no single futex word can stand for.
+  [[no_unique_address]] Wait waiter_;
 
   /// Distributed reader indicator: entry/exit touch one stripe.
   qsv::platform::StripedCounter<kStripes> readers_;

@@ -21,10 +21,16 @@
 
 namespace qsv::core {
 
-template <typename Wait = qsv::platform::SpinWait>
+template <typename Wait = qsv::platform::RuntimeWait>
 class QsvRwLockCentral {
  public:
-  QsvRwLockCentral() = default;
+  /// The waiting strategy is per-instance, fixed at construction. Note
+  /// the centralized design's waits are *predicate* waits on shared
+  /// admission words (masked bits, counters), so they go through the
+  /// policy's wait_until: readers can park on reader_in_, writers on
+  /// their baton word; the reader-drain wait on reader_out_ stays
+  /// spin/yield (readers count out without a wake).
+  explicit QsvRwLockCentral(Wait waiter = Wait{}) : waiter_(waiter) {}
   QsvRwLockCentral(const QsvRwLockCentral&) = delete;
   QsvRwLockCentral& operator=(const QsvRwLockCentral&) = delete;
 
@@ -37,10 +43,10 @@ class QsvRwLockCentral {
       // A writer is present: wait for *that* writer phase to end. The
       // phase id bit flips every writer, so we pass after exactly one
       // writer even under a continuous write stream (no starvation).
-      while ((reader_in_.load(std::memory_order_acquire) & kWriterBits) ==
-             w) {
-        qsv::platform::cpu_relax();
-      }
+      waiter_.wait_until(reader_in_, [&] {
+        return (reader_in_.load(std::memory_order_acquire) & kWriterBits) !=
+               w;
+      });
     }
   }
 
@@ -72,19 +78,22 @@ class QsvRwLockCentral {
     // FIFO among writers via ticket/grant words.
     const std::uint32_t ticket =
         writer_ticket_.fetch_add(1, std::memory_order_relaxed);
-    while (writer_grant_.load(std::memory_order_acquire) != ticket) {
-      qsv::platform::cpu_relax();
-    }
+    waiter_.wait_until(writer_grant_, [&] {
+      return writer_grant_.load(std::memory_order_acquire) == ticket;
+    });
     // Announce the writer phase to readers: set presence + phase-id bits.
     // Readers that incremented reader_in_ before this RMW are "ahead of
     // us"; the prior value tells us how many to wait out.
     const std::uint32_t bits = kWriterPresent | (ticket & kPhaseId);
     const std::uint32_t in_before =
         reader_in_.fetch_add(bits, std::memory_order_acquire) & ~kWriterBits;
-    // Wait until every such reader has counted itself out.
-    while (reader_out_.load(std::memory_order_acquire) != in_before) {
-      qsv::platform::cpu_relax();
-    }
+    // Wait until every such reader has counted itself out. Readers
+    // count out with a plain RMW (no wake), so this drain never parks:
+    // spin the budget, then yield.
+    qsv::platform::SpinYieldWait{kDrainSpinPolls}.wait_until(
+        reader_out_, [&] {
+          return reader_out_.load(std::memory_order_acquire) == in_before;
+        });
   }
 
   /// Non-blocking exclusive entry: take the baton only if it is free
@@ -106,7 +115,9 @@ class QsvRwLockCentral {
     // Readers still inside: clear the phase bits (readers that captured
     // them batch in, exactly as after unlock()) and pass the baton.
     reader_in_.fetch_and(~kWriterBits, std::memory_order_release);
+    waiter_.notify_all(reader_in_);
     writer_grant_.store(g + 1, std::memory_order_release);
+    waiter_.notify_all(writer_grant_);
     return false;
   }
 
@@ -115,10 +126,12 @@ class QsvRwLockCentral {
     // (who captured the old bits) see the change and batch in. release
     // publishes the write section to them.
     reader_in_.fetch_and(~kWriterBits, std::memory_order_release);
+    waiter_.notify_all(reader_in_);
     // Pass the writer baton. Only the holder writes writer_grant_.
     writer_grant_.store(
         writer_grant_.load(std::memory_order_relaxed) + 1,
         std::memory_order_release);
+    waiter_.notify_all(writer_grant_);
   }
 
   static constexpr const char* name() noexcept { return "qsv-rw/central"; }
@@ -132,6 +145,11 @@ class QsvRwLockCentral {
   static constexpr std::uint32_t kWriterBits = 0x3;
   static constexpr std::uint32_t kWriterPresent = 0x2;
   static constexpr std::uint32_t kPhaseId = 0x1;
+  /// Polls before the reader-drain wait starts yielding.
+  static constexpr std::uint32_t kDrainSpinPolls = 4096;
+
+  /// How this instance's blocked threads wait (and are woken).
+  [[no_unique_address]] Wait waiter_;
 
   alignas(qsv::platform::kFalseSharingRange)
       std::atomic<std::uint32_t> reader_in_{0};

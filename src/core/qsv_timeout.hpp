@@ -16,17 +16,26 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <thread>
 
 #include "platform/arch.hpp"
 #include "platform/cache.hpp"
 #include "platform/node_arena.hpp"
 #include "platform/timing.hpp"
+#include "platform/wait.hpp"
 
 namespace qsv::core {
 
 class QsvTimeoutMutex {
  public:
-  QsvTimeoutMutex() {
+  /// The waiting strategy is per-instance, fixed at construction, and
+  /// governs the *unbounded* wait (lock()). Bounded waits must keep
+  /// reading the clock, so they never park: beyond the spin budget
+  /// they interleave yields with the deadline checks instead (for
+  /// every policy but pure spin).
+  explicit QsvTimeoutMutex(
+      qsv::wait_policy policy = qsv::get_default_wait_policy())
+      : waiter_(policy) {
     Node* sentinel = Arena::instance().acquire();
     sentinel->state.store(kReleased, std::memory_order_relaxed);
     var_.store(sentinel, std::memory_order_relaxed);
@@ -94,6 +103,11 @@ class QsvTimeoutMutex {
     map.erase(e);
     // Successor (spinning on our node) sees the release and reclaims it.
     mine->state.store(kReleased, std::memory_order_release);
+    // A parked successor needs the wake. It may already have observed
+    // the store, taken the variable, and recycled the node — benign:
+    // arena nodes are never unmapped, and every wait re-checks its
+    // predicate on spurious wakes.
+    waiter_.notify_all(mine->state);
   }
 
   static constexpr const char* name() noexcept { return "qsv-timeout"; }
@@ -121,8 +135,11 @@ class QsvTimeoutMutex {
     // Enqueue: acq_rel publishes our node and imports the predecessor's.
     Node* pred = var_.exchange(n, std::memory_order_acq_rel);
 
-    // Spin on the predecessor chain, skipping abandoned nodes.
-    std::uint32_t polls = 0;
+    // Wait on the predecessor chain, skipping abandoned nodes.
+    const bool yield_late =
+        waiter_.policy() != qsv::wait_policy::spin;
+    const std::uint32_t budget = waiter_.spin_budget();
+    std::uint32_t polls = 0, spent = 0;
     for (;;) {
       const std::uint32_t s = pred->state.load(std::memory_order_acquire);
       if (s == kReleased) {
@@ -139,8 +156,13 @@ class QsvTimeoutMutex {
         pred = pp;
         continue;
       }
-      if (deadline_ns != kNoDeadline &&
-          (deadline_ns == kImmediate || ++polls >= kPollsPerClock)) {
+      if (deadline_ns == kNoDeadline) {
+        // Unbounded: the full policy applies (a parked waiter is woken
+        // by the releaser's or abandoner's notify on the pred node).
+        waiter_.wait_while_equal(pred->state, kWaiting);
+        continue;
+      }
+      if (deadline_ns == kImmediate || ++polls >= kPollsPerClock) {
         polls = 0;
         if (deadline_ns == kImmediate ||
             qsv::platform::now_ns() >= deadline_ns) {
@@ -149,15 +171,26 @@ class QsvTimeoutMutex {
           // visible before the abandoned state (release store).
           n->pred.store(pred, std::memory_order_relaxed);
           n->state.store(kAbandoned, std::memory_order_release);
+          // Wake a parked successor so it can splice past our corpse.
+          waiter_.notify_all(n->state);
           return false;
         }
       }
-      qsv::platform::cpu_relax();
+      // Bounded waits stay clock-driven; past the spin budget every
+      // non-spin policy donates the quantum between checks.
+      if (yield_late && ++spent >= budget) {
+        std::this_thread::yield();
+      } else {
+        qsv::platform::cpu_relax();
+      }
     }
   }
 
   /// Clock reads are ~20ns; amortize them over this many polls.
   static constexpr std::uint32_t kPollsPerClock = 64;
+
+  /// How this instance's blocked threads wait (and are woken).
+  qsv::platform::RuntimeWait waiter_;
 
   alignas(qsv::platform::kFalseSharingRange) std::atomic<Node*> var_;
 };

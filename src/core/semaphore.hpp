@@ -11,28 +11,36 @@
 
 #include "platform/arch.hpp"
 #include "platform/cache.hpp"
+#include "platform/wait.hpp"
 
 namespace qsv::core {
 
 class QsvSemaphore {
  public:
-  /// `initial` = number of immediately available permits.
-  explicit QsvSemaphore(std::int64_t initial) : grants_(initial) {}
+  /// `initial` = number of immediately available permits. The waiting
+  /// strategy is per-instance, fixed at construction. Unlike the lock
+  /// and barrier primitives, the default here is wait_policy::park —
+  /// NOT the process default: semaphore waits are unbounded condition
+  /// waits (a permit may be minutes away), where burning a processor
+  /// is never right. This is also this class's historical behavior
+  /// (it hardwired spin-then-futex before the runtime layer). Pass a
+  /// policy to override.
+  explicit QsvSemaphore(std::int64_t initial,
+                        qsv::wait_policy policy = qsv::wait_policy::park)
+      : waiter_(policy), grants_(initial) {}
   QsvSemaphore(const QsvSemaphore&) = delete;
   QsvSemaphore& operator=(const QsvSemaphore&) = delete;
 
   void acquire() {
     const std::int64_t ticket =
         tickets_.fetch_add(1, std::memory_order_relaxed);
-    // Spin briefly, then park on the grant horizon via the futex path.
-    for (std::uint32_t i = 0; i < kSpinPolls; ++i) {
-      if (grants_.load(std::memory_order_acquire) > ticket) return;
-      qsv::platform::cpu_relax();
-    }
+    // Wait for the grant horizon to pass our ticket. The horizon only
+    // moves forward, so "changed from the snapshot" is exactly one
+    // step of progress — the policy's terminal wait applies verbatim.
     for (;;) {
       const std::int64_t g = grants_.load(std::memory_order_acquire);
       if (g > ticket) return;
-      grants_.wait(g, std::memory_order_acquire);
+      waiter_.wait_while_equal(grants_, g);
     }
   }
 
@@ -51,7 +59,7 @@ class QsvSemaphore {
 
   void release(std::int64_t count = 1) {
     grants_.fetch_add(count, std::memory_order_release);
-    grants_.notify_all();
+    waiter_.notify_all(grants_);
   }
 
   /// Permits currently available (negative = threads waiting).
@@ -63,7 +71,8 @@ class QsvSemaphore {
   static constexpr const char* name() noexcept { return "qsv-semaphore"; }
 
  private:
-  static constexpr std::uint32_t kSpinPolls = 512;
+  /// How this instance's blocked acquirers wait (and are woken).
+  qsv::platform::RuntimeWait waiter_;
 
   alignas(qsv::platform::kFalseSharingRange)
       std::atomic<std::int64_t> tickets_{0};

@@ -16,10 +16,13 @@
 //                                  the accumulated queue, granting all),
 //   plus two convenience layers (QsvSemaphore, QsvCondVar).
 //
-// Waiting is factored out behind platform::WaitPolicy, which is the
-// precise sense in which the mechanism was "superseded by modern
-// futex/atomics": instantiate with SpinWait for 1991 semantics, ParkWait
-// for a futex-era lock, with no change to the protocol (experiment A1).
+// Waiting is factored out behind the runtime waiting layer
+// (qsv::wait_policy / platform::RuntimeWait), which is the precise
+// sense in which the mechanism was "superseded by modern
+// futex/atomics": construct with wait_policy::spin for 1991 semantics,
+// wait_policy::park for a futex-era lock, wait_policy::adaptive for a
+// self-calibrating one — no change to the protocol, no template
+// parameter, retunable per process via QSV_WAIT (experiment A1).
 //
 // This umbrella header exports the whole public core API.
 #pragma once

@@ -33,10 +33,10 @@
 namespace qsv::eventcount {
 
 /// Centralized eventcount: one word, waiters poll through `Wait`.
-template <typename Wait = qsv::platform::SpinWait>
+template <typename Wait = qsv::platform::RuntimeWait>
 class EventCount {
  public:
-  EventCount() = default;
+  explicit EventCount(Wait waiter = Wait{}) : waiter_(waiter) {}
   EventCount(const EventCount&) = delete;
   EventCount& operator=(const EventCount&) = delete;
 
@@ -51,7 +51,7 @@ class EventCount {
   std::uint32_t advance() noexcept {
     const std::uint32_t now =
         count_.fetch_add(1, std::memory_order_acq_rel) + 1;
-    Wait::notify_all(count_);
+    waiter_.notify_all(count_);
     return now;
   }
 
@@ -62,26 +62,27 @@ class EventCount {
       const std::uint32_t now = count_.load(std::memory_order_acquire);
       if (now >= target) return now;
       // Sleep until the word changes from the snapshot, then re-check:
-      // works uniformly for spin, yield, and park policies.
-      Wait::wait_while_equal(count_, now);
+      // works uniformly for spin, yield, park, and adaptive policies.
+      waiter_.wait_while_equal(count_, now);
     }
   }
 
   static constexpr const char* name() noexcept { return "eventcount"; }
 
  private:
-  // Mutable notify: ParkWait's notify_all takes the atomic by non-const
-  // reference; the count is the only state.
+  // Mutable members: await() is const but parks through the waiter and
+  // notifies take the atomic by non-const reference.
+  mutable Wait waiter_;
   alignas(qsv::platform::kFalseSharingRange) mutable
       std::atomic<std::uint32_t> count_{0};
 };
 
 /// Queue-based eventcount: waiters spin on their own node (the QSV
 /// protocol applied to condition synchronization).
-template <typename Wait = qsv::platform::SpinWait>
+template <typename Wait = qsv::platform::RuntimeWait>
 class QueuedEventCount {
  public:
-  QueuedEventCount() = default;
+  explicit QueuedEventCount(Wait waiter = Wait{}) : waiter_(waiter) {}
   QueuedEventCount(const QueuedEventCount&) = delete;
   QueuedEventCount& operator=(const QueuedEventCount&) = delete;
 
@@ -126,7 +127,7 @@ class QueuedEventCount {
       }
       // CAS lost to a concurrent grant — fall through as granted.
     } else {
-      Wait::wait_while_equal(n->state, kWaiting);
+      waiter_.wait_while_equal(n->state, kWaiting);
     }
     const std::uint32_t seen = count_.load(std::memory_order_acquire);
     // Ownership rule: a granted node belongs to the *waiter* (the grantor
@@ -183,7 +184,7 @@ class QueuedEventCount {
           // (A notify on a node the waiter has already recycled is
           // benign: arena nodes are never unmapped and every wait loop
           // re-checks its predicate on spurious wakes.)
-          Wait::notify_all(list->state);
+          waiter_.notify_all(list->state);
         } else {
           // Waiter withdrew concurrently (kAbandoned): ours to recycle.
           Arena::instance().release(list);
@@ -205,6 +206,8 @@ class QueuedEventCount {
     walk_lock_.store(0, std::memory_order_release);
   }
 
+  /// How this instance's blocked awaiters wait (and are woken).
+  [[no_unique_address]] Wait waiter_;
   alignas(qsv::platform::kFalseSharingRange)
       std::atomic<std::uint32_t> count_{0};
   alignas(qsv::platform::kFalseSharingRange)

@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <concepts>
 #include <cstdint>
 
 #include "hier/cohort_map.hpp"
@@ -69,8 +70,9 @@ struct CountingHierEvents {
 };
 
 /// Hierarchical QSV mutex. `Wait` is the waiting strategy for both the
-/// local and global spin (platform/wait.hpp).
-template <typename Wait = qsv::platform::SpinWait,
+/// local and global wait — per-instance state, fixed at construction
+/// (platform/wait.hpp; RuntimeWait by default).
+template <typename Wait = qsv::platform::RuntimeWait,
           typename Events = NullHierEvents>
 class HierQsvMutex {
  public:
@@ -78,10 +80,16 @@ class HierQsvMutex {
   /// this size (hier/cohort_map.hpp). `budget`: maximum consecutive
   /// intra-cohort handoffs before the global lock must be released.
   explicit HierQsvMutex(std::size_t threads_per_cohort = 4,
-                        std::size_t budget = 16)
-      : map_(threads_per_cohort),
+                        std::size_t budget = 16, Wait waiter = Wait{})
+      : waiter_(waiter),
+        map_(threads_per_cohort),
         budget_(budget),
         cohorts_(map_.cohort_count(qsv::platform::kMaxThreads)) {}
+
+  /// Tuned cohort/budget defaults, explicit waiting policy.
+  explicit HierQsvMutex(qsv::wait_policy policy)
+    requires std::constructible_from<Wait, qsv::wait_policy>
+      : HierQsvMutex(4, 16, Wait(policy)) {}
   HierQsvMutex(const HierQsvMutex&) = delete;
   HierQsvMutex& operator=(const HierQsvMutex&) = delete;
 
@@ -97,7 +105,7 @@ class HierQsvMutex {
     bool have_global = false;
     if (pred != nullptr) {
       pred->next.store(n, std::memory_order_release);
-      Wait::wait_while_equal(n->state, kWaiting);
+      waiter_.wait_while_equal(n->state, kWaiting);
       have_global =
           n->state.load(std::memory_order_acquire) == kGlobalPassed;
     }
@@ -147,7 +155,7 @@ class HierQsvMutex {
       qsv::platform::cpu_relax();
     }
     next->state.store(kMustAcquireGlobal, std::memory_order_release);
-    Wait::notify_all(next->state);
+    waiter_.notify_all(next->state);
     Arena::instance().release(n);
     return false;
   }
@@ -177,13 +185,13 @@ class HierQsvMutex {
       ++coh.passes;
       Events::count_local_pass();
       next->state.store(kGlobalPassed, std::memory_order_release);
-      Wait::notify_all(next->state);
+      waiter_.notify_all(next->state);
     } else {
       // Budget spent: let other cohorts in, then wake the successor with
       // the obligation to queue globally on the cohort's behalf.
       release_global(coh);
       next->state.store(kMustAcquireGlobal, std::memory_order_release);
-      Wait::notify_all(next->state);
+      waiter_.notify_all(next->state);
     }
     Arena::instance().release(n);
   }
@@ -238,7 +246,7 @@ class HierQsvMutex {
     Node* pred = global_tail_.exchange(g, std::memory_order_acq_rel);
     if (pred != nullptr) {
       pred->next.store(g, std::memory_order_release);
-      Wait::wait_while_equal(g->state, kWaiting);
+      waiter_.wait_while_equal(g->state, kWaiting);
     }
     Events::count_global_acquire();
     coh.global_node = g;
@@ -267,10 +275,12 @@ class HierQsvMutex {
     }
     Events::count_global_release();
     next->state.store(kGlobalPassed, std::memory_order_release);
-    Wait::notify_all(next->state);
+    waiter_.notify_all(next->state);
     Arena::instance().release(g);
   }
 
+  /// How this instance's blocked threads wait (and are woken).
+  [[no_unique_address]] Wait waiter_;
   BlockCohortMap map_;
   std::size_t budget_;
   /// Global word: tail of the queue *of cohort representatives*.

@@ -17,13 +17,14 @@
 
 namespace qsv::locks {
 
-template <typename Wait = qsv::platform::SpinWait>
+template <typename Wait = qsv::platform::RuntimeWait>
 class AndersonLock {
  public:
   /// `capacity` must be >= the maximum number of threads that may contend
   /// simultaneously; rounded up to a power of two for cheap modulo.
-  explicit AndersonLock(std::size_t capacity)
-      : mask_(qsv::platform::next_pow2(capacity) - 1),
+  explicit AndersonLock(std::size_t capacity, Wait waiter = Wait{})
+      : waiter_(waiter),
+        mask_(qsv::platform::next_pow2(capacity) - 1),
         slots_(mask_ + 1) {
     // Slot 0 starts "granted": the first arrival proceeds immediately.
     slots_[0].store(kGranted, std::memory_order_relaxed);
@@ -38,7 +39,7 @@ class AndersonLock {
     const std::uint32_t pos =
         next_slot_.fetch_add(1, std::memory_order_relaxed);
     const std::size_t slot = pos & mask_;
-    Wait::wait_while_equal(slots_[slot], kWait);
+    waiter_.wait_while_equal(slots_[slot], kWait);
     // Only the holder reads/writes holder_slot_, inside the CS.
     holder_slot_ = slot;
   }
@@ -50,7 +51,7 @@ class AndersonLock {
     // ...then grant the successor slot. Release publishes the CS.
     auto& next = slots_[(slot + 1) & mask_];
     next.store(kGranted, std::memory_order_release);
-    Wait::notify_all(next);
+    waiter_.notify_all(next);
   }
 
   static constexpr const char* name() noexcept { return "anderson"; }
@@ -63,6 +64,8 @@ class AndersonLock {
   static constexpr std::uint32_t kWait = 0;
   static constexpr std::uint32_t kGranted = 1;
 
+  /// How this instance's waiters wait (and are woken).
+  [[no_unique_address]] Wait waiter_;
   alignas(qsv::platform::kFalseSharingRange)
       std::atomic<std::uint32_t> next_slot_{0};
   std::size_t mask_;

@@ -17,10 +17,10 @@
 
 namespace qsv::locks {
 
-template <typename Wait = qsv::platform::SpinWait>
+template <typename Wait = qsv::platform::RuntimeWait>
 class ClhLock {
  public:
-  ClhLock() {
+  explicit ClhLock(Wait waiter = Wait{}) : waiter_(waiter) {
     // The queue needs a sentinel "already released" node for the first
     // arrival to observe.
     Node* sentinel = Arena::instance().acquire();
@@ -42,7 +42,7 @@ class ClhLock {
     // acq_rel: release publishes my node's init; acquire receives the
     // predecessor's node contents.
     Node* pred = tail_.exchange(n, std::memory_order_acq_rel);
-    Wait::wait_while_equal(pred->released, 0u);
+    waiter_.wait_while_equal(pred->released, 0u);
     auto& e = Held::local().insert(this, n);
     e.aux = pred;  // adopt on unlock
   }
@@ -54,7 +54,7 @@ class ClhLock {
     Held::local().erase(e);
     // Single store the successor is spinning on; release publishes CS.
     mine->released.store(1, std::memory_order_release);
-    Wait::notify_all(mine->released);
+    waiter_.notify_all(mine->released);
     Arena::instance().release(adopted);
   }
 
@@ -70,6 +70,8 @@ class ClhLock {
   using Arena = detail::NodeArena<Node>;
   using Held = detail::HeldMap<Node>;
 
+  /// How this instance's waiters wait (and are woken).
+  [[no_unique_address]] Wait waiter_;
   alignas(qsv::platform::kFalseSharingRange) std::atomic<Node*> tail_;
 };
 

@@ -16,10 +16,10 @@
 
 namespace qsv::locks {
 
-template <typename Wait = qsv::platform::SpinWait>
+template <typename Wait = qsv::platform::RuntimeWait>
 class McsLock {
  public:
-  McsLock() = default;
+  explicit McsLock(Wait waiter = Wait{}) : waiter_(waiter) {}
   McsLock(const McsLock&) = delete;
   McsLock& operator=(const McsLock&) = delete;
 
@@ -33,7 +33,7 @@ class McsLock {
       // Link myself; predecessor's unlock will grant me. release pairs
       // with the unlock's acquire load of next.
       pred->next.store(n, std::memory_order_release);
-      Wait::wait_while_equal(n->granted, 0u);
+      waiter_.wait_while_equal(n->granted, 0u);
     }
     Held::local().insert(this, n);
   }
@@ -74,7 +74,7 @@ class McsLock {
       }
     }
     next->granted.store(1, std::memory_order_release);
-    Wait::notify_all(next->granted);
+    waiter_.notify_all(next->granted);
     Arena::instance().release(n);
   }
 
@@ -91,6 +91,8 @@ class McsLock {
   using Arena = detail::NodeArena<Node>;
   using Held = detail::HeldMap<Node>;
 
+  /// How this instance's waiters wait (and are woken).
+  [[no_unique_address]] Wait waiter_;
   alignas(qsv::platform::kFalseSharingRange)
       std::atomic<Node*> tail_{nullptr};
 };

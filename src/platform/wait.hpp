@@ -3,12 +3,19 @@
 // The original 1991 mechanism spins in user space because that is all the
 // hardware offered. The calibration band notes the mechanism was
 // "superseded by modern futex/atomics"; this header makes that statement
-// precise. Every queue-based primitive in libqsv spins through a
-// WaitPolicy, so the identical protocol can wait by
+// precise. Every queue-based primitive in libqsv waits through a
+// WaitPolicy *instance* it carries, so the identical protocol can wait by
 //   * pure spinning            (1991 behaviour, dedicated processors),
 //   * spin-then-yield          (time-shared machines),
-//   * spin-then-park           (modern futex via std::atomic::wait).
-// Experiment A1 ablates the three.
+//   * spin-then-park           (modern futex via std::atomic::wait),
+//   * runtime/adaptive choice  (platform/waiter.hpp, the default).
+//
+// The structs here are the compile-time-pinned strategies: zero-state
+// (SpinWait) or one tunable word of state (the spin budget — formerly
+// the hardwired kSpinPolls = 1024). They remain for pinned
+// instantiations and the A1/A4 ablations; the facade and the catalogue
+// construct RuntimeWait (re-exported below), which dispatches on
+// qsv::wait_policy at runtime.
 #pragma once
 
 #include <atomic>
@@ -20,42 +27,56 @@
 
 namespace qsv::platform {
 
-/// A WaitPolicy blocks the calling thread while `flag == expected` and is
-/// woken by a releaser that stores a new value and calls `notify`.
-/// `notify` may be a no-op for spin policies (stores are observed by
-/// polling); park policies must issue the wake.
+/// A WaitPolicy instance blocks the calling thread while
+/// `flag == expected` and is woken by a releaser that stores a new value
+/// and calls `notify` on the same instance. `notify` may be a no-op for
+/// spin policies (stores are observed by polling); park policies must
+/// issue the wake. Policies are carried *by value* inside each
+/// primitive, so stateful policies (tunable budgets, adaptive
+/// calibration) and stateless ones plug into the same slot.
 template <typename P>
-concept WaitPolicy = requires(const std::atomic<std::uint32_t>& flag,
+concept WaitPolicy = requires(P& p, const std::atomic<std::uint32_t>& flag,
                               std::atomic<std::uint32_t>& mut_flag,
                               std::uint32_t expected) {
-  { P::wait_while_equal(flag, expected) } -> std::same_as<void>;
-  { P::notify_one(mut_flag) } -> std::same_as<void>;
-  { P::notify_all(mut_flag) } -> std::same_as<void>;
-  { P::name() } -> std::convertible_to<const char*>;
+  { p.wait_while_equal(flag, expected) } -> std::same_as<void>;
+  { p.notify_one(mut_flag) } -> std::same_as<void>;
+  { p.notify_all(mut_flag) } -> std::same_as<void>;
+  { p.name() } -> std::convertible_to<const char*>;
 };
 
 /// Pure busy-wait. Each poll is an acquire load so the protected data
 /// written before the releasing store is visible on wake.
 struct SpinWait {
-  static void wait_while_equal(const std::atomic<std::uint32_t>& flag,
-                               std::uint32_t expected) noexcept {
+  template <typename T>
+  static void wait_while_equal(const std::atomic<T>& flag,
+                               T expected) noexcept {
     while (flag.load(std::memory_order_acquire) == expected) cpu_relax();
   }
-  static void notify_one(std::atomic<std::uint32_t>&) noexcept {}
-  static void notify_all(std::atomic<std::uint32_t>&) noexcept {}
+  /// Predicate form for waits that are not a single equality.
+  template <typename T, typename Pred>
+  static void wait_until(const std::atomic<T>&, Pred done) noexcept {
+    while (!done()) cpu_relax();
+  }
+  template <typename T>
+  static void notify_one(std::atomic<T>&) noexcept {}
+  template <typename T>
+  static void notify_all(std::atomic<T>&) noexcept {}
   static constexpr const char* name() noexcept { return "spin"; }
 };
 
 /// Spin a bounded number of polls, then fall back to yielding the
 /// processor. Appropriate when threads may outnumber processors: a waiter
 /// stuck behind a descheduled lock holder donates its quantum instead of
-/// burning it.
+/// burning it. The budget is per-instance state (construct with the
+/// polls you want); kDefaultSpinPolls documents the default.
 struct SpinYieldWait {
-  static constexpr std::uint32_t kSpinPolls = 1024;
+  static constexpr std::uint32_t kDefaultSpinPolls = 1024;
 
-  static void wait_while_equal(const std::atomic<std::uint32_t>& flag,
-                               std::uint32_t expected) noexcept {
-    for (std::uint32_t i = 0; i < kSpinPolls; ++i) {
+  std::uint32_t spin_polls = kDefaultSpinPolls;
+
+  template <typename T>
+  void wait_while_equal(const std::atomic<T>& flag, T expected) const noexcept {
+    for (std::uint32_t i = 0; i < spin_polls; ++i) {
       if (flag.load(std::memory_order_acquire) != expected) return;
       cpu_relax();
     }
@@ -63,8 +84,19 @@ struct SpinYieldWait {
       std::this_thread::yield();
     }
   }
-  static void notify_one(std::atomic<std::uint32_t>&) noexcept {}
-  static void notify_all(std::atomic<std::uint32_t>&) noexcept {}
+  /// Predicate form for waits that are not a single equality.
+  template <typename T, typename Pred>
+  void wait_until(const std::atomic<T>&, Pred done) const noexcept {
+    for (std::uint32_t i = 0; i < spin_polls; ++i) {
+      if (done()) return;
+      cpu_relax();
+    }
+    while (!done()) std::this_thread::yield();
+  }
+  template <typename T>
+  static void notify_one(std::atomic<T>&) noexcept {}
+  template <typename T>
+  static void notify_all(std::atomic<T>&) noexcept {}
   static constexpr const char* name() noexcept { return "yield"; }
 };
 
@@ -72,11 +104,13 @@ struct SpinYieldWait {
 /// This is "what the 1991 mechanism became": the queue protocol is
 /// unchanged, only the terminal wait migrates into the kernel.
 struct ParkWait {
-  static constexpr std::uint32_t kSpinPolls = 256;
+  static constexpr std::uint32_t kDefaultSpinPolls = 256;
 
-  static void wait_while_equal(const std::atomic<std::uint32_t>& flag,
-                               std::uint32_t expected) noexcept {
-    for (std::uint32_t i = 0; i < kSpinPolls; ++i) {
+  std::uint32_t spin_polls = kDefaultSpinPolls;
+
+  template <typename T>
+  void wait_while_equal(const std::atomic<T>& flag, T expected) const noexcept {
+    for (std::uint32_t i = 0; i < spin_polls; ++i) {
       if (flag.load(std::memory_order_acquire) != expected) return;
       cpu_relax();
     }
@@ -86,10 +120,26 @@ struct ParkWait {
       flag.wait(expected, std::memory_order_acquire);
     }
   }
-  static void notify_one(std::atomic<std::uint32_t>& flag) noexcept {
+  /// Predicate form: sleep on `word` between checks; whoever can make
+  /// `done()` true must change `word` and notify through this policy.
+  template <typename T, typename Pred>
+  void wait_until(const std::atomic<T>& word, Pred done) const noexcept {
+    for (std::uint32_t i = 0; i < spin_polls; ++i) {
+      if (done()) return;
+      cpu_relax();
+    }
+    for (;;) {
+      const T v = word.load(std::memory_order_acquire);
+      if (done()) return;
+      word.wait(v, std::memory_order_acquire);
+    }
+  }
+  template <typename T>
+  static void notify_one(std::atomic<T>& flag) noexcept {
     flag.notify_one();
   }
-  static void notify_all(std::atomic<std::uint32_t>& flag) noexcept {
+  template <typename T>
+  static void notify_all(std::atomic<T>& flag) noexcept {
     flag.notify_all();
   }
   static constexpr const char* name() noexcept { return "park"; }
@@ -99,4 +149,15 @@ static_assert(WaitPolicy<SpinWait>);
 static_assert(WaitPolicy<SpinYieldWait>);
 static_assert(WaitPolicy<ParkWait>);
 
+}  // namespace qsv::platform
+
+// The runtime dispatcher (RuntimeWait, AdaptiveWait) lives in
+// platform/waiter.hpp and is the default Wait of every primitive;
+// re-export it so `#include "platform/wait.hpp"` keeps meaning "the
+// waiting layer".
+#include "platform/waiter.hpp"  // IWYU pragma: export
+
+namespace qsv::platform {
+static_assert(WaitPolicy<AdaptiveWait>);
+static_assert(WaitPolicy<RuntimeWait>);
 }  // namespace qsv::platform

@@ -1,0 +1,139 @@
+// waiter.cpp — process-wide waiting defaults (qsv/wait.hpp) and their
+// QSV_WAIT environment seeding.
+#include "qsv/wait.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace qsv {
+namespace {
+
+struct Defaults {
+  std::atomic<std::uint8_t> policy{
+      static_cast<std::uint8_t>(wait_policy::spin)};
+  std::atomic<std::uint32_t> spin_budget{1024};
+};
+
+/// The one mutable process state. Seeded from QSV_WAIT exactly once, on
+/// first touch — before any get OR set, so a set_default_wait_policy()
+/// call in main() is never clobbered by a later lazy env read.
+Defaults& defaults() {
+  static Defaults d;
+  // Seed from the environment exactly once, before the first get or
+  // set returns — so a set_default_wait_policy() call in main() is
+  // never clobbered by a later lazy env read. apply_wait_env cannot be
+  // reused here (it reads back through defaults(), which would
+  // recurse), so parse into locals and store directly.
+  static const bool seeded = [] {
+    if (const char* env = std::getenv("QSV_WAIT")) {
+      wait_policy p = wait_policy::spin;
+      std::uint32_t budget = 1024;
+      if (detail::parse_wait_env(env, p, budget)) {
+        d.policy.store(static_cast<std::uint8_t>(p),
+                       std::memory_order_relaxed);
+        d.spin_budget.store(budget, std::memory_order_relaxed);
+      } else {
+        std::fprintf(stderr,
+                     "qsv: ignoring unrecognized QSV_WAIT value '%s' "
+                     "(want spin|spin_yield|park|adaptive[:polls])\n",
+                     env);
+      }
+    }
+    return true;
+  }();
+  (void)seeded;
+  return d;
+}
+
+}  // namespace
+
+namespace detail {
+
+/// Parse "policy" or "policy:polls" into (p, budget). On a plain
+/// policy name the budget is left at its incoming value.
+bool parse_wait_env(std::string_view value, wait_policy& p,
+                    std::uint32_t& budget) noexcept {
+  std::string_view name = value;
+  std::string_view polls;
+  if (const auto colon = value.find(':'); colon != std::string_view::npos) {
+    name = value.substr(0, colon);
+    polls = value.substr(colon + 1);
+    if (polls.empty()) return false;
+  }
+  wait_policy parsed;
+  if (!wait_policy_from_string(name, parsed)) return false;
+  std::uint32_t parsed_budget = budget;
+  if (!polls.empty()) {
+    std::uint64_t v = 0;
+    for (const char c : polls) {
+      if (c < '0' || c > '9') return false;
+      v = v * 10 + static_cast<std::uint64_t>(c - '0');
+      if (v > 0xFFFFFFFFull) return false;
+    }
+    if (v == 0) return false;  // a zero budget would mean "never spin,
+                               // never yield" for spin_yield — reject
+    parsed_budget = static_cast<std::uint32_t>(v);
+  }
+  p = parsed;
+  budget = parsed_budget;
+  return true;
+}
+
+bool apply_wait_env(std::string_view value) noexcept {
+  wait_policy p = get_default_wait_policy();
+  std::uint32_t budget = get_default_spin_budget();
+  if (!parse_wait_env(value, p, budget)) return false;
+  set_default_wait_policy(p);
+  set_default_spin_budget(budget);
+  return true;
+}
+
+}  // namespace detail
+
+const char* wait_policy_name(wait_policy p) noexcept {
+  switch (p) {
+    case wait_policy::spin: return "spin";
+    case wait_policy::spin_yield: return "spin_yield";
+    case wait_policy::park: return "park";
+    case wait_policy::adaptive: return "adaptive";
+  }
+  return "?";
+}
+
+bool wait_policy_from_string(std::string_view text,
+                             wait_policy& out) noexcept {
+  if (text == "spin") {
+    out = wait_policy::spin;
+  } else if (text == "spin_yield" || text == "yield") {
+    out = wait_policy::spin_yield;
+  } else if (text == "park") {
+    out = wait_policy::park;
+  } else if (text == "adaptive") {
+    out = wait_policy::adaptive;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+wait_policy get_default_wait_policy() noexcept {
+  return static_cast<wait_policy>(
+      defaults().policy.load(std::memory_order_relaxed));
+}
+
+void set_default_wait_policy(wait_policy p) noexcept {
+  defaults().policy.store(static_cast<std::uint8_t>(p),
+                          std::memory_order_relaxed);
+}
+
+std::uint32_t get_default_spin_budget() noexcept {
+  return defaults().spin_budget.load(std::memory_order_relaxed);
+}
+
+void set_default_spin_budget(std::uint32_t polls) noexcept {
+  defaults().spin_budget.store(polls == 0 ? 1 : polls,
+                               std::memory_order_relaxed);
+}
+
+}  // namespace qsv

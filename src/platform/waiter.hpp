@@ -1,0 +1,283 @@
+// waiter.hpp — the runtime waiting layer: AdaptiveWait and the
+// RuntimeWait dispatcher behind qsv::wait_policy (include/qsv/wait.hpp).
+//
+// Every primitive used to be a template over a compile-time WaitPolicy
+// (platform/wait.hpp), so the library shipped each lock three times and
+// the choice was frozen into the binary. RuntimeWait makes the decision
+// per *instance*, at construction: it carries the policy enum and
+// dispatches on it with the spin fast-path inlined, so a spin-policy
+// poll loop pays exactly one predictable branch on entry to the wait —
+// not one per poll — and the non-spin paths live out of line.
+//
+// The static policies in platform/wait.hpp remain as the pinned,
+// zero-state strategies (the ablation controls and the building blocks
+// this dispatcher reuses); RuntimeWait is what the facade and the
+// catalogue construct.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "platform/arch.hpp"
+#include "qsv/wait.hpp"
+
+namespace qsv::platform {
+
+/// Adaptive spin-then-park: the spin budget is calibrated, per lock
+/// instance, from an exponentially weighted moving average of observed
+/// wake latency, and the waiter parks beyond it.
+///
+/// Rationale: parking costs a futex round trip (~2–10us). If grants
+/// typically arrive sooner than that, spinning through them is cheaper
+/// than sleeping; if they typically take longer, every poll past the
+/// park cost is burned CPU (and on an oversubscribed machine, CPU
+/// stolen from the very thread being waited on). So the budget tracks
+/// 2x the typical observed wake latency, clamped to
+/// [kMinSpinPolls, kMaxSpinPolls]: short-grant instances converge to
+/// near-pure spinning, long-grant instances converge to spinning only
+/// about as long as a park costs, then sleeping. A wait that outlives
+/// the budget records the saturating sample kParkSamplePolls, so one
+/// oversubscribed phase quickly drags the budget down to the park
+/// regime and a later dedicated phase pulls it back up.
+///
+/// The EWMA word is shared by every thread waiting on the same
+/// instance and updated with relaxed RMWs; races between samples are
+/// benign (it is a heuristic, not a protocol state).
+class AdaptiveWait {
+ public:
+  /// Calibration floor: never burn fewer polls than a cache miss is
+  /// worth measuring against.
+  static constexpr std::uint32_t kMinSpinPolls = 64;
+  /// Calibration ceiling ~ the cost of a park/unpark round trip; the
+  /// budget saturates here because spinning longer than parking costs
+  /// can never win.
+  static constexpr std::uint32_t kMaxSpinPolls = 8192;
+  /// Sample recorded when a wait had to park (its true latency is
+  /// unknown, only "longer than the budget").
+  static constexpr std::uint32_t kParkSamplePolls = kMaxSpinPolls;
+  /// EWMA smoothing: alpha = 1/8 per sample.
+  static constexpr std::uint32_t kEwmaShift = 3;
+
+  AdaptiveWait() = default;
+  explicit AdaptiveWait(std::uint32_t seed_budget) { set_spin_budget(seed_budget); }
+  AdaptiveWait(const AdaptiveWait& other)
+      : ewma_polls_(other.ewma_polls_.load(std::memory_order_relaxed)) {}
+  AdaptiveWait& operator=(const AdaptiveWait&) = delete;
+
+  /// The calibrated budget: 2x the smoothed observed wake latency,
+  /// clamped. This is the live value — it moves as waits are observed.
+  std::uint32_t spin_budget() const noexcept {
+    const std::uint32_t ewma = ewma_polls_.load(std::memory_order_relaxed);
+    const std::uint32_t b = ewma >= kMaxSpinPolls / 2 ? kMaxSpinPolls
+                                                      : 2 * ewma;
+    return b < kMinSpinPolls ? kMinSpinPolls : b;
+  }
+
+  /// Reseed the calibration so the next wait spins ~`polls` before
+  /// parking (the EWMA keeps adapting from there).
+  void set_spin_budget(std::uint32_t polls) noexcept {
+    ewma_polls_.store(polls / 2, std::memory_order_relaxed);
+  }
+
+  template <typename T>
+  void wait_while_equal(const std::atomic<T>& flag, T expected) noexcept {
+    const std::uint32_t budget = spin_budget();
+    for (std::uint32_t i = 0; i < budget; ++i) {
+      if (flag.load(std::memory_order_acquire) != expected) {
+        record(i);
+        return;
+      }
+      cpu_relax();
+    }
+    record(kParkSamplePolls);
+    while (flag.load(std::memory_order_acquire) == expected) {
+      flag.wait(expected, std::memory_order_acquire);
+    }
+  }
+
+  /// Predicate form: calibrated spin, then sleep on `word` between
+  /// checks (whoever can make `done()` true must change `word` and
+  /// notify). Parked predicate waits feed the calibration exactly like
+  /// equality waits.
+  template <typename T, typename Pred>
+  void wait_until(const std::atomic<T>& word, Pred done) noexcept {
+    const std::uint32_t budget = spin_budget();
+    for (std::uint32_t i = 0; i < budget; ++i) {
+      if (done()) {
+        record(i);
+        return;
+      }
+      cpu_relax();
+    }
+    record(kParkSamplePolls);
+    for (;;) {
+      const T v = word.load(std::memory_order_acquire);
+      if (done()) return;
+      word.wait(v, std::memory_order_acquire);
+    }
+  }
+
+  /// Adaptive waiters may be parked, so wakes must be issued.
+  template <typename T>
+  void notify_one(std::atomic<T>& flag) noexcept {
+    flag.notify_one();
+  }
+  template <typename T>
+  void notify_all(std::atomic<T>& flag) noexcept {
+    flag.notify_all();
+  }
+
+  static constexpr const char* name() noexcept { return "adaptive"; }
+
+ private:
+  void record(std::uint32_t polls) noexcept {
+    const std::uint32_t ewma = ewma_polls_.load(std::memory_order_relaxed);
+    const std::int32_t delta =
+        static_cast<std::int32_t>(polls) - static_cast<std::int32_t>(ewma);
+    // Arithmetic shift (C++20-defined on negatives) gives the EWMA
+    // step; the +1 nudge keeps tiny positive deltas from stalling the
+    // climb out of the all-zero-sample floor.
+    std::int32_t step = delta >> kEwmaShift;
+    if (step == 0 && delta > 0) step = 1;
+    ewma_polls_.store(static_cast<std::uint32_t>(
+                          static_cast<std::int32_t>(ewma) + step),
+                      std::memory_order_relaxed);
+  }
+
+  /// Smoothed wake latency in polls. Seeded low so a fresh instance
+  /// behaves like a short spinner until evidence says otherwise.
+  std::atomic<std::uint32_t> ewma_polls_{kMinSpinPolls};
+};
+
+/// The runtime dispatcher: one waiting object that is any of the four
+/// qsv::wait_policy strategies, chosen at construction. This is the
+/// default `Wait` of every primitive — `qsv::mutex mu(wait_policy::park)`
+/// plumbs the enum here — while the compile-time policies in
+/// platform/wait.hpp stay usable for pinned instantiations.
+class RuntimeWait {
+ public:
+  /// Defaults to the process-wide policy (qsv::get_default_wait_policy,
+  /// seeded from QSV_WAIT) and the process-wide spin budget.
+  RuntimeWait() : RuntimeWait(qsv::get_default_wait_policy()) {}
+
+  /// Implicit on purpose: primitives take `Wait` by value, so the enum
+  /// flows through constructors — QsvMutex<>(wait_policy::park).
+  RuntimeWait(qsv::wait_policy policy)  // NOLINT(google-explicit-constructor)
+      : policy_(policy),
+        spin_budget_(qsv::get_default_spin_budget()),
+        adaptive_(qsv::get_default_spin_budget()) {}
+
+  RuntimeWait(const RuntimeWait& other)
+      : policy_(other.policy_),
+        spin_budget_(other.spin_budget_.load(std::memory_order_relaxed)),
+        adaptive_(other.adaptive_) {}
+  RuntimeWait& operator=(const RuntimeWait&) = delete;
+
+  qsv::wait_policy policy() const noexcept { return policy_; }
+
+  /// The spin budget in polls: how long spin_yield and park spin before
+  /// giving the processor away. For adaptive this is the live
+  /// calibrated value. (This replaces the old hardwired
+  /// SpinYieldWait::kSpinPolls = 1024; the default is
+  /// qsv::get_default_spin_budget().)
+  std::uint32_t spin_budget() const noexcept {
+    return policy_ == qsv::wait_policy::adaptive
+               ? adaptive_.spin_budget()
+               : spin_budget_.load(std::memory_order_relaxed);
+  }
+  void set_spin_budget(std::uint32_t polls) noexcept {
+    spin_budget_.store(polls == 0 ? 1 : polls, std::memory_order_relaxed);
+    adaptive_.set_spin_budget(polls == 0 ? 1 : polls);
+  }
+
+  /// Block while `flag == expected`. The spin fast path is inlined
+  /// behind one predictable branch; everything else is out of line.
+  template <typename T>
+  void wait_while_equal(const std::atomic<T>& flag, T expected) noexcept {
+    if (policy_ == qsv::wait_policy::spin) {
+      while (flag.load(std::memory_order_acquire) == expected) cpu_relax();
+      return;
+    }
+    wait_slow(flag, expected);
+  }
+
+  /// Predicate wait for protocol states that are not a single
+  /// equality (masked bits, counters): spin on `done()`, and beyond
+  /// the budget yield — or, for parking policies, sleep on `word`,
+  /// whose writers must notify through this object. `word` must
+  /// change whenever `done()` can become true.
+  template <typename T, typename Pred>
+  void wait_until(const std::atomic<T>& word, Pred done) noexcept {
+    if (policy_ == qsv::wait_policy::spin) {
+      while (!done()) cpu_relax();
+      return;
+    }
+    if (policy_ == qsv::wait_policy::adaptive) {
+      adaptive_.wait_until(word, done);  // predicate waits calibrate too
+      return;
+    }
+    const std::uint32_t budget = spin_budget();
+    for (std::uint32_t i = 0; i < budget; ++i) {
+      if (done()) return;
+      cpu_relax();
+    }
+    if (!may_park()) {
+      while (!done()) std::this_thread::yield();
+      return;
+    }
+    for (;;) {
+      const T v = word.load(std::memory_order_acquire);
+      if (done()) return;
+      word.wait(v, std::memory_order_acquire);
+    }
+  }
+
+  /// Wakes are no-ops for the polling policies (their stores are
+  /// observed by spinning) — one predictable branch, zero syscalls.
+  template <typename T>
+  void notify_one(std::atomic<T>& flag) noexcept {
+    if (may_park()) flag.notify_one();
+  }
+  template <typename T>
+  void notify_all(std::atomic<T>& flag) noexcept {
+    if (may_park()) flag.notify_all();
+  }
+
+  const char* name() const noexcept { return qsv::wait_policy_name(policy_); }
+
+ private:
+  bool may_park() const noexcept {
+    return policy_ == qsv::wait_policy::park ||
+           policy_ == qsv::wait_policy::adaptive;
+  }
+
+  template <typename T>
+  void wait_slow(const std::atomic<T>& flag, T expected) noexcept {
+    if (policy_ == qsv::wait_policy::adaptive) {
+      adaptive_.wait_while_equal(flag, expected);
+      return;
+    }
+    const std::uint32_t budget = spin_budget_.load(std::memory_order_relaxed);
+    for (std::uint32_t i = 0; i < budget; ++i) {
+      if (flag.load(std::memory_order_acquire) != expected) return;
+      cpu_relax();
+    }
+    if (policy_ == qsv::wait_policy::spin_yield) {
+      while (flag.load(std::memory_order_acquire) == expected) {
+        std::this_thread::yield();
+      }
+      return;
+    }
+    while (flag.load(std::memory_order_acquire) == expected) {
+      flag.wait(expected, std::memory_order_acquire);
+    }
+  }
+
+  const qsv::wait_policy policy_;
+  /// Tunable budget for spin_yield/park (adaptive calibrates its own).
+  std::atomic<std::uint32_t> spin_budget_;
+  AdaptiveWait adaptive_;
+};
+
+}  // namespace qsv::platform

@@ -127,9 +127,10 @@ TEST(CentralBarrier, ManyEpisodesSequentialConsistencyCheck) {
 // -------------------------------------------------------------- registry
 
 TEST(Catalog, BarrierViewListsAllBaselines) {
-  // At least the 6 baselines + the two QSV episode variants (a floor,
-  // so new registrations don't break unrelated suites).
-  EXPECT_GE(qsv::catalog::barriers().size(), 8u);
+  // At least the 6 baselines + the QSV episode barrier (a floor, so
+  // new registrations don't break unrelated suites; the park variant
+  // is a wait-mode bit now, not a second entry).
+  EXPECT_GE(qsv::catalog::barriers().size(), 7u);
   EXPECT_NE(qsv::catalog::find("dissemination"), nullptr);
   EXPECT_EQ(qsv::catalog::find("bogus"), nullptr);
 }

@@ -26,24 +26,51 @@ TEST(Catalog, FindReturnsNullptrOnMiss) {
   EXPECT_NE(hit->make(2), nullptr);
 }
 
-TEST(Catalog, CoversEverythingTheThreeOldRegistriesDid) {
-  // The three deleted registries + harness overlays enumerated 15 locks,
-  // 8 barriers and 5 rwlocks. The unified catalogue must never shrink
-  // below that (CI checks the same floor via qsvbench --catalog-names).
-  EXPECT_GE(qc::locks().size(), 15u);
-  EXPECT_GE(qc::barriers().size(), 8u);
+TEST(Catalog, CoversEverythingTheOldCataloguesDid) {
+  // The per-policy rows ("qsv/yield", "qsv/park", "qsv-episode/park")
+  // collapsed into wait-mode bits on the one entry per primitive; the
+  // rows they freed are spent on genuinely new primitives (futex, the
+  // two eventcounts), so the overall floor of 28 — which CI checks via
+  // qsvbench --catalog-names — still holds.
+  EXPECT_GE(qc::locks().size(), 14u);
+  EXPECT_GE(qc::barriers().size(), 7u);
   EXPECT_GE(qc::rwlocks().size(), 5u);
+  EXPECT_GE(qc::eventcounts().size(), 2u);
   EXPECT_GE(qc::all().size(), 28u);
   for (const char* name :
        {"tas", "ttas", "ttas+backoff", "ticket", "ticket+prop", "anderson",
-        "graunke-thakkar", "clh", "mcs", "std::mutex", "qsv", "qsv/yield",
-        "qsv/park", "qsv-timeout", "hier-qsv", "central", "combining-tree",
+        "graunke-thakkar", "clh", "mcs", "std::mutex", "futex", "qsv",
+        "qsv-timeout", "hier-qsv", "central", "combining-tree",
         "tournament", "dissemination", "mcs-tree", "std::barrier",
-        "qsv-episode", "qsv-episode/park", "central-rw/reader-pref",
+        "qsv-episode", "central-rw/reader-pref",
         "central-rw/writer-pref", "std::shared_mutex", "qsv-rw",
-        "qsv-rw/central"}) {
+        "qsv-rw/central", "eventcount", "queued-ec"}) {
     EXPECT_NE(qc::find(name), nullptr) << name;
   }
+}
+
+TEST(Catalog, WaitModeBitsReplaceThePerPolicyEntries) {
+  // The collapsed names are gone...
+  EXPECT_EQ(qc::find("qsv/yield"), nullptr);
+  EXPECT_EQ(qc::find("qsv/park"), nullptr);
+  EXPECT_EQ(qc::find("qsv-episode/park"), nullptr);
+  // ...their modes are capability bits on the single entry, queryable
+  // per policy and honored by make_with.
+  const auto* qsv_entry = qc::find("qsv");
+  ASSERT_NE(qsv_entry, nullptr);
+  EXPECT_TRUE(qsv_entry->has(qc::kWaitModeMask));
+  for (const qsv::wait_policy p : qsv::kAllWaitPolicies) {
+    EXPECT_TRUE(qsv_entry->has_wait_mode(p)) << qsv::wait_policy_name(p);
+    auto lock = qsv_entry->make_with(2, p);
+    ASSERT_NE(lock, nullptr);
+    lock->lock();
+    lock->unlock();
+  }
+  // Hardwired spinners advertise no mode (the policy is ignored).
+  const auto* tas = qc::find("tas");
+  ASSERT_NE(tas, nullptr);
+  EXPECT_FALSE(tas->has_wait_mode(qsv::wait_policy::park));
+  EXPECT_EQ(tas->caps & qc::kWaitModeMask, 0u);
 }
 
 TEST(Catalog, NamesAreUniqueAndFamiliesConsistent) {
@@ -92,7 +119,8 @@ TEST(Catalog, FilterSelectsByCapabilityAcrossFamilies) {
 }
 
 TEST(Catalog, FamilyViewsPartitionTheCatalogue) {
-  EXPECT_EQ(qc::locks().size() + qc::barriers().size() + qc::rwlocks().size(),
+  EXPECT_EQ(qc::locks().size() + qc::barriers().size() +
+                qc::rwlocks().size() + qc::eventcounts().size(),
             qc::all().size());
 }
 
@@ -119,6 +147,10 @@ TEST(Catalog, UniformCapacitySemantics) {
     if (e.has(qc::kEpisode)) {
       EXPECT_EQ(p->team_size(), 1u) << e.name;
       p->arrive_and_wait(0);
+    } else if (e.has(qc::kEventCount)) {
+      EXPECT_EQ(p->advance(), 1u) << e.name;
+      EXPECT_GE(p->await(1), 1u) << e.name;
+      EXPECT_EQ(p->read(), 1u) << e.name;
     } else {
       p->lock();
       p->unlock();

@@ -169,6 +169,10 @@ TEST(Integration, CatalogueAgreesOnSmoke) {
       EXPECT_TRUE(p->try_lock_for(std::chrono::milliseconds(5))) << e.name;
       p->unlock();
     }
+    if (e.has(qsv::catalog::kEventCount)) {
+      EXPECT_EQ(p->advance(), 1u) << e.name;
+      EXPECT_GE(p->await(1), 1u) << e.name;
+    }
   }
   SUCCEED();
 }

@@ -307,26 +307,74 @@ TEST(ThreadId, IndicesAreRecycledAfterThreadExit) {
 template <typename Policy>
 class WaitPolicyTest : public ::testing::Test {};
 
+// The three pinned strategies plus both runtime dispatchers — policies
+// are instances now (tunable budgets, adaptive state), so the tests
+// construct one and call through it.
 using Policies =
-    ::testing::Types<qp::SpinWait, qp::SpinYieldWait, qp::ParkWait>;
+    ::testing::Types<qp::SpinWait, qp::SpinYieldWait, qp::ParkWait,
+                     qp::AdaptiveWait, qp::RuntimeWait>;
 TYPED_TEST_SUITE(WaitPolicyTest, Policies);
 
 TYPED_TEST(WaitPolicyTest, ReturnsImmediatelyWhenAlreadyChanged) {
+  TypeParam policy{};
   std::atomic<std::uint32_t> flag{1};
-  TypeParam::wait_while_equal(flag, 0u);  // flag != expected: no wait
+  policy.wait_while_equal(flag, 0u);  // flag != expected: no wait
   SUCCEED();
 }
 
 TYPED_TEST(WaitPolicyTest, WakesOnStore) {
+  TypeParam policy{};
   std::atomic<std::uint32_t> flag{0};
   std::thread waker([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     flag.store(1, std::memory_order_release);
-    TypeParam::notify_all(flag);
+    policy.notify_all(flag);
   });
-  TypeParam::wait_while_equal(flag, 0u);
+  policy.wait_while_equal(flag, 0u);
   EXPECT_EQ(flag.load(), 1u);
   waker.join();
+}
+
+TYPED_TEST(WaitPolicyTest, PredicateWaitCompletes) {
+  TypeParam policy{};
+  std::atomic<std::uint32_t> word{0};
+  std::thread waker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    word.fetch_add(3, std::memory_order_release);
+    policy.notify_all(word);
+  });
+  policy.wait_until(word, [&] {
+    return word.load(std::memory_order_acquire) >= 3;
+  });
+  EXPECT_GE(word.load(), 3u);
+  waker.join();
+}
+
+TEST(RuntimeWaitDispatch, EveryPolicyWaitsAndWakes) {
+  for (const qsv::wait_policy p : qsv::kAllWaitPolicies) {
+    qp::RuntimeWait w(p);
+    EXPECT_STREQ(w.name(), qsv::wait_policy_name(p));
+    std::atomic<std::uint32_t> flag{0};
+    std::thread waker([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      flag.store(7, std::memory_order_release);
+      w.notify_all(flag);
+    });
+    w.wait_while_equal(flag, 0u);
+    EXPECT_EQ(flag.load(), 7u);
+    waker.join();
+  }
+}
+
+TEST(RuntimeWaitDispatch, SpinBudgetIsTunablePerInstance) {
+  qp::RuntimeWait w(qsv::wait_policy::spin_yield);
+  EXPECT_EQ(w.spin_budget(), qsv::get_default_spin_budget());
+  w.set_spin_budget(17);
+  EXPECT_EQ(w.spin_budget(), 17u);
+  // Another instance is untouched: the budget is policy-object state,
+  // not a global.
+  qp::RuntimeWait other(qsv::wait_policy::spin_yield);
+  EXPECT_EQ(other.spin_budget(), qsv::get_default_spin_budget());
 }
 
 // ---------------------------------------------------------- node arena

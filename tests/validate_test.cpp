@@ -9,15 +9,26 @@
 #include <tuple>
 #include <vector>
 
+#include <algorithm>
 #include "catalog/catalog.hpp"
 #include "harness/team.hpp"
+#include "platform/affinity.hpp"
 #include "validate/checkers.hpp"
 #include "validate/shaker.hpp"
 
 namespace qv = qsv::validate;
 
 namespace {
-constexpr std::size_t kThreads = 8;
+/// Sweep team size, scaled to the host. The property sweeps exercise
+/// interleavings, and on a P-CPU box anything past ~2P spinners adds
+/// no concurrency — it only multiplies scheduler rotations, which for
+/// the raw-spin strawmen (tas/ticket/...; deliberately NOT wired to
+/// the runtime waiting layer) cost a full quantum per handoff. 8
+/// threads on 1 CPU is what used to blow the 600 s ctest timeout; the
+/// policy-aware primitives additionally run under spin_yield there
+/// (ctest pins QSV_WAIT=spin_yield on this suite).
+const std::size_t kThreads = std::clamp<std::size_t>(
+    2 * qsv::platform::available_cpus(), 2, 8);
 
 qv::ShakeProfile profile_by_name(const std::string& name) {
   if (name == "off") return qv::ShakeProfile::off();
