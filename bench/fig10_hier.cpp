@@ -7,11 +7,15 @@
 //
 // The "native" section runs the real HierQsvMutex against flat QSV and
 // reports throughput plus the pass/acquire event mix.
+#include "benchreg/kernels.hpp"
 #include "benchreg/registry.hpp"
 #include "catalog/any_primitive.hpp"
+#include "catalog/catalog.hpp"
 #include "core/syncvar.hpp"
 #include "harness/runner.hpp"
 #include "hier/hier_qsv.hpp"
+#include "platform/affinity.hpp"
+#include "platform/topology.hpp"
 #include "sim/protocols.hpp"
 
 namespace {
@@ -101,6 +105,69 @@ qsv::benchreg::Registrar reg{{
     .title = "hierarchical QSV on clustered NUMA (simulated + native)",
     .claim = "cohort passes turn remote handoffs into local ones",
     .run = run,
+}};
+
+// ---- fig10 extension: the generic cohort combinator -------------------
+// Sweeps every kCohort catalogue entry (the CohortLock compositions plus
+// the fused hier-qsv) across local-handoff budgets through the shared
+// contention runner, and records the machine topology the cohorts were
+// derived from. CI emits this as BENCH_cohort.json.
+qsv::benchreg::Report run_cohort(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const auto threads = params.threads_or(8);
+  const double seconds = params.seconds(0.2);
+
+  const auto& topo = qsv::platform::topology();
+  report.add()
+      .set("section", "topology")
+      .set("packages", topo.package_count())
+      .set("nodes", topo.node_count())
+      .set("cpus", topo.cpu_count())
+      .set("fallback", topo.is_fallback() ? 1 : 0);
+
+  // External watchdog once the team outnumbers the processors: a
+  // pure-spin cohort chain on an oversubscribed host makes progress
+  // only through preemption, so no team member can be trusted with
+  // timer duty (the abl1/abl4 precedent).
+  const bool oversubscribed = threads > qsv::platform::available_cpus();
+
+  const auto cohort_entries =
+      qsv::catalog::filter(qsv::catalog::Family::kLock, qsv::catalog::kCohort);
+  for (const auto* entry : cohort_entries) {
+    if (!params.algo_match(entry->name)) continue;
+    if (!entry->make_budgeted) continue;  // cohort bit without the factory
+    for (const std::size_t budget : {0ul, 4ul, 16ul, 64ul}) {
+      auto lock = entry->make_budgeted(threads,
+                                       qsv::get_default_wait_policy(), budget);
+      const auto res =
+          qsv::benchreg::run_lock_loop(*lock, threads, seconds,
+                                       oversubscribed);
+      if (!res.ok) {
+        report.fail("mutual exclusion violated: " + entry->name +
+                    " at budget " + std::to_string(budget));
+        return report;
+      }
+      report.add()
+          .set("section", "native")
+          .set("algorithm", entry->name)
+          .set("budget", budget)
+          .set("mops", qsv::benchreg::Value(res.throughput_mops(), 2));
+    }
+  }
+  report.note("cohort/* entries take cohorts from the discovered topology"
+              " (see section=topology row); hier-qsv keeps its fixed"
+              " block-of-4 cohort map; empty critical sections;"
+              " budget 0 = flat-global ablation");
+  return report;
+}
+
+qsv::benchreg::Registrar reg_cohort{{
+    .name = "cohort",
+    .id = "fig10c",
+    .kind = qsv::benchreg::Kind::kFigure,
+    .title = "cohort combinator: compositions x budgets on the real topology",
+    .claim = "budgeted local handoff helps any global x local lock pair",
+    .run = run_cohort,
 }};
 
 }  // namespace

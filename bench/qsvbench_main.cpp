@@ -10,6 +10,7 @@
 //   qsvbench --filter rw_ratio --out BENCH_rw_ratio.json
 //   qsvbench --filter fig1,abl6 --threads 8 --budget-ms 100
 //   qsvbench --filter uncontended --reps 5 --out BENCH_uncontended.json
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +21,9 @@
 #include "benchreg/emit.hpp"
 #include "benchreg/registry.hpp"
 #include "catalog/catalog.hpp"
+#include "hier/cohort_map.hpp"
+#include "platform/affinity.hpp"
+#include "platform/topology.hpp"
 #include "qsv/wait.hpp"
 
 namespace {
@@ -33,6 +37,8 @@ void print_usage(std::FILE* to) {
       "  --catalog         show the primitive catalogue (name, family,\n"
       "                    capabilities, wait modes, bytes) and exit\n"
       "  --catalog-names   show primitive names only, one per line\n"
+      "  --topology        dump the discovered machine topology (packages,\n"
+      "                    NUMA nodes, cpus, thread->cohort map) and exit\n"
       "  --filter PAT      comma-separated list; each entry matches a\n"
       "                    scenario id (fig8), exact name, or name\n"
       "                    substring. default: run everything\n"
@@ -146,6 +152,7 @@ int main(int argc, char** argv) {
   const bool list_names = cli.take_flag("list-names");
   const bool catalog = cli.take_flag("catalog");
   const bool catalog_names = cli.take_flag("catalog-names");
+  const bool topology = cli.take_flag("topology");
   const bool json_stdout = cli.take_flag("json");
   std::string filter, out_path, md_path, value;
 
@@ -179,6 +186,37 @@ int main(int argc, char** argv) {
     die_usage("unknown argument '" + cli.leftovers().front() + "'");
   }
 
+  if (topology) {
+    const auto& topo = qsv::platform::topology();
+    std::printf("topology: %zu package%s, %zu node%s, %zu cpus%s\n",
+                topo.package_count(), topo.package_count() == 1 ? "" : "s",
+                topo.node_count(), topo.node_count() == 1 ? "" : "s",
+                topo.cpu_count(),
+                topo.is_fallback() ? " (single-node fallback)" : " (sysfs)");
+    for (const auto& node : topo.nodes()) {
+      std::string cpus;
+      for (int c : node.cpus) {
+        if (!cpus.empty()) cpus += ',';
+        cpus += std::to_string(c);
+      }
+      std::printf("  node %zu (sysfs node%d, package %d): cpus %s\n",
+                  node.id, node.sysfs_id, node.package, cpus.c_str());
+    }
+    // The production cohort assignment for the first few dense thread
+    // indices (round-robin placement through the allowed-cpu set).
+    const qsv::hier::TopologyCohortMap map(topo);
+    const std::size_t preview =
+        std::min<std::size_t>(16, 2 * qsv::platform::available_cpus());
+    std::string line;
+    for (std::size_t i = 0; i < preview; ++i) {
+      if (!line.empty()) line += ' ';
+      line += std::to_string(map.cohort_of(i));
+    }
+    std::printf("  thread index -> cohort (first %zu): %s\n", preview,
+                line.c_str());
+    return 0;
+  }
+
   if (catalog || catalog_names) {
     for (const auto& e : qsv::catalog::all()) {
       if (catalog_names) {
@@ -187,7 +225,9 @@ int main(int argc, char** argv) {
       }
       std::string caps;
       const auto tag = [&](std::uint32_t bit, const char* word) {
-        if (e.has(bit)) caps += (caps.empty() ? "" : "+") + std::string(word);
+        if (!e.has(bit)) return;
+        if (!caps.empty()) caps += '+';
+        caps += word;
       };
       tag(qsv::catalog::kExclusive, "excl");
       tag(qsv::catalog::kTry, "try");
@@ -195,6 +235,7 @@ int main(int argc, char** argv) {
       tag(qsv::catalog::kTimed, "timed");
       tag(qsv::catalog::kEpisode, "episode");
       tag(qsv::catalog::kEventCount, "eventcount");
+      tag(qsv::catalog::kCohort, "cohort");
       // Wait modes collapse to one tag: entries are either fully
       // runtime-configurable or hardwired.
       std::string waits = e.has(qsv::catalog::kWaitModeMask)

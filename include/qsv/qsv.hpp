@@ -7,6 +7,7 @@
 //   qsv::timed_mutex tm;                // try_lock_for / try_lock_until
 //   qsv::barrier bar(team);             // arrive_and_wait / arrive_and_drop
 //   qsv::counting_semaphore sem(n);     // FIFO permits
+//   qsv::cohort_mutex cmu(budget);      // NUMA-cohort lock over sysfs topology
 //
 //   qsv::set_default_wait_policy(qsv::wait_policy::adaptive);  // process
 //   qsv::mutex parked(qsv::wait_policy::park);                 // instance
@@ -19,6 +20,7 @@
 #pragma once
 
 #include "qsv/barrier.hpp"       // IWYU pragma: export
+#include "qsv/cohort_mutex.hpp"  // IWYU pragma: export
 #include "qsv/concepts.hpp"      // IWYU pragma: export
 #include "qsv/mutex.hpp"         // IWYU pragma: export
 #include "qsv/semaphore.hpp"     // IWYU pragma: export

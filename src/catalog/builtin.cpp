@@ -23,6 +23,7 @@
 #include "catalog/std_adapters.hpp"
 #include "core/syncvar.hpp"
 #include "eventcount/eventcount.hpp"
+#include "hier/cohort_lock.hpp"
 #include "hier/hier_qsv.hpp"
 #include "locks/anderson.hpp"
 #include "locks/clh.hpp"
@@ -91,7 +92,39 @@ QSV_CATALOG_REGISTER(qsv::catalog::StdMutexAdapter, "std::mutex");
 QSV_CATALOG_REGISTER(qsv::parking::FutexMutex, "futex");
 QSV_CATALOG_REGISTER(qsv::core::QsvMutex<>, "qsv");
 QSV_CATALOG_REGISTER(qsv::core::QsvTimeoutMutex, "qsv-timeout");
-QSV_CATALOG_REGISTER_DEFAULT(HierQsv, "hier-qsv");
+// hier-qsv's size_t parameters are cohort width and budget, not
+// capacities (entry_default); the budget axis is exposed through
+// make_budgeted so the fig10 sweep can dial it like the combinator
+// entries below.
+static const qsv::catalog::Registrar qsv_cat_reg_hier{[] {
+  auto e = qsv::catalog::entry_default<HierQsv>("hier-qsv");
+  e.make_budgeted = [](std::size_t, qsv::wait_policy policy,
+                       std::size_t budget) {
+    return qsv::catalog::wrap<HierQsv>(/*threads_per_cohort=*/4, budget,
+                                       qsv::platform::RuntimeWait(policy));
+  };
+  return e;
+}()};
+
+// ---------------------------------------------------- cohort compositions
+// The generic cohort combinator (hier/cohort_lock.hpp) over pairs of
+// catalogue mutexes: global tier × local (per-NUMA-node) tier, cohorts
+// from the discovered topology. hier-qsv above remains the fused
+// QSV-repertoire specialization; these measure the cohort effect over
+// other queue protocols (and a centralized ticket tier as control).
+using CohortQsvQsv =
+    qsv::hier::CohortLock<qsv::core::QsvMutex<>, qsv::core::QsvMutex<>>;
+using CohortMcsMcs =
+    qsv::hier::CohortLock<qsv::locks::McsLock<>, qsv::locks::McsLock<>>;
+using CohortQsvTicket =
+    qsv::hier::CohortLock<qsv::core::QsvMutex<>, qsv::locks::TicketLock>;
+using CohortTicketMcs =
+    qsv::hier::CohortLock<qsv::locks::TicketLock, qsv::locks::McsLock<>>;
+
+QSV_CATALOG_REGISTER_COHORT(CohortQsvQsv, "cohort/qsv+qsv");
+QSV_CATALOG_REGISTER_COHORT(CohortMcsMcs, "cohort/mcs+mcs");
+QSV_CATALOG_REGISTER_COHORT(CohortQsvTicket, "cohort/qsv+ticket");
+QSV_CATALOG_REGISTER_COHORT(CohortTicketMcs, "cohort/ticket+mcs");
 
 // ---------------------------------------------------------- barriers
 QSV_CATALOG_REGISTER(qsv::barriers::CentralBarrier<>, "central");

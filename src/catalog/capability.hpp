@@ -30,6 +30,8 @@ enum Capability : std::uint32_t {
   kTimed      = 1u << 3,  ///< try_lock_for() (and try_lock_until())
   kEpisode    = 1u << 4,  ///< arrive_and_wait() / team_size()
   kEventCount = 1u << 5,  ///< advance() / await() / read()
+  kCohort     = 1u << 6,  ///< topology/cohort-structured: budget() /
+                          ///< cohort_count(), budget-parameterized factory
 
   // Wait modes: which qsv::wait_policy values make(capacity, policy)
   // honors. All four or none — runtime-configurable primitives accept
@@ -122,6 +124,15 @@ concept HasEventCount = requires(T t, std::uint32_t target) {
   { t.read() } -> std::convertible_to<std::uint32_t>;
 };
 
+/// Cohort-structured locks (HierQsvMutex, the CohortLock combinator):
+/// they expose the local-handoff budget and the cohort table size, and
+/// their catalogue entries carry the budget-parameterized factory.
+template <typename T>
+concept HasCohortStructure = requires(const T t) {
+  { t.budget() } -> std::convertible_to<std::size_t>;
+  { t.cohort_count() } -> std::convertible_to<std::size_t>;
+};
+
 /// Construction-time wait configurability: the type takes a
 /// qsv::wait_policy (alone, or after its capacity argument), so the
 /// factory can honor make(capacity, policy).
@@ -140,6 +151,7 @@ constexpr std::uint32_t caps_of() {
   if constexpr (HasTimed<T>) caps |= kTimed;
   if constexpr (HasEpisode<T>) caps |= kEpisode;
   if constexpr (HasEventCount<T>) caps |= kEventCount;
+  if constexpr (HasCohortStructure<T>) caps |= kCohort;
   if constexpr (WaitConfigurable<T>) caps |= kWaitModeMask;
   return caps;
 }

@@ -57,6 +57,13 @@ struct Entry {
   std::function<std::unique_ptr<AnyPrimitive>(std::size_t capacity,
                                               qsv::wait_policy policy)>
       make_with;
+  /// Construct at an explicit cohort local-handoff budget. Set exactly
+  /// for entries carrying the kCohort capability (the cohort
+  /// compositions and hier-qsv); null for everything else. make_with is
+  /// this factory at the type's default budget.
+  std::function<std::unique_ptr<AnyPrimitive>(
+      std::size_t capacity, qsv::wait_policy policy, std::size_t budget)>
+      make_budgeted;
 
   /// True when every capability in `mask` is present.
   bool has(std::uint32_t mask) const { return (caps & mask) == mask; }
@@ -162,6 +169,34 @@ Entry entry_default(std::string name) {
   return e;
 }
 
+/// As entry(), for cohort combinator types (CohortLock instantiations):
+/// their size_t constructor parameter is the local-handoff *budget*,
+/// never a capacity, so the capacity-construction rule of entry() must
+/// not apply. All three factories are wired: make_budgeted exposes the
+/// budget axis (the fig10 sweep), make_with constructs at the type's
+/// kDefaultBudget, make additionally uses the process wait policy.
+template <typename T>
+Entry entry_cohort(std::string name) {
+  static_assert(
+      std::is_constructible_v<T, std::size_t, qsv::wait_policy>,
+      "cohort entries are built from (budget, wait_policy)");
+  static_assert((caps_of<T>() & kCohort) != 0,
+                "entry_cohort needs a cohort-structured type");
+  Entry e = detail::tagged_entry<T>(std::move(name));
+  e.make_budgeted = [](std::size_t, qsv::wait_policy policy,
+                       std::size_t budget) {
+    return std::make_unique<Erased<T>>(budget, policy);
+  };
+  e.make_with = [mb = e.make_budgeted](std::size_t capacity,
+                                       qsv::wait_policy policy) {
+    return mb(capacity, policy, T::kDefaultBudget);
+  };
+  e.make = [mw = e.make_with](std::size_t capacity) {
+    return mw(capacity, qsv::get_default_wait_policy());
+  };
+  return e;
+}
+
 /// Add an entry. Aborts on a duplicate name.
 void register_entry(Entry e);
 
@@ -208,6 +243,12 @@ struct Registrar {
   static const ::qsv::catalog::Registrar QSV_CATALOG_CAT_(qsv_cat_reg_, \
                                                           __LINE__){   \
       ::qsv::catalog::entry_default<Type>(display_name)}
+/// Variant for cohort combinator types, built from (budget, policy)
+/// with the budget axis exposed via make_budgeted (see entry_cohort()).
+#define QSV_CATALOG_REGISTER_COHORT(Type, display_name)               \
+  static const ::qsv::catalog::Registrar QSV_CATALOG_CAT_(qsv_cat_reg_, \
+                                                          __LINE__){   \
+      ::qsv::catalog::entry_cohort<Type>(display_name)}
 #define QSV_CATALOG_CAT_(a, b) QSV_CATALOG_CAT2_(a, b)
 #define QSV_CATALOG_CAT2_(a, b) a##b
 

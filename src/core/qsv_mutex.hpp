@@ -97,6 +97,25 @@ class QsvMutex {
     Arena::instance().release(n);
   }
 
+  /// Hand the unlock obligation to another thread (the cohort
+  /// combinator's hook, hier/cohort_lock.hpp): detach the in-flight
+  /// acquisition's queue node from the calling thread's held map and
+  /// return it as an opaque token. The lock stays held; whichever
+  /// thread adopt_hold()s the token becomes the one that must unlock().
+  /// Nodes are arena-owned, so the cross-thread migration is safe by
+  /// construction (platform/node_arena.hpp).
+  void* export_hold() {
+    auto& e = Held::local().find(this);
+    Node* n = e.node;
+    Held::local().erase(e);
+    return n;
+  }
+  /// Adopt an export_hold() token: the calling thread now holds the
+  /// lock and must unlock() it.
+  void adopt_hold(void* hold) {
+    Held::local().insert(this, static_cast<Node*>(hold));
+  }
+
   static constexpr const char* name() noexcept { return "qsv"; }
 
   /// Per-variable state is exactly one word (Table 2's headline row).

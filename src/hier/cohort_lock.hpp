@@ -1,0 +1,272 @@
+// cohort_lock.hpp — the generic cohort (hierarchical) lock combinator.
+//
+// HierQsvMutex (hier_qsv.hpp) fuses the cohort idea with the QSV node
+// protocol: the local grant and the global grant travel in one store
+// because both tiers speak the same queue-node dialect. That fusion is
+// the specialized, fastest instance — but it hard-wires QSV×QSV.
+// CohortLock is the *combinator*: it implements the same budgeted
+// local-handoff protocol over ANY pair of mutexes from the catalogue
+// (QSV×QSV, MCS×MCS, QSV×ticket, ticket×MCS, …), so every lock family
+// becomes a cohort composition and the cohort effect can be measured
+// independently of the queue protocol that carries it.
+//
+// Protocol (Dice/Marathe/Shavit-style lock cohorting, restated for the
+// 1991 repertoire — both tiers still need only fetch&store/CAS-class
+// mutexes; the only thing asked of a component beyond lock/unlock is
+// the global tier's cross-thread-release contract, see below):
+//
+//   * One LocalLock per cohort (cohorts = NUMA nodes via
+//     TopologyCohortMap by default), one GlobalLock for the machine.
+//   * lock(): announce intent (per-cohort `pending` count), take the
+//     local lock. If the previous holder left the global grant behind
+//     (`top_granted`), the thread owns both locks at the price of one
+//     node-local handoff. Otherwise it acquires the global lock on the
+//     cohort's behalf.
+//   * unlock(): if the budget allows and a cohort-mate is committed
+//     (`pending > 0`), leave `top_granted` set and release only the
+//     local lock — the global lock never moves, the handoff is local.
+//     Otherwise release the global lock first, then the local one.
+//   * `budget` bounds consecutive local passes, so other cohorts wait
+//     at most budget+1 critical sections per tenure — the same
+//     fairness/throughput dial as HierQsvMutex (budget 0 degenerates
+//     to the flat global lock plus one local hop: the ablation
+//     control).
+//
+// `pending` makes the handoff safe without inspecting the components:
+// it is incremented before local.lock() and decremented only after
+// local.lock() returns — and since the releasing holder still owns the
+// local lock when it reads `pending`, a nonzero reading proves a
+// cohort-mate is committed to acquiring the local lock and will
+// inherit (and eventually release) the global grant. The remaining
+// per-cohort fields (`top_granted`, `passes`) are owned by the local
+// lock's holder; the local lock's release/acquire ordering carries
+// them between holders, so they need no atomicity of their own.
+//
+// Per tier the O(1)-remote-reference argument of the underlying locks
+// is preserved: CohortLock adds one per-cohort line (pending + holder
+// fields, padded) and routes every wait through the component locks,
+// which spin locally by construction. See DESIGN.md "Topology and
+// cohorts".
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "hier/cohort_map.hpp"
+#include "hier/hier_events.hpp"
+#include "platform/cache.hpp"
+#include "platform/thread_id.hpp"
+#include "qsv/wait.hpp"
+
+namespace qsv::hier {
+
+/// The component can hand its unlock obligation to another thread:
+/// export_hold() detaches the in-flight acquisition from the calling
+/// thread as an opaque token, adopt_hold() attaches it to the adopter
+/// (QsvMutex and McsLock implement the pair over their held maps).
+template <typename L>
+concept HoldTransferable = requires(L l, void* hold) {
+  { l.export_hold() } -> std::convertible_to<void*>;
+  l.adopt_hold(hold);
+};
+
+/// The component declares that unlock() touches no per-thread state,
+/// so any thread may release it (ticket, tas — the centralized locks).
+template <typename L>
+concept ThreadObliviousUnlock = requires {
+  { L::kThreadObliviousUnlock } -> std::convertible_to<bool>;
+} && L::kThreadObliviousUnlock;
+
+/// The cohort combinator over two exclusive locks. `Map` assigns dense
+/// thread indices to cohorts (TopologyCohortMap by default — one cohort
+/// per NUMA node); `Events` is the shared hierarchical protocol sink.
+///
+/// The global tier's ownership crosses threads (the acquiring cohort
+/// representative and the releasing last holder are usually different
+/// threads), so GlobalLock must either be thread-oblivious or support
+/// hold transfer — enforced at compile time below. The local tier is
+/// always locked and unlocked by the same thread, so any mutex works.
+template <typename GlobalLock, typename LocalLock,
+          typename Map = TopologyCohortMap,
+          typename Events = NullHierEvents>
+class CohortLock {
+  /// Does the global grant travel between threads as an explicit token?
+  static constexpr bool kGlobalTransfer = HoldTransferable<GlobalLock>;
+  static_assert(kGlobalTransfer || ThreadObliviousUnlock<GlobalLock>,
+                "the cohort global tier is released by a different thread "
+                "than acquired it: GlobalLock must implement "
+                "export_hold()/adopt_hold() or declare "
+                "kThreadObliviousUnlock");
+
+ public:
+  /// Default local-handoff budget, matching HierQsvMutex's tuning.
+  static constexpr std::size_t kDefaultBudget = 16;
+
+  /// `budget`: maximum consecutive intra-cohort handoffs before the
+  /// global lock must be released. `policy` is forwarded to whichever
+  /// component locks take a wait policy (a hardwired spinner like the
+  /// ticket lock simply ignores it).
+  explicit CohortLock(std::size_t budget = kDefaultBudget,
+                      qsv::wait_policy policy = qsv::get_default_wait_policy(),
+                      Map map = Map{})
+      : map_(std::move(map)), budget_(budget), global_(policy) {
+    const std::size_t n = map_.cohort_count(qsv::platform::kMaxThreads);
+    if (n == 0) detail::cohort_fatal("cohort map yields no cohorts");
+    cohorts_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      cohorts_.push_back(
+          std::make_unique<qsv::platform::Padded<Cohort>>(policy));
+    }
+  }
+  CohortLock(const CohortLock&) = delete;
+  CohortLock& operator=(const CohortLock&) = delete;
+
+  void lock() {
+    Cohort& c = my_cohort();
+    // Commit before touching the local lock: a releasing holder that
+    // reads pending > 0 may leave the global grant behind for us.
+    c.pending.fetch_add(1, std::memory_order_relaxed);
+    c.local.lock();
+    c.pending.fetch_sub(1, std::memory_order_relaxed);
+    if (c.top_granted) {
+      // The previous holder passed the global lock with the local one.
+      c.top_granted = false;
+      adopt_global(c);
+    } else {
+      global_.lock.lock();
+      Events::count_global_acquire();
+      c.passes = 0;
+    }
+  }
+
+  /// Non-blocking attempt; present exactly when both components offer
+  /// one. A failed attempt leaves no trace (the local lock is backed
+  /// out when the global attempt loses).
+  bool try_lock()
+    requires requires(GlobalLock& g, LocalLock& l) {
+      { g.try_lock() } -> std::convertible_to<bool>;
+      { l.try_lock() } -> std::convertible_to<bool>;
+    }
+  {
+    Cohort& c = my_cohort();
+    if (!c.local.try_lock()) return false;
+    if (c.top_granted) {
+      // Stealing an in-flight local handoff is fine: the committed
+      // waiter that was promised the grant will block on the local
+      // lock until we release (and re-decide) in unlock().
+      c.top_granted = false;
+      adopt_global(c);
+      return true;
+    }
+    if (global_.lock.try_lock()) {
+      Events::count_global_acquire();
+      c.passes = 0;
+      return true;
+    }
+    c.local.unlock();
+    return false;
+  }
+
+  void unlock() {
+    Cohort& c = my_cohort();
+    // pending is decremented only while holding the local lock — which
+    // we hold — so a nonzero reading proves a committed cohort-mate.
+    if (c.passes < budget_ &&
+        c.pending.load(std::memory_order_relaxed) > 0) {
+      ++c.passes;
+      // Detach the global hold from this thread so whichever cohort-mate
+      // takes the local lock next can release it; the local lock's
+      // release/acquire ordering carries the token.
+      if constexpr (kGlobalTransfer) {
+        c.global_hold = global_.lock.export_hold();
+      }
+      c.top_granted = true;
+      Events::count_local_pass();
+      c.local.unlock();
+      return;
+    }
+    // Budget spent or cohort drained: let other cohorts in. Global
+    // first, so a cohort-mate that sneaks in never waits on a global
+    // lock we still hold.
+    c.passes = 0;
+    global_.lock.unlock();
+    Events::count_global_release();
+    c.local.unlock();
+  }
+
+  static constexpr const char* name() noexcept { return "cohort"; }
+
+  std::size_t budget() const noexcept { return budget_; }
+  std::size_t cohort_count() const noexcept { return cohorts_.size(); }
+
+  /// Fixed per-instance state: the global lock plus one padded cohort
+  /// (local lock + handoff fields) per cohort.
+  std::size_t footprint_bytes() const noexcept {
+    return sizeof(GlobalLock) +
+           cohorts_.size() * sizeof(qsv::platform::Padded<Cohort>);
+  }
+
+ private:
+  /// Per-cohort state. `local` serializes the cohort; `pending` counts
+  /// cohort-mates committed to acquiring it; `top_granted` and `passes`
+  /// are owned by the local lock's holder (carried between holders by
+  /// the lock's release/acquire ordering).
+  struct Cohort {
+    LocalLock local;
+    std::atomic<std::size_t> pending{0};
+    bool top_granted = false;
+    std::size_t passes = 0;
+    /// The exported global hold riding along a local pass (only used
+    /// when the global tier is HoldTransferable).
+    void* global_hold = nullptr;
+
+    explicit Cohort(qsv::wait_policy p)
+      requires std::constructible_from<LocalLock, qsv::wait_policy>
+        : local(p) {}
+    explicit Cohort(qsv::wait_policy)
+      requires(!std::constructible_from<LocalLock, qsv::wait_policy>)
+        : local() {}
+  };
+
+  /// Wraps the global lock so construction can forward the wait policy
+  /// exactly when the component accepts one.
+  struct GlobalHolder {
+    GlobalLock lock;
+    explicit GlobalHolder(qsv::wait_policy p)
+      requires std::constructible_from<GlobalLock, qsv::wait_policy>
+        : lock(p) {}
+    explicit GlobalHolder(qsv::wait_policy)
+      requires(!std::constructible_from<GlobalLock, qsv::wait_policy>)
+        : lock() {}
+  };
+
+  /// Consume an inherited global grant: attach the traveling hold to
+  /// the calling thread (no-op for thread-oblivious global tiers).
+  void adopt_global(Cohort& c) {
+    if constexpr (kGlobalTransfer) {
+      global_.lock.adopt_hold(c.global_hold);
+      c.global_hold = nullptr;
+    }
+  }
+
+  Cohort& my_cohort() {
+    const std::size_t c = map_.my_cohort();
+    if (c >= cohorts_.size()) {
+      detail::cohort_fatal("thread index exceeds cohort table");
+    }
+    return cohorts_[c]->value;
+  }
+
+  Map map_;
+  std::size_t budget_;
+  GlobalHolder global_;
+  /// One padded slab per cohort, allocated once (component locks are
+  /// neither copyable nor movable, so the table is pointer-stable by
+  /// construction).
+  std::vector<std::unique_ptr<qsv::platform::Padded<Cohort>>> cohorts_;
+};
+
+}  // namespace qsv::hier

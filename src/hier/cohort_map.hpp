@@ -7,19 +7,39 @@
 // (DESIGN.md experiment F10) exploits it by preferring intra-cohort
 // handoffs up to a fairness budget.
 //
-// On the container we run in there is no discoverable multi-node
-// topology, so the default policy derives cohorts from dense thread
-// indices in round-robin blocks — the same shape a NUMA-aware runtime
-// would produce with one cohort per node — and the NUMA *simulator*
-// (sim/protocols) supplies the ground-truth cost asymmetry.
+// Two policies:
+//   * TopologyCohortMap — the production map: dense thread indices go
+//     through the harness's round-robin CPU placement
+//     (platform::cpu_for_index) to the NUMA node that cpu belongs to
+//     (platform/topology.hpp). One cohort per node; on hosts without
+//     multi-node structure the topology's single-node fallback makes
+//     this one cohort spanning everything.
+//   * BlockCohortMap — the explicit ablation control: `block`
+//     consecutive indices share a cohort, the same shape a NUMA-aware
+//     runtime would produce with one cohort per node, but independent
+//     of the real machine so experiments can sweep cohort width.
 #pragma once
 
-#include <cassert>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 
 #include "platform/thread_id.hpp"
+#include "platform/affinity.hpp"
+#include "platform/topology.hpp"
 
 namespace qsv::hier {
+
+namespace detail {
+/// Cohort-map contract violations feed directly into cohort-table
+/// indexing (a zero block is a divide-by-zero, an empty node an
+/// unmapped cohort); abort deterministically in every build mode
+/// rather than fall into UB — the HeldMap/node-layer precedent.
+[[noreturn]] inline void cohort_fatal(const char* what) noexcept {
+  std::fprintf(stderr, "libqsv cohort layer: %s\n", what);
+  std::abort();
+}
+}  // namespace detail
 
 /// Assignment of dense thread indices to cohorts: `block` consecutive
 /// indices share a cohort. Immutable after construction; every method is
@@ -29,8 +49,10 @@ class BlockCohortMap {
   /// `block` = threads per cohort (>= 1). A block of 1 degenerates to
   /// "every thread its own cohort" (the lock then behaves like a flat
   /// QSV with an extra indirection — useful as an ablation control).
+  /// A block of 0 would make every cohort_of a divide-by-zero; abort
+  /// deterministically instead of leaving release builds to UB.
   explicit BlockCohortMap(std::size_t block) : block_(block) {
-    assert(block >= 1 && "cohort block must be at least 1");
+    if (block == 0) detail::cohort_fatal("cohort block must be at least 1");
   }
 
   /// Cohort of a dense thread index.
@@ -52,6 +74,52 @@ class BlockCohortMap {
 
  private:
   std::size_t block_;
+};
+
+/// Assignment of dense thread indices to cohorts by *machine locality*:
+/// thread index -> the cpu the harness's round-robin placement gives it
+/// -> that cpu's NUMA node (one cohort per node). This is the map a
+/// NUMA-aware runtime would hand the hierarchical locks; on single-node
+/// hosts the topology fallback collapses it to one cohort, which the
+/// cohort protocol handles (budgeted local handoffs, global acquired
+/// once per tenure). Immutable after construction; safe to share.
+class TopologyCohortMap {
+ public:
+  /// Build over the process topology (the default) or an injected one —
+  /// the caller keeps an injected topology alive for the map's lifetime.
+  explicit TopologyCohortMap(
+      const qsv::platform::Topology& topo = qsv::platform::topology())
+      : topo_(&topo) {
+    if (topo.node_count() == 0) {
+      detail::cohort_fatal("topology has no nodes");
+    }
+    for (const auto& node : topo.nodes()) {
+      if (node.cpus.empty()) {
+        detail::cohort_fatal("topology node without cpus cannot seat a cohort");
+      }
+    }
+  }
+
+  /// Cohort (= dense node index) of a dense thread index.
+  std::size_t cohort_of(std::size_t thread_idx) const noexcept {
+    return topo_->node_of_cpu(qsv::platform::cpu_for_index(thread_idx));
+  }
+
+  /// Cohort of the calling thread.
+  std::size_t my_cohort() const noexcept {
+    return cohort_of(qsv::platform::thread_index());
+  }
+
+  /// One cohort per node, regardless of thread count — node ids are
+  /// dense, so this covers every index cohort_of can produce.
+  std::size_t cohort_count(std::size_t /*max_threads*/) const noexcept {
+    return topo_->node_count();
+  }
+
+  const qsv::platform::Topology& topology() const noexcept { return *topo_; }
+
+ private:
+  const qsv::platform::Topology* topo_;
 };
 
 }  // namespace qsv::hier

@@ -1,0 +1,48 @@
+// hier_events.hpp — protocol-event sinks shared by the hierarchical
+// (cohort) locks.
+//
+// Both the specialized HierQsvMutex (hier_qsv.hpp) and the generic
+// CohortLock combinator (cohort_lock.hpp) expose the same three
+// protocol events — a budgeted local pass, a global acquisition, a
+// global release — so tests and benches can assert the pass/acquire mix
+// against one vocabulary regardless of which composition produced it.
+// The default sink compiles to nothing (the core/events.hpp pattern);
+// CountingHierEvents is the process-global instrument.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace qsv::hier {
+
+/// Protocol-event sink for the hierarchical locks. Instrument with
+/// CountingHierEvents in tests/benches; the default compiles to nothing.
+struct NullHierEvents {
+  static void count_local_pass() noexcept {}
+  static void count_global_acquire() noexcept {}
+  static void count_global_release() noexcept {}
+};
+
+/// Process-global relaxed tallies (instrumentation only).
+struct CountingHierEvents {
+  static inline std::atomic<std::uint64_t> local_passes{0};
+  static inline std::atomic<std::uint64_t> global_acquires{0};
+  static inline std::atomic<std::uint64_t> global_releases{0};
+
+  static void count_local_pass() noexcept {
+    local_passes.fetch_add(1, std::memory_order_relaxed);
+  }
+  static void count_global_acquire() noexcept {
+    global_acquires.fetch_add(1, std::memory_order_relaxed);
+  }
+  static void count_global_release() noexcept {
+    global_releases.fetch_add(1, std::memory_order_relaxed);
+  }
+  static void reset() noexcept {
+    local_passes.store(0, std::memory_order_relaxed);
+    global_acquires.store(0, std::memory_order_relaxed);
+    global_releases.store(0, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace qsv::hier

@@ -25,11 +25,11 @@
 #pragma once
 
 #include <atomic>
-#include <cassert>
 #include <concepts>
 #include <cstdint>
 
 #include "hier/cohort_map.hpp"
+#include "hier/hier_events.hpp"
 #include "platform/arch.hpp"
 #include "platform/cache.hpp"
 #include "platform/node_arena.hpp"
@@ -37,37 +37,6 @@
 #include "platform/wait.hpp"
 
 namespace qsv::hier {
-
-/// Protocol-event sink for the hierarchical lock (see core/events.hpp
-/// for the pattern). Instrument with CountingHierEvents in tests/benches;
-/// the default compiles to nothing.
-struct NullHierEvents {
-  static void count_local_pass() noexcept {}
-  static void count_global_acquire() noexcept {}
-  static void count_global_release() noexcept {}
-};
-
-/// Process-global relaxed tallies (instrumentation only).
-struct CountingHierEvents {
-  static inline std::atomic<std::uint64_t> local_passes{0};
-  static inline std::atomic<std::uint64_t> global_acquires{0};
-  static inline std::atomic<std::uint64_t> global_releases{0};
-
-  static void count_local_pass() noexcept {
-    local_passes.fetch_add(1, std::memory_order_relaxed);
-  }
-  static void count_global_acquire() noexcept {
-    global_acquires.fetch_add(1, std::memory_order_relaxed);
-  }
-  static void count_global_release() noexcept {
-    global_releases.fetch_add(1, std::memory_order_relaxed);
-  }
-  static void reset() noexcept {
-    local_passes.store(0, std::memory_order_relaxed);
-    global_acquires.store(0, std::memory_order_relaxed);
-    global_releases.store(0, std::memory_order_relaxed);
-  }
-};
 
 /// Hierarchical QSV mutex. `Wait` is the waiting strategy for both the
 /// local and global wait — per-instance state, fixed at construction
@@ -200,6 +169,7 @@ class HierQsvMutex {
 
   std::size_t threads_per_cohort() const noexcept { return map_.block(); }
   std::size_t budget() const noexcept { return budget_; }
+  std::size_t cohort_count() const noexcept { return cohorts_.size(); }
 
   /// Fixed per-instance state: the global word plus one padded tail (and
   /// holder-private fields) per cohort.
@@ -232,7 +202,9 @@ class HierQsvMutex {
 
   Cohort& my_cohort() {
     const std::size_t c = map_.my_cohort();
-    assert(c < cohorts_.size() && "thread index exceeds cohort table");
+    if (c >= cohorts_.size()) {
+      detail::cohort_fatal("thread index exceeds cohort table");
+    }
     return cohorts_[c];
   }
 

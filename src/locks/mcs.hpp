@@ -78,6 +78,18 @@ class McsLock {
     Arena::instance().release(n);
   }
 
+  /// Hand the unlock obligation to another thread (the cohort
+  /// combinator's hook — see QsvMutex::export_hold for the contract).
+  void* export_hold() {
+    auto& e = Held::local().find(this);
+    Node* n = e.node;
+    Held::local().erase(e);
+    return n;
+  }
+  void adopt_hold(void* hold) {
+    Held::local().insert(this, static_cast<Node*>(hold));
+  }
+
   static constexpr const char* name() noexcept { return "mcs"; }
   static constexpr std::size_t footprint_bytes() noexcept {
     return sizeof(std::atomic<void*>);  // tail; one node per waiting thread

@@ -36,6 +36,9 @@ class TasLock {
     flag_.store(0, std::memory_order_release);
   }
 
+  /// unlock() touches no per-thread state (see hier/cohort_lock.hpp).
+  static constexpr bool kThreadObliviousUnlock = true;
+
   static constexpr const char* name() noexcept { return "tas"; }
 
   /// Space occupied by the lock itself (Table 2).

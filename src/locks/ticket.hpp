@@ -47,6 +47,12 @@ class TicketLock {
                        std::memory_order_release);
   }
 
+  /// unlock() touches no per-thread state, so any thread may release a
+  /// held ticket lock — the property the cohort combinator needs from
+  /// its global tier when no hold transfer is available
+  /// (hier/cohort_lock.hpp).
+  static constexpr bool kThreadObliviousUnlock = true;
+
   static constexpr const char* name() noexcept { return "ticket"; }
   static constexpr std::size_t footprint_bytes() noexcept {
     return 2 * sizeof(std::atomic<std::uint32_t>);

@@ -32,9 +32,13 @@ const std::vector<int>& allowed_cpus() {
 
 std::size_t available_cpus() { return allowed_cpus().size(); }
 
-std::optional<int> pin_to_cpu(std::size_t index) {
+int cpu_for_index(std::size_t index) {
   const auto& cpus = allowed_cpus();
-  const int cpu = cpus[index % cpus.size()];
+  return cpus[index % cpus.size()];
+}
+
+std::optional<int> pin_to_cpu(std::size_t index) {
+  const int cpu = cpu_for_index(index);
   cpu_set_t set;
   CPU_ZERO(&set);
   CPU_SET(cpu, &set);

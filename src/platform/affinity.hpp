@@ -13,6 +13,12 @@ namespace qsv::platform {
 /// Number of processors available to this process (respects taskset).
 std::size_t available_cpus();
 
+/// The logical cpu id that pin_to_cpu(index) would choose — the
+/// round-robin placement rule, without the pinning side effect. The
+/// topology-aware cohort map uses this to predict where a dense thread
+/// index runs.
+int cpu_for_index(std::size_t index);
+
 /// Pin the calling thread to logical cpu `index % available` within the
 /// process's allowed set. Returns the actual cpu id chosen, or nullopt if
 /// pinning is unsupported/failed (the run proceeds unpinned).

@@ -1,0 +1,177 @@
+#include "platform/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <climits>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace qsv::platform {
+
+namespace {
+
+/// First line of a file, or empty when unreadable.
+std::string read_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (!in || !std::getline(in, line)) return {};
+  return line;
+}
+
+/// Parse a non-negative integer; returns -1 on anything else.
+int parse_int(const std::string& text) {
+  if (text.empty()) return -1;
+  int value = 0;
+  for (char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return -1;
+    if (value > (INT_MAX - (c - '0')) / 10) return -1;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+/// physical_package_id of one cpu under `root`, 0 when missing (the
+/// fallback mirrors sysfs's own default on single-package machines).
+int package_of_cpu(const std::string& root, int cpu) {
+  const int id = parse_int(read_line(root + "/devices/system/cpu/cpu" +
+                                     std::to_string(cpu) +
+                                     "/topology/physical_package_id"));
+  return id < 0 ? 0 : id;
+}
+
+/// The online cpus under `root`: the "online" cpulist when present,
+/// else an enumeration probe of cpu<N> directories, else
+/// hardware_concurrency. Never empty.
+std::vector<int> online_cpus(const std::string& root) {
+  auto cpus = parse_cpulist(read_line(root + "/devices/system/cpu/online"));
+  if (cpus.empty()) {
+    for (int c = 0; c < 4096; ++c) {
+      std::ifstream probe(root + "/devices/system/cpu/cpu" +
+                          std::to_string(c) +
+                          "/topology/physical_package_id");
+      if (probe) cpus.push_back(c);
+    }
+  }
+  if (cpus.empty()) {
+    const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+    for (unsigned c = 0; c < n; ++c) cpus.push_back(static_cast<int>(c));
+  }
+  return cpus;
+}
+
+}  // namespace
+
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::stringstream ss(text);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    // Trim whitespace (sysfs lines end in '\n'; fixtures may add spaces).
+    const auto begin = token.find_first_not_of(" \t\r\n");
+    const auto end = token.find_last_not_of(" \t\r\n");
+    if (begin == std::string::npos) continue;
+    token = token.substr(begin, end - begin + 1);
+    const auto dash = token.find('-');
+    if (dash == std::string::npos) {
+      const int cpu = parse_int(token);
+      if (cpu >= 0 && cpu <= kMaxCpuId) cpus.push_back(cpu);
+      continue;
+    }
+    const int lo = parse_int(token.substr(0, dash));
+    const int hi = parse_int(token.substr(dash + 1));
+    // Malformed, inverted, or absurdly large ranges are dropped, not
+    // "repaired": a fixture like "3-", "7-2", or "0-2000000000" yields
+    // nothing from this fragment (an unbounded id would size
+    // cpu-indexed tables from garbage).
+    if (lo < 0 || hi < lo || hi > kMaxCpuId) continue;
+    for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+Topology::Topology(std::vector<Node> nodes) : nodes_(std::move(nodes)) {
+  // Hand-built nodes (tests, future providers) get the same id bound
+  // discovery applies — out-of-range cpu ids must not size the
+  // cpu-indexed table — and a cpu claimed by two nodes belongs to the
+  // first (later claims are dropped, so cpu_count() counts distinct
+  // cpus and node_of_cpu() agrees with the printed node lists).
+  std::vector<bool> seen(static_cast<std::size_t>(kMaxCpuId) + 1, false);
+  for (Node& node : nodes_) {
+    std::erase_if(node.cpus, [&](int c) {
+      if (c < 0 || c > kMaxCpuId) return true;
+      if (seen[static_cast<std::size_t>(c)]) return true;
+      seen[static_cast<std::size_t>(c)] = true;
+      return false;
+    });
+  }
+  // Never empty: degenerate input gets the one-node shape the fallback
+  // produces, so every consumer can rely on node_count() >= 1.
+  if (nodes_.empty() || (nodes_.size() == 1 && nodes_[0].cpus.empty())) {
+    nodes_.clear();
+    Node all;
+    const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+    for (unsigned c = 0; c < n; ++c) all.cpus.push_back(static_cast<int>(c));
+    nodes_.push_back(std::move(all));
+    fallback_ = true;
+  }
+  int max_cpu = 0;
+  std::vector<int> packages;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].id = i;
+    packages.push_back(nodes_[i].package);
+    for (int c : nodes_[i].cpus) max_cpu = std::max(max_cpu, c);
+    cpu_count_ += nodes_[i].cpus.size();
+  }
+  std::sort(packages.begin(), packages.end());
+  packages.erase(std::unique(packages.begin(), packages.end()),
+                 packages.end());
+  packages_ = packages.size();
+  cpu_to_node_.assign(static_cast<std::size_t>(max_cpu) + 1, 0);
+  for (const Node& node : nodes_) {
+    for (int c : node.cpus) cpu_to_node_[static_cast<std::size_t>(c)] = node.id;
+  }
+}
+
+std::size_t Topology::node_of_cpu(int cpu) const noexcept {
+  if (cpu < 0 || static_cast<std::size_t>(cpu) >= cpu_to_node_.size()) {
+    return 0;
+  }
+  return cpu_to_node_[static_cast<std::size_t>(cpu)];
+}
+
+Topology discover_topology(const std::string& root) {
+  std::vector<Topology::Node> nodes;
+  // Probe the whole id range rather than stopping at the first gap:
+  // memory-only nodes (Optane/CXL) have an *empty* cpulist and offline
+  // nodes no directory at all, and either may sit between cpu-bearing
+  // nodes. 1024 existence checks happen once per process.
+  for (int n = 0; n < 1024; ++n) {
+    auto cpus = parse_cpulist(read_line(
+        root + "/devices/system/node/node" + std::to_string(n) + "/cpulist"));
+    if (cpus.empty()) continue;  // absent, memory-only, or malformed node
+    Topology::Node node;
+    node.sysfs_id = n;
+    node.package = package_of_cpu(root, cpus.front());
+    node.cpus = std::move(cpus);
+    nodes.push_back(std::move(node));
+  }
+  if (nodes.empty()) {
+    // No node directory (or nothing usable in it): one node, all cpus.
+    Topology::Node all;
+    all.cpus = online_cpus(root);
+    Topology topo({std::move(all)});
+    topo.fallback_ = true;
+    return topo;
+  }
+  return Topology(std::move(nodes));
+}
+
+const Topology& topology() {
+  static const Topology topo = discover_topology();
+  return topo;
+}
+
+}  // namespace qsv::platform

@@ -1,0 +1,90 @@
+// topology.hpp — runtime discovery of the machine's locality structure.
+//
+// The hierarchical (cohort) locks need to know which processors are
+// "near" each other: handoffs inside a NUMA node or package are cheap,
+// handoffs across them are the expensive traffic the cohort protocol
+// exists to avoid. The 1991 testbeds had this structure wired into the
+// machine description; on Linux it is discoverable at runtime from
+// sysfs:
+//
+//   /sys/devices/system/node/node<N>/cpulist          node -> cpus
+//   /sys/devices/system/cpu/cpu<C>/topology/physical_package_id
+//
+// discover_topology() parses both into a Topology (packages -> nodes ->
+// cpus). The sysfs root is injectable so tests can feed fixture trees
+// (multi-node, single-node, malformed); production callers use the
+// cached process-wide topology(). Hosts without a node directory — the
+// common container case — fall back gracefully to one node spanning
+// every online cpu, so a Topology is never empty and cohort code needs
+// no special case.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qsv::platform {
+
+/// The machine's locality structure: packages contain nodes, nodes
+/// contain cpus. Always well-formed — at least one node with at least
+/// one cpu (the single-node fallback), node ids dense in [0, nodes()).
+class Topology {
+ public:
+  struct Node {
+    std::size_t id = 0;        ///< dense node index (not the sysfs id)
+    int sysfs_id = 0;          ///< the node<N> number sysfs reported
+    int package = 0;           ///< physical_package_id of its first cpu
+    std::vector<int> cpus;     ///< logical cpu ids, ascending
+  };
+
+  explicit Topology(std::vector<Node> nodes);
+
+  const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Number of distinct physical packages across the nodes.
+  std::size_t package_count() const noexcept { return packages_; }
+
+  /// Total cpus across all nodes.
+  std::size_t cpu_count() const noexcept { return cpu_count_; }
+
+  /// Dense node index owning logical cpu `cpu`; cpus sysfs did not list
+  /// (hotplugged after discovery, fixture gaps) map to node 0 so the
+  /// cohort layer never indexes out of range.
+  std::size_t node_of_cpu(int cpu) const noexcept;
+
+  /// True when discovery found no multi-node structure and fell back to
+  /// the single all-cpus node.
+  bool is_fallback() const noexcept { return fallback_; }
+
+ private:
+  friend Topology discover_topology(const std::string& root);
+
+  std::vector<Node> nodes_;
+  std::vector<std::size_t> cpu_to_node_;  ///< index = cpu id
+  std::size_t packages_ = 1;
+  std::size_t cpu_count_ = 0;
+  bool fallback_ = false;
+};
+
+/// Largest logical cpu id discovery will believe. Fragments beyond it
+/// are malformed by definition: real machines stay far below, and an
+/// unbounded id would size cpu-indexed tables from garbage input.
+inline constexpr int kMaxCpuId = 4095;
+
+/// Parse the cpulist syntax sysfs uses ("0-3,8,10-11"). Returns the ids
+/// in ascending order; malformed fragments — including ids beyond
+/// kMaxCpuId — are skipped rather than trusted (a garbage sysfs must
+/// not produce a garbage cohort map).
+std::vector<int> parse_cpulist(const std::string& text);
+
+/// Discover the topology under `root` (default the real sysfs). A tree
+/// without node directories — or an unreadable one — yields the
+/// single-node fallback over the online cpus (hardware_concurrency when
+/// even the cpu directories are missing).
+Topology discover_topology(const std::string& root = "/sys");
+
+/// The process-wide topology, discovered once from the real sysfs.
+const Topology& topology();
+
+}  // namespace qsv::platform

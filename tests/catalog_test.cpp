@@ -30,19 +30,21 @@ TEST(Catalog, CoversEverythingTheOldCataloguesDid) {
   // The per-policy rows ("qsv/yield", "qsv/park", "qsv-episode/park")
   // collapsed into wait-mode bits on the one entry per primitive; the
   // rows they freed are spent on genuinely new primitives (futex, the
-  // two eventcounts), so the overall floor of 28 — which CI checks via
-  // qsvbench --catalog-names — still holds.
-  EXPECT_GE(qc::locks().size(), 14u);
+  // two eventcounts), and the cohort combinator added four
+  // compositions, so the overall floor is 32 — which CI checks via
+  // qsvbench --catalog-names.
+  EXPECT_GE(qc::locks().size(), 18u);
   EXPECT_GE(qc::barriers().size(), 7u);
   EXPECT_GE(qc::rwlocks().size(), 5u);
   EXPECT_GE(qc::eventcounts().size(), 2u);
-  EXPECT_GE(qc::all().size(), 28u);
+  EXPECT_GE(qc::all().size(), 32u);
   for (const char* name :
        {"tas", "ttas", "ttas+backoff", "ticket", "ticket+prop", "anderson",
         "graunke-thakkar", "clh", "mcs", "std::mutex", "futex", "qsv",
-        "qsv-timeout", "hier-qsv", "central", "combining-tree",
-        "tournament", "dissemination", "mcs-tree", "std::barrier",
-        "qsv-episode", "central-rw/reader-pref",
+        "qsv-timeout", "hier-qsv", "cohort/qsv+qsv", "cohort/mcs+mcs",
+        "cohort/qsv+ticket", "cohort/ticket+mcs", "central",
+        "combining-tree", "tournament", "dissemination", "mcs-tree",
+        "std::barrier", "qsv-episode", "central-rw/reader-pref",
         "central-rw/writer-pref", "std::shared_mutex", "qsv-rw",
         "qsv-rw/central", "eventcount", "queued-ec"}) {
     EXPECT_NE(qc::find(name), nullptr) << name;

@@ -10,6 +10,7 @@
 #include "harness/team.hpp"
 #include "hier/cohort_map.hpp"
 #include "hier/hier_qsv.hpp"
+#include "platform/affinity.hpp"
 #include "platform/wait.hpp"
 #include "workload/critical_section.hpp"
 
@@ -61,6 +62,13 @@ TEST(BlockCohortMap, CohortCountCoversAllThreads) {
   for (std::size_t i = 0; i < 9; ++i) {
     EXPECT_LT(map.cohort_of(i), map.cohort_count(9));
   }
+}
+
+TEST(BlockCohortMapDeathTest, ZeroBlockAbortsDeterministically) {
+  // A zero block would make every cohort_of a divide-by-zero; release
+  // builds must abort with a diagnostic, not fall into UB (the
+  // HeldMap/node-layer precedent).
+  EXPECT_DEATH(qh::BlockCohortMap{0}, "cohort block must be at least 1");
 }
 
 TEST(BlockCohortMap, MyCohortUsesDenseThreadIndex) {
@@ -226,6 +234,14 @@ TEST(HierQsvMutex, GlobalAcquiresBalanceReleases) {
 }
 
 TEST(HierQsvMutex, LargeBudgetPassesDominate) {
+  // A local pass needs a cohort-mate already queued at unlock time; on
+  // one processor the queue is usually empty (threads run to
+  // completion of their quantum), so passes cannot dominate.
+  // available_cpus() rather than hardware_concurrency(): the allowed
+  // set (taskset/cgroup cpuset) is what bounds real parallelism.
+  if (qsv::platform::available_cpus() < 2) {
+    GTEST_SKIP() << "needs >= 2 processors to keep the cohort queue busy";
+  }
   using Events = qh::CountingHierEvents;
   Events::reset();
   qh::HierQsvMutex<qsv::platform::SpinWait, Events> lock(1024, 1u << 20);
