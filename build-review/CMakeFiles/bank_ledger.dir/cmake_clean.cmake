@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_ledger.dir/examples/bank_ledger.cpp.o"
+  "CMakeFiles/bank_ledger.dir/examples/bank_ledger.cpp.o.d"
+  "bank_ledger"
+  "bank_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bank_ledger.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_property_test.dir/tests/barrier_property_test.cpp.o"
+  "CMakeFiles/barrier_property_test.dir/tests/barrier_property_test.cpp.o.d"
+  "barrier_property_test"
+  "barrier_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barriers_test.dir/tests/barriers_test.cpp.o"
+  "CMakeFiles/barriers_test.dir/tests/barriers_test.cpp.o.d"
+  "barriers_test"
+  "barriers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barriers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench-artifacts"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/bench-artifacts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchreg_test.dir/tests/benchreg_test.cpp.o"
+  "CMakeFiles/benchreg_test.dir/tests/benchreg_test.cpp.o.d"
+  "benchreg_test"
+  "benchreg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchreg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

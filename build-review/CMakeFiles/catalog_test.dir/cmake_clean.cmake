@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_test.dir/tests/catalog_test.cpp.o"
+  "CMakeFiles/catalog_test.dir/tests/catalog_test.cpp.o.d"
+  "catalog_test"
+  "catalog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combining_test.dir/tests/combining_test.cpp.o"
+  "CMakeFiles/combining_test.dir/tests/combining_test.cpp.o.d"
+  "combining_test"
+  "combining_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

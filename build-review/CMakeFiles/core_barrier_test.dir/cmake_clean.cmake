@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_barrier_test.dir/tests/core_barrier_test.cpp.o"
+  "CMakeFiles/core_barrier_test.dir/tests/core_barrier_test.cpp.o.d"
+  "core_barrier_test"
+  "core_barrier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_barrier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mutex_test.dir/tests/core_mutex_test.cpp.o"
+  "CMakeFiles/core_mutex_test.dir/tests/core_mutex_test.cpp.o.d"
+  "core_mutex_test"
+  "core_mutex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mutex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

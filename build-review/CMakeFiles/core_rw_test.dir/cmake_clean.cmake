@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_rw_test.dir/tests/core_rw_test.cpp.o"
+  "CMakeFiles/core_rw_test.dir/tests/core_rw_test.cpp.o.d"
+  "core_rw_test"
+  "core_rw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_rw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sugar_test.dir/tests/core_sugar_test.cpp.o"
+  "CMakeFiles/core_sugar_test.dir/tests/core_sugar_test.cpp.o.d"
+  "core_sugar_test"
+  "core_sugar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sugar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

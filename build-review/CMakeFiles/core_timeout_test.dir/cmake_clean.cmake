@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_timeout_test.dir/tests/core_timeout_test.cpp.o"
+  "CMakeFiles/core_timeout_test.dir/tests/core_timeout_test.cpp.o.d"
+  "core_timeout_test"
+  "core_timeout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_timeout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

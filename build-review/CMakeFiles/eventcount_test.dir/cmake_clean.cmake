@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventcount_test.dir/tests/eventcount_test.cpp.o"
+  "CMakeFiles/eventcount_test.dir/tests/eventcount_test.cpp.o.d"
+  "eventcount_test"
+  "eventcount_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventcount_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

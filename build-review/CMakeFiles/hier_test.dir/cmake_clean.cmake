@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hier_test.dir/tests/hier_test.cpp.o"
+  "CMakeFiles/hier_test.dir/tests/hier_test.cpp.o.d"
+  "hier_test"
+  "hier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

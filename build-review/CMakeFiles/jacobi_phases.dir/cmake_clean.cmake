@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi_phases.dir/examples/jacobi_phases.cpp.o"
+  "CMakeFiles/jacobi_phases.dir/examples/jacobi_phases.cpp.o.d"
+  "jacobi_phases"
+  "jacobi_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

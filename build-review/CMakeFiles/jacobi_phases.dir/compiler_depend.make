@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for jacobi_phases.
+# This may be replaced when dependencies are built.

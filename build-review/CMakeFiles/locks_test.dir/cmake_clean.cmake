@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locks_test.dir/tests/locks_test.cpp.o"
+  "CMakeFiles/locks_test.dir/tests/locks_test.cpp.o.d"
+  "locks_test"
+  "locks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parking_test.dir/tests/parking_test.cpp.o"
+  "CMakeFiles/parking_test.dir/tests/parking_test.cpp.o.d"
+  "parking_test"
+  "parking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline.dir/examples/pipeline.cpp.o"
+  "CMakeFiles/pipeline.dir/examples/pipeline.cpp.o.d"
+  "pipeline"
+  "pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

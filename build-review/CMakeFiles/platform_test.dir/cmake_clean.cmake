@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_test.dir/tests/platform_test.cpp.o"
+  "CMakeFiles/platform_test.dir/tests/platform_test.cpp.o.d"
+  "platform_test"
+  "platform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchreg/emit.cpp" "CMakeFiles/qsv.dir/src/benchreg/emit.cpp.o" "gcc" "CMakeFiles/qsv.dir/src/benchreg/emit.cpp.o.d"
+  "/root/repo/src/benchreg/registry.cpp" "CMakeFiles/qsv.dir/src/benchreg/registry.cpp.o" "gcc" "CMakeFiles/qsv.dir/src/benchreg/registry.cpp.o.d"
+  "/root/repo/src/catalog/builtin.cpp" "CMakeFiles/qsv.dir/src/catalog/builtin.cpp.o" "gcc" "CMakeFiles/qsv.dir/src/catalog/builtin.cpp.o.d"
+  "/root/repo/src/catalog/catalog.cpp" "CMakeFiles/qsv.dir/src/catalog/catalog.cpp.o" "gcc" "CMakeFiles/qsv.dir/src/catalog/catalog.cpp.o.d"
+  "/root/repo/src/platform/affinity.cpp" "CMakeFiles/qsv.dir/src/platform/affinity.cpp.o" "gcc" "CMakeFiles/qsv.dir/src/platform/affinity.cpp.o.d"
+  "/root/repo/src/platform/histogram.cpp" "CMakeFiles/qsv.dir/src/platform/histogram.cpp.o" "gcc" "CMakeFiles/qsv.dir/src/platform/histogram.cpp.o.d"
+  "/root/repo/src/platform/timing.cpp" "CMakeFiles/qsv.dir/src/platform/timing.cpp.o" "gcc" "CMakeFiles/qsv.dir/src/platform/timing.cpp.o.d"
+  "/root/repo/src/platform/topology.cpp" "CMakeFiles/qsv.dir/src/platform/topology.cpp.o" "gcc" "CMakeFiles/qsv.dir/src/platform/topology.cpp.o.d"
+  "/root/repo/src/platform/waiter.cpp" "CMakeFiles/qsv.dir/src/platform/waiter.cpp.o" "gcc" "CMakeFiles/qsv.dir/src/platform/waiter.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "CMakeFiles/qsv.dir/src/sim/machine.cpp.o" "gcc" "CMakeFiles/qsv.dir/src/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/protocols.cpp" "CMakeFiles/qsv.dir/src/sim/protocols.cpp.o" "gcc" "CMakeFiles/qsv.dir/src/sim/protocols.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

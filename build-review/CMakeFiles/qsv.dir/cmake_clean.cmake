@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsv.dir/src/benchreg/emit.cpp.o"
+  "CMakeFiles/qsv.dir/src/benchreg/emit.cpp.o.d"
+  "CMakeFiles/qsv.dir/src/benchreg/registry.cpp.o"
+  "CMakeFiles/qsv.dir/src/benchreg/registry.cpp.o.d"
+  "CMakeFiles/qsv.dir/src/catalog/builtin.cpp.o"
+  "CMakeFiles/qsv.dir/src/catalog/builtin.cpp.o.d"
+  "CMakeFiles/qsv.dir/src/catalog/catalog.cpp.o"
+  "CMakeFiles/qsv.dir/src/catalog/catalog.cpp.o.d"
+  "CMakeFiles/qsv.dir/src/platform/affinity.cpp.o"
+  "CMakeFiles/qsv.dir/src/platform/affinity.cpp.o.d"
+  "CMakeFiles/qsv.dir/src/platform/histogram.cpp.o"
+  "CMakeFiles/qsv.dir/src/platform/histogram.cpp.o.d"
+  "CMakeFiles/qsv.dir/src/platform/timing.cpp.o"
+  "CMakeFiles/qsv.dir/src/platform/timing.cpp.o.d"
+  "CMakeFiles/qsv.dir/src/platform/topology.cpp.o"
+  "CMakeFiles/qsv.dir/src/platform/topology.cpp.o.d"
+  "CMakeFiles/qsv.dir/src/platform/waiter.cpp.o"
+  "CMakeFiles/qsv.dir/src/platform/waiter.cpp.o.d"
+  "CMakeFiles/qsv.dir/src/sim/machine.cpp.o"
+  "CMakeFiles/qsv.dir/src/sim/machine.cpp.o.d"
+  "CMakeFiles/qsv.dir/src/sim/protocols.cpp.o"
+  "CMakeFiles/qsv.dir/src/sim/protocols.cpp.o.d"
+  "libqsv.a"
+  "libqsv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

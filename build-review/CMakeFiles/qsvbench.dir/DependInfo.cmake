@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl1_wait_policy.cpp" "CMakeFiles/qsvbench.dir/bench/abl1_wait_policy.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/abl1_wait_policy.cpp.o.d"
+  "/root/repo/bench/abl2_reader_batch.cpp" "CMakeFiles/qsvbench.dir/bench/abl2_reader_batch.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/abl2_reader_batch.cpp.o.d"
+  "/root/repo/bench/abl3_backoff.cpp" "CMakeFiles/qsvbench.dir/bench/abl3_backoff.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/abl3_backoff.cpp.o.d"
+  "/root/repo/bench/abl4_parking.cpp" "CMakeFiles/qsvbench.dir/bench/abl4_parking.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/abl4_parking.cpp.o.d"
+  "/root/repo/bench/abl5_costmodel.cpp" "CMakeFiles/qsvbench.dir/bench/abl5_costmodel.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/abl5_costmodel.cpp.o.d"
+  "/root/repo/bench/abl6_striped_readers.cpp" "CMakeFiles/qsvbench.dir/bench/abl6_striped_readers.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/abl6_striped_readers.cpp.o.d"
+  "/root/repo/bench/fig10_hier.cpp" "CMakeFiles/qsvbench.dir/bench/fig10_hier.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/fig10_hier.cpp.o.d"
+  "/root/repo/bench/fig11_eventcount.cpp" "CMakeFiles/qsvbench.dir/bench/fig11_eventcount.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/fig11_eventcount.cpp.o.d"
+  "/root/repo/bench/fig1_lock_scaling.cpp" "CMakeFiles/qsvbench.dir/bench/fig1_lock_scaling.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/fig1_lock_scaling.cpp.o.d"
+  "/root/repo/bench/fig2_bus_traffic.cpp" "CMakeFiles/qsvbench.dir/bench/fig2_bus_traffic.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/fig2_bus_traffic.cpp.o.d"
+  "/root/repo/bench/fig3_numa_traffic.cpp" "CMakeFiles/qsvbench.dir/bench/fig3_numa_traffic.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/fig3_numa_traffic.cpp.o.d"
+  "/root/repo/bench/fig4_barrier_scaling.cpp" "CMakeFiles/qsvbench.dir/bench/fig4_barrier_scaling.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/fig4_barrier_scaling.cpp.o.d"
+  "/root/repo/bench/fig5_barrier_traffic.cpp" "CMakeFiles/qsvbench.dir/bench/fig5_barrier_traffic.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/fig5_barrier_traffic.cpp.o.d"
+  "/root/repo/bench/fig6_cs_crossover.cpp" "CMakeFiles/qsvbench.dir/bench/fig6_cs_crossover.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/fig6_cs_crossover.cpp.o.d"
+  "/root/repo/bench/fig7_fairness.cpp" "CMakeFiles/qsvbench.dir/bench/fig7_fairness.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/fig7_fairness.cpp.o.d"
+  "/root/repo/bench/fig8_rw_ratio.cpp" "CMakeFiles/qsvbench.dir/bench/fig8_rw_ratio.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/fig8_rw_ratio.cpp.o.d"
+  "/root/repo/bench/fig9_timeout.cpp" "CMakeFiles/qsvbench.dir/bench/fig9_timeout.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/fig9_timeout.cpp.o.d"
+  "/root/repo/bench/qsvbench_main.cpp" "CMakeFiles/qsvbench.dir/bench/qsvbench_main.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/qsvbench_main.cpp.o.d"
+  "/root/repo/bench/smoke_rw_ratio.cpp" "CMakeFiles/qsvbench.dir/bench/smoke_rw_ratio.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/smoke_rw_ratio.cpp.o.d"
+  "/root/repo/bench/tab1_uncontended.cpp" "CMakeFiles/qsvbench.dir/bench/tab1_uncontended.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/tab1_uncontended.cpp.o.d"
+  "/root/repo/bench/tab2_space.cpp" "CMakeFiles/qsvbench.dir/bench/tab2_space.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/tab2_space.cpp.o.d"
+  "/root/repo/bench/tab3_combining.cpp" "CMakeFiles/qsvbench.dir/bench/tab3_combining.cpp.o" "gcc" "CMakeFiles/qsvbench.dir/bench/tab3_combining.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/qsv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

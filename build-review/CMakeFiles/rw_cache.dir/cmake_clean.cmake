@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_cache.dir/examples/rw_cache.cpp.o"
+  "CMakeFiles/rw_cache.dir/examples/rw_cache.cpp.o.d"
+  "rw_cache"
+  "rw_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

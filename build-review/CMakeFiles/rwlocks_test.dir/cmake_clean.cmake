@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwlocks_test.dir/tests/rwlocks_test.cpp.o"
+  "CMakeFiles/rwlocks_test.dir/tests/rwlocks_test.cpp.o.d"
+  "rwlocks_test"
+  "rwlocks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwlocks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_explorer.dir/examples/sim_explorer.cpp.o"
+  "CMakeFiles/sim_explorer.dir/examples/sim_explorer.cpp.o.d"
+  "sim_explorer"
+  "sim_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_protocols_test.dir/tests/sim_protocols_test.cpp.o"
+  "CMakeFiles/sim_protocols_test.dir/tests/sim_protocols_test.cpp.o.d"
+  "sim_protocols_test"
+  "sim_protocols_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoke-bench"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/smoke-bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

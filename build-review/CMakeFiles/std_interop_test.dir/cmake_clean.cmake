@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/std_interop_test.dir/tests/std_interop_test.cpp.o"
+  "CMakeFiles/std_interop_test.dir/tests/std_interop_test.cpp.o.d"
+  "std_interop_test"
+  "std_interop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/std_interop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/striped_rw_test.dir/tests/striped_rw_test.cpp.o"
+  "CMakeFiles/striped_rw_test.dir/tests/striped_rw_test.cpp.o.d"
+  "striped_rw_test"
+  "striped_rw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/striped_rw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

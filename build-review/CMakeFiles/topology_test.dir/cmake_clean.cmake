@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_test.dir/tests/topology_test.cpp.o"
+  "CMakeFiles/topology_test.dir/tests/topology_test.cpp.o.d"
+  "topology_test"
+  "topology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

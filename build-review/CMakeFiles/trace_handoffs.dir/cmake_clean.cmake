@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_handoffs.dir/examples/trace_handoffs.cpp.o"
+  "CMakeFiles/trace_handoffs.dir/examples/trace_handoffs.cpp.o.d"
+  "trace_handoffs"
+  "trace_handoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_handoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

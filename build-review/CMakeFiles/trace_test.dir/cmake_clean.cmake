@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_test.dir/tests/trace_test.cpp.o"
+  "CMakeFiles/trace_test.dir/tests/trace_test.cpp.o.d"
+  "trace_test"
+  "trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

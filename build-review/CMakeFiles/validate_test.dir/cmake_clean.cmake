@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_test.dir/tests/validate_test.cpp.o"
+  "CMakeFiles/validate_test.dir/tests/validate_test.cpp.o.d"
+  "validate_test"
+  "validate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

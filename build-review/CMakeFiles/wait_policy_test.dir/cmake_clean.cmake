@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wait_policy_test.dir/tests/wait_policy_test.cpp.o"
+  "CMakeFiles/wait_policy_test.dir/tests/wait_policy_test.cpp.o.d"
+  "wait_policy_test"
+  "wait_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wait_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wait_policy_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/work_crew.dir/examples/work_crew.cpp.o"
+  "CMakeFiles/work_crew.dir/examples/work_crew.cpp.o.d"
+  "work_crew"
+  "work_crew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/work_crew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for work_crew.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bin/libgtest.pdb"
+  "../../lib/libgtest.a"
+  "CMakeFiles/gtest.dir/src/gtest-all.cc.o"
+  "CMakeFiles/gtest.dir/src/gtest-all.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

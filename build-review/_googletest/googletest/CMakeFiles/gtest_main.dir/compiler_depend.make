@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gtest_main.
+# This may be replaced when dependencies are built.
