@@ -236,6 +236,10 @@ int main(int argc, char** argv) {
       tag(qsv::catalog::kEpisode, "episode");
       tag(qsv::catalog::kEventCount, "eventcount");
       tag(qsv::catalog::kCohort, "cohort");
+      tag(qsv::catalog::kCombining, "combining");
+      tag(qsv::catalog::kQueue, "queue");
+      tag(qsv::catalog::kMap, "map");
+      tag(qsv::catalog::kAccumulator, "acc");
       // Wait modes collapse to one tag: entries are either fully
       // runtime-configurable or hardwired.
       std::string waits = e.has(qsv::catalog::kWaitModeMask)

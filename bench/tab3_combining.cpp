@@ -1,12 +1,24 @@
-// tab3_combining — Experiment T3: hot-counter fetch&add throughput, flat
-// hardware RMW vs software combining tree. Reconstructed claim: flat
-// wins while the line is not saturated; the combining tree's advantage
-// appears only past the serialization knee (on a single modern socket
-// the knee may sit beyond the core count — the table reports where).
+// tab3_combining — Experiment T3: hot-counter fetch&add throughput
+// across the whole combining design space. Reconstructed claim: the
+// flat hardware RMW wins while the line is not saturated and software
+// combining (tree or flat-combining executor) amortizes root RMWs only
+// past the serialization knee; striping sidesteps the question by
+// removing the shared line entirely, at the price of stripe-local
+// priors. Four counters, one kernel, qsvbench/v1 schema throughout:
+//
+//   flat-atomic     one fetch&add word   (striped accumulator, 1 stripe)
+//   combining-tree  latch-per-node software combining (PR 3)
+//   fc-counter      flat-combining delegation over qsv::mutex (this PR)
+//   striped-acc     one padded stripe per processor, summed on read
+#include <cstdint>
+#include <cstdio>
+
 #include "benchreg/kernels.hpp"
 #include "benchreg/registry.hpp"
 #include "combining/combining_tree.hpp"
+#include "combining/fc_executor.hpp"
 #include "combining/flat_counter.hpp"
+#include "combining/striped_accumulator.hpp"
 
 namespace {
 
@@ -15,22 +27,41 @@ qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
   const double seconds = params.seconds(0.1);
   const auto sweep = qsv::benchreg::thread_sweep(params.threads_or(16));
 
+  const auto row = [&](const char* counter, std::size_t threads,
+                       double mops) {
+    report.add()
+        .set("counter", counter)
+        .set("threads", threads)
+        .set("mops", qsv::benchreg::Value(mops, 2));
+  };
+
   for (auto t : sweep) {
     if (params.algo_match("flat-atomic")) {
       qsv::combining::FlatCounter c;
-      report.add()
-          .set("counter", "flat-atomic")
-          .set("threads", t)
-          .set("mops", qsv::benchreg::Value(
-                           qsv::benchreg::run_counter_loop(c, t, seconds), 2));
+      row("flat-atomic", t, qsv::benchreg::run_counter_loop(c, t, seconds));
     }
     if (params.algo_match("combining-tree")) {
       qsv::combining::CombiningTree c(qsv::platform::kMaxThreads);
-      report.add()
-          .set("counter", "combining-tree")
-          .set("threads", t)
-          .set("mops", qsv::benchreg::Value(
-                           qsv::benchreg::run_counter_loop(c, t, seconds), 2));
+      row("combining-tree", t,
+          qsv::benchreg::run_counter_loop(c, t, seconds));
+    }
+    if (params.algo_match("fc-counter")) {
+      qsv::combining::FcCounter c;
+      row("fc-counter", t, qsv::benchreg::run_counter_loop(c, t, seconds));
+      const auto st = c.stats();
+      if (st.tenures > 0) {
+        char note[96];
+        std::snprintf(note, sizeof(note),
+                      "fc-counter t=%zu: %.1f ops combined per lock tenure",
+                      t,
+                      static_cast<double>(st.applied) /
+                          static_cast<double>(st.tenures));
+        report.note(note);
+      }
+    }
+    if (params.algo_match("striped-acc")) {
+      qsv::combining::StripedAccumulator c;
+      row("striped-acc", t, qsv::benchreg::run_counter_loop(c, t, seconds));
     }
   }
   return report;
@@ -40,9 +71,9 @@ qsv::benchreg::Registrar reg{{
     .name = "combining",
     .id = "tab3",
     .kind = qsv::benchreg::Kind::kTable,
-    .title = "hot counter — flat fetch&add vs combining tree",
+    .title = "hot counter — flat vs tree vs flat-combining vs striped",
     .claim = "combining amortizes root RMWs under saturation; flat wins "
-             "before the knee",
+             "before the knee; striping removes the shared line",
     .run = run,
 }};
 

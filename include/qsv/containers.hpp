@@ -1,0 +1,50 @@
+// qsv/containers.hpp — the first concurrent containers, the facade way.
+//
+// Stable public names over the combining-layer structures. All three
+// take a qsv::wait_policy at construction (defaulting to the process
+// policy) and run their internal waiting through the runtime wait
+// layer, like every other facade type.
+//
+//   qsv::mpmc_queue<int> q(1024);            // bounded MPMC FIFO
+//   q.push(7); int v = q.pop();              // blocking (eventcounts)
+//   q.try_push(8); q.try_pop(v);             // non-blocking
+//
+//   qsv::sharded_map<uint64_t, uint64_t> m;  // sharded hash map,
+//   m.insert_or_assign(k, v);                // flat-combined shards
+//   m.find(k, v); m.erase(k);
+//
+//   qsv::striped_accumulator acc;            // wait-free statistics
+//   acc.add(1); int64_t n = acc.read();      // counter (quiescent sum)
+//
+//   qsv::fc_counter c;                       // linearizable fetch&add
+//   int64_t prior = c.fetch_add(1);          // served by delegation
+#pragma once
+
+#include "combining/fc_executor.hpp"
+#include "combining/fc_queue.hpp"
+#include "combining/sharded_map.hpp"
+#include "combining/striped_accumulator.hpp"
+#include "qsv/fc_mutex.hpp"
+#include "qsv/wait.hpp"
+
+namespace qsv {
+
+/// Bounded multi-producer multi-consumer FIFO: deposits and removals
+/// are flat-combined; full/empty blocking rides the eventcount pair
+/// (the bounded_ring discipline).
+template <typename T>
+using mpmc_queue = combining::FcMpmcQueue<T>;
+
+/// Sharded hash map with flat-combined, catalogue-choosable per-shard
+/// locks. Per-key operations are linearizable within their shard.
+template <typename K, typename V>
+using sharded_map = combining::ShardedMap<K, V>;
+
+/// Per-stripe fetch&add summed on read: wait-free updates, quiescently
+/// exact totals (the statistics-counter shape).
+using striped_accumulator = combining::StripedAccumulator;
+
+/// Linearizable fetch&add served by the delegation executor.
+using fc_counter = combining::FcCounter;
+
+}  // namespace qsv

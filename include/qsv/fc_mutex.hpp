@@ -1,0 +1,44 @@
+// qsv/fc_mutex.hpp — delegation (flat combining), the facade way.
+//
+// qsv::fc_mutex is a qsv::mutex that can also be handed the critical
+// section itself: `run(closure)` publishes the closure on a per-thread
+// record and whoever holds the lock applies the whole backlog in one
+// cache-warm batch before releasing. Use it wherever a mutex protects
+// one small hot structure and the contended cost is line bouncing, not
+// the work:
+//
+//   qsv::fc_mutex mu;
+//   mu.run([&] { ++shared_counter; });      // delegated critical section
+//   std::lock_guard<qsv::fc_mutex> g(mu);   // ...or use it as a lock
+//
+// Raw lock()/unlock() sections serialize with delegated ones (same
+// underlying qsv::mutex), and every unlock serves the pending backlog.
+// Waiters go through the instance's qsv::wait_policy exactly like
+// qsv::mutex waiters (spin / spin_yield / park / adaptive).
+#pragma once
+
+#include <mutex>
+
+#include "combining/fc_executor.hpp"
+#include "core/qsv_mutex.hpp"
+#include "qsv/concepts.hpp"
+#include "qsv/wait.hpp"
+
+namespace qsv {
+
+/// The flat-combining executor over the QSV mutex: a std-conforming
+/// lock that batches delegated critical sections.
+using fc_mutex = combining::FcExecutor<core::QsvMutex<platform::RuntimeWait>>;
+
+/// The handoff control with the same run() surface and no combining —
+/// the baseline the fc containers are benched against.
+using plain_executor =
+    combining::PlainExecutor<core::QsvMutex<platform::RuntimeWait>>;
+
+static_assert(api::lockable<fc_mutex>);
+static_assert(api::lockable<plain_executor>);
+static_assert(std::is_constructible_v<std::lock_guard<fc_mutex>, fc_mutex&>);
+static_assert(
+    std::is_constructible_v<std::unique_lock<fc_mutex>, fc_mutex&>);
+
+}  // namespace qsv

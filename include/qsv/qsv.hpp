@@ -8,6 +8,10 @@
 //   qsv::barrier bar(team);             // arrive_and_wait / arrive_and_drop
 //   qsv::counting_semaphore sem(n);     // FIFO permits
 //   qsv::cohort_mutex cmu(budget);      // NUMA-cohort lock over sysfs topology
+//   qsv::fc_mutex fcm;                  // flat-combining delegation lock
+//   qsv::mpmc_queue<int> q(1024);       // bounded MPMC FIFO
+//   qsv::sharded_map<K, V> map;         // flat-combined sharded hash map
+//   qsv::striped_accumulator acc;       // wait-free statistics counter
 //
 //   qsv::set_default_wait_policy(qsv::wait_policy::adaptive);  // process
 //   qsv::mutex parked(qsv::wait_policy::park);                 // instance
@@ -22,6 +26,8 @@
 #include "qsv/barrier.hpp"       // IWYU pragma: export
 #include "qsv/cohort_mutex.hpp"  // IWYU pragma: export
 #include "qsv/concepts.hpp"      // IWYU pragma: export
+#include "qsv/containers.hpp"    // IWYU pragma: export
+#include "qsv/fc_mutex.hpp"      // IWYU pragma: export
 #include "qsv/mutex.hpp"         // IWYU pragma: export
 #include "qsv/semaphore.hpp"     // IWYU pragma: export
 #include "qsv/shared_mutex.hpp"  // IWYU pragma: export

@@ -60,6 +60,22 @@ class AnyPrimitive {
   virtual std::uint32_t await(std::uint32_t) { detail::unsupported("await"); }
   virtual std::uint32_t read() const { detail::unsupported("read"); }
 
+  // Container faces (the combining layer), erased at std::uint64_t
+  // elements/keys — enough for property tests and sweeps; hot callers
+  // use the concrete templates.
+  virtual bool try_push(std::uint64_t) { detail::unsupported("try_push"); }
+  virtual bool try_pop(std::uint64_t&) { detail::unsupported("try_pop"); }
+  virtual bool insert_or_assign(std::uint64_t, std::uint64_t) {
+    detail::unsupported("insert_or_assign");
+  }
+  virtual bool find(std::uint64_t, std::uint64_t&) {
+    detail::unsupported("find");
+  }
+  virtual bool erase(std::uint64_t) { detail::unsupported("erase"); }
+  virtual void add(std::int64_t) { detail::unsupported("add"); }
+  /// Accumulator read; named apart from the eventcount face's read().
+  virtual std::int64_t total() const { detail::unsupported("total"); }
+
   /// The face bitset of the underlying primitive (Capability values).
   virtual std::uint32_t capabilities() const = 0;
 
@@ -127,6 +143,35 @@ class Erased final : public AnyPrimitive {
   std::uint32_t read() const override {
     if constexpr (HasEventCount<T>) return impl_.read();
     else return AnyPrimitive::read();
+  }
+
+  bool try_push(std::uint64_t v) override {
+    if constexpr (HasQueueFace<T>) return impl_.try_push(v);
+    else return AnyPrimitive::try_push(v);
+  }
+  bool try_pop(std::uint64_t& out) override {
+    if constexpr (HasQueueFace<T>) return impl_.try_pop(out);
+    else return AnyPrimitive::try_pop(out);
+  }
+  bool insert_or_assign(std::uint64_t k, std::uint64_t v) override {
+    if constexpr (HasMapFace<T>) return impl_.insert_or_assign(k, v);
+    else return AnyPrimitive::insert_or_assign(k, v);
+  }
+  bool find(std::uint64_t k, std::uint64_t& out) override {
+    if constexpr (HasMapFace<T>) return impl_.find(k, out);
+    else return AnyPrimitive::find(k, out);
+  }
+  bool erase(std::uint64_t k) override {
+    if constexpr (HasMapFace<T>) return impl_.erase(k);
+    else return AnyPrimitive::erase(k);
+  }
+  void add(std::int64_t d) override {
+    if constexpr (HasAccumulatorFace<T>) impl_.add(d);
+    else AnyPrimitive::add(d);
+  }
+  std::int64_t total() const override {
+    if constexpr (HasAccumulatorFace<T>) return impl_.read();
+    else return AnyPrimitive::total();
   }
 
   std::uint32_t capabilities() const override { return caps_of<T>(); }

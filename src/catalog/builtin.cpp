@@ -21,6 +21,10 @@
 #include "barriers/mcs_tree.hpp"
 #include "barriers/tournament.hpp"
 #include "catalog/std_adapters.hpp"
+#include "combining/fc_executor.hpp"
+#include "combining/fc_queue.hpp"
+#include "combining/sharded_map.hpp"
+#include "combining/striped_accumulator.hpp"
 #include "core/syncvar.hpp"
 #include "eventcount/eventcount.hpp"
 #include "hier/cohort_lock.hpp"
@@ -142,6 +146,37 @@ QSV_CATALOG_REGISTER(qsv::catalog::StdSharedMutexAdapter,
                      "std::shared_mutex");
 QSV_CATALOG_REGISTER(qsv::core::QsvRwLock<>, "qsv-rw");
 QSV_CATALOG_REGISTER(qsv::core::QsvRwLockCentral<>, "qsv-rw/central");
+
+// -------------------------------------------- combining and containers
+// The delegation layer: fc-mutex is the flat-combining executor over
+// the QSV mutex wearing its lock face (every unlock serves the
+// publication backlog), and the containers are the first concrete
+// structures over it. Each fc/* container has a plain/* twin on
+// PlainExecutor — same structure, ordinary lock handoff — so tab4
+// measures the combining effect in isolation. Their size_t
+// constructor parameters are ring capacity / shard count / stripe
+// count, never a thread capacity: entry_default throughout.
+using FcMutex = qsv::combining::FcExecutor<qsv::core::QsvMutex<>>;
+using PlainExec = qsv::combining::PlainExecutor<qsv::core::QsvMutex<>>;
+using FcQueueU64 = qsv::combining::FcMpmcQueue<std::uint64_t>;
+using PlainQueueU64 =
+    qsv::combining::FcMpmcQueue<std::uint64_t, PlainExec>;
+using FcMapU64 = qsv::combining::ShardedMap<std::uint64_t, std::uint64_t>;
+using PlainMapU64 =
+    qsv::combining::ShardedMap<std::uint64_t, std::uint64_t, PlainExec>;
+using FcMapCohort = qsv::combining::ShardedMap<
+    std::uint64_t, std::uint64_t,
+    qsv::combining::FcExecutor<CohortQsvQsv>>;
+
+QSV_CATALOG_REGISTER(FcMutex, "fc-mutex");
+QSV_CATALOG_REGISTER_DEFAULT(FcQueueU64, "fc/queue");
+QSV_CATALOG_REGISTER_DEFAULT(PlainQueueU64, "plain/queue");
+QSV_CATALOG_REGISTER_DEFAULT(FcMapU64, "fc/map");
+QSV_CATALOG_REGISTER_DEFAULT(PlainMapU64, "plain/map");
+QSV_CATALOG_REGISTER_DEFAULT(FcMapCohort, "fc/map/cohort");
+QSV_CATALOG_REGISTER(qsv::combining::FcCounter, "fc-counter");
+QSV_CATALOG_REGISTER_DEFAULT(qsv::combining::StripedAccumulator,
+                             "striped-acc");
 
 // -------------------------------------------------------- eventcounts
 // Condition synchronization joins the catalogue: the centralized

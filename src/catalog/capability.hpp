@@ -32,6 +32,9 @@ enum Capability : std::uint32_t {
   kEventCount = 1u << 5,  ///< advance() / await() / read()
   kCohort     = 1u << 6,  ///< topology/cohort-structured: budget() /
                           ///< cohort_count(), budget-parameterized factory
+  kCombining  = 1u << 7,  ///< member of the delegation/combining layer:
+                          ///< a run(closure) executor, or a container
+                          ///< face below
 
   // Wait modes: which qsv::wait_policy values make(capacity, policy)
   // honors. All four or none — runtime-configurable primitives accept
@@ -41,7 +44,16 @@ enum Capability : std::uint32_t {
   kWaitYield    = 1u << 9,
   kWaitPark     = 1u << 10,
   kWaitAdaptive = 1u << 11,
+
+  // Container faces (the first concrete structures over the combining
+  // layer): what the type stores, not how it waits.
+  kQueue       = 1u << 12,  ///< try_push() / try_pop()
+  kMap         = 1u << 13,  ///< insert_or_assign() / find() / erase()
+  kAccumulator = 1u << 14,  ///< add() / read() -> int64
 };
+
+/// All container-face bits: any of them makes the entry a container.
+inline constexpr std::uint32_t kContainerMask = kQueue | kMap | kAccumulator;
 
 /// All four wait-mode bits (the runtime-configurable signature).
 inline constexpr std::uint32_t kWaitModeMask =
@@ -63,7 +75,13 @@ constexpr Capability wait_mode_bit(qsv::wait_policy p) {
 /// locks, eventcounts are condition synchronization, everything else
 /// is a plain lock. Benches and tests use the family views
 /// (catalog.hpp) exactly like the three old per-family registries.
-enum class Family : std::uint8_t { kLock, kRwLock, kBarrier, kEventCount };
+enum class Family : std::uint8_t {
+  kLock,
+  kRwLock,
+  kBarrier,
+  kEventCount,
+  kContainer,
+};
 
 inline const char* family_name(Family f) {
   switch (f) {
@@ -71,11 +89,13 @@ inline const char* family_name(Family f) {
     case Family::kRwLock: return "rwlock";
     case Family::kBarrier: return "barrier";
     case Family::kEventCount: return "eventcount";
+    case Family::kContainer: return "container";
   }
   return "?";
 }
 
 constexpr Family family_of(std::uint32_t caps) {
+  if (caps & kContainerMask) return Family::kContainer;
   if (caps & kEventCount) return Family::kEventCount;
   if (caps & kEpisode) return Family::kBarrier;
   if (caps & kShared) return Family::kRwLock;
@@ -133,6 +153,34 @@ concept HasCohortStructure = requires(const T t) {
   { t.cohort_count() } -> std::convertible_to<std::size_t>;
 };
 
+/// Delegation executors (FcExecutor, PlainExecutor): closures run
+/// under the type's mutual exclusion, possibly on another thread.
+template <typename T>
+concept HasDelegation = requires(T t) { t.run([] {}); };
+
+/// Bounded queue face, at the erased element type (the registered
+/// container instantiations store std::uint64_t).
+template <typename T>
+concept HasQueueFace = requires(T t, std::uint64_t v, std::uint64_t& out) {
+  { t.try_push(v) } -> std::convertible_to<bool>;
+  { t.try_pop(out) } -> std::convertible_to<bool>;
+};
+
+/// Map face at erased uint64 key/value.
+template <typename T>
+concept HasMapFace = requires(T t, std::uint64_t k, std::uint64_t& out) {
+  { t.insert_or_assign(k, k) } -> std::convertible_to<bool>;
+  { t.find(k, out) } -> std::convertible_to<bool>;
+  { t.erase(k) } -> std::convertible_to<bool>;
+};
+
+/// Accumulator face: relaxed or exact counting structures.
+template <typename T>
+concept HasAccumulatorFace = requires(T t, std::int64_t d) {
+  { t.add(d) } -> std::same_as<void>;
+  { t.read() } -> std::convertible_to<std::int64_t>;
+};
+
 /// Construction-time wait configurability: the type takes a
 /// qsv::wait_policy (alone, or after its capacity argument), so the
 /// factory can honor make(capacity, policy).
@@ -152,6 +200,13 @@ constexpr std::uint32_t caps_of() {
   if constexpr (HasEpisode<T>) caps |= kEpisode;
   if constexpr (HasEventCount<T>) caps |= kEventCount;
   if constexpr (HasCohortStructure<T>) caps |= kCohort;
+  if constexpr (HasQueueFace<T>) caps |= kQueue;
+  if constexpr (HasMapFace<T>) caps |= kMap;
+  if constexpr (HasAccumulatorFace<T>) caps |= kAccumulator;
+  if constexpr (HasDelegation<T> || HasQueueFace<T> || HasMapFace<T> ||
+                HasAccumulatorFace<T>) {
+    caps |= kCombining;
+  }
   if constexpr (WaitConfigurable<T>) caps |= kWaitModeMask;
   return caps;
 }

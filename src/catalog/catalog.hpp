@@ -225,6 +225,9 @@ inline std::vector<const Entry*> barriers() {
 inline std::vector<const Entry*> eventcounts() {
   return filter(Family::kEventCount);
 }
+inline std::vector<const Entry*> containers() {
+  return filter(Family::kContainer);
+}
 
 /// Static-initialization hook for registration translation units.
 struct Registrar {

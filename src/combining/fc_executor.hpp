@@ -1,0 +1,422 @@
+// fc_executor.hpp — the flat-combining delegation executor.
+//
+// Flat combining (Hendler, Incze, Shavit, Tzafrir) inverts the lock
+// contract: instead of every thread acquiring the lock to run its own
+// critical section, a thread *publishes* its operation on a per-thread
+// publication record and whoever currently holds the lock applies the
+// whole backlog in one batch before releasing. N lock handoffs — N
+// cache-line migrations of the lock word AND of the protected data —
+// collapse into one pass over records by a thread whose cache is
+// already warm. This is the same remote-reference arithmetic that
+// motivates the QSV queue locks, taken one step further: don't just
+// queue the waiters, queue the *work*.
+//
+// FcExecutor is that protocol over ANY catalogue mutex:
+//
+//   FcExecutor<qsv::core::QsvMutex<>> exec;
+//   exec.run([&] { /* runs under the lock, possibly on another thread */ });
+//
+// Design notes, in the house idiom:
+//   * Publication records follow the NodeArena discipline (one
+//     line-aligned record per (thread, executor), cached thread-locally,
+//     allocation only on first use, storage owned centrally so records
+//     outlive their threads). Records are never recycled across threads:
+//     they stay linked into the publication list until the combiner
+//     evicts them, so ownership must not move.
+//   * The combiner is elected by try_lock (never by queueing, which
+//     would re-create the handoff chain combining exists to avoid).
+//     Losers wait on a tenure epoch through the runtime wait layer
+//     (qsv::wait_policy — spin, yield, park, adaptive all work), and a
+//     tenure end is the one wake-up event, so parked waiters cannot
+//     miss a wake no matter where the combiner was in its scan when
+//     they enlisted.
+//   * A tenure applies at most `max_passes` scans (the combine-pass
+//     budget): combining must not let one holder serve an unbounded
+//     stream while its own caller waits behind the batch.
+//   * Records idle for more than `eviction_idle` tenures are unlinked
+//     (aging), so one-shot threads do not tax every future scan. Only
+//     interior records are unlinked — new records CAS themselves onto
+//     the list head concurrently, and the head is the one link the
+//     combiner does not own.
+//
+// FcExecutor also exposes the mutex face (lock/try_lock/unlock), so
+// qsv::fc_mutex is simultaneously a std-conforming lock and a
+// delegation server: raw unlock() serves the pending backlog before
+// releasing. PlainExecutor is the control: same run() surface, ordinary
+// lock-execute-unlock, used by the bench pairs (fc/* vs plain/*).
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/qsv_mutex.hpp"
+#include "platform/cache.hpp"
+#include "platform/wait.hpp"
+#include "qsv/wait.hpp"
+
+namespace qsv::combining {
+
+namespace detail {
+/// Local face probe (capability.hpp has the catalogue-wide twin; the
+/// combining layer must not depend on the catalogue).
+template <typename M>
+concept LockHasTry = requires(M& m) {
+  { m.try_lock() } -> std::convertible_to<bool>;
+};
+
+/// Construct the underlying mutex with the executor's wait policy when
+/// it accepts one; default-construct otherwise (e.g. CohortLock, whose
+/// constructor vocabulary is budget-first).
+template <typename M, bool = std::is_constructible_v<M, qsv::wait_policy>>
+struct LockSlot {
+  explicit LockSlot(qsv::wait_policy policy) : lock(policy) {}
+  M lock;
+};
+template <typename M>
+struct LockSlot<M, false> {
+  explicit LockSlot(qsv::wait_policy) : lock() {}
+  M lock;
+};
+}  // namespace detail
+
+/// Tuning knobs for one executor instance.
+struct FcConfig {
+  /// Max combine scans per lock tenure. 1 = serve each batch once;
+  /// larger values let the holder absorb work arriving mid-tenure.
+  std::size_t max_passes = 8;
+  /// A record idle (no posted op) for more than this many tenures is
+  /// unlinked from the publication list and re-enlists on next use.
+  std::uint64_t eviction_idle = 512;
+};
+
+template <typename Mutex = qsv::core::QsvMutex<>>
+class FcExecutor {
+ public:
+  /// Lifetime combining counters (relaxed; for tests and tuning).
+  struct Stats {
+    std::uint64_t tenures = 0;  ///< combiner elections (batches)
+    std::uint64_t passes = 0;   ///< publication-list scans
+    std::uint64_t applied = 0;  ///< operations executed
+  };
+
+  explicit FcExecutor(qsv::wait_policy policy = qsv::get_default_wait_policy(),
+                      FcConfig cfg = FcConfig{})
+      : cfg_(cfg), waiter_(policy), slot_(policy) {}
+  FcExecutor(const FcExecutor&) = delete;
+  FcExecutor& operator=(const FcExecutor&) = delete;
+
+  /// Execute `f` under the executor's mutual exclusion. Returns after
+  /// `f` has run — here if this thread won the combiner election, or on
+  /// the current combiner's thread otherwise. `f`'s side effects are
+  /// visible to the caller on return (release/acquire on the record
+  /// state). `f` must not recursively call into the same executor.
+  template <typename F>
+  void run(F&& f) {
+    Record* r = my_record();
+    r->ctx = const_cast<void*>(static_cast<const void*>(std::addressof(f)));
+    r->apply = [](void* p) {
+      (*static_cast<std::remove_reference_t<F>*>(p))();
+    };
+    r->last_active.store(tenure_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    r->state.store(kPosted, std::memory_order_release);
+    enlist(r);
+    if constexpr (detail::LockHasTry<Mutex>) {
+      for (;;) {
+        const std::uint32_t e = epoch_.load(std::memory_order_acquire);
+        if (r->state.load(std::memory_order_acquire) != kPosted) return;
+        if (slot_.lock.try_lock()) {
+          combine(r);
+          release_tenure();
+          return;
+        }
+        if (r->state.load(std::memory_order_acquire) != kPosted) return;
+        // The op may have been evicted between post and now; re-arm
+        // before sleeping so the next tenure can see it.
+        enlist(r);
+        waiter_.wait_while_equal(epoch_, e);
+      }
+    } else {
+      // No try_lock: queue on the mutex like any waiter, then serve
+      // whatever is pending (possibly only our own record).
+      slot_.lock.lock();
+      if (r->state.load(std::memory_order_acquire) == kPosted) combine(r);
+      release_tenure();
+    }
+  }
+
+  // ------------------------------------------------ mutex face
+  // fc_mutex is also a plain lock: raw critical sections serialize with
+  // delegated ones on the same underlying mutex, and every release —
+  // raw or combining — ends a tenure (epoch bump + wake) so delegators
+  // parked behind a raw holder retry their election.
+
+  void lock() { slot_.lock.lock(); }
+
+  bool try_lock()
+    requires detail::LockHasTry<Mutex>
+  {
+    return slot_.lock.try_lock();
+  }
+
+  /// Serve the pending backlog (one scan), then release.
+  void unlock() {
+    if (list_.load(std::memory_order_acquire) != nullptr) {
+      const std::uint64_t t =
+          tenure_.fetch_add(1, std::memory_order_relaxed) + 1;
+      stat_tenures_.fetch_add(1, std::memory_order_relaxed);
+      stat_passes_.fetch_add(1, std::memory_order_relaxed);
+      scan(t);
+    }
+    release_tenure();
+  }
+
+  // ------------------------------------------------ introspection
+
+  Stats stats() const {
+    return {stat_tenures_.load(std::memory_order_relaxed),
+            stat_passes_.load(std::memory_order_relaxed),
+            stat_applied_.load(std::memory_order_relaxed)};
+  }
+
+  const FcConfig& config() const { return cfg_; }
+
+  /// Records currently linked into the publication list (takes the
+  /// lock; test/diagnostic surface for the eviction policy).
+  std::size_t active_records() {
+    slot_.lock.lock();
+    std::size_t n = 0;
+    for (Record* c = list_.load(std::memory_order_acquire); c != nullptr;
+         c = c->next.load(std::memory_order_relaxed)) {
+      ++n;
+    }
+    release_tenure();
+    return n;
+  }
+
+  static constexpr const char* name() noexcept { return "fc"; }
+
+ private:
+  enum : std::uint32_t { kIdle = 0, kPosted = 1 };
+
+  /// One publication record. Line-aligned via Padded storage; owned by
+  /// the executor (records stay reachable from the publication list
+  /// after their thread exits, until aged out).
+  struct Record {
+    std::atomic<Record*> next{nullptr};   ///< list link; combiner-owned
+                                          ///< once enlisted
+    std::atomic<std::uint32_t> state{kIdle};
+    void (*apply)(void*) = nullptr;       ///< trampoline to the closure
+    void* ctx = nullptr;                  ///< closure on the poster's stack
+    std::atomic<bool> enlisted{false};
+    std::atomic<std::uint64_t> last_active{0};  ///< tenure of last use
+  };
+
+  /// One combining tenure: up to max_passes scans, stopping early once
+  /// a scan finds nothing. The caller's own record is guaranteed served
+  /// before return — normally by the first scan; by direct application
+  /// if an eviction raced with the post and unlinked it.
+  void combine(Record* self) {
+    const std::uint64_t t =
+        tenure_.fetch_add(1, std::memory_order_relaxed) + 1;
+    stat_tenures_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t passes = 0;
+    while (passes < cfg_.max_passes) {
+      ++passes;
+      if (scan(t) == 0) break;
+    }
+    stat_passes_.fetch_add(passes, std::memory_order_relaxed);
+    if (self != nullptr &&
+        self->state.load(std::memory_order_relaxed) == kPosted) {
+      self->apply(self->ctx);
+      self->last_active.store(t, std::memory_order_relaxed);
+      self->state.store(kIdle, std::memory_order_release);
+      stat_applied_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// One pass over the publication list: apply every posted op, unlink
+  /// stale interior records. Returns ops applied. Caller holds the lock.
+  std::size_t scan(std::uint64_t tenure) {
+    std::size_t applied = 0;
+    Record* prev = nullptr;
+    Record* cur = list_.load(std::memory_order_acquire);
+    while (cur != nullptr) {
+      Record* next = cur->next.load(std::memory_order_relaxed);
+      if (cur->state.load(std::memory_order_acquire) == kPosted) {
+        cur->apply(cur->ctx);
+        cur->last_active.store(tenure, std::memory_order_relaxed);
+        cur->state.store(kIdle, std::memory_order_release);
+        ++applied;
+        prev = cur;
+      } else if (prev != nullptr &&
+                 tenure - cur->last_active.load(std::memory_order_relaxed) >
+                     cfg_.eviction_idle) {
+        // Unlink BEFORE clearing enlisted: the owner's re-enlist
+        // acquires `enlisted`, so its head-push happens-after the
+        // record left the list. Head records are never unlinked —
+        // concurrent enlists CAS the head and that link is theirs.
+        prev->next.store(next, std::memory_order_relaxed);
+        cur->next.store(nullptr, std::memory_order_relaxed);
+        cur->enlisted.store(false, std::memory_order_release);
+      } else {
+        prev = cur;
+      }
+      cur = next;
+    }
+    stat_applied_.fetch_add(applied, std::memory_order_relaxed);
+    return applied;
+  }
+
+  /// End a tenure: release the mutex, then advance the epoch and wake
+  /// election losers. Order matters — bumping before the release would
+  /// let every waiter lose try_lock against us and go back to sleep
+  /// with no further wake coming.
+  void release_tenure() {
+    slot_.lock.unlock();
+    epoch_.fetch_add(1, std::memory_order_release);
+    waiter_.notify_all(epoch_);
+  }
+
+  /// LIFO head push; idempotent per record. The acquire on `enlisted`
+  /// pairs with the evicting combiner's release so a re-push never
+  /// races the unlink of the same record.
+  void enlist(Record* r) {
+    if (r->enlisted.load(std::memory_order_acquire)) return;
+    r->enlisted.store(true, std::memory_order_relaxed);
+    Record* head = list_.load(std::memory_order_relaxed);
+    do {
+      r->next.store(head, std::memory_order_relaxed);
+    } while (!list_.compare_exchange_weak(head, r, std::memory_order_release,
+                                          std::memory_order_relaxed));
+  }
+
+  /// The calling thread's record for THIS executor: thread-local cache
+  /// keyed by a never-reused executor id (an address could be recycled
+  /// by a later executor; the id cannot), central storage on first use
+  /// only — the NodeArena shape, minus cross-thread recycling, which
+  /// list membership forbids.
+  Record* my_record() {
+    thread_local std::vector<std::pair<std::uint64_t, Record*>> bound;
+    for (const auto& [id, rec] : bound) {
+      if (id == id_) return rec;
+    }
+    Record* r = [this] {
+      std::lock_guard<std::mutex> g(storage_mu_);
+      storage_.push_back(std::make_unique<qsv::platform::Padded<Record>>());
+      return &storage_.back()->value;
+    }();
+    bound.emplace_back(id_, r);
+    return r;
+  }
+
+  static std::uint64_t next_id() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  FcConfig cfg_;
+  mutable qsv::platform::RuntimeWait waiter_;
+  detail::LockSlot<Mutex> slot_;
+  const std::uint64_t id_ = next_id();
+
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<Record*> list_{nullptr};
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint32_t> epoch_{0};
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::uint64_t> tenure_{0};
+
+  std::atomic<std::uint64_t> stat_tenures_{0};
+  std::atomic<std::uint64_t> stat_passes_{0};
+  std::atomic<std::uint64_t> stat_applied_{0};
+
+  std::mutex storage_mu_;
+  std::vector<std::unique_ptr<qsv::platform::Padded<Record>>> storage_;
+};
+
+/// The control executor: identical run() surface, no combining — plain
+/// lock, execute, unlock. Every fc/* container has a plain/* twin built
+/// on this so the bench isolates the combining effect itself.
+template <typename Mutex = qsv::core::QsvMutex<>>
+class PlainExecutor {
+ public:
+  /// Shape-compatible with FcExecutor::Stats; always zero — nothing
+  /// combines here.
+  using Stats = typename FcExecutor<Mutex>::Stats;
+
+  explicit PlainExecutor(
+      qsv::wait_policy policy = qsv::get_default_wait_policy())
+      : slot_(policy) {}
+  PlainExecutor(const PlainExecutor&) = delete;
+  PlainExecutor& operator=(const PlainExecutor&) = delete;
+
+  template <typename F>
+  void run(F&& f) {
+    slot_.lock.lock();
+    std::forward<F>(f)();
+    slot_.lock.unlock();
+  }
+
+  void lock() { slot_.lock.lock(); }
+  void unlock() { slot_.lock.unlock(); }
+  bool try_lock()
+    requires detail::LockHasTry<Mutex>
+  {
+    return slot_.lock.try_lock();
+  }
+
+  Stats stats() const { return Stats{}; }
+
+  static constexpr const char* name() noexcept { return "plain"; }
+
+ private:
+  detail::LockSlot<Mutex> slot_;
+};
+
+/// Linearizable fetch&add served by delegation — the canonical "hello
+/// world" of flat combining and tab3's fourth counter. The value lives
+/// in one atomic word written only under the executor, so read() is a
+/// plain acquire load.
+template <typename Executor = FcExecutor<>>
+class BasicFcCounter {
+ public:
+  BasicFcCounter() = default;
+  explicit BasicFcCounter(qsv::wait_policy policy) : exec_(policy) {}
+
+  /// Returns the value before the addition (linearizable fetch&add).
+  std::int64_t fetch_add(std::int64_t delta) noexcept {
+    std::int64_t prior = 0;
+    exec_.run([&]() noexcept {
+      prior = value_.load(std::memory_order_relaxed);
+      value_.store(prior + delta, std::memory_order_relaxed);
+    });
+    return prior;
+  }
+
+  void add(std::int64_t delta) noexcept { (void)fetch_add(delta); }
+
+  std::int64_t read() const noexcept {
+    return value_.load(std::memory_order_acquire);
+  }
+
+  typename Executor::Stats stats() const { return exec_.stats(); }
+
+  static constexpr const char* name() noexcept { return "fc-counter"; }
+
+ private:
+  mutable Executor exec_;
+  alignas(qsv::platform::kFalseSharingRange)
+      std::atomic<std::int64_t> value_{0};
+};
+
+using FcCounter = BasicFcCounter<>;
+
+}  // namespace qsv::combining

@@ -1,0 +1,125 @@
+// fc_queue.hpp — bounded MPMC queue over the flat-combining executor.
+//
+// Layering: this is eventcount/bounded_ring.hpp's ring with the
+// *sequencer tickets replaced by the executor*. EcBoundedRing orders
+// producers and consumers by Pseq/Cseq tickets and lets each thread
+// deposit/remove its own slot; here the executor's combiner performs
+// the deposits and removals (batched, cache-warm), and the same IN/OUT
+// eventcount pair plays both of its classic roles:
+//
+//   IN  = items deposited so far     OUT = items removed so far
+//   occupancy  = IN - OUT            (exact under the executor)
+//   blocking   = await on the count that must move (Reed & Kanodia)
+//
+// try_push/try_pop never block and are safe to call from anywhere
+// EXCEPT inside a closure delegated to the same executor (no
+// reentrancy). push/pop block OUTSIDE the executor on the eventcounts —
+// a combiner never sleeps on queue state, so delegation cannot
+// deadlock on a full or empty ring.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "combining/fc_executor.hpp"
+#include "eventcount/eventcount.hpp"
+#include "platform/wait.hpp"
+#include "qsv/wait.hpp"
+
+namespace qsv::combining {
+
+template <typename T, typename Executor = FcExecutor<>,
+          typename Ec = qsv::eventcount::EventCount<>>
+class FcMpmcQueue {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  FcMpmcQueue()
+      : FcMpmcQueue(kDefaultCapacity, qsv::get_default_wait_policy()) {}
+  explicit FcMpmcQueue(qsv::wait_policy policy)
+      : FcMpmcQueue(kDefaultCapacity, policy) {}
+  FcMpmcQueue(std::size_t capacity, qsv::wait_policy policy)
+      : exec_(policy),
+        buffer_(capacity == 0 ? 1 : capacity),
+        in_(qsv::platform::RuntimeWait(policy)),
+        out_(qsv::platform::RuntimeWait(policy)) {}
+  FcMpmcQueue(const FcMpmcQueue&) = delete;
+  FcMpmcQueue& operator=(const FcMpmcQueue&) = delete;
+
+  /// Deposit a copy of `value` if the ring has room. Never blocks.
+  bool try_push(const T& value) {
+    bool ok = false;
+    exec_.run([&] {
+      const std::uint32_t in = in_.read();
+      const std::uint32_t out = out_.read();
+      if (in - out < buffer_.size()) {
+        buffer_[in % buffer_.size()] = value;
+        in_.advance();  // publishes the deposit, wakes empty-waiters
+        ok = true;
+      }
+    });
+    return ok;
+  }
+
+  /// Remove the oldest item into `out`. Never blocks.
+  bool try_pop(T& out) {
+    bool ok = false;
+    exec_.run([&] {
+      const std::uint32_t in = in_.read();
+      const std::uint32_t o = out_.read();
+      if (in != o) {
+        out = std::move(buffer_[o % buffer_.size()]);
+        out_.advance();  // releases the slot, wakes full-waiters
+        ok = true;
+      }
+    });
+    return ok;
+  }
+
+  /// Blocks while the ring is full. The wait runs outside the executor:
+  /// snapshot OUT, attempt, and on failure sleep until OUT moves past
+  /// the snapshot — every removal advances OUT, so the wake cannot be
+  /// missed (the bounded_ring producer discipline, minus the ticket).
+  void push(T value) {
+    for (;;) {
+      const std::uint32_t seen = out_.read();
+      if (try_push(value)) return;
+      out_.await(seen + 1);
+    }
+  }
+
+  /// Blocks while the ring is empty (consumer discipline: sleep until
+  /// IN moves past the pre-attempt snapshot).
+  T pop() {
+    T out{};
+    for (;;) {
+      const std::uint32_t seen = in_.read();
+      if (try_pop(out)) return out;
+      in_.await(seen + 1);
+    }
+  }
+
+  std::size_t capacity() const noexcept { return buffer_.size(); }
+
+  /// Racy occupancy estimate (exact only at quiescence).
+  std::size_t size() const noexcept {
+    return static_cast<std::size_t>(in_.read() - out_.read());
+  }
+
+  /// Items deposited / removed so far (quiescent diagnostics, as on
+  /// EcBoundedRing).
+  std::uint32_t pushed() const noexcept { return in_.read(); }
+  std::uint32_t popped() const noexcept { return out_.read(); }
+
+  typename Executor::Stats combine_stats() const { return exec_.stats(); }
+
+ private:
+  Executor exec_;
+  std::vector<T> buffer_;
+  Ec in_;
+  Ec out_;
+};
+
+}  // namespace qsv::combining

@@ -1,35 +1,37 @@
-// flat_counter.hpp — single fetch&add word, the combining tree's rival.
+// flat_counter.hpp — single fetch&add word, the combining rivals' rival.
+//
+// Subsumed by striped_accumulator.hpp: a flat counter is a striped
+// accumulator pinned to one stripe, where the stripe-local prior IS the
+// global prior (linearizable fetch&add). The type stays because tab3
+// and the tests name it, and because "the single hot word" is the
+// strawman every combining structure is measured against.
 #pragma once
 
-#include <atomic>
+#include <cstddef>
 #include <cstdint>
 
-#include "platform/cache.hpp"
+#include "combining/striped_accumulator.hpp"
 
 namespace qsv::combining {
 
-/// One shared word updated with hardware fetch&add. Unbeatable at low
-/// thread counts; at high counts every operation serializes on one cache
-/// line, which is the saturation the combining tree amortizes (Table 3).
 class FlatCounter {
  public:
-  explicit FlatCounter(std::size_t /*capacity*/ = 0) {}
+  explicit FlatCounter(std::size_t /*capacity*/ = 0) : acc_(1) {}
 
-  /// Returns the value before the addition (linearizable fetch&add).
+  /// Returns the value before the addition (linearizable fetch&add —
+  /// exact with a single stripe).
   std::int64_t fetch_add(std::int64_t delta) noexcept {
-    // acq_rel: counter values are used to order work items.
-    return value_.fetch_add(delta, std::memory_order_acq_rel);
+    return acc_.fetch_add(delta);
   }
 
-  std::int64_t read() const noexcept {
-    return value_.load(std::memory_order_acquire);
-  }
+  void add(std::int64_t delta) noexcept { acc_.add(delta); }
+
+  std::int64_t read() const noexcept { return acc_.read(); }
 
   static constexpr const char* name() noexcept { return "flat-atomic"; }
 
  private:
-  alignas(qsv::platform::kFalseSharingRange)
-      std::atomic<std::int64_t> value_{0};
+  StripedAccumulator acc_;
 };
 
 }  // namespace qsv::combining

@@ -1,0 +1,80 @@
+// striped_accumulator.hpp — per-stripe fetch&add, summed on read.
+//
+// The third point in the combining design space (tab3): the flat
+// counter serializes every update on one line, the combining tree and
+// the FC counter serialize but batch, the striped accumulator does not
+// serialize at all — updates land on one of `stripes` line-padded
+// words indexed by the dense thread id, and only read() walks them.
+// The trade is exactness of intermediate reads: read() is a sum of
+// per-stripe snapshots (each monotone, the total conservatively
+// includes every update that completed before the call), and
+// fetch_add() returns the *stripe-local* prior, which is the global
+// prior only in the 1-stripe configuration.
+//
+// That 1-stripe configuration IS the old flat counter —
+// flat_counter.hpp is now a thin pinned instantiation of this type.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "platform/affinity.hpp"
+#include "platform/arch.hpp"
+#include "platform/cache.hpp"
+#include "platform/thread_id.hpp"
+
+namespace qsv::combining {
+
+class StripedAccumulator {
+ public:
+  /// `stripes` is rounded up to a power of two; 0 means "one stripe per
+  /// available processor" (the contention the stripes exist to spread).
+  explicit StripedAccumulator(std::size_t stripes = 0)
+      : slots_(stripe_count(stripes)) {}
+  StripedAccumulator(const StripedAccumulator&) = delete;
+  StripedAccumulator& operator=(const StripedAccumulator&) = delete;
+
+  /// Add `delta` to the calling thread's stripe; returns the value of
+  /// THAT STRIPE before the addition. Stripe priors are unique and
+  /// dense per stripe (each stripe is a linearizable counter); they are
+  /// a global fetch&add prior only when stripes() == 1.
+  std::int64_t fetch_add(std::int64_t delta) noexcept {
+    auto& slot =
+        slots_[qsv::platform::thread_index() & (slots_.size() - 1)].value;
+    // acq_rel: stripe values order work items exactly like the flat
+    // counter's single word did.
+    return slot.fetch_add(delta, std::memory_order_acq_rel);
+  }
+
+  void add(std::int64_t delta) noexcept { (void)fetch_add(delta); }
+
+  /// Sum of all stripes. Quiescently exact: equals the true total once
+  /// updaters are quiesced; mid-run it includes at least every update
+  /// that happened-before the call.
+  std::int64_t read() const noexcept {
+    std::int64_t sum = 0;
+    for (const auto& s : slots_) {
+      sum += s.value.load(std::memory_order_acquire);
+    }
+    return sum;
+  }
+
+  std::size_t stripes() const noexcept { return slots_.size(); }
+
+  static constexpr const char* name() noexcept { return "striped-acc"; }
+
+ private:
+  static std::size_t stripe_count(std::size_t requested) {
+    std::size_t n =
+        requested != 0 ? requested : qsv::platform::available_cpus();
+    if (n == 0) n = 1;
+    return static_cast<std::size_t>(
+        qsv::platform::next_pow2(static_cast<std::uint64_t>(n)));
+  }
+
+  std::vector<qsv::platform::Padded<std::atomic<std::int64_t>>> slots_;
+};
+
+}  // namespace qsv::combining

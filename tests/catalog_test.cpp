@@ -3,6 +3,7 @@
 // semantics.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 #include <string>
 
@@ -30,14 +31,16 @@ TEST(Catalog, CoversEverythingTheOldCataloguesDid) {
   // The per-policy rows ("qsv/yield", "qsv/park", "qsv-episode/park")
   // collapsed into wait-mode bits on the one entry per primitive; the
   // rows they freed are spent on genuinely new primitives (futex, the
-  // two eventcounts), and the cohort combinator added four
-  // compositions, so the overall floor is 32 — which CI checks via
+  // two eventcounts), the cohort combinator added four compositions,
+  // and the combining layer added the fc-mutex plus seven container
+  // entries, so the overall floor is 40 — which CI checks via
   // qsvbench --catalog-names.
-  EXPECT_GE(qc::locks().size(), 18u);
+  EXPECT_GE(qc::locks().size(), 19u);
   EXPECT_GE(qc::barriers().size(), 7u);
   EXPECT_GE(qc::rwlocks().size(), 5u);
   EXPECT_GE(qc::eventcounts().size(), 2u);
-  EXPECT_GE(qc::all().size(), 32u);
+  EXPECT_GE(qc::containers().size(), 7u);
+  EXPECT_GE(qc::all().size(), 40u);
   for (const char* name :
        {"tas", "ttas", "ttas+backoff", "ticket", "ticket+prop", "anderson",
         "graunke-thakkar", "clh", "mcs", "std::mutex", "futex", "qsv",
@@ -46,7 +49,9 @@ TEST(Catalog, CoversEverythingTheOldCataloguesDid) {
         "combining-tree", "tournament", "dissemination", "mcs-tree",
         "std::barrier", "qsv-episode", "central-rw/reader-pref",
         "central-rw/writer-pref", "std::shared_mutex", "qsv-rw",
-        "qsv-rw/central", "eventcount", "queued-ec"}) {
+        "qsv-rw/central", "eventcount", "queued-ec", "fc-mutex",
+        "fc/queue", "plain/queue", "fc/map", "plain/map", "fc/map/cohort",
+        "fc-counter", "striped-acc"}) {
     EXPECT_NE(qc::find(name), nullptr) << name;
   }
 }
@@ -122,8 +127,32 @@ TEST(Catalog, FilterSelectsByCapabilityAcrossFamilies) {
 
 TEST(Catalog, FamilyViewsPartitionTheCatalogue) {
   EXPECT_EQ(qc::locks().size() + qc::barriers().size() +
-                qc::rwlocks().size() + qc::eventcounts().size(),
+                qc::rwlocks().size() + qc::eventcounts().size() +
+                qc::containers().size(),
             qc::all().size());
+}
+
+TEST(Catalog, CombiningLayerIsTaggedAndPartitioned) {
+  // The delegation executor keeps its lock face (it IS a mutex, plus
+  // run()), so it stays in the lock family; the structures built on it
+  // land in the container family. Both carry kCombining.
+  const auto* fc = qc::find("fc-mutex");
+  ASSERT_NE(fc, nullptr);
+  EXPECT_EQ(fc->family, qc::Family::kLock);
+  EXPECT_TRUE(fc->has(qc::kCombining));
+  EXPECT_TRUE(fc->has(qc::kExclusive | qc::kTry));
+  for (const char* name : {"fc/queue", "fc/map", "fc-counter", "striped-acc"}) {
+    const auto* e = qc::find(name);
+    ASSERT_NE(e, nullptr) << name;
+    EXPECT_EQ(e->family, qc::Family::kContainer) << name;
+    EXPECT_TRUE(e->has(qc::kCombining)) << name;
+  }
+  // Face bits say what each container stores.
+  EXPECT_TRUE(qc::find("fc/queue")->has(qc::kQueue));
+  EXPECT_TRUE(qc::find("fc/map")->has(qc::kMap));
+  EXPECT_TRUE(qc::find("fc/map/cohort")->has(qc::kMap));
+  EXPECT_TRUE(qc::find("striped-acc")->has(qc::kAccumulator));
+  EXPECT_TRUE(qc::find("fc-counter")->has(qc::kAccumulator));
 }
 
 TEST(Catalog, ErasedHandlesReportCapabilitiesAndFootprint) {
@@ -141,8 +170,10 @@ TEST(Catalog, ErasedHandlesReportCapabilitiesAndFootprint) {
 
 TEST(Catalog, UniformCapacitySemantics) {
   // One capacity meaning everywhere: barriers read it as team size,
-  // array locks as slots, everyone else ignores it. capacity 1 must be
-  // valid for every entry.
+  // array locks as slots, containers ignore it (their size parameter —
+  // ring capacity, shard count — is a structural choice the default
+  // factory pins), everyone else ignores it. capacity 1 must be valid
+  // for every entry.
   for (const auto& e : qc::all()) {
     auto p = e.make(1);
     ASSERT_NE(p, nullptr) << e.name;
@@ -153,6 +184,20 @@ TEST(Catalog, UniformCapacitySemantics) {
       EXPECT_EQ(p->advance(), 1u) << e.name;
       EXPECT_GE(p->await(1), 1u) << e.name;
       EXPECT_EQ(p->read(), 1u) << e.name;
+    } else if (e.has(qc::kQueue)) {
+      EXPECT_TRUE(p->try_push(7)) << e.name;
+      std::uint64_t v = 0;
+      EXPECT_TRUE(p->try_pop(v)) << e.name;
+      EXPECT_EQ(v, 7u) << e.name;
+    } else if (e.has(qc::kMap)) {
+      EXPECT_TRUE(p->insert_or_assign(1, 2)) << e.name;
+      std::uint64_t v = 0;
+      EXPECT_TRUE(p->find(1, v)) << e.name;
+      EXPECT_EQ(v, 2u) << e.name;
+      EXPECT_TRUE(p->erase(1)) << e.name;
+    } else if (e.has(qc::kAccumulator)) {
+      p->add(5);
+      EXPECT_EQ(p->total(), 5) << e.name;
     } else {
       p->lock();
       p->unlock();

@@ -1,0 +1,478 @@
+// fc_executor_test.cpp — the flat-combining delegation layer: executor
+// protocol (election, combine-pass budget, record aging), the counter /
+// queue / map containers built on it, and the catalogue-wide property
+// battery over every kCombining entry. Runs under QSV_WAIT=spin_yield
+// (ctest ENVIRONMENT) so the contended batteries stay fast on 1-CPU
+// hosts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "combining/fc_executor.hpp"
+#include "combining/fc_queue.hpp"
+#include "combining/sharded_map.hpp"
+#include "combining/striped_accumulator.hpp"
+#include "harness/team.hpp"
+#include "workload/critical_section.hpp"
+
+namespace qc = qsv::combining;
+namespace cat = qsv::catalog;
+
+namespace {
+
+constexpr std::size_t kThreads = 4;
+constexpr std::size_t kOps = 2000;
+
+}  // namespace
+
+// ------------------------------------------------------- executor core
+
+TEST(FcExecutor, RunsClosuresUnderMutualExclusion) {
+  qc::FcExecutor<> exec;
+  qsv::workload::GuardedCounter counter;
+  qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t) {
+    for (std::size_t i = 0; i < kOps; ++i) {
+      exec.run([&] { counter.bump(); });
+    }
+  });
+  EXPECT_TRUE(counter.consistent());
+  EXPECT_EQ(counter.value(), kThreads * kOps);
+}
+
+TEST(FcExecutor, LinearizablePriorsAreUniqueAndDense) {
+  // The sequential oracle for a fetch&add history: N threads x K ops
+  // must observe every prior in [0, N*K) exactly once. Duplicated or
+  // missing priors mean an op ran outside the exclusion or ran twice —
+  // the two failure modes of a broken publication protocol.
+  qc::FcCounter counter;
+  std::vector<std::vector<std::int64_t>> priors(kThreads);
+  qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t rank) {
+    priors[rank].reserve(kOps);
+    for (std::size_t i = 0; i < kOps; ++i) {
+      priors[rank].push_back(counter.fetch_add(1));
+    }
+  });
+  std::vector<std::int64_t> all;
+  for (const auto& p : priors) all.insert(all.end(), p.begin(), p.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), kThreads * kOps);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    ASSERT_EQ(all[i], static_cast<std::int64_t>(i));
+  }
+  EXPECT_EQ(counter.read(), static_cast<std::int64_t>(kThreads * kOps));
+}
+
+TEST(FcExecutor, EveryOpAppliedExactlyOnceAndBudgetRespected) {
+  qc::FcCounter counter;
+  qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t) {
+    for (std::size_t i = 0; i < kOps; ++i) counter.add(1);
+  });
+  const auto st = counter.stats();
+  // Exactly-once: the applied counter equals the op count equals the
+  // value (no lost updates, no double application).
+  EXPECT_EQ(st.applied, kThreads * kOps);
+  EXPECT_EQ(counter.read(), static_cast<std::int64_t>(kThreads * kOps));
+  // The combine-pass budget bounds scans per tenure.
+  ASSERT_GT(st.tenures, 0u);
+  EXPECT_LE(st.passes, st.tenures * qc::FcConfig{}.max_passes);
+  // At most one tenure per op (an op never needs two elections), so
+  // batching can only shrink the tenure count.
+  EXPECT_LE(st.tenures, kThreads * kOps);
+}
+
+TEST(FcExecutor, CustomConfigIsHonored) {
+  const qc::FcConfig cfg{.max_passes = 1, .eviction_idle = 3};
+  qc::FcExecutor<> exec(qsv::get_default_wait_policy(), cfg);
+  EXPECT_EQ(exec.config().max_passes, 1u);
+  EXPECT_EQ(exec.config().eviction_idle, 3u);
+  std::atomic<int> x{0};
+  qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t) {
+    for (std::size_t i = 0; i < 500; ++i) {
+      exec.run([&] { x.fetch_add(1, std::memory_order_relaxed); });
+    }
+  });
+  EXPECT_EQ(x.load(), static_cast<int>(kThreads) * 500);
+  const auto st = exec.stats();
+  EXPECT_LE(st.passes, st.tenures * 1u);
+}
+
+TEST(FcExecutor, StaleRecordsAreEvictedAndReenlistCleanly) {
+  // A one-shot thread's record must stop taxing the scan once it has
+  // been idle past the eviction budget — and must come back the moment
+  // the thread posts again. Head records are exempt (the head link is
+  // the enlist CAS target), so the one-shot record is made interior by
+  // posting from the main thread afterwards.
+  qc::FcExecutor<> exec(qsv::get_default_wait_policy(),
+                        qc::FcConfig{.max_passes = 8, .eviction_idle = 2});
+  int hits = 0;
+  std::thread one_shot([&] { exec.run([&] { ++hits; }); });
+  one_shot.join();
+  EXPECT_EQ(exec.active_records(), 1u);
+
+  // Main enlists at the head; the one-shot record is now interior and
+  // ages out after eviction_idle tenures of main-thread traffic.
+  for (int i = 0; i < 8; ++i) exec.run([&] { ++hits; });
+  EXPECT_EQ(exec.active_records(), 1u);  // one-shot evicted, main stays
+  EXPECT_EQ(hits, 9);
+
+  // A fresh post from another thread re-enlists a new-or-evicted record
+  // and is served exactly once.
+  std::thread again([&] { exec.run([&] { ++hits; }); });
+  again.join();
+  EXPECT_EQ(hits, 10);
+  EXPECT_EQ(exec.active_records(), 2u);
+}
+
+namespace {
+
+/// A mutex with no try_lock: drives FcExecutor's non-election fallback
+/// (queue on the lock, serve your own record) and the default-construct
+/// LockSlot specialization.
+struct NoTryMutex {
+  void lock() { m.lock(); }
+  void unlock() { m.unlock(); }
+  std::mutex m;
+};
+
+}  // namespace
+
+TEST(FcExecutor, FallbackPathForMutexesWithoutTryLock) {
+  static_assert(!qc::detail::LockHasTry<NoTryMutex>);
+  qc::FcExecutor<NoTryMutex> exec;
+  qsv::workload::GuardedCounter counter;
+  qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t) {
+    for (std::size_t i = 0; i < kOps; ++i) {
+      exec.run([&] { counter.bump(); });
+    }
+  });
+  EXPECT_TRUE(counter.consistent());
+  EXPECT_EQ(counter.value(), kThreads * kOps);
+}
+
+TEST(FcExecutor, MutexFaceSerializesWithDelegation) {
+  // fc_mutex is both a lock and a delegation server: raw critical
+  // sections and run() closures exclude each other on the same
+  // underlying mutex.
+  qc::FcExecutor<> exec;
+  qsv::workload::GuardedCounter counter;
+  qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t rank) {
+    for (std::size_t i = 0; i < kOps; ++i) {
+      if (rank % 2 == 0) {
+        std::lock_guard<qc::FcExecutor<>> g(exec);
+        counter.bump();
+      } else {
+        exec.run([&] { counter.bump(); });
+      }
+    }
+  });
+  EXPECT_TRUE(counter.consistent());
+  EXPECT_EQ(counter.value(), kThreads * kOps);
+}
+
+TEST(PlainExecutor, SameSurfaceNoCombining) {
+  qc::PlainExecutor<> exec;
+  qsv::workload::GuardedCounter counter;
+  qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t) {
+    for (std::size_t i = 0; i < kOps; ++i) {
+      exec.run([&] { counter.bump(); });
+    }
+  });
+  EXPECT_TRUE(counter.consistent());
+  EXPECT_EQ(counter.value(), kThreads * kOps);
+  const auto st = exec.stats();
+  EXPECT_EQ(st.tenures, 0u);
+  EXPECT_EQ(st.applied, 0u);
+}
+
+// ------------------------------------------------------------ queue
+
+TEST(FcMpmcQueue, SequentialOracle) {
+  // Single-threaded interleaving against std::deque: FIFO order,
+  // capacity refusal, emptiness refusal.
+  qc::FcMpmcQueue<int> q(4, qsv::get_default_wait_policy());
+  EXPECT_EQ(q.capacity(), 4u);
+  std::deque<int> oracle;
+  int x = 0;
+  for (int round = 0; round < 200; ++round) {
+    const bool push = (round * 2654435761u) % 3 != 0;
+    if (push) {
+      const bool ok = q.try_push(round);
+      const bool oracle_ok = oracle.size() < 4;
+      ASSERT_EQ(ok, oracle_ok) << "round " << round;
+      if (ok) oracle.push_back(round);
+    } else {
+      const bool ok = q.try_pop(x);
+      ASSERT_EQ(ok, !oracle.empty()) << "round " << round;
+      if (ok) {
+        ASSERT_EQ(x, oracle.front());
+        oracle.pop_front();
+      }
+    }
+    ASSERT_EQ(q.size(), oracle.size());
+  }
+}
+
+TEST(FcMpmcQueue, ConservationUnderConcurrency) {
+  qc::FcMpmcQueue<std::uint64_t> q(64, qsv::get_default_wait_policy());
+  std::atomic<std::uint64_t> pushed{0}, popped{0}, pop_sum{0};
+  std::atomic<std::uint64_t> push_sum{0};
+  qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t rank) {
+    std::uint64_t my_pushed = 0, my_popped = 0, my_pop_sum = 0,
+                  my_push_sum = 0;
+    for (std::size_t i = 0; i < kOps; ++i) {
+      const std::uint64_t v = rank * kOps + i + 1;
+      if (i % 2 == 0) {
+        if (q.try_push(v)) {
+          ++my_pushed;
+          my_push_sum += v;
+        }
+      } else {
+        std::uint64_t out = 0;
+        if (q.try_pop(out)) {
+          ++my_popped;
+          my_pop_sum += out;
+        }
+      }
+    }
+    pushed.fetch_add(my_pushed);
+    popped.fetch_add(my_popped);
+    pop_sum.fetch_add(my_pop_sum);
+    push_sum.fetch_add(my_push_sum);
+  });
+  // Drain; every pushed value must come out exactly once.
+  std::uint64_t out = 0;
+  std::uint64_t drained = 0, drain_sum = 0;
+  while (q.try_pop(out)) {
+    ++drained;
+    drain_sum += out;
+  }
+  EXPECT_EQ(pushed.load(), popped.load() + drained);
+  EXPECT_EQ(push_sum.load(), pop_sum.load() + drain_sum);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.pushed(), pushed.load());
+  EXPECT_EQ(q.popped(), popped.load() + drained);
+}
+
+TEST(FcMpmcQueue, BlockingPushPopAcrossATinyRing) {
+  // Producer and consumer forced through a 2-slot ring: both sides must
+  // block (on the eventcounts, outside the executor) and hand every
+  // item over in order. A combiner that slept on queue state would
+  // deadlock here.
+  constexpr std::uint64_t kItems = 2000;
+  qc::FcMpmcQueue<std::uint64_t> q(2, qsv::get_default_wait_policy());
+  std::vector<std::uint64_t> received;
+  received.reserve(kItems);
+  qsv::harness::ThreadTeam::run(2, [&](std::size_t rank) {
+    if (rank == 0) {
+      for (std::uint64_t i = 0; i < kItems; ++i) q.push(i);
+    } else {
+      for (std::uint64_t i = 0; i < kItems; ++i) received.push_back(q.pop());
+    }
+  });
+  ASSERT_EQ(received.size(), kItems);
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(received[i], i);  // single producer: FIFO is total order
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+// -------------------------------------------------------------- map
+
+TEST(ShardedMap, BasicOperations) {
+  qc::ShardedMap<std::uint64_t, std::uint64_t> m(6,
+                                                 qsv::get_default_wait_policy());
+  EXPECT_EQ(m.shard_count(), 8u);  // rounded to a power of two
+  EXPECT_TRUE(m.insert_or_assign(1, 10));
+  EXPECT_FALSE(m.insert_or_assign(1, 11));  // overwrite, not insert
+  std::uint64_t v = 0;
+  EXPECT_TRUE(m.find(1, v));
+  EXPECT_EQ(v, 11u);
+  EXPECT_FALSE(m.find(2, v));
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(ShardedMap, PerKeyLinearizabilityUnderConcurrency) {
+  // Disjoint key ranges per thread: every thread's writes must be
+  // exactly what it reads back, and the final size must account for
+  // every surviving key. Runs on 2 shards so several threads share a
+  // shard and the executor actually combines.
+  qc::ShardedMap<std::uint64_t, std::uint64_t> m(2,
+                                                 qsv::get_default_wait_policy());
+  m.reserve(kThreads * kOps);
+  qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t rank) {
+    const std::uint64_t base = rank * kOps;
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      ASSERT_TRUE(m.insert_or_assign(base + i, base + i + 7));
+    }
+    std::uint64_t v = 0;
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      ASSERT_TRUE(m.find(base + i, v));
+      ASSERT_EQ(v, base + i + 7);
+    }
+    for (std::uint64_t i = 0; i < kOps; i += 2) {
+      ASSERT_TRUE(m.erase(base + i));
+    }
+  });
+  EXPECT_EQ(m.size(), kThreads * kOps / 2);
+  std::uint64_t v = 0;
+  EXPECT_FALSE(m.find(0, v));      // evens erased
+  EXPECT_TRUE(m.find(1, v));       // odds survive
+  EXPECT_EQ(v, 8u);
+}
+
+// ------------------------------------------------------- accumulator
+
+TEST(StripedAccumulator, SumsAcrossStripes) {
+  qc::StripedAccumulator acc(4);
+  EXPECT_EQ(acc.stripes(), 4u);
+  qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t) {
+    for (std::size_t i = 0; i < kOps; ++i) acc.add(1);
+  });
+  EXPECT_EQ(acc.read(), static_cast<std::int64_t>(kThreads * kOps));
+}
+
+TEST(StripedAccumulator, SingleStripePriorsAreGlobal) {
+  // stripes == 1 collapses to the old flat counter: priors are global,
+  // unique, and dense.
+  qc::StripedAccumulator acc(1);
+  ASSERT_EQ(acc.stripes(), 1u);
+  std::vector<std::vector<std::int64_t>> priors(kThreads);
+  qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t rank) {
+    for (std::size_t i = 0; i < 500; ++i) {
+      priors[rank].push_back(acc.fetch_add(1));
+    }
+  });
+  std::vector<std::int64_t> all;
+  for (const auto& p : priors) all.insert(all.end(), p.begin(), p.end());
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    ASSERT_EQ(all[i], static_cast<std::int64_t>(i));
+  }
+}
+
+// -------------------------------------- catalogue-wide property test
+
+namespace {
+
+/// Drive whatever faces the entry advertises, concurrently, with an
+/// oracle per face — the topology_test pattern extended to containers.
+void combining_battery(const cat::Entry& e) {
+  auto p = e.make(kThreads);
+  ASSERT_NE(p, nullptr) << e.name;
+  EXPECT_TRUE(p->capabilities() & cat::kCombining) << e.name;
+
+  if (e.has(cat::kQueue)) {
+    std::atomic<std::uint64_t> pushed{0}, popped{0};
+    qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t rank) {
+      std::uint64_t my_pushed = 0, my_popped = 0;
+      std::uint64_t out = 0;
+      for (std::size_t i = 0; i < 500; ++i) {
+        if ((i + rank) % 2 == 0) {
+          if (p->try_push(rank + 1)) ++my_pushed;
+        } else if (p->try_pop(out)) {
+          ++my_popped;
+        }
+      }
+      pushed.fetch_add(my_pushed);
+      popped.fetch_add(my_popped);
+    });
+    std::uint64_t out = 0, drained = 0;
+    while (p->try_pop(out)) ++drained;
+    EXPECT_EQ(pushed.load(), popped.load() + drained) << e.name;
+  } else if (e.has(cat::kMap)) {
+    qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t rank) {
+      const std::uint64_t base = rank * 500;
+      std::uint64_t v = 0;
+      for (std::uint64_t i = 0; i < 500; ++i) {
+        ASSERT_TRUE(p->insert_or_assign(base + i, base + i)) << e.name;
+        ASSERT_TRUE(p->find(base + i, v)) << e.name;
+        ASSERT_EQ(v, base + i) << e.name;
+      }
+      for (std::uint64_t i = 0; i < 500; ++i) {
+        ASSERT_TRUE(p->erase(base + i)) << e.name;
+      }
+    });
+  } else if (e.has(cat::kAccumulator)) {
+    qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t) {
+      for (std::size_t i = 0; i < 500; ++i) p->add(1);
+    });
+    EXPECT_EQ(p->total(), static_cast<std::int64_t>(kThreads) * 500)
+        << e.name;
+  } else {
+    // Executors without a container face (fc-mutex) expose the lock
+    // face; mutual exclusion is their property.
+    ASSERT_TRUE(e.has(cat::kExclusive)) << e.name;
+    qsv::workload::GuardedCounter counter;
+    qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t) {
+      for (std::size_t i = 0; i < 500; ++i) {
+        p->lock();
+        counter.bump();
+        p->unlock();
+      }
+    });
+    EXPECT_TRUE(counter.consistent()) << e.name;
+    EXPECT_EQ(counter.value(), kThreads * 500) << e.name;
+  }
+}
+
+}  // namespace
+
+TEST(CombiningCatalogue, RegistersTheWholeLayer) {
+  const auto entries = cat::filter(cat::kCombining);
+  EXPECT_GE(entries.size(), 8u);
+  std::size_t queues = 0, maps = 0, accs = 0;
+  for (const auto* e : entries) {
+    if (e->has(cat::kQueue)) ++queues;
+    if (e->has(cat::kMap)) ++maps;
+    if (e->has(cat::kAccumulator)) ++accs;
+  }
+  EXPECT_GE(queues, 2u);  // fc + plain control
+  EXPECT_GE(maps, 3u);    // fc, plain control, cohort composition
+  EXPECT_GE(accs, 2u);    // fc-counter, striped-acc
+}
+
+TEST(CombiningCatalogue, EveryEntrySurvivesItsFaceBattery) {
+  for (const auto* e : cat::filter(cat::kCombining)) {
+    SCOPED_TRACE(e->name);
+    combining_battery(*e);
+  }
+}
+
+TEST(CombiningCatalogue, WaitPoliciesConstructEveryEntry) {
+  // Every combining entry is runtime wait-configurable (or ignores the
+  // policy); make_with must produce a working instance for all four.
+  for (const auto* e : cat::filter(cat::kCombining)) {
+    for (const qsv::wait_policy p : qsv::kAllWaitPolicies) {
+      SCOPED_TRACE(std::string(e->name) + " / " + qsv::wait_policy_name(p));
+      auto prim = e->make_with(2, p);
+      ASSERT_NE(prim, nullptr);
+      if (e->has(cat::kAccumulator)) {
+        prim->add(1);
+        EXPECT_EQ(prim->total(), 1);
+      } else if (e->has(cat::kQueue)) {
+        EXPECT_TRUE(prim->try_push(9));
+        std::uint64_t v = 0;
+        EXPECT_TRUE(prim->try_pop(v));
+        EXPECT_EQ(v, 9u);
+      } else if (e->has(cat::kMap)) {
+        EXPECT_TRUE(prim->insert_or_assign(3, 4));
+        std::uint64_t v = 0;
+        EXPECT_TRUE(prim->find(3, v));
+        EXPECT_EQ(v, 4u);
+      } else {
+        prim->lock();
+        prim->unlock();
+      }
+    }
+  }
+}
