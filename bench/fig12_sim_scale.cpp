@@ -1,0 +1,85 @@
+// fig12_sim_scale — the simulator as a scale oracle: catalogue
+// protocols × handoff budgets × synthetic topologies, replayed on the
+// discrete-event machine far past the host's core count (up to 1024
+// simulated cpus, including a CXL-ish asymmetric-hop shape).
+// Reconstructed claim: the cohort protocols' remote references per
+// acquisition stay bounded as the machine grows — budget 16 converts
+// most handoffs into node-local passes — while flat protocols pay
+// per-processor coherence traffic. The host's own topology joins the
+// sweep so tests/sim_scale_test.cpp can check the sim's trend ranking
+// against the measured BENCH_cohort.json / BENCH_rw_ratio.json.
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "benchreg/registry.hpp"
+#include "platform/topology.hpp"
+#include "sim/replay.hpp"
+
+namespace {
+
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+
+  qsv::sim::ReplayPlan plan;
+  plan.topologies = qsv::sim::scale_topologies();
+  // Close the loop with the real machine: the discovered host topology
+  // is one more shape in the sweep (tiny on CI, but its rows are the
+  // ones the sim-vs-measured test can rank against native numbers).
+  plan.topologies.push_back(
+      {"host", qsv::platform::topology(), qsv::sim::CostModel{}});
+
+  const std::vector<std::string> algorithms{
+      "ticket",         "mcs",
+      "qsv",            "hier-qsv",
+      "cohort/qsv+qsv", "cohort/ticket+ticket"};
+  for (const std::string& algo : algorithms) {
+    if (params.algo_match(algo)) plan.algorithms.push_back(algo);
+  }
+  // Budget 0 is the ablation control (flat global lock plus one local
+  // hop); 16 is the tuned default shared with the native locks.
+  plan.budgets = {0, qsv::sim::kSimHierBudget};
+  plan.rounds = static_cast<std::size_t>(params.scale_count(2, 50.0));
+
+  try {
+    const auto points = qsv::sim::replay(plan);
+    for (const auto& p : points) {
+      report.add()
+          .set("topology", p.topology)
+          .set("algorithm", p.algorithm)
+          .set("budget", static_cast<std::uint64_t>(p.budget))
+          .set("procs", static_cast<std::uint64_t>(p.procs))
+          .set("remote_per_op",
+               qsv::benchreg::Value(p.result.remote_per_op(), 1))
+          .set("cross_package_per_op",
+               qsv::benchreg::Value(p.result.cross_package_per_op(), 1))
+          .set("local_pass_pct",
+               qsv::benchreg::Value(100.0 * p.result.local_pass_fraction(),
+                                    1));
+    }
+  } catch (const std::exception& e) {
+    // replay() throws (rather than returning partial counters) when a
+    // run deadlocks or hits the horizon — an incomplete sim run must
+    // fail the scenario loudly, never pose as a datapoint.
+    report.fail(e.what());
+    return report;
+  }
+
+  report.note("simulated machines: miss costs derived from topology hop "
+              "distance (node < package < cross-package, plus per-home "
+              "CXL-ish surcharges)");
+  report.note("local_pass_pct: acquisitions served by an intra-cohort "
+              "handoff instead of the global tier");
+  return report;
+}
+
+qsv::benchreg::Registrar reg{{
+    .name = "sim_scale",
+    .id = "fig12",
+    .kind = qsv::benchreg::Kind::kFigure,
+    .title = "scale oracle: simulated remote traffic at 64..1024 cpus",
+    .claim = "cohort budgets bound remote refs as the machine grows",
+    .run = run,
+}};
+
+}  // namespace

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace qsv::benchreg {
@@ -94,7 +95,11 @@ std::string md_escape(const std::string& s) {
   return out;
 }
 
-// ------------------------------------------------------------ validator
+// ---------------------------------------------------- validator / DOM
+// One grammar walk serves both faces: with a null `out` it only
+// validates (json_valid); with a JsonValue it additionally builds the
+// tree (json_parse). Keeping them the same code path means the DOM can
+// never accept a document the validator rejects, or vice versa.
 
 struct Parser {
   std::string_view text;
@@ -120,7 +125,26 @@ struct Parser {
     return false;
   }
 
-  bool parse_string() {
+  static unsigned hex_digit(char c) {
+    if (c >= '0' && c <= '9') return static_cast<unsigned>(c - '0');
+    if (c >= 'a' && c <= 'f') return static_cast<unsigned>(c - 'a' + 10);
+    return static_cast<unsigned>(c - 'A' + 10);
+  }
+
+  static void append_utf8(std::string& s, unsigned code) {
+    if (code < 0x80) {
+      s += static_cast<char>(code);
+    } else if (code < 0x800) {
+      s += static_cast<char>(0xC0 | (code >> 6));
+      s += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      s += static_cast<char>(0xE0 | (code >> 12));
+      s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  bool parse_string(std::string* out) {
     if (!eat('"')) return fail("expected string");
     while (pos < text.size()) {
       const char c = text[pos];
@@ -136,23 +160,37 @@ struct Parser {
         if (pos >= text.size()) return fail("dangling escape");
         const char e = text[pos];
         if (e == 'u') {
+          unsigned code = 0;
           for (int i = 0; i < 4; ++i) {
             ++pos;
             if (pos >= text.size() || !std::isxdigit(static_cast<unsigned char>(
                                           text[pos]))) {
               return fail("bad \\u escape");
             }
+            code = code * 16 + hex_digit(text[pos]);
           }
+          if (out != nullptr) append_utf8(*out, code);
         } else if (std::strchr("\"\\/bfnrt", e) == nullptr) {
           return fail("bad escape character");
+        } else if (out != nullptr) {
+          switch (e) {
+            case 'b': *out += '\b'; break;
+            case 'f': *out += '\f'; break;
+            case 'n': *out += '\n'; break;
+            case 'r': *out += '\r'; break;
+            case 't': *out += '\t'; break;
+            default: *out += e;
+          }
         }
+      } else if (out != nullptr) {
+        *out += c;
       }
       ++pos;
     }
     return fail("unterminated string");
   }
 
-  bool parse_number() {
+  bool parse_number(double* out) {
     const std::size_t start = pos;
     if (eat('-')) {
     }
@@ -187,6 +225,12 @@ struct Parser {
         ++pos;
       }
     }
+    if (out != nullptr) {
+      // The scan above accepted exactly a JSON number, so strtod on the
+      // accepted span cannot fail.
+      *out = std::strtod(std::string(text.substr(start, pos - start)).c_str(),
+                         nullptr);
+    }
     return true;
   }
 
@@ -197,31 +241,57 @@ struct Parser {
     return true;
   }
 
-  bool parse_value(int depth) {
+  bool parse_value(int depth, JsonValue* out) {
     if (depth > 64) return fail("nesting too deep");
     skip_ws();
     if (pos >= text.size()) return fail("unexpected end of input");
     switch (text[pos]) {
-      case '{': return parse_object(depth);
-      case '[': return parse_array(depth);
-      case '"': return parse_string();
-      case 't': return parse_literal("true");
-      case 'f': return parse_literal("false");
-      case 'n': return parse_literal("null");
-      default: return parse_number();
+      case '{':
+        if (out != nullptr) out->kind = JsonValue::Kind::kObject;
+        return parse_object(depth, out);
+      case '[':
+        if (out != nullptr) out->kind = JsonValue::Kind::kArray;
+        return parse_array(depth, out);
+      case '"':
+        if (out != nullptr) out->kind = JsonValue::Kind::kString;
+        return parse_string(out != nullptr ? &out->string : nullptr);
+      case 't':
+        if (out != nullptr) {
+          out->kind = JsonValue::Kind::kBool;
+          out->boolean = true;
+        }
+        return parse_literal("true");
+      case 'f':
+        if (out != nullptr) {
+          out->kind = JsonValue::Kind::kBool;
+          out->boolean = false;
+        }
+        return parse_literal("false");
+      case 'n':
+        if (out != nullptr) out->kind = JsonValue::Kind::kNull;
+        return parse_literal("null");
+      default:
+        if (out != nullptr) out->kind = JsonValue::Kind::kNumber;
+        return parse_number(out != nullptr ? &out->number : nullptr);
     }
   }
 
-  bool parse_object(int depth) {
+  bool parse_object(int depth, JsonValue* out) {
     eat('{');
     skip_ws();
     if (eat('}')) return true;
     for (;;) {
       skip_ws();
-      if (!parse_string()) return false;
+      std::string key;
+      if (!parse_string(out != nullptr ? &key : nullptr)) return false;
       skip_ws();
       if (!eat(':')) return fail("expected ':'");
-      if (!parse_value(depth + 1)) return false;
+      JsonValue* slot = nullptr;
+      if (out != nullptr) {
+        out->object.emplace_back(std::move(key), JsonValue{});
+        slot = &out->object.back().second;
+      }
+      if (!parse_value(depth + 1, slot)) return false;
       skip_ws();
       if (eat(',')) continue;
       if (eat('}')) return true;
@@ -229,12 +299,17 @@ struct Parser {
     }
   }
 
-  bool parse_array(int depth) {
+  bool parse_array(int depth, JsonValue* out) {
     eat('[');
     skip_ws();
     if (eat(']')) return true;
     for (;;) {
-      if (!parse_value(depth + 1)) return false;
+      JsonValue* slot = nullptr;
+      if (out != nullptr) {
+        out->array.emplace_back();
+        slot = &out->array.back();
+      }
+      if (!parse_value(depth + 1, slot)) return false;
       skip_ws();
       if (eat(',')) continue;
       if (eat(']')) return true;
@@ -361,7 +436,7 @@ std::string to_markdown(const RunOutput& out) {
 bool json_valid(std::string_view text, std::string* error) {
   Parser p;
   p.text = text;
-  if (!p.parse_value(0)) {
+  if (!p.parse_value(0, nullptr)) {
     if (error != nullptr) *error = p.error;
     return false;
   }
@@ -370,6 +445,26 @@ bool json_valid(std::string_view text, std::string* error) {
     if (error != nullptr) {
       *error = "trailing garbage at offset " + std::to_string(p.pos);
     }
+    return false;
+  }
+  return true;
+}
+
+bool json_parse(std::string_view text, JsonValue& out, std::string* error) {
+  out = JsonValue{};
+  Parser p;
+  p.text = text;
+  if (!p.parse_value(0, &out)) {
+    if (error != nullptr) *error = p.error;
+    out = JsonValue{};
+    return false;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error != nullptr) {
+      *error = "trailing garbage at offset " + std::to_string(p.pos);
+    }
+    out = JsonValue{};
     return false;
   }
   return true;

@@ -9,6 +9,7 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "benchreg/scenario.hpp"
@@ -41,5 +42,34 @@ std::string to_markdown(const RunOutput& out);
 /// strings with escapes, numbers, true/false/null). Returns false and
 /// fills `error` (when non-null) with an offset-tagged message.
 bool json_valid(std::string_view text, std::string* error = nullptr);
+
+/// Parsed JSON node — the DOM counterpart of json_valid, so tests and
+/// tools can read the emitted artifacts back (the sim-vs-measured
+/// validation reads BENCH_cohort.json / BENCH_rw_ratio.json this way).
+/// Exactly one of the payload members is meaningful, selected by
+/// `kind`; object members keep document order.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First member named `key`, or nullptr (also on non-objects).
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// As json_valid, but additionally builds the document tree into `out`
+/// (left default-initialized on failure). Escape sequences in strings
+/// are decoded; \uXXXX becomes UTF-8.
+bool json_parse(std::string_view text, JsonValue& out,
+                std::string* error = nullptr);
 
 }  // namespace qsv::benchreg

@@ -40,6 +40,7 @@
 #include "platform/thread_id.hpp"
 #include "platform/wait.hpp"
 #include "rwlocks/central_rw.hpp"
+#include "sim/protocols.hpp"
 
 namespace qsv::catalog {
 namespace detail {
@@ -124,11 +125,17 @@ using CohortQsvTicket =
     qsv::hier::CohortLock<qsv::core::QsvMutex<>, qsv::locks::TicketLock>;
 using CohortTicketMcs =
     qsv::hier::CohortLock<qsv::locks::TicketLock, qsv::locks::McsLock<>>;
+// Both tiers centralized: the all-ticket composition is the scale
+// oracle's worst-case control (every wait spins on a shared serving
+// word), bounding the cohort effect from below in fig12.
+using CohortTicketTicket =
+    qsv::hier::CohortLock<qsv::locks::TicketLock, qsv::locks::TicketLock>;
 
 QSV_CATALOG_REGISTER_COHORT(CohortQsvQsv, "cohort/qsv+qsv");
 QSV_CATALOG_REGISTER_COHORT(CohortMcsMcs, "cohort/mcs+mcs");
 QSV_CATALOG_REGISTER_COHORT(CohortQsvTicket, "cohort/qsv+ticket");
 QSV_CATALOG_REGISTER_COHORT(CohortTicketMcs, "cohort/ticket+mcs");
+QSV_CATALOG_REGISTER_COHORT(CohortTicketTicket, "cohort/ticket+ticket");
 
 // ---------------------------------------------------------- barriers
 QSV_CATALOG_REGISTER(qsv::barriers::CentralBarrier<>, "central");
@@ -183,5 +190,24 @@ QSV_CATALOG_REGISTER_DEFAULT(qsv::combining::StripedAccumulator,
 // (fig11's strawman) and queued (QSV node protocol) eventcounts.
 QSV_CATALOG_REGISTER(qsv::eventcount::EventCount<>, "eventcount");
 QSV_CATALOG_REGISTER(qsv::eventcount::QueuedEventCount<>, "queued-ec");
+
+// ---------------------------------------------------------- simulable
+// kSimulable is tagged from the simulator's own name lists — an entry
+// earns the bit iff src/sim/protocols.cpp carries a port under the
+// exact catalogue name, so the bit can never drift from what the scale
+// oracle can actually replay. (The eventcount ports exist too but under
+// sim-specific names, so those entries stay untagged.) This initializer
+// runs after every Registrar above: within one translation unit,
+// dynamic initialization is sequential.
+[[maybe_unused]] static const bool qsv_cat_simulable_tagged = [] {
+  for (const auto* names :
+       {&qsv::sim::sim_lock_names(), &qsv::sim::sim_barrier_names(),
+        &qsv::sim::sim_rw_names()}) {
+    for (const std::string& name : *names) {
+      qsv::catalog::add_capability(name, qsv::catalog::kSimulable);
+    }
+  }
+  return true;
+}();
 
 }  // namespace

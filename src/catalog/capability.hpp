@@ -50,6 +50,15 @@ enum Capability : std::uint32_t {
   kQueue       = 1u << 12,  ///< try_push() / try_pop()
   kMap         = 1u << 13,  ///< insert_or_assign() / find() / erase()
   kAccumulator = 1u << 14,  ///< add() / read() -> int64
+
+  kSimulable   = 1u << 15,  ///< src/sim/protocols.cpp carries a
+                            ///< line-for-line port under the same
+                            ///< catalogue name, so the scale oracle
+                            ///< (sim/replay.hpp) can replay the entry
+                            ///< on synthetic topologies. A property of
+                            ///< the simulator, not the type: tagged in
+                            ///< builtin.cpp from the sim name lists,
+                            ///< not derived by caps_of().
 };
 
 /// All container-face bits: any of them makes the entry a container.

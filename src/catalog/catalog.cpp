@@ -39,6 +39,15 @@ void register_entry(Entry e) {
   entries.push_back(std::move(e));
 }
 
+void add_capability(std::string_view name, std::uint32_t caps) {
+  for (auto& e : storage()) {
+    if (e.name == name) {
+      e.caps |= caps;
+      return;
+    }
+  }
+}
+
 const std::vector<Entry>& all() {
   detail::builtin_anchor();
   return storage();

@@ -200,6 +200,13 @@ Entry entry_cohort(std::string name) {
 /// Add an entry. Aborts on a duplicate name.
 void register_entry(Entry e);
 
+/// OR extra capability bits into an already-registered entry (no-op on
+/// a miss). For capabilities that are properties of *other subsystems*
+/// rather than the type — kSimulable is tagged this way from the sim's
+/// own name lists, so the bit can never drift from what the simulator
+/// actually ports.
+void add_capability(std::string_view name, std::uint32_t caps);
+
 /// Every registered primitive, in registration order (per family this
 /// is the paper-style table order: strawmen, baselines, QSV variants).
 const std::vector<Entry>& all();

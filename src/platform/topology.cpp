@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 #include <climits>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -172,6 +174,50 @@ Topology discover_topology(const std::string& root) {
 const Topology& topology() {
   static const Topology topo = discover_topology();
   return topo;
+}
+
+namespace {
+
+/// Synthetic-topology contract violations feed into cpu-indexed tables
+/// and cohort seating exactly like cohort-map violations do; abort
+/// deterministically in every build mode rather than fall into UB.
+[[noreturn]] void synthetic_fatal(const char* what) noexcept {
+  std::fprintf(stderr, "libqsv synthetic topology: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+Topology synthetic_topology(std::size_t packages, std::size_t nodes,
+                            std::size_t cpus_per_node) {
+  if (packages == 0) {
+    synthetic_fatal("package count must be at least 1");
+  }
+  if (nodes == 0) {
+    synthetic_fatal("node count must be at least 1");
+  }
+  if (cpus_per_node == 0) {
+    synthetic_fatal("each node needs at least one cpu");
+  }
+  if (nodes % packages != 0) {
+    synthetic_fatal("node count must divide evenly across packages");
+  }
+  if (nodes > (static_cast<std::size_t>(kMaxCpuId) + 1) / cpus_per_node) {
+    synthetic_fatal("total cpus exceed kMaxCpuId+1");
+  }
+  const std::size_t nodes_per_package = nodes / packages;
+  std::vector<Topology::Node> built;
+  built.reserve(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    Topology::Node node;
+    node.sysfs_id = static_cast<int>(n);
+    node.package = static_cast<int>(n / nodes_per_package);
+    for (std::size_t c = 0; c < cpus_per_node; ++c) {
+      node.cpus.push_back(static_cast<int>(n * cpus_per_node + c));
+    }
+    built.push_back(std::move(node));
+  }
+  return Topology(std::move(built));
 }
 
 }  // namespace qsv::platform

@@ -87,4 +87,18 @@ Topology discover_topology(const std::string& root = "/sys");
 /// The process-wide topology, discovered once from the real sysfs.
 const Topology& topology();
 
+/// Build a synthetic machine for the simulator's scale-oracle runs:
+/// `packages` physical packages, `nodes` NUMA nodes spread evenly
+/// across them, `cpus_per_node` cpus per node with dense logical ids
+/// [0, nodes*cpus_per_node). The result is indistinguishable from a
+/// discovered Topology, so the cohort layer and sim::Machine consume
+/// machines we do not have (4-socket, 1024-cpu fabrics) through the
+/// same interface as the real host. Input that cannot form a
+/// well-formed machine aborts deterministically (the cohort-layer
+/// precedent, see cohort_map.hpp): zero packages/nodes/cpus, a node
+/// count not divisible across packages, or more total cpus than
+/// kMaxCpuId+1.
+Topology synthetic_topology(std::size_t packages, std::size_t nodes,
+                            std::size_t cpus_per_node);
+
 }  // namespace qsv::platform

@@ -4,6 +4,26 @@
 
 namespace qsv::sim {
 
+Machine::Machine(const qsv::platform::Topology& topo, CostModel costs,
+                 Topology interconnect)
+    : procs_(topo.cpu_count()),
+      topology_(interconnect == Topology::kBus ? Topology::kNuma
+                                               : interconnect),
+      costs_(std::move(costs)),
+      node_slots_(topo.node_count()) {
+  // Processor p is logical cpu p. Synthetic topologies number their
+  // cpus densely; a discovered host with id gaps still resolves through
+  // node_of_cpu (unknown ids map to node 0, the topology's own rule).
+  proc_node_.reserve(procs_);
+  for (std::size_t p = 0; p < procs_; ++p) {
+    proc_node_.push_back(topo.node_of_cpu(static_cast<int>(p)));
+  }
+  node_package_.reserve(topo.node_count());
+  for (const auto& node : topo.nodes()) {
+    node_package_.push_back(static_cast<std::size_t>(node.package));
+  }
+}
+
 Machine::~Machine() {
   for (auto h : programs_) {
     if (h) h.destroy();
@@ -36,9 +56,28 @@ Cycles Machine::occupy(Cycles& busy_until, Cycles service) {
   return busy_until - now_;  // queuing delay + service time
 }
 
+Cycles Machine::remote_service(std::size_t proc_node,
+                               std::size_t home_node) {
+  Cycles service;
+  if (package_of_node(proc_node) != package_of_node(home_node)) {
+    ++counters_.cross_package_refs;
+    service = costs_.numa_remote_miss;
+  } else {
+    service = costs_.numa_same_package_miss;
+  }
+  // CXL-ish surcharge follows the *home*: accesses serviced by a
+  // penalized node cost extra in either direction of travel.
+  if (home_node < costs_.home_penalty.size()) {
+    service += costs_.home_penalty[home_node];
+  }
+  return service;
+}
+
 Cycles Machine::charge(std::size_t proc, Line& line, bool write) {
   ++counters_.total_accesses;
-  const bool is_remote = node_of(proc) != node_of(line.home);
+  const std::size_t proc_node = node_of(proc);
+  const std::size_t home_node = node_of(line.home);
+  const bool is_remote = proc_node != home_node;
 
   // Resolve the miss service time and serialization point; cache hits
   // short-circuit below without touching either.
@@ -47,11 +86,11 @@ Cycles Machine::charge(std::size_t proc, Line& line, bool write) {
       ++counters_.bus_transactions;
       return occupy(bus_busy_, costs_.bus_transaction);
     }
-    if (node_busy_.size() < procs_ + 1) node_busy_.assign(procs_ + 1, 0);
-    Cycles& module = node_busy_[node_of(line.home)];
+    if (node_busy_.size() < node_slots_) node_busy_.assign(node_slots_, 0);
+    Cycles& module = node_busy_[home_node];
     if (is_remote) {
       ++counters_.remote_refs;
-      return occupy(module, costs_.numa_remote_miss);
+      return occupy(module, remote_service(proc_node, home_node));
     }
     return occupy(module, costs_.numa_local_miss);
   };
@@ -60,9 +99,10 @@ Cycles Machine::charge(std::size_t proc, Line& line, bool write) {
   // access crosses the network, and no copy is installed (so no
   // invalidation accounting applies either).
   if (topology_ == Topology::kNumaUncached && is_remote) {
-    if (node_busy_.size() < procs_ + 1) node_busy_.assign(procs_ + 1, 0);
+    if (node_busy_.size() < node_slots_) node_busy_.assign(node_slots_, 0);
     ++counters_.remote_refs;
-    return occupy(node_busy_[node_of(line.home)], costs_.numa_remote_miss);
+    return occupy(node_busy_[home_node],
+                  remote_service(proc_node, home_node));
   }
 
   if (write) {

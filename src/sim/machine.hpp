@@ -27,6 +27,7 @@
 #include <queue>
 #include <vector>
 
+#include "platform/topology.hpp"
 #include "sim/task.hpp"
 
 namespace qsv::sim {
@@ -53,7 +54,20 @@ struct CostModel {
   Cycles cache_hit = 1;
   Cycles bus_transaction = 20;    ///< any bus-serviced miss or upgrade
   Cycles numa_local_miss = 20;    ///< miss serviced by the home node
-  Cycles numa_remote_miss = 100;  ///< miss crossing the interconnect
+  Cycles numa_remote_miss = 100;  ///< miss crossing packages
+  /// Miss leaving the node but staying inside the package (one hop on
+  /// the intra-package interconnect). Only reachable on machines built
+  /// from a platform::Topology: the flat constructor makes every node
+  /// its own package, so every inter-node miss stays the full
+  /// numa_remote_miss and the historical two-tier figures reproduce
+  /// unchanged.
+  Cycles numa_same_package_miss = 60;
+  /// CXL-ish asymmetric hop costs: extra service cycles added to any
+  /// off-node access *serviced by* home node n (index = dense node id;
+  /// nodes beyond the vector pay nothing). Because the surcharge
+  /// follows the home, cost(A->B) != cost(B->A) when only one side is
+  /// penalized — the far-memory shape of an expansion device.
+  std::vector<Cycles> home_penalty;
   /// Model hot-spot contention: a miss occupies its serialization point
   /// (the shared bus on the bus machine; the line's home memory module
   /// on the NUMA machine) for its full service time, and concurrent
@@ -68,7 +82,8 @@ struct CostModel {
 struct Counters {
   std::uint64_t bus_transactions = 0;
   std::uint64_t invalidations = 0;
-  std::uint64_t remote_refs = 0;
+  std::uint64_t remote_refs = 0;      ///< any miss serviced off-node
+  std::uint64_t cross_package_refs = 0;  ///< subset crossing packages
   std::uint64_t total_accesses = 0;
   std::uint64_t cache_hits = 0;
 };
@@ -85,8 +100,21 @@ class Machine {
           CostModel costs = CostModel{}, std::size_t procs_per_node = 1)
       : procs_(processors),
         topology_(topology),
-        costs_(costs),
-        procs_per_node_(procs_per_node == 0 ? 1 : procs_per_node) {}
+        costs_(std::move(costs)),
+        procs_per_node_(procs_per_node == 0 ? 1 : procs_per_node),
+        node_slots_(procs_ + 1) {}
+
+  /// Machine shaped like a platform::Topology (discovered or
+  /// synthetic_topology()): processor p is logical cpu p, NUMA nodes and
+  /// packages come from the topology, and the miss cost is derived from
+  /// hop distance — same node = numa_local_miss, same package =
+  /// numa_same_package_miss, cross package = numa_remote_miss (each plus
+  /// the home node's home_penalty surcharge). `interconnect` selects
+  /// the coherent (kNuma) or Butterfly-class uncached (kNumaUncached)
+  /// directory machine; the bus machine has no locality to derive.
+  Machine(const qsv::platform::Topology& topo, CostModel costs = CostModel{},
+          Topology interconnect = Topology::kNuma);
+
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
   ~Machine();
@@ -176,9 +204,16 @@ class Machine {
   const Counters& counters() const noexcept { return counters_; }
   std::size_t processors() const noexcept { return procs_; }
   std::size_t procs_per_node() const noexcept { return procs_per_node_; }
-  /// NUMA node of a processor under the configured grouping.
+  /// NUMA node of a processor: the topology's node for topology-shaped
+  /// machines, the flat grouping otherwise.
   std::size_t node_of(std::size_t proc) const noexcept {
-    return proc / procs_per_node_;
+    return proc < proc_node_.size() ? proc_node_[proc]
+                                    : proc / procs_per_node_;
+  }
+  /// Package of a node. Flat machines give every node its own package,
+  /// so the two-tier local/remote split is preserved exactly.
+  std::size_t package_of_node(std::size_t node) const noexcept {
+    return node < node_package_.size() ? node_package_[node] : node;
   }
   /// Direct peek for test assertions (no traffic charged).
   Value peek(Addr a) const { return lines_[a].value; }
@@ -217,6 +252,9 @@ class Machine {
   void issue_wait(WaitAccess& w, std::coroutine_handle<> h);
   /// Apply coherence for an access; returns its latency.
   Cycles charge(std::size_t proc, Line& line, bool write);
+  /// Service time of an off-node miss: hop-classified (same package vs
+  /// cross package, counted) plus the home node's penalty surcharge.
+  Cycles remote_service(std::size_t proc_node, std::size_t home_node);
   /// After a write changed `line.value`: wake satisfied waiters.
   void wake_waiters(Line& line);
   void schedule(Cycles at, std::coroutine_handle<> h);
@@ -230,6 +268,9 @@ class Machine {
   Topology topology_;
   CostModel costs_;
   std::size_t procs_per_node_ = 1;
+  std::size_t node_slots_ = 1;  ///< node_busy_ size when first needed
+  std::vector<std::size_t> proc_node_;     ///< topology machines: cpu->node
+  std::vector<std::size_t> node_package_;  ///< topology machines: node->pkg
   Cycles bus_busy_ = 0;                ///< bus machine: one shared bus
   std::vector<Cycles> node_busy_;      ///< NUMA: per home-node module
   std::vector<Line> lines_;

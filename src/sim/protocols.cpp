@@ -204,6 +204,32 @@ Task graunke_thakkar_worker(Machine& m, const GraunkeThakkarLayout* l,
   }
 }
 
+/// Cohort seating of a machine: cohorts = the machine's NUMA nodes,
+/// lead[c] = first processor of cohort c (homes the per-cohort lines,
+/// like TopologyCohortMap homing a cohort's slab on its node).
+struct CohortSeating {
+  std::size_t cohorts = 1;
+  std::vector<std::size_t> lead;
+};
+
+CohortSeating seat_cohorts(const Machine& m) {
+  CohortSeating s;
+  const std::size_t procs = m.processors();
+  for (std::size_t p = 0; p < procs; ++p) {
+    if (m.node_of(p) + 1 > s.cohorts) s.cohorts = m.node_of(p) + 1;
+  }
+  s.lead.assign(s.cohorts, 0);
+  std::vector<bool> seen(s.cohorts, false);
+  for (std::size_t p = 0; p < procs; ++p) {
+    const std::size_t c = m.node_of(p);
+    if (!seen[c]) {
+      seen[c] = true;
+      s.lead[c] = p;
+    }
+  }
+  return s;
+}
+
 struct HierQsvLayout {
   Addr global_tail;
   std::vector<Addr> local_tail;   // per cohort, homed at cohort lead
@@ -213,12 +239,16 @@ struct HierQsvLayout {
   std::vector<Addr> node_state;   // 0 wait, 1 must-acquire, 2 global-passed
   std::vector<Addr> gnode_next;   // global-queue node, per proc
   std::vector<Addr> gnode_state;  // 0 wait, 1 granted
+  // Host-side handoff-locality instrumentation (the sim is single-
+  // threaded and deterministic, so plain counters are exact).
+  std::uint64_t local_passes = 0;
+  std::uint64_t global_acquires = 0;
   static HierQsvLayout make(Machine& m, std::size_t procs,
-                            std::size_t cohorts, std::size_t ppn) {
+                            const CohortSeating& seat) {
     HierQsvLayout l;
     l.global_tail = m.alloc(0, 0);
-    for (std::size_t c = 0; c < cohorts; ++c) {
-      const std::size_t lead = c * ppn;
+    for (std::size_t c = 0; c < seat.cohorts; ++c) {
+      const std::size_t lead = seat.lead[c];
       l.local_tail.push_back(m.alloc(lead, 0));
       l.rep.push_back(m.alloc(lead, 0));
       l.passes.push_back(m.alloc(lead, 0));
@@ -256,7 +286,7 @@ Task hier_release_global(Machine& m, const HierQsvLayout* l,
 }
 
 /// Hierarchical QSV port (mirrors hier/hier_qsv.hpp): cohort = NUMA node.
-Task hier_qsv_worker(Machine& m, const HierQsvLayout* l, std::size_t proc,
+Task hier_qsv_worker(Machine& m, HierQsvLayout* l, std::size_t proc,
                      std::size_t rounds, Cycles cs, std::uint64_t budget) {
   const std::size_t c = m.node_of(proc);
   for (std::size_t r = 0; r < rounds; ++r) {
@@ -283,6 +313,7 @@ Task hier_qsv_worker(Machine& m, const HierQsvLayout* l, std::size_t proc,
       }
       co_await m.store(proc, l->rep[c], ptr(proc));
       co_await m.store(proc, l->passes[c], 0);
+      ++l->global_acquires;
     }
     // ---- critical section -------------------------------------------
     co_await m.delay(proc, cs);
@@ -302,11 +333,297 @@ Task hier_qsv_worker(Machine& m, const HierQsvLayout* l, std::size_t proc,
     const Value p = co_await m.load(proc, l->passes[c]);
     if (p < budget) {
       co_await m.store(proc, l->passes[c], p + 1);
+      ++l->local_passes;
       co_await m.store(proc, l->node_state[unptr(next)], kHierGlobalPassed);
     } else {
       co_await hier_release_global(m, l, proc, c);
       co_await m.store(proc, l->node_state[unptr(next)], kHierMustAcquire);
     }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Cohort combinator port (mirrors hier/cohort_lock.hpp). Where
+// HierQsvMutex fuses both tiers into one queue dialect, CohortLock
+// layers the budgeted local-handoff protocol over any tier pair; in the
+// sim every catalogue component collapses to one of two dialects —
+// queue (the MCS/QSV shape: exchange to enqueue, spin on your own
+// locally-homed node) and ticket (fetch&add, spin on the shared serving
+// word). "cohort/qsv+ticket" therefore simulates a queue global tier
+// over per-cohort ticket locks, and so on.
+// ---------------------------------------------------------------------
+
+enum class TierKind { kQueue, kTicket };
+
+/// "<global>+<local>" after the "cohort/" prefix; qsv and mcs both name
+/// the queue dialect, ticket the centralized one.
+bool parse_tier(const std::string& token, TierKind& out) {
+  if (token == "qsv" || token == "mcs") {
+    out = TierKind::kQueue;
+    return true;
+  }
+  if (token == "ticket") {
+    out = TierKind::kTicket;
+    return true;
+  }
+  return false;
+}
+
+bool parse_cohort_name(const std::string& algorithm, TierKind& global_kind,
+                       TierKind& local_kind) {
+  if (algorithm.rfind("cohort/", 0) != 0) return false;
+  const std::string tiers = algorithm.substr(7);
+  const auto plus = tiers.find('+');
+  if (plus == std::string::npos) return false;
+  return parse_tier(tiers.substr(0, plus), global_kind) &&
+         parse_tier(tiers.substr(plus + 1), local_kind);
+}
+
+struct CohortSimLayout {
+  TierKind global_kind;
+  TierKind local_kind;
+  std::uint64_t budget;
+  // Global queue tier (MCS shape). `rep[c]` records which proc's node
+  // heads the queue — the sim's export_hold()/adopt_hold() token, so a
+  // cohort-mate that inherited the grant can release on the acquirer's
+  // behalf.
+  Addr global_tail = 0;
+  std::vector<Addr> gnode_next;   // per proc, homed locally
+  std::vector<Addr> gnode_state;  // 0 wait, 1 granted
+  // Global ticket tier: thread-oblivious unlock (any proc may advance
+  // now_serving), so no hold token is needed — CohortLock's
+  // ThreadObliviousUnlock escape hatch.
+  Addr gnext_ticket = 0;
+  Addr gnow_serving = 0;
+  // Local tier, queue dialect: one tail per cohort, nodes per proc.
+  std::vector<Addr> local_tail;  // per cohort, homed at cohort lead
+  std::vector<Addr> node_next;   // per proc, homed locally
+  std::vector<Addr> node_state;  // 0 wait, 1 granted
+  // Local tier, ticket dialect (both words homed at the cohort lead, as
+  // the padded per-cohort slab is in the native lock).
+  std::vector<Addr> lnext_ticket;
+  std::vector<Addr> lnow_serving;
+  // Combinator state, one line each per cohort at the cohort lead:
+  // mirrors Cohort{pending, top_granted, passes} + the traveling hold.
+  std::vector<Addr> pending;
+  std::vector<Addr> top_granted;
+  std::vector<Addr> passes;
+  std::vector<Addr> rep;
+  // Host-side handoff-locality instrumentation (exact: the sim is
+  // single-threaded and deterministic).
+  std::uint64_t local_passes = 0;
+  std::uint64_t global_acquires = 0;
+
+  static CohortSimLayout make(Machine& m, const CohortSeating& seat,
+                              TierKind global_kind, TierKind local_kind,
+                              std::uint64_t budget) {
+    const std::size_t procs = m.processors();
+    CohortSimLayout l;
+    l.global_kind = global_kind;
+    l.local_kind = local_kind;
+    l.budget = budget;
+    if (global_kind == TierKind::kQueue) {
+      l.global_tail = m.alloc(0, 0);
+      for (std::size_t p = 0; p < procs; ++p) {
+        l.gnode_next.push_back(m.alloc(p, 0));
+        l.gnode_state.push_back(m.alloc(p, 0));
+      }
+    } else {
+      l.gnext_ticket = m.alloc(0, 0);
+      l.gnow_serving = m.alloc(0, 0);
+    }
+    for (std::size_t c = 0; c < seat.cohorts; ++c) {
+      const std::size_t lead = seat.lead[c];
+      if (local_kind == TierKind::kQueue) {
+        l.local_tail.push_back(m.alloc(lead, 0));
+      } else {
+        l.lnext_ticket.push_back(m.alloc(lead, 0));
+        l.lnow_serving.push_back(m.alloc(lead, 0));
+      }
+      l.pending.push_back(m.alloc(lead, 0));
+      l.top_granted.push_back(m.alloc(lead, 0));
+      l.passes.push_back(m.alloc(lead, 0));
+      l.rep.push_back(m.alloc(lead, 0));
+    }
+    if (local_kind == TierKind::kQueue) {
+      for (std::size_t p = 0; p < procs; ++p) {
+        l.node_next.push_back(m.alloc(p, 0));
+        l.node_state.push_back(m.alloc(p, 0));
+      }
+    }
+    return l;
+  }
+};
+
+/// GlobalLock::lock() for cohort `c`: queue dialect records the hold
+/// token in rep[c] (export_hold at acquisition — the grant may be
+/// released by whichever cohort-mate holds the local lock last).
+Task cohort_global_lock(Machine& m, const CohortSimLayout* l,
+                        std::size_t proc, std::size_t c) {
+  if (l->global_kind == TierKind::kQueue) {
+    co_await m.store(proc, l->gnode_next[proc], 0);
+    co_await m.store(proc, l->gnode_state[proc], 0);
+    const Value gpred = co_await m.exchange(proc, l->global_tail, ptr(proc));
+    if (gpred != 0) {
+      co_await m.store(proc, l->gnode_next[unptr(gpred)], ptr(proc));
+      co_await m.wait_while(proc, l->gnode_state[proc],
+                            [](Value v) { return v == 0; });
+    }
+    co_await m.store(proc, l->rep[c], ptr(proc));
+  } else {
+    const Value me = co_await m.fetch_add(proc, l->gnext_ticket, 1);
+    co_await m.wait_while(proc, l->gnow_serving,
+                          [me](Value v) { return v != me; });
+  }
+}
+
+/// GlobalLock::unlock() on behalf of cohort `c` — possibly by a
+/// different proc than acquired it (the cross-thread-release contract).
+Task cohort_global_unlock(Machine& m, const CohortSimLayout* l,
+                          std::size_t proc, std::size_t c) {
+  if (l->global_kind == TierKind::kQueue) {
+    const Value r = co_await m.load(proc, l->rep[c]);
+    const std::size_t owner = unptr(r);
+    Value next = co_await m.load(proc, l->gnode_next[owner]);
+    if (next == 0) {
+      const Value observed =
+          co_await m.cas(proc, l->global_tail, ptr(owner), 0);
+      if (observed == ptr(owner)) co_return;
+      co_await m.wait_while(proc, l->gnode_next[owner],
+                            [](Value v) { return v == 0; });
+      next = co_await m.load(proc, l->gnode_next[owner]);
+    }
+    co_await m.store(proc, l->gnode_state[unptr(next)], 1);
+  } else {
+    const Value s = co_await m.load(proc, l->gnow_serving);
+    co_await m.store(proc, l->gnow_serving, s + 1);
+  }
+}
+
+/// LocalLock::lock() for cohort `c` (always same-thread, any dialect).
+Task cohort_local_lock(Machine& m, const CohortSimLayout* l,
+                       std::size_t proc, std::size_t c) {
+  if (l->local_kind == TierKind::kQueue) {
+    co_await m.store(proc, l->node_next[proc], 0);
+    co_await m.store(proc, l->node_state[proc], 0);
+    const Value pred = co_await m.exchange(proc, l->local_tail[c], ptr(proc));
+    if (pred != 0) {
+      co_await m.store(proc, l->node_next[unptr(pred)], ptr(proc));
+      co_await m.wait_while(proc, l->node_state[proc],
+                            [](Value v) { return v == 0; });
+    }
+  } else {
+    const Value me = co_await m.fetch_add(proc, l->lnext_ticket[c], 1);
+    co_await m.wait_while(proc, l->lnow_serving[c],
+                          [me](Value v) { return v != me; });
+  }
+}
+
+/// LocalLock::unlock() for cohort `c`.
+Task cohort_local_unlock(Machine& m, const CohortSimLayout* l,
+                         std::size_t proc, std::size_t c) {
+  if (l->local_kind == TierKind::kQueue) {
+    Value next = co_await m.load(proc, l->node_next[proc]);
+    if (next == 0) {
+      const Value observed =
+          co_await m.cas(proc, l->local_tail[c], ptr(proc), 0);
+      if (observed == ptr(proc)) co_return;
+      co_await m.wait_while(proc, l->node_next[proc],
+                            [](Value v) { return v == 0; });
+      next = co_await m.load(proc, l->node_next[proc]);
+    }
+    co_await m.store(proc, l->node_state[unptr(next)], 1);
+  } else {
+    const Value s = co_await m.load(proc, l->lnow_serving[c]);
+    co_await m.store(proc, l->lnow_serving[c], s + 1);
+  }
+}
+
+/// The combinator protocol, mirroring CohortLock::lock()/unlock() line
+/// for line: pending announce, local tier, top_granted adoption or
+/// global acquisition; release leaves the grant behind while the budget
+/// allows and a cohort-mate is committed, else global-first release.
+Task cohort_worker(Machine& m, CohortSimLayout* l, std::size_t proc,
+                   std::size_t rounds, Cycles cs) {
+  const std::size_t c = m.node_of(proc);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    // ---- lock() ------------------------------------------------------
+    // Commit before touching the local lock: a releasing holder that
+    // reads pending > 0 may leave the global grant behind for us.
+    co_await m.fetch_add(proc, l->pending[c], 1);
+    co_await cohort_local_lock(m, l, proc, c);
+    co_await m.fetch_add(proc, l->pending[c], Value(0) - 1);
+    const Value tg = co_await m.load(proc, l->top_granted[c]);
+    if (tg != 0) {
+      // The previous holder passed the global lock with the local one
+      // (rep[c] is the adopted hold — it already names the right node).
+      co_await m.store(proc, l->top_granted[c], 0);
+    } else {
+      co_await cohort_global_lock(m, l, proc, c);
+      co_await m.store(proc, l->passes[c], 0);
+      ++l->global_acquires;
+    }
+    // ---- critical section -------------------------------------------
+    co_await m.delay(proc, cs);
+    // ---- unlock() ----------------------------------------------------
+    // pending is decremented only while holding the local lock — which
+    // we hold — so a nonzero reading proves a committed cohort-mate.
+    const Value p = co_await m.load(proc, l->passes[c]);
+    const Value pend = co_await m.load(proc, l->pending[c]);
+    if (p < l->budget && pend > 0) {
+      co_await m.store(proc, l->passes[c], p + 1);
+      co_await m.store(proc, l->top_granted[c], 1);
+      ++l->local_passes;
+      co_await cohort_local_unlock(m, l, proc, c);
+    } else {
+      // Budget spent or cohort drained: let other cohorts in. Global
+      // first, so a cohort-mate that sneaks in never waits on a global
+      // lock we still hold.
+      co_await m.store(proc, l->passes[c], 0);
+      co_await cohort_global_unlock(m, l, proc, c);
+      co_await cohort_local_unlock(m, l, proc, c);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Reader-indicator protocols (the QSV read-side discipline fig8's
+// throughput curves are downstream of).
+// ---------------------------------------------------------------------
+
+struct RwSimLayout {
+  std::vector<Addr> stripes;           // per cohort (striped) or just one
+  std::vector<std::size_t> stripe_of;  // per proc
+  static RwSimLayout make(Machine& m, bool striped) {
+    const std::size_t procs = m.processors();
+    RwSimLayout l;
+    if (striped) {
+      const CohortSeating seat = seat_cohorts(m);
+      for (std::size_t c = 0; c < seat.cohorts; ++c) {
+        l.stripes.push_back(m.alloc(seat.lead[c], 0));
+      }
+      for (std::size_t p = 0; p < procs; ++p) {
+        l.stripe_of.push_back(m.node_of(p));
+      }
+    } else {
+      l.stripes.push_back(m.alloc(0, 0));
+      l.stripe_of.assign(procs, 0);
+    }
+    return l;
+  }
+};
+
+/// One reader: arrive on my stripe, read, depart. Central puts every
+/// RMW on one word (each arrival/departure invalidates every other
+/// reader's copy — O(P) coherence per op); striping homes the stripe on
+/// the reader's own node, so reader traffic stays node-local.
+Task rw_reader_worker(Machine& m, const RwSimLayout* l, std::size_t proc,
+                      std::size_t rounds, Cycles read_cycles) {
+  const Addr stripe = l->stripes[l->stripe_of[proc]];
+  for (std::size_t r = 0; r < rounds; ++r) {
+    co_await m.fetch_add(proc, stripe, 1);
+    co_await m.delay(proc, read_cycles);
+    co_await m.fetch_add(proc, stripe, Value(0) - 1);
   }
 }
 
@@ -645,10 +962,78 @@ Task ec_queued_consumer(Machine& m, const EcQueuedLayout* l,
 
 /// Drain the event queue and harvest counters while the layout objects
 /// (captured by reference in the coroutines) are still in scope.
-void finish(Machine& m, SimRunResult& result) {
-  result.completed = m.run();
+void finish(Machine& m, SimRunResult& result, Cycles max_cycles = ~0ULL) {
+  result.completed = m.run(max_cycles);
   result.counters = m.counters();
   result.elapsed = m.now();
+}
+
+/// Shared lock dispatch for both run_lock_sim overloads. Layouts live
+/// on this frame, so finish() runs before they go out of scope.
+void run_lock_protocols(Machine& m, SimRunResult& result,
+                        const std::string& algorithm, std::size_t rounds,
+                        Cycles cs_cycles, std::uint64_t budget,
+                        Cycles max_cycles) {
+  const std::size_t procs = m.processors();
+  TierKind global_kind = TierKind::kQueue;
+  TierKind local_kind = TierKind::kQueue;
+
+  if (algorithm == "tas" || algorithm == "ttas") {
+    const auto l = TasLayout::make(m);
+    for (std::size_t p = 0; p < procs; ++p) {
+      m.spawn(tas_worker(m, l, p, rounds, cs_cycles, algorithm == "ttas"));
+    }
+    finish(m, result, max_cycles);
+  } else if (algorithm == "ticket") {
+    const auto l = TicketLayout::make(m);
+    for (std::size_t p = 0; p < procs; ++p) {
+      m.spawn(ticket_worker(m, l, p, rounds, cs_cycles));
+    }
+    finish(m, result, max_cycles);
+  } else if (algorithm == "anderson") {
+    const auto l = AndersonLayout::make(m, procs);
+    for (std::size_t p = 0; p < procs; ++p) {
+      m.spawn(anderson_worker(m, &l, p, rounds, cs_cycles));
+    }
+    finish(m, result, max_cycles);
+  } else if (algorithm == "mcs" || algorithm == "qsv") {
+    const auto l = McsLayout::make(m, procs);
+    for (std::size_t p = 0; p < procs; ++p) {
+      m.spawn(mcs_worker(m, &l, p, rounds, cs_cycles));
+    }
+    finish(m, result, max_cycles);
+  } else if (algorithm == "clh") {
+    auto l = ClhLayout::make(m, procs);
+    for (std::size_t p = 0; p < procs; ++p) {
+      m.spawn(clh_worker(m, &l, p, rounds, cs_cycles));
+    }
+    finish(m, result, max_cycles);
+  } else if (algorithm == "graunke-thakkar") {
+    const auto l = GraunkeThakkarLayout::make(m, procs);
+    for (std::size_t p = 0; p < procs; ++p) {
+      m.spawn(graunke_thakkar_worker(m, &l, p, rounds, cs_cycles));
+    }
+    finish(m, result, max_cycles);
+  } else if (algorithm == "hier-qsv") {
+    auto l = HierQsvLayout::make(m, procs, seat_cohorts(m));
+    for (std::size_t p = 0; p < procs; ++p) {
+      m.spawn(hier_qsv_worker(m, &l, p, rounds, cs_cycles, budget));
+    }
+    finish(m, result, max_cycles);
+    result.local_passes = l.local_passes;
+    result.global_acquires = l.global_acquires;
+  } else if (parse_cohort_name(algorithm, global_kind, local_kind)) {
+    auto l = CohortSimLayout::make(m, seat_cohorts(m), global_kind,
+                                   local_kind, budget);
+    for (std::size_t p = 0; p < procs; ++p) {
+      m.spawn(cohort_worker(m, &l, p, rounds, cs_cycles));
+    }
+    finish(m, result, max_cycles);
+    result.local_passes = l.local_passes;
+    result.global_acquires = l.global_acquires;
+  } else {
+    throw std::invalid_argument("unknown sim lock: " + algorithm);
+  }
 }
 
 }  // namespace
@@ -656,7 +1041,9 @@ void finish(Machine& m, SimRunResult& result) {
 const std::vector<std::string>& sim_lock_names() {
   static const std::vector<std::string> names = {
       "tas",      "ttas", "ticket", "anderson", "graunke-thakkar",
-      "clh",      "mcs",  "qsv",    "hier-qsv"};
+      "clh",      "mcs",  "qsv",    "hier-qsv",
+      "cohort/qsv+qsv",    "cohort/mcs+mcs",       "cohort/qsv+ticket",
+      "cohort/ticket+mcs", "cohort/ticket+ticket"};
   return names;
 }
 
@@ -664,58 +1051,52 @@ SimRunResult run_lock_sim(const std::string& algorithm, std::size_t procs,
                           std::size_t rounds, Topology topology,
                           Cycles cs_cycles, std::size_t procs_per_node,
                           CostModel costs) {
-  Machine m(procs, topology, costs, procs_per_node);
+  Machine m(procs, topology, std::move(costs), procs_per_node);
   SimRunResult result;
   result.algorithm = algorithm;
   result.processors = procs;
   result.operations = procs * rounds;
+  run_lock_protocols(m, result, algorithm, rounds, cs_cycles, kSimHierBudget,
+                     ~0ULL);
+  return result;
+}
 
-  if (algorithm == "tas" || algorithm == "ttas") {
-    const auto l = TasLayout::make(m);
+SimRunResult run_lock_sim(const std::string& algorithm,
+                          const qsv::platform::Topology& topo,
+                          std::size_t rounds, Cycles cs_cycles,
+                          CostModel costs, std::uint64_t budget,
+                          Cycles max_cycles, Topology interconnect) {
+  Machine m(topo, std::move(costs), interconnect);
+  SimRunResult result;
+  result.algorithm = algorithm;
+  result.processors = m.processors();
+  result.operations = m.processors() * rounds;
+  run_lock_protocols(m, result, algorithm, rounds, cs_cycles, budget,
+                     max_cycles);
+  return result;
+}
+
+const std::vector<std::string>& sim_rw_names() {
+  static const std::vector<std::string> names = {"qsv-rw", "qsv-rw/central"};
+  return names;
+}
+
+SimRunResult run_rw_sim(const std::string& algorithm, std::size_t procs,
+                        std::size_t rounds, Topology topology,
+                        Cycles read_cycles, std::size_t procs_per_node) {
+  Machine m(procs, topology, CostModel{}, procs_per_node);
+  SimRunResult result;
+  result.algorithm = algorithm;
+  result.processors = procs;
+  result.operations = procs * rounds;
+  if (algorithm == "qsv-rw" || algorithm == "qsv-rw/central") {
+    const auto l = RwSimLayout::make(m, algorithm == "qsv-rw");
     for (std::size_t p = 0; p < procs; ++p) {
-      m.spawn(tas_worker(m, l, p, rounds, cs_cycles, algorithm == "ttas"));
-    }
-    finish(m, result);
-  } else if (algorithm == "ticket") {
-    const auto l = TicketLayout::make(m);
-    for (std::size_t p = 0; p < procs; ++p) {
-      m.spawn(ticket_worker(m, l, p, rounds, cs_cycles));
-    }
-    finish(m, result);
-  } else if (algorithm == "anderson") {
-    const auto l = AndersonLayout::make(m, procs);
-    for (std::size_t p = 0; p < procs; ++p) {
-      m.spawn(anderson_worker(m, &l, p, rounds, cs_cycles));
-    }
-    finish(m, result);
-  } else if (algorithm == "mcs" || algorithm == "qsv") {
-    const auto l = McsLayout::make(m, procs);
-    for (std::size_t p = 0; p < procs; ++p) {
-      m.spawn(mcs_worker(m, &l, p, rounds, cs_cycles));
-    }
-    finish(m, result);
-  } else if (algorithm == "clh") {
-    auto l = ClhLayout::make(m, procs);
-    for (std::size_t p = 0; p < procs; ++p) {
-      m.spawn(clh_worker(m, &l, p, rounds, cs_cycles));
-    }
-    finish(m, result);
-  } else if (algorithm == "graunke-thakkar") {
-    const auto l = GraunkeThakkarLayout::make(m, procs);
-    for (std::size_t p = 0; p < procs; ++p) {
-      m.spawn(graunke_thakkar_worker(m, &l, p, rounds, cs_cycles));
-    }
-    finish(m, result);
-  } else if (algorithm == "hier-qsv") {
-    const std::size_t ppn = m.procs_per_node();
-    const std::size_t cohorts = (procs + ppn - 1) / ppn;
-    const auto l = HierQsvLayout::make(m, procs, cohorts, ppn);
-    for (std::size_t p = 0; p < procs; ++p) {
-      m.spawn(hier_qsv_worker(m, &l, p, rounds, cs_cycles, kSimHierBudget));
+      m.spawn(rw_reader_worker(m, &l, p, rounds, read_cycles));
     }
     finish(m, result);
   } else {
-    throw std::invalid_argument("unknown sim lock: " + algorithm);
+    throw std::invalid_argument("unknown sim rw: " + algorithm);
   }
   return result;
 }

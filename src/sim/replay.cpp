@@ -1,0 +1,69 @@
+#include "sim/replay.hpp"
+
+#include <stdexcept>
+
+namespace qsv::sim {
+
+bool sim_algorithm_budgeted(const std::string& algorithm) {
+  return algorithm == "hier-qsv" || algorithm.rfind("cohort/", 0) == 0;
+}
+
+std::vector<ReplayTopology> scale_topologies() {
+  std::vector<ReplayTopology> t;
+  // Near-host shape: 2 sockets × 4 nodes × 8 cpus (64 cpus) — small
+  // enough that its trends are checkable against native measurements on
+  // a mid-size box.
+  t.push_back({"2s4n32c", qsv::platform::synthetic_topology(2, 4, 8),
+               CostModel{}});
+  // CXL-ish: 4 sockets × 8 nodes × 32 cpus (256 cpus), with the last
+  // package's nodes carrying an asymmetric +150-cycle service surcharge
+  // (far-memory expansion shape: cost(A->B) != cost(B->A)).
+  {
+    ReplayTopology cxl{"4s8n256c-cxl",
+                       qsv::platform::synthetic_topology(4, 8, 32),
+                       CostModel{}};
+    cxl.costs.home_penalty.assign(8, 0);
+    cxl.costs.home_penalty[6] = 150;
+    cxl.costs.home_penalty[7] = 150;
+    t.push_back(std::move(cxl));
+  }
+  // The scale question proper: 8 sockets × 32 nodes × 32 cpus = 1024
+  // simulated processors.
+  t.push_back({"8s32n1024c", qsv::platform::synthetic_topology(8, 32, 32),
+               CostModel{}});
+  return t;
+}
+
+std::vector<ReplayPoint> replay(const ReplayPlan& plan) {
+  std::vector<ReplayPoint> points;
+  for (const ReplayTopology& shape : plan.topologies) {
+    for (const std::string& algorithm : plan.algorithms) {
+      // Non-budgeted algorithms get exactly one run; budgeted ones one
+      // per requested budget (an empty budget list means the default).
+      std::vector<std::uint64_t> budgets{kSimHierBudget};
+      if (sim_algorithm_budgeted(algorithm) && !plan.budgets.empty()) {
+        budgets = plan.budgets;
+      }
+      for (const std::uint64_t budget : budgets) {
+        ReplayPoint p;
+        p.topology = shape.label;
+        p.algorithm = algorithm;
+        p.budget = sim_algorithm_budgeted(algorithm) ? budget : 0;
+        p.procs = shape.topo.cpu_count();
+        p.result = run_lock_sim(algorithm, shape.topo, plan.rounds,
+                                plan.cs_cycles, shape.costs, budget,
+                                plan.max_cycles, plan.interconnect);
+        if (!p.result.completed) {
+          throw std::runtime_error(
+              "sim replay: '" + algorithm + "' on " + shape.label +
+              " did not complete (deadlock or horizon hit) — refusing to "
+              "emit an invalid datapoint");
+        }
+        points.push_back(std::move(p));
+      }
+    }
+  }
+  return points;
+}
+
+}  // namespace qsv::sim

@@ -1,0 +1,74 @@
+// replay.hpp — the simulator as a scale oracle (fig12).
+//
+// The native benchmarks stop at the host's core count; the 1991 paper's
+// question — which protocol wins at hundreds of processors? — needs
+// machines nobody has on their desk. replay() answers it by sweeping
+// catalogue protocols × handoff budgets × *synthetic* topologies
+// (platform::synthetic_topology) through the discrete-event machine,
+// predicting remote references per operation and handoff locality at
+// 1024 simulated cpus. Where the sim topology equals the real host
+// topology, tests/sim_scale_test.cpp closes the loop: the sim's trend
+// ranking must match the measured BENCH_cohort.json /
+// BENCH_rw_ratio.json orderings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/topology.hpp"
+#include "sim/protocols.hpp"
+
+namespace qsv::sim {
+
+/// One simulated machine shape: a (usually synthetic) topology plus the
+/// cost model that shapes its interconnect (home_penalty models CXL-ish
+/// asymmetric hops).
+struct ReplayTopology {
+  std::string label;
+  qsv::platform::Topology topo;
+  CostModel costs;
+};
+
+/// The sweep: every topology × algorithm (× budget, for the
+/// cohort-structured algorithms).
+struct ReplayPlan {
+  std::vector<ReplayTopology> topologies;
+  std::vector<std::string> algorithms;  ///< from sim_lock_names()
+  std::vector<std::uint64_t> budgets;   ///< for budgeted algorithms only
+  std::size_t rounds = 2;               ///< acquisitions per processor
+  Cycles cs_cycles = 50;
+  /// Event horizon per run: a deadlocked protocol at 1024 simulated
+  /// cpus fails fast instead of spinning the host. Generous — the
+  /// largest healthy sweep point finishes orders of magnitude sooner.
+  Cycles max_cycles = 200'000'000;
+  Topology interconnect = Topology::kNuma;
+};
+
+/// One datapoint of the sweep. `result.completed` is always true here:
+/// replay() refuses to return incomplete runs (see below).
+struct ReplayPoint {
+  std::string topology;
+  std::string algorithm;
+  std::uint64_t budget = 0;  ///< 0 for non-budgeted algorithms
+  std::size_t procs = 0;
+  SimRunResult result;
+};
+
+/// Does the algorithm take a handoff budget (hier-qsv and the cohort/*
+/// combinator compositions)?
+bool sim_algorithm_budgeted(const std::string& algorithm);
+
+/// The standard scale-oracle machine set (docs/BENCHMARKS.md): a
+/// near-host 2-socket, a 4-socket with CXL-ish asymmetric hop costs on
+/// its far package, and a 1024-cpu 8-socket — all beyond what native
+/// runs can measure.
+std::vector<ReplayTopology> scale_topologies();
+
+/// Run the sweep. Throws std::runtime_error the moment any run comes
+/// back incomplete (deadlock or horizon): an incomplete run carries
+/// partial counters that look plausible per-op, and it must never ride
+/// into a figure as a valid datapoint.
+std::vector<ReplayPoint> replay(const ReplayPlan& plan);
+
+}  // namespace qsv::sim

@@ -32,20 +32,22 @@ TEST(Catalog, CoversEverythingTheOldCataloguesDid) {
   // collapsed into wait-mode bits on the one entry per primitive; the
   // rows they freed are spent on genuinely new primitives (futex, the
   // two eventcounts), the cohort combinator added four compositions,
-  // and the combining layer added the fc-mutex plus seven container
-  // entries, so the overall floor is 40 — which CI checks via
+  // the combining layer added the fc-mutex plus seven container
+  // entries, and the scale oracle added the all-ticket cohort control,
+  // so the overall floor is 41 — which CI checks via
   // qsvbench --catalog-names.
-  EXPECT_GE(qc::locks().size(), 19u);
+  EXPECT_GE(qc::locks().size(), 20u);
   EXPECT_GE(qc::barriers().size(), 7u);
   EXPECT_GE(qc::rwlocks().size(), 5u);
   EXPECT_GE(qc::eventcounts().size(), 2u);
   EXPECT_GE(qc::containers().size(), 7u);
-  EXPECT_GE(qc::all().size(), 40u);
+  EXPECT_GE(qc::all().size(), 41u);
   for (const char* name :
        {"tas", "ttas", "ttas+backoff", "ticket", "ticket+prop", "anderson",
         "graunke-thakkar", "clh", "mcs", "std::mutex", "futex", "qsv",
         "qsv-timeout", "hier-qsv", "cohort/qsv+qsv", "cohort/mcs+mcs",
-        "cohort/qsv+ticket", "cohort/ticket+mcs", "central",
+        "cohort/qsv+ticket", "cohort/ticket+mcs", "cohort/ticket+ticket",
+        "central",
         "combining-tree", "tournament", "dissemination", "mcs-tree",
         "std::barrier", "qsv-episode", "central-rw/reader-pref",
         "central-rw/writer-pref", "std::shared_mutex", "qsv-rw",
@@ -105,8 +107,12 @@ TEST(Catalog, CapabilityTagsMatchTheTypes) {
             qc::kShared | qc::kTry);
   EXPECT_EQ(caps("qsv-episode") & qc::kEpisode, qc::kEpisode);
   EXPECT_EQ(caps("central") & qc::kExclusive, 0u);
-  // Derivation matches the compile-time helper.
-  EXPECT_EQ(caps("qsv"), qc::caps_of<qsv::core::QsvMutex<>>());
+  // Derivation matches the compile-time helper — modulo kSimulable,
+  // which is a property of the simulator (tagged from its name lists
+  // after registration), not of the type.
+  EXPECT_EQ(caps("qsv") & ~qc::kSimulable,
+            qc::caps_of<qsv::core::QsvMutex<>>());
+  EXPECT_TRUE(qc::find("qsv")->has(qc::kSimulable));
 }
 
 TEST(Catalog, FilterSelectsByCapabilityAcrossFamilies) {
@@ -159,7 +165,9 @@ TEST(Catalog, ErasedHandlesReportCapabilitiesAndFootprint) {
   const auto* e = qc::find("qsv-rw");
   ASSERT_NE(e, nullptr);
   auto p = e->make(4);
-  EXPECT_EQ(p->capabilities(), e->caps);
+  // The handle reports the type-derived bits; the entry may addition-
+  // ally carry kSimulable, which lives on the catalogue row only.
+  EXPECT_EQ(p->capabilities(), e->caps & ~qc::kSimulable);
   EXPECT_EQ(p->footprint(), e->footprint);
   // The shared face works through the erased handle.
   EXPECT_TRUE(p->try_lock_shared());

@@ -41,9 +41,12 @@ TEST_P(SimLockSweep, CompletesAtThirtyTwoProcessors) {
 INSTANTIATE_TEST_SUITE_P(AllLocks, SimLockSweep,
                          ::testing::ValuesIn(qs::sim_lock_names()),
                          [](const auto& info) {
+                           // Test names must be alnum+underscore; the
+                           // catalogue names carry '-', '/', '+'
+                           // ("cohort/qsv+ticket").
                            std::string n = info.param;
                            for (auto& c : n) {
-                             if (c == '-') c = '_';
+                             if (c == '-' || c == '/' || c == '+') c = '_';
                            }
                            return n;
                          });
