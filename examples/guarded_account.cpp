@@ -1,0 +1,86 @@
+// guarded_account.cpp — compiler-enforced lock discipline on the facade.
+//
+// The facade locks are Clang thread-safety capabilities
+// (qsv/thread_safety.hpp): declare WHICH lock guards WHICH data with
+// QSV_GUARDED_BY, and `clang++ -Wthread-safety -Werror` turns misuse —
+// touching a balance without the ledger lock, writing the rate table
+// with only a reader hold, leaking a lock past a return — into compile
+// errors. CI compiles exactly this file under that gate; under GCC the
+// annotations expand to nothing and it is an ordinary example.
+//
+// Build & run:  ./guarded_account
+#include <cstdint>
+#include <cstdio>
+
+#include "qsv/mutex.hpp"
+#include "qsv/shared_mutex.hpp"
+#include "qsv/thread_safety.hpp"
+
+namespace {
+
+/// An account ledger: every balance mutation must hold `mu_`. The
+/// QSV_REQUIRES contract on the private helper means even same-class
+/// callers cannot reach it without the lock.
+class Ledger {
+ public:
+  void deposit(std::int64_t amount) {
+    qsv::lock_guard<qsv::mutex> g(mu_);
+    apply(amount);
+  }
+
+  bool try_withdraw(std::int64_t amount) {
+    if (!mu_.try_lock()) return false;
+    const bool ok = balance_ >= amount;
+    if (ok) apply(-amount);
+    mu_.unlock();
+    return ok;
+  }
+
+  std::int64_t balance() {
+    qsv::lock_guard<qsv::mutex> g(mu_);
+    return balance_;
+  }
+
+ private:
+  void apply(std::int64_t delta) QSV_REQUIRES(mu_) { balance_ += delta; }
+
+  qsv::mutex mu_;
+  std::int64_t balance_ QSV_GUARDED_BY(mu_) = 0;
+};
+
+/// A rate table: reads take the shared side, updates the exclusive
+/// side. Reading with no hold, or writing under a reader hold, is a
+/// -Wthread-safety compile error.
+class RateTable {
+ public:
+  void set(std::uint32_t bps) {
+    rw_.lock();
+    rate_bps_ = bps;
+    rw_.unlock();
+  }
+
+  std::uint32_t get() {
+    rw_.lock_shared();
+    const std::uint32_t r = rate_bps_;
+    rw_.unlock_shared();
+    return r;
+  }
+
+ private:
+  qsv::shared_mutex rw_;
+  std::uint32_t rate_bps_ QSV_GUARDED_BY(rw_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger ledger;
+  ledger.deposit(250);
+  const bool paid = ledger.try_withdraw(100);
+  RateTable rates;
+  rates.set(125);
+  std::printf("balance %lld after %s, rate %u bps\n",
+              static_cast<long long>(ledger.balance()),
+              paid ? "withdrawal" : "declined withdrawal", rates.get());
+  return ledger.balance() == 150 && rates.get() == 125 ? 0 : 1;
+}

@@ -29,15 +29,26 @@
 #include "core/qsv_mutex.hpp"
 #include "hier/cohort_lock.hpp"
 #include "qsv/concepts.hpp"
+#include "qsv/thread_safety.hpp"
 #include "qsv/wait.hpp"
 
 namespace qsv {
 
 /// The topology-aware cohort lock: QSV global tier × one QSV local
-/// tier per discovered NUMA node, budgeted local handoff.
-using cohort_mutex =
-    hier::CohortLock<core::QsvMutex<platform::RuntimeWait>,
-                     core::QsvMutex<platform::RuntimeWait>>;
+/// tier per discovered NUMA node, budgeted local handoff. A Clang
+/// capability like every facade lock (qsv/thread_safety.hpp).
+class QSV_CAPABILITY("mutex") cohort_mutex
+    : public hier::CohortLock<core::QsvMutex<platform::RuntimeWait>,
+                              core::QsvMutex<platform::RuntimeWait>> {
+  using Base = hier::CohortLock<core::QsvMutex<platform::RuntimeWait>,
+                                core::QsvMutex<platform::RuntimeWait>>;
+
+ public:
+  using Base::Base;
+  void lock() QSV_ACQUIRE() { Base::lock(); }
+  bool try_lock() QSV_TRY_ACQUIRE(true) { return Base::try_lock(); }
+  void unlock() QSV_RELEASE() { Base::unlock(); }
+};
 
 static_assert(api::lockable<cohort_mutex>);
 

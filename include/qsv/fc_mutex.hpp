@@ -22,13 +22,26 @@
 #include "combining/fc_executor.hpp"
 #include "core/qsv_mutex.hpp"
 #include "qsv/concepts.hpp"
+#include "qsv/thread_safety.hpp"
 #include "qsv/wait.hpp"
 
 namespace qsv {
 
 /// The flat-combining executor over the QSV mutex: a std-conforming
-/// lock that batches delegated critical sections.
-using fc_mutex = combining::FcExecutor<core::QsvMutex<platform::RuntimeWait>>;
+/// lock that batches delegated critical sections. The lock face is an
+/// annotated Clang capability; run() needs no annotation — the closure
+/// executes under the lock wherever it is applied, and the analysis
+/// never sees a hold escape the call.
+class QSV_CAPABILITY("mutex") fc_mutex
+    : public combining::FcExecutor<core::QsvMutex<platform::RuntimeWait>> {
+  using Base = combining::FcExecutor<core::QsvMutex<platform::RuntimeWait>>;
+
+ public:
+  using Base::Base;
+  void lock() QSV_ACQUIRE() { Base::lock(); }
+  bool try_lock() QSV_TRY_ACQUIRE(true) { return Base::try_lock(); }
+  void unlock() QSV_RELEASE() { Base::unlock(); }
+};
 
 /// The handoff control with the same run() surface and no combining —
 /// the baseline the fc containers are benched against.

@@ -15,6 +15,7 @@
 // any of them.
 #pragma once
 
+#include <chrono>
 #include <mutex>
 
 #include "core/condvar.hpp"
@@ -22,13 +23,28 @@
 #include "core/qsv_timeout.hpp"
 #include "platform/wait.hpp"
 #include "qsv/concepts.hpp"
+#include "qsv/thread_safety.hpp"
 #include "qsv/wait.hpp"
 
 namespace qsv {
 
 /// The QSV exclusive lock: one word of state, FIFO handoff, waiters
 /// spin/yield/park per the instance's wait_policy.
-using mutex = core::QsvMutex<platform::RuntimeWait>;
+///
+/// A Clang capability (qsv/thread_safety.hpp): compile analyzed code
+/// with -Wthread-safety and unbalanced lock/unlock on a qsv::mutex is
+/// a compile error. The annotated forwarders cost nothing — they
+/// inline to the base calls on every compiler.
+class QSV_CAPABILITY("mutex") mutex
+    : public core::QsvMutex<platform::RuntimeWait> {
+  using Base = core::QsvMutex<platform::RuntimeWait>;
+
+ public:
+  using Base::Base;
+  void lock() QSV_ACQUIRE() { Base::lock(); }
+  bool try_lock() QSV_TRY_ACQUIRE(true) { return Base::try_lock(); }
+  void unlock() QSV_RELEASE() { Base::unlock(); }
+};
 
 /// A qsv::mutex pinned to wait_policy::spin_yield at construction:
 /// waiters donate their quantum after a short spin.
@@ -49,8 +65,27 @@ struct adaptive_mutex : mutex {
 };
 
 /// Exclusive entry with bounded impatience: try_lock_for/try_lock_until
-/// withdraw from the queue when the deadline passes.
-using timed_mutex = core::QsvTimeoutMutex;
+/// withdraw from the queue when the deadline passes. Annotated like
+/// qsv::mutex; the timed try forms key the analysis on success.
+class QSV_CAPABILITY("mutex") timed_mutex : public core::QsvTimeoutMutex {
+  using Base = core::QsvTimeoutMutex;
+
+ public:
+  using Base::Base;
+  void lock() QSV_ACQUIRE() { Base::lock(); }
+  bool try_lock() QSV_TRY_ACQUIRE(true) { return Base::try_lock(); }
+  template <typename Rep, typename Period>
+  bool try_lock_for(const std::chrono::duration<Rep, Period>& timeout)
+      QSV_TRY_ACQUIRE(true) {
+    return Base::try_lock_for(timeout);
+  }
+  template <typename Clock, typename Duration>
+  bool try_lock_until(const std::chrono::time_point<Clock, Duration>& abs)
+      QSV_TRY_ACQUIRE(true) {
+    return Base::try_lock_until(abs);
+  }
+  void unlock() QSV_RELEASE() { Base::unlock(); }
+};
 
 /// Epoch-based condition variable for QSV mutexes. For the full std
 /// protocol (wait with any lockable), std::condition_variable_any over

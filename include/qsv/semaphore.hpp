@@ -11,6 +11,12 @@
 
 namespace qsv {
 
+/// Deliberately NOT a Clang thread-safety capability
+/// (qsv/thread_safety.hpp): the analysis assumes a capability is
+/// released by the thread that acquired it, while semaphore permits
+/// transfer between threads by design (acquire here, release there).
+/// Annotating acquire/release would turn that legitimate pattern into
+/// a -Wthread-safety error.
 using counting_semaphore = core::QsvSemaphore;
 
 static_assert(api::counting_semaphore_like<counting_semaphore>);

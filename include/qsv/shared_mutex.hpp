@@ -14,6 +14,7 @@
 #include "core/qsv_rwlock_central.hpp"
 #include "platform/wait.hpp"
 #include "qsv/concepts.hpp"
+#include "qsv/thread_safety.hpp"
 #include "qsv/wait.hpp"
 
 namespace qsv {
@@ -21,12 +22,49 @@ namespace qsv {
 /// The QSV shared lock (striped reader indicators; the headline).
 /// One runtime-polymorphic type: construct with a qsv::wait_policy to
 /// pin how parked readers wait (default: the process-wide policy).
-using shared_mutex = core::QsvRwLock<platform::RuntimeWait>;
+///
+/// A Clang capability with shared/exclusive edges: under
+/// -Wthread-safety, writing a QSV_GUARDED_BY field with only a shared
+/// hold — or releasing a hold the thread never took — is a compile
+/// error.
+class QSV_CAPABILITY("shared_mutex") shared_mutex
+    : public core::QsvRwLock<platform::RuntimeWait> {
+  using Base = core::QsvRwLock<platform::RuntimeWait>;
+
+ public:
+  using Base::Base;
+  void lock() noexcept QSV_ACQUIRE() { Base::lock(); }
+  bool try_lock() noexcept QSV_TRY_ACQUIRE(true) { return Base::try_lock(); }
+  void unlock() noexcept QSV_RELEASE() { Base::unlock(); }
+  void lock_shared() noexcept QSV_ACQUIRE_SHARED() { Base::lock_shared(); }
+  bool try_lock_shared() noexcept QSV_TRY_ACQUIRE_SHARED(true) {
+    return Base::try_lock_shared();
+  }
+  void unlock_shared() noexcept QSV_RELEASE_SHARED() {
+    Base::unlock_shared();
+  }
+};
 
 /// The centralized-counter reconstruction, kept selectable as the
 /// before/after ablation baseline (experiment F8/A2). Takes the same
-/// construction-time wait_policy.
-using central_shared_mutex = core::QsvRwLockCentral<platform::RuntimeWait>;
+/// construction-time wait_policy; annotated identically.
+class QSV_CAPABILITY("shared_mutex") central_shared_mutex
+    : public core::QsvRwLockCentral<platform::RuntimeWait> {
+  using Base = core::QsvRwLockCentral<platform::RuntimeWait>;
+
+ public:
+  using Base::Base;
+  void lock() noexcept QSV_ACQUIRE() { Base::lock(); }
+  bool try_lock() noexcept QSV_TRY_ACQUIRE(true) { return Base::try_lock(); }
+  void unlock() noexcept QSV_RELEASE() { Base::unlock(); }
+  void lock_shared() noexcept QSV_ACQUIRE_SHARED() { Base::lock_shared(); }
+  bool try_lock_shared() noexcept QSV_TRY_ACQUIRE_SHARED(true) {
+    return Base::try_lock_shared();
+  }
+  void unlock_shared() noexcept QSV_RELEASE_SHARED() {
+    Base::unlock_shared();
+  }
+};
 
 static_assert(api::shared_mutex_like<shared_mutex>);
 static_assert(api::shared_mutex_like<central_shared_mutex>);

@@ -1,0 +1,95 @@
+// qsv/thread_safety.hpp — Clang thread-safety annotations for the facade.
+//
+// Wraps Clang's capability analysis attributes in QSV_* macros that
+// expand to nothing on other compilers. Every facade lock type declares
+// itself a capability and annotates its acquire/release/try edges, so
+// user code compiled with `-Wthread-safety` (CI adds `-Werror`) gets
+// misuse of the public API — unlocking a mutex the thread does not
+// hold, returning with a lock held, touching a QSV_GUARDED_BY field
+// without the guard — as a *compile error*, before qsv::chk or TSan
+// ever run the code.
+//
+// The analysis is purely static and same-thread: it assumes a
+// capability released on the acquiring thread. That is exactly the
+// facade lock contract (qsv::mutex, qsv::shared_mutex, ...) and
+// exactly NOT the semaphore contract (permits transfer between
+// threads), which is why qsv::counting_semaphore stays unannotated.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define QSV_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define QSV_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a capability (lock) the analysis tracks. The name
+/// appears in diagnostics: "releasing mutex 'mu' that was not held".
+#define QSV_CAPABILITY(x) QSV_THREAD_ANNOTATION(capability(x))
+
+/// Marks a RAII class whose constructor acquires and destructor
+/// releases a capability (std::lock_guard-shaped types).
+#define QSV_SCOPED_CAPABILITY QSV_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a field or variable may only be touched while `x` is
+/// held (shared access needs at least a shared hold).
+#define QSV_GUARDED_BY(x) QSV_THREAD_ANNOTATION(guarded_by(x))
+
+/// Declares that the pointee of a pointer field is protected by `x`.
+#define QSV_PT_GUARDED_BY(x) QSV_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function-level contracts: the caller must / must not hold the named
+/// capabilities on entry.
+#define QSV_REQUIRES(...) \
+  QSV_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define QSV_REQUIRES_SHARED(...) \
+  QSV_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define QSV_EXCLUDES(...) QSV_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Acquire/release edges. With no argument they annotate the methods
+/// of the capability class itself (`this`); with arguments they name
+/// the capabilities a free function or wrapper manipulates.
+#define QSV_ACQUIRE(...) \
+  QSV_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define QSV_ACQUIRE_SHARED(...) \
+  QSV_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define QSV_RELEASE(...) \
+  QSV_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define QSV_RELEASE_SHARED(...) \
+  QSV_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define QSV_RELEASE_GENERIC(...) \
+  QSV_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Try edges: first argument is the success value the analysis keys on.
+#define QSV_TRY_ACQUIRE(...) \
+  QSV_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define QSV_TRY_ACQUIRE_SHARED(...) \
+  QSV_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Returns a reference to the capability guarding the annotated value
+/// (for wrapper types that expose their internal lock).
+#define QSV_RETURN_CAPABILITY(x) QSV_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for functions the analysis cannot follow (lock
+/// handoffs, test harnesses that intentionally misuse a lock).
+#define QSV_NO_THREAD_SAFETY_ANALYSIS \
+  QSV_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace qsv {
+
+/// std::lock_guard with the scoped-capability annotation: libstdc++'s
+/// lock_guard carries no annotations, so under -Wthread-safety a guard
+/// scope would read as "mutex never locked". This one is the annotated
+/// drop-in for analyzed code; it works over any facade lock.
+template <typename Mutex>
+class QSV_SCOPED_CAPABILITY lock_guard {
+ public:
+  explicit lock_guard(Mutex& mu) QSV_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~lock_guard() QSV_RELEASE() { mu_.unlock(); }
+  lock_guard(const lock_guard&) = delete;
+  lock_guard& operator=(const lock_guard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace qsv

@@ -210,4 +210,28 @@ QSV_CATALOG_REGISTER(qsv::eventcount::QueuedEventCount<>, "queued-ec");
   return true;
 }();
 
+// ---------------------------------------------------------- checkable
+// kCheckable marks the rows whose every wait reaches the chk_hook seam
+// (platform/chk_hook.hpp): raw spins poll through cpu_relax, terminal
+// waits go through the platform wait classes. qsv::chk's battery
+// (chk/battery.cpp) explores exactly these rows. Excluded: the std::
+// adapters and the futex mutex — their kernel waits bypass the seam,
+// so the serializing scheduler cannot take control of them.
+[[maybe_unused]] static const bool qsv_cat_checkable_tagged = [] {
+  static constexpr const char* kCheckableRows[] = {
+      // locks
+      "tas", "ttas", "ttas+backoff", "ticket", "ticket+prop", "anderson",
+      "graunke-thakkar", "clh", "mcs", "qsv", "qsv-timeout", "hier-qsv",
+      "cohort/qsv+qsv", "cohort/mcs+mcs", "cohort/qsv+ticket",
+      "cohort/ticket+mcs", "cohort/ticket+ticket",
+      // rwlocks
+      "central-rw/reader-pref", "central-rw/writer-pref", "qsv-rw",
+      "qsv-rw/central",
+  };
+  for (const char* name : kCheckableRows) {
+    qsv::catalog::add_capability(name, qsv::catalog::kCheckable);
+  }
+  return true;
+}();
+
 }  // namespace

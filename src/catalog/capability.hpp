@@ -59,6 +59,17 @@ enum Capability : std::uint32_t {
                             ///< the simulator, not the type: tagged in
                             ///< builtin.cpp from the sim name lists,
                             ///< not derived by caps_of().
+
+  kCheckable   = 1u << 16,  ///< every wait in the primitive reaches the
+                            ///< chk_hook seam (spin polls through
+                            ///< cpu_relax, terminal waits through the
+                            ///< platform wait classes), so qsv::chk's
+                            ///< serializing scheduler can explore its
+                            ///< schedules deterministically. Excludes
+                            ///< the std:: adapters and the futex mutex,
+                            ///< whose kernel waits bypass the seam.
+                            ///< Like kSimulable, a property of another
+                            ///< subsystem: tagged in builtin.cpp.
 };
 
 /// All container-face bits: any of them makes the entry a container.

@@ -1,0 +1,159 @@
+// battery.cpp — the catalogue-wide qsv::chk battery.
+#include "chk/battery.hpp"
+
+#include <utility>
+
+#include "qsv/wait.hpp"
+
+namespace qsv::chk {
+
+std::vector<const catalog::Entry*> checkable_rows() {
+  std::vector<const catalog::Entry*> rows;
+  for (const auto& e : catalog::all()) {
+    if (e.has(catalog::kCheckable)) rows.push_back(&e);
+  }
+  return rows;
+}
+
+Scenario lock_scenario(const catalog::Entry& entry, std::size_t threads,
+                       std::size_t iters) {
+  // The entry outlives every check (catalogue rows are static); the
+  // spin policy keeps even park-preferring rows on the instrumented
+  // seam's cheapest path.
+  return [&entry, threads, iters](Ctx& ctx) {
+    auto& l = ctx.add_lock(entry.make_with(threads, qsv::wait_policy::spin),
+                           entry.name);
+    std::vector<std::function<void()>> bodies;
+    for (std::size_t t = 0; t < threads; ++t) {
+      bodies.push_back([&l, iters] {
+        for (std::size_t i = 0; i < iters; ++i) {
+          l.lock();
+          l.unlock();
+        }
+      });
+    }
+    return bodies;
+  };
+}
+
+Scenario rw_scenario(const catalog::Entry& entry, std::size_t threads,
+                     std::size_t iters) {
+  return [&entry, threads, iters](Ctx& ctx) {
+    auto& l = ctx.add_rwlock(entry.make_with(threads, qsv::wait_policy::spin),
+                             entry.name);
+    std::vector<std::function<void()>> bodies;
+    bodies.push_back([&l, iters] {  // thread 0: writer
+      for (std::size_t i = 0; i < iters; ++i) {
+        l.lock();
+        l.unlock();
+      }
+    });
+    for (std::size_t t = 1; t < threads; ++t) {
+      bodies.push_back([&l, iters] {
+        for (std::size_t i = 0; i < iters; ++i) {
+          l.lock_shared();
+          l.unlock_shared();
+        }
+      });
+    }
+    return bodies;
+  };
+}
+
+Scenario semaphore_scenario(std::int64_t permits, std::size_t threads,
+                            std::size_t iters) {
+  return [permits, threads, iters](Ctx& ctx) {
+    auto& s = ctx.add_semaphore(permits, "qsv-semaphore");
+    std::vector<std::function<void()>> bodies;
+    for (std::size_t t = 0; t < threads; ++t) {
+      bodies.push_back([&s, iters] {
+        for (std::size_t i = 0; i < iters; ++i) {
+          s.acquire();
+          s.release();
+        }
+      });
+    }
+    return bodies;
+  };
+}
+
+namespace {
+
+void run_check(BatteryResult& result, const BatteryOptions& bopts,
+               const std::string& row, const std::string& scenario_name,
+               const std::string& mode, const Scenario& scenario,
+               const Options& copts) {
+  const Report rep = check(scenario, copts);
+  ++result.checks;
+  if (bopts.log) {
+    std::string line = "  " + row + " [" + scenario_name + "/" + mode +
+                       "]: " + (rep.ok ? "ok" : "VIOLATION: " + rep.property) +
+                       " (" + std::to_string(rep.executions) + " executions" +
+                       (rep.exhausted ? ", exhausted" : "") + ")";
+    if (rep.lock_order_warnings != 0) {
+      line += " [" + std::to_string(rep.lock_order_warnings) +
+              " lock-order warning(s)]";
+    }
+    bopts.log(line);
+  }
+  if (!rep.ok) {
+    result.ok = false;
+    result.failures.push_back({row, scenario_name, mode, rep});
+  }
+}
+
+void drive_scenarios(BatteryResult& result, const BatteryOptions& bopts,
+                     const std::string& row, const std::string& scenario_name,
+                     const std::function<Scenario(std::size_t, std::size_t)>&
+                         make_scenario) {
+  {
+    Options copts;
+    copts.mode = Options::Mode::kDfs;
+    copts.threads = bopts.dfs_threads;
+    copts.max_executions = bopts.dfs_max_executions;
+    run_check(result, bopts, row, scenario_name, "dfs",
+              make_scenario(bopts.dfs_threads, bopts.dfs_iters), copts);
+  }
+  {
+    Options copts;
+    copts.mode = Options::Mode::kRandom;
+    copts.threads = bopts.random_threads;
+    copts.samples = bopts.random_samples;
+    copts.seed = bopts.seed;
+    run_check(result, bopts, row, scenario_name, "random",
+              make_scenario(bopts.random_threads, bopts.random_iters), copts);
+  }
+}
+
+}  // namespace
+
+BatteryResult run_battery(const BatteryOptions& opts) {
+  BatteryResult result;
+  for (const catalog::Entry* e : checkable_rows()) {
+    ++result.rows;
+    if (e->family == catalog::Family::kLock) {
+      drive_scenarios(result, opts, e->name, "lock",
+                      [e](std::size_t threads, std::size_t iters) {
+                        return lock_scenario(*e, threads, iters);
+                      });
+    } else if (e->family == catalog::Family::kRwLock) {
+      drive_scenarios(result, opts, e->name, "rw",
+                      [e](std::size_t threads, std::size_t iters) {
+                        return rw_scenario(*e, threads, iters);
+                      });
+    }
+  }
+  // The QSV semaphore has no catalogue row; check it directly with two
+  // permits — the bound property is vacuous with one.
+  ++result.rows;
+  drive_scenarios(result, opts, "qsv-semaphore", "semaphore",
+                  [](std::size_t threads, std::size_t iters) {
+                    const std::int64_t permits =
+                        threads > 1 ? static_cast<std::int64_t>(threads) - 1
+                                    : 1;
+                    return semaphore_scenario(permits, threads, iters);
+                  });
+  return result;
+}
+
+}  // namespace qsv::chk

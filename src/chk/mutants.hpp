@@ -1,0 +1,270 @@
+// mutants.hpp — deliberately broken primitives that qsv::chk must catch.
+//
+// Test-only. Each mutant carries one classic concurrency bug, seeded at
+// a deterministic race window (an explicit chk scheduling point), so
+// the checker's exploration modes can reach the violating interleaving
+// at tiny bounds and replay it byte-identically:
+//
+//   BrokenTasLock     check and set decomposed      -> mutual exclusion
+//   LostWakeupMutex   waiter-count read before the
+//                     waiter registers              -> lost wakeup stall
+//   BrokenCohortLock  two-tier release samples the
+//                     local pending count early     -> lost wakeup stall
+//   BrokenRwLock      reader admission decomposed   -> rw exclusion
+//
+// The mutants wait exclusively through the chk_hook-instrumented seams
+// (cpu_relax and the platform wait classes with wait_policy::spin), so
+// every schedule is under the checker's control. They are never
+// registered in the catalogue.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/any_primitive.hpp"
+#include "chk/check.hpp"
+#include "platform/arch.hpp"
+#include "platform/chk_hook.hpp"
+#include "platform/waiter.hpp"
+#include "qsv/wait.hpp"
+
+namespace qsv::chk::mutants {
+
+/// The seeded race window: an explicit scheduling point under the
+/// checker, nothing outside it.
+inline void race_window() noexcept {
+  if (qsv::platform::chk_hook::active()) qsv::platform::chk_hook::yield();
+}
+
+/// Test-and-set lock with the test and the set decomposed: two threads
+/// can both observe the lock free, then both store "held". The checker
+/// must report a mutual-exclusion violation.
+class BrokenTasLock {
+ public:
+  void lock() {
+    for (;;) {
+      if (!locked_.load(std::memory_order_acquire)) {
+        race_window();  // another thread may pass the same test here
+        locked_.store(true, std::memory_order_release);
+        return;
+      }
+      qsv::platform::cpu_relax();
+    }
+  }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+  bool try_lock() {
+    if (locked_.load(std::memory_order_acquire)) return false;
+    race_window();
+    locked_.store(true, std::memory_order_release);
+    return true;
+  }
+
+  static constexpr const char* name() noexcept { return "broken-tas"; }
+
+ private:
+  std::atomic<std::uint32_t> locked_{0};
+};
+
+/// Sleeping mutex whose unlock samples the waiter count *before* the
+/// release: a waiter that registers inside the window is never woken —
+/// its wait predicate can never become true, and the checker must
+/// report a lost-wakeup stall.
+class LostWakeupMutex {
+ public:
+  void lock() {
+    for (;;) {
+      std::uint32_t expect = 0;
+      if (state_.compare_exchange_strong(expect, 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+        return;
+      }
+      const std::uint32_t seen = wakeups_.load(std::memory_order_acquire);
+      waiters_.fetch_add(1, std::memory_order_acq_rel);
+      if (state_.load(std::memory_order_acquire) != 0) {
+        waiter_.wait_while_equal(wakeups_, seen);
+      }
+      waiters_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  void unlock() {
+    const std::uint32_t w = waiters_.load(std::memory_order_acquire);
+    race_window();  // a waiter may register right here
+    state_.store(0, std::memory_order_release);
+    if (w != 0) {
+      wakeups_.fetch_add(1, std::memory_order_release);
+      waiter_.notify_all(wakeups_);
+    }
+  }
+
+  static constexpr const char* name() noexcept { return "lost-wakeup"; }
+
+ private:
+  qsv::platform::RuntimeWait waiter_{qsv::wait_policy::spin};
+  std::atomic<std::uint32_t> state_{0};    ///< 0 free, 1 held
+  std::atomic<std::uint32_t> waiters_{0};  ///< registered sleepers
+  std::atomic<std::uint32_t> wakeups_{0};  ///< wakeup generation
+};
+
+/// Two-tier (cohort-style) lock whose release samples the local pending
+/// count before deciding between a local baton pass and a full global
+/// release. A local waiter that arrives inside the window sees neither:
+/// the global lock is freed, but the waiter sleeps on a baton that is
+/// never passed. The checker must report a lost-wakeup stall.
+class BrokenCohortLock {
+ public:
+  void lock() {
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    std::uint32_t expect = 0;
+    if (global_.compare_exchange_strong(expect, 1,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      return;
+    }
+    // Wait for the local baton: ownership of the still-held global
+    // lock transfers with it.
+    const std::uint32_t seen = grant_.load(std::memory_order_acquire);
+    waiter_.wait_while_equal(grant_, seen);
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  void unlock() {
+    const std::uint32_t p = pending_.load(std::memory_order_acquire);
+    race_window();  // a local waiter may register right here
+    if (p != 0) {
+      grant_.fetch_add(1, std::memory_order_release);  // baton pass
+      waiter_.notify_all(grant_);
+    } else {
+      global_.store(0, std::memory_order_release);
+    }
+  }
+
+  static constexpr const char* name() noexcept { return "broken-cohort"; }
+
+ private:
+  qsv::platform::RuntimeWait waiter_{qsv::wait_policy::spin};
+  std::atomic<std::uint32_t> global_{0};   ///< 0 free, 1 held
+  std::atomic<std::uint32_t> pending_{0};  ///< local-tier waiters
+  std::atomic<std::uint32_t> grant_{0};    ///< local baton counter
+};
+
+/// Reader-writer lock with the reader's writer-presence test and the
+/// reader-count increment decomposed: a writer can slip in between
+/// them, see zero readers, and enter alongside the reader. The checker
+/// must report a reader-writer-exclusion violation.
+class BrokenRwLock {
+ public:
+  void lock() {  // writer
+    for (;;) {
+      std::uint32_t expect = 0;
+      if (writer_.compare_exchange_strong(expect, 1,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+        break;
+      }
+      waiter_.wait_while_equal(writer_, 1u);
+    }
+    while (readers_.load(std::memory_order_acquire) != 0) {
+      qsv::platform::cpu_relax();  // drain readers already inside
+    }
+  }
+
+  void unlock() {
+    writer_.store(0, std::memory_order_release);
+    waiter_.notify_all(writer_);
+  }
+
+  void lock_shared() {
+    for (;;) {
+      if (writer_.load(std::memory_order_acquire) == 0) {
+        race_window();  // a writer may take the lock right here
+        readers_.fetch_add(1, std::memory_order_acq_rel);
+        return;
+      }
+      waiter_.wait_while_equal(writer_, 1u);
+    }
+  }
+
+  void unlock_shared() { readers_.fetch_sub(1, std::memory_order_release); }
+
+  static constexpr const char* name() noexcept { return "broken-rw"; }
+
+ private:
+  qsv::platform::RuntimeWait waiter_{qsv::wait_policy::spin};
+  std::atomic<std::uint32_t> writer_{0};
+  std::atomic<std::uint32_t> readers_{0};
+};
+
+// ------------------------------------------------------- mutant cases
+// The canonical "must be caught" list, shared by chk_test and qsvchk
+// --mutants: each case names the mutant, the property the checker must
+// report, and the scenario + bounds at which exhaustive DFS finds it.
+
+template <typename Mutant>
+Scenario mutant_lock_scenario(std::size_t threads, std::size_t iters) {
+  return [threads, iters](Ctx& ctx) {
+    auto& l = ctx.add_lock(catalog::wrap<Mutant>(), Mutant::name());
+    std::vector<std::function<void()>> bodies;
+    for (std::size_t t = 0; t < threads; ++t) {
+      bodies.push_back([&l, iters] {
+        for (std::size_t i = 0; i < iters; ++i) {
+          l.lock();
+          l.unlock();
+        }
+      });
+    }
+    return bodies;
+  };
+}
+
+inline Scenario broken_rw_scenario(std::size_t threads, std::size_t iters) {
+  return [threads, iters](Ctx& ctx) {
+    auto& l =
+        ctx.add_rwlock(catalog::wrap<BrokenRwLock>(), BrokenRwLock::name());
+    std::vector<std::function<void()>> bodies;
+    bodies.push_back([&l, iters] {  // thread 0: writer
+      for (std::size_t i = 0; i < iters; ++i) {
+        l.lock();
+        l.unlock();
+      }
+    });
+    for (std::size_t t = 1; t < threads; ++t) {
+      bodies.push_back([&l, iters] {
+        for (std::size_t i = 0; i < iters; ++i) {
+          l.lock_shared();
+          l.unlock_shared();
+        }
+      });
+    }
+    return bodies;
+  };
+}
+
+struct MutantCase {
+  std::string name;
+  std::string expect_property;  ///< the property DFS must report violated
+  std::size_t threads;
+  std::size_t iters;
+  Scenario scenario;
+};
+
+inline std::vector<MutantCase> mutant_cases() {
+  std::vector<MutantCase> cases;
+  cases.push_back({"broken-tas", "mutual exclusion", 2, 1,
+                   mutant_lock_scenario<BrokenTasLock>(2, 1)});
+  cases.push_back({"lost-wakeup", "lost wakeup", 2, 1,
+                   mutant_lock_scenario<LostWakeupMutex>(2, 1)});
+  cases.push_back({"broken-cohort", "lost wakeup", 2, 1,
+                   mutant_lock_scenario<BrokenCohortLock>(2, 1)});
+  cases.push_back(
+      {"broken-rw", "rw exclusion", 2, 1, broken_rw_scenario(2, 1)});
+  return cases;
+}
+
+}  // namespace qsv::chk::mutants

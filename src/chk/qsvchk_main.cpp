@@ -1,0 +1,229 @@
+// qsvchk_main.cpp — the qsv::chk command-line driver.
+//
+// Default run: the catalogue-wide battery (every kCheckable row under
+// exhaustive DFS and seeded-random exploration) plus the mutant
+// self-test (each deliberately broken primitive must be caught and its
+// counterexample must replay byte-identically). Exit status 0 iff
+// everything holds.
+//
+//   qsvchk                      battery + mutant self-test
+//   qsvchk --battery            battery only
+//   qsvchk --mutants            mutant self-test only
+//   qsvchk --list               list the checkable catalogue rows
+//   qsvchk --row NAME           battery scenarios for one row
+//   qsvchk --quick              ~10x smaller exploration budgets
+//                               (sanitizer builds)
+//   qsvchk --samples N          random-mode sample count
+//   qsvchk --dfs-budget N       DFS execution budget per row
+//   qsvchk --seed S             random-mode seed
+//   qsvchk --replay ROW SCHED   replay a dot-separated schedule against
+//                               a row's 2-thread lock scenario
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "chk/battery.hpp"
+#include "chk/check.hpp"
+#include "chk/mutants.hpp"
+
+namespace {
+
+using qsv::chk::BatteryOptions;
+using qsv::chk::BatteryResult;
+using qsv::chk::Options;
+using qsv::chk::Report;
+
+void print_failures(const BatteryResult& result) {
+  for (const auto& f : result.failures) {
+    std::printf("FAILED %s [%s/%s]:\n%s", f.row.c_str(), f.scenario.c_str(),
+                f.mode.c_str(), f.report.counterexample().c_str());
+  }
+}
+
+int run_battery_cmd(const BatteryOptions& opts) {
+  const BatteryResult result = qsv::chk::run_battery(opts);
+  std::printf("battery: %zu rows, %zu checks, %zu failure(s)\n", result.rows,
+              result.checks, result.failures.size());
+  print_failures(result);
+  return result.ok ? 0 : 1;
+}
+
+/// Each mutant must be caught by exhaustive DFS with the expected
+/// property, and its schedule must replay to the identical
+/// counterexample — the checker checking itself.
+int run_mutants_cmd() {
+  int failures = 0;
+  for (const auto& mc : qsv::chk::mutants::mutant_cases()) {
+    Options opts;
+    opts.mode = Options::Mode::kDfs;
+    opts.threads = mc.threads;
+    const Report found = qsv::chk::check(mc.scenario, opts);
+    if (found.ok || found.property != mc.expect_property) {
+      std::printf("FAILED %s: expected a \"%s\" violation, got %s\n",
+                  mc.name.c_str(), mc.expect_property.c_str(),
+                  found.ok ? "no violation" : found.property.c_str());
+      ++failures;
+      continue;
+    }
+    Options ropts;
+    ropts.mode = Options::Mode::kReplay;
+    ropts.threads = mc.threads;
+    ropts.replay_schedule = found.schedule;
+    const Report replayed = qsv::chk::check(mc.scenario, ropts);
+    if (replayed.counterexample() != found.counterexample()) {
+      std::printf("FAILED %s: replay did not reproduce the counterexample\n",
+                  mc.name.c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("caught %s (\"%s\", %zu executions, replay verified)\n",
+                mc.name.c_str(), found.property.c_str(), found.executions);
+    std::printf("%s", found.counterexample().c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int run_row_cmd(const BatteryOptions& opts, const std::string& row) {
+  const auto rows = qsv::chk::checkable_rows();
+  const qsv::catalog::Entry* entry = nullptr;
+  for (const auto* e : rows) {
+    if (e->name == row) entry = e;
+  }
+  if (entry == nullptr) {
+    std::fprintf(stderr, "qsvchk: \"%s\" is not a checkable row\n",
+                 row.c_str());
+    return 2;
+  }
+  BatteryResult result;
+  result.rows = 1;
+  const bool shared = entry->family == qsv::catalog::Family::kRwLock;
+  Options dfs;
+  dfs.mode = Options::Mode::kDfs;
+  dfs.threads = opts.dfs_threads;
+  dfs.max_executions = opts.dfs_max_executions;
+  Options random;
+  random.mode = Options::Mode::kRandom;
+  random.threads = opts.random_threads;
+  random.samples = opts.random_samples;
+  random.seed = opts.seed;
+  const char* scen = shared ? "rw" : "lock";
+  auto make = [&](std::size_t threads, std::size_t iters) {
+    return shared ? qsv::chk::rw_scenario(*entry, threads, iters)
+                  : qsv::chk::lock_scenario(*entry, threads, iters);
+  };
+  for (const auto& [mode, o, threads, iters] :
+       {std::tuple{"dfs", dfs, opts.dfs_threads, opts.dfs_iters},
+        std::tuple{"random", random, opts.random_threads,
+                   opts.random_iters}}) {
+    const Report rep = qsv::chk::check(make(threads, iters), o);
+    ++result.checks;
+    std::printf("%s [%s/%s]: %s (%zu executions%s)\n", entry->name.c_str(),
+                scen, mode, rep.ok ? "ok" : "VIOLATION", rep.executions,
+                rep.exhausted ? ", exhausted" : "");
+    if (!rep.ok) {
+      result.ok = false;
+      result.failures.push_back({entry->name, scen, mode, rep});
+    }
+  }
+  print_failures(result);
+  return result.ok ? 0 : 1;
+}
+
+int run_replay_cmd(const std::string& row, const std::string& sched) {
+  const auto rows = qsv::chk::checkable_rows();
+  const qsv::catalog::Entry* entry = nullptr;
+  for (const auto* e : rows) {
+    if (e->name == row) entry = e;
+  }
+  if (entry == nullptr) {
+    std::fprintf(stderr, "qsvchk: \"%s\" is not a checkable row\n",
+                 row.c_str());
+    return 2;
+  }
+  Options opts;
+  opts.mode = Options::Mode::kReplay;
+  opts.threads = 2;
+  opts.replay_schedule = Report::parse_schedule(sched);
+  const Report rep =
+      qsv::chk::check(qsv::chk::lock_scenario(*entry, 2, 1), opts);
+  if (rep.ok) {
+    std::printf("replay of %s: no violation\n", entry->name.c_str());
+    return 0;
+  }
+  std::printf("replay of %s:\n%s", entry->name.c_str(),
+              rep.counterexample().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BatteryOptions opts;
+  opts.log = [](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+  };
+  bool battery = false;
+  bool mutants = false;
+  std::string row;
+  std::string replay_row;
+  std::string replay_sched;
+  bool list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "qsvchk: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--battery") {
+      battery = true;
+    } else if (arg == "--mutants") {
+      mutants = true;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--row") {
+      row = next();
+    } else if (arg == "--quick") {
+      opts.quick();
+    } else if (arg == "--samples") {
+      opts.random_samples = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--dfs-budget") {
+      opts.dfs_max_executions = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--seed") {
+      opts.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--replay") {
+      replay_row = next();
+      replay_sched = next();
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: qsvchk [--battery] [--mutants] [--list] [--row NAME]\n"
+          "              [--quick] [--samples N] [--dfs-budget N] "
+          "[--seed S]\n"
+          "              [--replay ROW SCHEDULE]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "qsvchk: unknown option %s (try --help)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  if (list) {
+    for (const auto* e : qsv::chk::checkable_rows()) {
+      std::printf("%-24s %s\n", e->name.c_str(),
+                  qsv::catalog::family_name(e->family));
+    }
+    return 0;
+  }
+  if (!replay_row.empty()) return run_replay_cmd(replay_row, replay_sched);
+  if (!row.empty()) return run_row_cmd(opts, row);
+
+  int rc = 0;
+  if (battery || !mutants) rc |= run_battery_cmd(opts);
+  if (mutants || !battery) rc |= run_mutants_cmd();
+  return rc;
+}

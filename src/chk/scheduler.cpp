@@ -1,0 +1,343 @@
+// scheduler.cpp — serialized virtual-thread execution for qsv::chk.
+#include "chk/scheduler.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <semaphore>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "platform/chk_hook.hpp"
+
+namespace qsv::chk {
+
+namespace {
+/// Free cpu_relax() returns granted to a spin-parked thread on resume:
+/// enough for any bounded backoff loop in the library (the proportional
+/// backoff's worst pause is thousands of polls) to run through and
+/// re-poll its real condition. Granted polls do nothing — no PAUSE, no
+/// scheduling — so the window costs microseconds.
+constexpr std::uint32_t kSpinGrant = 1u << 16;
+
+[[noreturn]] void chk_fatal(const char* what) {
+  std::fprintf(stderr, "qsv::chk scheduler: %s\n", what);
+  std::abort();
+}
+}  // namespace
+
+struct Scheduler::VThread {
+  enum class St { kReady, kRunning, kBlocked, kSpin, kDone };
+
+  Scheduler* sched = nullptr;
+  std::size_t idx = 0;
+  qsv::platform::chk_hook::Hooks hooks;
+  std::binary_semaphore resume{0};
+  std::thread os;
+
+  // Handoff-protected state: written only by the side that currently
+  // runs (the worker before releasing sched_sem_, the scheduler before
+  // releasing resume), so plain fields are race-free.
+  St st = St::kDone;
+  std::function<void()> body;
+  bool (*pred)(void*) = nullptr;
+  void* pred_ctx = nullptr;
+  std::uint64_t spin_seen = 0;
+  std::uint32_t spin_grant = 0;
+  const void* wanted = nullptr;
+  std::string wanted_name;
+};
+
+thread_local Scheduler::VThread* Scheduler::t_current_ = nullptr;
+
+Scheduler::Scheduler(std::size_t nthreads) : n_(nthreads) {
+  if (n_ == 0) chk_fatal("scheduler needs at least one logical thread");
+  threads_.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    auto vt = std::make_unique<VThread>();
+    vt->sched = this;
+    vt->idx = i;
+    vt->hooks.ctx = vt.get();
+    vt->hooks.spin = &Scheduler::hook_spin;
+    vt->hooks.block = &Scheduler::hook_block;
+    vt->hooks.yield = &Scheduler::hook_yield;
+    threads_.push_back(std::move(vt));
+  }
+  // Workers park immediately on their resume semaphores; they hold
+  // stable dense platform thread ids for the scheduler's lifetime, so
+  // id-indexed primitives behave identically across executions.
+  for (auto& vt : threads_) {
+    vt->os = std::thread([this, v = vt.get()] { worker_main(v); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  if (poisoned_) return;  // workers already detached, state leaked
+  shutdown_ = true;
+  for (auto& vt : threads_) vt->resume.release();
+  for (auto& vt : threads_) vt->os.join();
+}
+
+void Scheduler::worker_main(VThread* vt) {
+  qsv::platform::chk_hook::tls() = &vt->hooks;
+  t_current_ = vt;
+  for (;;) {
+    vt->resume.acquire();
+    if (shutdown_) return;
+    vt->body();
+    vt->body = nullptr;
+    vt->st = VThread::St::kDone;
+    ++progress_;
+    sched_sem_.release();
+  }
+}
+
+void Scheduler::hook_spin(void* ctx) {
+  auto* vt = static_cast<VThread*>(ctx);
+  if (vt->spin_grant > 0) {
+    --vt->spin_grant;
+    return;
+  }
+  Scheduler* s = vt->sched;
+  vt->st = VThread::St::kSpin;
+  vt->spin_seen = s->progress_;
+  s->sched_sem_.release();
+  vt->resume.acquire();
+}
+
+void Scheduler::hook_block(void* ctx, bool (*pred)(void*), void* pred_ctx) {
+  auto* vt = static_cast<VThread*>(ctx);
+  Scheduler* s = vt->sched;
+  // Entering a wait means the enqueue/announce stores before it are
+  // published: count it as progress so spin-parked threads re-poll.
+  ++s->progress_;
+  if (pred(pred_ctx)) return;  // already satisfied: no scheduling point
+  vt->pred = pred;
+  vt->pred_ctx = pred_ctx;
+  vt->st = VThread::St::kBlocked;
+  s->sched_sem_.release();
+  vt->resume.acquire();
+  // The scheduler resumes a blocked thread only after evaluating its
+  // predicate true, and nothing else ran since: the wait is over.
+}
+
+void Scheduler::hook_yield(void* ctx) {
+  auto* vt = static_cast<VThread*>(ctx);
+  Scheduler* s = vt->sched;
+  vt->st = VThread::St::kReady;
+  ++s->progress_;
+  s->sched_sem_.release();
+  vt->resume.acquire();
+}
+
+void Scheduler::yield() {
+  if (t_current_ == nullptr) chk_fatal("yield() outside a logical thread");
+  hook_yield(t_current_);
+}
+
+void Scheduler::yield_quiet() {
+  VThread* vt = t_current_;
+  if (vt == nullptr) chk_fatal("yield_quiet() outside a logical thread");
+  vt->st = VThread::St::kReady;
+  sched_sem_.release();
+  vt->resume.acquire();
+}
+
+std::size_t Scheduler::current_index() {
+  if (t_current_ == nullptr) {
+    chk_fatal("current_index() outside a logical thread");
+  }
+  return t_current_->idx;
+}
+
+void Scheduler::set_wanted(const void* res, std::string_view name) {
+  t_current_->wanted = res;
+  t_current_->wanted_name = std::string(name);
+}
+
+void Scheduler::clear_wanted() {
+  t_current_->wanted = nullptr;
+  t_current_->wanted_name.clear();
+}
+
+void Scheduler::add_holder(const void* res, std::string_view name) {
+  for (auto& [ptr, r] : resources_) {
+    if (ptr == res) {
+      r.holders.push_back(current_index());
+      return;
+    }
+  }
+  resources_.push_back({res, Resource{std::string(name),
+                                      {current_index()}}});
+}
+
+void Scheduler::remove_holder(const void* res) {
+  const std::size_t self = current_index();
+  for (auto& [ptr, r] : resources_) {
+    if (ptr != res) continue;
+    for (std::size_t i = 0; i < r.holders.size(); ++i) {
+      if (r.holders[i] == self) {
+        r.holders.erase(r.holders.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+}
+
+Scheduler::Outcome Scheduler::run(std::vector<std::function<void()>> bodies,
+                                  const Chooser& choose) {
+  Outcome out;
+  if (poisoned_) chk_fatal("run() on a poisoned scheduler");
+  if (bodies.empty() || bodies.size() > n_) {
+    chk_fatal("run() body count out of range");
+  }
+  const std::size_t k = bodies.size();
+  progress_ = 0;
+  resources_.clear();
+  for (std::size_t i = 0; i < n_; ++i) {
+    VThread& vt = *threads_[i];
+    vt.pred = nullptr;
+    vt.spin_grant = 0;
+    vt.wanted = nullptr;
+    vt.wanted_name.clear();
+    if (i < k) {
+      vt.body = std::move(bodies[i]);
+      vt.st = VThread::St::kReady;
+    } else {
+      vt.st = VThread::St::kDone;
+    }
+  }
+
+  std::vector<std::size_t> runnable;
+  for (;;) {
+    runnable.clear();
+    bool all_done = true;
+    for (std::size_t i = 0; i < k; ++i) {
+      VThread& vt = *threads_[i];
+      switch (vt.st) {
+        case VThread::St::kDone:
+          continue;
+        case VThread::St::kReady:
+          runnable.push_back(i);
+          break;
+        case VThread::St::kBlocked:
+          if (vt.pred(vt.pred_ctx)) runnable.push_back(i);
+          break;
+        case VThread::St::kSpin:
+          if (progress_ != vt.spin_seen) runnable.push_back(i);
+          break;
+        case VThread::St::kRunning:
+          chk_fatal("running thread at a scheduling decision");
+      }
+      all_done = false;
+    }
+    if (all_done) {
+      out.completed = true;
+      return out;
+    }
+    if (runnable.empty()) {
+      out.stalled = true;
+      analyze_stall(k, out);
+      poison();
+      return out;
+    }
+    if (out.schedule.size() >= step_cap_) {
+      out.step_capped = true;
+      poison();
+      return out;
+    }
+
+    const std::size_t pick = choose(runnable);
+    bool member = false;
+    for (std::size_t r : runnable) member = member || (r == pick);
+    if (!member) chk_fatal("chooser picked a non-runnable thread");
+    out.schedule.push_back(pick);
+
+    VThread& vt = *threads_[pick];
+    if (vt.st == VThread::St::kBlocked) vt.pred = nullptr;
+    if (vt.st == VThread::St::kSpin) vt.spin_grant = kSpinGrant;
+    vt.st = VThread::St::kRunning;
+    vt.resume.release();
+    sched_sem_.acquire();
+  }
+}
+
+void Scheduler::analyze_stall(std::size_t nbodies, Outcome& out) const {
+  // Waits-for edges: stalled thread -> holders of the lock it wants.
+  // A cycle is a deadlock; any other stall is a lost wakeup (a grant
+  // or notification the protocol failed to deliver).
+  auto holders_of = [&](const void* res) -> const Resource* {
+    for (const auto& [ptr, r] : resources_) {
+      if (ptr == res) return &r;
+    }
+    return nullptr;
+  };
+
+  // Walk the waits-for graph from the lowest stalled thread id for a
+  // deterministic report.
+  for (std::size_t start = 0; start < nbodies; ++start) {
+    if (threads_[start]->st == VThread::St::kDone) continue;
+    std::vector<std::size_t> path{start};
+    std::set<std::size_t> on_path{start};
+    std::size_t cur = start;
+    for (;;) {
+      const VThread& vt = *threads_[cur];
+      if (vt.wanted == nullptr) break;
+      const Resource* r = holders_of(vt.wanted);
+      if (r == nullptr || r->holders.empty()) break;
+      const std::size_t next = r->holders.front();
+      if (on_path.count(next) != 0) {
+        // Cycle: report each hop with the lock names involved.
+        out.stall_kind = "deadlock";
+        std::string d = "waits-for cycle:";
+        bool in_cycle = false;
+        path.push_back(next);
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+          if (path[i] == next) in_cycle = true;
+          if (!in_cycle) continue;
+          const VThread& hop = *threads_[path[i]];
+          d += " vthread " + std::to_string(path[i]) + " waits for \"" +
+               hop.wanted_name + "\" held by vthread " +
+               std::to_string(path[i + 1]) + ";";
+        }
+        out.stall_detail = d;
+        return;
+      }
+      on_path.insert(next);
+      path.push_back(next);
+      cur = next;
+    }
+  }
+
+  out.stall_kind = "lost wakeup";
+  std::string d = "no runnable thread and no waits-for cycle:";
+  for (std::size_t i = 0; i < nbodies; ++i) {
+    const VThread& vt = *threads_[i];
+    if (vt.st == VThread::St::kDone) continue;
+    d += " vthread " + std::to_string(i);
+    if (vt.wanted != nullptr) {
+      d += " waits for \"" + vt.wanted_name + "\"";
+    } else if (vt.st == VThread::St::kSpin) {
+      d += " stalled in a spin loop";
+    } else {
+      d += " blocked";
+    }
+    d += ";";
+  }
+  out.stall_detail = d;
+}
+
+void Scheduler::poison() {
+  poisoned_ = true;
+  // Stalled workers are frozen inside noexcept wait code; they cannot
+  // be unwound. Detach them and leak their VThread records (semaphores
+  // included) so the parked threads' state stays valid forever.
+  for (auto& vt : threads_) {
+    vt->os.detach();
+    (void)vt.release();  // intentional leak, see header comment
+  }
+  threads_.clear();
+}
+
+}  // namespace qsv::chk

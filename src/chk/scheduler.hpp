@@ -1,0 +1,149 @@
+// scheduler.hpp — the qsv::chk cooperative virtual-thread scheduler.
+//
+// Serializes N logical threads so that exactly one runs at any moment,
+// and takes a scheduling decision at every synchronization boundary:
+// the chk_hook seam (platform/chk_hook.hpp) hands it every spin poll
+// and every terminal wait of every primitive, and the checker's
+// instrumented wrappers (check.hpp) add explicit yield points at
+// lock/unlock/try edges. The set of runnable logical threads at each
+// decision plus the chooser's pick IS the schedule — a deterministic,
+// replayable sequence of thread ids.
+//
+// Mechanically the logical threads are real OS threads, each parked on
+// its own binary semaphore; the scheduler thread and the single running
+// worker alternate via semaphore handoffs. This keeps every execution
+// genuinely data-race-free (the handoffs carry happens-before), so the
+// checker itself is clean under TSan, at the price of a semaphore
+// round-trip (~1us) per scheduling decision. Checker bounds are small
+// by design; see DESIGN.md "Checking the protocols".
+//
+// Waiting model:
+//   * A terminal wait (wait_while_equal / wait_until) parks the logical
+//     thread until its predicate holds; the scheduler re-evaluates
+//     predicates of parked threads at every decision (the caller's
+//     frame is frozen, so the captured state is safe to read).
+//   * A raw spin poll (cpu_relax) parks the logical thread until any
+//     other thread passes a scheduling point ("shared state may have
+//     changed"); on resume it is granted a window of free polls so
+//     bounded backoff loops run through and re-poll their condition.
+//
+// Stalls: if no logical thread is runnable and some are not finished,
+// the execution is stalled. The scheduler classifies it — a cycle in
+// the waits-for graph (threads -> wanted lock -> holders) is a
+// deadlock, anything else a lost wakeup / missed grant — and reports a
+// deterministic description. Stalled workers are frozen inside noexcept
+// wait code and cannot be unwound; the scheduler abandons them (threads
+// detached, their parked state intentionally leaked) and marks itself
+// poisoned. Exploration stops at the first stall, which is always a
+// reported violation, so the leak is one worker pool per failing check.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <semaphore>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qsv::chk {
+
+class Scheduler {
+ public:
+  /// Picks the next thread to run from `runnable` (logical thread ids,
+  /// ascending). Must return an element of `runnable`.
+  using Chooser = std::function<std::size_t(
+      const std::vector<std::size_t>& runnable)>;
+
+  /// The result of one serialized execution.
+  struct Outcome {
+    bool completed = false;    ///< every body ran to the end
+    bool stalled = false;      ///< no runnable thread before completion
+    bool step_capped = false;  ///< runaway-schedule backstop hit
+    std::string stall_kind;    ///< "deadlock" or "lost wakeup"
+    std::string stall_detail;  ///< deterministic description (names + ids)
+    std::vector<std::size_t> schedule;  ///< chosen thread id per decision
+  };
+
+  explicit Scheduler(std::size_t nthreads);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// True after a stall abandoned the worker pool; the scheduler can
+  /// run no further executions (build a fresh one).
+  bool poisoned() const noexcept { return poisoned_; }
+
+  /// Per-execution decision cap (backstop against runaway schedules;
+  /// hitting it poisons the pool and is reported, never silent).
+  void set_step_cap(std::size_t cap) noexcept { step_cap_ = cap; }
+
+  /// Run one execution: bodies[i] becomes logical thread i
+  /// (bodies.size() <= size()). Serialized, deterministic given the
+  /// chooser's picks.
+  Outcome run(std::vector<std::function<void()>> bodies,
+              const Chooser& choose);
+
+  // ---- worker-context API (used by check.hpp's wrappers) ----
+
+  /// Explicit scheduling point; the calling logical thread stays
+  /// runnable. Counts as progress: spin-parked threads may re-poll
+  /// after it. Use after any store that can affect another thread's
+  /// spin condition (the instrumented wrappers call it after every
+  /// primitive operation; mutants use it around seeded race windows).
+  void yield();
+  /// Scheduling point that is NOT progress: nothing observable changed
+  /// since the last point (the wrappers' pre-operation edges). Keeps
+  /// spin-parked threads from waking — and the DFS from branching — at
+  /// points where a re-poll is guaranteed to see the same state.
+  void yield_quiet();
+  /// Annotate the waits-for graph: the calling logical thread is about
+  /// to acquire `res` (cleared by clear_wanted after the acquisition).
+  void set_wanted(const void* res, std::string_view name);
+  void clear_wanted();
+  /// Maintain resource -> holders for stall classification.
+  void add_holder(const void* res, std::string_view name);
+  void remove_holder(const void* res);
+
+  /// The logical thread id driving the calling OS thread (worker
+  /// context only).
+  static std::size_t current_index();
+
+ private:
+  struct VThread;
+  struct Resource {
+    std::string name;
+    std::vector<std::size_t> holders;
+  };
+
+  /// The VThread driving the calling OS thread (worker context).
+  static thread_local VThread* t_current_;
+
+  static void hook_spin(void* ctx);
+  static void hook_block(void* ctx, bool (*pred)(void*), void* pred_ctx);
+  static void hook_yield(void* ctx);
+  void worker_main(VThread* vt);
+  void analyze_stall(std::size_t nbodies, Outcome& out) const;
+  void poison();
+
+  std::size_t n_;
+  std::size_t step_cap_ = 100000;
+  bool poisoned_ = false;
+  bool shutdown_ = false;
+  /// Bumped whenever shared state may have changed (op-edge yields,
+  /// wait entries, body completion); spin-parked threads wake when it
+  /// moves past their snapshot. Plain field: scheduler and the single
+  /// running worker alternate via semaphore handoffs.
+  std::uint64_t progress_ = 0;
+  std::vector<std::unique_ptr<VThread>> threads_;
+  std::vector<std::pair<const void*, Resource>> resources_;
+  /// Parks the scheduler thread while a worker runs. A stalled run
+  /// abandons workers only after their final release of this semaphore,
+  /// so the member may outlive them safely.
+  std::counting_semaphore<1> sched_sem_{0};
+};
+
+}  // namespace qsv::chk

@@ -279,7 +279,7 @@ class QsvRwLock {
       if (polls < kSpinPollsBeforeYield) {
         qsv::platform::cpu_relax();
       } else {
-        std::this_thread::yield();
+        qsv::platform::thread_yield();
       }
     }
   }

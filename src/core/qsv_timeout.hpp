@@ -179,7 +179,7 @@ class QsvTimeoutMutex {
       // Bounded waits stay clock-driven; past the spin budget every
       // non-spin policy donates the quantum between checks.
       if (yield_late && ++spent >= budget) {
-        std::this_thread::yield();
+        qsv::platform::thread_yield();
       } else {
         qsv::platform::cpu_relax();
       }

@@ -7,10 +7,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <thread>
 
 #if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
 #include <immintrin.h>
 #endif
+
+#include "platform/chk_hook.hpp"
 
 namespace qsv::platform {
 
@@ -28,7 +31,18 @@ inline constexpr std::size_t kFalseSharingRange = 128;
 /// PAUSE, which (a) releases pipeline resources to the sibling hyperthread
 /// and (b) avoids the memory-order mis-speculation flush on loop exit.
 /// On other ISAs it is a compiler barrier only.
+///
+/// Every raw spin loop in the library polls through here, which makes
+/// this the universal choke point the qsv::chk model checker needs: when
+/// a checker scheduler drives the calling thread (chk_hook::active(),
+/// never in production), the poll is handed to the scheduler instead of
+/// the pipeline. The inactive cost is one thread-local load and a
+/// predicted branch per poll, confined to waiting code.
 inline void cpu_relax() noexcept {
+  if (chk_hook::active()) {
+    chk_hook::spin();
+    return;
+  }
 #if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
   _mm_pause();
 #elif defined(__aarch64__)
@@ -36,6 +50,21 @@ inline void cpu_relax() noexcept {
 #else
   asm volatile("" ::: "memory");
 #endif
+}
+
+/// Donate the calling thread's quantum to the OS scheduler. Spin loops
+/// that outlive their poll budget fall back to this instead of raw
+/// std::this_thread::yield() for the same reason cpu_relax() exists:
+/// under the qsv::chk model checker (chk_hook::active(), never in
+/// production) the donation must reach the checker's scheduler — a raw
+/// sched_yield never would, and a serialized thread that loops on one
+/// livelocks the whole exploration.
+inline void thread_yield() noexcept {
+  if (chk_hook::active()) {
+    chk_hook::spin();
+    return;
+  }
+  std::this_thread::yield();
 }
 
 /// Compiler-only fence: forbids reordering of surrounding code by the

@@ -1,0 +1,80 @@
+// chk_hook.hpp — the test-only scheduling seam for the qsv::chk model
+// checker (src/chk/).
+//
+// The checker serializes N logical threads and must take control at
+// every point where a thread either (a) burns a poll in a spin loop or
+// (b) enters a terminal wait. Both already funnel through two choke
+// points: cpu_relax() (platform/arch.hpp) for every raw spin loop, and
+// the wait_while_equal/wait_until entries of the waiting layer
+// (platform/wait.hpp, platform/waiter.hpp). This header is the
+// indirection those choke points consult: a thread-local pointer to a
+// table of scheduler callbacks, null in every normal build and run.
+//
+// Cost when inactive (always, outside checker tests): one thread-local
+// load and a predicted-not-taken branch per spin poll or wait entry —
+// noise next to the cache traffic those paths already pay, and confined
+// to waiting code (never on uncontended fast paths).
+//
+// Everything here is noexcept by design: the hooks are called from
+// noexcept wait paths, so a scheduler implementation must never throw
+// through them (the checker reports violations by recording them and
+// letting the execution run out — see src/chk/check.hpp).
+#pragma once
+
+namespace qsv::platform::chk_hook {
+
+/// Scheduler callback table. Installed per OS thread by the checker's
+/// worker threads; `ctx` identifies the (scheduler, logical thread)
+/// pair.
+struct Hooks {
+  void* ctx = nullptr;
+  /// One poll of a spin loop (from cpu_relax). May grant the poll
+  /// immediately or park the logical thread until shared state can
+  /// have changed.
+  void (*spin)(void* ctx) = nullptr;
+  /// A terminal wait: park the logical thread until pred(pred_ctx) is
+  /// true. pred is evaluated by the scheduler while the caller's frame
+  /// is frozen, so capturing locals by reference is safe.
+  void (*block)(void* ctx, bool (*pred)(void*), void* pred_ctx) = nullptr;
+  /// An explicit schedule point (lock/unlock edges, mutant race
+  /// windows): the thread stays runnable, but the scheduler may run
+  /// someone else first.
+  void (*yield)(void* ctx) = nullptr;
+};
+
+/// The calling OS thread's hook table; null when no checker drives this
+/// thread (every production and ordinary-test context).
+inline Hooks*& tls() noexcept {
+  thread_local Hooks* h = nullptr;
+  return h;
+}
+
+inline bool active() noexcept { return tls() != nullptr; }
+
+/// Forward one spin poll to the scheduler. Pre: active().
+inline void spin() noexcept {
+  Hooks* h = tls();
+  h->spin(h->ctx);
+}
+
+/// Park the logical thread until `pred()` is true. Pre: active().
+/// `pred` must be race-free to evaluate from the scheduler thread while
+/// the caller is parked (atomic loads and checker-owned state are).
+template <typename Pred>
+inline void block(Pred& pred) noexcept {
+  Hooks* h = tls();
+  h->block(
+      h->ctx,
+      [](void* p) noexcept {
+        return static_cast<bool>((*static_cast<Pred*>(p))());
+      },
+      static_cast<void*>(&pred));
+}
+
+/// Explicit schedule point. Pre: active().
+inline void yield() noexcept {
+  Hooks* h = tls();
+  h->yield(h->ctx);
+}
+
+}  // namespace qsv::platform::chk_hook

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "platform/cache.hpp"
+#include "trace/lock_order.hpp"
 
 namespace qsv::platform {
 
@@ -119,7 +120,11 @@ class HeldMap {
 
   /// Record an acquisition. The free-slot hint points at the most
   /// recently vacated slot, so the un-nested cycle never scans.
+  /// Doubles as the lock-order hazard detector's production feed: every
+  /// node-based lock records held-while-acquiring edges here (one
+  /// relaxed load when the detector is off, its default).
   Entry& insert(const void* owner, Node* node) {
+    if (trace::lock_order_enabled()) trace::lock_order_on_acquire(owner);
     std::size_t i = free_hint_;
     if (entries_[i].owner != nullptr) {
       i = kMaxHeld;
@@ -159,6 +164,7 @@ class HeldMap {
   /// Erase after release; the vacated slot becomes the next insert's
   /// first candidate.
   void erase(Entry& e) {
+    if (trace::lock_order_enabled()) trace::lock_order_on_release(e.owner);
     e.owner = nullptr;
     e.node = nullptr;
     e.aux = nullptr;

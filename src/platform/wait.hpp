@@ -46,15 +46,31 @@ concept WaitPolicy = requires(P& p, const std::atomic<std::uint32_t>& flag,
 
 /// Pure busy-wait. Each poll is an acquire load so the protected data
 /// written before the releasing store is visible on wake.
+///
+/// All three pinned policies hand the whole wait to a chk scheduler
+/// when one drives the calling thread (platform/chk_hook.hpp, test
+/// builds only) — same seam as RuntimeWait, so pinned instantiations
+/// (e.g. the central rwlock's drain wait) stay checkable.
 struct SpinWait {
   template <typename T>
   static void wait_while_equal(const std::atomic<T>& flag,
                                T expected) noexcept {
+    if (chk_hook::active()) {
+      auto ready = [&flag, expected]() noexcept {
+        return flag.load(std::memory_order_acquire) != expected;
+      };
+      chk_hook::block(ready);
+      return;
+    }
     while (flag.load(std::memory_order_acquire) == expected) cpu_relax();
   }
   /// Predicate form for waits that are not a single equality.
   template <typename T, typename Pred>
   static void wait_until(const std::atomic<T>&, Pred done) noexcept {
+    if (chk_hook::active()) {
+      chk_hook::block(done);
+      return;
+    }
     while (!done()) cpu_relax();
   }
   template <typename T>
@@ -76,22 +92,33 @@ struct SpinYieldWait {
 
   template <typename T>
   void wait_while_equal(const std::atomic<T>& flag, T expected) const noexcept {
+    if (chk_hook::active()) {
+      auto ready = [&flag, expected]() noexcept {
+        return flag.load(std::memory_order_acquire) != expected;
+      };
+      chk_hook::block(ready);
+      return;
+    }
     for (std::uint32_t i = 0; i < spin_polls; ++i) {
       if (flag.load(std::memory_order_acquire) != expected) return;
       cpu_relax();
     }
     while (flag.load(std::memory_order_acquire) == expected) {
-      std::this_thread::yield();
+      thread_yield();
     }
   }
   /// Predicate form for waits that are not a single equality.
   template <typename T, typename Pred>
   void wait_until(const std::atomic<T>&, Pred done) const noexcept {
+    if (chk_hook::active()) {
+      chk_hook::block(done);
+      return;
+    }
     for (std::uint32_t i = 0; i < spin_polls; ++i) {
       if (done()) return;
       cpu_relax();
     }
-    while (!done()) std::this_thread::yield();
+    while (!done()) thread_yield();
   }
   template <typename T>
   static void notify_one(std::atomic<T>&) noexcept {}
@@ -110,6 +137,13 @@ struct ParkWait {
 
   template <typename T>
   void wait_while_equal(const std::atomic<T>& flag, T expected) const noexcept {
+    if (chk_hook::active()) {
+      auto ready = [&flag, expected]() noexcept {
+        return flag.load(std::memory_order_acquire) != expected;
+      };
+      chk_hook::block(ready);
+      return;
+    }
     for (std::uint32_t i = 0; i < spin_polls; ++i) {
       if (flag.load(std::memory_order_acquire) != expected) return;
       cpu_relax();
@@ -124,6 +158,10 @@ struct ParkWait {
   /// `done()` true must change `word` and notify through this policy.
   template <typename T, typename Pred>
   void wait_until(const std::atomic<T>& word, Pred done) const noexcept {
+    if (chk_hook::active()) {
+      chk_hook::block(done);
+      return;
+    }
     for (std::uint32_t i = 0; i < spin_polls; ++i) {
       if (done()) return;
       cpu_relax();

@@ -82,6 +82,16 @@ class AdaptiveWait {
 
   template <typename T>
   void wait_while_equal(const std::atomic<T>& flag, T expected) noexcept {
+    if (chk_hook::active()) {
+      // Under a chk scheduler (test builds only) the whole wait is the
+      // scheduler's; calibration records nothing — there is no real
+      // latency to observe.
+      auto ready = [&flag, expected]() noexcept {
+        return flag.load(std::memory_order_acquire) != expected;
+      };
+      chk_hook::block(ready);
+      return;
+    }
     const std::uint32_t budget = spin_budget();
     for (std::uint32_t i = 0; i < budget; ++i) {
       if (flag.load(std::memory_order_acquire) != expected) {
@@ -102,6 +112,10 @@ class AdaptiveWait {
   /// equality waits.
   template <typename T, typename Pred>
   void wait_until(const std::atomic<T>& word, Pred done) noexcept {
+    if (chk_hook::active()) {
+      chk_hook::block(done);
+      return;
+    }
     const std::uint32_t budget = spin_budget();
     for (std::uint32_t i = 0; i < budget; ++i) {
       if (done()) {
@@ -193,8 +207,18 @@ class RuntimeWait {
 
   /// Block while `flag == expected`. The spin fast path is inlined
   /// behind one predictable branch; everything else is out of line.
+  /// Under a chk scheduler (test builds only) the wait is handed to the
+  /// scheduler whole — this entry IS the model checker's seam, the one
+  /// point every primitive's terminal wait already funnels through.
   template <typename T>
   void wait_while_equal(const std::atomic<T>& flag, T expected) noexcept {
+    if (chk_hook::active()) {
+      auto ready = [&flag, expected]() noexcept {
+        return flag.load(std::memory_order_acquire) != expected;
+      };
+      chk_hook::block(ready);
+      return;
+    }
     if (policy_ == qsv::wait_policy::spin) {
       while (flag.load(std::memory_order_acquire) == expected) cpu_relax();
       return;
@@ -209,6 +233,10 @@ class RuntimeWait {
   /// change whenever `done()` can become true.
   template <typename T, typename Pred>
   void wait_until(const std::atomic<T>& word, Pred done) noexcept {
+    if (chk_hook::active()) {
+      chk_hook::block(done);
+      return;
+    }
     if (policy_ == qsv::wait_policy::spin) {
       while (!done()) cpu_relax();
       return;
@@ -223,7 +251,7 @@ class RuntimeWait {
       cpu_relax();
     }
     if (!may_park()) {
-      while (!done()) std::this_thread::yield();
+      while (!done()) thread_yield();
       return;
     }
     for (;;) {
@@ -265,7 +293,7 @@ class RuntimeWait {
     }
     if (policy_ == qsv::wait_policy::spin_yield) {
       while (flag.load(std::memory_order_acquire) == expected) {
-        std::this_thread::yield();
+        thread_yield();
       }
       return;
     }

@@ -107,12 +107,13 @@ TEST(Catalog, CapabilityTagsMatchTheTypes) {
             qc::kShared | qc::kTry);
   EXPECT_EQ(caps("qsv-episode") & qc::kEpisode, qc::kEpisode);
   EXPECT_EQ(caps("central") & qc::kExclusive, 0u);
-  // Derivation matches the compile-time helper — modulo kSimulable,
-  // which is a property of the simulator (tagged from its name lists
-  // after registration), not of the type.
-  EXPECT_EQ(caps("qsv") & ~qc::kSimulable,
+  // Derivation matches the compile-time helper — modulo kSimulable and
+  // kCheckable, which are properties of the simulator and the chk
+  // checker (tagged onto rows after registration), not of the type.
+  EXPECT_EQ(caps("qsv") & ~(qc::kSimulable | qc::kCheckable),
             qc::caps_of<qsv::core::QsvMutex<>>());
   EXPECT_TRUE(qc::find("qsv")->has(qc::kSimulable));
+  EXPECT_TRUE(qc::find("qsv")->has(qc::kCheckable));
 }
 
 TEST(Catalog, FilterSelectsByCapabilityAcrossFamilies) {
@@ -166,8 +167,10 @@ TEST(Catalog, ErasedHandlesReportCapabilitiesAndFootprint) {
   ASSERT_NE(e, nullptr);
   auto p = e->make(4);
   // The handle reports the type-derived bits; the entry may addition-
-  // ally carry kSimulable, which lives on the catalogue row only.
-  EXPECT_EQ(p->capabilities(), e->caps & ~qc::kSimulable);
+  // ally carry kSimulable/kCheckable, which live on the catalogue row
+  // only.
+  EXPECT_EQ(p->capabilities(),
+            e->caps & ~(qc::kSimulable | qc::kCheckable));
   EXPECT_EQ(p->footprint(), e->footprint);
   // The shared face works through the erased handle.
   EXPECT_TRUE(p->try_lock_shared());

@@ -149,10 +149,11 @@ TEST(Integration, CatalogueAgreesOnSmoke) {
   // everything still link and run" canary.
   for (const auto& e : qsv::catalog::all()) {
     auto p = e.make(e.family == qsv::catalog::Family::kBarrier ? 1 : 2);
-    // kSimulable lives on the catalogue row only (tagged from the
-    // simulator's name lists); the erased handle reports the
-    // type-derived bits.
-    EXPECT_EQ(p->capabilities(), e.caps & ~qsv::catalog::kSimulable)
+    // kSimulable and kCheckable live on the catalogue row only (tagged
+    // from the simulator's and the chk checker's name lists); the
+    // erased handle reports the type-derived bits.
+    EXPECT_EQ(p->capabilities(),
+              e.caps & ~(qsv::catalog::kSimulable | qsv::catalog::kCheckable))
         << e.name;
     if (e.has(qsv::catalog::kEpisode)) {
       p->arrive_and_wait(0);

@@ -144,7 +144,6 @@ TEST(SimMachine, DeterministicAcrossRuns) {
   auto run_once = [] {
     qs::Machine m(4, qs::Topology::kBus);
     const auto a = m.alloc(0, 0);
-    static qs::Value sink[4];
     for (std::size_t p = 0; p < 4; ++p) {
       m.spawn(delayed_setter(m, p, a, 10 * p, p + 1));
     }

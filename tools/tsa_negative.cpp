@@ -1,0 +1,59 @@
+// tsa_negative.cpp — the lock-discipline gate's expect-FAIL probe.
+//
+// Every function below misuses the annotated facade in a way Clang's
+// thread-safety analysis must reject. CI compiles this file with
+// `clang++ -Wthread-safety -Werror` and requires the compile to FAIL —
+// if it ever succeeds, the annotations have rotted and the gate is
+// decorative. Never add this file to the build system: under GCC the
+// annotations are no-ops and the misuse compiles silently.
+#include <cstdint>
+
+#include "qsv/mutex.hpp"
+#include "qsv/shared_mutex.hpp"
+#include "qsv/thread_safety.hpp"
+
+namespace {
+
+qsv::mutex g_mu;
+std::int64_t g_balance QSV_GUARDED_BY(g_mu) = 0;
+
+qsv::shared_mutex g_rw;
+std::uint32_t g_rate QSV_GUARDED_BY(g_rw) = 0;
+
+/// Touches guarded data with no hold at all.
+std::int64_t read_unlocked() { return g_balance; }
+
+/// Returns with the capability still held.
+void leak_hold() {
+  g_mu.lock();
+  g_balance += 1;
+  // missing g_mu.unlock()
+}
+
+/// Releases a capability the thread never acquired.
+void release_unheld() { g_mu.unlock(); }
+
+/// Writes exclusive-guarded data under only a shared hold.
+void write_under_reader() {
+  g_rw.lock_shared();
+  g_rate = 42;
+  g_rw.unlock_shared();
+}
+
+/// Ignores a try_lock result and proceeds as if it succeeded.
+void unguarded_try() {
+  (void)g_mu.try_lock();
+  g_balance += 1;
+  g_mu.unlock();
+}
+
+}  // namespace
+
+int main() {
+  (void)read_unlocked();
+  leak_hold();
+  release_unheld();
+  write_under_reader();
+  unguarded_try();
+  return 0;
+}
