@@ -27,12 +27,14 @@ class CentralBarrier {
   CentralBarrier& operator=(const CentralBarrier&) = delete;
 
   void arrive_and_wait(std::size_t /*rank*/ = 0) noexcept {
-    // Episode I am completing. Relaxed: ordering comes from the episode
-    // publication below.
+    // Episode I am completing. relaxed: ordering comes from the
+    // episode publication below.
     const std::uint32_t epoch = episode_.load(std::memory_order_relaxed);
     // acq_rel so the last arriver has observed every earlier arriver's
     // pre-barrier writes before publishing the new episode.
     if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+      // relaxed: re-arm before the episode publication; the release
+      // store below orders it for the next episode's arrivals.
       arrived_.store(0, std::memory_order_relaxed);
       episode_.store(epoch + 1, std::memory_order_release);
       waiter_.notify_all(episode_);

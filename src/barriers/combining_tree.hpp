@@ -76,12 +76,15 @@ class CombiningTreeBarrier {
 
   void ascend(std::size_t lvl, std::size_t idx) noexcept {
     Node& nd = node(lvl, idx);
+    // relaxed: episode snapshot; the acq_rel arrival RMW below and the
+    // release publication order the actual handoff.
     const std::uint32_t epoch =
         nd.release_epoch.load(std::memory_order_relaxed);
     // acq_rel: winner must observe losers' pre-barrier writes.
     if (nd.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         nd.fan_in) {
       // Winner: reset for the next episode and climb (or finish at root).
+      // relaxed: ordered by the eventual release publication.
       nd.arrived.store(0, std::memory_order_relaxed);
       if (lvl + 1 < level_width_.size()) {
         ascend(lvl + 1, idx / kFanIn);

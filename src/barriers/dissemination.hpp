@@ -30,7 +30,7 @@ class DisseminationBarrier {
         flags_(n * std::max<std::size_t>(rounds_, 1)),
         episode_(n) {
     for (std::size_t i = 0; i < flags_.size(); ++i) {
-      flags_[i].store(0, std::memory_order_relaxed);
+      flags_[i].store(0, std::memory_order_relaxed);  // relaxed: ctor
     }
     for (std::size_t i = 0; i < n; ++i) episode_[i] = 0;
   }

@@ -27,8 +27,8 @@ class McsTreeBarrier {
   explicit McsTreeBarrier(std::size_t n, Wait waiter = Wait{})
       : waiter_(waiter), n_(n), slots_(n) {
     for (std::size_t i = 0; i < n; ++i) {
-      slots_[i].arrival.store(0, std::memory_order_relaxed);
-      slots_[i].release.store(0, std::memory_order_relaxed);
+      slots_[i].arrival.store(0, std::memory_order_relaxed);  // relaxed: ctor
+      slots_[i].release.store(0, std::memory_order_relaxed);  // relaxed: ctor
       slots_[i].episode = 0;
     }
   }

@@ -28,7 +28,7 @@ class TournamentBarrier {
         rounds_(qsv::platform::ceil_log2(n == 0 ? 1 : n)),
         arrive_flags_(n * std::max<std::size_t>(rounds_, 1)) {
     for (std::size_t i = 0; i < arrive_flags_.size(); ++i) {
-      arrive_flags_[i].store(0, std::memory_order_relaxed);
+      arrive_flags_[i].store(0, std::memory_order_relaxed);  // relaxed: ctor
     }
   }
   TournamentBarrier(const TournamentBarrier&) = delete;
@@ -36,6 +36,7 @@ class TournamentBarrier {
 
   void arrive_and_wait(std::size_t rank) noexcept {
     if (n_ <= 1) return;
+    // relaxed: episode snapshot; round flags carry the real ordering.
     const std::uint32_t epoch = episode_.load(std::memory_order_relaxed);
     std::size_t bit = 1;
     for (std::size_t k = 0; k < rounds_; ++k, bit <<= 1) {

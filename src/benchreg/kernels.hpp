@@ -16,6 +16,7 @@
 #include "benchreg/stats.hpp"
 #include "harness/team.hpp"
 #include "platform/affinity.hpp"
+#include "platform/arch.hpp"
 #include "workload/critical_section.hpp"
 #include "workload/rw_mix.hpp"
 
@@ -95,7 +96,7 @@ LockLoopResult run_lock_loop(Lock& lock, std::size_t threads, double seconds,
   std::thread watchdog;
   if (external_watchdog) {
     watchdog = std::thread([&] {
-      std::this_thread::sleep_for(
+      qsv::platform::thread_sleep(
           std::chrono::nanoseconds(static_cast<std::int64_t>(seconds * 1e9)));
       clock.request();
     });

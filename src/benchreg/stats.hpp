@@ -40,8 +40,10 @@ class DeadlineStop {
       : t0_(qsv::platform::now_ns()),
         deadline_(t0_ + static_cast<std::uint64_t>(seconds * 1e9)) {}
 
+  // relaxed: stop flag — workers only need to see it eventually, and
+  // result aggregation happens after the join.
   bool stop() const { return stop_.load(std::memory_order_relaxed); }
-  void request() { stop_.store(true, std::memory_order_relaxed); }
+  void request() { stop_.store(true, std::memory_order_relaxed); }  // relaxed: as above
 
   /// Rank-0 timer duty: cheap for everyone, clock read amortized.
   void poll(std::size_t rank, std::uint64_t ops, std::uint64_t mask = 0xff) {

@@ -78,6 +78,7 @@ class LostWakeupMutex {
   void lock() {
     for (;;) {
       std::uint32_t expect = 0;
+      // relaxed: failure order — loop retries; nothing read through it.
       if (state_.compare_exchange_strong(expect, 1,
                                          std::memory_order_acquire,
                                          std::memory_order_relaxed)) {
@@ -121,6 +122,7 @@ class BrokenCohortLock {
   void lock() {
     pending_.fetch_add(1, std::memory_order_acq_rel);
     std::uint32_t expect = 0;
+    // relaxed: failure order — loop retries; nothing read through it.
     if (global_.compare_exchange_strong(expect, 1,
                                         std::memory_order_acquire,
                                         std::memory_order_relaxed)) {
@@ -163,6 +165,7 @@ class BrokenRwLock {
   void lock() {  // writer
     for (;;) {
       std::uint32_t expect = 0;
+      // relaxed: failure order — loop retries; nothing read through it.
       if (writer_.compare_exchange_strong(expect, 1,
                                           std::memory_order_acquire,
                                           std::memory_order_relaxed)) {

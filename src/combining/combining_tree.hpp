@@ -106,6 +106,7 @@ class CombiningTree {
 
   void lock_node(Node& n) noexcept {
     for (;;) {
+      // relaxed: read-only poll; the winning exchange is the acquire.
       while (n.latch.load(std::memory_order_relaxed) != 0) {
         qsv::platform::cpu_relax();
       }
@@ -189,8 +190,10 @@ class CombiningTree {
     lock_node(n);
     if (n.is_root) {
       // Apply to the accumulator directly, serialized by the latch.
+      // relaxed: result is only ever touched under the node latch,
+      // whose acquire/release transfer carries the ordering.
       const std::int64_t prior = n.result.load(std::memory_order_relaxed);
-      n.result.store(prior + combined, std::memory_order_relaxed);
+      n.result.store(prior + combined, std::memory_order_relaxed);  // relaxed: as above
       unlock_node(n);
       return prior;
     }
@@ -204,6 +207,7 @@ class CombiningTree {
       qsv::platform::cpu_relax();
       lock_node(n);
     }
+    // relaxed: under the node latch (see above).
     const std::int64_t prior = n.result.load(std::memory_order_relaxed);
     n.status = Status::kIdle;
     n.busy = false;
@@ -223,6 +227,7 @@ class CombiningTree {
         break;
       case Status::kSecond:
         // SECOND's share starts after our own portion (first_value).
+        // relaxed: under the node latch (see above).
         n.result.store(prior + n.first_value, std::memory_order_relaxed);
         n.status = Status::kResult;  // op() observes under the latch
         break;

@@ -124,6 +124,9 @@ class FcExecutor {
     r->apply = [](void* p) {
       (*static_cast<std::remove_reference_t<F>*>(p))();
     };
+    // relaxed: eviction bookkeeping — last_active only feeds the idle
+    // heuristic, and a stale tenure read merely evicts a little early
+    // or late; the release store of kPosted below publishes the record.
     r->last_active.store(tenure_.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
     r->state.store(kPosted, std::memory_order_release);
@@ -169,10 +172,12 @@ class FcExecutor {
   /// Serve the pending backlog (one scan), then release.
   void unlock() {
     if (list_.load(std::memory_order_acquire) != nullptr) {
+      // relaxed: tenure is an eviction clock (RMW keeps it exact);
+      // the stat counters are bench telemetry. Neither publishes data.
       const std::uint64_t t =
           tenure_.fetch_add(1, std::memory_order_relaxed) + 1;
-      stat_tenures_.fetch_add(1, std::memory_order_relaxed);
-      stat_passes_.fetch_add(1, std::memory_order_relaxed);
+      stat_tenures_.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat
+      stat_passes_.fetch_add(1, std::memory_order_relaxed);    // relaxed: stat
       scan(t);
     }
     release_tenure();
@@ -181,6 +186,7 @@ class FcExecutor {
   // ------------------------------------------------ introspection
 
   Stats stats() const {
+    // relaxed: stat snapshot; callers quiesce before trusting totals.
     return {stat_tenures_.load(std::memory_order_relaxed),
             stat_passes_.load(std::memory_order_relaxed),
             stat_applied_.load(std::memory_order_relaxed)};
@@ -193,8 +199,10 @@ class FcExecutor {
   std::size_t active_records() {
     slot_.lock.lock();
     std::size_t n = 0;
+    // relaxed: link walk under the combiner lock; every link was
+    // written either under this lock or before the head-push release.
     for (Record* c = list_.load(std::memory_order_acquire); c != nullptr;
-         c = c->next.load(std::memory_order_relaxed)) {
+         c = c->next.load(std::memory_order_relaxed)) {  // relaxed: see above
       ++n;
     }
     release_tenure();
@@ -204,6 +212,8 @@ class FcExecutor {
   static constexpr const char* name() noexcept { return "fc"; }
 
  private:
+  friend struct qsv::platform::LayoutAuditAccess;
+
   enum : std::uint32_t { kIdle = 0, kPosted = 1 };
 
   /// One publication record. Line-aligned via Padded storage; owned by
@@ -224,21 +234,25 @@ class FcExecutor {
   /// before return — normally by the first scan; by direct application
   /// if an eviction raced with the post and unlinked it.
   void combine(Record* self) {
+    // relaxed: eviction clock + stat counter (see unlock()).
     const std::uint64_t t =
         tenure_.fetch_add(1, std::memory_order_relaxed) + 1;
-    stat_tenures_.fetch_add(1, std::memory_order_relaxed);
+    stat_tenures_.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat
     std::size_t passes = 0;
     while (passes < cfg_.max_passes) {
       ++passes;
       if (scan(t) == 0) break;
     }
-    stat_passes_.fetch_add(passes, std::memory_order_relaxed);
+    stat_passes_.fetch_add(passes, std::memory_order_relaxed);  // relaxed: stat
+    // relaxed: self is this thread's own record — it posted it, so the
+    // kPosted check and the apply read the thread's own writes.
     if (self != nullptr &&
         self->state.load(std::memory_order_relaxed) == kPosted) {
       self->apply(self->ctx);
+      // relaxed: eviction bookkeeping; kIdle below is the release edge.
       self->last_active.store(t, std::memory_order_relaxed);
       self->state.store(kIdle, std::memory_order_release);
-      stat_applied_.fetch_add(1, std::memory_order_relaxed);
+      stat_applied_.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat
     }
   }
 
@@ -249,29 +263,34 @@ class FcExecutor {
     Record* prev = nullptr;
     Record* cur = list_.load(std::memory_order_acquire);
     while (cur != nullptr) {
+      // relaxed: link walk under the combiner lock (see list_size()).
       Record* next = cur->next.load(std::memory_order_relaxed);
       if (cur->state.load(std::memory_order_acquire) == kPosted) {
         cur->apply(cur->ctx);
+        // relaxed: eviction bookkeeping; kIdle below is the release edge.
         cur->last_active.store(tenure, std::memory_order_relaxed);
         cur->state.store(kIdle, std::memory_order_release);
         ++applied;
         prev = cur;
       } else if (prev != nullptr &&
+                 // relaxed: eviction heuristic; staleness is harmless.
                  tenure - cur->last_active.load(std::memory_order_relaxed) >
                      cfg_.eviction_idle) {
         // Unlink BEFORE clearing enlisted: the owner's re-enlist
         // acquires `enlisted`, so its head-push happens-after the
         // record left the list. Head records are never unlinked —
         // concurrent enlists CAS the head and that link is theirs.
+        // relaxed: unlink under the combiner lock; the owner re-reads
+        // its links only after the release store of enlisted below.
         prev->next.store(next, std::memory_order_relaxed);
-        cur->next.store(nullptr, std::memory_order_relaxed);
+        cur->next.store(nullptr, std::memory_order_relaxed);  // relaxed: as above
         cur->enlisted.store(false, std::memory_order_release);
       } else {
         prev = cur;
       }
       cur = next;
     }
-    stat_applied_.fetch_add(applied, std::memory_order_relaxed);
+    stat_applied_.fetch_add(applied, std::memory_order_relaxed);  // relaxed: stat
     return applied;
   }
 
@@ -290,10 +309,13 @@ class FcExecutor {
   /// races the unlink of the same record.
   void enlist(Record* r) {
     if (r->enlisted.load(std::memory_order_acquire)) return;
+    // relaxed: only our own record's flag; the head-push CAS below is
+    // the release that publishes the record (flag included).
     r->enlisted.store(true, std::memory_order_relaxed);
+    // relaxed: head sample; the CAS validates it (failure order too).
     Record* head = list_.load(std::memory_order_relaxed);
     do {
-      r->next.store(head, std::memory_order_relaxed);
+      r->next.store(head, std::memory_order_relaxed);  // relaxed: as above
     } while (!list_.compare_exchange_weak(head, r, std::memory_order_release,
                                           std::memory_order_relaxed));
   }
@@ -319,6 +341,7 @@ class FcExecutor {
 
   static std::uint64_t next_id() {
     static std::atomic<std::uint64_t> counter{0};
+    // relaxed: unique-id draw; only uniqueness matters, not order.
     return counter.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
@@ -395,8 +418,10 @@ class BasicFcCounter {
   std::int64_t fetch_add(std::int64_t delta) noexcept {
     std::int64_t prior = 0;
     exec_.run([&]() noexcept {
+      // relaxed: the executor serializes all closures under its lock
+      // and run() itself carries the acquire/release handoff.
       prior = value_.load(std::memory_order_relaxed);
-      value_.store(prior + delta, std::memory_order_relaxed);
+      value_.store(prior + delta, std::memory_order_relaxed);  // relaxed: as above
     });
     return prior;
   }

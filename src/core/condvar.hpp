@@ -35,6 +35,7 @@ class QsvCondVar {
   void wait(Mutex& mutex) {
     // Snapshot under the mutex: a notifier that runs after our unlock
     // necessarily increments past this value, so no wakeup is lost.
+    // relaxed: the held mutex orders this read against any notifier.
     const std::uint32_t e = epoch_.load(std::memory_order_relaxed);
     mutex.unlock();
     waiter_.wait_while_equal(epoch_, e);

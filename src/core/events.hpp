@@ -34,29 +34,36 @@ struct CountingEvents {
   static inline std::atomic<std::uint64_t> free_releases{0};
 
   static void count_uncontended() noexcept {
+    // relaxed: monotonic stat counter; nothing is published under it.
     uncontended.fetch_add(1, std::memory_order_relaxed);
   }
   static void count_queued() noexcept {
+    // relaxed: monotonic stat counter; nothing is published under it.
     queued.fetch_add(1, std::memory_order_relaxed);
   }
   static void count_handoff() noexcept {
+    // relaxed: monotonic stat counter; nothing is published under it.
     handoffs.fetch_add(1, std::memory_order_relaxed);
   }
   static void count_free_release() noexcept {
+    // relaxed: monotonic stat counter; nothing is published under it.
     free_releases.fetch_add(1, std::memory_order_relaxed);
   }
 
   static EventCounts snapshot() noexcept {
-    return EventCounts{uncontended.load(std::memory_order_relaxed),
-                       queued.load(std::memory_order_relaxed),
-                       handoffs.load(std::memory_order_relaxed),
-                       free_releases.load(std::memory_order_relaxed)};
+    // Callers quiesce the workers (join) before reading, so the joins'
+    // synchronizes-with edges order these; the loads themselves need none.
+    return EventCounts{
+        uncontended.load(std::memory_order_relaxed),    // relaxed: stat read
+        queued.load(std::memory_order_relaxed),         // relaxed: stat read
+        handoffs.load(std::memory_order_relaxed),       // relaxed: stat read
+        free_releases.load(std::memory_order_relaxed)}; // relaxed: stat read
   }
   static void reset() noexcept {
-    uncontended.store(0, std::memory_order_relaxed);
-    queued.store(0, std::memory_order_relaxed);
-    handoffs.store(0, std::memory_order_relaxed);
-    free_releases.store(0, std::memory_order_relaxed);
+    uncontended.store(0, std::memory_order_relaxed);    // relaxed: stat reset
+    queued.store(0, std::memory_order_relaxed);         // relaxed: stat reset
+    handoffs.store(0, std::memory_order_relaxed);       // relaxed: stat reset
+    free_releases.store(0, std::memory_order_relaxed);  // relaxed: stat reset
   }
 };
 

@@ -35,9 +35,12 @@ class QsvBarrier {
 
   void arrive_and_wait(std::size_t /*rank*/ = 0) {
     Node* n = Arena::instance().acquire();
+    // relaxed: node init; the acq_rel exchange below publishes it.
     n->state.store(kWaiting, std::memory_order_relaxed);
     // Enqueue onto the variable (same fetch&store as the mutex path).
     Node* prev = var_.exchange(n, std::memory_order_acq_rel);
+    // relaxed: only the closing arrival walks prev, and its acq_rel
+    // fetch_add of arrived_ pairs with ours below to order the link.
     n->prev.store(prev, std::memory_order_relaxed);
     // Read the team size *before* counting the arrival: the episode
     // cannot close (and shrink n_) until this arrival has counted, so
@@ -97,11 +100,13 @@ class QsvBarrier {
     // as the reset below.
     const std::uint32_t drops =
         pending_drops_.exchange(0, std::memory_order_acq_rel);
+    // relaxed: next episode's arrivals read n_ after the grant/release
+    // edge (or the closer's own program order); the RMW keeps it exact.
     if (drops != 0) n_.fetch_sub(drops, std::memory_order_relaxed);
     // Re-arm the counter *before* any grant: a granted thread may
     // re-arrive immediately, and the grant's release store orders the
     // reset before its next fetch_add.
-    arrived_.store(0, std::memory_order_relaxed);
+    arrived_.store(0, std::memory_order_relaxed);  // relaxed: see above
     // Detach the episode's entire queue; the variable is free for the
     // next episode. Every *waiting* arrival's node is present (each
     // enqueued before it counted, and the count reached n); droppers
@@ -111,6 +116,8 @@ class QsvBarrier {
     while (chain != nullptr) {
       // Read the link before granting: after the grant the waiter may
       // reclaim the node at any moment.
+      // relaxed: the links were ordered by the arrivals' acq_rel
+      // fetch_adds of arrived_, which this closer's own RMW imported.
       Node* p = chain->prev.load(std::memory_order_relaxed);
       if (chain == mine) {
         Arena::instance().release(chain);

@@ -36,8 +36,9 @@ class QsvMutex {
 
   void lock() {
     Node* n = Arena::instance().acquire();
+    // relaxed: node init; the acq_rel exchange below publishes it.
     n->next.store(nullptr, std::memory_order_relaxed);
-    n->state.store(kWaiting, std::memory_order_relaxed);
+    n->state.store(kWaiting, std::memory_order_relaxed);  // relaxed: as above
     // acq_rel: publish our initialized node to the successor-side, and
     // observe the predecessor node published by the previous fetch&store.
     Node* pred = var_.exchange(n, std::memory_order_acq_rel);
@@ -55,9 +56,12 @@ class QsvMutex {
 
   bool try_lock() {
     Node* n = Arena::instance().acquire();
+    // relaxed: node init; the acq_rel CAS below publishes it on success.
     n->next.store(nullptr, std::memory_order_relaxed);
-    n->state.store(kWaiting, std::memory_order_relaxed);
+    n->state.store(kWaiting, std::memory_order_relaxed);  // relaxed: as above
     Node* expected = nullptr;
+    // relaxed: failure order — a failed try_lock reads nothing it
+    // needs ordered; the node is recycled untouched.
     if (var_.compare_exchange_strong(expected, n, std::memory_order_acq_rel,
                                      std::memory_order_relaxed)) {
       Events::count_uncontended();
@@ -77,6 +81,8 @@ class QsvMutex {
       // Nobody linked behind us yet. If the variable still points at our
       // node the queue is empty: free the variable.
       Node* expected = n;
+      // relaxed: failure order — on failure we fall through to the
+      // acquire re-load of next, which carries the needed ordering.
       if (var_.compare_exchange_strong(expected, nullptr,
                                        std::memory_order_release,
                                        std::memory_order_relaxed)) {

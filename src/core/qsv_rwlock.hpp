@@ -105,6 +105,8 @@ class QsvRwLock {
 
   void lock() noexcept {
     // FIFO among writers via ticket/grant words.
+    // relaxed: ticket draw; the acquire spin on writer_grant_ below is
+    // the synchronization point for entering the phase.
     const std::uint32_t ticket =
         writer_ticket_.fetch_add(1, std::memory_order_relaxed);
     spin_until([&] {
@@ -133,7 +135,11 @@ class QsvRwLock {
     // means no writer holds or waits; winning the ticket CAS at that
     // value hands us the baton without spinning.
     std::uint32_t g = writer_grant_.load(std::memory_order_acquire);
+    // relaxed: pre-check only; a stale read just fails the CAS below.
     if (writer_ticket_.load(std::memory_order_relaxed) != g) return false;
+    // relaxed: both orders — the happens-before with the previous phase
+    // came through the acquire load of writer_grant_ above; failure
+    // publishes nothing.
     if (!writer_ticket_.compare_exchange_strong(g, g + 1,
                                                 std::memory_order_relaxed,
                                                 std::memory_order_relaxed)) {
@@ -193,14 +199,20 @@ class QsvRwLock {
     Node* claimed = nullptr;
     std::uint32_t batch = 0;
     while (chain != nullptr) {
+      // relaxed: the seq_cst exchange that took the stack already
+      // synchronized with every push; the links are visible.
       Node* next = chain->next.load(std::memory_order_relaxed);
       std::uint32_t expected = kWaiting;
+      // relaxed: failure order — a lost claim means the owner withdrew;
+      // the corpse is recycled without reading through it.
       if (chain->state.compare_exchange_strong(expected, kClaimed,
                                                std::memory_order_seq_cst,
                                                std::memory_order_relaxed)) {
         // Park policies sleep on kWaiting; wake the owner so it advances
         // to waiting on kClaimed (no-op for spin policies).
         waiter_.notify_all(chain->state);
+        // relaxed: claimed-list link, private to this writer until the
+        // release grant below.
         chain->next.store(claimed, std::memory_order_relaxed);
         claimed = chain;
         ++batch;
@@ -212,16 +224,20 @@ class QsvRwLock {
     // 4. Publish the exact batch size before any grant. No reader can
     //    decrement until step 5.
     if (batch != 0) {
+      // relaxed: RMW atomicity keeps the count exact; the next writer's
+      // acquire load pairs with the readers' release decrements.
       batch_pending_.fetch_add(batch, std::memory_order_relaxed);
     }
     // 5. Grant: one store per node, each to the line its owner watches.
     while (claimed != nullptr) {
+      // relaxed: still walking this writer's private claimed list.
       Node* next = claimed->next.load(std::memory_order_relaxed);
       claimed->state.store(kGranted, std::memory_order_release);
       waiter_.notify_all(claimed->state);
       claimed = next;
     }
     // 6. Pass the writer baton. Only the holder writes writer_grant_.
+    // relaxed: reading back our own exclusive word.
     writer_grant_.store(writer_grant_.load(std::memory_order_relaxed) + 1,
                         std::memory_order_release);
   }
@@ -235,13 +251,16 @@ class QsvRwLock {
 
       // Park on a private node.
       Node* n = Arena::instance().acquire();
+      // relaxed: node init; the seq_cst push CAS publishes it.
       n->state.store(kWaiting, std::memory_order_relaxed);
+      // relaxed: head sample; the CAS validates it.
       Node* head = rwaiters_.load(std::memory_order_relaxed);
       do {
-        n->next.store(head, std::memory_order_relaxed);
+        n->next.store(head, std::memory_order_relaxed);  // relaxed: as above
       } while (!rwaiters_.compare_exchange_weak(head, n,
                                                 std::memory_order_seq_cst,
                                                 std::memory_order_relaxed));
+      // relaxed: (failure order above) retry republishes via the CAS.
 
       if ((gate_.load(std::memory_order_seq_cst) & kClosed) == 0) {
         // The phase ended between our retreat and our push, so the

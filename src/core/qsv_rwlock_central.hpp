@@ -76,6 +76,8 @@ class QsvRwLockCentral {
 
   void lock() noexcept {
     // FIFO among writers via ticket/grant words.
+    // relaxed: ticket draw; the acquire wait on writer_grant_ below is
+    // the synchronization point for entering the phase.
     const std::uint32_t ticket =
         writer_ticket_.fetch_add(1, std::memory_order_relaxed);
     waiter_.wait_until(writer_grant_, [&] {
@@ -102,7 +104,11 @@ class QsvRwLockCentral {
   /// pass the baton on.
   bool try_lock() noexcept {
     std::uint32_t g = writer_grant_.load(std::memory_order_acquire);
+    // relaxed: pre-check only; a stale read just fails the CAS below.
     if (writer_ticket_.load(std::memory_order_relaxed) != g) return false;
+    // relaxed: both orders — the happens-before with the previous phase
+    // came through the acquire load of writer_grant_ above; failure
+    // publishes nothing.
     if (!writer_ticket_.compare_exchange_strong(g, g + 1,
                                                 std::memory_order_relaxed,
                                                 std::memory_order_relaxed)) {
@@ -128,6 +134,7 @@ class QsvRwLockCentral {
     reader_in_.fetch_and(~kWriterBits, std::memory_order_release);
     waiter_.notify_all(reader_in_);
     // Pass the writer baton. Only the holder writes writer_grant_.
+    // relaxed: reading back our own exclusive word.
     writer_grant_.store(
         writer_grant_.load(std::memory_order_relaxed) + 1,
         std::memory_order_release);

@@ -37,8 +37,10 @@ class QsvTimeoutMutex {
       qsv::wait_policy policy = qsv::get_default_wait_policy())
       : waiter_(policy) {
     Node* sentinel = Arena::instance().acquire();
+    // relaxed: single-threaded construction; publication of the mutex
+    // object itself is the caller's problem (as for any std type).
     sentinel->state.store(kReleased, std::memory_order_relaxed);
-    var_.store(sentinel, std::memory_order_relaxed);
+    var_.store(sentinel, std::memory_order_relaxed);  // relaxed: as above
   }
   QsvTimeoutMutex(const QsvTimeoutMutex&) = delete;
   QsvTimeoutMutex& operator=(const QsvTimeoutMutex&) = delete;
@@ -46,8 +48,11 @@ class QsvTimeoutMutex {
   ~QsvTimeoutMutex() {
     // Quiescent teardown: reclaim the chain hanging off the variable
     // (the released sentinel plus any abandoned nodes threaded onto it).
+    // relaxed: destructor runs quiescent — no concurrent users by
+    // precondition, so no ordering is needed anywhere in the teardown.
     Node* n = var_.load(std::memory_order_relaxed);
     while (n != nullptr) {
+      // relaxed: quiescent teardown (as above).
       Node* pred = n->state.load(std::memory_order_relaxed) == kAbandoned
                        ? n->pred.load(std::memory_order_relaxed)
                        : nullptr;
@@ -130,8 +135,9 @@ class QsvTimeoutMutex {
 
   bool acquire(std::uint64_t deadline_ns) {
     Node* n = Arena::instance().acquire();
+    // relaxed: node init; the acq_rel exchange below publishes it.
     n->state.store(kWaiting, std::memory_order_relaxed);
-    n->pred.store(nullptr, std::memory_order_relaxed);
+    n->pred.store(nullptr, std::memory_order_relaxed);  // relaxed: as above
     // Enqueue: acq_rel publishes our node and imports the predecessor's.
     Node* pred = var_.exchange(n, std::memory_order_acq_rel);
 
@@ -169,6 +175,8 @@ class QsvTimeoutMutex {
           // Withdraw: hand our current predecessor to our successor,
           // then mark ourselves abandoned. Order matters: pred must be
           // visible before the abandoned state (release store).
+          // relaxed: ordered by the release store of kAbandoned below;
+          // the splicing successor's acquire load of state pairs with it.
           n->pred.store(pred, std::memory_order_relaxed);
           n->state.store(kAbandoned, std::memory_order_release);
           // Wake a parked successor so it can splice past our corpse.

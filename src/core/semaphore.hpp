@@ -32,6 +32,8 @@ class QsvSemaphore {
   QsvSemaphore& operator=(const QsvSemaphore&) = delete;
 
   void acquire() {
+    // relaxed: ticket draw; the acquire load of grants_ below is the
+    // synchronization point with the releasing thread.
     const std::int64_t ticket =
         tickets_.fetch_add(1, std::memory_order_relaxed);
     // Wait for the grant horizon to pass our ticket. The horizon only
@@ -46,9 +48,12 @@ class QsvSemaphore {
 
   /// Non-blocking: claim a permit only if one is free right now.
   bool try_acquire() {
+    // relaxed: sample only; the CAS below validates it.
     std::int64_t t = tickets_.load(std::memory_order_relaxed);
     for (;;) {
       if (grants_.load(std::memory_order_acquire) <= t) return false;
+      // relaxed: failure order — retry refreshes t; nothing is read
+      // through the failed value.
       if (tickets_.compare_exchange_weak(t, t + 1,
                                          std::memory_order_acquire,
                                          std::memory_order_relaxed)) {

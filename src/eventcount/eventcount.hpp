@@ -103,11 +103,13 @@ class QueuedEventCount {
 
     Node* n = Arena::instance().acquire();
     n->target = target;
+    // relaxed: node init; the acq_rel push CAS below publishes it.
     n->state.store(kWaiting, std::memory_order_relaxed);
     // Push onto the Treiber stack of waiters.
+    // relaxed: head sample; the CAS validates it (failure order too).
     Node* head = waiters_.load(std::memory_order_relaxed);
     do {
-      n->next.store(head, std::memory_order_relaxed);
+      n->next.store(head, std::memory_order_relaxed);  // relaxed: as above
     } while (!waiters_.compare_exchange_weak(head, n,
                                              std::memory_order_acq_rel,
                                              std::memory_order_relaxed));
@@ -118,6 +120,8 @@ class QueuedEventCount {
     now = count_.load(std::memory_order_acquire);
     if (now >= target) {
       std::uint32_t expected = kWaiting;
+      // relaxed: failure order — a lost withdraw means we were granted;
+      // the grant CAS's acq_rel already ordered everything we read.
       if (n->state.compare_exchange_strong(expected, kAbandoned,
                                            std::memory_order_acq_rel,
                                            std::memory_order_relaxed)) {
@@ -174,9 +178,13 @@ class QueuedEventCount {
     const std::uint32_t now = count_.load(std::memory_order_acquire);
     Node* list = waiters_.exchange(nullptr, std::memory_order_acq_rel);
     while (list != nullptr) {
+      // relaxed: the acq_rel exchange that took the stack synchronized
+      // with every push; the links are visible.
       Node* next = list->next.load(std::memory_order_relaxed);
       if (list->target <= now) {
         std::uint32_t expected = kWaiting;
+        // relaxed: failure order — failure means the waiter abandoned;
+        // the corpse is recycled without reading through it.
         if (list->state.compare_exchange_strong(expected, kGranted,
                                                 std::memory_order_acq_rel,
                                                 std::memory_order_relaxed)) {
@@ -194,9 +202,11 @@ class QueuedEventCount {
         Arena::instance().release(list);
       } else {
         // Still unsatisfied: re-push.
+        // relaxed: head sample + link; the acq_rel CAS publishes (its
+        // failure order just refreshes the sample).
         Node* head = waiters_.load(std::memory_order_relaxed);
         do {
-          list->next.store(head, std::memory_order_relaxed);
+          list->next.store(head, std::memory_order_relaxed);  // relaxed: as above
         } while (!waiters_.compare_exchange_weak(head, list,
                                                  std::memory_order_acq_rel,
                                                  std::memory_order_relaxed));

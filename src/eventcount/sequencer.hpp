@@ -24,11 +24,13 @@ class Sequencer {
   /// relaxed is sufficient: a ticket orders its holder relative to other
   /// ticket holders only through the eventcount it is later awaited on.
   std::uint32_t ticket() noexcept {
+    // relaxed: see above — the eventcount is the ordering channel.
     return next_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Tickets handed out so far (diagnostic / sizing).
   std::uint32_t issued() const noexcept {
+    // relaxed: diagnostic snapshot.
     return next_.load(std::memory_order_relaxed);
   }
 

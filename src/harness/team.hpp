@@ -55,10 +55,12 @@ class ThreadTeam {
 class StopFlag {
  public:
   bool requested() const noexcept {
+    // relaxed: stop flag — workers need only eventual visibility, and
+    // results are read after the join.
     return flag_.load(std::memory_order_relaxed);
   }
-  void request() noexcept { flag_.store(true, std::memory_order_relaxed); }
-  void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }
+  void request() noexcept { flag_.store(true, std::memory_order_relaxed); }   // relaxed: as above
+  void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }    // relaxed: as above
 
  private:
   std::atomic<bool> flag_{false};

@@ -128,8 +128,11 @@ class CohortLock {
     Cohort& c = my_cohort();
     // Commit before touching the local lock: a releasing holder that
     // reads pending > 0 may leave the global grant behind for us.
-    c.pending.fetch_add(1, std::memory_order_relaxed);
+    c.pending.fetch_add(1, std::memory_order_relaxed);  // relaxed: see below
     c.local.lock();
+    // relaxed: pending is a hint for the holder's pass-local decision;
+    // the local lock's own handoff carries all data ordering, and a
+    // stale hint only costs one unnecessary global release.
     c.pending.fetch_sub(1, std::memory_order_relaxed);
     if (c.top_granted) {
       // The previous holder passed the global lock with the local one.
@@ -175,6 +178,7 @@ class CohortLock {
     // pending is decremented only while holding the local lock — which
     // we hold — so a nonzero reading proves a committed cohort-mate.
     if (c.passes < budget_ &&
+        // relaxed: hint read (see lock()); staleness is benign.
         c.pending.load(std::memory_order_relaxed) > 0) {
       ++c.passes;
       // Detach the global hold from this thread so whichever cohort-mate

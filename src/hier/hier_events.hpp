@@ -30,18 +30,19 @@ struct CountingHierEvents {
   static inline std::atomic<std::uint64_t> global_releases{0};
 
   static void count_local_pass() noexcept {
-    local_passes.fetch_add(1, std::memory_order_relaxed);
+    local_passes.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat
   }
   static void count_global_acquire() noexcept {
-    global_acquires.fetch_add(1, std::memory_order_relaxed);
+    global_acquires.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat
   }
   static void count_global_release() noexcept {
-    global_releases.fetch_add(1, std::memory_order_relaxed);
+    global_releases.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat
   }
   static void reset() noexcept {
+    // relaxed: stat reset between quiesced bench phases.
     local_passes.store(0, std::memory_order_relaxed);
-    global_acquires.store(0, std::memory_order_relaxed);
-    global_releases.store(0, std::memory_order_relaxed);
+    global_acquires.store(0, std::memory_order_relaxed);   // relaxed: stat
+    global_releases.store(0, std::memory_order_relaxed);   // relaxed: stat
   }
 };
 

@@ -65,8 +65,9 @@ class HierQsvMutex {
   void lock() {
     Cohort& coh = my_cohort();
     Node* n = Arena::instance().acquire();
+    // relaxed: node init; the acq_rel exchange below publishes it.
     n->next.store(nullptr, std::memory_order_relaxed);
-    n->state.store(kWaiting, std::memory_order_relaxed);
+    n->state.store(kWaiting, std::memory_order_relaxed);  // relaxed: as above
     // acq_rel: publish our node to the successor side; observe the
     // predecessor node (and, transitively, the cohort fields written by
     // the previous holder on the fresh-acquire path).
@@ -85,9 +86,12 @@ class HierQsvMutex {
   bool try_lock() {
     Cohort& coh = my_cohort();
     Node* n = Arena::instance().acquire();
+    // relaxed: node init; the acq_rel CAS below publishes it on success.
     n->next.store(nullptr, std::memory_order_relaxed);
-    n->state.store(kWaiting, std::memory_order_relaxed);
+    n->state.store(kWaiting, std::memory_order_relaxed);  // relaxed: as above
     Node* expected = nullptr;
+    // relaxed: failure order — a non-empty local queue just means we
+    // recycle the node and fail the try; nothing is read through it.
     if (!coh.local_tail.compare_exchange_strong(expected, n,
                                                 std::memory_order_acq_rel,
                                                 std::memory_order_relaxed)) {
@@ -96,9 +100,12 @@ class HierQsvMutex {
     }
     // Local queue was empty and we are its head; now try the global word.
     Node* g = Arena::instance().acquire();
+    // relaxed: node init; the acq_rel CAS below publishes it on success.
     g->next.store(nullptr, std::memory_order_relaxed);
-    g->state.store(kWaiting, std::memory_order_relaxed);
+    g->state.store(kWaiting, std::memory_order_relaxed);  // relaxed: as above
     expected = nullptr;
+    // relaxed: failure order — on failure we back out the local claim
+    // and recycle; nothing is read through the failed value.
     if (global_tail_.compare_exchange_strong(expected, g,
                                              std::memory_order_acq_rel,
                                              std::memory_order_relaxed)) {
@@ -113,6 +120,8 @@ class HierQsvMutex {
     // becomes the cohort representative: grant it the local lock with the
     // obligation to acquire the global one itself.
     Node* mine = n;
+    // relaxed: failure order — failure only tells us a successor
+    // enqueued; the acquire re-load of next carries the ordering.
     if (coh.local_tail.compare_exchange_strong(mine, nullptr,
                                                std::memory_order_release,
                                                std::memory_order_relaxed)) {
@@ -137,6 +146,8 @@ class HierQsvMutex {
     Node* next = n->next.load(std::memory_order_acquire);
     if (next == nullptr) {
       Node* expected = n;
+      // relaxed: failure order — same successor-pending pattern as
+      // unlock(); the acquire re-load of next carries the ordering.
       if (coh.local_tail.compare_exchange_strong(expected, nullptr,
                                                  std::memory_order_release,
                                                  std::memory_order_relaxed)) {
@@ -213,8 +224,9 @@ class HierQsvMutex {
   /// lock can release it.
   void acquire_global(Cohort& coh) {
     Node* g = Arena::instance().acquire();
+    // relaxed: node init; the acq_rel exchange below publishes it.
     g->next.store(nullptr, std::memory_order_relaxed);
-    g->state.store(kWaiting, std::memory_order_relaxed);
+    g->state.store(kWaiting, std::memory_order_relaxed);  // relaxed: as above
     Node* pred = global_tail_.exchange(g, std::memory_order_acq_rel);
     if (pred != nullptr) {
       pred->next.store(g, std::memory_order_release);
@@ -234,6 +246,8 @@ class HierQsvMutex {
     Node* next = g->next.load(std::memory_order_acquire);
     if (next == nullptr) {
       Node* expected = g;
+      // relaxed: failure order — failure means a global successor is
+      // linking; the acquire re-load of next carries the ordering.
       if (global_tail_.compare_exchange_strong(expected, nullptr,
                                                std::memory_order_release,
                                                std::memory_order_relaxed)) {

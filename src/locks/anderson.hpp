@@ -27,15 +27,18 @@ class AndersonLock {
         mask_(qsv::platform::next_pow2(capacity) - 1),
         slots_(mask_ + 1) {
     // Slot 0 starts "granted": the first arrival proceeds immediately.
+    // relaxed: single-threaded construction.
     slots_[0].store(kGranted, std::memory_order_relaxed);
     for (std::size_t i = 1; i <= mask_; ++i) {
-      slots_[i].store(kWait, std::memory_order_relaxed);
+      slots_[i].store(kWait, std::memory_order_relaxed);  // relaxed: ctor
     }
   }
   AndersonLock(const AndersonLock&) = delete;
   AndersonLock& operator=(const AndersonLock&) = delete;
 
   void lock() noexcept {
+    // relaxed: slot draw; the acquire spin on the slot itself is the
+    // synchronization point.
     const std::uint32_t pos =
         next_slot_.fetch_add(1, std::memory_order_relaxed);
     const std::size_t slot = pos & mask_;
@@ -47,6 +50,8 @@ class AndersonLock {
   void unlock() noexcept {
     const std::size_t slot = holder_slot_;
     // Re-arm my slot for its next lap around the ring...
+    // relaxed: no waiter polls this slot until a full lap from now,
+    // and every lap crosses the grant's release/acquire edge below.
     slots_[slot].store(kWait, std::memory_order_relaxed);
     // ...then grant the successor slot. Release publishes the CS.
     auto& next = slots_[(slot + 1) & mask_];

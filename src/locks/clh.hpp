@@ -13,6 +13,7 @@
 
 #include "locks/detail.hpp"
 #include "platform/arch.hpp"
+#include "platform/cache.hpp"
 #include "platform/wait.hpp"
 
 namespace qsv::locks {
@@ -24,8 +25,9 @@ class ClhLock {
     // The queue needs a sentinel "already released" node for the first
     // arrival to observe.
     Node* sentinel = Arena::instance().acquire();
+    // relaxed: single-threaded construction.
     sentinel->released.store(1, std::memory_order_relaxed);
-    tail_.store(sentinel, std::memory_order_relaxed);
+    tail_.store(sentinel, std::memory_order_relaxed);  // relaxed: ctor
   }
   ClhLock(const ClhLock&) = delete;
   ClhLock& operator=(const ClhLock&) = delete;
@@ -33,11 +35,13 @@ class ClhLock {
     // When no one holds or waits, tail_ points at a quiescent node that
     // now belongs to nobody; return it to the arena's global pool via the
     // destructing thread's cache.
+    // relaxed: destructor runs quiescent by precondition.
     Arena::instance().release(tail_.load(std::memory_order_relaxed));
   }
 
   void lock() {
     Node* n = Arena::instance().acquire();
+    // relaxed: node init; the acq_rel exchange below publishes it.
     n->released.store(0, std::memory_order_relaxed);
     // acq_rel: release publishes my node's init; acquire receives the
     // predecessor's node contents.
@@ -64,6 +68,8 @@ class ClhLock {
   }
 
  private:
+  friend struct qsv::platform::LayoutAuditAccess;
+
   struct Node {
     std::atomic<std::uint32_t> released{0};
   };

@@ -26,13 +26,14 @@ class GraunkeThakkarLock {
   explicit GraunkeThakkarLock(std::size_t capacity)
       : flags_(capacity), init_flag_(0) {
     for (std::size_t i = 0; i < capacity; ++i) {
-      flags_[i].store(0, std::memory_order_relaxed);
+      flags_[i].store(0, std::memory_order_relaxed);  // relaxed: ctor
     }
     // Tail starts pointing at a dedicated always-"released" flag. The
     // spin condition waits until the predecessor's flag *differs* from
     // the recorded parity, so the recorded parity (1) must be the
     // opposite of the flag's actual value (0): the first locker then
     // sees its predecessor as already done and enters immediately.
+    // relaxed: single-threaded construction.
     tail_.store(pack(&init_flag_, 1), std::memory_order_relaxed);
   }
   GraunkeThakkarLock(const GraunkeThakkarLock&) = delete;
@@ -52,6 +53,7 @@ class GraunkeThakkarLock {
           "GraunkeThakkarLock: dense thread index exceeds capacity");
     }
     auto& my_flag = flags_[me];
+    // relaxed: reading back our own flag (only we ever write it).
     const std::uint64_t self =
         pack(&my_flag, my_flag.load(std::memory_order_relaxed) & 1u);
     // Swap myself in; learn who is ahead and what their flag looked like
@@ -71,6 +73,7 @@ class GraunkeThakkarLock {
     const std::size_t me = qsv::platform::thread_index();
     auto& my_flag = flags_[me];
     // Flip my own flag: one write, to a line only my successor polls.
+    // relaxed: reading back our own flag; the release store publishes.
     my_flag.store(my_flag.load(std::memory_order_relaxed) + 1,
                   std::memory_order_release);
   }

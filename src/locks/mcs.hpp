@@ -12,6 +12,7 @@
 
 #include "locks/detail.hpp"
 #include "platform/arch.hpp"
+#include "platform/cache.hpp"
 #include "platform/wait.hpp"
 
 namespace qsv::locks {
@@ -25,8 +26,9 @@ class McsLock {
 
   void lock() {
     Node* n = Arena::instance().acquire();
+    // relaxed: node init; the acq_rel exchange below publishes it.
     n->next.store(nullptr, std::memory_order_relaxed);
-    n->granted.store(0, std::memory_order_relaxed);
+    n->granted.store(0, std::memory_order_relaxed);  // relaxed: as above
     // acq_rel: publish my node, observe predecessor's.
     Node* pred = tail_.exchange(n, std::memory_order_acq_rel);
     if (pred != nullptr) {
@@ -40,9 +42,11 @@ class McsLock {
 
   bool try_lock() {
     Node* n = Arena::instance().acquire();
+    // relaxed: node init; the acq_rel CAS below publishes it on success.
     n->next.store(nullptr, std::memory_order_relaxed);
-    n->granted.store(0, std::memory_order_relaxed);
+    n->granted.store(0, std::memory_order_relaxed);  // relaxed: as above
     Node* expected = nullptr;
+    // relaxed: failure order — a failed try_lock reads nothing.
     if (tail_.compare_exchange_strong(expected, n, std::memory_order_acq_rel,
                                       std::memory_order_relaxed)) {
       Held::local().insert(this, n);
@@ -61,6 +65,8 @@ class McsLock {
       // No successor linked yet. If the tail is still me, the queue is
       // empty: swing it back to null and we are done.
       Node* expected = n;
+      // relaxed: failure order — failure only means a successor is
+      // linking; the acquire re-load of next carries the ordering.
       if (tail_.compare_exchange_strong(expected, nullptr,
                                         std::memory_order_release,
                                         std::memory_order_relaxed)) {
@@ -96,6 +102,8 @@ class McsLock {
   }
 
  private:
+  friend struct qsv::platform::LayoutAuditAccess;
+
   struct Node {
     std::atomic<Node*> next{nullptr};
     std::atomic<std::uint32_t> granted{0};

@@ -23,6 +23,8 @@ class TicketLock {
   TicketLock& operator=(const TicketLock&) = delete;
 
   void lock() noexcept {
+    // relaxed: ticket draw; the acquire spin on now_serving_ is the
+    // synchronization point.
     const std::uint32_t me =
         next_ticket_.fetch_add(1, std::memory_order_relaxed);
     while (now_serving_.load(std::memory_order_acquire) != me) {
@@ -31,10 +33,12 @@ class TicketLock {
   }
 
   bool try_lock() noexcept {
+    // relaxed: sample only; the CAS below validates it.
     std::uint32_t serving = now_serving_.load(std::memory_order_relaxed);
     std::uint32_t expected = serving;
     // Succeed only if no ticket is outstanding: next == serving and we can
     // claim it.
+    // relaxed: failure order — a failed try_lock reads nothing.
     return next_ticket_.compare_exchange_strong(
                expected, serving + 1, std::memory_order_acquire,
                std::memory_order_relaxed) &&
@@ -43,6 +47,7 @@ class TicketLock {
 
   void unlock() noexcept {
     // Only the holder writes now_serving_, so a plain add-and-store works.
+    // relaxed: reading back our own exclusive word.
     now_serving_.store(now_serving_.load(std::memory_order_relaxed) + 1,
                        std::memory_order_release);
   }
@@ -77,6 +82,8 @@ class TicketLockProportional {
   TicketLockProportional& operator=(const TicketLockProportional&) = delete;
 
   void lock() noexcept {
+    // relaxed: ticket draw; the acquire spin on now_serving_ is the
+    // synchronization point.
     const std::uint32_t me =
         next_ticket_.fetch_add(1, std::memory_order_relaxed);
     for (;;) {
@@ -88,6 +95,7 @@ class TicketLockProportional {
   }
 
   void unlock() noexcept {
+    // relaxed: reading back our own exclusive word.
     now_serving_.store(now_serving_.load(std::memory_order_relaxed) + 1,
                        std::memory_order_release);
   }

@@ -28,6 +28,7 @@ class TtasLock {
     Backoff backoff = backoff_proto_;
     for (;;) {
       // Read-only poll phase: stays in cache until the holder releases.
+      // relaxed: poll only; the winning exchange is the acquire.
       while (flag_.load(std::memory_order_relaxed) != 0) {
         qsv::platform::cpu_relax();
       }
@@ -37,6 +38,8 @@ class TtasLock {
   }
 
   bool try_lock() noexcept {
+    // relaxed: pre-check to avoid a doomed RMW; the acquire exchange
+    // is the entry point.
     return flag_.load(std::memory_order_relaxed) == 0 &&
            flag_.exchange(1, std::memory_order_acquire) == 0;
   }

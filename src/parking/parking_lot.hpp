@@ -53,6 +53,8 @@ class ParkingLot {
       return false;
     }
     slot.addr = addr;
+    // relaxed: re-arming our own slot; the bucket mutex that enqueues
+    // it (and the waker that sets it) provide the ordering.
     slot.signaled.store(0, std::memory_order_relaxed);
     slot.next = nullptr;
     if (b.tail == nullptr) {
@@ -187,6 +189,8 @@ class FutexMutex {
 
   void lock() {
     std::uint32_t expected = 0;
+    // relaxed: failure order — the slow path below re-CASes with
+    // acquire before entering; nothing is read through this value.
     if (state_.compare_exchange_strong(expected, 1,
                                        std::memory_order_acquire,
                                        std::memory_order_relaxed)) {
@@ -195,8 +199,11 @@ class FutexMutex {
     for (;;) {
       // Announce contention (1 -> 2) so the holder knows to wake us,
       // then park while the word still reads contended.
+      // relaxed: sample only; every path that *enters* does so through
+      // an acquire CAS, and every path that parks revalidates.
       expected = state_.load(std::memory_order_relaxed);
       if (expected == 0) {
+        // relaxed: failure order — loop iterates and resamples.
         if (state_.compare_exchange_weak(expected, 2,
                                          std::memory_order_acquire,
                                          std::memory_order_relaxed)) {
@@ -204,6 +211,9 @@ class FutexMutex {
         }
         continue;
       }
+      // relaxed: both orders — 1 -> 2 only announces contention; it
+      // enters nothing, and the parking lot's bucket mutex orders the
+      // subsequent park against the holder's wake.
       if (expected == 1 &&
           !state_.compare_exchange_weak(expected, 2,
                                         std::memory_order_relaxed,
@@ -211,6 +221,8 @@ class FutexMutex {
         continue;
       }
       ParkingLot::instance().park(&state_, [this] {
+        // relaxed: park predicate, evaluated under the bucket mutex;
+        // a stale read is a spurious wake the outer loop absorbs.
         return state_.load(std::memory_order_relaxed) == 2;
       });
     }
@@ -218,6 +230,7 @@ class FutexMutex {
 
   bool try_lock() {
     std::uint32_t expected = 0;
+    // relaxed: failure order — a failed try_lock reads nothing.
     return state_.compare_exchange_strong(expected, 1,
                                           std::memory_order_acquire,
                                           std::memory_order_relaxed);

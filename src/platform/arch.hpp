@@ -5,6 +5,7 @@
 // physical machine so the rest of the library stays portable.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <thread>
@@ -65,6 +66,22 @@ inline void thread_yield() noexcept {
     return;
   }
   std::this_thread::yield();
+}
+
+/// Put the calling thread to sleep for (at least) `d`. The library's
+/// only sanctioned sleep: code above platform/ must route naps through
+/// here rather than call std::this_thread::sleep_for directly, so that
+/// under the qsv::chk model checker (chk_hook::active(), never in
+/// production) a nap becomes a schedule point instead of a wall-clock
+/// stall — the checker runs in virtual time, and a serialized thread
+/// sleeping for real would only slow exploration without changing any
+/// reachable interleaving. qsvlint's seam rule enforces the routing.
+inline void thread_sleep(std::chrono::nanoseconds d) noexcept {
+  if (chk_hook::active()) {
+    chk_hook::spin();
+    return;
+  }
+  std::this_thread::sleep_for(d);
 }
 
 /// Compiler-only fence: forbids reordering of surrounding code by the

@@ -17,6 +17,12 @@
 
 namespace qsv::platform {
 
+/// Friend hook for the generated false-sharing layout audit
+/// (`qsvlint --gen-layout`): hot structs whose node/record types are
+/// private befriend this so the audit TU can static_assert on them
+/// without widening any real API.
+struct LayoutAuditAccess;
+
 /// A `T` padded out to its own cache-line pair so that arrays of
 /// `Padded<T>` exhibit no false sharing between adjacent elements.
 ///

@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "platform/cache.hpp"
-#include "trace/lock_order.hpp"
+#include "platform/hazard_hook.hpp"
 
 namespace qsv::platform {
 
@@ -120,11 +120,13 @@ class HeldMap {
 
   /// Record an acquisition. The free-slot hint points at the most
   /// recently vacated slot, so the un-nested cycle never scans.
-  /// Doubles as the lock-order hazard detector's production feed: every
-  /// node-based lock records held-while-acquiring edges here (one
-  /// relaxed load when the detector is off, its default).
+  /// Doubles as the hazard detectors' production feed: every node-based
+  /// lock records held-while-acquiring edges through the platform-owned
+  /// hazard_hook seam (one relaxed load when no detector is enabled,
+  /// the default). The lock-order-inversion detector in src/trace/
+  /// installs itself there — platform/ never includes upward.
   Entry& insert(const void* owner, Node* node) {
-    if (trace::lock_order_enabled()) trace::lock_order_on_acquire(owner);
+    if (hazard_hook::enabled()) hazard_hook::on_acquire(owner);
     std::size_t i = free_hint_;
     if (entries_[i].owner != nullptr) {
       i = kMaxHeld;
@@ -164,7 +166,7 @@ class HeldMap {
   /// Erase after release; the vacated slot becomes the next insert's
   /// first candidate.
   void erase(Entry& e) {
-    if (trace::lock_order_enabled()) trace::lock_order_on_release(e.owner);
+    if (hazard_hook::enabled()) hazard_hook::on_release(e.owner);
     e.owner = nullptr;
     e.node = nullptr;
     e.aux = nullptr;

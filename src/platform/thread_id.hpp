@@ -52,6 +52,7 @@ struct ThreadIndexSlot {
       index = pool.back();
       pool.pop_back();
     } else {
+      // relaxed: unique-index draw; only uniqueness matters.
       index = g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -75,6 +76,7 @@ inline std::size_t thread_index() noexcept {
 
 /// High-water mark of concurrently registered threads (diagnostic).
 inline std::size_t thread_index_watermark() noexcept {
+  // relaxed: diagnostic snapshot.
   return detail::g_next_thread_index.load(std::memory_order_relaxed);
 }
 

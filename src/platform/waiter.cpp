@@ -30,9 +30,11 @@ Defaults& defaults() {
       wait_policy p = wait_policy::spin;
       std::uint32_t budget = 1024;
       if (detail::parse_wait_env(env, p, budget)) {
+        // relaxed: one-time init under the static-local guard, whose
+        // release/acquire already orders it for every later reader.
         d.policy.store(static_cast<std::uint8_t>(p),
                        std::memory_order_relaxed);
-        d.spin_budget.store(budget, std::memory_order_relaxed);
+        d.spin_budget.store(budget, std::memory_order_relaxed);  // relaxed: as above
       } else {
         std::fprintf(stderr,
                      "qsv: ignoring unrecognized QSV_WAIT value '%s' "
@@ -118,20 +120,25 @@ bool wait_policy_from_string(std::string_view text,
 }
 
 wait_policy get_default_wait_policy() noexcept {
+  // relaxed: process-wide tuning default; a racing set just means one
+  // construction sees the old policy — both are valid configurations.
   return static_cast<wait_policy>(
       defaults().policy.load(std::memory_order_relaxed));
 }
 
 void set_default_wait_policy(wait_policy p) noexcept {
+  // relaxed: tuning default (see get_default_wait_policy).
   defaults().policy.store(static_cast<std::uint8_t>(p),
                           std::memory_order_relaxed);
 }
 
 std::uint32_t get_default_spin_budget() noexcept {
+  // relaxed: tuning default (see get_default_wait_policy).
   return defaults().spin_budget.load(std::memory_order_relaxed);
 }
 
 void set_default_spin_budget(std::uint32_t polls) noexcept {
+  // relaxed: tuning default (see get_default_wait_policy).
   defaults().spin_budget.store(polls == 0 ? 1 : polls,
                                std::memory_order_relaxed);
 }

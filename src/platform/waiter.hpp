@@ -61,6 +61,7 @@ class AdaptiveWait {
 
   AdaptiveWait() = default;
   explicit AdaptiveWait(std::uint32_t seed_budget) { set_spin_budget(seed_budget); }
+  // relaxed: copying a calibration sample; any torn-free value works.
   AdaptiveWait(const AdaptiveWait& other)
       : ewma_polls_(other.ewma_polls_.load(std::memory_order_relaxed)) {}
   AdaptiveWait& operator=(const AdaptiveWait&) = delete;
@@ -68,6 +69,8 @@ class AdaptiveWait {
   /// The calibrated budget: 2x the smoothed observed wake latency,
   /// clamped. This is the live value — it moves as waits are observed.
   std::uint32_t spin_budget() const noexcept {
+    // relaxed: calibration estimate — any recent value is as good as
+    // the latest; the budget only shapes spin length, never safety.
     const std::uint32_t ewma = ewma_polls_.load(std::memory_order_relaxed);
     const std::uint32_t b = ewma >= kMaxSpinPolls / 2 ? kMaxSpinPolls
                                                       : 2 * ewma;
@@ -77,6 +80,7 @@ class AdaptiveWait {
   /// Reseed the calibration so the next wait spins ~`polls` before
   /// parking (the EWMA keeps adapting from there).
   void set_spin_budget(std::uint32_t polls) noexcept {
+    // relaxed: calibration reseed; see spin_budget().
     ewma_polls_.store(polls / 2, std::memory_order_relaxed);
   }
 
@@ -146,6 +150,8 @@ class AdaptiveWait {
 
  private:
   void record(std::uint32_t polls) noexcept {
+    // relaxed: EWMA update — a lost race drops one sample, which the
+    // smoothing absorbs by design; ordering buys nothing here.
     const std::uint32_t ewma = ewma_polls_.load(std::memory_order_relaxed);
     const std::int32_t delta =
         static_cast<std::int32_t>(polls) - static_cast<std::int32_t>(ewma);
@@ -156,7 +162,7 @@ class AdaptiveWait {
     if (step == 0 && delta > 0) step = 1;
     ewma_polls_.store(static_cast<std::uint32_t>(
                           static_cast<std::int32_t>(ewma) + step),
-                      std::memory_order_relaxed);
+                      std::memory_order_relaxed);  // relaxed: as above
   }
 
   /// Smoothed wake latency in polls. Seeded low so a fresh instance
@@ -182,6 +188,7 @@ class RuntimeWait {
         spin_budget_(qsv::get_default_spin_budget()),
         adaptive_(qsv::get_default_spin_budget()) {}
 
+  // relaxed: copying a tuning knob; any torn-free value works.
   RuntimeWait(const RuntimeWait& other)
       : policy_(other.policy_),
         spin_budget_(other.spin_budget_.load(std::memory_order_relaxed)),
@@ -196,11 +203,13 @@ class RuntimeWait {
   /// SpinYieldWait::kSpinPolls = 1024; the default is
   /// qsv::get_default_spin_budget().)
   std::uint32_t spin_budget() const noexcept {
+    // relaxed: tuning knob — shapes spin length only, never safety.
     return policy_ == qsv::wait_policy::adaptive
                ? adaptive_.spin_budget()
                : spin_budget_.load(std::memory_order_relaxed);
   }
   void set_spin_budget(std::uint32_t polls) noexcept {
+    // relaxed: tuning knob (see spin_budget()).
     spin_budget_.store(polls == 0 ? 1 : polls, std::memory_order_relaxed);
     adaptive_.set_spin_budget(polls == 0 ? 1 : polls);
   }
@@ -286,6 +295,7 @@ class RuntimeWait {
       adaptive_.wait_while_equal(flag, expected);
       return;
     }
+    // relaxed: tuning knob (see spin_budget()).
     const std::uint32_t budget = spin_budget_.load(std::memory_order_relaxed);
     for (std::uint32_t i = 0; i < budget; ++i) {
       if (flag.load(std::memory_order_acquire) != expected) return;

@@ -32,12 +32,14 @@ class CentralRwLock {
   void lock_shared() noexcept {
     qsv::platform::ExponentialBackoff backoff;
     for (;;) {
+      // relaxed: sample only; the acquire CAS below validates it.
       std::uint32_t s = state_.load(std::memory_order_relaxed);
       const bool blocked = kPref == Preference::kReader
                                ? writer_active(s)
                                : writer_active(s) || writers_waiting(s) > 0;
       if (!blocked) {
         // acquire pairs with a releasing writer's unlock.
+        // relaxed: failure order — loop resamples.
         if (state_.compare_exchange_weak(s, s + kReaderOne,
                                          std::memory_order_acquire,
                                          std::memory_order_relaxed)) {
@@ -57,13 +59,17 @@ class CentralRwLock {
   void lock() noexcept {
     qsv::platform::ExponentialBackoff backoff;
     if (kPref == Preference::kWriter) {
+      // relaxed: the waiting-writer count only biases admission; the
+      // acquire CAS that actually enters carries the ordering.
       state_.fetch_add(kWriterWaitOne, std::memory_order_relaxed);
     }
     for (;;) {
+      // relaxed: sample only; the acquire CAS below validates it.
       std::uint32_t s = state_.load(std::memory_order_relaxed);
       if (!writer_active(s) && readers(s) == 0) {
         std::uint32_t target = s | kWriterActive;
         if (kPref == Preference::kWriter) target -= kWriterWaitOne;
+        // relaxed: failure order — loop resamples.
         if (state_.compare_exchange_weak(s, target,
                                          std::memory_order_acquire,
                                          std::memory_order_relaxed)) {

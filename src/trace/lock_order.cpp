@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "platform/hazard_hook.hpp"
+
 namespace qsv::trace {
 
 namespace detail {
@@ -73,10 +75,23 @@ bool reachable(const Graph& g, const void* from, const void* to) {
 }  // namespace
 
 void lock_order_enable(bool on) noexcept {
+  // The HeldMap production feed reaches us through the platform-owned
+  // hazard_hook seam (platform/ cannot include trace/); publish the
+  // callbacks before the enable flag so a feed that observes "enabled"
+  // finds them installed.
+  if (on) {
+    platform::hazard_hook::install(&lock_order_on_acquire,
+                                   &lock_order_on_release);
+  }
+  platform::hazard_hook::set_enabled(on);
+  // relaxed: the flag is a pure gate consulted by the detector's own
+  // entry points; edges recorded under the graph mutex carry their own
+  // ordering.
   detail::g_lock_order_enabled.store(on, std::memory_order_relaxed);
 }
 
 void lock_order_quiet(bool on) noexcept {
+  // relaxed: diagnostic verbosity toggle; no data is published under it.
   g_quiet.store(on, std::memory_order_relaxed);
 }
 
@@ -108,6 +123,7 @@ void lock_order_on_acquire(const void* lock) {
                            name_of(g, lock) + "\" before \"" +
                            name_of(g, prior) + "\") was observed earlier";
           ++g.warnings;
+          // relaxed: verbosity toggle (see lock_order_quiet).
           if (!g_quiet.load(std::memory_order_relaxed)) {
             std::fprintf(stderr, "libqsv hazard: %s\n",
                          g.last_warning.c_str());

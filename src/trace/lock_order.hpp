@@ -11,7 +11,10 @@
 //
 // Feeds:
 //   * the per-thread HeldMap in platform/node_arena.hpp (every
-//     node-based production lock: qsv, mcs, clh, the cohort tiers),
+//     node-based production lock: qsv, mcs, clh, the cohort tiers) —
+//     indirectly, through the platform-owned hazard_hook seam that this
+//     detector installs itself into on enable (platform/ must not
+//     include trace/; qsvlint's layering rule enforces the direction),
 //   * the chk checker's instrumented wrappers (every checked lock,
 //     including non-node locks like tas/ticket).
 //
@@ -50,6 +53,8 @@ void lock_order_enable(bool on) noexcept;
 void lock_order_quiet(bool on) noexcept;
 
 inline bool lock_order_enabled() noexcept {
+  // relaxed: pure gate — a stale read only delays when tracking starts
+  // or stops; the graph mutex orders all recorded data.
   return detail::g_lock_order_enabled.load(std::memory_order_relaxed);
 }
 

@@ -145,6 +145,7 @@ class TraceSession {
 
   static std::uint64_t next_epoch() noexcept {
     static std::atomic<std::uint64_t> counter{0};
+    // relaxed: unique-id draw; only uniqueness matters, not order.
     return counter.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 

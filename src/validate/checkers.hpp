@@ -30,9 +30,9 @@ class ExclusionChecker {
     if (!holder_.compare_exchange_strong(expected, me,
                                          std::memory_order_acq_rel,
                                          std::memory_order_acquire)) {
-      violations_.fetch_add(1, std::memory_order_relaxed);
+      violations_.fetch_add(1, std::memory_order_relaxed);  // relaxed: tally
     }
-    entries_.fetch_add(1, std::memory_order_relaxed);
+    entries_.fetch_add(1, std::memory_order_relaxed);  // relaxed: tally
   }
 
   /// Call immediately before releasing the lock under test.
@@ -44,15 +44,17 @@ class ExclusionChecker {
                                          std::memory_order_acq_rel,
                                          std::memory_order_acquire)) {
       // Either we never entered (non-owner unlock) or someone barged in.
-      violations_.fetch_add(1, std::memory_order_relaxed);
+      violations_.fetch_add(1, std::memory_order_relaxed);  // relaxed: tally
       holder_.store(0, std::memory_order_release);  // re-arm
     }
   }
 
   std::uint64_t violations() const noexcept {
+    // relaxed: read after the team joins; the join orders it.
     return violations_.load(std::memory_order_relaxed);
   }
   std::uint64_t entries() const noexcept {
+    // relaxed: read after the team joins; the join orders it.
     return entries_.load(std::memory_order_relaxed);
   }
   bool clean() const noexcept { return violations() == 0; }
@@ -72,7 +74,7 @@ class RwChecker {
   void reader_enter() noexcept {
     readers_.fetch_add(1, std::memory_order_acq_rel);
     if (writers_.load(std::memory_order_acquire) != 0) {
-      violations_.fetch_add(1, std::memory_order_relaxed);
+      violations_.fetch_add(1, std::memory_order_relaxed);  // relaxed: tally
     }
   }
   void reader_exit() noexcept {
@@ -80,10 +82,10 @@ class RwChecker {
   }
   void writer_enter() noexcept {
     if (writers_.fetch_add(1, std::memory_order_acq_rel) != 0) {
-      violations_.fetch_add(1, std::memory_order_relaxed);
+      violations_.fetch_add(1, std::memory_order_relaxed);  // relaxed: tally
     }
     if (readers_.load(std::memory_order_acquire) != 0) {
-      violations_.fetch_add(1, std::memory_order_relaxed);
+      violations_.fetch_add(1, std::memory_order_relaxed);  // relaxed: tally
     }
   }
   void writer_exit() noexcept {
@@ -91,6 +93,7 @@ class RwChecker {
   }
 
   std::uint64_t violations() const noexcept {
+    // relaxed: read after the team joins; the join orders it.
     return violations_.load(std::memory_order_relaxed);
   }
   bool clean() const noexcept { return violations() == 0; }
@@ -124,7 +127,7 @@ class FifoChecker {
     const std::uint64_t horizon =
         horizon_.load(std::memory_order_acquire);
     if (ticket + window_ < horizon) {
-      inversions_.fetch_add(1, std::memory_order_relaxed);
+      inversions_.fetch_add(1, std::memory_order_relaxed);  // relaxed: tally
     }
     // Track the highest admitted ticket.
     std::uint64_t h = horizon;
@@ -133,7 +136,7 @@ class FifoChecker {
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire)) {
     }
-    admissions_.fetch_add(1, std::memory_order_relaxed);
+    admissions_.fetch_add(1, std::memory_order_relaxed);  // relaxed: tally
   }
 
   /// `window` absorbs the inherent ticket/enqueue race (default: one
@@ -141,9 +144,11 @@ class FifoChecker {
   explicit FifoChecker(std::uint64_t window = 16) : window_(window) {}
 
   std::uint64_t inversions() const noexcept {
+    // relaxed: read after the team joins; the join orders it.
     return inversions_.load(std::memory_order_relaxed);
   }
   std::uint64_t admissions() const noexcept {
+    // relaxed: read after the team joins; the join orders it.
     return admissions_.load(std::memory_order_relaxed);
   }
 

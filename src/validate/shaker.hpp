@@ -13,7 +13,6 @@
 
 #include <chrono>
 #include <cstdint>
-#include <thread>
 
 #include "platform/arch.hpp"
 #include "platform/rng.hpp"
@@ -46,10 +45,14 @@ class ScheduleShaker {
   void maybe_perturb() {
     const std::uint32_t draw =
         static_cast<std::uint32_t>(rng_.next()) & 1023u;
+    // Perturbations route through the platform seam, never the raw OS
+    // calls: under the qsv::chk checker a shaken thread must hand its
+    // nap/yield to the checker's scheduler, and outside it the seam
+    // compiles down to the same sleep/yield (qsvlint's seam rule).
     if (draw < profile_.nap_per_1024) {
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      qsv::platform::thread_sleep(std::chrono::microseconds(50));
     } else if (draw < profile_.nap_per_1024 + profile_.yield_per_1024) {
-      std::this_thread::yield();
+      qsv::platform::thread_yield();
     } else if (draw < profile_.nap_per_1024 + profile_.yield_per_1024 +
                           profile_.relax_per_1024) {
       qsv::platform::cpu_relax();

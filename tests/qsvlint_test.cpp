@@ -1,0 +1,303 @@
+// qsvlint_test.cpp — the discipline linter's own discipline: every rule
+// has a must-fire and a must-stay-quiet fixture, the findings format
+// round-trips, the baseline mechanism suppresses exactly what it names,
+// the layout generator emits the registered asserts, and the real tree
+// lints clean (the CI zero-finding gate, enforced from ctest too).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "qsvlint/qsvlint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string repo_root() { return QSV_REPO_ROOT; }
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << p;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Same contract as the CLI: the fixture's first line names the path it
+/// pretends to live at.
+std::string virtual_path_of(const std::string& content) {
+  constexpr std::string_view kTag = "// qsvlint-fixture:";
+  EXPECT_EQ(content.compare(0, kTag.size(), kTag), 0)
+      << "fixture missing the '// qsvlint-fixture: <path>' first line";
+  std::size_t end = content.find('\n');
+  std::string path = content.substr(kTag.size(), end - kTag.size());
+  std::size_t a = path.find_first_not_of(" \t");
+  std::size_t b = path.find_last_not_of(" \t\r");
+  return path.substr(a, b - a + 1);
+}
+
+std::set<std::string> rules_hit(const std::vector<qsvlint::Finding>& fs) {
+  std::set<std::string> names;
+  for (const auto& f : fs) names.insert(f.rule);
+  return names;
+}
+
+// ----------------------------------------------------------------- lexer
+
+TEST(QsvlintLexer, CommentsAndStringsAreSeparated) {
+  const auto lines = qsvlint::lex(
+      "int a; // trailing note\n"
+      "/* block */ int b;\n"
+      "const char* s = \"this_thread::yield inside a string\";\n"
+      "// only a comment\n");
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[0].code.find("int a;"), std::string::npos);
+  EXPECT_EQ(lines[0].code.find("trailing"), std::string::npos);
+  EXPECT_NE(lines[0].comment.find("trailing note"), std::string::npos);
+  EXPECT_NE(lines[1].code.find("int b;"), std::string::npos);
+  EXPECT_EQ(lines[1].code.find("block"), std::string::npos);
+  // String contents are blanked: rule tokens inside never match.
+  EXPECT_EQ(lines[2].code.find("yield"), std::string::npos);
+  EXPECT_TRUE(lines[3].comment_only);
+}
+
+TEST(QsvlintLexer, MultiLineBlockCommentKeepsState) {
+  const auto lines = qsvlint::lex(
+      "/* spans\n"
+      "   sched_yield still commented\n"
+      "*/ int after;\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1].code.find("sched_yield"), std::string::npos);
+  EXPECT_TRUE(lines[1].comment_only);
+  EXPECT_NE(lines[2].code.find("int after;"), std::string::npos);
+}
+
+TEST(QsvlintLexer, RawStringsAreBlanked) {
+  const auto lines = qsvlint::lex(
+      "auto s = R\"(this_thread::yield)\"; int z;\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].code.find("yield"), std::string::npos);
+  EXPECT_NE(lines[0].code.find("int z;"), std::string::npos);
+}
+
+// -------------------------------------------------------- fixture corpus
+
+/// Every rule directory under tools/qsvlint/fixtures/ holds fire_* and
+/// quiet_* fixtures; fire_* must produce at least one finding OF THAT
+/// RULE, quiet_* must produce zero findings of ANY rule (so fixtures
+/// double as cross-rule false-positive probes).
+TEST(QsvlintFixtures, EveryRuleHasAFiringAndAQuietCorpus) {
+  const fs::path dir = fs::path(repo_root()) / "tools/qsvlint/fixtures";
+  ASSERT_TRUE(fs::exists(dir));
+  std::size_t rule_dirs = 0;
+  for (const auto& rule_entry : fs::directory_iterator(dir)) {
+    if (!rule_entry.is_directory()) continue;
+    ++rule_dirs;
+    const std::string rule = rule_entry.path().filename().string();
+    bool saw_fire = false, saw_quiet = false;
+    for (const auto& f : fs::directory_iterator(rule_entry.path())) {
+      const std::string name = f.path().filename().string();
+      const std::string content = read_file(f.path());
+      const std::string vpath = virtual_path_of(content);
+      const auto findings = qsvlint::lint_file(vpath, content);
+      if (name.rfind("fire_", 0) == 0) {
+        saw_fire = true;
+        EXPECT_TRUE(rules_hit(findings).count(rule))
+            << name << " must fire rule '" << rule << "'";
+      } else if (name.rfind("quiet_", 0) == 0) {
+        saw_quiet = true;
+        EXPECT_TRUE(findings.empty())
+            << name << " must stay quiet, got: "
+            << (findings.empty() ? ""
+                                 : qsvlint::finding_to_text(findings[0]));
+      } else {
+        ADD_FAILURE() << "fixture " << name
+                      << " must be named fire_* or quiet_*";
+      }
+    }
+    EXPECT_TRUE(saw_fire) << "rule '" << rule << "' has no fire_* fixture";
+    EXPECT_TRUE(saw_quiet) << "rule '" << rule
+                           << "' has no quiet_* fixture";
+  }
+  // seam, relaxed-justify, implicit-order, layering, capability have
+  // per-file corpora (layout is tree-level, tested below).
+  EXPECT_GE(rule_dirs, 5u);
+}
+
+/// PR 8's bug class, re-seeded synthetically: a raw yield in a
+/// primitive layer must be caught by the seam rule.
+TEST(QsvlintSeam, RedetectsTheRawYieldBugClass) {
+  const auto findings = qsvlint::lint_file(
+      "src/combining/fc_executor.hpp",
+      "void combine_wait() {\n"
+      "  while (busy()) { std::this_thread::yield(); }\n"
+      "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "seam");
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+/// The same wait inside src/platform/ is the seam itself — no finding.
+TEST(QsvlintSeam, PlatformLayerOwnsTheRawWaits) {
+  const auto findings = qsvlint::lint_file(
+      "src/platform/arch.hpp",
+      "inline void thread_yield() { std::this_thread::yield(); }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// -------------------------------------------------------- findings format
+
+TEST(QsvlintFindings, JsonRoundTripIsExact) {
+  std::vector<qsvlint::Finding> in = {
+      {"src/core/a.hpp", 12, "seam", "raw yield"},
+      {"include/qsv/b.hpp", 3, "capability",
+       "quote \" backslash \\ newline \n tab \t done"},
+  };
+  const std::string doc = qsvlint::findings_to_json(in);
+  EXPECT_NE(doc.find("\"version\": \"qsvlint/1\""), std::string::npos);
+  std::vector<qsvlint::Finding> out;
+  ASSERT_TRUE(qsvlint::findings_from_json(doc, out));
+  ASSERT_EQ(out.size(), in.size());
+  EXPECT_EQ(out[0], in[0]);
+  EXPECT_EQ(out[1], in[1]);
+}
+
+TEST(QsvlintFindings, EmptyDocumentRoundTrips) {
+  std::vector<qsvlint::Finding> out = {{"x", 1, "y", "z"}};
+  ASSERT_TRUE(qsvlint::findings_from_json(
+      qsvlint::findings_to_json({}), out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(QsvlintFindings, MalformedJsonIsRejectedAndOutUntouched) {
+  std::vector<qsvlint::Finding> out = {{"keep", 1, "keep", "keep"}};
+  EXPECT_FALSE(qsvlint::findings_from_json("{}", out));
+  EXPECT_FALSE(qsvlint::findings_from_json(
+      "{\"version\": \"qsvlint/2\", \"findings\": []}", out));
+  EXPECT_FALSE(qsvlint::findings_from_json("not json at all", out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].file, "keep");
+}
+
+TEST(QsvlintFindings, TextFormatIsStable) {
+  EXPECT_EQ(qsvlint::finding_to_text({"src/a.hpp", 7, "seam", "msg"}),
+            "src/a.hpp:7: [seam] msg");
+}
+
+// --------------------------------------------------------------- baseline
+
+TEST(QsvlintBaseline, SuppressesExactlyTheListedKeys) {
+  std::vector<qsvlint::Finding> findings = {
+      {"src/a.hpp", 1, "seam", "one"},
+      {"src/a.hpp", 2, "seam", "two"},
+  };
+  const std::size_t n = qsvlint::apply_baseline(
+      findings, {"src/a.hpp|seam|one"});
+  EXPECT_EQ(n, 1u);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].message, "two");
+}
+
+TEST(QsvlintBaseline, CommittedBaselineIsEmpty) {
+  std::vector<std::string> keys;
+  ASSERT_TRUE(qsvlint::load_baseline(
+      repo_root() + std::string("/tools/qsvlint/baseline.txt"), keys));
+  EXPECT_TRUE(keys.empty())
+      << "the committed baseline must stay empty — fix the tree instead";
+}
+
+TEST(QsvlintBaseline, LoaderSkipsCommentsAndBlanks) {
+  const fs::path tmp =
+      fs::temp_directory_path() / "qsvlint_test_baseline.txt";
+  {
+    std::ofstream out(tmp);
+    out << "# comment\n\nsrc/a.hpp|seam|one\n  \nsrc/b.hpp|layering|x \n";
+  }
+  std::vector<std::string> keys;
+  ASSERT_TRUE(qsvlint::load_baseline(tmp.string(), keys));
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "src/a.hpp|seam|one");
+  EXPECT_EQ(keys[1], "src/b.hpp|layering|x");
+  fs::remove(tmp);
+}
+
+// ----------------------------------------------------------------- layout
+
+TEST(QsvlintLayout, GeneratorEmitsEveryRegisteredAssert) {
+  const auto& entries = qsvlint::layout_entries();
+  ASSERT_FALSE(entries.empty());
+  const std::string tu = qsvlint::generate_layout_tu(entries);
+  EXPECT_NE(tu.find("struct LayoutAuditAccess"), std::string::npos);
+  for (const auto& e : entries) {
+    for (const auto& a : e.asserts) {
+      EXPECT_NE(tu.find(a), std::string::npos)
+          << "assert missing from generated TU: " << a;
+    }
+  }
+  // Registered headers resolve against the real tree.
+  std::vector<qsvlint::Finding> findings;
+  qsvlint::check_layout_entries(repo_root(), entries, findings);
+  EXPECT_TRUE(findings.empty())
+      << (findings.empty() ? ""
+                           : qsvlint::finding_to_text(findings[0]));
+}
+
+TEST(QsvlintLayout, EmptyRegistryAndMissingHeadersFire) {
+  std::vector<qsvlint::Finding> findings;
+  qsvlint::check_layout_entries(repo_root(), {}, findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layout");
+
+  findings.clear();
+  qsvlint::check_layout_entries(
+      repo_root(),
+      {{"src/does/not/exist.hpp", "qsv::Gone", {"sizeof(int) > 0"}},
+       {"src/platform/cache.hpp", "qsv::NoAsserts", {}}},
+      findings);
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+// ------------------------------------------------------------------ rules
+
+TEST(QsvlintRules, TableIsCompleteAndStable) {
+  const auto& rules = qsvlint::rules();
+  ASSERT_GE(rules.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& r : rules) names.insert(r.name);
+  for (const char* expect :
+       {"seam", "relaxed-justify", "implicit-order", "layering",
+        "capability", "layout"}) {
+    EXPECT_TRUE(names.count(expect)) << "rule missing: " << expect;
+  }
+}
+
+TEST(QsvlintRules, LayerModelMatchesTheDocumentedDag) {
+  EXPECT_EQ(qsvlint::layer_of("src/platform/arch.hpp"), "platform");
+  EXPECT_EQ(qsvlint::layer_of("src/core/qsv_mutex.hpp"), "primitives");
+  EXPECT_EQ(qsvlint::layer_of("src/catalog/catalog.hpp"), "catalog");
+  EXPECT_EQ(qsvlint::layer_of("include/qsv/mutex.hpp"), "facade");
+  EXPECT_EQ(qsvlint::layer_of("src/chk/explorer.hpp"), "chk");
+  EXPECT_EQ(qsvlint::layer_of("tests/locks_test.cpp"), "top");
+  EXPECT_EQ(qsvlint::layer_of("include/qsv/wait.hpp"), "api-common");
+}
+
+// ------------------------------------------------------------ the CI gate
+
+/// The whole point: the real tree lints clean. This is the same check
+/// CI runs via the qsvlint binary; duplicating it here means a plain
+/// `ctest` run enforces the discipline even without the CI harness.
+TEST(QsvlintTree, RepositoryLintsCleanWithEmptyBaseline) {
+  const auto findings = qsvlint::lint_tree(repo_root());
+  std::string dump;
+  for (const auto& f : findings) {
+    dump += qsvlint::finding_to_text(f) + "\n";
+  }
+  EXPECT_TRUE(findings.empty()) << "tree has lint findings:\n" << dump;
+}
+
+}  // namespace

@@ -1,0 +1,14 @@
+// qsvlint-fixture: include/qsv/bad_facade.hpp
+// Must-fire: a facade type exposing lock()/unlock() without the
+// QSV_CAPABILITY annotation — clang's thread-safety analysis cannot
+// track it, so @GUARDED_BY contracts silently stop checking.
+namespace qsv {
+
+class naked_mutex {
+ public:
+  void lock();
+  void unlock();
+  bool try_lock();
+};
+
+}  // namespace qsv

@@ -1,0 +1,21 @@
+// qsvlint-fixture: include/qsv/good_facade.hpp
+// Must-stay-quiet: the annotated shape the facade actually uses, plus
+// a non-lock type whose unrelated lock() mentions must not trip it.
+namespace qsv {
+
+class QSV_CAPABILITY("mutex") good_mutex {
+ public:
+  void lock() QSV_ACQUIRE();
+  void unlock() QSV_RELEASE();
+};
+
+class observer {
+ public:
+  // Calls through a member are not definitions of lock/unlock.
+  void run() { m_.lock(); m_.unlock(); }
+
+ private:
+  good_mutex m_;
+};
+
+}  // namespace qsv

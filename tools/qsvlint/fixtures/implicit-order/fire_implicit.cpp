@@ -1,0 +1,25 @@
+// qsvlint-fixture: src/core/bad_implicit.hpp
+// Must-fire: implicit-seq_cst atomic operations in a hot layer — the
+// member-call forms and the operator forms both count.
+#include <atomic>
+
+namespace qsv::core {
+
+inline std::atomic<int> g_hits{0};
+inline std::atomic<bool> g_flag{false};
+
+inline int implicit_load() {
+  return g_hits.load();  // must fire: defaulted order
+}
+
+inline void implicit_store() {
+  g_flag.store(true);  // must fire: defaulted order
+}
+
+inline void operator_forms() {
+  g_hits++;       // must fire: seq_cst RMW in disguise
+  g_hits += 2;    // must fire
+  g_flag = true;  // must fire: seq_cst store in disguise
+}
+
+}  // namespace qsv::core

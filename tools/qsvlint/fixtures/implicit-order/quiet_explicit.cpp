@@ -1,0 +1,31 @@
+// qsvlint-fixture: src/core/good_implicit.hpp
+// Must-stay-quiet: explicit orders everywhere, order-parameter
+// passthrough, and locals that shadow atomic member names.
+#include <atomic>
+
+namespace qsv::core {
+
+struct Node {
+  std::atomic<Node*> next{nullptr};
+};
+
+inline std::atomic<int> g_hits{0};
+
+inline int explicit_load() {
+  return g_hits.load(std::memory_order_acquire);
+}
+
+inline int passthrough(std::memory_order order) {
+  return g_hits.load(order);  // order parameter counts as explicit
+}
+
+inline Node* walk(Node* n) {
+  // `next` here is a plain local that shadows the atomic member name;
+  // writes to it are not atomic operations.
+  Node* next = n->next.load(std::memory_order_acquire);
+  while ((next = n->next.load(std::memory_order_acquire)) == nullptr) {
+  }
+  return next;
+}
+
+}  // namespace qsv::core

@@ -1,0 +1,8 @@
+// qsvlint-fixture: src/platform/bad_layering.hpp
+// Must-fire: platform/ (rank 1) including upward into trace/ (rank 2)
+// — the include cycle PR 9 broke with the hazard_hook inversion — and
+// a production layer reaching the chk checker.
+#include "trace/lock_order.hpp"
+#include "chk/explorer.hpp"
+
+namespace qsv::platform {}

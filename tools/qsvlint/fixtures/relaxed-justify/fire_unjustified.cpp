@@ -1,0 +1,19 @@
+// qsvlint-fixture: src/core/bad_relaxed.hpp
+// Must-fire: a memory_order_relaxed with no justification tag, and a
+// memory_order_consume (always wrong: compilers promote it anyway).
+#include <atomic>
+
+namespace qsv::core {
+
+inline std::atomic<int> g_count{0};
+inline std::atomic<int*> g_ptr{nullptr};
+
+inline void bump() {
+  g_count.fetch_add(1, std::memory_order_relaxed);  // no tag: must fire
+}
+
+inline int* read_ptr() {
+  return g_ptr.load(std::memory_order_consume);  // must fire: consume
+}
+
+}  // namespace qsv::core

@@ -1,0 +1,28 @@
+// qsvlint-fixture: src/core/good_relaxed.hpp
+// Must-stay-quiet: every relaxed carries a justification — same line,
+// comment block above, or on the statement head of a wrapped call.
+#include <atomic>
+
+namespace qsv::core {
+
+inline std::atomic<int> g_count{0};
+inline std::atomic<unsigned> g_word{0};
+
+inline void bump() {
+  g_count.fetch_add(1, std::memory_order_relaxed);  // relaxed: stat tally
+}
+
+inline void block_comment_form() {
+  // relaxed: monotonic counter; nothing is published under it.
+  g_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline bool wrapped_cas() {
+  unsigned expected = 0;
+  // relaxed: failure order — a failed try reads nothing through it.
+  return g_word.compare_exchange_strong(expected, 1,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed);
+}
+
+}  // namespace qsv::core

@@ -1,0 +1,19 @@
+// qsvlint-fixture: src/eventcount/bad_wait.hpp
+// Must-fire: PR 8's livelock bug class — a raw OS yield in a primitive
+// layer bypasses the chk_hook seam, so the qsvchk scheduler never sees
+// the wait and schedule exploration livelocks/misses interleavings.
+#include <thread>
+
+namespace qsv::eventcount {
+
+inline void spin_wait_bad() {
+  for (int i = 0; i < 64; ++i) {
+    std::this_thread::yield();  // BAD: bypasses qsv::platform::thread_yield
+  }
+}
+
+inline void nap_bad() {
+  std::this_thread::sleep_for(std::chrono::microseconds(10));  // BAD
+}
+
+}  // namespace qsv::eventcount

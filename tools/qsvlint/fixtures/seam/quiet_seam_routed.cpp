@@ -1,0 +1,21 @@
+// qsvlint-fixture: src/eventcount/good_wait.hpp
+// Must-stay-quiet: the same waits routed through the platform seam.
+// (Fixtures are linted as token streams; the include is illustrative.)
+
+namespace qsv::eventcount {
+
+inline void spin_wait_good() {
+  for (int i = 0; i < 64; ++i) {
+    qsv::platform::thread_yield();  // routed: chk_hook sees this wait
+  }
+}
+
+inline void nap_good() {
+  qsv::platform::thread_sleep(std::chrono::microseconds(10));
+}
+
+// Mentioning this_thread::yield in a comment or a "string literal with
+// sched_yield inside" must not fire: the lexer blanks both channels.
+inline const char* doc() { return "never call sched_yield directly"; }
+
+}  // namespace qsv::eventcount
