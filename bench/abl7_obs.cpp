@@ -1,0 +1,129 @@
+// abl7_obs — Ablation A7: the cost of the observability spine, and
+// the registry-closed adaptive feedback loop.
+//
+// Part 1 is the BENCH_obs gate from the acceptance criteria: the
+// uncontended acquire/release cycle with a live telemetry record must
+// stay within noise of the same cycle on an unobserved instance
+// (constructed under set_enabled(false), same binary). The budgeted
+// hot-path cost is one relaxed striped increment per event, so the
+// gate is generous — 2.5x ratio OR a 100 ns absolute ceiling — and a
+// breach fails the scenario (CI validates the emitted artifact).
+//
+// Part 2 closes the loop the old one-way event sinks never could:
+// contended adaptive waiters sizing their spin budget from the private
+// per-thread EWMA versus from their lock's registry record (measured
+// handoff-wait EWMA, qsv::obs::set_adaptive_from_registry). Both arms
+// run the same integrity-checked lock loop.
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "benchreg/kernels.hpp"
+#include "benchreg/registry.hpp"
+#include "benchreg/stats.hpp"
+#include "core/qsv_mutex.hpp"
+#include "obs/hook.hpp"
+#include "qsv/mutex.hpp"
+#include "qsv/wait.hpp"
+
+namespace {
+
+/// Median ns for one lock/unlock cycle (tab1's kernel).
+template <typename Lock>
+double cycle_ns(Lock& lock, const qsv::benchreg::Params& params,
+                double budget_ms) {
+  lock.lock();  // warm-up: steady-state arena slot, no first-use cost
+  lock.unlock();
+  return qsv::benchreg::ns_per_op(
+      [&lock] {
+        lock.lock();
+        qsv::benchreg::keep_alive(&lock);
+        lock.unlock();
+      },
+      params.reps, budget_ms);
+}
+
+qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
+  qsv::benchreg::Report report;
+  const double budget_ms = params.budget_ms > 0.0 ? params.budget_ms : 20.0;
+
+  // --- Part 1: telemetry-on vs telemetry-off uncontended overhead.
+  double on_ns = 0.0, off_ns = 0.0;
+  {
+    qsv::core::QsvMutex<> observed;  // registers a LockRec (default on)
+    on_ns = cycle_ns(observed, params, budget_ms);
+  }
+  {
+    // Disable only around construction: the master switch is consulted
+    // at registration time, so this instance carries a null record for
+    // life while the rest of the process stays observed.
+    qsv::obs::set_enabled(false);
+    qsv::core::QsvMutex<> unobserved;
+    qsv::obs::set_enabled(true);
+    off_ns = cycle_ns(unobserved, params, budget_ms);
+  }
+  if (params.algo_match("telemetry=on")) {
+    report.add()
+        .set("op", "telemetry=on")
+        .set("ns_per_op", qsv::benchreg::Value(on_ns, 1));
+  }
+  if (params.algo_match("telemetry=off")) {
+    report.add()
+        .set("op", "telemetry=off")
+        .set("ns_per_op", qsv::benchreg::Value(off_ns, 1));
+  }
+
+  // The gate proper. Under -DQSV_OBS=0 both arms compile to the same
+  // unobserved cycle and the gate is trivially green.
+  const double overhead_ns = on_ns - off_ns;
+  const double ratio = off_ns > 0.0 ? on_ns / off_ns : 1.0;
+  const bool within_noise = ratio <= 2.5 || overhead_ns <= 100.0;
+  report.add()
+      .set("op", "overhead-gate")
+      .set("overhead_ns", qsv::benchreg::Value(overhead_ns, 1))
+      .set("ratio", qsv::benchreg::Value(ratio, 2))
+      .set("within_noise", within_noise ? "yes" : "no");
+  if (!within_noise) {
+    report.fail("telemetry overhead gate: on-path exceeds 2.5x off-path "
+                "and 100 ns absolute");
+    return report;
+  }
+
+  // --- Part 2: adaptive spin budget, private EWMA vs registry EWMA.
+  const double seconds = params.seconds(0.08);
+  const std::size_t cpus = qsv::platform::available_cpus();
+  std::vector<std::size_t> teams{2, std::max<std::size_t>(2, cpus)};
+  teams.erase(std::unique(teams.begin(), teams.end()), teams.end());
+  for (const bool from_registry : {false, true}) {
+    const char* mode = from_registry ? "adaptive-registry" : "adaptive-private";
+    if (!params.algo_match(mode)) continue;
+    qsv::obs::set_adaptive_from_registry(from_registry);
+    for (const std::size_t t : teams) {
+      qsv::mutex lock(qsv::wait_policy::adaptive);
+      const auto r = qsv::benchreg::run_lock_loop(lock, t, seconds);
+      if (!r.ok) {
+        qsv::obs::set_adaptive_from_registry(false);
+        report.fail("integrity failure in adaptive-source ablation");
+        return report;
+      }
+      report.add()
+          .set("mode", mode)
+          .set("threads", t)
+          .set("mops", qsv::benchreg::Value(r.throughput_mops(), 2));
+    }
+  }
+  qsv::obs::set_adaptive_from_registry(false);
+  return report;
+}
+
+qsv::benchreg::Registrar reg{{
+    .name = "obs",
+    .id = "abl7",
+    .kind = qsv::benchreg::Kind::kAblation,
+    .title = "telemetry overhead gate + registry-adaptive feedback loop",
+    .claim = "per-instance telemetry is free at the gate's noise floor; "
+             "registry EWMA matches private EWMA under contention",
+    .run = run,
+}};
+
+}  // namespace

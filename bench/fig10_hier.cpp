@@ -20,11 +20,9 @@
 
 namespace {
 
-/// The event-counting hierarchical instantiation is an instrument, not
-/// a catalogue entry; erase it ad hoc through the shared template.
-using CountingHier =
-    qsv::hier::HierQsvMutex<qsv::platform::SpinWait,
-                            qsv::hier::CountingHierEvents>;
+/// The native hierarchical instantiation; its per-instance telemetry
+/// record (obs/hook.hpp) supplies the pass/acquire event mix.
+using NativeHier = qsv::hier::HierQsvMutex<qsv::platform::SpinWait>;
 
 qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
   qsv::benchreg::Report report;
@@ -71,15 +69,15 @@ qsv::benchreg::Report run(const qsv::benchreg::Params& params) {
         .set("mops", qsv::benchreg::Value(res.throughput_mops(), 2));
   }
   for (const std::size_t budget : {0ul, 4ul, 16ul, 64ul}) {
-    auto hier = qsv::catalog::wrap<CountingHier>(/*block=*/4, budget);
-    qsv::hier::CountingHierEvents::reset();
+    auto hier = qsv::catalog::wrap<NativeHier>(/*block=*/4, budget);
     const auto res = qsv::harness::run_lock_contention(*hier, cfg);
     if (!res.mutual_exclusion_ok) {
       report.fail("mutual exclusion violated: hier-qsv");
       return report;
     }
-    const auto passes = qsv::hier::CountingHierEvents::local_passes.load();
-    const auto acqs = qsv::hier::CountingHierEvents::global_acquires.load();
+    const auto* rec = hier->telemetry();
+    const auto passes = rec != nullptr ? rec->local_passes() : 0;
+    const auto acqs = rec != nullptr ? rec->global_acquires() : 0;
     const double pct = res.total_ops
                            ? 100.0 * static_cast<double>(passes) /
                                  static_cast<double>(res.total_ops)

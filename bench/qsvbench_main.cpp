@@ -11,19 +11,25 @@
 //   qsvbench --filter fig1,abl6 --threads 8 --budget-ms 100
 //   qsvbench --filter uncontended --reps 5 --out BENCH_uncontended.json
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "benchreg/emit.hpp"
 #include "benchreg/registry.hpp"
 #include "catalog/catalog.hpp"
+#include "core/qsv_mutex.hpp"
 #include "hier/cohort_map.hpp"
+#include "hier/hier_qsv.hpp"
 #include "platform/affinity.hpp"
 #include "platform/topology.hpp"
+#include "qsv/introspect.hpp"
 #include "qsv/wait.hpp"
 
 namespace {
@@ -54,6 +60,12 @@ void print_usage(std::FILE* to) {
       "  --out FILE        write the run as qsvbench/v1 JSON\n"
       "  --md FILE         write the markdown report to FILE\n"
       "  --json            print JSON to stdout instead of markdown\n"
+      "  --introspect[=PORT]\n"
+      "                    serve the live introspection endpoint on\n"
+      "                    127.0.0.1 (default: ephemeral port) over a\n"
+      "                    demo workload of named locks; runs until a\n"
+      "                    client sends `shutdown` (protocol:\n"
+      "                    docs/INTROSPECTION.md)\n"
       "  --help            this text\n");
 }
 
@@ -139,6 +151,55 @@ bool write_file(const std::string& path, const std::string& content) {
   return true;
 }
 
+/// `qsvbench --introspect`: serve the live endpoint over a demo
+/// workload of named locks until a client issues `shutdown`. The
+/// workload sleeps far more than it locks, so an attached process
+/// idles near zero CPU while still showing moving counters (and real
+/// contended waits on `ledger`) to list/stat/stream clients.
+int run_introspect(std::uint16_t port) {
+  const std::uint16_t bound = qsv::introspect::serve(port);
+  if (bound == 0) {
+    std::fprintf(stderr,
+                 "qsvbench: cannot bind introspection endpoint on port %u\n",
+                 port);
+    return 1;
+  }
+  qsv::core::QsvMutex<> ledger;
+  qsv::hier::HierQsvMutex<> journal(/*threads_per_cohort=*/4, /*budget=*/16);
+  qsv::introspect::set_name(&ledger, "ledger");
+  qsv::introspect::set_name(&journal, "journal");
+
+  // Machine-greppable banner: tests and scripts parse the port from
+  // it. Printed only after the demo locks are registered and named, so
+  // a client that connects on seeing it always finds them in `list`.
+  std::printf("introspect: listening on 127.0.0.1:%u\n", bound);
+  std::fflush(stdout);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> crew;
+  for (int i = 0; i < 3; ++i) {
+    crew.emplace_back([&] {
+      // relaxed: demo-shutdown flag; no data is published under it.
+      while (!stop.load(std::memory_order_relaxed)) {
+        ledger.lock();
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        ledger.unlock();
+        journal.lock();
+        journal.unlock();
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+  while (qsv::introspect::serving() &&
+         !qsv::obs::introspect_shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  stop.store(true, std::memory_order_relaxed);  // relaxed: as above
+  for (auto& t : crew) t.join();
+  qsv::introspect::stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -182,9 +243,20 @@ int main(int argc, char** argv) {
     params.wait_policies.push_back(p);
   }
 
+  bool introspect_mode = cli.take_flag("introspect");
+  std::uint16_t introspect_port = 0;
+  if (!introspect_mode && cli.take_value("introspect", value)) {
+    introspect_mode = true;
+    const auto p = parse_u64("introspect", value);
+    if (p > 65535) die_usage("--introspect port must be 0..65535 (0 = ephemeral)");
+    introspect_port = static_cast<std::uint16_t>(p);
+  }
+
   if (!cli.leftovers().empty()) {
     die_usage("unknown argument '" + cli.leftovers().front() + "'");
   }
+
+  if (introspect_mode) return run_introspect(introspect_port);
 
   if (topology) {
     const auto& topo = qsv::platform::topology();

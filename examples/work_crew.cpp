@@ -19,6 +19,7 @@
 
 #include "harness/team.hpp"
 #include "hier/hier_qsv.hpp"
+#include "obs/hook.hpp"
 #include "platform/rng.hpp"
 #include "platform/timing.hpp"
 
@@ -42,10 +43,8 @@ struct FarmResult {
 };
 
 FarmResult run_farm(std::size_t budget) {
-  using Events = qsv::hier::CountingHierEvents;
-  Events::reset();
-  qsv::hier::HierQsvMutex<qsv::platform::SpinWait, Events> lock(kCohortSize,
-                                                                budget);
+  qsv::hier::HierQsvMutex<qsv::platform::SpinWait> lock(kCohortSize, budget);
+  const qsv::obs::LockRec* rec = lock.telemetry();
   std::deque<WorkItem> queue;  // guarded by `lock`
   qsv::platform::SplitMix64 rng(42);
   for (std::uint32_t i = 0; i < kItems; ++i) {
@@ -78,8 +77,8 @@ FarmResult run_farm(std::size_t budget) {
 
   std::uint64_t total = 0;
   for (auto d : done) total += d;
-  return FarmResult{secs, Events::local_passes.load(),
-                    Events::global_acquires.load(), total};
+  return FarmResult{secs, rec != nullptr ? rec->local_passes() : 0,
+                    rec != nullptr ? rec->global_acquires() : 0, total};
 }
 
 }  // namespace

@@ -1,0 +1,76 @@
+// qsv/introspect.hpp — the observability facade.
+//
+// Every libqsv primitive registers a per-instance telemetry record in
+// the process-wide registry (src/obs/); this header is the embedder's
+// entry point to it:
+//
+//   qsv::introspect::serve(0);            // live endpoint, ephemeral port
+//   qsv::introspect::set_name(&mu, "ledger");
+//   std::puts(qsv::introspect::dump().c_str());   // in-process listing
+//
+// The endpoint speaks the line protocol specified in
+// docs/INTROSPECTION.md (list / stat <lock> / hazards / stream), the
+// same one `qsvbench --introspect` serves. Telemetry is on by default;
+// set_enabled(false) makes subsequently constructed primitives
+// unobserved, and building with -DQSV_OBS=0 compiles the whole layer
+// out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/introspect.hpp"
+#include "obs/registry.hpp"
+
+namespace qsv::introspect {
+
+/// Per-instance telemetry snapshot (counters, wait/hold statistics).
+using lock_stats = qsv::obs::LockStats;
+
+/// Start the loopback endpoint on `port` (0 = ephemeral). Returns the
+/// bound port, 0 on failure.
+inline std::uint16_t serve(std::uint16_t port = 0) {
+  return qsv::obs::introspect_start(port);
+}
+
+/// Stop the endpoint and join its thread.
+inline void stop() { qsv::obs::introspect_stop(); }
+
+/// True while the endpoint is serving.
+inline bool serving() { return qsv::obs::introspect_running(); }
+
+/// One-line-per-lock text listing of every live record (the `list`
+/// face, usable in-process without a socket).
+inline std::string dump() { return qsv::obs::dump(); }
+
+/// Structured snapshot of every live record.
+inline std::vector<lock_stats> snapshot() { return qsv::obs::snapshot(); }
+
+/// Name the record registered for `instance` (e.g. `&mu`); listings
+/// and warnings then print the name instead of "kind#N".
+inline void set_name(const void* instance, std::string_view name) {
+  qsv::obs::set_name(instance, name);
+}
+
+/// Master switch for *future* registrations (existing records live on).
+inline void set_enabled(bool on) { qsv::obs::set_enabled(on); }
+inline bool enabled() { return qsv::obs::enabled(); }
+
+/// Ablation toggle: when on, adaptive waiters consult their lock's
+/// registry record (measured handoff-wait EWMA) to size spin budgets.
+inline void set_adaptive_from_registry(bool on) {
+  qsv::obs::set_adaptive_from_registry(on);
+}
+
+/// Historical hazard log (lock-order inversions routed through the
+/// registry) and live long-hold/starvation detection.
+inline std::vector<std::string> hazards() { return qsv::obs::hazard_log(); }
+inline std::vector<std::string> detect_hazards(
+    std::uint64_t long_hold_ns = qsv::obs::kDefaultLongHoldNs,
+    std::uint64_t starvation_ns = qsv::obs::kDefaultStarvationNs) {
+  return qsv::obs::detect_hazards(long_hold_ns, starvation_ns);
+}
+
+}  // namespace qsv::introspect

@@ -16,6 +16,9 @@
 //   qsv::set_default_wait_policy(qsv::wait_policy::adaptive);  // process
 //   qsv::mutex parked(qsv::wait_policy::park);                 // instance
 //
+//   qsv::introspect::serve(7777);       // live telemetry endpoint
+//   qsv::introspect::set_name(&mu, "ledger");
+//
 // Behind the stable names sits the reconstructed QSV mechanism (one
 // machine word per variable, per-thread queue nodes, local spinning —
 // see DESIGN.md). Algorithm sweeps and by-name lookup live in the
@@ -28,6 +31,7 @@
 #include "qsv/concepts.hpp"      // IWYU pragma: export
 #include "qsv/containers.hpp"    // IWYU pragma: export
 #include "qsv/fc_mutex.hpp"      // IWYU pragma: export
+#include "qsv/introspect.hpp"    // IWYU pragma: export
 #include "qsv/mutex.hpp"         // IWYU pragma: export
 #include "qsv/semaphore.hpp"     // IWYU pragma: export
 #include "qsv/shared_mutex.hpp"  // IWYU pragma: export

@@ -5,10 +5,50 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+
+#include "platform/topology.hpp"
 
 namespace qsv::benchreg {
 
 namespace {
+
+/// Provenance for the artifact's `meta` block: the building commit
+/// (CMake stamps QSV_GIT_SHA at configure time; the QSV_GIT_SHA
+/// environment variable overrides it, so CI can stamp the exact tested
+/// revision into a cached build).
+std::string git_sha() {
+  if (const char* env = std::getenv("QSV_GIT_SHA");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+#ifdef QSV_GIT_SHA
+  return QSV_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+/// ISO-8601 UTC, second resolution ("2026-08-08T12:34:56Z").
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  if (gmtime_r(&now, &tm) == nullptr) return "unknown";
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// One-line host-topology summary ("2 packages, 2 nodes, 16 cpus").
+std::string topology_summary() {
+  const auto& topo = qsv::platform::topology();
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%zu package%s, %zu node%s, %zu cpus%s",
+                topo.package_count(), topo.package_count() == 1 ? "" : "s",
+                topo.node_count(), topo.node_count() == 1 ? "" : "s",
+                topo.cpu_count(), topo.is_fallback() ? " (fallback)" : "");
+  return buf;
+}
 
 /// JSON number: full precision, integers without a trailing ".0",
 /// non-finite values mapped to null (JSON has no NaN/Inf).
@@ -348,6 +388,11 @@ std::string to_json(const RunOutput& out) {
   std::string j;
   j += "{\n";
   j += "  \"schema\": \"qsvbench/v1\",\n";
+  j += "  \"meta\": {";
+  j += "\"git_sha\": \"" + json_escape(git_sha()) + "\"";
+  j += ", \"timestamp\": \"" + json_escape(utc_timestamp()) + "\"";
+  j += ", \"host_topology\": \"" + json_escape(topology_summary()) + "\"";
+  j += "},\n";
   j += "  \"params\": {";
   j += "\"threads\": " + json_number(static_cast<double>(out.params.threads));
   j += ", \"reps\": " + json_number(static_cast<double>(out.params.reps));

@@ -76,6 +76,10 @@ class AnyPrimitive {
   /// Accumulator read; named apart from the eventcount face's read().
   virtual std::int64_t total() const { detail::unsupported("total"); }
 
+  /// The underlying primitive's telemetry record (kObservable face);
+  /// null when the type is not observable or telemetry is disabled.
+  virtual const qsv::obs::LockRec* telemetry() const { return nullptr; }
+
   /// The face bitset of the underlying primitive (Capability values).
   virtual std::uint32_t capabilities() const = 0;
 
@@ -172,6 +176,11 @@ class Erased final : public AnyPrimitive {
   std::int64_t total() const override {
     if constexpr (HasAccumulatorFace<T>) return impl_.read();
     else return AnyPrimitive::total();
+  }
+
+  const qsv::obs::LockRec* telemetry() const override {
+    if constexpr (HasTelemetry<T>) return impl_.telemetry();
+    else return nullptr;
   }
 
   std::uint32_t capabilities() const override { return caps_of<T>(); }

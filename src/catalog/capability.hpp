@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "obs/hook.hpp"
 #include "qsv/wait.hpp"
 
 namespace qsv::catalog {
@@ -70,6 +71,12 @@ enum Capability : std::uint32_t {
                             ///< whose kernel waits bypass the seam.
                             ///< Like kSimulable, a property of another
                             ///< subsystem: tagged in builtin.cpp.
+
+  kObservable  = 1u << 17,  ///< registers a per-instance obs::LockRec in
+                            ///< the telemetry registry and exposes it via
+                            ///< telemetry(); derived by caps_of() from
+                            ///< the HasTelemetry concept, so the bit can
+                            ///< never drift from the code.
 };
 
 /// All container-face bits: any of them makes the entry a container.
@@ -201,6 +208,15 @@ concept HasAccumulatorFace = requires(T t, std::int64_t d) {
   { t.read() } -> std::convertible_to<std::int64_t>;
 };
 
+/// Observable primitives own an obs::Handle and expose the registered
+/// per-instance record (null when telemetry is disabled or compiled
+/// out) — the face the introspection endpoint and the registry-adaptive
+/// waiter consume.
+template <typename T>
+concept HasTelemetry = requires(const T t) {
+  { t.telemetry() } -> std::convertible_to<const qsv::obs::LockRec*>;
+};
+
 /// Construction-time wait configurability: the type takes a
 /// qsv::wait_policy (alone, or after its capacity argument), so the
 /// factory can honor make(capacity, policy).
@@ -228,6 +244,7 @@ constexpr std::uint32_t caps_of() {
     caps |= kCombining;
   }
   if constexpr (WaitConfigurable<T>) caps |= kWaitModeMask;
+  if constexpr (HasTelemetry<T>) caps |= kObservable;
   return caps;
 }
 

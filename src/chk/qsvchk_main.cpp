@@ -26,6 +26,7 @@
 #include "chk/battery.hpp"
 #include "chk/check.hpp"
 #include "chk/mutants.hpp"
+#include "obs/hook.hpp"
 
 namespace {
 
@@ -159,6 +160,11 @@ int run_replay_cmd(const std::string& row, const std::string& sched) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The checker constructs thousands of short-lived primitives per
+  // battery; registering each in the telemetry registry would only
+  // churn its map. Nothing here reads telemetry — switch it off for
+  // everything the checker constructs.
+  qsv::obs::set_enabled(false);
   BatteryOptions opts;
   opts.log = [](const std::string& line) {
     std::printf("%s\n", line.c_str());

@@ -14,7 +14,7 @@
 #include <atomic>
 #include <cstdint>
 
-#include "core/events.hpp"
+#include "obs/hook.hpp"
 #include "platform/arch.hpp"
 #include "platform/cache.hpp"
 #include "platform/node_arena.hpp"
@@ -22,15 +22,18 @@
 
 namespace qsv::core {
 
-template <typename Wait = qsv::platform::RuntimeWait,
-          typename Events = NullEvents>
+template <typename Wait = qsv::platform::RuntimeWait>
 class QsvMutex {
  public:
   /// The waiting strategy is per-instance state, fixed at construction:
   /// default-constructing a RuntimeWait-based mutex picks up the
   /// process-wide qsv::wait_policy, and qsv::mutex(wait_policy::park)
   /// pins this instance regardless of the process default.
-  explicit QsvMutex(Wait waiter = Wait{}) : waiter_(waiter) {}
+  explicit QsvMutex(Wait waiter = Wait{}) : waiter_(waiter) {
+    if constexpr (requires { waiter_.consult_telemetry(obs_.rec()); }) {
+      waiter_.consult_telemetry(obs_.rec());
+    }
+  }
   QsvMutex(const QsvMutex&) = delete;
   QsvMutex& operator=(const QsvMutex&) = delete;
 
@@ -43,13 +46,14 @@ class QsvMutex {
     // observe the predecessor node published by the previous fetch&store.
     Node* pred = var_.exchange(n, std::memory_order_acq_rel);
     if (pred == nullptr) {
-      Events::count_uncontended();
+      qsv::obs::count_acquire(obs_.rec());
     } else {
-      Events::count_queued();
+      const std::uint64_t t0 = qsv::obs::wait_begin_ns(obs_.rec());
       // Make ourselves visible to the predecessor's release; its acquire
       // load of `next` pairs with this release store.
       pred->next.store(n, std::memory_order_release);
       waiter_.wait_while_equal(n->state, kWaiting);
+      qsv::obs::count_contended_acquire(obs_.rec(), t0);
     }
     Held::local().insert(this, n);
   }
@@ -64,7 +68,7 @@ class QsvMutex {
     // needs ordered; the node is recycled untouched.
     if (var_.compare_exchange_strong(expected, n, std::memory_order_acq_rel,
                                      std::memory_order_relaxed)) {
-      Events::count_uncontended();
+      qsv::obs::count_acquire(obs_.rec());
       Held::local().insert(this, n);
       return true;
     }
@@ -86,7 +90,7 @@ class QsvMutex {
       if (var_.compare_exchange_strong(expected, nullptr,
                                        std::memory_order_release,
                                        std::memory_order_relaxed)) {
-        Events::count_free_release();
+        qsv::obs::count_free_release(obs_.rec());
         Arena::instance().release(n);
         return;
       }
@@ -96,7 +100,7 @@ class QsvMutex {
         qsv::platform::cpu_relax();
       }
     }
-    Events::count_handoff();
+    qsv::obs::count_handoff(obs_.rec());
     // Grant: single store to the line the successor is spinning on.
     next->state.store(kGranted, std::memory_order_release);
     waiter_.notify_all(next->state);
@@ -129,6 +133,9 @@ class QsvMutex {
     return sizeof(std::atomic<void*>);
   }
 
+  /// This instance's registry record (null when telemetry is off).
+  const qsv::obs::LockRec* telemetry() const noexcept { return obs_.rec(); }
+
  private:
   static constexpr std::uint32_t kWaiting = 0;
   static constexpr std::uint32_t kGranted = 1;
@@ -142,6 +149,10 @@ class QsvMutex {
 
   /// How this instance's blocked threads wait (and are woken).
   [[no_unique_address]] Wait waiter_;
+
+  /// Per-instance telemetry registration (obs/hook.hpp); empty and
+  /// folded away under -DQSV_OBS=0.
+  [[no_unique_address]] qsv::obs::Handle obs_{name(), this};
 
   /// The synchronization variable itself: queue tail, null when free.
   alignas(qsv::platform::kFalseSharingRange)

@@ -53,6 +53,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "obs/hook.hpp"
 #include "platform/arch.hpp"
 #include "platform/cache.hpp"
 #include "platform/node_arena.hpp"
@@ -68,7 +69,11 @@ class QsvRwLock {
   /// The waiting strategy (for parked readers) is per-instance state,
   /// fixed at construction; RuntimeWait instances default to the
   /// process-wide qsv::wait_policy.
-  explicit QsvRwLock(Wait waiter = Wait{}) : waiter_(waiter) {}
+  explicit QsvRwLock(Wait waiter = Wait{}) : waiter_(waiter) {
+    if constexpr (requires { waiter_.consult_telemetry(obs_.rec()); }) {
+      waiter_.consult_telemetry(obs_.rec());
+    }
+  }
   QsvRwLock(const QsvRwLock&) = delete;
   QsvRwLock& operator=(const QsvRwLock&) = delete;
 
@@ -77,10 +82,15 @@ class QsvRwLock {
     // on both sides of the handshake (see file comment).
     auto& slot = readers_.slot();
     slot.fetch_add(1, std::memory_order_seq_cst);
-    if ((gate_.load(std::memory_order_seq_cst) & kClosed) == 0) return;
+    if ((gate_.load(std::memory_order_seq_cst) & kClosed) == 0) {
+      qsv::obs::count_shared_acquire(obs_.rec());
+      return;
+    }
     // A writer phase is in progress: retreat and park.
     slot.fetch_sub(1, std::memory_order_seq_cst);
+    const std::uint64_t t0 = qsv::obs::wait_begin_ns(obs_.rec());
     lock_shared_slow(slot);
+    qsv::obs::count_contended_shared(obs_.rec(), t0);
   }
 
   /// Non-blocking shared entry: the fast path *is* a try — count into
@@ -92,7 +102,10 @@ class QsvRwLock {
     if ((gate_.load(std::memory_order_seq_cst) & kClosed) != 0) return false;
     auto& slot = readers_.slot();
     slot.fetch_add(1, std::memory_order_seq_cst);
-    if ((gate_.load(std::memory_order_seq_cst) & kClosed) == 0) return true;
+    if ((gate_.load(std::memory_order_seq_cst) & kClosed) == 0) {
+      qsv::obs::count_shared_acquire(obs_.rec());
+      return true;
+    }
     slot.fetch_sub(1, std::memory_order_seq_cst);
     return false;
   }
@@ -109,9 +122,13 @@ class QsvRwLock {
     // the synchronization point for entering the phase.
     const std::uint32_t ticket =
         writer_ticket_.fetch_add(1, std::memory_order_relaxed);
-    spin_until([&] {
-      return writer_grant_.load(std::memory_order_acquire) == ticket;
-    });
+    std::uint64_t t0 = 0;
+    if (writer_grant_.load(std::memory_order_acquire) != ticket) {
+      t0 = qsv::obs::wait_begin_ns(obs_.rec());
+      spin_until([&] {
+        return writer_grant_.load(std::memory_order_acquire) == ticket;
+      });
+    }
     // Seal the gate: fast-path readers arriving from here on retreat.
     gate_.store(kClosed, std::memory_order_seq_cst);
     // The batch granted at the previous boundary must have confirmed
@@ -124,6 +141,11 @@ class QsvRwLock {
     spin_until([&] {
       return readers_.sum(std::memory_order_seq_cst) == 0;
     });
+    if (t0 != 0) {
+      qsv::obs::count_contended_acquire(obs_.rec(), t0);
+    } else {
+      qsv::obs::count_acquire(obs_.rec());
+    }
   }
 
   /// Non-blocking exclusive entry: succeeds only when no writer holds
@@ -150,6 +172,7 @@ class QsvRwLock {
     // batch fully confirmed, and every stripe quiescent.
     if (batch_pending_.load(std::memory_order_acquire) == 0 &&
         readers_.sum(std::memory_order_seq_cst) == 0) {
+      qsv::obs::count_acquire(obs_.rec());
       return true;
     }
     // Readers are inside (or confirming): withdraw the phase.
@@ -157,7 +180,10 @@ class QsvRwLock {
     return false;
   }
 
-  void unlock() noexcept { release_phase(); }
+  void unlock() noexcept {
+    qsv::obs::note_release(obs_.rec());
+    release_phase();
+  }
 
   static constexpr const char* name() noexcept { return "qsv-rw"; }
 
@@ -166,6 +192,9 @@ class QsvRwLock {
   static constexpr std::size_t footprint_bytes() noexcept {
     return sizeof(QsvRwLock);
   }
+
+  /// This instance's registry record (null when telemetry is off).
+  const qsv::obs::LockRec* telemetry() const noexcept { return obs_.rec(); }
 
  private:
   static constexpr std::uint32_t kClosed = 1;
@@ -308,6 +337,9 @@ class QsvRwLock {
   /// phase-boundary waits stay on spin_until: the stripe drain watches
   /// a distributed sum no single futex word can stand for.
   [[no_unique_address]] Wait waiter_;
+
+  /// Per-instance telemetry registration (obs/hook.hpp).
+  [[no_unique_address]] qsv::obs::Handle obs_{name(), this};
 
   /// Distributed reader indicator: entry/exit touch one stripe.
   qsv::platform::StripedCounter<kStripes> readers_;

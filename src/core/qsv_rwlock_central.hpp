@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/hook.hpp"
 #include "platform/arch.hpp"
 #include "platform/cache.hpp"
 #include "platform/wait.hpp"
@@ -30,7 +31,11 @@ class QsvRwLockCentral {
   /// policy's wait_until: readers can park on reader_in_, writers on
   /// their baton word; the reader-drain wait on reader_out_ stays
   /// spin/yield (readers count out without a wake).
-  explicit QsvRwLockCentral(Wait waiter = Wait{}) : waiter_(waiter) {}
+  explicit QsvRwLockCentral(Wait waiter = Wait{}) : waiter_(waiter) {
+    if constexpr (requires { waiter_.consult_telemetry(obs_.rec()); }) {
+      waiter_.consult_telemetry(obs_.rec());
+    }
+  }
   QsvRwLockCentral(const QsvRwLockCentral&) = delete;
   QsvRwLockCentral& operator=(const QsvRwLockCentral&) = delete;
 
@@ -43,11 +48,15 @@ class QsvRwLockCentral {
       // A writer is present: wait for *that* writer phase to end. The
       // phase id bit flips every writer, so we pass after exactly one
       // writer even under a continuous write stream (no starvation).
+      const std::uint64_t t0 = qsv::obs::wait_begin_ns(obs_.rec());
       waiter_.wait_until(reader_in_, [&] {
         return (reader_in_.load(std::memory_order_acquire) & kWriterBits) !=
                w;
       });
+      qsv::obs::count_contended_shared(obs_.rec(), t0);
+      return;
     }
+    qsv::obs::count_shared_acquire(obs_.rec());
   }
 
   /// Non-blocking shared entry. Unlike lock_shared(), admission must
@@ -62,6 +71,7 @@ class QsvRwLockCentral {
       if (reader_in_.compare_exchange_weak(v, v + kReaderInc,
                                            std::memory_order_acquire,
                                            std::memory_order_acquire)) {
+        qsv::obs::count_shared_acquire(obs_.rec());
         return true;
       }
     }
@@ -80,9 +90,13 @@ class QsvRwLockCentral {
     // the synchronization point for entering the phase.
     const std::uint32_t ticket =
         writer_ticket_.fetch_add(1, std::memory_order_relaxed);
-    waiter_.wait_until(writer_grant_, [&] {
-      return writer_grant_.load(std::memory_order_acquire) == ticket;
-    });
+    std::uint64_t t0 = 0;
+    if (writer_grant_.load(std::memory_order_acquire) != ticket) {
+      t0 = qsv::obs::wait_begin_ns(obs_.rec());
+      waiter_.wait_until(writer_grant_, [&] {
+        return writer_grant_.load(std::memory_order_acquire) == ticket;
+      });
+    }
     // Announce the writer phase to readers: set presence + phase-id bits.
     // Readers that incremented reader_in_ before this RMW are "ahead of
     // us"; the prior value tells us how many to wait out.
@@ -96,6 +110,11 @@ class QsvRwLockCentral {
         reader_out_, [&] {
           return reader_out_.load(std::memory_order_acquire) == in_before;
         });
+    if (t0 != 0) {
+      qsv::obs::count_contended_acquire(obs_.rec(), t0);
+    } else {
+      qsv::obs::count_acquire(obs_.rec());
+    }
   }
 
   /// Non-blocking exclusive entry: take the baton only if it is free
@@ -117,7 +136,10 @@ class QsvRwLockCentral {
     const std::uint32_t bits = kWriterPresent | (g & kPhaseId);
     const std::uint32_t in_before =
         reader_in_.fetch_add(bits, std::memory_order_acquire) & ~kWriterBits;
-    if (reader_out_.load(std::memory_order_acquire) == in_before) return true;
+    if (reader_out_.load(std::memory_order_acquire) == in_before) {
+      qsv::obs::count_acquire(obs_.rec());
+      return true;
+    }
     // Readers still inside: clear the phase bits (readers that captured
     // them batch in, exactly as after unlock()) and pass the baton.
     reader_in_.fetch_and(~kWriterBits, std::memory_order_release);
@@ -128,6 +150,7 @@ class QsvRwLockCentral {
   }
 
   void unlock() noexcept {
+    qsv::obs::note_release(obs_.rec());
     // End the writer phase: clear presence/phase bits; waiting readers
     // (who captured the old bits) see the change and batch in. release
     // publishes the write section to them.
@@ -143,6 +166,9 @@ class QsvRwLockCentral {
 
   static constexpr const char* name() noexcept { return "qsv-rw/central"; }
 
+  /// This instance's registry record (null when telemetry is off).
+  const qsv::obs::LockRec* telemetry() const noexcept { return obs_.rec(); }
+
  private:
   // reader_in_ layout: bits 0..1 writer presence/phase; bits 8..31 count
   // of reader entries. reader_out_ uses the count bits only.
@@ -157,6 +183,9 @@ class QsvRwLockCentral {
 
   /// How this instance's blocked threads wait (and are woken).
   [[no_unique_address]] Wait waiter_;
+
+  /// Per-instance telemetry registration (obs/hook.hpp).
+  [[no_unique_address]] qsv::obs::Handle obs_{name(), this};
 
   alignas(qsv::platform::kFalseSharingRange)
       std::atomic<std::uint32_t> reader_in_{0};

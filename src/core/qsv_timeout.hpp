@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "obs/hook.hpp"
 #include "platform/arch.hpp"
 #include "platform/cache.hpp"
 #include "platform/node_arena.hpp"
@@ -36,6 +37,7 @@ class QsvTimeoutMutex {
   explicit QsvTimeoutMutex(
       qsv::wait_policy policy = qsv::get_default_wait_policy())
       : waiter_(policy) {
+    waiter_.consult_telemetry(obs_.rec());
     Node* sentinel = Arena::instance().acquire();
     // relaxed: single-threaded construction; publication of the mutex
     // object itself is the caller's problem (as for any std type).
@@ -107,6 +109,9 @@ class QsvTimeoutMutex {
     Node* mine = e.node;
     map.erase(e);
     // Successor (spinning on our node) sees the release and reclaims it.
+    // The releaser cannot tell handoff from free release (successors
+    // are implicit in this protocol): only the hold watermark updates.
+    qsv::obs::note_release(obs_.rec());
     mine->state.store(kReleased, std::memory_order_release);
     // A parked successor needs the wake. It may already have observed
     // the store, taken the variable, and recycled the node — benign:
@@ -116,6 +121,9 @@ class QsvTimeoutMutex {
   }
 
   static constexpr const char* name() noexcept { return "qsv-timeout"; }
+
+  /// This instance's registry record (null when telemetry is off).
+  const qsv::obs::LockRec* telemetry() const noexcept { return obs_.rec(); }
 
  private:
   static constexpr std::uint32_t kWaiting = 0;
@@ -146,12 +154,18 @@ class QsvTimeoutMutex {
         waiter_.policy() != qsv::wait_policy::spin;
     const std::uint32_t budget = waiter_.spin_budget();
     std::uint32_t polls = 0, spent = 0;
+    std::uint64_t t0 = 0;
     for (;;) {
       const std::uint32_t s = pred->state.load(std::memory_order_acquire);
       if (s == kReleased) {
         // We own the variable. Adopt-and-reclaim the predecessor.
         Arena::instance().release(pred);
         qsv::platform::HeldMap<Node>::local().insert(this, n);
+        if (t0 != 0) {
+          qsv::obs::count_contended_acquire(obs_.rec(), t0);
+        } else {
+          qsv::obs::count_acquire(obs_.rec());
+        }
         return true;
       }
       if (s == kAbandoned) {
@@ -161,6 +175,12 @@ class QsvTimeoutMutex {
         Arena::instance().release(pred);
         pred = pp;
         continue;
+      }
+      // The predecessor still holds: from here on we are a contended
+      // waiter. try_lock (kImmediate) withdraws clock-free, so it is
+      // exempt from the bracket.
+      if (deadline_ns != kImmediate && t0 == 0) {
+        t0 = qsv::obs::wait_begin_ns(obs_.rec());
       }
       if (deadline_ns == kNoDeadline) {
         // Unbounded: the full policy applies (a parked waiter is woken
@@ -199,6 +219,9 @@ class QsvTimeoutMutex {
 
   /// How this instance's blocked threads wait (and are woken).
   qsv::platform::RuntimeWait waiter_;
+
+  /// Per-instance telemetry registration (obs/hook.hpp).
+  [[no_unique_address]] qsv::obs::Handle obs_{name(), this};
 
   alignas(qsv::platform::kFalseSharingRange) std::atomic<Node*> var_;
 };

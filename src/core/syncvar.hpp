@@ -28,7 +28,6 @@
 #pragma once
 
 #include "core/condvar.hpp"       // IWYU pragma: export
-#include "core/events.hpp"        // IWYU pragma: export
 #include "core/qsv_barrier.hpp"   // IWYU pragma: export
 #include "core/qsv_mutex.hpp"     // IWYU pragma: export
 #include "core/qsv_rwlock.hpp"    // IWYU pragma: export

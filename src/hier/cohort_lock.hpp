@@ -56,7 +56,7 @@
 #include <vector>
 
 #include "hier/cohort_map.hpp"
-#include "hier/hier_events.hpp"
+#include "obs/hook.hpp"
 #include "platform/cache.hpp"
 #include "platform/thread_id.hpp"
 #include "qsv/wait.hpp"
@@ -82,7 +82,9 @@ concept ThreadObliviousUnlock = requires {
 
 /// The cohort combinator over two exclusive locks. `Map` assigns dense
 /// thread indices to cohorts (TopologyCohortMap by default — one cohort
-/// per NUMA node); `Events` is the shared hierarchical protocol sink.
+/// per NUMA node). Protocol events land on the combinator's own
+/// telemetry record (obs/hook.hpp) — the component locks additionally
+/// register records of their own.
 ///
 /// The global tier's ownership crosses threads (the acquiring cohort
 /// representative and the releasing last holder are usually different
@@ -90,8 +92,7 @@ concept ThreadObliviousUnlock = requires {
 /// hold transfer — enforced at compile time below. The local tier is
 /// always locked and unlocked by the same thread, so any mutex works.
 template <typename GlobalLock, typename LocalLock,
-          typename Map = TopologyCohortMap,
-          typename Events = NullHierEvents>
+          typename Map = TopologyCohortMap>
 class CohortLock {
   /// Does the global grant travel between threads as an explicit token?
   static constexpr bool kGlobalTransfer = HoldTransferable<GlobalLock>;
@@ -140,9 +141,10 @@ class CohortLock {
       adopt_global(c);
     } else {
       global_.lock.lock();
-      Events::count_global_acquire();
+      qsv::obs::count_global_acquire(obs_.rec());
       c.passes = 0;
     }
+    qsv::obs::count_acquire(obs_.rec());
   }
 
   /// Non-blocking attempt; present exactly when both components offer
@@ -162,10 +164,12 @@ class CohortLock {
       // lock until we release (and re-decide) in unlock().
       c.top_granted = false;
       adopt_global(c);
+      qsv::obs::count_acquire(obs_.rec());
       return true;
     }
     if (global_.lock.try_lock()) {
-      Events::count_global_acquire();
+      qsv::obs::count_global_acquire(obs_.rec());
+      qsv::obs::count_acquire(obs_.rec());
       c.passes = 0;
       return true;
     }
@@ -188,7 +192,7 @@ class CohortLock {
         c.global_hold = global_.lock.export_hold();
       }
       c.top_granted = true;
-      Events::count_local_pass();
+      qsv::obs::count_local_pass(obs_.rec());
       c.local.unlock();
       return;
     }
@@ -197,7 +201,7 @@ class CohortLock {
     // lock we still hold.
     c.passes = 0;
     global_.lock.unlock();
-    Events::count_global_release();
+    qsv::obs::count_global_release(obs_.rec());
     c.local.unlock();
   }
 
@@ -212,6 +216,9 @@ class CohortLock {
     return sizeof(GlobalLock) +
            cohorts_.size() * sizeof(qsv::platform::Padded<Cohort>);
   }
+
+  /// This instance's registry record (null when telemetry is off).
+  const qsv::obs::LockRec* telemetry() const noexcept { return obs_.rec(); }
 
  private:
   /// Per-cohort state. `local` serializes the cohort; `pending` counts
@@ -266,6 +273,8 @@ class CohortLock {
 
   Map map_;
   std::size_t budget_;
+  /// Per-instance telemetry registration (obs/hook.hpp).
+  [[no_unique_address]] qsv::obs::Handle obs_{name(), this};
   GlobalHolder global_;
   /// One padded slab per cohort, allocated once (component locks are
   /// neither copyable nor movable, so the table is pointer-stable by

@@ -29,7 +29,7 @@
 #include <cstdint>
 
 #include "hier/cohort_map.hpp"
-#include "hier/hier_events.hpp"
+#include "obs/hook.hpp"
 #include "platform/arch.hpp"
 #include "platform/cache.hpp"
 #include "platform/node_arena.hpp"
@@ -41,8 +41,7 @@ namespace qsv::hier {
 /// Hierarchical QSV mutex. `Wait` is the waiting strategy for both the
 /// local and global wait — per-instance state, fixed at construction
 /// (platform/wait.hpp; RuntimeWait by default).
-template <typename Wait = qsv::platform::RuntimeWait,
-          typename Events = NullHierEvents>
+template <typename Wait = qsv::platform::RuntimeWait>
 class HierQsvMutex {
  public:
   /// `threads_per_cohort`: dense thread indices are grouped in blocks of
@@ -53,7 +52,11 @@ class HierQsvMutex {
       : waiter_(waiter),
         map_(threads_per_cohort),
         budget_(budget),
-        cohorts_(map_.cohort_count(qsv::platform::kMaxThreads)) {}
+        cohorts_(map_.cohort_count(qsv::platform::kMaxThreads)) {
+    if constexpr (requires { waiter_.consult_telemetry(obs_.rec()); }) {
+      waiter_.consult_telemetry(obs_.rec());
+    }
+  }
 
   /// Tuned cohort/budget defaults, explicit waiting policy.
   explicit HierQsvMutex(qsv::wait_policy policy)
@@ -73,13 +76,20 @@ class HierQsvMutex {
     // the previous holder on the fresh-acquire path).
     Node* pred = coh.local_tail.exchange(n, std::memory_order_acq_rel);
     bool have_global = false;
+    std::uint64_t t0 = 0;
     if (pred != nullptr) {
+      t0 = qsv::obs::wait_begin_ns(obs_.rec());
       pred->next.store(n, std::memory_order_release);
       waiter_.wait_while_equal(n->state, kWaiting);
       have_global =
           n->state.load(std::memory_order_acquire) == kGlobalPassed;
     }
-    if (!have_global) acquire_global(coh);
+    if (!have_global) acquire_global(coh, t0);
+    if (t0 != 0) {
+      qsv::obs::count_contended_acquire(obs_.rec(), t0);
+    } else {
+      qsv::obs::count_acquire(obs_.rec());
+    }
     Held::local().insert(this, n);
   }
 
@@ -109,7 +119,8 @@ class HierQsvMutex {
     if (global_tail_.compare_exchange_strong(expected, g,
                                              std::memory_order_acq_rel,
                                              std::memory_order_relaxed)) {
-      Events::count_global_acquire();
+      qsv::obs::count_global_acquire(obs_.rec());
+      qsv::obs::count_acquire(obs_.rec());
       coh.global_node = g;
       coh.passes = 0;
       Held::local().insert(this, n);
@@ -153,6 +164,7 @@ class HierQsvMutex {
                                                  std::memory_order_relaxed)) {
         // Cohort queue drained: give the global lock back.
         release_global(coh);
+        qsv::obs::count_free_release(obs_.rec());
         Arena::instance().release(n);
         return;
       }
@@ -160,10 +172,11 @@ class HierQsvMutex {
         qsv::platform::cpu_relax();
       }
     }
+    qsv::obs::count_handoff(obs_.rec());
     if (coh.passes < budget_) {
       // Intra-cohort pass: successor inherits local *and* global lock.
       ++coh.passes;
-      Events::count_local_pass();
+      qsv::obs::count_local_pass(obs_.rec());
       next->state.store(kGlobalPassed, std::memory_order_release);
       waiter_.notify_all(next->state);
     } else {
@@ -188,6 +201,9 @@ class HierQsvMutex {
     return qsv::platform::kFalseSharingRange +
            cohorts_.footprint_bytes();
   }
+
+  /// This instance's registry record (null when telemetry is off).
+  const qsv::obs::LockRec* telemetry() const noexcept { return obs_.rec(); }
 
  private:
   static constexpr std::uint32_t kWaiting = 0;
@@ -221,18 +237,21 @@ class HierQsvMutex {
 
   /// Standard QSV enqueue on the global word with a fresh node; records
   /// the node in the cohort so any cohort-mate that later inherits the
-  /// lock can release it.
-  void acquire_global(Cohort& coh) {
+  /// lock can release it. `t0` is the caller's contended-wait bracket:
+  /// left untouched when already set (the local wait started it),
+  /// started here when the global tier makes us wait.
+  void acquire_global(Cohort& coh, std::uint64_t& t0) {
     Node* g = Arena::instance().acquire();
     // relaxed: node init; the acq_rel exchange below publishes it.
     g->next.store(nullptr, std::memory_order_relaxed);
     g->state.store(kWaiting, std::memory_order_relaxed);  // relaxed: as above
     Node* pred = global_tail_.exchange(g, std::memory_order_acq_rel);
     if (pred != nullptr) {
+      if (t0 == 0) t0 = qsv::obs::wait_begin_ns(obs_.rec());
       pred->next.store(g, std::memory_order_release);
       waiter_.wait_while_equal(g->state, kWaiting);
     }
-    Events::count_global_acquire();
+    qsv::obs::count_global_acquire(obs_.rec());
     coh.global_node = g;
     coh.passes = 0;
   }
@@ -251,7 +270,7 @@ class HierQsvMutex {
       if (global_tail_.compare_exchange_strong(expected, nullptr,
                                                std::memory_order_release,
                                                std::memory_order_relaxed)) {
-        Events::count_global_release();
+        qsv::obs::count_global_release(obs_.rec());
         Arena::instance().release(g);
         return;
       }
@@ -259,7 +278,7 @@ class HierQsvMutex {
         qsv::platform::cpu_relax();
       }
     }
-    Events::count_global_release();
+    qsv::obs::count_global_release(obs_.rec());
     next->state.store(kGlobalPassed, std::memory_order_release);
     waiter_.notify_all(next->state);
     Arena::instance().release(g);
@@ -267,6 +286,8 @@ class HierQsvMutex {
 
   /// How this instance's blocked threads wait (and are woken).
   [[no_unique_address]] Wait waiter_;
+  /// Per-instance telemetry registration (obs/hook.hpp).
+  [[no_unique_address]] qsv::obs::Handle obs_{name(), this};
   BlockCohortMap map_;
   std::size_t budget_;
   /// Global word: tail of the queue *of cohort representatives*.

@@ -11,6 +11,7 @@
 #include <cassert>
 #include <cstdint>
 
+#include "obs/hook.hpp"
 #include "platform/arch.hpp"
 #include "platform/cache.hpp"
 #include "platform/wait.hpp"
@@ -26,6 +27,9 @@ class AndersonLock {
       : waiter_(waiter),
         mask_(qsv::platform::next_pow2(capacity) - 1),
         slots_(mask_ + 1) {
+    if constexpr (requires { waiter_.consult_telemetry(obs_.rec()); }) {
+      waiter_.consult_telemetry(obs_.rec());
+    }
     // Slot 0 starts "granted": the first arrival proceeds immediately.
     // relaxed: single-threaded construction.
     slots_[0].store(kGranted, std::memory_order_relaxed);
@@ -42,12 +46,24 @@ class AndersonLock {
     const std::uint32_t pos =
         next_slot_.fetch_add(1, std::memory_order_relaxed);
     const std::size_t slot = pos & mask_;
+    // One extra acquire load classifies the acquisition for telemetry;
+    // the wait below re-checks, so the protocol is unchanged.
+    std::uint64_t t0 = 0;
+    if (slots_[slot].load(std::memory_order_acquire) == kWait) {
+      t0 = qsv::obs::wait_begin_ns(obs_.rec());
+    }
     waiter_.wait_while_equal(slots_[slot], kWait);
+    if (t0 != 0) {
+      qsv::obs::count_contended_acquire(obs_.rec(), t0);
+    } else {
+      qsv::obs::count_acquire(obs_.rec());
+    }
     // Only the holder reads/writes holder_slot_, inside the CS.
     holder_slot_ = slot;
   }
 
   void unlock() noexcept {
+    qsv::obs::note_release(obs_.rec());
     const std::size_t slot = holder_slot_;
     // Re-arm my slot for its next lap around the ring...
     // relaxed: no waiter polls this slot until a full lap from now,
@@ -65,12 +81,17 @@ class AndersonLock {
     return slots_.footprint_bytes() + 2 * qsv::platform::kFalseSharingRange;
   }
 
+  /// This instance's registry record (null when telemetry is off).
+  const qsv::obs::LockRec* telemetry() const noexcept { return obs_.rec(); }
+
  private:
   static constexpr std::uint32_t kWait = 0;
   static constexpr std::uint32_t kGranted = 1;
 
   /// How this instance's waiters wait (and are woken).
   [[no_unique_address]] Wait waiter_;
+  /// Per-instance telemetry registration (obs/hook.hpp).
+  [[no_unique_address]] qsv::obs::Handle obs_{name(), this};
   alignas(qsv::platform::kFalseSharingRange)
       std::atomic<std::uint32_t> next_slot_{0};
   std::size_t mask_;

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "locks/detail.hpp"
+#include "obs/hook.hpp"
 #include "platform/arch.hpp"
 #include "platform/cache.hpp"
 #include "platform/wait.hpp"
@@ -22,6 +23,9 @@ template <typename Wait = qsv::platform::RuntimeWait>
 class ClhLock {
  public:
   explicit ClhLock(Wait waiter = Wait{}) : waiter_(waiter) {
+    if constexpr (requires { waiter_.consult_telemetry(obs_.rec()); }) {
+      waiter_.consult_telemetry(obs_.rec());
+    }
     // The queue needs a sentinel "already released" node for the first
     // arrival to observe.
     Node* sentinel = Arena::instance().acquire();
@@ -46,12 +50,24 @@ class ClhLock {
     // acq_rel: release publishes my node's init; acquire receives the
     // predecessor's node contents.
     Node* pred = tail_.exchange(n, std::memory_order_acq_rel);
+    // One extra acquire load classifies the acquisition for telemetry;
+    // the wait below re-checks, so the protocol is unchanged.
+    std::uint64_t t0 = 0;
+    if (pred->released.load(std::memory_order_acquire) == 0) {
+      t0 = qsv::obs::wait_begin_ns(obs_.rec());
+    }
     waiter_.wait_while_equal(pred->released, 0u);
+    if (t0 != 0) {
+      qsv::obs::count_contended_acquire(obs_.rec(), t0);
+    } else {
+      qsv::obs::count_acquire(obs_.rec());
+    }
     auto& e = Held::local().insert(this, n);
     e.aux = pred;  // adopt on unlock
   }
 
   void unlock() {
+    qsv::obs::note_release(obs_.rec());
     auto& e = Held::local().find(this);
     Node* mine = e.node;
     Node* adopted = e.aux;
@@ -67,6 +83,9 @@ class ClhLock {
     return sizeof(std::atomic<void*>);  // tail word; nodes accounted per waiter
   }
 
+  /// This instance's registry record (null when telemetry is off).
+  const qsv::obs::LockRec* telemetry() const noexcept { return obs_.rec(); }
+
  private:
   friend struct qsv::platform::LayoutAuditAccess;
 
@@ -78,6 +97,8 @@ class ClhLock {
 
   /// How this instance's waiters wait (and are woken).
   [[no_unique_address]] Wait waiter_;
+  /// Per-instance telemetry registration (obs/hook.hpp).
+  [[no_unique_address]] qsv::obs::Handle obs_{name(), this};
   alignas(qsv::platform::kFalseSharingRange) std::atomic<Node*> tail_;
 };
 

@@ -12,6 +12,7 @@
 #include <cassert>
 #include <cstdint>
 
+#include "obs/hook.hpp"
 #include "platform/arch.hpp"
 #include "platform/cache.hpp"
 #include "platform/node_arena.hpp"
@@ -64,12 +65,20 @@ class GraunkeThakkarLock {
     const std::uint32_t prev_val = value_of(prev);
     // Predecessor releases by flipping its flag away from the recorded
     // value. acquire pairs with their release store.
+    std::uint64_t t0 = 0;
     while ((prev_flag->load(std::memory_order_acquire) & 1u) == prev_val) {
+      if (t0 == 0) t0 = qsv::obs::wait_begin_ns(obs_.rec());
       qsv::platform::cpu_relax();
+    }
+    if (t0 != 0) {
+      qsv::obs::count_contended_acquire(obs_.rec(), t0);
+    } else {
+      qsv::obs::count_acquire(obs_.rec());
     }
   }
 
   void unlock() noexcept {
+    qsv::obs::note_release(obs_.rec());
     const std::size_t me = qsv::platform::thread_index();
     auto& my_flag = flags_[me];
     // Flip my own flag: one write, to a line only my successor polls.
@@ -83,6 +92,9 @@ class GraunkeThakkarLock {
   std::size_t footprint_bytes() const noexcept {
     return flags_.footprint_bytes() + 2 * qsv::platform::kFalseSharingRange;
   }
+
+  /// This instance's registry record (null when telemetry is off).
+  const qsv::obs::LockRec* telemetry() const noexcept { return obs_.rec(); }
 
  private:
   using Flag = std::atomic<std::uint32_t>;
@@ -99,6 +111,8 @@ class GraunkeThakkarLock {
     return static_cast<std::uint32_t>(packed & 1ULL);
   }
 
+  /// Per-instance telemetry registration (obs/hook.hpp).
+  [[no_unique_address]] qsv::obs::Handle obs_{name(), this};
   qsv::platform::PaddedArray<Flag> flags_;
   alignas(qsv::platform::kFalseSharingRange) Flag init_flag_;
   alignas(qsv::platform::kFalseSharingRange) std::atomic<std::uint64_t> tail_;

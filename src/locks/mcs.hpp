@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "locks/detail.hpp"
+#include "obs/hook.hpp"
 #include "platform/arch.hpp"
 #include "platform/cache.hpp"
 #include "platform/wait.hpp"
@@ -20,7 +21,11 @@ namespace qsv::locks {
 template <typename Wait = qsv::platform::RuntimeWait>
 class McsLock {
  public:
-  explicit McsLock(Wait waiter = Wait{}) : waiter_(waiter) {}
+  explicit McsLock(Wait waiter = Wait{}) : waiter_(waiter) {
+    if constexpr (requires { waiter_.consult_telemetry(obs_.rec()); }) {
+      waiter_.consult_telemetry(obs_.rec());
+    }
+  }
   McsLock(const McsLock&) = delete;
   McsLock& operator=(const McsLock&) = delete;
 
@@ -32,10 +37,14 @@ class McsLock {
     // acq_rel: publish my node, observe predecessor's.
     Node* pred = tail_.exchange(n, std::memory_order_acq_rel);
     if (pred != nullptr) {
+      const std::uint64_t t0 = qsv::obs::wait_begin_ns(obs_.rec());
       // Link myself; predecessor's unlock will grant me. release pairs
       // with the unlock's acquire load of next.
       pred->next.store(n, std::memory_order_release);
       waiter_.wait_while_equal(n->granted, 0u);
+      qsv::obs::count_contended_acquire(obs_.rec(), t0);
+    } else {
+      qsv::obs::count_acquire(obs_.rec());
     }
     Held::local().insert(this, n);
   }
@@ -49,6 +58,7 @@ class McsLock {
     // relaxed: failure order — a failed try_lock reads nothing.
     if (tail_.compare_exchange_strong(expected, n, std::memory_order_acq_rel,
                                       std::memory_order_relaxed)) {
+      qsv::obs::count_acquire(obs_.rec());
       Held::local().insert(this, n);
       return true;
     }
@@ -70,6 +80,7 @@ class McsLock {
       if (tail_.compare_exchange_strong(expected, nullptr,
                                         std::memory_order_release,
                                         std::memory_order_relaxed)) {
+        qsv::obs::count_free_release(obs_.rec());
         Arena::instance().release(n);
         return;
       }
@@ -79,6 +90,7 @@ class McsLock {
         qsv::platform::cpu_relax();
       }
     }
+    qsv::obs::count_handoff(obs_.rec());
     next->granted.store(1, std::memory_order_release);
     waiter_.notify_all(next->granted);
     Arena::instance().release(n);
@@ -101,6 +113,9 @@ class McsLock {
     return sizeof(std::atomic<void*>);  // tail; one node per waiting thread
   }
 
+  /// This instance's registry record (null when telemetry is off).
+  const qsv::obs::LockRec* telemetry() const noexcept { return obs_.rec(); }
+
  private:
   friend struct qsv::platform::LayoutAuditAccess;
 
@@ -113,6 +128,8 @@ class McsLock {
 
   /// How this instance's waiters wait (and are woken).
   [[no_unique_address]] Wait waiter_;
+  /// Per-instance telemetry registration (obs/hook.hpp).
+  [[no_unique_address]] qsv::obs::Handle obs_{name(), this};
   alignas(qsv::platform::kFalseSharingRange)
       std::atomic<Node*> tail_{nullptr};
 };

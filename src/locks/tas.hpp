@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/hook.hpp"
 #include "platform/arch.hpp"
 #include "platform/cache.hpp"
 
@@ -22,16 +23,27 @@ class TasLock {
 
   void lock() noexcept {
     // acquire on success orders the critical section after the exchange.
+    if (flag_.exchange(1, std::memory_order_acquire) == 0) {
+      qsv::obs::count_acquire(obs_.rec());
+      return;
+    }
+    const std::uint64_t t0 = qsv::obs::wait_begin_ns(obs_.rec());
     while (flag_.exchange(1, std::memory_order_acquire) != 0) {
       qsv::platform::cpu_relax();
     }
+    qsv::obs::count_contended_acquire(obs_.rec(), t0);
   }
 
   bool try_lock() noexcept {
-    return flag_.exchange(1, std::memory_order_acquire) == 0;
+    if (flag_.exchange(1, std::memory_order_acquire) == 0) {
+      qsv::obs::count_acquire(obs_.rec());
+      return true;
+    }
+    return false;
   }
 
   void unlock() noexcept {
+    qsv::obs::note_release(obs_.rec());
     // release publishes the critical section to the next acquirer.
     flag_.store(0, std::memory_order_release);
   }
@@ -46,7 +58,12 @@ class TasLock {
     return sizeof(std::atomic<std::uint32_t>);
   }
 
+  /// This instance's registry record (null when telemetry is off).
+  const qsv::obs::LockRec* telemetry() const noexcept { return obs_.rec(); }
+
  private:
+  /// Per-instance telemetry registration (obs/hook.hpp).
+  [[no_unique_address]] qsv::obs::Handle obs_{name(), this};
   alignas(qsv::platform::kFalseSharingRange)
       std::atomic<std::uint32_t> flag_{0};
 };

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/hook.hpp"
 #include "platform/arch.hpp"
 #include "platform/backoff.hpp"
 #include "platform/cache.hpp"
@@ -27,9 +28,15 @@ class TicketLock {
     // synchronization point.
     const std::uint32_t me =
         next_ticket_.fetch_add(1, std::memory_order_relaxed);
+    if (now_serving_.load(std::memory_order_acquire) == me) {
+      qsv::obs::count_acquire(obs_.rec());
+      return;
+    }
+    const std::uint64_t t0 = qsv::obs::wait_begin_ns(obs_.rec());
     while (now_serving_.load(std::memory_order_acquire) != me) {
       qsv::platform::cpu_relax();
     }
+    qsv::obs::count_contended_acquire(obs_.rec(), t0);
   }
 
   bool try_lock() noexcept {
@@ -39,13 +46,18 @@ class TicketLock {
     // Succeed only if no ticket is outstanding: next == serving and we can
     // claim it.
     // relaxed: failure order — a failed try_lock reads nothing.
-    return next_ticket_.compare_exchange_strong(
-               expected, serving + 1, std::memory_order_acquire,
-               std::memory_order_relaxed) &&
-           expected == serving;
+    if (next_ticket_.compare_exchange_strong(
+            expected, serving + 1, std::memory_order_acquire,
+            std::memory_order_relaxed) &&
+        expected == serving) {
+      qsv::obs::count_acquire(obs_.rec());
+      return true;
+    }
+    return false;
   }
 
   void unlock() noexcept {
+    qsv::obs::note_release(obs_.rec());
     // Only the holder writes now_serving_, so a plain add-and-store works.
     // relaxed: reading back our own exclusive word.
     now_serving_.store(now_serving_.load(std::memory_order_relaxed) + 1,
@@ -63,7 +75,12 @@ class TicketLock {
     return 2 * sizeof(std::atomic<std::uint32_t>);
   }
 
+  /// This instance's registry record (null when telemetry is off).
+  const qsv::obs::LockRec* telemetry() const noexcept { return obs_.rec(); }
+
  private:
+  /// Per-instance telemetry registration (obs/hook.hpp).
+  [[no_unique_address]] qsv::obs::Handle obs_{name(), this};
   // Ticket dispenser and grant word on separate line pairs: waiters'
   // fetch&adds must not steal the line the head waiter is polling.
   alignas(qsv::platform::kFalseSharingRange)
@@ -86,15 +103,23 @@ class TicketLockProportional {
     // synchronization point.
     const std::uint32_t me =
         next_ticket_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t t0 = 0;
     for (;;) {
       const std::uint32_t serving =
           now_serving_.load(std::memory_order_acquire);
-      if (serving == me) return;
+      if (serving == me) break;
+      if (t0 == 0) t0 = qsv::obs::wait_begin_ns(obs_.rec());
       backoff_.wait(me - serving);  // wraparound-safe distance
+    }
+    if (t0 != 0) {
+      qsv::obs::count_contended_acquire(obs_.rec(), t0);
+    } else {
+      qsv::obs::count_acquire(obs_.rec());
     }
   }
 
   void unlock() noexcept {
+    qsv::obs::note_release(obs_.rec());
     // relaxed: reading back our own exclusive word.
     now_serving_.store(now_serving_.load(std::memory_order_relaxed) + 1,
                        std::memory_order_release);
@@ -105,7 +130,12 @@ class TicketLockProportional {
     return 2 * sizeof(std::atomic<std::uint32_t>);
   }
 
+  /// This instance's registry record (null when telemetry is off).
+  const qsv::obs::LockRec* telemetry() const noexcept { return obs_.rec(); }
+
  private:
+  /// Per-instance telemetry registration (obs/hook.hpp).
+  [[no_unique_address]] qsv::obs::Handle obs_{name(), this};
   alignas(qsv::platform::kFalseSharingRange)
       std::atomic<std::uint32_t> next_ticket_{0};
   alignas(qsv::platform::kFalseSharingRange)

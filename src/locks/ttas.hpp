@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/hook.hpp"
 #include "platform/arch.hpp"
 #include "platform/backoff.hpp"
 #include "platform/cache.hpp"
@@ -26,13 +27,22 @@ class TtasLock {
 
   void lock() noexcept {
     Backoff backoff = backoff_proto_;
+    std::uint64_t t0 = 0;
     for (;;) {
       // Read-only poll phase: stays in cache until the holder releases.
       // relaxed: poll only; the winning exchange is the acquire.
       while (flag_.load(std::memory_order_relaxed) != 0) {
+        if (t0 == 0) t0 = qsv::obs::wait_begin_ns(obs_.rec());
         qsv::platform::cpu_relax();
       }
-      if (flag_.exchange(1, std::memory_order_acquire) == 0) return;
+      if (flag_.exchange(1, std::memory_order_acquire) == 0) {
+        if (t0 != 0) {
+          qsv::obs::count_contended_acquire(obs_.rec(), t0);
+        } else {
+          qsv::obs::count_acquire(obs_.rec());
+        }
+        return;
+      }
       backoff();  // lost the race to another poller: back off
     }
   }
@@ -40,18 +50,30 @@ class TtasLock {
   bool try_lock() noexcept {
     // relaxed: pre-check to avoid a doomed RMW; the acquire exchange
     // is the entry point.
-    return flag_.load(std::memory_order_relaxed) == 0 &&
-           flag_.exchange(1, std::memory_order_acquire) == 0;
+    if (flag_.load(std::memory_order_relaxed) == 0 &&
+        flag_.exchange(1, std::memory_order_acquire) == 0) {
+      qsv::obs::count_acquire(obs_.rec());
+      return true;
+    }
+    return false;
   }
 
-  void unlock() noexcept { flag_.store(0, std::memory_order_release); }
+  void unlock() noexcept {
+    qsv::obs::note_release(obs_.rec());
+    flag_.store(0, std::memory_order_release);
+  }
 
   static constexpr const char* name() noexcept { return "ttas+backoff"; }
   static constexpr std::size_t footprint_bytes() noexcept {
     return sizeof(std::atomic<std::uint32_t>);
   }
 
+  /// This instance's registry record (null when telemetry is off).
+  const qsv::obs::LockRec* telemetry() const noexcept { return obs_.rec(); }
+
  private:
+  /// Per-instance telemetry registration (obs/hook.hpp).
+  [[no_unique_address]] qsv::obs::Handle obs_{name(), this};
   alignas(qsv::platform::kFalseSharingRange)
       std::atomic<std::uint32_t> flag_{0};
   Backoff backoff_proto_{};

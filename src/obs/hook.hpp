@@ -1,0 +1,419 @@
+// hook.hpp — the one narrow seam between the primitives and the
+// telemetry registry (src/obs/registry.hpp).
+//
+// This header replaces the four scattered event seams that grew up
+// around the catalogue (the core NullEvents/CountingEvents static
+// sinks, the hier NullHierEvents/CountingHierEvents statics, the trace
+// session's private counters, and ad-hoc stderr prints): every
+// instrumented primitive owns a Handle, the Handle registers one
+// LockRec in the process-wide TelemetryRegistry, and every protocol
+// event lands on that record through the inline counting helpers
+// below. The old sinks were process-global and compile-time; LockRec
+// is per *instance* and always on, which is what a live introspection
+// endpoint needs.
+//
+// Layering: this is the only obs/ header the platform and primitive
+// layers may include (qsvlint's layering rule carves out exactly this
+// file, the same dependency-inversion move as platform/chk_hook.hpp
+// and platform/hazard_hook.hpp). It defines the hot-path record inline
+// and *declares* the cold registration entry points, which live in
+// registry.cpp — so including it pulls in no registry machinery.
+//
+// Hot-path budget: one relaxed increment per event. Uncontended
+// acquisitions touch the caller's own stripe of a striped counter;
+// uncontended releases pay one relaxed increment plus one relaxed load
+// of the hold timestamp (zero unless the acquisition was contended).
+// Clock reads happen only on contended paths, which already cost a
+// cache-miss chain. The whole layer compiles out under -DQSV_OBS=0
+// (CMake option QSV_OBS=OFF): Handle::rec() becomes a constant
+// nullptr and every helper folds away.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "platform/histogram.hpp"
+#include "platform/striped_counter.hpp"
+#include "platform/timing.hpp"
+
+#ifndef QSV_OBS
+#define QSV_OBS 1
+#endif
+
+namespace qsv::obs {
+
+namespace detail {
+/// Runtime master switch, consulted at *registration* (construction)
+/// time only: a primitive constructed while disabled carries a null
+/// record for its whole life and pays only a dead null-check per
+/// event. Default on — the point of the refactor is always-on
+/// production observability; the BENCH_obs gate proves the cost.
+inline std::atomic<bool> g_enabled{true};
+
+/// When set, adaptive waiters bound to a record derive their spin
+/// budget from the record's measured handoff-wait EWMA (nanoseconds)
+/// instead of their private poll-count EWMA — the "registry-adaptive"
+/// arm of the abl7 ablation. Read once per wait entry (contended path
+/// only), never on the uncontended path.
+inline std::atomic<bool> g_adaptive_from_registry{false};
+}  // namespace detail
+
+inline bool enabled() noexcept {
+  // relaxed: construction-time gate; no data is published under it.
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) noexcept {
+  // relaxed: as above — affects only future registrations.
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+inline bool adaptive_from_registry() noexcept {
+  // relaxed: tuning-mode gate; budgets are heuristics, never safety.
+  return detail::g_adaptive_from_registry.load(std::memory_order_relaxed);
+}
+inline void set_adaptive_from_registry(bool on) noexcept {
+  // relaxed: as above.
+  detail::g_adaptive_from_registry.store(on, std::memory_order_relaxed);
+}
+
+/// One primitive instance's telemetry record. Owned by the registry
+/// (stable address from registration to unregistration); the owning
+/// primitive keeps only the pointer. All counters are monotonic and
+/// relaxed: telemetry orders nothing, and a reader of a moving record
+/// sees a slightly stale but never torn view.
+class LockRec {
+ public:
+  /// Stripes for the entry-side counters: reader entry on a shared
+  /// lock is concurrent by design, so the count must not re-create the
+  /// hot line the striped rwlock exists to avoid.
+  static constexpr std::size_t kStripes = 8;
+
+  LockRec() = default;
+  LockRec(const LockRec&) = delete;
+  LockRec& operator=(const LockRec&) = delete;
+
+  // ------------------------------------------------------ hot hooks
+
+  /// Uncontended exclusive acquisition: the one-relaxed-increment path.
+  void count_acquire() noexcept {
+    // relaxed: monotonic tally on the caller's own stripe.
+    acquisitions_.slot().fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Uncontended shared (reader) acquisition.
+  void count_shared_acquire() noexcept {
+    // relaxed: monotonic tally on the caller's own stripe.
+    shared_.slot().fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Contended exclusive acquisition: the waiter measured `wait_ns`
+  /// between enqueue and grant, and `now_ns` is the grant timestamp.
+  /// Feeds the handoff-wait EWMA + histogram + watermark and stamps
+  /// the hold timestamp (holder-owned: written here under the lock,
+  /// cleared by the same holder's release).
+  void count_contended_acquire(std::uint64_t wait_ns,
+                               std::uint64_t now_ns) noexcept {
+    count_wait(wait_ns);
+    // relaxed: holder-owned stamp; the lock's own handoff ordering
+    // carries it to the releasing (same) holder.
+    held_since_ns_.store(now_ns, std::memory_order_relaxed);
+  }
+
+  /// Contended shared acquisition (a reader that had to park). Feeds
+  /// the wait statistics but not the hold stamp — shared holds overlap
+  /// and a single word cannot speak for a batch.
+  void count_contended_shared(std::uint64_t wait_ns) noexcept {
+    // relaxed: monotonic tally on the caller's own stripe.
+    shared_.slot().fetch_add(1, std::memory_order_relaxed);
+    count_wait_stats(wait_ns);
+  }
+
+  /// Release that granted a queued waiter.
+  void count_handoff() noexcept {
+    note_release();
+    // relaxed: monotonic tally (release side is serialized by the lock).
+    handoffs_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Release that found the queue empty.
+  void count_free_release() noexcept {
+    note_release();
+    // relaxed: monotonic tally (release side is serialized by the lock).
+    free_releases_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Release on protocols that cannot tell handoff from free release
+  /// (the CLH-style timeout lock): updates only the hold watermark.
+  void note_release() noexcept {
+    // relaxed: holder-owned stamp (see count_contended_acquire); zero
+    // unless this acquisition was contended, so the uncontended
+    // release pays one relaxed load and a never-taken branch.
+    const std::uint64_t t = held_since_ns_.load(std::memory_order_relaxed);
+    if (t != 0) {
+      max_relaxed(max_hold_ns_, qsv::platform::now_ns() - t);
+      // relaxed: clearing our own stamp.
+      held_since_ns_.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  // ------------------------------------------- cohort (hier) hooks
+
+  /// Intra-cohort handoff: local and global lock passed in one store.
+  void count_local_pass() noexcept {
+    // relaxed: monotonic tally (the releasing holder is serialized).
+    local_passes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// The cohort acquired the global tier (a "cohort miss").
+  void count_global_acquire() noexcept {
+    // relaxed: monotonic tally.
+    global_acquires_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// The cohort released the global tier.
+  void count_global_release() noexcept {
+    // relaxed: monotonic tally.
+    global_releases_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // ------------------------------------------------- cold snapshots
+
+  std::uint64_t acquisitions() const noexcept {
+    // relaxed: statistical read of moving stripes.
+    return static_cast<std::uint64_t>(
+        acquisitions_.sum(std::memory_order_relaxed));
+  }
+  std::uint64_t shared_acquisitions() const noexcept {
+    // relaxed: statistical read of moving stripes.
+    return static_cast<std::uint64_t>(
+        shared_.sum(std::memory_order_relaxed));
+  }
+  std::uint64_t contended() const noexcept {
+    return contended_.load(std::memory_order_relaxed);  // relaxed: stat read
+  }
+  std::uint64_t handoffs() const noexcept {
+    return handoffs_.load(std::memory_order_relaxed);  // relaxed: stat read
+  }
+  std::uint64_t free_releases() const noexcept {
+    // relaxed: statistical read of a moving counter.
+    return free_releases_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t local_passes() const noexcept {
+    // relaxed: statistical read of a moving counter.
+    return local_passes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t global_acquires() const noexcept {
+    // relaxed: statistical read of a moving counter.
+    return global_acquires_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t global_releases() const noexcept {
+    // relaxed: statistical read of a moving counter.
+    return global_releases_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max_wait_ns() const noexcept {
+    return max_wait_ns_.load(std::memory_order_relaxed);  // relaxed: stat read
+  }
+  std::uint64_t max_hold_ns() const noexcept {
+    return max_hold_ns_.load(std::memory_order_relaxed);  // relaxed: stat read
+  }
+  /// Nonzero while the lock is held by an acquisition that was
+  /// contended: the live long-hold signal (hazard detection compares
+  /// it against now).
+  std::uint64_t held_since_ns() const noexcept {
+    // relaxed: statistical read of the holder-owned stamp.
+    return held_since_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Smoothed contended-wait (handoff) latency in nanoseconds — the
+  /// value the registry-consulting adaptive mode reads.
+  std::uint64_t wait_ewma_ns() const noexcept {
+    // relaxed: calibration estimate; any recent value serves.
+    return wait_ewma_ns_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t wait_count() const noexcept {
+    // relaxed: statistical read.
+    return contended_.load(std::memory_order_relaxed);
+  }
+  /// Upper bound of the histogram bucket holding the q-quantile
+  /// contended wait (0 when no waits were recorded).
+  std::uint64_t wait_quantile_ns(double q) const noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < qsv::platform::LogHistogram::kBuckets; ++i) {
+      // relaxed: statistical read of a moving bucket.
+      total += wait_hist_[i].load(std::memory_order_relaxed);
+    }
+    if (total == 0) return 0;
+    const auto target =
+        static_cast<std::uint64_t>(q * static_cast<double>(total));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < qsv::platform::LogHistogram::kBuckets; ++i) {
+      // relaxed: statistical read (as above).
+      seen += wait_hist_[i].load(std::memory_order_relaxed);
+      if (seen > target) {
+        return qsv::platform::LogHistogram::bucket_upper(i);
+      }
+    }
+    return qsv::platform::LogHistogram::bucket_upper(
+        qsv::platform::LogHistogram::kBuckets - 1);
+  }
+
+ private:
+  void count_wait(std::uint64_t wait_ns) noexcept {
+    // relaxed: monotonic tally on the caller's own stripe.
+    acquisitions_.slot().fetch_add(1, std::memory_order_relaxed);
+    count_wait_stats(wait_ns);
+  }
+
+  void count_wait_stats(std::uint64_t wait_ns) noexcept {
+    // relaxed: monotonic tally.
+    contended_.fetch_add(1, std::memory_order_relaxed);
+    wait_hist_[qsv::platform::LogHistogram::bucket_of(wait_ns)].fetch_add(
+        1, std::memory_order_relaxed);  // relaxed: moving bucket tally
+    // EWMA with alpha = 1/8, the same step rule as AdaptiveWait's
+    // poll-count word but in nanoseconds; racy updates drop a sample,
+    // which the smoothing absorbs.
+    // relaxed: calibration estimate, not protocol state.
+    const std::uint64_t e = wait_ewma_ns_.load(std::memory_order_relaxed);
+    const auto delta =
+        static_cast<std::int64_t>(wait_ns) - static_cast<std::int64_t>(e);
+    std::int64_t step = delta >> 3;
+    if (step == 0 && delta > 0) step = 1;
+    wait_ewma_ns_.store(
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(e) + step),
+        std::memory_order_relaxed);  // relaxed: as above
+    max_relaxed(max_wait_ns_, wait_ns);
+  }
+
+  /// Racy-but-monotone watermark: a lost race can only lose a sample
+  /// to a *larger* concurrent one, never lower the watermark.
+  static void max_relaxed(std::atomic<std::uint64_t>& w,
+                          std::uint64_t v) noexcept {
+    // relaxed: watermark is statistics; CAS retries preserve monotony.
+    std::uint64_t cur = w.load(std::memory_order_relaxed);
+    // relaxed: both CAS orders — as above.
+    while (v > cur &&
+           !w.compare_exchange_weak(cur, v, std::memory_order_relaxed,
+                                    std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Entry-side striped tallies (hot, possibly concurrent).
+  qsv::platform::StripedCounter<kStripes> acquisitions_;
+  qsv::platform::StripedCounter<kStripes> shared_;
+  /// Contended/release-side tallies: serialized by the lock itself, so
+  /// plain relaxed words suffice.
+  std::atomic<std::uint64_t> contended_{0};
+  std::atomic<std::uint64_t> handoffs_{0};
+  std::atomic<std::uint64_t> free_releases_{0};
+  std::atomic<std::uint64_t> local_passes_{0};
+  std::atomic<std::uint64_t> global_acquires_{0};
+  std::atomic<std::uint64_t> global_releases_{0};
+  std::atomic<std::uint64_t> wait_ewma_ns_{0};
+  std::atomic<std::uint64_t> max_wait_ns_{0};
+  std::atomic<std::uint64_t> max_hold_ns_{0};
+  std::atomic<std::uint64_t> held_since_ns_{0};
+  /// Log2-bucketed contended-wait histogram (platform/histogram.hpp
+  /// bucketing, atomic buckets because waiters record concurrently).
+  std::atomic<std::uint64_t>
+      wait_hist_[qsv::platform::LogHistogram::kBuckets]{};
+};
+
+namespace detail {
+/// Cold registration entry points, defined in obs/registry.cpp. The
+/// declarations live here so primitives (and trace/) never include
+/// registry machinery: this header is the whole surface. The instance
+/// is an identity token (set_name correlation), never dereferenced —
+/// passed as uintptr_t because registration happens mid-construction,
+/// before the owning object is fully initialized.
+LockRec* registry_register(const char* kind, std::uintptr_t instance) noexcept;
+void registry_unregister(LockRec* rec) noexcept;
+}  // namespace detail
+
+/// Append one line to the registry's historical hazard log (the
+/// `hazards` face of the introspection endpoint). trace/lock_order.cpp
+/// routes every inversion warning here so embedders see warnings that
+/// previously went only to stderr. Defined in obs/registry.cpp.
+void record_hazard(std::string_view text);
+
+#if QSV_OBS
+
+/// RAII registration: a primitive owns one Handle, constructed with
+/// its catalogue kind string; the record lives until destruction.
+class Handle {
+ public:
+  Handle(const char* kind, const void* instance) noexcept
+      : rec_(detail::registry_register(
+            kind, reinterpret_cast<std::uintptr_t>(instance))) {}
+  ~Handle() {
+    if (rec_ != nullptr) detail::registry_unregister(rec_);
+  }
+  Handle(const Handle&) = delete;
+  Handle& operator=(const Handle&) = delete;
+
+  /// The instance's record; null when telemetry was disabled at
+  /// construction. Callers hoist this once per operation.
+  LockRec* rec() const noexcept { return rec_; }
+
+ private:
+  LockRec* rec_ = nullptr;
+};
+
+#else  // QSV_OBS == 0: the compile-out arm — everything folds away.
+
+class Handle {
+ public:
+  constexpr Handle(const char*, const void*) noexcept {}
+  Handle(const Handle&) = delete;
+  Handle& operator=(const Handle&) = delete;
+  static constexpr LockRec* rec() noexcept { return nullptr; }
+};
+
+#endif  // QSV_OBS
+
+// ------------------------------------------------- call-site helpers
+// Null-tolerant wrappers so instrumented call sites stay one line and
+// fold to nothing under QSV_OBS=0 (rec() is a constant nullptr).
+
+inline void count_acquire(LockRec* r) noexcept {
+  if (r != nullptr) r->count_acquire();
+}
+inline void count_shared_acquire(LockRec* r) noexcept {
+  if (r != nullptr) r->count_shared_acquire();
+}
+/// Contended-acquire bracket: call wait_begin_ns() before the wait
+/// (returns 0 when unrecorded) and count_contended_acquire after.
+inline std::uint64_t wait_begin_ns(const LockRec* r) noexcept {
+  return r != nullptr ? qsv::platform::now_ns() : 0;
+}
+inline void count_contended_acquire(LockRec* r, std::uint64_t t0) noexcept {
+  if (r != nullptr) {
+    const std::uint64_t now = qsv::platform::now_ns();
+    r->count_contended_acquire(now - t0, now);
+  }
+}
+inline void count_contended_shared(LockRec* r, std::uint64_t t0) noexcept {
+  if (r != nullptr) {
+    r->count_contended_shared(qsv::platform::now_ns() - t0);
+  }
+}
+inline void count_handoff(LockRec* r) noexcept {
+  if (r != nullptr) r->count_handoff();
+}
+inline void count_free_release(LockRec* r) noexcept {
+  if (r != nullptr) r->count_free_release();
+}
+inline void note_release(LockRec* r) noexcept {
+  if (r != nullptr) r->note_release();
+}
+inline void count_local_pass(LockRec* r) noexcept {
+  if (r != nullptr) r->count_local_pass();
+}
+inline void count_global_acquire(LockRec* r) noexcept {
+  if (r != nullptr) r->count_global_acquire();
+}
+inline void count_global_release(LockRec* r) noexcept {
+  if (r != nullptr) r->count_global_release();
+}
+
+}  // namespace qsv::obs

@@ -1,0 +1,35 @@
+// introspect.hpp — the live introspection endpoint.
+//
+// A minimal line-oriented text protocol over a loopback TCP socket
+// (the deployable shape: attach to a live process, list its locks,
+// stream contention — no debugger, no restart). One server per
+// process, one client at a time; the protocol is specified in
+// docs/INTROSPECTION.md and exercised by tests/introspect_test.cpp.
+//
+// Commands: help, list, stat <lock>, hazards [hold_ms [starve_ms]],
+// stream <n> [interval_ms], shutdown, quit. Every response ends with a
+// line containing a single "."; errors are one "err ..." line.
+#pragma once
+
+#include <cstdint>
+
+namespace qsv::obs {
+
+/// Start serving on 127.0.0.1:`port` (0 picks an ephemeral port).
+/// Returns the bound port, or 0 on failure (socket unavailable, port
+/// in use). Idempotent: a second call while running returns the
+/// current port.
+std::uint16_t introspect_start(std::uint16_t port);
+
+/// Stop the server and join its thread. Safe to call when not running.
+void introspect_stop();
+
+/// True between a successful start and stop.
+bool introspect_running();
+
+/// True once a client has issued the `shutdown` command — the hosting
+/// process (qsvbench --introspect) watches this to exit its serve
+/// loop. Cleared by introspect_start.
+bool introspect_shutdown_requested();
+
+}  // namespace qsv::obs

@@ -1,0 +1,275 @@
+// registry.cpp — telemetry registry storage, snapshots, hazard log.
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace qsv::obs {
+
+namespace {
+
+struct Entry {
+  std::unique_ptr<LockRec> rec;
+  std::string name;
+  const char* kind = nullptr;
+  const void* instance = nullptr;
+  std::uint64_t seq = 0;  ///< registration order for stable listings
+};
+
+/// Registry state behind one mutex: registration/unregistration and
+/// snapshots are cold (construction, destruction, introspection); the
+/// hot path never comes here — it increments the LockRec directly.
+struct State {
+  std::mutex mu;
+  std::map<const LockRec*, Entry> records;
+  /// Per-kind sequence numbers for generated names ("qsv#0", "qsv#1").
+  std::map<std::string, std::uint64_t> kind_seq;
+  std::uint64_t next_seq = 0;
+  std::deque<std::string> hazards;
+};
+
+State& state() {
+  static State* s = new State();  // leaked: usable during late teardown
+  return *s;
+}
+
+void fill_stats(const Entry& e, LockStats& out) {
+  const LockRec& r = *e.rec;
+  out.name = e.name;
+  out.kind = e.kind != nullptr ? e.kind : "?";
+  out.instance = e.instance;
+  out.acquisitions = r.acquisitions();
+  out.contended = r.contended();
+  out.shared_acquisitions = r.shared_acquisitions();
+  out.handoffs = r.handoffs();
+  out.free_releases = r.free_releases();
+  out.local_passes = r.local_passes();
+  out.global_acquires = r.global_acquires();
+  out.global_releases = r.global_releases();
+  out.wait_ewma_ns = r.wait_ewma_ns();
+  out.wait_p50_ns = r.wait_quantile_ns(0.50);
+  out.wait_p99_ns = r.wait_quantile_ns(0.99);
+  out.max_wait_ns = r.max_wait_ns();
+  out.max_hold_ns = r.max_hold_ns();
+  const std::uint64_t since = r.held_since_ns();
+  if (since != 0) {
+    const std::uint64_t now = qsv::platform::now_ns();
+    out.held_for_ns = now > since ? now - since : 0;
+  } else {
+    out.held_for_ns = 0;
+  }
+  const std::uint64_t cohort_total = out.global_acquires + out.local_passes;
+  out.cohort_miss_rate =
+      cohort_total != 0 ? static_cast<double>(out.global_acquires) /
+                              static_cast<double>(cohort_total)
+                        : 0.0;
+}
+
+/// Registration-order view of the record map (the map itself is keyed
+/// by pointer, which would make listings nondeterministic).
+std::vector<const Entry*> ordered_locked(const State& s) {
+  std::vector<const Entry*> v;
+  v.reserve(s.records.size());
+  for (const auto& [rec, e] : s.records) v.push_back(&e);
+  std::sort(v.begin(), v.end(), [](const Entry* a, const Entry* b) {
+    return a->seq < b->seq;
+  });
+  return v;
+}
+
+std::string list_line(const LockStats& st) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "lock %s kind=%s acq=%llu contended=%llu shared=%llu "
+                "handoffs=%llu free=%llu",
+                st.name.c_str(), st.kind.c_str(),
+                static_cast<unsigned long long>(st.acquisitions),
+                static_cast<unsigned long long>(st.contended),
+                static_cast<unsigned long long>(st.shared_acquisitions),
+                static_cast<unsigned long long>(st.handoffs),
+                static_cast<unsigned long long>(st.free_releases));
+  return buf;
+}
+
+}  // namespace
+
+namespace detail {
+
+LockRec* registry_register(const char* kind,
+                           std::uintptr_t instance) noexcept {
+  if (!enabled()) return nullptr;
+  // Telemetry must never take the process down: allocation failure
+  // degrades to an uninstrumented instance.
+  try {
+    auto rec = std::make_unique<LockRec>();
+    LockRec* raw = rec.get();
+    State& s = state();
+    std::lock_guard<std::mutex> guard(s.mu);
+    Entry e;
+    e.rec = std::move(rec);
+    e.kind = kind;
+    e.instance = reinterpret_cast<const void*>(instance);
+    e.seq = s.next_seq++;
+    const std::uint64_t n = s.kind_seq[kind != nullptr ? kind : "?"]++;
+    e.name = std::string(kind != nullptr ? kind : "?") + "#" +
+             std::to_string(n);
+    s.records.emplace(raw, std::move(e));
+    return raw;
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void registry_unregister(LockRec* rec) noexcept {
+  State& s = state();
+  std::lock_guard<std::mutex> guard(s.mu);
+  s.records.erase(rec);
+}
+
+}  // namespace detail
+
+std::vector<LockStats> snapshot() {
+  State& s = state();
+  std::lock_guard<std::mutex> guard(s.mu);
+  std::vector<LockStats> out;
+  out.reserve(s.records.size());
+  for (const Entry* e : ordered_locked(s)) {
+    LockStats st;
+    fill_stats(*e, st);
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+bool stat_by_name(std::string_view name, LockStats& out) {
+  State& s = state();
+  std::lock_guard<std::mutex> guard(s.mu);
+  for (const auto& [rec, e] : s.records) {
+    if (e.name == name) {
+      fill_stats(e, out);
+      return true;
+    }
+  }
+  return false;
+}
+
+void set_name(const void* instance, std::string_view name) {
+  State& s = state();
+  std::lock_guard<std::mutex> guard(s.mu);
+  for (auto& [rec, e] : s.records) {
+    if (e.instance == instance) {
+      e.name = std::string(name);
+      return;
+    }
+  }
+}
+
+std::size_t size() {
+  State& s = state();
+  std::lock_guard<std::mutex> guard(s.mu);
+  return s.records.size();
+}
+
+std::string dump() {
+  std::string out;
+  for (const LockStats& st : snapshot()) {
+    out += list_line(st);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string dump_stat(std::string_view name) {
+  LockStats st;
+  if (!stat_by_name(name, st)) return {};
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "name %s\n"
+      "kind %s\n"
+      "acquisitions %llu\n"
+      "contended %llu\n"
+      "shared_acquisitions %llu\n"
+      "handoffs %llu\n"
+      "free_releases %llu\n"
+      "local_passes %llu\n"
+      "global_acquires %llu\n"
+      "global_releases %llu\n"
+      "cohort_miss_rate %.4f\n"
+      "wait_ewma_ns %llu\n"
+      "wait_p50_ns %llu\n"
+      "wait_p99_ns %llu\n"
+      "max_wait_ns %llu\n"
+      "max_hold_ns %llu\n"
+      "held_for_ns %llu\n",
+      st.name.c_str(), st.kind.c_str(),
+      static_cast<unsigned long long>(st.acquisitions),
+      static_cast<unsigned long long>(st.contended),
+      static_cast<unsigned long long>(st.shared_acquisitions),
+      static_cast<unsigned long long>(st.handoffs),
+      static_cast<unsigned long long>(st.free_releases),
+      static_cast<unsigned long long>(st.local_passes),
+      static_cast<unsigned long long>(st.global_acquires),
+      static_cast<unsigned long long>(st.global_releases),
+      st.cohort_miss_rate,
+      static_cast<unsigned long long>(st.wait_ewma_ns),
+      static_cast<unsigned long long>(st.wait_p50_ns),
+      static_cast<unsigned long long>(st.wait_p99_ns),
+      static_cast<unsigned long long>(st.max_wait_ns),
+      static_cast<unsigned long long>(st.max_hold_ns),
+      static_cast<unsigned long long>(st.held_for_ns));
+  return buf;
+}
+
+void record_hazard(std::string_view text) {
+  State& s = state();
+  std::lock_guard<std::mutex> guard(s.mu);
+  s.hazards.emplace_back(text);
+  while (s.hazards.size() > kHazardLogCap) s.hazards.pop_front();
+}
+
+std::vector<std::string> hazard_log() {
+  State& s = state();
+  std::lock_guard<std::mutex> guard(s.mu);
+  return {s.hazards.begin(), s.hazards.end()};
+}
+
+void clear_hazard_log() {
+  State& s = state();
+  std::lock_guard<std::mutex> guard(s.mu);
+  s.hazards.clear();
+}
+
+std::vector<std::string> detect_hazards(std::uint64_t long_hold_ns,
+                                        std::uint64_t starvation_ns) {
+  std::vector<std::string> out;
+  char buf[512];
+  for (const LockStats& st : snapshot()) {
+    if (st.held_for_ns > long_hold_ns) {
+      std::snprintf(buf, sizeof(buf),
+                    "long-hold: %s held for %llu ns with waiters seen "
+                    "(threshold %llu ns)",
+                    st.name.c_str(),
+                    static_cast<unsigned long long>(st.held_for_ns),
+                    static_cast<unsigned long long>(long_hold_ns));
+      out.emplace_back(buf);
+    }
+    if (st.max_wait_ns > starvation_ns) {
+      std::snprintf(buf, sizeof(buf),
+                    "starvation: %s worst contended wait %llu ns "
+                    "(threshold %llu ns)",
+                    st.name.c_str(),
+                    static_cast<unsigned long long>(st.max_wait_ns),
+                    static_cast<unsigned long long>(starvation_ns));
+      out.emplace_back(buf);
+    }
+  }
+  return out;
+}
+
+}  // namespace qsv::obs

@@ -1,0 +1,99 @@
+// registry.hpp — the process-wide telemetry registry.
+//
+// Every instrumented primitive registers one obs::LockRec at
+// construction (through the narrow seam in obs/hook.hpp) and
+// unregisters at destruction. This header is the *reading* side: name
+// assignment, stable snapshots for tools, the text dump the
+// introspection endpoint serves, the historical hazard log that
+// lock_order warnings are routed into, and live starvation/long-hold
+// detection over the current records.
+//
+// Layering: obs/ sits beside the catalogue — reachable from
+// catalog/toolkit/facade/top, never included by platform/ or the
+// primitives (they see only obs/hook.hpp; qsvlint enforces both
+// directions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/hook.hpp"
+
+namespace qsv::obs {
+
+/// One record, frozen at snapshot time. Counters may trail the hot
+/// path by a few events (relaxed reads of moving stripes); names are
+/// exact.
+struct LockStats {
+  std::string name;          ///< registry name ("qsv#3" until set_name)
+  std::string kind;          ///< the primitive's static name() string
+  const void* instance = nullptr;
+  std::uint64_t acquisitions = 0;
+  std::uint64_t contended = 0;
+  std::uint64_t shared_acquisitions = 0;
+  std::uint64_t handoffs = 0;
+  std::uint64_t free_releases = 0;
+  std::uint64_t local_passes = 0;
+  std::uint64_t global_acquires = 0;
+  std::uint64_t global_releases = 0;
+  std::uint64_t wait_ewma_ns = 0;
+  std::uint64_t wait_p50_ns = 0;
+  std::uint64_t wait_p99_ns = 0;
+  std::uint64_t max_wait_ns = 0;
+  std::uint64_t max_hold_ns = 0;
+  /// Nanoseconds the current (contended) holder has held the lock so
+  /// far; 0 when free or held uncontended.
+  std::uint64_t held_for_ns = 0;
+  /// global_acquires / (global_acquires + local_passes); 0 when the
+  /// record has no cohort traffic.
+  double cohort_miss_rate = 0.0;
+};
+
+/// Snapshot of every live record, registration order.
+std::vector<LockStats> snapshot();
+
+/// Snapshot one record by registry name. False when no live record
+/// carries `name`.
+bool stat_by_name(std::string_view name, LockStats& out);
+
+/// Give the record registered for `instance` a display name (replaces
+/// the generated "kind#N"). No-op when the instance carries no record
+/// (telemetry disabled, or QSV_OBS=0).
+void set_name(const void* instance, std::string_view name);
+
+/// Number of live records.
+std::size_t size();
+
+/// The `list` face as text: one "lock <name> kind=<kind> acq=... "
+/// line per record (the format documented in docs/INTROSPECTION.md).
+std::string dump();
+
+/// Detailed multi-line text for one record (the `stat` face); empty
+/// string when the name is unknown.
+std::string dump_stat(std::string_view name);
+
+// ---------------------------------------------------------- hazards
+
+/// Historical hazard log (lock-order inversions and anything else
+/// routed through obs::record_hazard), oldest first. Bounded: the log
+/// keeps the most recent kHazardLogCap entries.
+std::vector<std::string> hazard_log();
+inline constexpr std::size_t kHazardLogCap = 256;
+
+/// Drop the historical hazard log (tests).
+void clear_hazard_log();
+
+/// Live detection over current records: a "long-hold" line for every
+/// lock whose current contended holder has exceeded `long_hold_ns`,
+/// and a "starvation" line for every lock whose worst observed
+/// contended wait exceeds `starvation_ns`.
+std::vector<std::string> detect_hazards(std::uint64_t long_hold_ns,
+                                        std::uint64_t starvation_ns);
+
+/// Default thresholds for the endpoint's `hazards` command.
+inline constexpr std::uint64_t kDefaultLongHoldNs = 100'000'000;    // 100ms
+inline constexpr std::uint64_t kDefaultStarvationNs = 1'000'000'000;  // 1s
+
+}  // namespace qsv::obs

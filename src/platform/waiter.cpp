@@ -1,10 +1,36 @@
-// waiter.cpp — process-wide waiting defaults (qsv/wait.hpp) and their
-// QSV_WAIT environment seeding.
-#include "qsv/wait.hpp"
+// waiter.cpp — process-wide waiting defaults (qsv/wait.hpp), their
+// QSV_WAIT environment seeding, and the poll-cost calibration behind
+// the registry-consulting adaptive mode.
+#include "platform/waiter.hpp"
 
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+
+#include "platform/arch.hpp"
+#include "platform/timing.hpp"
+#include "qsv/wait.hpp"
+
+namespace qsv::platform {
+
+std::uint64_t ns_per_poll() noexcept {
+  // Calibrated once, on first use: time a burst of cpu_relax polls.
+  // The measurement is coarse (scheduling noise folds in), but the
+  // consumer only needs the right order of magnitude to turn the
+  // registry's nanosecond EWMA into a poll budget, and the result is
+  // clamped there anyway.
+  static const std::uint64_t per = [] {
+    constexpr std::uint32_t kPolls = 4096;
+    const std::uint64_t t0 = now_ns();
+    for (std::uint32_t i = 0; i < kPolls; ++i) cpu_relax();
+    const std::uint64_t t1 = now_ns();
+    const std::uint64_t v = (t1 - t0) / kPolls;
+    return v == 0 ? std::uint64_t{1} : v;
+  }();
+  return per;
+}
+
+}  // namespace qsv::platform
 
 namespace qsv {
 namespace {

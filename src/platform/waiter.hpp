@@ -19,10 +19,16 @@
 #include <cstdint>
 #include <thread>
 
+#include "obs/hook.hpp"
 #include "platform/arch.hpp"
 #include "qsv/wait.hpp"
 
 namespace qsv::platform {
+
+/// Measured cost of one spin poll (one load + cpu_relax) in
+/// nanoseconds, calibrated once per process on first use (waiter.cpp).
+/// Converts the registry's nanosecond wait EWMA into a poll budget.
+std::uint64_t ns_per_poll() noexcept;
 
 /// Adaptive spin-then-park: the spin budget is calibrated, per lock
 /// instance, from an exponentially weighted moving average of observed
@@ -63,12 +69,35 @@ class AdaptiveWait {
   explicit AdaptiveWait(std::uint32_t seed_budget) { set_spin_budget(seed_budget); }
   // relaxed: copying a calibration sample; any torn-free value works.
   AdaptiveWait(const AdaptiveWait& other)
-      : ewma_polls_(other.ewma_polls_.load(std::memory_order_relaxed)) {}
+      : rec_(other.rec_),
+        ewma_polls_(other.ewma_polls_.load(std::memory_order_relaxed)) {}
   AdaptiveWait& operator=(const AdaptiveWait&) = delete;
+
+  /// Bind this waiter to its primitive's telemetry record. Closing the
+  /// observability feedback loop: when obs::adaptive_from_registry()
+  /// is on, the budget derives from the record's measured
+  /// handoff-wait EWMA (wall nanoseconds, fed by every contended
+  /// acquisition) instead of the private poll-count EWMA. Called once
+  /// at primitive construction; a null record keeps private mode.
+  void consult_telemetry(const qsv::obs::LockRec* rec) noexcept {
+    rec_ = rec;
+  }
 
   /// The calibrated budget: 2x the smoothed observed wake latency,
   /// clamped. This is the live value — it moves as waits are observed.
   std::uint32_t spin_budget() const noexcept {
+    if (rec_ != nullptr && qsv::obs::adaptive_from_registry()) {
+      const std::uint64_t ewma_ns = rec_->wait_ewma_ns();
+      if (ewma_ns != 0) {
+        // Same 2x-the-typical-wait rule as the private EWMA, but the
+        // estimate is the registry's nanosecond measurement converted
+        // through the calibrated poll cost.
+        const std::uint64_t polls = 2 * ewma_ns / ns_per_poll();
+        if (polls >= kMaxSpinPolls) return kMaxSpinPolls;
+        return polls < kMinSpinPolls ? kMinSpinPolls
+                                     : static_cast<std::uint32_t>(polls);
+      }
+    }
     // relaxed: calibration estimate — any recent value is as good as
     // the latest; the budget only shapes spin length, never safety.
     const std::uint32_t ewma = ewma_polls_.load(std::memory_order_relaxed);
@@ -165,6 +194,8 @@ class AdaptiveWait {
                       std::memory_order_relaxed);  // relaxed: as above
   }
 
+  /// The bound telemetry record (null = private calibration only).
+  const qsv::obs::LockRec* rec_ = nullptr;
   /// Smoothed wake latency in polls. Seeded low so a fresh instance
   /// behaves like a short spinner until evidence says otherwise.
   std::atomic<std::uint32_t> ewma_polls_{kMinSpinPolls};
@@ -196,6 +227,13 @@ class RuntimeWait {
   RuntimeWait& operator=(const RuntimeWait&) = delete;
 
   qsv::wait_policy policy() const noexcept { return policy_; }
+
+  /// Forward the telemetry binding to the adaptive arm (the only
+  /// policy that consults it). Primitives call this unconditionally at
+  /// construction via an `if constexpr (requires ...)` probe.
+  void consult_telemetry(const qsv::obs::LockRec* rec) noexcept {
+    adaptive_.consult_telemetry(rec);
+  }
 
   /// The spin budget in polls: how long spin_yield and park spin before
   /// giving the processor away. For adaptive this is the live

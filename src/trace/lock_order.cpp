@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/hook.hpp"
 #include "platform/hazard_hook.hpp"
 
 namespace qsv::trace {
@@ -123,6 +124,10 @@ void lock_order_on_acquire(const void* lock) {
                            name_of(g, lock) + "\" before \"" +
                            name_of(g, prior) + "\") was observed earlier";
           ++g.warnings;
+          // Every inversion lands in the telemetry registry's hazard
+          // log — the `hazards` face of the introspection endpoint —
+          // regardless of verbosity; quiet only mutes stderr.
+          qsv::obs::record_hazard(g.last_warning);
           // relaxed: verbosity toggle (see lock_order_quiet).
           if (!g_quiet.load(std::memory_order_relaxed)) {
             std::fprintf(stderr, "libqsv hazard: %s\n",

@@ -149,6 +149,19 @@ TEST(BenchregEmit, JsonRoundTripsThroughParser) {
   EXPECT_NE(json.find("\"schema\": \"qsvbench/v1\""), std::string::npos);
   EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
   EXPECT_NE(json.find("deadlock at P=32"), std::string::npos);
+  // Provenance stamp: every artifact says what produced it.
+  EXPECT_NE(json.find("\"meta\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\": \""), std::string::npos);
+  EXPECT_NE(json.find("\"timestamp\": \""), std::string::npos);
+  EXPECT_NE(json.find("\"host_topology\": \""), std::string::npos);
+  // The timestamp is ISO-8601 UTC ("....-..-..T..:..:..Z").
+  const auto ts_pos = json.find("\"timestamp\": \"");
+  ASSERT_NE(ts_pos, std::string::npos);
+  const std::string ts = json.substr(ts_pos + 14, 20);
+  EXPECT_EQ(ts.size(), 20u);
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts[19], 'Z');
 
   const std::string md = qsv::benchreg::to_markdown(out);
   EXPECT_NE(md.find("| algorithm |"), std::string::npos);

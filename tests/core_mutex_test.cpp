@@ -6,8 +6,8 @@
 #include <thread>
 #include <vector>
 
-#include "core/events.hpp"
 #include "core/qsv_mutex.hpp"
+#include "obs/hook.hpp"
 #include "harness/team.hpp"
 #include "locks/lock_concept.hpp"
 #include "platform/affinity.hpp"
@@ -136,15 +136,15 @@ TEST(QsvMutex, FifoHandoffOrder) {
   EXPECT_LE(violations, admitted.size() / 200);
 }
 
-TEST(QsvMutex, EventCountsClassifyAcquisitions) {
-  qc::CountingEvents::reset();
-  qc::QsvMutex<qp::SpinWait, qc::CountingEvents> m;
+TEST(QsvMutex, TelemetryClassifiesAcquisitions) {
+  qc::QsvMutex<qp::SpinWait> m;
+  const qsv::obs::LockRec* rec = m.telemetry();
+  if (rec == nullptr) GTEST_SKIP() << "telemetry compiled out";
   m.lock();
   m.unlock();  // uncontended + free release
-  const auto after_fast = qc::CountingEvents::snapshot();
-  EXPECT_EQ(after_fast.uncontended_acquires, 1u);
-  EXPECT_EQ(after_fast.free_releases, 1u);
-  EXPECT_EQ(after_fast.queued_acquires, 0u);
+  EXPECT_EQ(rec->acquisitions(), 1u);
+  EXPECT_EQ(rec->free_releases(), 1u);
+  EXPECT_EQ(rec->contended(), 0u);
 
   // Force a queued acquisition: hold the lock while another thread
   // enqueues.
@@ -156,9 +156,9 @@ TEST(QsvMutex, EventCountsClassifyAcquisitions) {
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   m.unlock();  // must hand off to the queued waiter
   t.join();
-  const auto after_queued = qc::CountingEvents::snapshot();
-  EXPECT_EQ(after_queued.queued_acquires, 1u);
-  EXPECT_GE(after_queued.direct_handoffs, 1u);
+  EXPECT_EQ(rec->contended(), 1u);
+  EXPECT_GE(rec->handoffs(), 1u);
+  EXPECT_GT(rec->max_wait_ns(), 0u);
 }
 
 TEST(QsvMutex, StressManyLocksManyThreads) {

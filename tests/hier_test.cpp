@@ -10,6 +10,7 @@
 #include "harness/team.hpp"
 #include "hier/cohort_map.hpp"
 #include "hier/hier_qsv.hpp"
+#include "obs/hook.hpp"
 #include "platform/affinity.hpp"
 #include "platform/wait.hpp"
 #include "workload/critical_section.hpp"
@@ -186,11 +187,11 @@ TEST(HierQsvMutex, TryLockUnderContentionNeverBlocksForever) {
 // ------------------------------------------------------- pass semantics
 
 TEST(HierQsvMutex, BudgetBoundsConsecutiveLocalPasses) {
-  using Events = qh::CountingHierEvents;
-  Events::reset();
   constexpr std::size_t kBudget = 4;
   // One big cohort: all handoffs are intra-cohort candidates.
-  qh::HierQsvMutex<qsv::platform::SpinWait, Events> lock(1024, kBudget);
+  qh::HierQsvMutex<qsv::platform::SpinWait> lock(1024, kBudget);
+  const qsv::obs::LockRec* rec = lock.telemetry();
+  if (rec == nullptr) GTEST_SKIP() << "telemetry compiled out";
   qsv::workload::GuardedCounter counter;
   qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t) {
     for (std::size_t i = 0; i < kOpsPerThread; ++i) {
@@ -200,37 +201,37 @@ TEST(HierQsvMutex, BudgetBoundsConsecutiveLocalPasses) {
     }
   });
   EXPECT_TRUE(counter.consistent());
-  const auto passes = Events::local_passes.load();
-  const auto acquires = Events::global_acquires.load();
+  const auto passes = rec->local_passes();
+  const auto acquires = rec->global_acquires();
   ASSERT_GT(acquires, 0u);
   // Each global tenure admits at most kBudget passes.
   EXPECT_LE(passes, acquires * kBudget);
 }
 
 TEST(HierQsvMutex, ZeroBudgetNeverPassesLocally) {
-  using Events = qh::CountingHierEvents;
-  Events::reset();
-  qh::HierQsvMutex<qsv::platform::SpinWait, Events> lock(1024, 0);
+  qh::HierQsvMutex<qsv::platform::SpinWait> lock(1024, 0);
+  const qsv::obs::LockRec* rec = lock.telemetry();
+  if (rec == nullptr) GTEST_SKIP() << "telemetry compiled out";
   qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t) {
     for (std::size_t i = 0; i < 500; ++i) {
       lock.lock();
       lock.unlock();
     }
   });
-  EXPECT_EQ(Events::local_passes.load(), 0u);
+  EXPECT_EQ(rec->local_passes(), 0u);
 }
 
 TEST(HierQsvMutex, GlobalAcquiresBalanceReleases) {
-  using Events = qh::CountingHierEvents;
-  Events::reset();
-  qh::HierQsvMutex<qsv::platform::SpinWait, Events> lock(4, 8);
+  qh::HierQsvMutex<qsv::platform::SpinWait> lock(4, 8);
+  const qsv::obs::LockRec* rec = lock.telemetry();
+  if (rec == nullptr) GTEST_SKIP() << "telemetry compiled out";
   qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t) {
     for (std::size_t i = 0; i < 500; ++i) {
       lock.lock();
       lock.unlock();
     }
   });
-  EXPECT_EQ(Events::global_acquires.load(), Events::global_releases.load());
+  EXPECT_EQ(rec->global_acquires(), rec->global_releases());
 }
 
 TEST(HierQsvMutex, LargeBudgetPassesDominate) {
@@ -242,9 +243,9 @@ TEST(HierQsvMutex, LargeBudgetPassesDominate) {
   if (qsv::platform::available_cpus() < 2) {
     GTEST_SKIP() << "needs >= 2 processors to keep the cohort queue busy";
   }
-  using Events = qh::CountingHierEvents;
-  Events::reset();
-  qh::HierQsvMutex<qsv::platform::SpinWait, Events> lock(1024, 1u << 20);
+  qh::HierQsvMutex<qsv::platform::SpinWait> lock(1024, 1u << 20);
+  const qsv::obs::LockRec* rec = lock.telemetry();
+  if (rec == nullptr) GTEST_SKIP() << "telemetry compiled out";
   qsv::workload::GuardedCounter counter;
   qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t) {
     for (std::size_t i = 0; i < kOpsPerThread; ++i) {
@@ -259,7 +260,7 @@ TEST(HierQsvMutex, LargeBudgetPassesDominate) {
   // queue momentarily drains. How often that happens depends on scheduling
   // timing, so assert the robust direction only: passes dominate global
   // round trips.
-  EXPECT_GT(Events::local_passes.load(), Events::global_acquires.load());
+  EXPECT_GT(rec->local_passes(), rec->global_acquires());
 }
 
 // ----------------------------------------------------------- accounting

@@ -1,0 +1,175 @@
+// obs_test — the telemetry registry: registration lifecycle, naming,
+// the master switch, snapshots, the hazard log, and live hazard
+// detection. Every assertion tolerates -DQSV_OBS=0 (records are null,
+// the registry is empty) by skipping the observed-path checks.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/qsv_mutex.hpp"
+#include "core/qsv_rwlock.hpp"
+#include "obs/hook.hpp"
+#include "obs/registry.hpp"
+#include "platform/wait.hpp"
+#include "platform/waiter.hpp"
+
+namespace {
+
+namespace qc = qsv::core;
+namespace qo = qsv::obs;
+
+bool dump_mentions(const std::string& needle) {
+  return qo::dump().find(needle) != std::string::npos;
+}
+
+TEST(ObsRegistry, RegistersOnConstructionUnregistersOnDestruction) {
+  const std::size_t before = qo::size();
+  {
+    qc::QsvMutex<qsv::platform::SpinWait> m;
+    if (m.telemetry() == nullptr) GTEST_SKIP() << "telemetry compiled out";
+    EXPECT_EQ(qo::size(), before + 1);
+    bool found = false;
+    for (const qo::LockStats& st : qo::snapshot()) {
+      if (st.instance == static_cast<const void*>(&m)) {
+        found = true;
+        EXPECT_EQ(st.kind, "qsv");
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+  EXPECT_EQ(qo::size(), before);
+}
+
+TEST(ObsRegistry, SetNameRenamesTheRecord) {
+  qc::QsvMutex<qsv::platform::SpinWait> m;
+  if (m.telemetry() == nullptr) GTEST_SKIP() << "telemetry compiled out";
+  qo::set_name(&m, "ledger-for-test");
+  qo::LockStats st;
+  ASSERT_TRUE(qo::stat_by_name("ledger-for-test", st));
+  EXPECT_EQ(st.kind, "qsv");
+  EXPECT_TRUE(dump_mentions("ledger-for-test"));
+  EXPECT_FALSE(qo::dump_stat("ledger-for-test").empty());
+  EXPECT_TRUE(qo::dump_stat("no-such-lock-name").empty());
+  qo::LockStats missing;
+  EXPECT_FALSE(qo::stat_by_name("no-such-lock-name", missing));
+}
+
+TEST(ObsRegistry, DisabledConstructionCarriesNoRecord) {
+  const std::size_t before = qo::size();
+  qo::set_enabled(false);
+  qc::QsvMutex<qsv::platform::SpinWait> dark;
+  qo::set_enabled(true);
+  EXPECT_EQ(dark.telemetry(), nullptr);
+  EXPECT_EQ(qo::size(), before);
+  // The switch gates only registration: a lock constructed after
+  // re-enabling is observed again.
+  qc::QsvMutex<qsv::platform::SpinWait> lit;
+#if QSV_OBS
+  EXPECT_NE(lit.telemetry(), nullptr);
+#else
+  EXPECT_EQ(lit.telemetry(), nullptr);
+#endif
+  // Unobserved locks still work.
+  dark.lock();
+  dark.unlock();
+}
+
+TEST(ObsRegistry, SharedAcquisitionsCountOnTheReaderFace) {
+  qc::QsvRwLock<qsv::platform::SpinWait> rw;
+  if (rw.telemetry() == nullptr) GTEST_SKIP() << "telemetry compiled out";
+  const qo::LockRec* rec = rw.telemetry();
+  const std::uint64_t shared0 = rec->shared_acquisitions();
+  const std::uint64_t excl0 = rec->acquisitions();
+  for (int i = 0; i < 5; ++i) {
+    rw.lock_shared();
+    rw.unlock_shared();
+  }
+  rw.lock();
+  rw.unlock();
+  EXPECT_EQ(rec->shared_acquisitions(), shared0 + 5);
+  EXPECT_EQ(rec->acquisitions(), excl0 + 1);
+}
+
+TEST(ObsHazards, RecordHazardRoundTripsThroughTheLog) {
+  qo::clear_hazard_log();
+  qo::record_hazard("synthetic inversion A -> B -> A");
+  const std::vector<std::string> log = qo::hazard_log();
+#if QSV_OBS
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_NE(log[0].find("synthetic inversion"), std::string::npos);
+#endif
+  qo::clear_hazard_log();
+  EXPECT_TRUE(qo::hazard_log().empty());
+}
+
+TEST(ObsHazards, LogIsBoundedAtTheCap) {
+  qo::clear_hazard_log();
+  for (std::size_t i = 0; i < qo::kHazardLogCap + 10; ++i) {
+    qo::record_hazard("flood entry " + std::to_string(i));
+  }
+  const std::vector<std::string> log = qo::hazard_log();
+#if QSV_OBS
+  ASSERT_EQ(log.size(), qo::kHazardLogCap);
+  // Oldest entries were dropped; the newest survives at the back.
+  EXPECT_NE(log.back().find(std::to_string(qo::kHazardLogCap + 9)),
+            std::string::npos);
+#endif
+  qo::clear_hazard_log();
+}
+
+TEST(ObsHazards, DetectHazardsFlagsStarvationByWorstObservedWait) {
+  qc::QsvMutex<qsv::platform::SpinYieldWait> m;
+  if (m.telemetry() == nullptr) GTEST_SKIP() << "telemetry compiled out";
+  qo::set_name(&m, "starved-for-test");
+  // Manufacture one contended acquisition with a multi-millisecond
+  // wait, then ask the detector with a 1 ms starvation threshold.
+  m.lock();
+  std::thread waiter([&m] {
+    m.lock();
+    m.unlock();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  m.unlock();
+  waiter.join();
+  ASSERT_GT(m.telemetry()->max_wait_ns(), 1'000'000u);
+  bool flagged = false;
+  for (const std::string& h :
+       qo::detect_hazards(/*long_hold_ns=*/1'000'000'000'000ULL,
+                          /*starvation_ns=*/1'000'000)) {
+    if (h.find("starved-for-test") != std::string::npos &&
+        h.find("starvation") != std::string::npos) {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+  // With thresholds far above anything observed, the record is quiet.
+  for (const std::string& h :
+       qo::detect_hazards(1'000'000'000'000ULL, 1'000'000'000'000ULL)) {
+    EXPECT_EQ(h.find("starved-for-test"), std::string::npos);
+  }
+}
+
+TEST(ObsAdaptive, RegistryModeTogglesAndBoundsTheBudget) {
+  // The toggle itself is observable regardless of QSV_OBS.
+  EXPECT_FALSE(qo::adaptive_from_registry());
+  qo::set_adaptive_from_registry(true);
+  EXPECT_TRUE(qo::adaptive_from_registry());
+  // An adaptive waiter bound to a live record must keep producing
+  // sane budgets while the registry mode is on.
+  qc::QsvMutex<qsv::platform::AdaptiveWait> m;
+  m.lock();
+  std::thread t([&m] {
+    m.lock();
+    m.unlock();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  m.unlock();
+  t.join();
+  qo::set_adaptive_from_registry(false);
+  EXPECT_FALSE(qo::adaptive_from_registry());
+}
+
+}  // namespace

@@ -17,6 +17,7 @@
 #include "hier/cohort_map.hpp"
 #include "locks/mcs.hpp"
 #include "locks/ticket.hpp"
+#include "obs/hook.hpp"
 #include "platform/topology.hpp"
 #include "workload/critical_section.hpp"
 
@@ -300,15 +301,16 @@ TEST(CohortCatalogue, EveryCompositionExcludesAcrossBudgets) {
 
 namespace {
 
-/// Counting instantiations of the three shipped composition shapes,
-/// over a block map so the streak bound is deterministic in shape.
-using Events = qh::CountingHierEvents;
+/// Instantiations of the three shipped composition shapes over a block
+/// map so the streak bound is deterministic in shape; the per-instance
+/// telemetry record replaces the old process-global counting sink.
 template <typename G, typename L>
-using Counting = qh::CohortLock<G, L, qh::BlockCohortMap, Events>;
+using Counting = qh::CohortLock<G, L, qh::BlockCohortMap>;
 
 template <typename Lock>
 void streak_battery(Lock& lock, std::size_t budget) {
-  Events::reset();
+  const qsv::obs::LockRec* rec = lock.telemetry();
+  if (rec == nullptr) GTEST_SKIP() << "telemetry compiled out";
   qsv::workload::GuardedCounter counter;
   qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t) {
     for (std::size_t i = 0; i < kOps; ++i) {
@@ -319,14 +321,14 @@ void streak_battery(Lock& lock, std::size_t budget) {
   });
   EXPECT_TRUE(counter.consistent());
   EXPECT_EQ(counter.value(), kThreads * kOps);
-  const auto passes = Events::local_passes.load();
-  const auto acquires = Events::global_acquires.load();
+  const auto passes = rec->local_passes();
+  const auto acquires = rec->global_acquires();
   ASSERT_GT(acquires, 0u);
   // Budget bounds every local-pass streak: one global tenure admits at
   // most `budget` consecutive passes.
   EXPECT_LE(passes, acquires * budget);
   // Tenures balance: what was acquired was released (lock is idle now).
-  EXPECT_EQ(acquires, Events::global_releases.load());
+  EXPECT_EQ(acquires, rec->global_releases());
 }
 
 }  // namespace
@@ -353,16 +355,17 @@ TEST(CohortLock, BudgetBoundsLocalPassStreaksQsvTicket) {
 }
 
 TEST(CohortLock, ZeroBudgetNeverPassesLocally) {
-  Events::reset();
   Counting<qsv::core::QsvMutex<>, qsv::core::QsvMutex<>> lock(
       0, qsv::get_default_wait_policy(), qh::BlockCohortMap(1024));
+  const qsv::obs::LockRec* rec = lock.telemetry();
+  if (rec == nullptr) GTEST_SKIP() << "telemetry compiled out";
   qsv::harness::ThreadTeam::run(kThreads, [&](std::size_t) {
     for (std::size_t i = 0; i < 500; ++i) {
       lock.lock();
       lock.unlock();
     }
   });
-  EXPECT_EQ(Events::local_passes.load(), 0u);
+  EXPECT_EQ(rec->local_passes(), 0u);
 }
 
 TEST(CohortLock, TryLockPresentExactlyWhenBothComponentsTry) {

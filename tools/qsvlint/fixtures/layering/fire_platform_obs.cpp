@@ -1,0 +1,7 @@
+// qsvlint-fixture: src/platform/bad_obs_reach.hpp
+// Must-fire: platform/ (rank 1) reaching past the obs/hook.hpp seam
+// into the telemetry registry machinery, and a primitive doing the
+// same — lower layers may consult the seam header only.
+#include "obs/registry.hpp"
+
+namespace qsv::platform {}

@@ -1,0 +1,7 @@
+// qsvlint-fixture: src/platform/good_obs_hook.hpp
+// Must-stay-quiet: the obs/hook.hpp seam is includable from every
+// layer (the chk_hook dependency-inversion move), and the catalogue
+// and facade may reach the registry machinery behind it.
+#include "obs/hook.hpp"
+
+namespace qsv::platform {}

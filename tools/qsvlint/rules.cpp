@@ -175,6 +175,7 @@ bool implicit_applies(std::string_view path) {
          starts_with(path, "src/platform/") ||
          starts_with(path, "src/eventcount/") ||
          starts_with(path, "src/combining/") ||
+         starts_with(path, "src/obs/") ||
          starts_with(path, "src/trace/");
 }
 
@@ -364,6 +365,7 @@ int band_rank(std::string_view layer) {
   if (layer == "api-common") return 0;
   if (layer == "platform") return 1;
   if (layer == "primitives") return 2;
+  if (layer == "obs") return 3;
   if (layer == "catalog") return 3;
   if (layer == "toolkit") return 4;
   if (layer == "facade") return 4;
@@ -422,6 +424,25 @@ void layering_run(const FileContext& ctx, std::vector<Finding>& out) {
                      "consult it, or the seam stops being total"});
       continue;
     }
+
+    // The telemetry layer: "obs/hook.hpp" is the one narrow seam every
+    // layer may include (the chk_hook dependency-inversion move); the
+    // registry/endpoint machinery behind it stays unreachable from the
+    // platform and primitive layers.
+    const bool tgt_is_obs_hook =
+        target == "obs/hook.hpp" || target == "src/obs/hook.hpp";
+    if (tgt_is_obs_hook) continue;  // the seam: includable from any layer
+    if (tgt_layer == "obs" &&
+        (src_layer == "platform" || src_layer == "primitives")) {
+      out.push_back({ctx.path, li + 1, "layering",
+                     "layer '" + std::string(src_layer) + "' includes \"" +
+                         target +
+                         "\" — src/obs/ registry machinery is reachable "
+                         "only from the catalogue, facade, toolkit, and "
+                         "tests; lower layers go through \"obs/hook.hpp\""});
+      continue;
+    }
+
     if (tgt_rank > src_rank) {
       out.push_back(
           {ctx.path, li + 1, "layering",
@@ -593,6 +614,7 @@ std::string_view layer_of(std::string_view path) {
   if (starts_with(path, "qsv/") || starts_with(path, "include/qsv/"))
     return "facade";
   if (is_under("catalog/")) return "catalog";
+  if (is_under("obs/")) return "obs";
   if (is_under("platform/")) return "platform";
   if (is_under("chk/")) return "chk";
   for (std::string_view d :
@@ -624,11 +646,13 @@ const std::vector<Rule>& rules() {
       {"implicit-order",
        "no implicit-seq_cst atomic operations in the hot layers "
        "(src/core, src/platform, src/eventcount, src/combining, "
-       "src/trace)",
+       "src/obs, src/trace)",
        implicit_applies, implicit_run},
       {"layering",
        "the include graph is the documented DAG; src/chk and "
-       "chk_hook.hpp stay unreachable from production layers",
+       "chk_hook.hpp stay unreachable from production layers, and "
+       "src/obs/ registry machinery is reachable only through "
+       "obs/hook.hpp from below",
        layering_applies, layering_run},
       {"capability",
        "facade types exposing lock()/unlock() carry QSV_CAPABILITY",
